@@ -1,0 +1,61 @@
+"""Ablation A4 — object steps vs the packed 64-bit state (Section 5).
+
+Compares :class:`VelodromeOptimized` (dictionaries of step objects)
+against :class:`VelodromeCompact` (flat dictionaries of packed 64-bit
+codes with slot recycling) on time and on the state-size diagnostics,
+and asserts warning-for-warning agreement.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import VelodromeCompact, VelodromeOptimized
+from repro.runtime.scheduler import RandomScheduler
+from repro.runtime.tool import run_with_backends
+from repro.workloads import get
+
+from benchmarks.conftest import BENCH_SCALE, BENCH_SEED
+
+REPRESENTATIONS = {
+    "objects": lambda: VelodromeOptimized(first_warning_per_label=True),
+    "packed": lambda: VelodromeCompact(first_warning_per_label=True),
+}
+
+
+def run(workload_name, representation):
+    return run_with_backends(
+        get(workload_name).program(BENCH_SCALE),
+        [REPRESENTATIONS[representation]()],
+        scheduler=RandomScheduler(BENCH_SEED),
+    )
+
+
+@pytest.mark.parametrize("representation", list(REPRESENTATIONS))
+@pytest.mark.parametrize("workload_name", ["tsp", "mtrt", "jigsaw"])
+def test_representation_runtime(benchmark, workload_name, representation):
+    result = benchmark.pedantic(
+        lambda: run(workload_name, representation), rounds=3, iterations=1
+    )
+    assert result.run.events > 0
+
+
+@pytest.mark.parametrize("workload_name", ["tsp", "mtrt", "multiset"])
+def test_representations_agree(workload_name):
+    objects = run(workload_name, "objects")
+    packed = run(workload_name, "packed")
+    assert (
+        objects.backends[0].warned_labels()
+        == packed.backends[0].warned_labels()
+    )
+    assert (
+        objects.graph_stats().allocated == packed.graph_stats().allocated
+    )
+
+
+def test_slot_recycling_bounded():
+    result = run("montecarlo", "packed")
+    backend = result.backends[0]
+    # Slots track live nodes, not total allocations.
+    assert backend.slots_in_use <= result.graph_stats().max_alive
+    assert result.graph_stats().allocated > 1000

@@ -1,0 +1,46 @@
+"""Ablation A1 — ancestor sets vs DFS for cycle/reachability checks.
+
+The paper's Section 5 maintains per-node ancestor sets for O(1) cycle
+detection at every edge insertion.  This ablation compares that choice
+against on-demand DFS on a workload with a non-trivial live graph
+(jbb-style) and a merge-heavy one (tsp-style, where the merge function
+issues many reachability queries).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import VelodromeOptimized
+from repro.runtime.scheduler import RandomScheduler
+from repro.runtime.tool import run_with_backends
+from repro.workloads import get
+
+from benchmarks.conftest import BENCH_SCALE, BENCH_SEED
+
+
+def run(workload_name, strategy):
+    return run_with_backends(
+        get(workload_name).program(BENCH_SCALE),
+        [VelodromeOptimized(cycle_strategy=strategy,
+                            first_warning_per_label=True)],
+        scheduler=RandomScheduler(BENCH_SEED),
+    )
+
+
+@pytest.mark.parametrize("strategy", ["ancestors", "dfs"])
+@pytest.mark.parametrize("workload_name", ["jbb", "tsp", "webl"])
+def test_cycle_strategy(benchmark, workload_name, strategy):
+    result = benchmark.pedantic(
+        lambda: run(workload_name, strategy), rounds=3, iterations=1
+    )
+    assert result.run.events > 0
+
+
+@pytest.mark.parametrize("workload_name", ["jbb", "tsp"])
+def test_strategies_agree_on_warnings(workload_name):
+    labels = {
+        strategy: run(workload_name, strategy).labels_from("VELODROME")
+        for strategy in ("ancestors", "dfs")
+    }
+    assert labels["ancestors"] == labels["dfs"]

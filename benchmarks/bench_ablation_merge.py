@@ -1,0 +1,52 @@
+"""Ablation A3 — the Section 4.2 merge rules for non-transactional ops.
+
+The paper notes merging "has a dramatic impact on running times" for
+unary-dominated benchmarks.  This ablation times the optimized analysis
+with the merge rules on and off over multiset/tsp (merge-friendly) and
+mtrt (merge-neutral), and checks verdict invariance.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import VelodromeOptimized
+from repro.runtime.scheduler import RandomScheduler
+from repro.runtime.tool import run_with_backends
+from repro.workloads import get
+
+from benchmarks.conftest import BENCH_SCALE, BENCH_SEED
+
+
+def run(workload_name, merge_unary):
+    return run_with_backends(
+        get(workload_name).program(BENCH_SCALE),
+        [VelodromeOptimized(merge_unary=merge_unary,
+                            first_warning_per_label=True)],
+        scheduler=RandomScheduler(BENCH_SEED),
+    )
+
+
+@pytest.mark.parametrize("merge", [True, False], ids=["merge-on", "merge-off"])
+@pytest.mark.parametrize("workload_name", ["multiset", "tsp", "mtrt"])
+def test_merge_runtime(benchmark, workload_name, merge):
+    result = benchmark.pedantic(
+        lambda: run(workload_name, merge), rounds=3, iterations=1
+    )
+    assert result.run.events > 0
+
+
+@pytest.mark.parametrize("workload_name", ["multiset", "tsp", "mtrt", "webl"])
+def test_merge_verdict_invariance(workload_name):
+    with_merge = run(workload_name, True).labels_from("VELODROME")
+    without = run(workload_name, False).labels_from("VELODROME")
+    assert with_merge == without
+
+
+@pytest.mark.parametrize("workload_name", ["multiset", "tsp"])
+def test_merge_allocation_reduction(workload_name):
+    with_merge = run(workload_name, True).graph_stats()
+    without = run(workload_name, False).graph_stats()
+    print(f"\n{workload_name}: allocations {without.allocated} -> "
+          f"{with_merge.allocated} with merge")
+    assert with_merge.allocated * 20 <= without.allocated

@@ -1,0 +1,49 @@
+"""Experiment E4 — the Section 6 defect-injection study.
+
+Benchmarks single plain and adversarial runs of an injected-defect
+variant, and asserts the study's shape on a reduced sweep: adversarial
+scheduling substantially raises the single-run detection rate (paper:
+~30% -> ~70%).
+
+Regenerate the printed study with ``python -m repro.harness.injection``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.injection import run_injection
+from repro.runtime.tool import run_velodrome
+from repro.workloads.injection import FAMILIES, build_variant
+
+
+@pytest.mark.parametrize("adversarial", [False, True],
+                         ids=["plain", "adversarial"])
+def test_single_variant_run(benchmark, adversarial):
+    family = FAMILIES["elevator"]
+
+    def run():
+        return run_velodrome(
+            build_variant(family, 0),
+            seed=0,
+            adversarial=adversarial,
+            pause_steps=120,
+            max_pauses_per_thread=8,
+        )
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.run.events > 0
+
+
+def test_detection_rates_shape(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_injection(seeds=range(5)), rounds=1, iterations=1
+    )
+    print("\n" + result.render())
+    plain = result.overall(False)
+    adversarial = result.overall(True)
+    # Paper shape: plain well below certainty, adversarial far above
+    # plain (≈30% -> ≈70%).
+    assert 0.05 <= plain <= 0.60
+    assert adversarial >= plain + 0.20
+    assert adversarial >= 0.50

@@ -1,0 +1,54 @@
+"""Experiment E8 — scheduling sensitivity (paper Section 6).
+
+Benchmarks the Table 2 scoring runs under fine (multicore-like) vs
+coarse (single-core-like) scheduler granularity and asserts the paper's
+observation: warning counts stay fairly uniform, and Velodrome never
+gains false alarms from scheduling.
+
+Regenerate the printed study with ``python -m repro.harness.sensitivity``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.sensitivity import GRANULARITIES, measure
+from repro.workloads import all_workloads, get
+
+
+@pytest.mark.parametrize("granularity", list(GRANULARITIES))
+def test_sensitivity_run(benchmark, granularity):
+    workloads = [get("elevator"), get("colt"), get("jigsaw")]
+
+    def run():
+        from repro.baselines.atomizer import Atomizer
+        from repro.core.optimized import VelodromeOptimized
+        from repro.runtime.scheduler import RandomScheduler
+        from repro.runtime.tool import run_with_backends
+
+        for workload in workloads:
+            run_with_backends(
+                workload.program(1.0),
+                [VelodromeOptimized(first_warning_per_label=True), Atomizer()],
+                scheduler=RandomScheduler(
+                    0, switch_probability=GRANULARITIES[granularity]
+                ),
+            )
+
+    benchmark.pedantic(run, rounds=2, iterations=1)
+
+
+def test_uniformity_shape(benchmark):
+    result = benchmark.pedantic(
+        lambda: measure(all_workloads(), seeds=range(3)),
+        rounds=1, iterations=1,
+    )
+    print("\n" + result.render())
+    fine = result.totals("fine")
+    coarse = result.totals("coarse")
+    # Atomizer: schedule-independent.  Velodrome: fairly uniform, never
+    # any false alarms.
+    assert fine.atomizer_non_serial == coarse.atomizer_non_serial
+    assert fine.atomizer_false_alarms == coarse.atomizer_false_alarms
+    assert coarse.velodrome_false_alarms == 0
+    assert coarse.velodrome_non_serial >= 0.8 * fine.velodrome_non_serial

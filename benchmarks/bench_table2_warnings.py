@@ -1,0 +1,54 @@
+"""Experiment E3 — Table 2 (warning precision/recall, all benchmarks).
+
+Benchmarks the per-workload scoring runs and asserts the paper's
+headline results on the aggregated table:
+
+* Velodrome reports zero false alarms (sound and complete),
+* Velodrome finds most (paper: 85%) of the genuinely non-atomic
+  methods the Atomizer reports,
+* the Atomizer's false-alarm rate is substantial (paper: ~40%),
+* blame is certified for most Velodrome warnings (paper: >80%).
+
+Regenerate the printed table with ``python -m repro.harness.table2``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.table2 import run_table2, score_workload
+from repro.workloads import all_workloads, get
+
+SCORE_SEEDS = range(5)
+
+
+@pytest.mark.parametrize(
+    "workload_name",
+    ["elevator", "jbb", "mtrt", "colt", "jigsaw"],
+)
+def test_score_workload(benchmark, workload_name):
+    workload = get(workload_name)
+    row = benchmark.pedantic(
+        lambda: score_workload(workload, seeds=SCORE_SEEDS),
+        rounds=1, iterations=1,
+    )
+    assert row.velodrome_false_alarms == 0
+
+
+def test_full_table2_shape(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_table2(all_workloads(), seeds=SCORE_SEEDS),
+        rounds=1, iterations=1,
+    )
+    totals = result.totals()
+    print("\n" + result.render())
+    # Velodrome: complete, hence no false alarms — the paper's core claim.
+    assert totals.velodrome_false_alarms == 0
+    # Recall vs Atomizer in the paper's ballpark (85%).
+    assert 0.70 <= result.recall_vs_atomizer <= 1.0
+    # The Atomizer's false-alarm rate is large (paper ~40%).
+    assert result.atomizer_false_alarm_rate >= 0.25
+    # Blame assignment succeeds for most warnings (paper >80%).
+    assert result.blame_rate >= 0.75
+    # Every Velodrome-found method is also in some tool's reach:
+    assert totals.velodrome_non_serial <= totals.ground_truth

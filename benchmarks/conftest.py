@@ -1,0 +1,27 @@
+"""Shared helpers for the benchmark harnesses.
+
+Run the whole directory with::
+
+    pytest benchmarks/ --benchmark-only
+
+Each ``bench_table*.py`` file regenerates one paper artifact (see the
+experiment index in DESIGN.md); the printed tables come from the
+``repro.harness`` CLIs, while these benches provide the timed,
+statistics-backed measurements.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+#: Workload scale used by timing benches: big enough to dominate noise,
+#: small enough to keep the suite in minutes.
+BENCH_SCALE = 1.0
+
+#: Seed used everywhere, matching the harness default.
+BENCH_SEED = 0
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> float:
+    return BENCH_SCALE

@@ -1,0 +1,77 @@
+"""Adversarial scheduling demo (paper Sections 5-6).
+
+An unsynchronized read-modify-write hides between long stretches of
+compute: under plain random scheduling the two threads' atomic blocks
+rarely overlap, so Velodrome — which only judges the *observed* trace —
+usually sees nothing.  Running the Atomizer concurrently and pausing a
+thread at each suspected commit point parks it mid-block, inviting the
+conflicting write; detection rates jump, with no loss of completeness
+(every warning is still a real violation).
+
+Run::
+
+    python examples/adversarial_demo.py
+"""
+
+from repro.runtime import Begin, End, Program, Read, ThreadSpec, Work, Write
+from repro.runtime.tool import run_velodrome
+
+ROUNDS = 3
+QUIET = 60  # compute units between increments
+SEEDS = 30
+
+
+def quiet_incrementer():
+    """A counter bump with a tiny race window, executed rarely."""
+
+    def body():
+        for _ in range(ROUNDS):
+            yield Begin("Stats.bump")
+            value = yield Read("counter")
+            yield Write("counter", value + 1)
+            yield End()
+            yield Work(QUIET)
+
+    return body
+
+
+def build_program() -> Program:
+    return Program(
+        "stats",
+        threads=[
+            ThreadSpec(quiet_incrementer(), "collector-1"),
+            ThreadSpec(quiet_incrementer(), "collector-2"),
+        ],
+        atomic_methods={"Stats.bump"},
+        non_atomic_methods={"Stats.bump"},
+    )
+
+
+def detection_rate(adversarial: bool) -> float:
+    hits = 0
+    for seed in range(SEEDS):
+        result = run_velodrome(
+            build_program(),
+            seed=seed,
+            adversarial=adversarial,
+            pause_steps=120,
+            max_pauses_per_thread=8,
+        )
+        if "Stats.bump" in result.labels_from("VELODROME"):
+            hits += 1
+    return hits / SEEDS
+
+
+def main() -> None:
+    plain = detection_rate(adversarial=False)
+    adversarial = detection_rate(adversarial=True)
+    print(f"Single-run detection of the Stats.bump defect over {SEEDS} seeds:")
+    print(f"  plain random scheduling:       {plain:.0%}")
+    print(f"  Atomizer-guided adversarial:   {adversarial:.0%}")
+    print()
+    print("The paper reports the same effect on injected defects: "
+          "~30% -> ~70% (Section 6).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+"""Array granularity: the paper's future-work item, implemented (X2).
+
+The Velodrome prototype "performs the analysis only on objects and
+fields, and not on arrays" (paper Section 5).  This reproduction
+supports arrays, and makes the cost of *not* distinguishing elements
+measurable: two threads filling disjoint halves of a grid are perfectly
+atomic, but if the tool models the whole array as one variable, their
+accesses appear to conflict and a (model-level) violation shows up on
+crossing schedules.
+
+Run::
+
+    python examples/arrays.py
+"""
+
+from repro.core import VelodromeOptimized
+from repro.runtime.instrument import EventPipeline
+from repro.runtime.interpreter import Interpreter
+from repro.runtime.program import (
+    Begin,
+    End,
+    Program,
+    ReadElem,
+    ThreadSpec,
+    WriteElem,
+)
+from repro.runtime.scheduler import RandomScheduler
+
+CELLS_PER_THREAD = 4
+SEEDS = 20
+
+
+def filler(start: int):
+    """Fill grid[start .. start+N): read-modify-write, no locks needed —
+    the index ranges are disjoint by construction."""
+
+    def body():
+        for offset in range(CELLS_PER_THREAD):
+            index = start + offset
+            yield Begin("Grid.fill")
+            value = yield ReadElem("grid", index)
+            yield WriteElem("grid", index, value + index)
+            yield End()
+
+    return body
+
+
+def violation_rate(granularity: str) -> float:
+    hits = 0
+    for seed in range(SEEDS):
+        program = Program(
+            "grid-fill",
+            [ThreadSpec(filler(0), "low"),
+             ThreadSpec(filler(CELLS_PER_THREAD), "high")],
+        )
+        backend = VelodromeOptimized(first_warning_per_label=True)
+        pipeline = EventPipeline([backend])
+        Interpreter(
+            program,
+            scheduler=RandomScheduler(seed),
+            sink=pipeline.process,
+            array_granularity=granularity,
+        ).run()
+        hits += backend.error_detected
+    return hits / SEEDS
+
+
+def main() -> None:
+    print("Two threads fill disjoint halves of grid[]; the program is")
+    print(f"atomic.  Warning rate over {SEEDS} seeded schedules:\n")
+    for granularity in ("element", "object"):
+        rate = violation_rate(granularity)
+        note = (
+            "precise: disjoint indices never conflict"
+            if granularity == "element"
+            else "coarse: the whole array is one variable, so disjoint "
+                 "accesses appear to conflict"
+        )
+        print(f"  {granularity:8s} granularity: {rate:5.0%}   ({note})")
+    print(
+        "\nVelodrome itself is exact either way — granularity decides "
+        "how faithfully\nthe event stream models the program, which is "
+        "why the paper's prototype\nrestricted itself to objects and "
+        "fields."
+    )
+
+
+if __name__ == "__main__":
+    main()

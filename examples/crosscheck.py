@@ -1,0 +1,85 @@
+"""Record once, analyze everywhere: the offline cross-check workflow.
+
+Runs the tsp benchmark once, records its event stream to disk, then
+replays the recording through every analysis in the repository plus the
+offline references — the workflow for expensive-to-reproduce runs, and
+a live demonstration of where each tool sits on the precision spectrum:
+
+    Eraser       races (lock discipline only)
+    lock-order   potential deadlocks
+    2PL          strict locking shape (sufficient, far from necessary)
+    block-based  single-variable unserializable patterns
+    Atomizer     Lipton reduction (generalizes, false alarms)
+    Velodrome    exact conflict-serializability of the observed trace
+
+Run::
+
+    python examples/crosscheck.py [--keep recording.jsonl]
+"""
+
+import argparse
+import tempfile
+import pathlib
+
+from repro.baselines import (
+    Atomizer,
+    BlockBasedChecker,
+    EraserLockSet,
+    HappensBeforeRaces,
+    LockOrderMonitor,
+    TwoPhaseLocking,
+)
+from repro.core import VelodromeCompact, VelodromeOptimized, is_serializable
+from repro.events.serialize import load_trace, save_trace
+from repro.runtime.tool import run_velodrome
+from repro.workloads import get
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--keep", metavar="FILE", default=None,
+                        help="keep the recording at this path")
+    parser.add_argument("--workload", default="tsp")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    program = get(args.workload).program(0.5)
+    live = run_velodrome(program, seed=args.seed, record_trace=True)
+    path = pathlib.Path(
+        args.keep
+        or tempfile.NamedTemporaryFile(suffix=".jsonl", delete=False).name
+    )
+    count = save_trace(live.trace, path)
+    print(f"recorded {count} events of {program.name} to {path}\n")
+
+    trace = load_trace(path)
+    assert trace == live.trace  # lossless round trip
+
+    print(f"{'backend':14s} {'warnings':>9s}  notes")
+    online_labels = live.labels_from("VELODROME")
+    for backend in (
+        EraserLockSet(),
+        LockOrderMonitor(),
+        TwoPhaseLocking(),
+        BlockBasedChecker(),
+        Atomizer(),
+        HappensBeforeRaces(),
+        VelodromeOptimized(first_warning_per_label=True),
+        VelodromeCompact(first_warning_per_label=True),
+    ):
+        backend.process_trace(trace)
+        note = ""
+        if backend.name.startswith("VELODROME"):
+            offline_labels = backend.warned_labels()
+            agrees = offline_labels == online_labels
+            note = f"matches the live run: {agrees}"
+        print(f"{backend.name:14s} {len(backend.warnings):9d}  {note}")
+
+    print(f"\nreference: trace conflict-serializable = "
+          f"{is_serializable(trace)}")
+    if not args.keep:
+        path.unlink()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""Precision demo: the volatile-flag hand-off of paper Section 2.
+
+Two threads alternate exclusive access to ``x`` using a flag variable
+instead of a lock.  Every trace of this program is serializable, but
+LockSet-based tools cannot see the discipline:
+
+* the Atomizer reports a (false) warning on the atomic blocks,
+* Velodrome — sound *and complete* — stays silent.
+
+Run::
+
+    python examples/flag_handoff.py
+"""
+
+from repro.baselines import Atomizer, EraserLockSet
+from repro.core import VelodromeOptimized, is_serializable
+from repro.runtime import Await, Begin, End, Program, Read, ThreadSpec, Write
+from repro.runtime.scheduler import RandomScheduler
+from repro.runtime.tool import run_with_backends
+
+
+def flagged_incrementer(label: str, my_turn: int, their_turn: int, rounds: int):
+    """while (b != my_turn) skip;  atomic { x++; b = their_turn; }"""
+
+    def body():
+        for _ in range(rounds):
+            yield Await("b", my_turn)
+            yield Begin(label)
+            value = yield Read("x")
+            yield Write("x", value + 1)
+            yield Write("b", their_turn)
+            yield End()
+
+    return body
+
+
+def main() -> None:
+    program = Program(
+        "flag-handoff",
+        threads=[
+            ThreadSpec(flagged_incrementer("inc1", 1, 2, rounds=4), "worker-1"),
+            ThreadSpec(flagged_incrementer("inc2", 2, 1, rounds=4), "worker-2"),
+        ],
+        atomic_methods={"inc1", "inc2"},
+        initial_store={"b": 1},
+    )
+
+    for seed in range(3):
+        result = run_with_backends(
+            program,
+            [VelodromeOptimized(), Atomizer(), EraserLockSet()],
+            scheduler=RandomScheduler(seed),
+            record_trace=True,
+        )
+        velodrome, atomizer, eraser = result.backends
+        print(f"seed {seed}:")
+        print(f"  trace serializable (ground truth): "
+              f"{is_serializable(result.trace)}")
+        print(f"  final x = {result.run.final_store.read('x')} "
+              f"(8 increments, none lost)")
+        print(f"  Velodrome warnings: {len(velodrome.warnings)} (complete: "
+              f"no false alarms, ever)")
+        print(f"  Atomizer warnings:  {len(atomizer.warnings)} "
+              f"{sorted(atomizer.warned_labels())} <- false alarms")
+        print(f"  Eraser 'races':     {len(eraser.warnings)} "
+              f"(the flag discipline is invisible to LockSet)")
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim; all metadata lives in setup.cfg.
+
+See the comment at the top of setup.cfg for why this project uses the
+setup.cfg/setup.py layout instead of pyproject.toml (offline
+installability).
+"""
+
+from setuptools import setup
+
+setup()

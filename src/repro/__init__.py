@@ -1,0 +1,72 @@
+"""Velodrome: a sound and complete dynamic atomicity checker.
+
+Reproduction of Flanagan, Freund, and Yi (PLDI 2008).  The package
+checks observed traces of multithreaded programs for
+conflict-serializability of their atomic blocks, reporting an error iff
+the trace is not serializable, with precise per-block blame.
+
+Quickstart::
+
+    from repro import Trace, check_atomicity
+
+    trace = Trace.parse(
+        "1:begin(add) 1:rd(x) 2:wr(x) 1:wr(x) 1:end"
+    )
+    for warning in check_atomicity(trace):
+        print(warning)
+
+Layers:
+
+* :mod:`repro.events` — operations, traces, transactions, semantics.
+* :mod:`repro.graph` — the transactional happens-before graph.
+* :mod:`repro.core` — the Velodrome analyses (basic and optimized).
+* :mod:`repro.baselines` — Empty, Eraser, Atomizer, vector clocks.
+* :mod:`repro.runtime` — deterministic concurrent-program interpreter.
+* :mod:`repro.workloads` — the 15 paper benchmarks as synthetic models.
+* :mod:`repro.harness` — Table 1 / Table 2 / injection experiments.
+"""
+
+from repro.core import (
+    VelodromeBasic,
+    VelodromeOptimized,
+    Warning,
+    WarningKind,
+    check_atomicity,
+    is_serializable,
+    velodrome_verdict,
+)
+from repro.events import (
+    Operation,
+    OpKind,
+    Trace,
+    Transaction,
+    acquire,
+    begin,
+    end,
+    read,
+    release,
+    write,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Operation",
+    "OpKind",
+    "Trace",
+    "Transaction",
+    "VelodromeBasic",
+    "VelodromeOptimized",
+    "Warning",
+    "WarningKind",
+    "acquire",
+    "begin",
+    "check_atomicity",
+    "end",
+    "is_serializable",
+    "read",
+    "release",
+    "velodrome_verdict",
+    "write",
+    "__version__",
+]

@@ -1,0 +1,134 @@
+"""Single-variable interleaving-pattern detection (block-based style).
+
+Wang and Stoller's block-based algorithms (paper Section 7) check
+pairs of accesses by one transaction against interleaved remote
+accesses; the same classification underlies AVIO-style bug detectors.
+For one variable, with a local access pair ``(first, second)`` and one
+remote access ``r`` observed between them, four of the eight
+read/write combinations are unserializable:
+
+    rd .. wr(remote) .. rd    (the two reads disagree)
+    wr .. rd(remote) .. wr    (remote sees a dirty intermediate)
+    wr .. wr(remote) .. rd    (local read sees the remote value)
+    rd .. wr(remote) .. wr    (remote update lost between rd and wr)
+
+On the *observed* trace each pattern witnesses a genuine two-node
+happens-before cycle, so this detector is precise for what it looks at
+— but it looks only at single-variable, single-remote-access shapes.
+Multi-variable cycles (the paper's introduction example, the D/E trace)
+and lock-induced cycles escape it entirely: the precision gap between
+pattern-based tools and Velodrome, made executable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.backend import AnalysisBackend
+from repro.core.reports import atomicity_warning
+from repro.events.operations import Operation, OpKind
+
+#: (first local kind, remote kind, second local kind) -> unserializable.
+UNSERIALIZABLE_PATTERNS = frozenset(
+    {
+        (OpKind.READ, OpKind.WRITE, OpKind.READ),
+        (OpKind.WRITE, OpKind.READ, OpKind.WRITE),
+        (OpKind.WRITE, OpKind.WRITE, OpKind.READ),
+        (OpKind.READ, OpKind.WRITE, OpKind.WRITE),
+    }
+)
+
+
+@dataclass
+class _VarHistory:
+    """Per (transaction, variable): last local access and remote
+    accesses observed since."""
+
+    last_local: Optional[OpKind] = None
+    remote_since: list[OpKind] = field(default_factory=list)
+
+
+@dataclass
+class _TxState:
+    label: Optional[str]
+    depth: int = 0
+    history: dict[str, _VarHistory] = field(default_factory=dict)
+    warned: bool = False
+
+
+class BlockBasedChecker(AnalysisBackend):
+    """Online single-variable pattern checking of atomic blocks."""
+
+    name = "BLOCK-BASED"
+
+    def __init__(self, report_once_per_block: bool = True):
+        super().__init__()
+        self.report_once_per_block = report_once_per_block
+        self._open: dict[int, _TxState] = {}
+
+    def _process(self, op: Operation, position: int) -> None:
+        tid = op.tid
+        kind = op.kind
+        if kind is OpKind.BEGIN:
+            state = self._open.get(tid)
+            if state is None:
+                self._open[tid] = _TxState(op.label, depth=1)
+            else:
+                state.depth += 1
+            return
+        if kind is OpKind.END:
+            state = self._open.get(tid)
+            if state is not None:
+                state.depth -= 1
+                if state.depth == 0:
+                    del self._open[tid]
+            return
+        if not op.is_access:
+            return
+        var = op.target
+        # Record this access as remote for every other open transaction
+        # touching the variable.
+        for other_tid, state in self._open.items():
+            if other_tid == tid:
+                continue
+            history = state.history.get(var)
+            if history is not None and history.last_local is not None:
+                history.remote_since.append(kind)
+        # Check this thread's own transaction for a completed pattern.
+        state = self._open.get(tid)
+        if state is None:
+            return
+        history = state.history.setdefault(var, _VarHistory())
+        if history.last_local is not None:
+            for remote in history.remote_since:
+                if (history.last_local, remote, kind) in UNSERIALIZABLE_PATTERNS:
+                    self._warn(state, op, position, history.last_local,
+                               remote)
+                    break
+        history.last_local = kind
+        history.remote_since = []
+
+    def _warn(
+        self,
+        state: _TxState,
+        op: Operation,
+        position: int,
+        first: OpKind,
+        remote: OpKind,
+    ) -> None:
+        if state.warned and self.report_once_per_block:
+            return
+        state.warned = True
+        self.report(
+            atomicity_warning(
+                self.name,
+                state.label,
+                op.tid,
+                position,
+                f"unserializable pattern "
+                f"{first.value}-{remote.value}(remote)-{op.kind.value} "
+                f"on {op.target} in block {state.label!r}",
+                blamed=True,
+            )
+        )

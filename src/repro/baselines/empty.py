@@ -1,0 +1,21 @@
+"""The Empty analysis backend.
+
+Does no work: it only counts events.  Running a benchmark through the
+instrumentation pipeline with this backend measures pure
+instrumentation overhead, exactly like the "Empty" column of the
+paper's Table 1.
+"""
+
+from __future__ import annotations
+
+from repro.core.backend import AnalysisBackend
+from repro.events.operations import Operation
+
+
+class EmptyAnalysis(AnalysisBackend):
+    """Backend that observes events and does nothing else."""
+
+    name = "EMPTY"
+
+    def _process(self, op: Operation, position: int) -> None:
+        pass

@@ -1,0 +1,156 @@
+"""The Eraser LockSet race detector (Savage et al., TOCS 1997).
+
+Eraser checks the *lock discipline*: every shared variable should be
+protected by some fixed set of locks held on every access.  Per
+variable it maintains a candidate lockset, refined by intersection with
+the accessing thread's held locks, plus the ownership state machine
+that suppresses warnings for variables still in their initialization or
+read-shared phases:
+
+    VIRGIN -> EXCLUSIVE -> SHARED            (second thread reads)
+                        -> SHARED_MODIFIED   (second thread writes)
+
+A race is reported when the candidate lockset becomes empty in the
+SHARED_MODIFIED state.  Eraser is neither sound nor complete for
+serializability — it is a baseline here (paper Table 1) and the race
+oracle the Atomizer builds on.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.backend import AnalysisBackend
+from repro.core.reports import race_warning
+from repro.events.operations import Operation, OpKind
+
+
+class VarState(enum.Enum):
+    """The Eraser ownership state machine."""
+
+    VIRGIN = "virgin"
+    EXCLUSIVE = "exclusive"
+    SHARED = "shared"
+    SHARED_MODIFIED = "shared-modified"
+
+
+@dataclass
+class VarInfo:
+    """Per-variable Eraser state."""
+
+    state: VarState = VarState.VIRGIN
+    owner: Optional[int] = None
+    lockset: Optional[frozenset[str]] = None  # None = still universal
+    reported: bool = False
+
+
+class EraserLockSet(AnalysisBackend):
+    """Online LockSet race detection over the event stream.
+
+    Exposes :meth:`is_protected`, used by the Atomizer to classify
+    accesses as movers: an access is treated as race-free when Eraser
+    has not (and would not, for this access) empty the candidate set.
+    """
+
+    name = "ERASER"
+
+    def __init__(self, report_once_per_var: bool = True):
+        super().__init__()
+        self.report_once_per_var = report_once_per_var
+        self._held: dict[int, set[str]] = {}
+        self._vars: dict[str, VarInfo] = {}
+
+    # ------------------------------------------------------------- state
+    def held(self, tid: int) -> set[str]:
+        """Locks currently held by thread ``tid``."""
+        return self._held.setdefault(tid, set())
+
+    def var_state(self, var: str) -> VarState:
+        """The ownership state of ``var``."""
+        return self._vars.get(var, VarInfo()).state
+
+    def lockset(self, var: str) -> Optional[frozenset[str]]:
+        """Candidate lockset of ``var`` (``None`` while universal)."""
+        return self._vars.get(var, VarInfo()).lockset
+
+    # ----------------------------------------------------------- process
+    def _process(self, op: Operation, position: int) -> None:
+        kind = op.kind
+        if kind is OpKind.ACQUIRE:
+            self.held(op.tid).add(op.target)
+        elif kind is OpKind.RELEASE:
+            self.held(op.tid).discard(op.target)
+        elif kind is OpKind.READ:
+            self._access(op, position, is_write=False)
+        elif kind is OpKind.WRITE:
+            self._access(op, position, is_write=True)
+        # BEGIN/END are ignored: Eraser knows nothing of atomicity.
+
+    def _access(self, op: Operation, position: int, is_write: bool) -> None:
+        info = self._vars.setdefault(op.target, VarInfo())
+        tid = op.tid
+        state = info.state
+        if state is VarState.VIRGIN:
+            info.state = VarState.EXCLUSIVE
+            info.owner = tid
+            return
+        if state is VarState.EXCLUSIVE:
+            if tid == info.owner:
+                return
+            # Second thread: initialize the candidate set and move to a
+            # shared state.
+            info.lockset = frozenset(self.held(tid))
+            info.state = (
+                VarState.SHARED_MODIFIED if is_write else VarState.SHARED
+            )
+            self._check(op, position, info)
+            return
+        # SHARED / SHARED_MODIFIED: refine by intersection.
+        assert info.lockset is not None
+        info.lockset = info.lockset & frozenset(self.held(tid))
+        if is_write and state is VarState.SHARED:
+            info.state = VarState.SHARED_MODIFIED
+        self._check(op, position, info)
+
+    def _check(self, op: Operation, position: int, info: VarInfo) -> None:
+        if info.state is not VarState.SHARED_MODIFIED:
+            return
+        if info.lockset:
+            return
+        if info.reported and self.report_once_per_var:
+            return
+        info.reported = True
+        self.report(
+            race_warning(
+                self.name,
+                op.tid,
+                position,
+                op.target,
+                f"possible data race on {op.target} "
+                f"(candidate lockset empty at {op})",
+            )
+        )
+
+    # ------------------------------------------------- Atomizer interface
+    def is_protected(self, var: str, tid: int) -> bool:
+        """Whether an access by ``tid`` to ``var`` looks race-free.
+
+        True while the variable is thread-confined (VIRGIN/EXCLUSIVE by
+        this thread) or its candidate lockset intersected with the
+        thread's held locks stays non-empty.  Used by the Atomizer to
+        classify accesses as both-movers vs. non-movers *before* the
+        access is processed.
+        """
+        info = self._vars.get(var)
+        if info is None or info.state is VarState.VIRGIN:
+            return True
+        if info.state is VarState.EXCLUSIVE:
+            # An access by a second thread transfers ownership: Eraser
+            # initializes the candidate set to that thread's held locks
+            # and reports nothing, so the access is treated as
+            # protected exactly when the set would be non-empty.
+            return info.owner == tid or bool(self.held(tid))
+        assert info.lockset is not None
+        return bool(info.lockset & self.held(tid))

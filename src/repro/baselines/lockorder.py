@@ -1,0 +1,110 @@
+"""Lock-order (potential deadlock) detection — a Goodlock-style monitor.
+
+The paper's introduction warns that "real bugs (e.g., deadlocks) could
+be easily introduced while attempting to fix a spurious warning"; this
+backend watches for the precondition: it builds the lock-order graph
+(an edge ``a -> b`` whenever some thread acquires ``b`` while holding
+``a``) and reports when an acquisition closes a cycle — two threads
+take the same locks in opposite orders somewhere in the run, a
+*potential* deadlock even if this execution got through.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.backend import AnalysisBackend
+from repro.core.reports import Warning, WarningKind
+from repro.events.operations import Operation, OpKind
+
+
+class LockOrderGraph:
+    """The held-before relation between locks, with cycle detection."""
+
+    def __init__(self) -> None:
+        self._successors: dict[str, set[str]] = {}
+
+    def add(self, held: str, acquired: str) -> Optional[list[str]]:
+        """Record ``held`` ordered before ``acquired``.
+
+        Returns a lock cycle (as a list, first == last) if this edge
+        creates one, else ``None``.  The edge is recorded either way:
+        the inversion itself is the finding.
+        """
+        path = self._path(acquired, held)
+        self._successors.setdefault(held, set()).add(acquired)
+        if path is not None:
+            return path + [acquired]
+        return None
+
+    def _path(self, source: str, target: str) -> Optional[list[str]]:
+        if source == target:
+            return [source]
+        stack = [(source, [source])]
+        seen = {source}
+        while stack:
+            node, path = stack.pop()
+            for succ in self._successors.get(node, ()):
+                if succ == target:
+                    return path + [target]
+                if succ not in seen:
+                    seen.add(succ)
+                    stack.append((succ, path + [succ]))
+        return None
+
+    def edges(self) -> list[tuple[str, str]]:
+        return [
+            (held, acquired)
+            for held, successors in self._successors.items()
+            for acquired in successors
+        ]
+
+
+class LockOrderMonitor(AnalysisBackend):
+    """Warn when lock acquisition orders are inconsistent across the run."""
+
+    name = "LOCK-ORDER"
+
+    def __init__(self, report_once_per_pair: bool = True):
+        super().__init__()
+        self.report_once_per_pair = report_once_per_pair
+        self.graph = LockOrderGraph()
+        self._held: dict[int, list[str]] = {}
+        self._reported: set[frozenset[str]] = set()
+
+    def held(self, tid: int) -> list[str]:
+        """Locks held by ``tid``, in acquisition order."""
+        return self._held.setdefault(tid, [])
+
+    def _process(self, op: Operation, position: int) -> None:
+        if op.kind is OpKind.ACQUIRE:
+            held = self.held(op.tid)
+            for lock in held:
+                cycle = self.graph.add(lock, op.target)
+                if cycle is not None:
+                    self._report_cycle(op, position, cycle)
+            held.append(op.target)
+        elif op.kind is OpKind.RELEASE:
+            held = self.held(op.tid)
+            if op.target in held:
+                held.remove(op.target)
+
+    def _report_cycle(
+        self, op: Operation, position: int, cycle: list[str]
+    ) -> None:
+        key = frozenset(cycle)
+        if self.report_once_per_pair and key in self._reported:
+            return
+        self._reported.add(key)
+        chain = " -> ".join(cycle)
+        self.report(
+            Warning(
+                WarningKind.RACE,
+                self.name,
+                None,
+                op.tid,
+                position,
+                f"inconsistent lock order (potential deadlock): {chain}",
+                target=op.target,
+            )
+        )

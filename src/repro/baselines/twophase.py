@@ -1,0 +1,119 @@
+"""Strict two-phase-locking (2PL) violation detection.
+
+Xu, Bodík, and Hill's serializability violation detector (PLDI 2005,
+discussed in the paper's Section 7) enforces strict 2PL — a
+*sufficient but not necessary* condition for serializability: every
+transaction must consist of a lock-growing phase followed by a
+lock-shrinking phase, with every accessed variable protected by a lock
+held at access time and not released before the transaction ends
+(strictness).
+
+Violations flag suspicious code but do **not** imply the observed trace
+is non-serializable, so this detector — like the Atomizer — produces
+false alarms on correctly synchronized programs (any flag hand-off, any
+early release that happens to be benign).  It completes the baseline
+spectrum between Eraser (races only) and Velodrome (exact).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.backend import AnalysisBackend
+from repro.core.reports import reduction_warning
+from repro.events.operations import Operation, OpKind
+
+
+@dataclass
+class _TxState:
+    """2PL state of one open outermost transaction."""
+
+    label: Optional[str]
+    shrinking: bool = False  # a release has happened
+    released: set[str] = field(default_factory=set)
+    violated: bool = False
+
+
+class TwoPhaseLocking(AnalysisBackend):
+    """Online strict-2PL conformance checking of atomic blocks.
+
+    Args:
+        require_protection: also flag accesses made while holding no
+            lock at all (full strict 2PL).  When False, only the
+            two-phase shape (no acquire after release, no access to
+            data whose lock was already released) is enforced.
+        report_once_per_block: one warning per dynamic block instance.
+    """
+
+    name = "2PL"
+
+    def __init__(
+        self,
+        require_protection: bool = True,
+        report_once_per_block: bool = True,
+    ):
+        super().__init__()
+        self.require_protection = require_protection
+        self.report_once_per_block = report_once_per_block
+        self._held: dict[int, set[str]] = {}
+        self._stacks: dict[int, list[_TxState]] = {}
+
+    def held(self, tid: int) -> set[str]:
+        """Locks currently held by thread ``tid``."""
+        return self._held.setdefault(tid, set())
+
+    # ----------------------------------------------------------- process
+    def _process(self, op: Operation, position: int) -> None:
+        tid = op.tid
+        stack = self._stacks.setdefault(tid, [])
+        kind = op.kind
+        if kind is OpKind.BEGIN:
+            if not stack:
+                stack.append(_TxState(op.label))
+            else:
+                stack.append(stack[0])
+            return
+        if kind is OpKind.END:
+            if stack:
+                stack.pop()
+            return
+
+        tx = stack[0] if stack else None
+        held = self.held(tid)
+        if kind is OpKind.ACQUIRE:
+            if tx is not None and tx.shrinking:
+                self._violation(
+                    tx, op, position,
+                    f"acquire of {op.target} in the shrinking phase",
+                )
+            held.add(op.target)
+        elif kind is OpKind.RELEASE:
+            held.discard(op.target)
+            if tx is not None:
+                tx.shrinking = True
+                tx.released.add(op.target)
+        elif tx is not None:
+            # An access inside a transaction: strictness requires a
+            # protecting lock that has not been released early.
+            if self.require_protection and not held:
+                self._violation(
+                    tx, op, position,
+                    f"unprotected access to {op.target}",
+                )
+
+    def _violation(
+        self, tx: _TxState, op: Operation, position: int, why: str
+    ) -> None:
+        if tx.violated and self.report_once_per_block:
+            return
+        tx.violated = True
+        self.report(
+            reduction_warning(
+                self.name,
+                tx.label,
+                op.tid,
+                position,
+                f"strict 2PL violated in {tx.label!r}: {why} ({op})",
+            )
+        )

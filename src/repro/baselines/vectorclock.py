@@ -1,0 +1,148 @@
+"""A precise (sound and complete) happens-before race detector.
+
+RoadRunner ships a vector-clock race detector alongside Eraser (paper
+Section 5); we include the equivalent, in the DJIT+ style: per-thread
+vector clocks, per-lock clocks joined on acquire, and per-variable
+read/write clocks.  An access races when it is not ordered (by the
+lock-induced happens-before relation) after every conflicting prior
+access.
+
+Data races and atomicity violations are complementary (paper Section
+1): Velodrome assumes race-freedom gives meaning to traces, and this
+detector can run concurrently with it when races are a concern.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.backend import AnalysisBackend
+from repro.core.reports import race_warning
+from repro.events.operations import Operation, OpKind
+
+
+class VectorClock:
+    """A mapping from thread ids to logical clocks (sparse)."""
+
+    __slots__ = ("_clocks",)
+
+    def __init__(self, clocks: Optional[dict[int, int]] = None):
+        self._clocks: dict[int, int] = dict(clocks) if clocks else {}
+
+    def get(self, tid: int) -> int:
+        """The component for thread ``tid`` (0 when absent)."""
+        return self._clocks.get(tid, 0)
+
+    def tick(self, tid: int) -> None:
+        """Increment thread ``tid``'s component."""
+        self._clocks[tid] = self._clocks.get(tid, 0) + 1
+
+    def join(self, other: "VectorClock") -> None:
+        """Pointwise maximum, in place."""
+        for tid, clock in other._clocks.items():
+            if clock > self._clocks.get(tid, 0):
+                self._clocks[tid] = clock
+
+    def copy(self) -> "VectorClock":
+        return VectorClock(self._clocks)
+
+    def dominates(self, other: "VectorClock") -> bool:
+        """True iff ``self >= other`` pointwise."""
+        return all(
+            self._clocks.get(tid, 0) >= clock
+            for tid, clock in other._clocks.items()
+        )
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"t{t}:{c}" for t, c in sorted(self._clocks.items()))
+        return f"VC({inner})"
+
+
+@dataclass
+class _VarClocks:
+    """Per-variable access history."""
+
+    reads: dict[int, int] = field(default_factory=dict)  # tid -> clock
+    read_vcs: dict[int, VectorClock] = field(default_factory=dict)
+    write: Optional[tuple[int, int]] = None  # (tid, clock) epoch
+    write_vc: Optional[VectorClock] = None
+    reported: bool = False
+
+
+class HappensBeforeRaces(AnalysisBackend):
+    """Vector-clock happens-before race detection."""
+
+    name = "HB-RACES"
+
+    def __init__(self, report_once_per_var: bool = True):
+        super().__init__()
+        self.report_once_per_var = report_once_per_var
+        self._threads: dict[int, VectorClock] = {}
+        self._locks: dict[str, VectorClock] = {}
+        self._vars: dict[str, _VarClocks] = {}
+
+    def clock(self, tid: int) -> VectorClock:
+        """The current vector clock of thread ``tid``."""
+        vc = self._threads.get(tid)
+        if vc is None:
+            vc = VectorClock({tid: 1})
+            self._threads[tid] = vc
+        return vc
+
+    # ----------------------------------------------------------- process
+    def _process(self, op: Operation, position: int) -> None:
+        kind = op.kind
+        tid = op.tid
+        if kind is OpKind.ACQUIRE:
+            lock_vc = self._locks.get(op.target)
+            if lock_vc is not None:
+                self.clock(tid).join(lock_vc)
+        elif kind is OpKind.RELEASE:
+            vc = self.clock(tid)
+            self._locks[op.target] = vc.copy()
+            vc.tick(tid)
+        elif kind is OpKind.READ:
+            self._read(op, position)
+        elif kind is OpKind.WRITE:
+            self._write(op, position)
+        # BEGIN/END carry no synchronization.
+
+    def _read(self, op: Operation, position: int) -> None:
+        tid = op.tid
+        vc = self.clock(tid)
+        info = self._vars.setdefault(op.target, _VarClocks())
+        if info.write is not None:
+            writer, clock = info.write
+            if writer != tid and vc.get(writer) < clock:
+                self._race(op, position, info, f"read unordered with write by t{writer}")
+        info.reads[tid] = vc.get(tid)
+        info.read_vcs[tid] = vc.copy()
+
+    def _write(self, op: Operation, position: int) -> None:
+        tid = op.tid
+        vc = self.clock(tid)
+        info = self._vars.setdefault(op.target, _VarClocks())
+        if info.write is not None:
+            writer, clock = info.write
+            if writer != tid and vc.get(writer) < clock:
+                self._race(op, position, info, f"write unordered with write by t{writer}")
+        for reader, clock in info.reads.items():
+            if reader != tid and vc.get(reader) < clock:
+                self._race(op, position, info, f"write unordered with read by t{reader}")
+        info.write = (tid, vc.get(tid))
+        info.write_vc = vc.copy()
+        info.reads.clear()
+        info.read_vcs.clear()
+
+    def _race(
+        self, op: Operation, position: int, info: _VarClocks, why: str
+    ) -> None:
+        if info.reported and self.report_once_per_var:
+            return
+        info.reported = True
+        self.report(
+            race_warning(
+                self.name, op.tid, position, op.target, f"data race: {why} ({op})"
+            )
+        )

@@ -1,0 +1,209 @@
+"""Command-line interface.
+
+::
+
+    python -m repro check TRACE_FILE [--backend ...] [--dot DIR] [--render]
+    python -m repro run WORKLOAD [--seed N] [--scale S] [--adversarial]
+    python -m repro random [--seed N] [--record FILE]
+    python -m repro workloads
+    python -m repro table1 / table2 / inject ...
+
+``check`` analyses a recorded trace (``.jsonl`` or the textual DSL);
+``run`` executes one of the fifteen benchmark models under the tool;
+``table1``/``table2``/``inject`` regenerate the paper's experiments
+(forwarding to :mod:`repro.harness`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+from typing import Callable, Optional, Sequence
+
+from repro.baselines import (
+    Atomizer,
+    BlockBasedChecker,
+    EraserLockSet,
+    HappensBeforeRaces,
+    LockOrderMonitor,
+    TwoPhaseLocking,
+)
+from repro.core import (
+    VelodromeBasic,
+    VelodromeCompact,
+    VelodromeOptimized,
+    explain_all,
+    summarize_blame,
+    warning_to_dot,
+)
+from repro.core.backend import AnalysisBackend
+from repro.events.render import render_with_transactions
+from repro.events.serialize import load_trace, save_trace
+from repro.harness import injection as harness_injection
+from repro.harness import report as harness_report
+from repro.harness import sensitivity as harness_sensitivity
+from repro.harness import table1 as harness_table1
+from repro.harness import table2 as harness_table2
+from repro.runtime.tool import run_velodrome
+from repro.workloads import all_workloads, get
+from repro.workloads.randomgen import random_program
+
+BACKENDS: dict[str, Callable[[], AnalysisBackend]] = {
+    "velodrome": VelodromeOptimized,
+    "basic": VelodromeBasic,
+    "compact": VelodromeCompact,
+    "atomizer": Atomizer,
+    "block-based": BlockBasedChecker,
+    "eraser": EraserLockSet,
+    "hb-races": HappensBeforeRaces,
+    "2pl": TwoPhaseLocking,
+    "lock-order": LockOrderMonitor,
+}
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    trace = load_trace(args.trace)
+    backend = BACKENDS[args.backend]()
+    backend.process_trace(trace)
+    if args.render:
+        print(render_with_transactions(trace))
+        print()
+    if not backend.warnings:
+        print(f"{backend.name}: no warnings "
+              f"({backend.events_processed} events)")
+        return 0
+    if args.explain:
+        explained = explain_all(trace, backend.warnings)
+        if explained:
+            print(explained)
+            print()
+    for warning in backend.warnings:
+        print(warning)
+    atomicity = summarize_blame(backend.warnings)
+    if atomicity.total:
+        print(atomicity)
+    if args.dot:
+        out_dir = pathlib.Path(args.dot)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        written = 0
+        for index, warning in enumerate(backend.warnings):
+            if warning.cycle is None:
+                continue
+            path = out_dir / f"warning_{index}.dot"
+            path.write_text(warning_to_dot(warning) + "\n")
+            written += 1
+        print(f"wrote {written} dot file(s) to {out_dir}")
+    return 1
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    program = get(args.workload).program(args.scale)
+    result = run_velodrome(
+        program,
+        seed=args.seed,
+        adversarial=args.adversarial,
+        record_trace=args.record is not None,
+    )
+    labels = sorted(result.labels_from("VELODROME"))
+    truth = program.non_atomic_methods
+    print(f"{program.name}: {result.run.events} events, "
+          f"{result.run.threads} threads, {result.elapsed:.3f}s")
+    print(f"velodrome warnings: {labels or 'none'}")
+    if labels:
+        real = [label for label in labels if label in truth]
+        print(f"  genuinely non-atomic: {len(real)}/{len(labels)} "
+              f"(ground truth has {len(truth)})")
+    if args.record is not None:
+        count = save_trace(result.trace, args.record)
+        print(f"recorded {count} events to {args.record}")
+    return 0 if not labels else 1
+
+
+def cmd_random(args: argparse.Namespace) -> int:
+    program = random_program(args.seed)
+    result = run_velodrome(program, seed=args.seed, record_trace=True)
+    print(f"{program.name}: {result.run.events} events, "
+          f"{len(result.warnings)} warning(s)")
+    if args.record is not None:
+        count = save_trace(result.trace, args.record)
+        print(f"recorded {count} events to {args.record}")
+    return 0
+
+
+def cmd_workloads(_args: argparse.Namespace) -> int:
+    for workload in all_workloads():
+        table2 = workload.table2
+        print(f"{workload.name:12s} {workload.description:40s} "
+              f"(paper: {table2.velodrome_non_serial} non-atomic, "
+              f"{table2.atomizer_false_alarms} Atomizer FAs)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Velodrome: sound and complete dynamic atomicity checking",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    check = commands.add_parser("check", help="analyse a recorded trace file")
+    check.add_argument("trace", help="trace file (.jsonl or DSL text)")
+    check.add_argument("--backend", choices=sorted(BACKENDS),
+                       default="velodrome")
+    check.add_argument("--dot", metavar="DIR",
+                       help="write dot error graphs into DIR")
+    check.add_argument("--render", action="store_true",
+                       help="print the thread-column trace diagram")
+    check.add_argument("--explain", action="store_true",
+                       help="print full explanations (cycle story, "
+                            "marked diagram) for each warning")
+    check.set_defaults(func=cmd_check)
+
+    run = commands.add_parser("run", help="run a benchmark workload")
+    run.add_argument("workload")
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--scale", type=float, default=1.0)
+    run.add_argument("--adversarial", action="store_true")
+    run.add_argument("--record", metavar="FILE",
+                     help="save the observed trace")
+    run.set_defaults(func=cmd_run)
+
+    rand = commands.add_parser("random", help="run a random program")
+    rand.add_argument("--seed", type=int, default=0)
+    rand.add_argument("--record", metavar="FILE")
+    rand.set_defaults(func=cmd_random)
+
+    wl = commands.add_parser("workloads", help="list benchmark workloads")
+    wl.set_defaults(func=cmd_workloads)
+
+    for name, module in (
+        ("table1", harness_table1),
+        ("table2", harness_table2),
+        ("inject", harness_injection),
+        ("report", harness_report),
+        ("sensitivity", harness_sensitivity),
+    ):
+        sub = commands.add_parser(
+            name, help=f"regenerate the paper's {name} experiment",
+            add_help=False,
+        )
+        sub.set_defaults(func=None, harness_main=module.main)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    parser = build_parser()
+    # Harness subcommands forward their remaining arguments untouched.
+    if argv and argv[0] in ("table1", "table2", "inject", "report",
+                            "sensitivity"):
+        args, rest = parser.parse_known_args(argv[:1])
+        args.harness_main(argv[1:])
+        return 0
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,96 @@
+"""Velodrome core: the sound and complete dynamic atomicity analysis."""
+
+from typing import Optional
+
+from repro.core.backend import AnalysisBackend
+from repro.core.basic import VelodromeBasic
+from repro.core.compact import VelodromeCompact
+from repro.core.explain import Explanation, explain, explain_all
+from repro.core.blame import (
+    BlameSummary,
+    blamed_labels,
+    blamed_transaction,
+    summarize_blame,
+    verify_blame,
+)
+from repro.core.merge import merge
+from repro.core.optimized import VelodromeOptimized
+from repro.core.reports import (
+    Warning,
+    WarningKind,
+    atomicity_warning,
+    cycle_to_dot,
+    race_warning,
+    reduction_warning,
+    warning_to_dot,
+)
+from repro.core.view import (
+    final_writes,
+    is_view_serializable,
+    reads_from,
+    view_serial_witness,
+)
+from repro.core.serializability import (
+    earliest_violation,
+    find_cycle,
+    is_serializable,
+    serial_witness,
+    serialization_graph,
+    serialize,
+)
+from repro.events.trace import Trace
+
+
+def check_atomicity(trace: Trace, **options) -> list[Warning]:
+    """Run the optimized Velodrome analysis over a complete trace.
+
+    Returns the warnings — empty exactly when the trace is
+    conflict-serializable (soundness and completeness, Theorem 1).
+    Keyword options are forwarded to :class:`VelodromeOptimized`.
+    """
+    backend = VelodromeOptimized(**options)
+    backend.process_trace(trace)
+    return backend.warnings
+
+
+def velodrome_verdict(trace: Trace, **options) -> bool:
+    """True iff Velodrome judges ``trace`` conflict-serializable."""
+    backend = VelodromeOptimized(**options)
+    backend.process_trace(trace)
+    return not backend.error_detected
+
+
+__all__ = [
+    "AnalysisBackend",
+    "BlameSummary",
+    "VelodromeBasic",
+    "VelodromeCompact",
+    "VelodromeOptimized",
+    "Warning",
+    "WarningKind",
+    "atomicity_warning",
+    "blamed_labels",
+    "blamed_transaction",
+    "check_atomicity",
+    "Explanation",
+    "explain",
+    "explain_all",
+    "cycle_to_dot",
+    "earliest_violation",
+    "find_cycle",
+    "is_serializable",
+    "merge",
+    "race_warning",
+    "reduction_warning",
+    "serial_witness",
+    "serialization_graph",
+    "serialize",
+    "summarize_blame",
+    "velodrome_verdict",
+    "verify_blame",
+    "final_writes",
+    "is_view_serializable",
+    "reads_from",
+    "view_serial_witness",
+    "warning_to_dot",
+]

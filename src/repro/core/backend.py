@@ -1,0 +1,65 @@
+"""The analysis-backend protocol shared by Velodrome and all baselines.
+
+A backend is an online analysis: the instrumentation layer feeds it one
+operation at a time, and it accumulates warnings.  This mirrors the
+RoadRunner architecture of paper Section 5, where instrumented code
+generates an event stream that is passed to an analysis back-end.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING, Iterable
+
+from repro.events.operations import Operation
+
+if TYPE_CHECKING:
+    from repro.core.reports import Warning as AnalysisWarning
+
+
+class AnalysisBackend(abc.ABC):
+    """Base class for online trace analyses."""
+
+    #: Short name used in tables and reports (e.g. "VELODROME").
+    name: str = "backend"
+
+    def __init__(self) -> None:
+        self._warnings: list["AnalysisWarning"] = []
+        self.events_processed = 0
+
+    @abc.abstractmethod
+    def _process(self, op: Operation, position: int) -> None:
+        """Handle one operation; override in subclasses."""
+
+    def process(self, op: Operation) -> None:
+        """Feed one operation to the analysis."""
+        self._process(op, self.events_processed)
+        self.events_processed += 1
+
+    def process_trace(self, ops: Iterable[Operation]) -> "AnalysisBackend":
+        """Feed a whole trace, then finish.  Returns self for chaining."""
+        for op in ops:
+            self.process(op)
+        self.finish()
+        return self
+
+    def finish(self) -> None:
+        """Signal end of trace.  Subclasses may flush state."""
+
+    def report(self, warning: "AnalysisWarning") -> None:
+        """Record one warning."""
+        self._warnings.append(warning)
+
+    @property
+    def warnings(self) -> list["AnalysisWarning"]:
+        """All warnings reported so far, in detection order."""
+        return list(self._warnings)
+
+    @property
+    def error_detected(self) -> bool:
+        """True iff at least one warning has been reported."""
+        return bool(self._warnings)
+
+    def warned_labels(self) -> set[str]:
+        """Distinct atomic-block / method labels named by warnings."""
+        return {w.label for w in self._warnings if w.label is not None}

@@ -1,0 +1,73 @@
+"""The ``merge`` function (paper Figures 3 and 4).
+
+Operations outside any atomic block run in their own unary transaction.
+Allocating a graph node for every such operation is wasteful — most
+would be garbage collected immediately.  ``merge`` takes the steps that
+would be the new node's predecessors and:
+
+* returns absent when every predecessor is absent (the operation's
+  unary transaction could never join a cycle, so it needs no node);
+* returns an existing step ``sj`` when some live predecessor
+  happens-after all the others (the unary transaction is folded into
+  ``sj``'s node without changing reachability, now or later);
+* otherwise allocates one fresh node with edges from every live
+  predecessor.
+
+Merging is safe because the merged node can never acquire incoming
+edges beyond the ones given here, so no cycle can form through it
+(paper Section 4.2).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.graph.hbgraph import HBGraph
+from repro.graph.node import Step, deref
+
+
+def merge(
+    graph: HBGraph,
+    steps: Sequence[Optional[Step]],
+    tid: int,
+) -> Optional[Step]:
+    """Merge the given predecessor steps; see the module docstring.
+
+    ``tid`` labels the fresh node (diagnostics only) when one is needed.
+    Collected-node steps are weak references and read as absent.
+    """
+    live: list[Step] = []
+    for step in steps:
+        resolved = deref(step)
+        if resolved is not None:
+            live.append(resolved)
+    if not live:
+        return None
+    # Look for a representative that (non-strictly) happens-after all
+    # the others.  Timestamps are ignored: unary transactions are
+    # serializable by definition, so node-level reachability suffices.
+    #
+    # The representative must additionally be a *finished* node.  A
+    # current transaction can still execute operations that conflict
+    # with the merged one, and folding the unary transaction into it
+    # would turn the resulting genuine cycle into an invisible
+    # self-edge (losing completeness).  Figure 3's merge does not state
+    # this side condition, but every merge in the paper's Section 4.2
+    # prose targets the thread's own finished predecessor L(t); the
+    # condition makes the general rule sound in the same way.
+    for candidate in live:
+        if candidate.node.current:
+            continue
+        if all(graph.reaches(step.node, candidate.node) for step in live):
+            graph.stats.merges += 1
+            return candidate
+    node = graph.new_node(tid, label=None)
+    fresh = Step(node, 0)
+    for step in live:
+        cycle = graph.add_edge(step, fresh, reason="merge")
+        assert cycle is None, "a fresh sink node cannot close a cycle"
+    # The merged node is never a current transaction: it can receive no
+    # further incoming edges, so finish it immediately.  It stays alive
+    # while its predecessors do (it has at least two incoming edges).
+    graph.finish(node)
+    return fresh

@@ -1,0 +1,372 @@
+"""The optimized Velodrome analysis (paper Section 4, Figure 4).
+
+This is the production analysis: the Figure 2 semantics extended with
+
+* *steps* ``(node, timestamp)`` in every state component, so each
+  happens-before edge records the operations at its endpoints;
+* *nested atomic blocks*: ``C(t)`` is a stack of ``(label, step)``
+  entries, one per open block, enabling per-block blame;
+* *garbage collection* of finished nodes with no incoming edges
+  (Section 4.1), via the reference counting in :class:`HBGraph`;
+* *merging* of non-transactional operations (Section 4.2), avoiding a
+  node allocation per operation outside atomic blocks;
+* *blame assignment* (Section 4.3): when an edge would close a cycle,
+  the increasing-cycle test decides whether the current transaction is
+  provably not self-serializable, and if so every open atomic block
+  containing both the root and target operations is refuted.
+
+Verdicts (error iff the observed trace is not conflict-serializable)
+coincide with :class:`repro.core.basic.VelodromeBasic`; the property
+tests check this equivalence on random traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.backend import AnalysisBackend
+from repro.core.merge import merge
+from repro.core.reports import Warning, atomicity_warning
+from repro.events.operations import Operation, OpKind
+from repro.graph.hbgraph import Cycle, HBGraph
+from repro.graph.node import Step, deref
+
+
+@dataclass(slots=True)
+class _Block:
+    """One open atomic block on a thread's ``C(t)`` stack."""
+
+    label: Optional[str]
+    entry: Step  # step of the block's begin operation
+
+
+class VelodromeOptimized(AnalysisBackend):
+    """Sound and complete atomicity checker with all Figure 4 machinery.
+
+    Args:
+        merge_unary: apply the Section 4.2 merge rules to operations
+            outside atomic blocks.  When False, the naive [INS OUTSIDE]
+            rule is used instead (one fresh node per operation) — the
+            "Without Merge" configuration of Table 1.
+        collect_garbage: apply the Section 4.1 GC rule (ablation A2).
+        cycle_strategy: ``"ancestors"`` or ``"dfs"`` (ablation A1).
+        first_warning_per_label: record at most one warning per atomic
+            block label (plus at most one unlocalized warning), counting
+            the rest in :attr:`suppressed_warnings`.  Long benchmark
+            runs use this to bound memory.
+    """
+
+    name = "VELODROME"
+
+    def __init__(
+        self,
+        merge_unary: bool = True,
+        collect_garbage: bool = True,
+        cycle_strategy: str = "ancestors",
+        first_warning_per_label: bool = False,
+    ):
+        super().__init__()
+        self.graph = HBGraph(
+            cycle_strategy=cycle_strategy, collect_garbage=collect_garbage
+        )
+        self.merge_unary = merge_unary
+        self.first_warning_per_label = first_warning_per_label
+        self.suppressed_warnings = 0
+        self._stacks: dict[int, list[_Block]] = {}  # C
+        self._last: dict[int, Step] = {}  # L (weak)
+        self._unlocker: dict[str, Step] = {}  # U (weak)
+        self._readers: dict[str, dict[int, Step]] = {}  # R (weak)
+        self._writer: dict[str, Step] = {}  # W (weak)
+        self._warned_labels: set[Optional[str]] = set()
+
+    # -------------------------------------------------------- state storage
+    # The L/U/R/W components are weak maps of steps.  All access goes
+    # through these methods so that alternative representations — the
+    # paper's packed 64-bit encoding, in repro.core.compact — can
+    # override storage without touching the analysis rules.
+
+    def _load_last(self, tid: int) -> Optional[Step]:
+        return deref(self._last.get(tid))
+
+    def _store_last(self, tid: int, step: Optional[Step]) -> None:
+        if step is None:
+            self._last.pop(tid, None)
+        else:
+            self._last[tid] = step
+
+    def _load_unlocker(self, lock: str) -> Optional[Step]:
+        return deref(self._unlocker.get(lock))
+
+    def _store_unlocker(self, lock: str, step: Optional[Step]) -> None:
+        if step is None:
+            self._unlocker.pop(lock, None)
+        else:
+            self._unlocker[lock] = step
+
+    def _load_writer(self, var: str) -> Optional[Step]:
+        return deref(self._writer.get(var))
+
+    def _store_writer(self, var: str, step: Optional[Step]) -> None:
+        if step is None:
+            self._writer.pop(var, None)
+        else:
+            self._writer[var] = step
+
+    def _load_reader(self, var: str, tid: int) -> Optional[Step]:
+        return deref(self._readers.get(var, {}).get(tid))
+
+    def _store_reader(self, var: str, tid: int, step: Optional[Step]) -> None:
+        readers = self._readers.setdefault(var, {})
+        if step is None:
+            readers.pop(tid, None)
+        else:
+            readers[tid] = step
+
+    def _reader_tids(self, var: str) -> list[int]:
+        return list(self._readers.get(var, ()))
+
+    # ------------------------------------------------------------ state views
+    def in_transaction(self, tid: int) -> bool:
+        """True iff thread ``tid`` is inside an atomic block."""
+        return bool(self._stacks.get(tid))
+
+    def block_depth(self, tid: int) -> int:
+        """Current atomic-block nesting depth of thread ``tid``."""
+        return len(self._stacks.get(tid, ()))
+
+    def last(self, tid: int) -> Optional[Step]:
+        """L(t), weak-dereferenced."""
+        return self._load_last(tid)
+
+    def unlocker(self, lock: str) -> Optional[Step]:
+        """U(m), weak-dereferenced."""
+        return self._load_unlocker(lock)
+
+    def writer(self, var: str) -> Optional[Step]:
+        """W(x), weak-dereferenced."""
+        return self._load_writer(var)
+
+    def reader(self, var: str, tid: int) -> Optional[Step]:
+        """R(x, t), weak-dereferenced."""
+        return self._load_reader(var, tid)
+
+    # ------------------------------------------------------------- timestamps
+    def _advance(self, tid: int) -> Step:
+        """The paper's ``s = L(t)+1``: the thread's next step.
+
+        Inside a transaction ``L(t)`` always resolves (the current node
+        cannot be collected while current).
+        """
+        last = self._load_last(tid)
+        assert last is not None, "advance with no live last step"
+        step = last.next()
+        self._set_last(tid, step)
+        return step
+
+    def _set_last(self, tid: int, step: Optional[Step]) -> None:
+        if step is not None and step.timestamp > step.node.last_timestamp:
+            step.node.last_timestamp = step.timestamp
+        self._store_last(tid, step)
+
+    # ---------------------------------------------------------------- process
+    def _process(self, op: Operation, position: int) -> None:
+        kind = op.kind
+        if kind is OpKind.BEGIN:
+            self._enter(op)
+        elif kind is OpKind.END:
+            self._exit(op)
+        elif self.in_transaction(op.tid):
+            self._inside(op, position)
+        elif self.merge_unary:
+            self._outside_merged(op, position)
+        else:
+            self._outside_naive(op, position)
+
+    # ----------------------------------------------------------- begin / end
+    def _enter(self, op: Operation) -> None:
+        tid = op.tid
+        stack = self._stacks.setdefault(tid, [])
+        if not stack:
+            # [INS2 ENTER]: fresh node; program-order edge from L(t).
+            node = self.graph.new_node(tid, label=op.label)
+            step = Step(node, 0)
+            predecessor = self.last(tid)
+            if predecessor is not None:
+                cycle = self.graph.add_edge(
+                    predecessor, step, reason=f"program-order(t{tid})"
+                )
+                assert cycle is None, "fresh node cannot close a cycle"
+            stack.append(_Block(op.label, step))
+            self._set_last(tid, step)
+        else:
+            # [INS2 RE-ENTER]: the nested block shares the node; the
+            # program-order edge (L(t), s) is a self-edge and vanishes.
+            step = self._advance(tid)
+            stack.append(_Block(op.label, step))
+
+    def _exit(self, op: Operation) -> None:
+        tid = op.tid
+        stack = self._stacks.get(tid)
+        if not stack:
+            raise ValueError(f"end without begin for thread {tid}")
+        # [INS2 EXIT]: pop the innermost block; the end operation itself
+        # takes a timestamp.
+        stack.pop()
+        step = self._advance(tid)
+        if not stack:
+            self.graph.finish(step.node)
+
+    # -------------------------------------------------- transactional ops
+    def _inside(self, op: Operation, position: int) -> None:
+        tid = op.tid
+        step = self._advance(tid)
+        kind = op.kind
+        if kind is OpKind.ACQUIRE:
+            # [INS2 INSIDE ACQUIRE].
+            self._edge(self.unlocker(op.target), step, op, position)
+        elif kind is OpKind.RELEASE:
+            # [INS2 INSIDE RELEASE].
+            self._store_unlocker(op.target, step)
+        elif kind is OpKind.READ:
+            # [INS2 INSIDE READ].
+            self._store_reader(op.target, tid, step)
+            self._edge(self.writer(op.target), step, op, position)
+        elif kind is OpKind.WRITE:
+            # [INS2 INSIDE WRITE].
+            for reader_tid in self._reader_tids(op.target):
+                self._edge(self.reader(op.target, reader_tid), step, op, position)
+            self._edge(self.writer(op.target), step, op, position)
+            self._store_writer(op.target, step)
+        else:  # pragma: no cover
+            raise AssertionError(f"unexpected kind {kind}")
+
+    # ------------------------------------------- non-transactional ops
+    def _outside_merged(self, op: Operation, position: int) -> None:
+        tid = op.tid
+        kind = op.kind
+        if kind is OpKind.ACQUIRE:
+            # [INS2 OUTSIDE ACQUIRE].
+            step = merge(self.graph, [self.last(tid), self.unlocker(op.target)], tid)
+            self._set_last(tid, step)
+        elif kind is OpKind.RELEASE:
+            # [INS2 OUTSIDE RELEASE]: fold the release into the
+            # predecessor node; with no predecessor the release's unary
+            # transaction can never join a cycle and needs no node.
+            last = self.last(tid)
+            if last is None:
+                self._set_last(tid, None)
+                self._store_unlocker(op.target, None)
+            else:
+                step = last.next()
+                self._set_last(tid, step)
+                self._store_unlocker(op.target, step)
+        elif kind is OpKind.READ:
+            # [INS2 OUTSIDE READ].
+            step = merge(self.graph, [self.last(tid), self.writer(op.target)], tid)
+            self._set_last(tid, step)
+            self._store_reader(op.target, tid, step)
+        elif kind is OpKind.WRITE:
+            # [INS2 OUTSIDE WRITE].
+            sources: list[Optional[Step]] = [
+                self.reader(op.target, reader_tid)
+                for reader_tid in self._reader_tids(op.target)
+            ]
+            sources.append(self.writer(op.target))
+            sources.append(self.last(tid))
+            step = merge(self.graph, sources, tid)
+            self._set_last(tid, step)
+            self._store_writer(op.target, step)
+        else:  # pragma: no cover
+            raise AssertionError(f"unexpected kind {kind}")
+
+    def _outside_naive(self, op: Operation, position: int) -> None:
+        """[INS OUTSIDE]: wrap in a fresh unary transaction, no merging."""
+        tid = op.tid
+        node = self.graph.new_node(tid, label=None)
+        step = Step(node, 0)
+        predecessor = self.last(tid)
+        if predecessor is not None:
+            cycle = self.graph.add_edge(
+                predecessor, step, reason=f"program-order(t{tid})"
+            )
+            assert cycle is None
+        self._stacks.setdefault(tid, []).append(_Block(None, step))
+        self._set_last(tid, step)
+        self._inside(op, position)
+        self._stacks[tid].pop()
+        self._advance(tid)
+        self.graph.finish(step.node)
+
+    # ------------------------------------------------------------------ edges
+    def _edge(
+        self, source: Optional[Step], target: Step, op: Operation, position: int
+    ) -> None:
+        if source is None or source.node is target.node:
+            return
+        cycle = self.graph.add_edge(source, target, reason=str(op))
+        if cycle is not None:
+            self._report_cycle(cycle, op, position)
+
+    # ------------------------------------------------------------------ blame
+    def _report_cycle(self, cycle: Cycle, op: Operation, position: int) -> None:
+        tid = op.tid
+        stack = self._stacks.get(tid, [])
+        refuted = self._refuted_blocks(cycle, stack)
+        if refuted:
+            for block in refuted:
+                self._record(
+                    atomicity_warning(
+                        self.name,
+                        block.label,
+                        tid,
+                        position,
+                        f"atomic block {block.label!r} is not serializable: "
+                        f"{cycle} closed by {op}",
+                        cycle=cycle,
+                        blamed=True,
+                    )
+                )
+        else:
+            # Sound (the trace is non-serializable) but blame could not
+            # be certified to a particular transaction.
+            label = stack[0].label if stack else None
+            self._record(
+                atomicity_warning(
+                    self.name,
+                    None,
+                    tid,
+                    position,
+                    f"non-serializable trace (blame not localized, "
+                    f"observed in {label!r}): {cycle} closed by {op}",
+                    cycle=cycle,
+                    blamed=False,
+                )
+            )
+
+    def _refuted_blocks(self, cycle: Cycle, stack: list[_Block]) -> list[_Block]:
+        """The open blocks refuted by an increasing cycle (Section 4.3).
+
+        When the cycle is increasing, the blamed transaction contains a
+        root operation ``d'`` (timestamp ``cycle.root_timestamp``) and
+        the target operation ``d`` (the current one); every open block
+        that was entered at or before ``d'`` contains both, so it is not
+        serializable.
+        """
+        if not cycle.is_increasing():
+            return []
+        node = cycle.blamed_candidate
+        root = cycle.root_timestamp
+        return [
+            block
+            for block in stack
+            if block.entry.node is node and block.entry.timestamp <= root
+        ]
+
+    def _record(self, warning: Warning) -> None:
+        if self.first_warning_per_label:
+            if warning.label in self._warned_labels:
+                self.suppressed_warnings += 1
+                return
+            self._warned_labels.add(warning.label)
+        self.report(warning)

@@ -1,0 +1,136 @@
+"""Warnings and error graphs.
+
+Velodrome reports each detected serializability violation together with
+the happens-before cycle that witnesses it, rendered in Graphviz dot
+format like the ``Set.add`` figure of paper Section 5: one box per
+transaction, each edge labelled with the operation that generated it,
+the cycle-closing edge dashed, and the blamed transaction outlined.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.graph.hbgraph import Cycle
+
+
+class WarningKind(enum.Enum):
+    """What a warning is about; baselines and Velodrome share the type."""
+
+    ATOMICITY = "atomicity"  # non-serializable trace (Velodrome)
+    REDUCTION = "reduction"  # transaction not reducible (Atomizer)
+    RACE = "race"  # data race (Eraser / vector clocks)
+
+
+@dataclass(frozen=True)
+class Warning:
+    """One analysis warning.
+
+    Attributes:
+        kind: the property violated.
+        backend: name of the reporting analysis.
+        label: the atomic block / method blamed, or ``None`` when the
+            analysis could not localize the violation to a block.
+        tid: thread observed violating.
+        position: index of the triggering operation in the event stream.
+        message: human-readable description.
+        blamed: for Velodrome, True when the increasing-cycle test
+            certified the blamed transaction as not self-serializable.
+        cycle: the witnessing happens-before cycle, when available.
+        target: variable or lock involved (race warnings).
+    """
+
+    kind: WarningKind
+    backend: str
+    label: Optional[str]
+    tid: int
+    position: int
+    message: str
+    blamed: bool = False
+    cycle: Optional[Cycle] = field(default=None, compare=False)
+    target: Optional[str] = None
+
+    def __str__(self) -> str:
+        where = f" [{self.label}]" if self.label else ""
+        return f"{self.backend}:{self.kind.value}{where} t{self.tid}@{self.position}: {self.message}"
+
+
+def atomicity_warning(
+    backend: str,
+    label: Optional[str],
+    tid: int,
+    position: int,
+    message: str,
+    cycle: Optional[Cycle] = None,
+    blamed: bool = False,
+) -> Warning:
+    """Construct a serializability-violation warning."""
+    return Warning(
+        WarningKind.ATOMICITY, backend, label, tid, position, message,
+        blamed=blamed, cycle=cycle,
+    )
+
+
+def race_warning(
+    backend: str, tid: int, position: int, var: str, message: str
+) -> Warning:
+    """Construct a data-race warning."""
+    return Warning(
+        WarningKind.RACE, backend, None, tid, position, message, target=var
+    )
+
+
+def reduction_warning(
+    backend: str, label: Optional[str], tid: int, position: int, message: str
+) -> Warning:
+    """Construct an Atomizer reducibility warning."""
+    return Warning(WarningKind.REDUCTION, backend, label, tid, position, message)
+
+
+def _dot_escape(text: str) -> str:
+    return text.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def cycle_to_dot(
+    cycle: Cycle, title: str = "", blamed: bool = False
+) -> str:
+    """Render a cycle as a Graphviz dot graph (the Section 5 figure).
+
+    Each transaction is a box labelled with its method label, thread,
+    and sequence number; each happens-before edge is labelled with the
+    operations that generated it.  The cycle-closing edge is dashed,
+    and — when blame was assigned — the blamed transaction's box is
+    drawn with a heavier outline.
+    """
+    lines = ["digraph atomicity_violation {"]
+    if title:
+        lines.append(f'  label="{_dot_escape(title)}";')
+        lines.append("  labelloc=t;")
+    lines.append("  node [shape=box];")
+    for node in cycle.nodes:
+        attrs = [f'label="{_dot_escape(node.display_name())}"']
+        if blamed and node is cycle.blamed_candidate:
+            attrs.append("peripheries=2")
+            attrs.append("penwidth=2")
+        lines.append(f'  n{node.seq} [{", ".join(attrs)}];')
+    for u, v, info in cycle.path:
+        lines.append(
+            f'  n{u.seq} -> n{v.seq} [label="{_dot_escape(info.reason)}"];'
+        )
+    src, dst = cycle.closing_src.node, cycle.closing_dst.node
+    lines.append(
+        f"  n{src.seq} -> n{dst.seq} "
+        f'[label="{_dot_escape(cycle.closing_reason)}", style=dashed];'
+    )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def warning_to_dot(warning: Warning) -> str:
+    """Render a warning's cycle as dot; raises if it has no cycle."""
+    if warning.cycle is None:
+        raise ValueError("warning has no attached cycle")
+    title = f"Warning: {warning.label or '<unlabelled>'} is not atomic"
+    return cycle_to_dot(warning.cycle, title=title, blamed=warning.blamed)

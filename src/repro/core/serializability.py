@@ -1,0 +1,156 @@
+"""Reference conflict-serializability checkers.
+
+These are the independent ground truths the property-test suite checks
+Velodrome against:
+
+* :func:`serialization_graph` / :func:`is_serializable` — the classical
+  database-theory test the paper leans on (Bernstein et al.): build the
+  graph whose nodes are the trace's transactions with an edge ``A -> B``
+  whenever some operation of ``A`` precedes and conflicts with some
+  operation of ``B``; the trace is conflict-serializable iff this graph
+  is acyclic.
+* :mod:`repro.events.equivalence` — brute-force search over commutation
+  (exponential; tiny traces only), wired in by the tests as a third
+  opinion.
+
+Also provided: a serial witness extractor (topological order of the
+serialization graph) and the earliest non-serializable prefix, which
+pins down exactly where an online analysis must first raise.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.events.operations import conflicts
+from repro.events.trace import Trace, Transaction
+
+
+def serialization_graph(trace: Trace) -> dict[int, set[int]]:
+    """The serialization (conflict) graph of ``trace``.
+
+    Returns adjacency sets over transaction indices: ``B in graph[A]``
+    iff ``A != B`` and some operation of ``A`` precedes and conflicts
+    with some operation of ``B`` in the trace.
+
+    Note that operations of the same thread always conflict, so
+    program order between a thread's successive transactions appears
+    here too — matching the paper's extended happens-before relation
+    lifted to transactions.
+    """
+    transactions = trace.transactions()
+    graph: dict[int, set[int]] = {tx.index: set() for tx in transactions}
+    ops = trace.operations
+    n = len(ops)
+    for i in range(n):
+        tx_i = trace.transaction_of(i).index
+        op_i = ops[i]
+        for j in range(i + 1, n):
+            tx_j = trace.transaction_of(j).index
+            if tx_j == tx_i:
+                continue
+            if conflicts(op_i, ops[j]):
+                graph[tx_i].add(tx_j)
+    return graph
+
+
+def find_cycle(graph: dict[int, set[int]]) -> Optional[list[int]]:
+    """A cycle in ``graph`` as a node list (first == last), or ``None``."""
+    WHITE, GREY, BLACK = 0, 1, 2
+    colour = {node: WHITE for node in graph}
+    parent: dict[int, int] = {}
+
+    for start in graph:
+        if colour[start] != WHITE:
+            continue
+        stack: list[tuple[int, Iterable[int]]] = [(start, iter(graph[start]))]
+        colour[start] = GREY
+        while stack:
+            node, successors = stack[-1]
+            advanced = False
+            for succ in successors:
+                if colour[succ] == GREY:
+                    # Found a back edge node -> succ; unwind the cycle.
+                    cycle = [node]
+                    while cycle[-1] != succ:
+                        cycle.append(parent[cycle[-1]])
+                    cycle.reverse()
+                    cycle.append(cycle[0])
+                    return cycle
+                if colour[succ] == WHITE:
+                    colour[succ] = GREY
+                    parent[succ] = node
+                    stack.append((succ, iter(graph[succ])))
+                    advanced = True
+                    break
+            if not advanced:
+                colour[node] = BLACK
+                stack.pop()
+    return None
+
+
+def is_serializable(trace: Trace) -> bool:
+    """Conflict-serializability by the serialization-graph test."""
+    return find_cycle(serialization_graph(trace)) is None
+
+
+def serial_witness(trace: Trace) -> Optional[list[Transaction]]:
+    """A serial order of the trace's transactions, or ``None``.
+
+    When the serialization graph is acyclic, any topological order of
+    it is an equivalent serial schedule; this returns one (Kahn's
+    algorithm, breaking ties by transaction index for determinism).
+    """
+    graph = serialization_graph(trace)
+    indegree = {node: 0 for node in graph}
+    for node, succs in graph.items():
+        for succ in succs:
+            indegree[succ] += 1
+    ready = sorted(node for node, deg in indegree.items() if deg == 0)
+    order: list[int] = []
+    while ready:
+        node = ready.pop(0)
+        order.append(node)
+        inserted = []
+        for succ in sorted(graph[node]):
+            indegree[succ] -= 1
+            if indegree[succ] == 0:
+                inserted.append(succ)
+        if inserted:
+            ready = sorted(ready + inserted)
+    if len(order) != len(graph):
+        return None
+    transactions = trace.transactions()
+    return [transactions[index] for index in order]
+
+
+def serialize(trace: Trace) -> Optional[Trace]:
+    """An equivalent serial trace, or ``None`` if non-serializable."""
+    witness = serial_witness(trace)
+    if witness is None:
+        return None
+    ops = trace.operations
+    return Trace(ops[pos] for tx in witness for pos in tx.positions)
+
+
+def earliest_violation(trace: Trace) -> Optional[int]:
+    """The position of the operation that first makes ``trace``
+    non-serializable, or ``None`` if the whole trace is serializable.
+
+    The returned position is the least ``p`` such that the prefix
+    ``trace[:p + 1]`` is not conflict-serializable.  A sound and
+    complete online analysis must raise its first warning exactly while
+    processing this operation.
+    """
+    if is_serializable(trace):
+        return None
+    low, high = 0, len(trace) - 1
+    # The property "prefix of length p+1 is non-serializable" is
+    # monotone in p, so binary search applies.
+    while low < high:
+        mid = (low + high) // 2
+        if is_serializable(Trace(trace.operations[: mid + 1])):
+            low = mid + 1
+        else:
+            high = mid
+    return low

@@ -1,0 +1,101 @@
+"""View-equivalence and view-serializability (reference, small traces).
+
+The paper's related work distinguishes *conflict*-atomicity (what
+Velodrome checks, and what this repository calls serializability
+throughout) from *view*-atomicity (Wang and Stoller).  Two traces over
+the same operations are view-equivalent when every read reads from the
+same write (or the initial state) and each variable's final writer
+agrees; a trace is view-serializable when some serial order of its
+transactions is view-equivalent to it.
+
+Every conflict-serializable trace is view-serializable; the converse
+fails only in the presence of *blind writes* (a transaction writing a
+variable it did not read).  Deciding view-serializability is
+NP-complete, so this reference enumerates transaction permutations and
+is intended for small traces in tests and experiments.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional
+
+from repro.events.operations import OpKind
+from repro.events.trace import Trace
+
+#: Guard on the permutation search (8! = 40320 orders).
+MAX_TRANSACTIONS = 8
+
+
+def reads_from(trace: Trace) -> dict[int, Optional[int]]:
+    """For each read position, the position of the write it reads.
+
+    ``None`` means the read observes the initial state.  Reads and
+    writes are matched per variable in trace order.
+    """
+    last_write: dict[str, int] = {}
+    result: dict[int, Optional[int]] = {}
+    for position, op in enumerate(trace):
+        if op.kind is OpKind.READ:
+            result[position] = last_write.get(op.target)
+        elif op.kind is OpKind.WRITE:
+            last_write[op.target] = position
+    return result
+
+
+def final_writes(trace: Trace) -> dict[str, int]:
+    """The position of each variable's final write."""
+    result: dict[str, int] = {}
+    for position, op in enumerate(trace):
+        if op.kind is OpKind.WRITE:
+            result[op.target] = position
+    return result
+
+
+def _view_of(positions: list[int], trace: Trace):
+    """The (reads-from, final-writes) view of a reordering of ``trace``.
+
+    ``positions`` lists original-trace positions in the new order; the
+    view is expressed in original positions so views are comparable.
+    """
+    last_write: dict[str, Optional[int]] = {}
+    reads: dict[int, Optional[int]] = {}
+    finals: dict[str, int] = {}
+    ops = trace.operations
+    for position in positions:
+        op = ops[position]
+        if op.kind is OpKind.READ:
+            reads[position] = last_write.get(op.target)
+        elif op.kind is OpKind.WRITE:
+            last_write[op.target] = position
+            finals[op.target] = position
+    return reads, finals
+
+
+def view_serial_witness(trace: Trace) -> Optional[list[int]]:
+    """A serial transaction order view-equivalent to ``trace``.
+
+    Returns transaction indices in witness order, or ``None``.  Raises
+    ``ValueError`` beyond :data:`MAX_TRANSACTIONS` transactions.
+    """
+    transactions = trace.transactions()
+    if len(transactions) > MAX_TRANSACTIONS:
+        raise ValueError(
+            f"view-serializability reference limited to "
+            f"{MAX_TRANSACTIONS} transactions, got {len(transactions)}"
+        )
+    target_view = _view_of(list(range(len(trace))), trace)
+    for order in itertools.permutations(range(len(transactions))):
+        serial_positions = [
+            position
+            for tx_index in order
+            for position in transactions[tx_index].positions
+        ]
+        if _view_of(serial_positions, trace) == target_view:
+            return list(order)
+    return None
+
+
+def is_view_serializable(trace: Trace) -> bool:
+    """Decide view-serializability by permutation search (small traces)."""
+    return view_serial_witness(trace) is not None

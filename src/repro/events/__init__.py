@@ -1,0 +1,54 @@
+"""Event model: operations, traces, transactions, and trace semantics."""
+
+from repro.events.operations import (
+    ACCESS_KINDS,
+    LOCK_KINDS,
+    MARKER_KINDS,
+    Operation,
+    OpKind,
+    acquire,
+    begin,
+    commutes,
+    conflicts,
+    end,
+    read,
+    release,
+    write,
+)
+from repro.events.render import render_columns, render_with_transactions
+from repro.events.serialize import load_trace, save_trace, trace_to_text
+from repro.events.semantics import (
+    GlobalStore,
+    SemanticsError,
+    is_well_formed,
+    replay,
+)
+from repro.events.trace import Trace, TraceError, Transaction
+
+__all__ = [
+    "ACCESS_KINDS",
+    "LOCK_KINDS",
+    "MARKER_KINDS",
+    "GlobalStore",
+    "Operation",
+    "OpKind",
+    "SemanticsError",
+    "Trace",
+    "TraceError",
+    "Transaction",
+    "acquire",
+    "begin",
+    "commutes",
+    "conflicts",
+    "end",
+    "is_well_formed",
+    "load_trace",
+    "render_columns",
+    "render_with_transactions",
+    "save_trace",
+    "trace_to_text",
+    "read",
+    "release",
+    "replay",
+    "write",
+]

@@ -1,0 +1,123 @@
+"""Trace equivalence by commutation, and brute-force serializability.
+
+Two traces are *equivalent* when one can be obtained from the other by
+repeatedly swapping adjacent non-conflicting operations (paper Section
+2).  A trace is *serializable* when it is equivalent to some serial
+trace.  This module decides serializability by exhaustive search over
+the commutation-reachable equivalence class — exponential, and intended
+only as an independent ground truth for small traces in the test suite.
+The scalable reference checker (the serialization-graph test) lives in
+:mod:`repro.core.serializability`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterator, Optional
+
+from repro.events.operations import Operation, commutes
+from repro.events.trace import Trace
+
+#: Safety cap on the number of distinct traces explored by the
+#: brute-force search before giving up.
+DEFAULT_STATE_LIMIT = 200_000
+
+
+class SearchBudgetExceeded(RuntimeError):
+    """Raised when brute-force search exceeds its state limit."""
+
+
+def adjacent_swaps(ops: tuple[Operation, ...]) -> Iterator[tuple[Operation, ...]]:
+    """Yield every trace obtained by one legal adjacent swap.
+
+    A swap of positions ``i`` and ``i+1`` is legal when the two
+    operations commute (do not conflict).  Same-thread operations always
+    conflict, so per-thread program order — and hence the transactional
+    structure — is preserved by construction.
+    """
+    for i in range(len(ops) - 1):
+        a, b = ops[i], ops[i + 1]
+        if commutes(a, b):
+            yield ops[:i] + (b, a) + ops[i + 2 :]
+
+
+def equivalent_traces(
+    trace: Trace, state_limit: int = DEFAULT_STATE_LIMIT
+) -> Iterator[Trace]:
+    """Enumerate the equivalence class of ``trace`` (including itself).
+
+    Breadth-first over single adjacent swaps.  Raises
+    :class:`SearchBudgetExceeded` if more than ``state_limit`` distinct
+    traces are generated.
+    """
+    start = trace.operations
+    seen: set[tuple[Operation, ...]] = {start}
+    queue: deque[tuple[Operation, ...]] = deque([start])
+    while queue:
+        current = queue.popleft()
+        yield Trace(current)
+        for neighbour in adjacent_swaps(current):
+            if neighbour not in seen:
+                if len(seen) >= state_limit:
+                    raise SearchBudgetExceeded(
+                        f"more than {state_limit} traces in equivalence class"
+                    )
+                seen.add(neighbour)
+                queue.append(neighbour)
+
+
+def find_serial_equivalent(
+    trace: Trace, state_limit: int = DEFAULT_STATE_LIMIT
+) -> Optional[Trace]:
+    """A serial trace equivalent to ``trace``, or ``None`` if none exists.
+
+    Exhaustive; use only on small traces.
+    """
+    for candidate in equivalent_traces(trace, state_limit=state_limit):
+        if candidate.is_serial():
+            return candidate
+    return None
+
+
+def is_serializable_bruteforce(
+    trace: Trace, state_limit: int = DEFAULT_STATE_LIMIT
+) -> bool:
+    """Decide conflict-serializability by exhaustive commutation search."""
+    return find_serial_equivalent(trace, state_limit=state_limit) is not None
+
+
+def find_serial_equivalent_for(
+    trace: Trace, tx_index: int, state_limit: int = DEFAULT_STATE_LIMIT
+) -> Optional[Trace]:
+    """A trace equivalent to ``trace`` in which transaction ``tx_index``
+    (an index into ``trace.transactions()``) executes serially
+    (contiguously), or ``None``.
+
+    This decides *self-serializability* of a single transaction (paper
+    Section 4.3): other transactions need not be contiguous in the
+    witness.  Exhaustive; small traces only.
+    """
+    # Transaction *indices* shift under commutation, but the
+    # ``(tid, ordinal)`` key is stable because swaps preserve each
+    # thread's program order and hence its transaction decomposition.
+    target_key = trace.transactions()[tx_index].key
+
+    def tx_contiguous(candidate: Trace) -> bool:
+        positions = [
+            pos
+            for pos in range(len(candidate))
+            if candidate.transaction_of(pos).key == target_key
+        ]
+        return positions == list(range(positions[0], positions[-1] + 1))
+
+    for candidate in equivalent_traces(trace, state_limit=state_limit):
+        if tx_contiguous(candidate):
+            return candidate
+    return None
+
+
+def is_self_serializable(
+    trace: Trace, tx_index: int, state_limit: int = DEFAULT_STATE_LIMIT
+) -> bool:
+    """Decide self-serializability of transaction ``tx_index``."""
+    return find_serial_equivalent_for(trace, tx_index, state_limit) is not None

@@ -1,0 +1,150 @@
+"""Operations performed by threads on the global store.
+
+This module defines the operation language of the paper's Section 2
+(Figure 1): reads and writes of shared variables, lock acquires and
+releases, and the ``begin``/``end`` markers that delimit atomic blocks.
+It also defines the *conflict* relation between operations, which is the
+foundation of conflict-serializability:
+
+    Two operations in a trace conflict if (1) they access the same
+    variable and at least one access is a write, (2) they operate on the
+    same lock, or (3) they are performed by the same thread.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+class OpKind(enum.Enum):
+    """The kinds of operation a thread can perform on the global store."""
+
+    READ = "rd"
+    WRITE = "wr"
+    ACQUIRE = "acq"
+    RELEASE = "rel"
+    BEGIN = "begin"
+    END = "end"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+# Kinds that touch a shared variable.
+ACCESS_KINDS = frozenset({OpKind.READ, OpKind.WRITE})
+# Kinds that touch a lock.
+LOCK_KINDS = frozenset({OpKind.ACQUIRE, OpKind.RELEASE})
+# Kinds that delimit atomic blocks.
+MARKER_KINDS = frozenset({OpKind.BEGIN, OpKind.END})
+
+
+@dataclass(frozen=True, slots=True)
+class Operation:
+    """A single operation in a trace.
+
+    Attributes:
+        kind: what the operation does (read, write, acquire, ...).
+        tid: the identifier of the thread performing the operation.
+        target: the variable (for READ/WRITE) or lock (for
+            ACQUIRE/RELEASE) operated on; ``None`` for BEGIN/END.
+        value: the value read or written, when the trace records values;
+            ``None`` when values are irrelevant to the analysis.
+        label: the atomic-block label ``l`` of a BEGIN operation, used
+            for error reporting; ``None`` for all other kinds.
+        loc: an optional source-location string for diagnostics.
+    """
+
+    kind: OpKind
+    tid: int
+    target: Optional[str] = None
+    value: object = None
+    label: Optional[str] = None
+    loc: Optional[str] = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.kind in ACCESS_KINDS or self.kind in LOCK_KINDS:
+            if self.target is None:
+                raise ValueError(f"{self.kind} operation requires a target")
+        elif self.target is not None:
+            raise ValueError(f"{self.kind} operation takes no target")
+        if self.label is not None and self.kind is not OpKind.BEGIN:
+            raise ValueError("only BEGIN operations carry a label")
+
+    @property
+    def is_access(self) -> bool:
+        """True for variable reads and writes."""
+        return self.kind in ACCESS_KINDS
+
+    @property
+    def is_lock_op(self) -> bool:
+        """True for lock acquires and releases."""
+        return self.kind in LOCK_KINDS
+
+    @property
+    def is_marker(self) -> bool:
+        """True for atomic-block begin/end markers."""
+        return self.kind in MARKER_KINDS
+
+    def __str__(self) -> str:
+        if self.kind is OpKind.BEGIN:
+            suffix = f"({self.label})" if self.label else ""
+            return f"{self.tid}:begin{suffix}"
+        if self.kind is OpKind.END:
+            return f"{self.tid}:end"
+        if self.value is not None:
+            return f"{self.tid}:{self.kind.value}({self.target}={self.value})"
+        return f"{self.tid}:{self.kind.value}({self.target})"
+
+
+def read(tid: int, var: str, value: object = None, loc: str | None = None) -> Operation:
+    """Construct a read of shared variable ``var`` by thread ``tid``."""
+    return Operation(OpKind.READ, tid, var, value=value, loc=loc)
+
+
+def write(tid: int, var: str, value: object = None, loc: str | None = None) -> Operation:
+    """Construct a write of shared variable ``var`` by thread ``tid``."""
+    return Operation(OpKind.WRITE, tid, var, value=value, loc=loc)
+
+
+def acquire(tid: int, lock: str, loc: str | None = None) -> Operation:
+    """Construct an acquire of lock ``lock`` by thread ``tid``."""
+    return Operation(OpKind.ACQUIRE, tid, lock, loc=loc)
+
+
+def release(tid: int, lock: str, loc: str | None = None) -> Operation:
+    """Construct a release of lock ``lock`` by thread ``tid``."""
+    return Operation(OpKind.RELEASE, tid, lock, loc=loc)
+
+
+def begin(tid: int, label: str | None = None, loc: str | None = None) -> Operation:
+    """Construct an atomic-block entry marker for thread ``tid``."""
+    return Operation(OpKind.BEGIN, tid, label=label, loc=loc)
+
+
+def end(tid: int, loc: str | None = None) -> Operation:
+    """Construct an atomic-block exit marker for thread ``tid``."""
+    return Operation(OpKind.END, tid, loc=loc)
+
+
+def conflicts(a: Operation, b: Operation) -> bool:
+    """Return True iff operations ``a`` and ``b`` conflict.
+
+    The conflict relation of paper Section 2: same thread, same lock, or
+    same variable with at least one write.  BEGIN/END markers conflict
+    only through the same-thread clause (they neither access variables
+    nor locks).
+    """
+    if a.tid == b.tid:
+        return True
+    if a.is_lock_op and b.is_lock_op and a.target == b.target:
+        return True
+    if a.is_access and b.is_access and a.target == b.target:
+        return a.kind is OpKind.WRITE or b.kind is OpKind.WRITE
+    return False
+
+
+def commutes(a: Operation, b: Operation) -> bool:
+    """Return True iff ``a`` and ``b`` commute (do not conflict)."""
+    return not conflicts(a, b)

@@ -1,0 +1,86 @@
+"""Render traces as the paper's thread-column diagrams.
+
+The paper illustrates interleavings with one column per thread and time
+flowing downward, transactions bracketed by begin/end.  This module
+produces the ASCII equivalent::
+
+    Thread 1        Thread 2
+    --------        --------
+    begin(inc)
+    rd(x)
+                    wr(x)
+    wr(x)
+    end
+
+Used by the examples and handy when staring at a warning's trace.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.events.operations import Operation, OpKind
+from repro.events.trace import Trace
+
+
+def _cell(op: Operation, indent: int) -> str:
+    pad = "  " * indent
+    if op.kind is OpKind.BEGIN:
+        label = f"({op.label})" if op.label else ""
+        return f"{pad}begin{label}"
+    if op.kind is OpKind.END:
+        return f"{pad}end"
+    if op.value is not None:
+        return f"{pad}{op.kind.value}({op.target}={op.value})"
+    return f"{pad}{op.kind.value}({op.target})"
+
+
+def render_columns(
+    trace: Trace,
+    column_width: int = 18,
+    mark: Optional[set[int]] = None,
+) -> str:
+    """One line per operation, one column per thread.
+
+    Nested atomic blocks indent their contents.  Positions listed in
+    ``mark`` get a ``*`` in the left margin (e.g. a cycle's endpoints).
+    """
+    tids = trace.tids
+    column_of = {tid: index for index, tid in enumerate(tids)}
+    mark = mark or set()
+
+    lines = []
+    header = ["" for _ in tids]
+    for tid, index in column_of.items():
+        header[index] = f"Thread {tid}"
+    lines.append("  " + "".join(h.ljust(column_width) for h in header).rstrip())
+    lines.append(
+        "  "
+        + "".join(("-" * len(h)).ljust(column_width) for h in header).rstrip()
+    )
+
+    depth = {tid: 0 for tid in tids}
+    for position, op in enumerate(trace):
+        indent = depth[op.tid]
+        if op.kind is OpKind.END:
+            indent = max(0, indent - 1)
+            depth[op.tid] = indent
+        cell = _cell(op, indent)
+        if op.kind is OpKind.BEGIN:
+            depth[op.tid] += 1
+        row = ["" for _ in tids]
+        row[column_of[op.tid]] = cell
+        margin = "* " if position in mark else "  "
+        lines.append(
+            margin + "".join(c.ljust(column_width) for c in row).rstrip()
+        )
+    return "\n".join(lines)
+
+
+def render_with_transactions(trace: Trace, column_width: int = 18) -> str:
+    """Column rendering followed by the transaction inventory."""
+    body = render_columns(trace, column_width=column_width)
+    inventory = "\n".join(
+        f"  {tx}" for tx in trace.transactions()
+    )
+    return f"{body}\n\nTransactions:\n{inventory}"

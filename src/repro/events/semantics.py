@@ -1,0 +1,134 @@
+"""Operational semantics of multithreaded traces (paper Figure 1).
+
+The paper models a multithreaded program as threads acting on a global
+store mapping variables to values and locks to owning threads.  This
+module replays a trace against that semantics, checking that every
+operation is enabled in the state where it executes:
+
+* ``acq(t, m)`` requires lock ``m`` to be free,
+* ``rel(t, m)`` requires lock ``m`` to be held by ``t``,
+* ``rd(t, x, v)`` with a recorded value requires ``s(x) == v``,
+* BEGIN/END markers must nest properly per thread.
+
+Well-formed traces are exactly those the instrumented runtime can emit,
+so replaying is both a sanity check for hand-written test traces and a
+validation layer for the interpreter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.events.operations import Operation, OpKind
+from repro.events.trace import Trace
+
+
+class SemanticsError(ValueError):
+    """Raised when a trace is not well-formed under Figure 1 semantics."""
+
+    def __init__(self, position: int, op: Operation, reason: str):
+        self.position = position
+        self.op = op
+        self.reason = reason
+        super().__init__(f"at position {position}, {op}: {reason}")
+
+
+@dataclass
+class GlobalStore:
+    """The shared state ``s`` of Figure 1.
+
+    Maps variables to values and locks to their owning thread (``None``
+    when free).  Variables read before any write observe
+    ``initial_value``.
+    """
+
+    variables: dict[str, object] = field(default_factory=dict)
+    lock_owner: dict[str, Optional[int]] = field(default_factory=dict)
+    initial_value: object = 0
+
+    def read(self, var: str) -> object:
+        """The current value of ``var`` ([ACT READ])."""
+        return self.variables.get(var, self.initial_value)
+
+    def write(self, var: str, value: object) -> None:
+        """Update ``var`` to ``value`` ([ACT WRITE])."""
+        self.variables[var] = value
+
+    def holder(self, lock: str) -> Optional[int]:
+        """The thread holding ``lock``, or ``None`` if free."""
+        return self.lock_owner.get(lock)
+
+    def acquire(self, tid: int, lock: str) -> None:
+        """Take ``lock`` for ``tid`` ([ACT ACQUIRE]); must be free."""
+        owner = self.lock_owner.get(lock)
+        if owner is not None:
+            raise ValueError(f"lock {lock} already held by thread {owner}")
+        self.lock_owner[lock] = tid
+
+    def release(self, tid: int, lock: str) -> None:
+        """Release ``lock`` ([ACT RELEASE]); must be held by ``tid``."""
+        owner = self.lock_owner.get(lock)
+        if owner != tid:
+            raise ValueError(f"lock {lock} not held by thread {tid}")
+        self.lock_owner[lock] = None
+
+
+def step(store: GlobalStore, op: Operation) -> None:
+    """Apply one operation to ``store``, mutating it in place.
+
+    Raises ``ValueError`` when the operation is not enabled.  Reads with
+    a recorded value assert that the store agrees; reads without one are
+    unconstrained (the common case for analysis-only traces).
+    """
+    if op.kind is OpKind.READ:
+        if op.value is not None and store.read(op.target) != op.value:
+            raise ValueError(
+                f"read of {op.target} observed {op.value!r} "
+                f"but store holds {store.read(op.target)!r}"
+            )
+    elif op.kind is OpKind.WRITE:
+        store.write(op.target, op.value)
+    elif op.kind is OpKind.ACQUIRE:
+        store.acquire(op.tid, op.target)
+    elif op.kind is OpKind.RELEASE:
+        store.release(op.tid, op.target)
+    # BEGIN/END do not touch the global store ([ACT OTHER]).
+
+
+def replay(trace: Trace, check_values: bool = False) -> GlobalStore:
+    """Replay ``trace`` from the initial state, returning the final store.
+
+    Checks lock discipline and per-thread BEGIN/END nesting; when
+    ``check_values`` is False (the default), recorded read values are
+    ignored so that value-free analysis traces replay cleanly.
+
+    Raises :class:`SemanticsError` with the offending position on the
+    first ill-formed operation.
+    """
+    store = GlobalStore()
+    depth: dict[int, int] = {}
+    for position, op in enumerate(trace):
+        try:
+            if op.kind is OpKind.READ and not check_values:
+                pass
+            else:
+                step(store, op)
+        except ValueError as exc:
+            raise SemanticsError(position, op, str(exc)) from exc
+        if op.kind is OpKind.BEGIN:
+            depth[op.tid] = depth.get(op.tid, 0) + 1
+        elif op.kind is OpKind.END:
+            if depth.get(op.tid, 0) == 0:
+                raise SemanticsError(position, op, "end without matching begin")
+            depth[op.tid] -= 1
+    return store
+
+
+def is_well_formed(trace: Trace) -> bool:
+    """True iff ``trace`` replays without semantic errors."""
+    try:
+        replay(trace)
+    except SemanticsError:
+        return False
+    return True

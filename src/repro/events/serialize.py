@@ -1,0 +1,128 @@
+"""Trace serialization: JSON lines and the textual DSL.
+
+Recorded event streams can be saved and re-analyzed offline — the
+workflow RoadRunner users follow when a run is expensive to reproduce.
+Two formats:
+
+* **JSONL** — one JSON object per operation; lossless (values, labels,
+  source locations).
+* **DSL text** — the compact ``tid:kind(arg)`` format of
+  :meth:`repro.events.trace.Trace.parse`; human-editable, drops
+  non-string values and locations.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, TextIO, Union
+
+from repro.events.operations import Operation, OpKind
+from repro.events.trace import Trace
+
+PathLike = Union[str, Path]
+
+_KINDS = {kind.value: kind for kind in OpKind}
+
+
+def operation_to_json(op: Operation) -> dict:
+    """One operation as a JSON-serializable dict (sparse: no nulls)."""
+    record: dict = {"kind": op.kind.value, "tid": op.tid}
+    if op.target is not None:
+        record["target"] = op.target
+    if op.value is not None:
+        record["value"] = op.value
+    if op.label is not None:
+        record["label"] = op.label
+    if op.loc is not None:
+        record["loc"] = op.loc
+    return record
+
+
+def operation_from_json(record: dict) -> Operation:
+    """Rebuild an operation from its JSON dict."""
+    try:
+        kind = _KINDS[record["kind"]]
+    except KeyError:
+        raise ValueError(f"unknown operation kind: {record.get('kind')!r}")
+    return Operation(
+        kind,
+        record["tid"],
+        target=record.get("target"),
+        value=record.get("value"),
+        label=record.get("label"),
+        loc=record.get("loc"),
+    )
+
+
+def dump_jsonl(trace: Iterable[Operation], stream: TextIO) -> int:
+    """Write operations to ``stream`` as JSON lines; returns the count."""
+    count = 0
+    for op in trace:
+        stream.write(json.dumps(operation_to_json(op), sort_keys=True))
+        stream.write("\n")
+        count += 1
+    return count
+
+
+def load_jsonl(stream: TextIO) -> Trace:
+    """Read a JSONL event stream back into a trace."""
+    ops = []
+    for line_number, line in enumerate(stream, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"line {line_number}: invalid JSON") from exc
+        ops.append(operation_from_json(record))
+    return Trace(ops)
+
+
+def save_trace(trace: Iterable[Operation], path: PathLike) -> int:
+    """Save to ``path``; `.jsonl` uses JSONL, anything else the DSL."""
+    path = Path(path)
+    with path.open("w") as stream:
+        if path.suffix == ".jsonl":
+            return dump_jsonl(trace, stream)
+        ops = list(trace)
+        stream.write(trace_to_text(Trace(ops)))
+        stream.write("\n")
+        return len(ops)
+
+
+def load_trace(path: PathLike) -> Trace:
+    """Load from ``path``; `.jsonl` uses JSONL, anything else the DSL."""
+    path = Path(path)
+    with path.open() as stream:
+        if path.suffix == ".jsonl":
+            return load_jsonl(stream)
+        return Trace.parse(stream.read())
+
+
+def trace_to_text(trace: Trace) -> str:
+    """The trace in DSL form, one operation per line.
+
+    Reads and writes keep their value only when it round-trips through
+    the DSL (strings without parentheses or ``=``).
+    """
+    lines = []
+    for op in trace:
+        if op.kind is OpKind.BEGIN:
+            lines.append(f"{op.tid}:begin({op.label})" if op.label
+                         else f"{op.tid}:begin")
+        elif op.kind is OpKind.END:
+            lines.append(f"{op.tid}:end")
+        else:
+            value = op.value
+            if (
+                op.is_access
+                and isinstance(value, str)
+                and value
+                and not set("()=; \t\n") & set(value)
+            ):
+                lines.append(f"{op.tid}:{op.kind.value}({op.target}={value})")
+            else:
+                lines.append(f"{op.tid}:{op.kind.value}({op.target})")
+    return "\n".join(lines)

@@ -1,0 +1,293 @@
+"""Traces and their transactional structure.
+
+A trace is a finite sequence of operations recording one interleaved
+execution of a multithreaded program (paper Section 2).  This module
+provides the :class:`Trace` container, extraction of the trace's
+*transactions* (outermost atomic blocks, plus unary transactions for
+operations outside any block), and a compact textual DSL used heavily by
+the test suite.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Optional, Sequence
+
+from repro.events.operations import (
+    Operation,
+    OpKind,
+    acquire,
+    begin,
+    end,
+    read,
+    release,
+    write,
+)
+
+
+@dataclass(frozen=True, slots=True)
+class Transaction:
+    """A transaction of a trace.
+
+    A transaction is either the operation sequence of an *outermost*
+    atomic block (all operations of the executing thread from ``begin``
+    through the matching ``end``, or through the end of the trace when
+    unterminated), or a single operation executed outside any atomic
+    block (a *unary* transaction).
+
+    Attributes:
+        index: position of this transaction in the trace's transaction
+            list; also a stable identifier.
+        tid: the executing thread.
+        positions: positions (into the trace) of this transaction's
+            operations, in order.
+        label: the label of the outermost atomic block, or ``None`` for
+            a unary transaction.
+        unary: True if this transaction wraps a single operation that
+            was executed outside any atomic block.
+        ordinal: position of this transaction among the transactions of
+            the same thread.  ``(tid, ordinal)`` is stable across
+            equivalent traces (commutation preserves per-thread order),
+            unlike ``index``.
+    """
+
+    index: int
+    tid: int
+    positions: tuple[int, ...]
+    label: Optional[str] = None
+    unary: bool = False
+    ordinal: int = 0
+
+    @property
+    def key(self) -> tuple[int, int]:
+        """The commutation-stable identity ``(tid, ordinal)``."""
+        return (self.tid, self.ordinal)
+
+    @property
+    def first(self) -> int:
+        """Position of the transaction's first operation."""
+        return self.positions[0]
+
+    @property
+    def last(self) -> int:
+        """Position of the transaction's last operation."""
+        return self.positions[-1]
+
+    def __str__(self) -> str:
+        kind = "unary" if self.unary else (self.label or "tx")
+        return f"T{self.index}[{kind} t{self.tid} ops={len(self.positions)}]"
+
+
+class TraceError(ValueError):
+    """Raised for structurally malformed traces."""
+
+
+class Trace(Sequence[Operation]):
+    """An immutable sequence of operations with transactional structure.
+
+    The transactional decomposition is computed lazily and cached.  The
+    class supports the full :class:`collections.abc.Sequence` protocol,
+    so a trace can be iterated, indexed, and sliced (slicing yields a
+    plain list of operations).
+    """
+
+    __slots__ = ("_ops", "_transactions", "_tx_of")
+
+    def __init__(self, ops: Iterable[Operation]):
+        self._ops: tuple[Operation, ...] = tuple(ops)
+        self._transactions: Optional[tuple[Transaction, ...]] = None
+        self._tx_of: Optional[tuple[int, ...]] = None
+
+    # ---------------------------------------------------------------- Sequence
+    def __len__(self) -> int:
+        return len(self._ops)
+
+    def __getitem__(self, index):
+        result = self._ops[index]
+        return list(result) if isinstance(index, slice) else result
+
+    def __iter__(self) -> Iterator[Operation]:
+        return iter(self._ops)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Trace):
+            return self._ops == other._ops
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self._ops)
+
+    def __repr__(self) -> str:
+        return f"Trace({' '.join(str(op) for op in self._ops)})"
+
+    # ------------------------------------------------------------- properties
+    @property
+    def operations(self) -> tuple[Operation, ...]:
+        """The underlying operation tuple."""
+        return self._ops
+
+    @property
+    def tids(self) -> list[int]:
+        """Thread identifiers appearing in the trace, in first-use order."""
+        seen: dict[int, None] = {}
+        for op in self._ops:
+            seen.setdefault(op.tid, None)
+        return list(seen)
+
+    @property
+    def variables(self) -> set[str]:
+        """Shared variables accessed anywhere in the trace."""
+        return {op.target for op in self._ops if op.is_access}
+
+    @property
+    def locks(self) -> set[str]:
+        """Locks operated on anywhere in the trace."""
+        return {op.target for op in self._ops if op.is_lock_op}
+
+    # ----------------------------------------------------------- transactions
+    def transactions(self) -> tuple[Transaction, ...]:
+        """The transactional decomposition of this trace.
+
+        Every operation belongs to exactly one transaction.  BEGIN and
+        END markers belong to the transaction they delimit.  Nested
+        atomic blocks are folded into the outermost one.
+        """
+        if self._transactions is None:
+            self._compute_transactions()
+        return self._transactions
+
+    def transaction_of(self, position: int) -> Transaction:
+        """The transaction containing the operation at ``position``."""
+        if self._tx_of is None:
+            self._compute_transactions()
+        return self._transactions[self._tx_of[position]]
+
+    def _compute_transactions(self) -> None:
+        txs: list[Transaction] = []
+        tx_of = [-1] * len(self._ops)
+        ordinals: dict[int, int] = {}
+        # Per-thread state: (depth, positions, label) of the open
+        # outermost block, if any.
+        open_blocks: dict[int, tuple[int, list[int], Optional[str]]] = {}
+
+        def close(
+            tid: int, positions: list[int], label: Optional[str], unary: bool = False
+        ) -> None:
+            ordinal = ordinals.get(tid, 0)
+            ordinals[tid] = ordinal + 1
+            tx = Transaction(
+                len(txs), tid, tuple(positions), label=label, unary=unary,
+                ordinal=ordinal,
+            )
+            for pos in positions:
+                tx_of[pos] = tx.index
+            txs.append(tx)
+
+        for pos, op in enumerate(self._ops):
+            tid = op.tid
+            state = open_blocks.get(tid)
+            if op.kind is OpKind.BEGIN:
+                if state is None:
+                    open_blocks[tid] = (1, [pos], op.label)
+                else:
+                    depth, positions, label = state
+                    positions.append(pos)
+                    open_blocks[tid] = (depth + 1, positions, label)
+            elif op.kind is OpKind.END:
+                if state is None:
+                    raise TraceError(f"end without begin at position {pos}")
+                depth, positions, label = state
+                positions.append(pos)
+                if depth == 1:
+                    del open_blocks[tid]
+                    close(tid, positions, label)
+                else:
+                    open_blocks[tid] = (depth - 1, positions, label)
+            else:
+                if state is None:
+                    close(tid, [pos], None, unary=True)
+                else:
+                    state[1].append(pos)
+        # Unterminated blocks extend to the end of the trace.
+        for tid, (_depth, positions, label) in sorted(open_blocks.items()):
+            close(tid, positions, label)
+        self._transactions = tuple(txs)
+        self._tx_of = tuple(tx_of)
+
+    # ------------------------------------------------------------ convenience
+    def project(self, tid: int) -> list[Operation]:
+        """The subsequence of operations performed by thread ``tid``."""
+        return [op for op in self._ops if op.tid == tid]
+
+    def without_markers(self) -> list[Operation]:
+        """All non-BEGIN/END operations, in trace order."""
+        return [op for op in self._ops if not op.is_marker]
+
+    def is_serial(self) -> bool:
+        """True iff every transaction's operations are contiguous."""
+        current: Optional[int] = None
+        finished: set[int] = set()
+        for pos in range(len(self._ops)):
+            tx = self.transaction_of(pos)
+            if tx.index != current:
+                if tx.index in finished:
+                    return False
+                if current is not None:
+                    finished.add(current)
+                current = tx.index
+        return True
+
+    def extended(self, ops: Iterable[Operation]) -> "Trace":
+        """A new trace with ``ops`` appended."""
+        return Trace(self._ops + tuple(ops))
+
+    # -------------------------------------------------------------------- DSL
+    _TOKEN = re.compile(
+        r"^(?P<tid>\d+):(?P<kind>rd|wr|acq|rel|begin|end)"
+        r"(?:\((?P<arg>[^)=]*)(?:=(?P<val>[^)]*))?\))?$"
+    )
+
+    @classmethod
+    def parse(cls, text: str) -> "Trace":
+        """Parse the compact trace DSL.
+
+        Each whitespace- or semicolon-separated token has the form
+        ``tid:kind(arg)``, e.g.::
+
+            Trace.parse("1:begin(add) 1:rd(x) 2:wr(x=3) 1:wr(x) 1:end")
+
+        Kinds are ``rd``, ``wr``, ``acq``, ``rel``, ``begin``, ``end``.
+        ``begin`` takes an optional label; ``rd``/``wr`` take a variable
+        and an optional ``=value``; ``acq``/``rel`` take a lock name.
+        """
+        ops: list[Operation] = []
+        for token in re.split(r"[\s;]+", text.strip()):
+            if not token:
+                continue
+            match = cls._TOKEN.match(token)
+            if not match:
+                raise TraceError(f"bad trace token: {token!r}")
+            tid = int(match.group("tid"))
+            kind = match.group("kind")
+            arg = match.group("arg")
+            val = match.group("val")
+            if kind == "rd":
+                ops.append(read(tid, _require(arg, token), value=val))
+            elif kind == "wr":
+                ops.append(write(tid, _require(arg, token), value=val))
+            elif kind == "acq":
+                ops.append(acquire(tid, _require(arg, token)))
+            elif kind == "rel":
+                ops.append(release(tid, _require(arg, token)))
+            elif kind == "begin":
+                ops.append(begin(tid, label=arg or None))
+            else:
+                ops.append(end(tid))
+        return cls(ops)
+
+
+def _require(arg: Optional[str], token: str) -> str:
+    if not arg:
+        raise TraceError(f"missing argument in trace token: {token!r}")
+    return arg

@@ -1,0 +1,35 @@
+"""Happens-before graph machinery: nodes, steps, edges, GC, encoding."""
+
+from repro.graph.dot import graph_to_dot
+from repro.graph.hbgraph import Cycle, CycleStrategy, GraphStats, HBGraph
+from repro.graph.node import EdgeInfo, Step, TxNode, deref
+from repro.graph.stepcode import (
+    NIL,
+    MAX_SLOTS,
+    NODE_BITS,
+    TIMESTAMP_BITS,
+    NodePool,
+    SlotsExhausted,
+    pack,
+    unpack,
+)
+
+__all__ = [
+    "Cycle",
+    "CycleStrategy",
+    "EdgeInfo",
+    "GraphStats",
+    "HBGraph",
+    "MAX_SLOTS",
+    "NIL",
+    "NODE_BITS",
+    "NodePool",
+    "SlotsExhausted",
+    "Step",
+    "TIMESTAMP_BITS",
+    "TxNode",
+    "deref",
+    "graph_to_dot",
+    "pack",
+    "unpack",
+]

@@ -1,0 +1,55 @@
+"""Render a live happens-before graph in Graphviz dot format.
+
+Complements :func:`repro.core.reports.cycle_to_dot` (which renders one
+warning's cycle): this renders the *entire* live graph — every
+uncollected transaction node and every edge with its inducing operation
+and timestamps — which is the view you want when debugging the analysis
+itself or demonstrating the GC behaviour (the live graph stays tiny).
+"""
+
+from __future__ import annotations
+
+from repro.graph.hbgraph import HBGraph
+
+
+def _escape(text: str) -> str:
+    return text.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def graph_to_dot(
+    graph: HBGraph,
+    title: str = "",
+    show_timestamps: bool = True,
+) -> str:
+    """The live graph as a dot digraph.
+
+    Current transactions are drawn with a bold border, finished ones
+    plain; each edge label carries the inducing operation and, when
+    ``show_timestamps``, the ``tail@ts -> head@ts`` pair used by blame
+    assignment.
+    """
+    lines = ["digraph happens_before {"]
+    if title:
+        lines.append(f'  label="{_escape(title)}"; labelloc=t;')
+    lines.append("  node [shape=box];")
+    nodes = sorted(graph.live_nodes, key=lambda node: node.seq)
+    for node in nodes:
+        attrs = [f'label="{_escape(node.display_name())}"']
+        if node.current:
+            attrs.append("penwidth=2")
+        lines.append(f'  n{node.seq} [{", ".join(attrs)}];')
+    for node in nodes:
+        for successor, info in sorted(
+            node.out_edges.items(), key=lambda item: item[0].seq
+        ):
+            label = info.reason
+            if show_timestamps:
+                label = (
+                    f"{label} [{info.tail_timestamp}->{info.head_timestamp}]"
+                )
+            lines.append(
+                f'  n{node.seq} -> n{successor.seq} '
+                f'[label="{_escape(label)}"];'
+            )
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,366 @@
+"""The transactional happens-before graph.
+
+This is the central data structure of the Velodrome analysis (paper
+Sections 3-5).  Nodes are transactions; edges are happens-before
+constraints induced by conflicting operations, annotated with the
+timestamps of the operations at their tail and head.  The graph
+
+* is kept *acyclic*: an edge whose addition would create a cycle is the
+  analysis's error signal, is reported as a :class:`Cycle`, and is not
+  inserted (paper Section 5);
+* stores at most one edge per ordered node pair, with later edges
+  replacing earlier timestamps (the ``H (+) G`` operator of Section 4.3);
+* is garbage collected by reference counting: a finished node with no
+  incoming edges can never join a cycle and is collected immediately,
+  cascading to successors (Section 4.1);
+* answers reachability queries either via incrementally-maintained
+  ancestor sets (the paper's choice, Section 5) or via on-demand DFS
+  (kept as an ablation baseline).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Literal, Optional
+
+from repro.graph.node import EdgeInfo, Step, TxNode
+
+CycleStrategy = Literal["ancestors", "dfs"]
+
+
+@dataclass(slots=True)
+class GraphStats:
+    """Counters exposed for the Table 1 node-count experiment."""
+
+    allocated: int = 0
+    collected: int = 0
+    live: int = 0
+    max_alive: int = 0
+    edges_added: int = 0
+    edges_replaced: int = 0
+    cycle_checks: int = 0
+    cycles_found: int = 0
+    merges: int = 0
+
+    def note_alloc(self) -> None:
+        self.allocated += 1
+        self.live += 1
+        if self.live > self.max_alive:
+            self.max_alive = self.live
+
+    def note_collect(self) -> None:
+        self.collected += 1
+        self.live -= 1
+
+
+@dataclass(frozen=True)
+class Cycle:
+    """A happens-before cycle found when adding ``closing_src -> closing_dst``.
+
+    ``path`` is the pre-existing chain of edges from the closing edge's
+    destination node back to its source node, so the full cycle reads::
+
+        dst --path edges--> src --closing edge--> dst
+
+    The node whose thread performed the cycle-closing operation is
+    ``dst`` (incoming edges are only ever added to the thread's current
+    transaction), so ``dst`` is the blame candidate ``D`` of Section 4.3.
+    """
+
+    closing_src: Step
+    closing_dst: Step
+    closing_reason: str
+    path: tuple[tuple[TxNode, TxNode, EdgeInfo], ...]
+
+    @property
+    def blamed_candidate(self) -> TxNode:
+        """The current transaction ``D`` that completed the cycle."""
+        return self.closing_dst.node
+
+    @property
+    def nodes(self) -> tuple[TxNode, ...]:
+        """Cycle nodes in order, starting at the blame candidate."""
+        return (self.closing_dst.node,) + tuple(v for _u, v, _e in self.path)
+
+    @property
+    def root_timestamp(self) -> int:
+        """Timestamp of the root operation ``d'`` inside ``D``.
+
+        The tail of the first path edge — the earlier operation of the
+        blamed transaction that the rest of the cycle happens-after.
+        """
+        return self.path[0][2].tail_timestamp
+
+    @property
+    def target_timestamp(self) -> int:
+        """Timestamp of the target operation ``d`` that closed the cycle."""
+        return self.closing_dst.timestamp
+
+    def is_increasing(self) -> bool:
+        """The increasing-cycle test of Section 4.3.
+
+        For every node ``m`` other than the blame candidate, the
+        timestamp on the cycle's incoming edge to ``m`` must be at most
+        the timestamp on its outgoing edge.  When this holds, the
+        transactional cycle reflects an operation-level happens-before
+        path ``d' < ... < d`` with both endpoints in ``D``, so ``D`` is
+        not self-serializable and can be blamed.
+        """
+        # Edge sequence around the cycle: path edges then the closing edge.
+        infos = [info for _u, _v, info in self.path]
+        closing = EdgeInfo(
+            self.closing_src.timestamp, self.closing_dst.timestamp,
+            self.closing_reason,
+        )
+        infos.append(closing)
+        # Interior node m = path[i] target; incoming edge infos[i],
+        # outgoing edge infos[i + 1].
+        for i in range(len(infos) - 1):
+            if infos[i].head_timestamp > infos[i + 1].tail_timestamp:
+                return False
+        return True
+
+    def edge_descriptions(self) -> list[tuple[str, str, str]]:
+        """(source name, destination name, reason) per edge, in order."""
+        rows = [
+            (u.display_name(), v.display_name(), info.reason)
+            for u, v, info in self.path
+        ]
+        rows.append(
+            (
+                self.closing_src.node.display_name(),
+                self.closing_dst.node.display_name(),
+                self.closing_reason,
+            )
+        )
+        return rows
+
+    def __str__(self) -> str:
+        names = " -> ".join(n.display_name() for n in self.nodes)
+        return f"Cycle[{names} -> {self.nodes[0].display_name()}]"
+
+
+class HBGraph:
+    """Acyclic transactional happens-before graph with GC.
+
+    Args:
+        cycle_strategy: ``"ancestors"`` maintains per-node ancestor sets
+            for O(1) reachability (the paper's implementation);
+            ``"dfs"`` answers reachability by search (ablation A1).
+        collect_garbage: disable to measure GC's effect (ablation A2).
+    """
+
+    def __init__(
+        self,
+        cycle_strategy: CycleStrategy = "ancestors",
+        collect_garbage: bool = True,
+    ):
+        if cycle_strategy not in ("ancestors", "dfs"):
+            raise ValueError(f"unknown cycle strategy: {cycle_strategy!r}")
+        self.cycle_strategy = cycle_strategy
+        self.collect_garbage = collect_garbage
+        self.stats = GraphStats()
+        self._next_seq = 0
+        self._live: set[TxNode] = set()
+        #: Optional hooks invoked on node allocation and collection —
+        #: the compact state representation uses them to assign and
+        #: recycle NodePool slots.
+        self.on_alloc: Optional[callable] = None
+        self.on_collect: Optional[callable] = None
+
+    # ---------------------------------------------------------------- nodes
+    def new_node(self, tid: int, label: Optional[str] = None) -> TxNode:
+        """Allocate a fresh, current transaction node for thread ``tid``."""
+        node = TxNode(self._next_seq, tid, label=label)
+        self._next_seq += 1
+        self._live.add(node)
+        self.stats.note_alloc()
+        if self.on_alloc is not None:
+            self.on_alloc(node)
+        return node
+
+    def finish(self, node: TxNode) -> None:
+        """Mark ``node``'s transaction as ended; collect if possible."""
+        node.current = False
+        if self.collect_garbage and node.collectible:
+            self._collect(node)
+
+    @property
+    def live_nodes(self) -> frozenset[TxNode]:
+        """A snapshot of the currently live nodes."""
+        return frozenset(self._live)
+
+    # ---------------------------------------------------------------- edges
+    def add_edge(self, src: Step, dst: Step, reason: str = "") -> Optional[Cycle]:
+        """Add the happens-before edge ``src -> dst``.
+
+        Self edges (same node) are filtered, matching the paper's
+        ``H (+) E`` operator.  If the edge would create a cycle, the
+        graph is left unchanged and the :class:`Cycle` is returned;
+        otherwise returns ``None``.  An existing edge between the same
+        node pair has its timestamps and reason replaced.
+        """
+        src_node, dst_node = src.node, dst.node
+        if src_node is dst_node:
+            return None
+        if src_node.collected or dst_node.collected:
+            raise ValueError("edge endpoint has been garbage collected")
+        self.stats.cycle_checks += 1
+        if self._reaches(dst_node, src_node):
+            self.stats.cycles_found += 1
+            return self._build_cycle(src, dst, reason)
+        info = src_node.out_edges.get(dst_node)
+        if info is not None:
+            info.tail_timestamp = src.timestamp
+            info.head_timestamp = dst.timestamp
+            info.reason = reason
+            self.stats.edges_replaced += 1
+            return None
+        src_node.out_edges[dst_node] = EdgeInfo(src.timestamp, dst.timestamp, reason)
+        dst_node.incoming += 1
+        self.stats.edges_added += 1
+        if self.cycle_strategy == "ancestors":
+            self._propagate_ancestors(src_node, dst_node)
+        return None
+
+    # ---------------------------------------------------------- reachability
+    def reaches(self, a: Optional[TxNode], b: Optional[TxNode]) -> bool:
+        """True iff ``a`` happens-before-or-equals ``b`` (``a == b`` counts)."""
+        if a is None or b is None:
+            return False
+        if a is b:
+            return True
+        return self._reaches(a, b)
+
+    def _reaches(self, a: TxNode, b: TxNode) -> bool:
+        """Strict reachability ``a ->+ b`` (excluding ``a is b``)."""
+        if a is b:
+            return False
+        if self.cycle_strategy == "ancestors":
+            return a in b.ancestors
+        stack = [a]
+        seen = {a}
+        while stack:
+            node = stack.pop()
+            for succ in node.out_edges:
+                if succ is b:
+                    return True
+                if succ not in seen:
+                    seen.add(succ)
+                    stack.append(succ)
+        return False
+
+    def _propagate_ancestors(self, src: TxNode, dst: TxNode) -> None:
+        """Fold ``ancestors(src) + {src}`` into ``dst`` and its descendants."""
+        fresh = src.ancestors | {src}
+        worklist = [(dst, fresh)]
+        while worklist:
+            node, incoming = worklist.pop()
+            missing = incoming - node.ancestors
+            if not missing:
+                continue
+            node.ancestors |= missing
+            for succ in node.out_edges:
+                worklist.append((succ, missing))
+
+    # --------------------------------------------------------------- cycles
+    def _build_cycle(self, src: Step, dst: Step, reason: str) -> Cycle:
+        """Recover a shortest path ``dst.node ->* src.node`` (BFS)."""
+        start, goal = dst.node, src.node
+        parents: dict[TxNode, TxNode] = {}
+        frontier = [start]
+        seen = {start}
+        found = False
+        while frontier and not found:
+            next_frontier: list[TxNode] = []
+            for node in frontier:
+                for succ in node.out_edges:
+                    if succ in seen:
+                        continue
+                    parents[succ] = node
+                    if succ is goal:
+                        found = True
+                        break
+                    seen.add(succ)
+                    next_frontier.append(succ)
+                if found:
+                    break
+            frontier = next_frontier
+        if not found:
+            raise AssertionError("cycle reported but no path found")
+        # Walk back from goal to start.
+        chain = [goal]
+        while chain[-1] is not start:
+            chain.append(parents[chain[-1]])
+        chain.reverse()
+        path = tuple(
+            (u, v, u.out_edges[v]) for u, v in zip(chain, chain[1:])
+        )
+        return Cycle(src, dst, reason, path)
+
+    # ------------------------------------------------------------------- GC
+    def maybe_collect(self, node: TxNode) -> None:
+        """Collect ``node`` now if the GC rule permits it."""
+        if self.collect_garbage and node.collectible:
+            self._collect(node)
+
+    def _collect(self, root: TxNode) -> None:
+        stack = [root]
+        while stack:
+            node = stack.pop()
+            if not node.collectible:
+                continue
+            node.collected = True
+            self._live.discard(node)
+            self.stats.note_collect()
+            if self.on_collect is not None:
+                self.on_collect(node)
+            if self.cycle_strategy == "ancestors":
+                self._prune_ancestor(node)
+            for succ in node.out_edges:
+                succ.incoming -= 1
+                if succ.collectible:
+                    stack.append(succ)
+            node.out_edges.clear()
+            node.ancestors.clear()
+
+    def _prune_ancestor(self, node: TxNode) -> None:
+        """Remove a dying node from its descendants' ancestor sets.
+
+        A node is only collected once it has no incoming edges, so every
+        path through it starts at it; removing it from descendants keeps
+        the live ancestor sets exact.
+        """
+        worklist = list(node.out_edges)
+        while worklist:
+            desc = worklist.pop()
+            if node in desc.ancestors:
+                desc.ancestors.discard(node)
+                worklist.extend(desc.out_edges)
+
+    # -------------------------------------------------------------- queries
+    def check_acyclic(self) -> None:
+        """Assert the live graph is acyclic (test/debug helper)."""
+        colour: dict[TxNode, int] = {}
+
+        def visit(node: TxNode) -> None:
+            colour[node] = 1
+            for succ in node.out_edges:
+                state = colour.get(succ, 0)
+                if state == 1:
+                    raise AssertionError(f"cycle through {succ!r}")
+                if state == 0:
+                    visit(succ)
+            colour[node] = 2
+
+        for node in list(self._live):
+            if colour.get(node, 0) == 0:
+                visit(node)
+
+    def edge_list(self) -> list[tuple[TxNode, TxNode, EdgeInfo]]:
+        """All live edges (for tests and error-graph rendering)."""
+        return [
+            (u, v, info)
+            for u in self._live
+            for v, info in u.out_edges.items()
+        ]

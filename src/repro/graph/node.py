@@ -1,0 +1,146 @@
+"""Transaction nodes and steps of the happens-before graph.
+
+A :class:`TxNode` represents one transaction in the transactional
+happens-before graph (paper Sections 3-4).  A :class:`Step` pairs a node
+with a timestamp identifying a particular operation within that
+transaction; the optimized analysis of Figure 4 stores steps (not bare
+nodes) in its state components so that blame assignment can recover the
+operations inducing each graph edge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+class TxNode:
+    """A node of the transactional happens-before graph.
+
+    Node lifecycle (paper Section 4.1): a node is *current* while its
+    thread is still executing the transaction; incoming edges can only
+    be added while it is current.  Once the transaction finishes and the
+    node has no incoming edges it can never lie on a cycle, so it is
+    *collected*.  Collected nodes are permanently dead; the analysis's
+    weak references to them (from L, U, R, W) are interpreted as absent.
+
+    Attributes:
+        seq: global allocation sequence number (diagnostics and stats).
+        tid: the thread that executed this transaction.
+        label: atomic-block label for error reporting, or ``None``.
+        current: True while the owning thread is inside the transaction.
+        collected: True once garbage collected.
+        incoming: number of happens-before edges targeting this node.
+        out_edges: successor node -> :class:`EdgeInfo`.
+        ancestors: every live node with a happens-before path to this
+            node.  Maintained incrementally; membership gives O(1)
+            cycle and reachability checks.
+        last_timestamp: highest timestamp handed out inside this
+            transaction (used by the compact step encoding).
+    """
+
+    __slots__ = (
+        "seq",
+        "tid",
+        "label",
+        "current",
+        "collected",
+        "incoming",
+        "out_edges",
+        "ancestors",
+        "last_timestamp",
+        "slot",
+    )
+
+    def __init__(self, seq: int, tid: int, label: Optional[str] = None):
+        self.seq = seq
+        self.tid = tid
+        self.label = label
+        self.current = True
+        self.collected = False
+        self.incoming = 0
+        self.out_edges: dict[TxNode, EdgeInfo] = {}
+        self.ancestors: set[TxNode] = set()
+        self.last_timestamp = 0
+        self.slot: Optional[int] = None
+
+    @property
+    def alive(self) -> bool:
+        """True while the node has not been collected."""
+        return not self.collected
+
+    @property
+    def collectible(self) -> bool:
+        """True when the GC rule permits collecting this node.
+
+        A node is collectible once it is finished (not current) and has
+        no incoming edges — it can then never appear on a cycle.
+        """
+        return not self.current and self.incoming == 0 and not self.collected
+
+    def display_name(self) -> str:
+        base = self.label or "tx"
+        return f"{base}#{self.seq}(t{self.tid})"
+
+    def __repr__(self) -> str:
+        flags = "".join(
+            flag
+            for flag, on in (
+                ("c", self.current),
+                ("x", self.collected),
+            )
+            if on
+        )
+        return f"<TxNode {self.display_name()} in={self.incoming} {flags}>"
+
+
+@dataclass(slots=True)
+class EdgeInfo:
+    """Metadata attached to one happens-before edge.
+
+    The paper stores, with each edge, the timestamps of the operations
+    at its tail and head (Section 4.3); at most one edge exists per
+    ordered node pair, and a later edge between the same pair replaces
+    the earlier timestamps.  ``reason`` records the operations inducing
+    the edge, for error-graph rendering.
+    """
+
+    tail_timestamp: int
+    head_timestamp: int
+    reason: str = ""
+
+
+@dataclass(frozen=True, slots=True)
+class Step:
+    """A (transaction node, timestamp) pair — one operation's identity.
+
+    Timestamps count operations within a transaction, starting at 0 for
+    the operation that created the node.  ``step.next()`` is the paper's
+    ``L(t)+1`` notation.
+    """
+
+    node: TxNode
+    timestamp: int
+
+    def next(self) -> "Step":
+        """The step one operation later in the same transaction."""
+        return Step(self.node, self.timestamp + 1)
+
+    def deref(self) -> Optional["Step"]:
+        """This step, or ``None`` if its node has been collected.
+
+        Implements the weak-reference discipline of Section 4.1: state
+        components L, U, R, W may retain steps of collected nodes, which
+        must then read as absent.
+        """
+        return None if self.node.collected else self
+
+    def __repr__(self) -> str:
+        return f"{self.node.display_name()}@{self.timestamp}"
+
+
+def deref(step: Optional[Step]) -> Optional[Step]:
+    """Dereference an optional weak step reference (None-propagating)."""
+    if step is None or step.node.collected:
+        return None
+    return step

@@ -1,0 +1,126 @@
+"""Compact 64-bit step encoding with node recycling (paper Section 5).
+
+The Velodrome prototype represents each step as a 64-bit integer whose
+top 16 bits identify a node slot and whose low 48 bits are a timestamp
+within that node.  Node slots are recycled when nodes are collected;
+to keep recycled slots from resurrecting dead steps, the pool records
+the last timestamp each slot used before collection, and a dereference
+of a step whose timestamp falls at or below that watermark reads as
+absent (the conceptual node it named is gone).
+
+Timestamps on a slot therefore increase monotonically across recycles:
+a slot's next incarnation starts numbering after the watermark.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.graph.node import Step, TxNode
+
+NODE_BITS = 16
+TIMESTAMP_BITS = 48
+MAX_SLOTS = 1 << NODE_BITS
+TIMESTAMP_MASK = (1 << TIMESTAMP_BITS) - 1
+
+#: The packed representation of the absent step (the paper's bottom).
+NIL = -1
+
+
+def pack(slot: int, timestamp: int) -> int:
+    """Pack a (slot, timestamp) pair into one 64-bit integer."""
+    if not 0 <= slot < MAX_SLOTS:
+        raise ValueError(f"node slot {slot} out of range")
+    if not 0 <= timestamp <= TIMESTAMP_MASK:
+        raise ValueError(f"timestamp {timestamp} out of range")
+    return (slot << TIMESTAMP_BITS) | timestamp
+
+
+def unpack(code: int) -> tuple[int, int]:
+    """Unpack a 64-bit step code into its (slot, timestamp) pair."""
+    if code < 0:
+        raise ValueError("cannot unpack NIL")
+    return code >> TIMESTAMP_BITS, code & TIMESTAMP_MASK
+
+
+class SlotsExhausted(RuntimeError):
+    """Raised when more live nodes exist than the encoding can name."""
+
+
+class NodePool:
+    """Allocates node slots and resolves packed steps to live nodes.
+
+    The pool tracks, per slot, the currently-resident :class:`TxNode`
+    (if any) and the timestamp watermark below which steps are dead.
+    ``encode``/``decode`` convert between object-level :class:`Step`
+    values and packed integers; ``decode`` returns ``None`` for steps
+    of collected nodes, implementing the weak-reference discipline
+    without per-step back-pointers.
+    """
+
+    def __init__(self, max_slots: int = MAX_SLOTS):
+        self.max_slots = max_slots
+        self._resident: list[Optional[TxNode]] = []
+        self._watermark: list[int] = []
+        self._base: list[int] = []
+        self._free: list[int] = []
+
+    @property
+    def slots_in_use(self) -> int:
+        """Number of slots currently holding a live node."""
+        return sum(1 for node in self._resident if node is not None)
+
+    def attach(self, node: TxNode) -> int:
+        """Assign a slot to a freshly-allocated node.
+
+        The node's timestamps (starting at its local 0) are biased by
+        the slot's watermark so that packed timestamps keep increasing
+        across recycles.
+        """
+        if self._free:
+            slot = self._free.pop()
+        else:
+            if len(self._resident) >= self.max_slots:
+                raise SlotsExhausted(
+                    f"all {self.max_slots} node slots hold live nodes"
+                )
+            slot = len(self._resident)
+            self._resident.append(None)
+            self._watermark.append(-1)
+            self._base.append(0)
+        self._resident[slot] = node
+        self._base[slot] = self._watermark[slot] + 1
+        node.slot = slot
+        return slot
+
+    def detach(self, node: TxNode) -> None:
+        """Release a collected node's slot for recycling."""
+        slot = node.slot
+        if slot is None or self._resident[slot] is not node:
+            raise ValueError("node is not resident in this pool")
+        self._watermark[slot] = self._base[slot] + node.last_timestamp
+        self._resident[slot] = None
+        self._free.append(slot)
+
+    def encode(self, step: Optional[Step]) -> int:
+        """Pack a step; absent (or collected-node) steps pack to NIL."""
+        if step is None or step.node.collected:
+            return NIL
+        slot = step.node.slot
+        if slot is None:
+            raise ValueError("node has no slot; call attach() first")
+        return pack(slot, self._base[slot] + step.timestamp)
+
+    def decode(self, code: int) -> Optional[Step]:
+        """Unpack a step code; dead or NIL codes decode to ``None``."""
+        if code == NIL:
+            return None
+        slot, biased = unpack(code)
+        if slot >= len(self._resident):
+            return None
+        if biased <= self._watermark[slot]:
+            return None
+        node = self._resident[slot]
+        if node is None:
+            return None
+        return Step(node, biased - self._base[slot])

@@ -1,0 +1,23 @@
+"""Experiment harnesses regenerating every table and figure (DESIGN.md §4)."""
+
+from repro.harness.formatting import render_table
+from repro.harness.injection import InjectionResult, run_injection
+from repro.harness.report import generate_report
+from repro.harness.sensitivity import SensitivityResult, measure as measure_sensitivity
+from repro.harness.table1 import Table1Result, measure_workload, run_table1
+from repro.harness.table2 import Table2Result, run_table2, score_workload
+
+__all__ = [
+    "InjectionResult",
+    "Table1Result",
+    "Table2Result",
+    "measure_workload",
+    "render_table",
+    "generate_report",
+    "run_injection",
+    "run_table1",
+    "run_table2",
+    "SensitivityResult",
+    "measure_sensitivity",
+    "score_workload",
+]

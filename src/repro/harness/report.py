@@ -1,0 +1,115 @@
+"""One-shot evaluation report: every experiment, paper vs. measured.
+
+Runs E1-E4 and writes a single markdown report comparing measured
+numbers to the paper's published ones — a regenerable EXPERIMENTS.md.
+
+Run as a script::
+
+    python -m repro.harness.report [--out report.md] [--scale S] [--seeds N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import io
+from typing import Optional, Sequence
+
+from repro.harness.injection import run_injection
+from repro.harness.table1 import run_table1
+from repro.harness.table2 import run_table2
+from repro.workloads import all_workloads
+
+
+def generate_report(
+    scale: float = 1.0,
+    seeds: int = 5,
+    repeats: int = 2,
+    workload_names: Optional[Sequence[str]] = None,
+) -> str:
+    """Run all experiments and render the markdown report.
+
+    ``workload_names`` restricts E1-E3 to a subset (tests use this);
+    the injection study always runs both families.
+    """
+    from repro.workloads.base import get
+
+    selected = (
+        None
+        if workload_names is None
+        else [get(name) for name in workload_names]
+    )
+    out = io.StringIO()
+    write = out.write
+    write("# Velodrome reproduction — evaluation report\n\n")
+    write(f"Configuration: scale={scale}, seeds={seeds}, repeats={repeats}.\n")
+    write("Shapes, not absolute numbers, are the reproducible quantity "
+          "(see DESIGN.md).\n\n")
+
+    # ---------------------------------------------------------------- E1/E2
+    write("## E1/E2 — Table 1 (slowdowns and node counts)\n\n```\n")
+    table1 = run_table1(selected, scale=scale, repeats=repeats)
+    write(table1.render())
+    write("\n```\n\n")
+    write("Mean slowdowns: "
+          + ", ".join(
+              f"{name}={table1.mean_slowdown(name):.2f}x"
+              for name in ("empty", "eraser", "atomizer", "velodrome"))
+          + " — paper ordering Empty <= Eraser <= Atomizer ~ Velodrome.\n\n")
+    write("| program | merge ratio (measured) | merge ratio (paper) |\n")
+    write("|---|---|---|\n")
+    reported = selected if selected is not None else all_workloads()
+    for row, workload in zip(table1.rows, reported):
+        paper = workload.table1
+        measured = row.nodes_allocated_without_merge / max(
+            1, row.nodes_allocated_with_merge
+        )
+        published = paper.nodes_allocated_without_merge / max(
+            1, paper.nodes_allocated_with_merge
+        )
+        write(f"| {row.name} | {measured:.1f}x | {published:.1f}x |\n")
+    write("\n")
+
+    # ------------------------------------------------------------------ E3
+    write("## E3 — Table 2 (warnings)\n\n```\n")
+    table2 = run_table2(selected, seeds=range(seeds), scale=scale)
+    write(table2.render())
+    write("\n```\n\n")
+    write("| metric | measured | paper |\n|---|---|---|\n")
+    totals = table2.totals()
+    write(f"| Atomizer non-serial | {totals.atomizer_non_serial} | 154 |\n")
+    write(f"| Atomizer false alarms | {totals.atomizer_false_alarms} | 84 |\n")
+    write(f"| Velodrome non-serial | {totals.velodrome_non_serial} | 133 |\n")
+    write(f"| Velodrome false alarms | {totals.velodrome_false_alarms} | 0 |\n")
+    write(f"| Velodrome missed | {totals.velodrome_missed} | 21 |\n")
+    write(f"| recall vs Atomizer | {table2.recall_vs_atomizer:.0%} | 85% |\n")
+    write(f"| blame rate | {table2.blame_rate:.0%} | >80% |\n\n")
+
+    # ------------------------------------------------------------------ E4
+    write("## E4 — defect injection (Section 6)\n\n```\n")
+    injection = run_injection(seeds=range(seeds))
+    write(injection.render())
+    write("\n```\n")
+    return out.getvalue()
+
+
+def main(argv: Optional[Sequence[str]] = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default=None,
+                        help="write the report here (default: stdout)")
+    parser.add_argument("--scale", type=float, default=1.0)
+    parser.add_argument("--seeds", type=int, default=5)
+    parser.add_argument("--repeats", type=int, default=2)
+    args = parser.parse_args(argv)
+    report = generate_report(
+        scale=args.scale, seeds=args.seeds, repeats=args.repeats
+    )
+    if args.out:
+        with open(args.out, "w") as stream:
+            stream.write(report)
+        print(f"report written to {args.out}")
+    else:
+        print(report)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,200 @@
+"""Experiments E1 and E2: reproduce Table 1.
+
+E1 — per-benchmark analysis overhead: run each workload uninstrumented
+(the base time), then once per backend (Empty, Eraser, Atomizer,
+Velodrome), reporting each backend's slowdown.  Following the paper's
+methodology, the run excludes (via a block filter) the atomic blocks of
+methods known to be non-atomic, mimicking a program that satisfies its
+atomicity specification.
+
+E2 — happens-before graph statistics: run the optimized Velodrome
+analysis with the Figure 4 merge rules disabled (the naive [INS
+OUTSIDE] allocation) and enabled, reporting nodes allocated and the
+maximum simultaneously alive — the "Transactions Without/With Merge"
+columns.
+
+Run as a script::
+
+    python -m repro.harness.table1 [--scale S] [--seed N]
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+from repro.baselines.atomizer import Atomizer
+from repro.baselines.empty import EmptyAnalysis
+from repro.baselines.eraser import EraserLockSet
+from repro.core.backend import AnalysisBackend
+from repro.core.optimized import VelodromeOptimized
+from repro.harness.formatting import ratio, render_table
+from repro.runtime.instrument import BlockFilter
+from repro.runtime.scheduler import RandomScheduler
+from repro.runtime.tool import run_uninstrumented, run_with_backends
+from repro.workloads.base import Workload, all_workloads
+
+#: The Table 1 backend columns, in paper order.
+BACKENDS: list[tuple[str, Callable[[], AnalysisBackend]]] = [
+    ("empty", EmptyAnalysis),
+    ("eraser", EraserLockSet),
+    ("atomizer", Atomizer),
+    (
+        "velodrome",
+        lambda: VelodromeOptimized(first_warning_per_label=True),
+    ),
+]
+
+
+@dataclass
+class Table1Row:
+    """Measured Table 1 numbers for one benchmark."""
+
+    name: str
+    events: int
+    base_time: float
+    slowdowns: dict[str, float] = field(default_factory=dict)
+    nodes_allocated_without_merge: int = 0
+    max_alive_without_merge: int = 0
+    nodes_allocated_with_merge: int = 0
+    max_alive_with_merge: int = 0
+
+
+@dataclass
+class Table1Result:
+    rows: list[Table1Row] = field(default_factory=list)
+
+    def render(self) -> str:
+        headers = (
+            ["Program", "Events", "Base(s)"]
+            + [name.capitalize() for name, _factory in BACKENDS]
+            + ["Alloc w/o merge", "Alive w/o", "Alloc w/ merge", "Alive w/"]
+        )
+        rows = []
+        for row in self.rows:
+            rows.append(
+                [
+                    row.name,
+                    row.events,
+                    f"{row.base_time:.3f}",
+                ]
+                + [f"{row.slowdowns[name]:.1f}" for name, _f in BACKENDS]
+                + [
+                    row.nodes_allocated_without_merge,
+                    row.max_alive_without_merge,
+                    row.nodes_allocated_with_merge,
+                    row.max_alive_with_merge,
+                ]
+            )
+        return render_table(
+            headers, rows,
+            title="Table 1: slowdowns and happens-before graph statistics",
+        )
+
+    def mean_slowdown(self, backend: str) -> float:
+        values = [row.slowdowns[backend] for row in self.rows]
+        return sum(values) / len(values) if values else 0.0
+
+
+def _perf_filters(workload: Workload, scale: float):
+    """The paper's configuration: skip checking known-non-atomic methods."""
+    program = workload.program(scale)
+    return BlockFilter(program.non_atomic_methods)
+
+
+def measure_workload(
+    workload: Workload,
+    scale: float = 1.0,
+    seed: int = 0,
+    repeats: int = 1,
+) -> Table1Row:
+    """Measure base time, per-backend slowdowns, and node statistics."""
+    # Base (uninstrumented) time: best of `repeats`.
+    base_time = float("inf")
+    events = 0
+    for _ in range(repeats):
+        run, elapsed = run_uninstrumented(
+            workload.program(scale), scheduler=RandomScheduler(seed)
+        )
+        base_time = min(base_time, elapsed)
+        events = run.events
+    row = Table1Row(workload.name, events, base_time)
+    for name, factory in BACKENDS:
+        best = float("inf")
+        for _ in range(repeats):
+            program = workload.program(scale)
+            tool_run = run_with_backends(
+                program,
+                [factory()],
+                scheduler=RandomScheduler(seed),
+                filters=[BlockFilter(program.non_atomic_methods)],
+            )
+            best = min(best, tool_run.elapsed)
+        row.slowdowns[name] = ratio(best, base_time)
+    # E2: node statistics, under the same configuration as the timing
+    # runs (known-non-atomic methods excluded), matching the Table 1
+    # transaction-count columns.
+    for merge_unary, alloc_attr, alive_attr in (
+        (False, "nodes_allocated_without_merge", "max_alive_without_merge"),
+        (True, "nodes_allocated_with_merge", "max_alive_with_merge"),
+    ):
+        program = workload.program(scale)
+        tool_run = run_with_backends(
+            program,
+            [
+                VelodromeOptimized(
+                    merge_unary=merge_unary, first_warning_per_label=True
+                )
+            ],
+            scheduler=RandomScheduler(seed),
+            filters=[BlockFilter(program.non_atomic_methods)],
+        )
+        stats = tool_run.graph_stats()
+        setattr(row, alloc_attr, stats.allocated)
+        setattr(row, alive_attr, stats.max_alive)
+    return row
+
+
+def run_table1(
+    workloads: Optional[Sequence[Workload]] = None,
+    scale: float = 1.0,
+    seed: int = 0,
+    repeats: int = 1,
+) -> Table1Result:
+    """Measure every benchmark; see the module docstring."""
+    result = Table1Result()
+    for workload in workloads if workloads is not None else all_workloads():
+        result.rows.append(
+            measure_workload(workload, scale=scale, seed=seed, repeats=repeats)
+        )
+    return result
+
+
+def main(argv: Optional[Sequence[str]] = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=2.0)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--repeats", type=int, default=2)
+    parser.add_argument("--workload", action="append", default=None)
+    args = parser.parse_args(argv)
+    selected = None
+    if args.workload:
+        from repro.workloads.base import get
+
+        selected = [get(name) for name in args.workload]
+    result = run_table1(
+        selected, scale=args.scale, seed=args.seed, repeats=args.repeats
+    )
+    print(result.render())
+    print(
+        "Mean slowdowns: "
+        + ", ".join(
+            f"{name}={result.mean_slowdown(name):.2f}x"
+            for name, _f in BACKENDS
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,186 @@
+"""Experiment E3: reproduce Table 2 (warning precision and recall).
+
+For each benchmark, run the Atomizer and Velodrome over five seeded
+schedules (the paper uses five runs), take the union of warned method
+labels, and score against the workload's ground truth:
+
+* *non-serial*: warned labels that are genuinely non-atomic methods,
+* *false alarms*: warned labels that are actually atomic,
+* *missed* (Velodrome): non-atomic methods the Atomizer reported but
+  Velodrome never observed violated.
+
+Run as a script::
+
+    python -m repro.harness.table2 [--scale S] [--seeds N]
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+from repro.baselines.atomizer import Atomizer
+from repro.core.blame import summarize_blame
+from repro.core.optimized import VelodromeOptimized
+from repro.core.reports import Warning
+from repro.harness.formatting import render_table
+from repro.runtime.scheduler import RandomScheduler
+from repro.runtime.tool import run_with_backends
+from repro.workloads.base import Workload, all_workloads
+
+
+@dataclass
+class Table2Row:
+    """Measured Table 2 numbers for one benchmark."""
+
+    name: str
+    atomizer_non_serial: int
+    atomizer_false_alarms: int
+    velodrome_non_serial: int
+    velodrome_false_alarms: int
+    velodrome_missed: int
+    ground_truth: int
+    blame_total: int = 0
+    blame_assigned: int = 0
+
+
+@dataclass
+class Table2Result:
+    """All rows plus aggregate statistics."""
+
+    rows: list[Table2Row] = field(default_factory=list)
+
+    def totals(self) -> Table2Row:
+        total = Table2Row("Total", 0, 0, 0, 0, 0, 0)
+        for row in self.rows:
+            total.atomizer_non_serial += row.atomizer_non_serial
+            total.atomizer_false_alarms += row.atomizer_false_alarms
+            total.velodrome_non_serial += row.velodrome_non_serial
+            total.velodrome_false_alarms += row.velodrome_false_alarms
+            total.velodrome_missed += row.velodrome_missed
+            total.ground_truth += row.ground_truth
+            total.blame_total += row.blame_total
+            total.blame_assigned += row.blame_assigned
+        return total
+
+    @property
+    def recall_vs_atomizer(self) -> float:
+        """Fraction of Atomizer-found non-atomic methods Velodrome also
+        found (the paper's 85% headline)."""
+        total = self.totals()
+        if total.atomizer_non_serial == 0:
+            return 1.0
+        return total.velodrome_non_serial / total.atomizer_non_serial
+
+    @property
+    def atomizer_false_alarm_rate(self) -> float:
+        """Fraction of Atomizer warnings that are false (paper: ~40%)."""
+        total = self.totals()
+        warned = total.atomizer_non_serial + total.atomizer_false_alarms
+        return total.atomizer_false_alarms / warned if warned else 0.0
+
+    @property
+    def blame_rate(self) -> float:
+        """Fraction of Velodrome warnings with certified blame (>80%)."""
+        total = self.totals()
+        return (
+            total.blame_assigned / total.blame_total if total.blame_total else 0.0
+        )
+
+    def render(self) -> str:
+        headers = [
+            "Program",
+            "A:non-serial", "A:false-alarms",
+            "V:non-serial", "V:false-alarms", "V:missed",
+        ]
+        rows = [
+            [
+                row.name,
+                row.atomizer_non_serial, row.atomizer_false_alarms,
+                row.velodrome_non_serial, row.velodrome_false_alarms,
+                row.velodrome_missed,
+            ]
+            for row in self.rows + [self.totals()]
+        ]
+        body = render_table(headers, rows, title="Table 2: warnings (measured)")
+        return (
+            f"{body}\n"
+            f"Velodrome recall vs Atomizer: {self.recall_vs_atomizer:.0%} "
+            f"(paper: 85%)\n"
+            f"Atomizer false-alarm rate: {self.atomizer_false_alarm_rate:.0%} "
+            f"(paper: ~40%); Velodrome false alarms: "
+            f"{self.totals().velodrome_false_alarms} (paper: 0)\n"
+            f"Velodrome blame rate: {self.blame_rate:.0%} (paper: >80%)"
+        )
+
+
+def score_workload(
+    workload: Workload,
+    seeds: Iterable[int] = range(5),
+    scale: float = 1.0,
+) -> Table2Row:
+    """Run one benchmark across seeds and score against ground truth."""
+    velodrome_labels: set[str] = set()
+    atomizer_labels: set[str] = set()
+    velodrome_warnings: list[Warning] = []
+    ground_truth: set[str] = set()
+    for seed in seeds:
+        program = workload.program(scale)
+        ground_truth = program.non_atomic_methods
+        run = run_with_backends(
+            program,
+            [
+                VelodromeOptimized(first_warning_per_label=True),
+                Atomizer(),
+            ],
+            scheduler=RandomScheduler(seed),
+        )
+        velodrome, atomizer = run.backends
+        velodrome_labels |= velodrome.warned_labels()
+        atomizer_labels |= atomizer.warned_labels()
+        velodrome_warnings.extend(velodrome.warnings)
+    blame = summarize_blame(velodrome_warnings)
+    return Table2Row(
+        name=workload.name,
+        atomizer_non_serial=len(atomizer_labels & ground_truth),
+        atomizer_false_alarms=len(atomizer_labels - ground_truth),
+        velodrome_non_serial=len(velodrome_labels & ground_truth),
+        velodrome_false_alarms=len(velodrome_labels - ground_truth),
+        velodrome_missed=len((atomizer_labels & ground_truth) - velodrome_labels),
+        ground_truth=len(ground_truth),
+        blame_total=blame.total,
+        blame_assigned=blame.blamed,
+    )
+
+
+def run_table2(
+    workloads: Optional[Sequence[Workload]] = None,
+    seeds: Iterable[int] = range(5),
+    scale: float = 1.0,
+) -> Table2Result:
+    """Score every benchmark; see the module docstring."""
+    result = Table2Result()
+    seeds = list(seeds)
+    for workload in workloads if workloads is not None else all_workloads():
+        result.rows.append(score_workload(workload, seeds=seeds, scale=scale))
+    return result
+
+
+def main(argv: Optional[Sequence[str]] = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=1.0)
+    parser.add_argument("--seeds", type=int, default=5)
+    parser.add_argument("--workload", action="append", default=None)
+    args = parser.parse_args(argv)
+    selected = None
+    if args.workload:
+        from repro.workloads.base import get
+
+        selected = [get(name) for name in args.workload]
+    result = run_table2(selected, seeds=range(args.seeds), scale=args.scale)
+    print(result.render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,165 @@
+"""Bounded exhaustive schedule exploration (model checking lite).
+
+The paper's related work (Section 7, Hatcliff et al.) verifies
+atomicity by model checking, noting it is "feasible for unit testing,
+where the reachable state space is relatively small".  This module
+provides that mode for the interpreter: enumerate *every* interleaving
+of a program (up to optional bounds) and fold each resulting trace into
+a summary — e.g. which atomic blocks are violated on *some* schedule,
+which on none.
+
+Because a Velodrome-style dynamic analysis judges only the observed
+trace, exploration closes its coverage gap on small programs: a method
+reported atomic on every schedule is atomic for that program, full
+stop.  Used by the tests to validate workload ground truths and by
+``examples/model_checking.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Optional, Sequence
+
+from repro.core.optimized import VelodromeOptimized
+from repro.events.trace import Trace
+from repro.runtime.interpreter import Interpreter
+from repro.runtime.program import Program
+from repro.runtime.scheduler import Scheduler
+
+
+class _ScriptedScheduler:
+    """Replays a fixed prefix of choices, then records a default path.
+
+    When the prefix is exhausted the scheduler always picks the first
+    runnable thread, recording every decision point it encounters; the
+    explorer uses the record to branch on un-tried alternatives.
+    """
+
+    def __init__(self, prefix: Sequence[int]):
+        self.prefix = list(prefix)
+        self._position = 0
+        #: For each step: (chosen tid, tids runnable at that step).
+        self.decisions: list[tuple[int, tuple[int, ...]]] = []
+
+    def choose(self, runnable: Sequence[int], step: int) -> int:
+        options = tuple(sorted(runnable))
+        if self._position < len(self.prefix):
+            tid = self.prefix[self._position]
+            if tid not in runnable:
+                # The program is deterministic given the schedule, so a
+                # replayed prefix must stay valid.
+                raise AssertionError(
+                    f"scripted choice {tid} not runnable at step {step}"
+                )
+        else:
+            tid = options[0]
+        self._position += 1
+        self.decisions.append((tid, options))
+        return tid
+
+
+class ExplorationLimit(RuntimeError):
+    """Raised when exploration exceeds its schedule budget."""
+
+
+@dataclass
+class ExplorationResult:
+    """Summary of an exhaustive exploration."""
+
+    program_name: str
+    schedules: int = 0
+    violating_schedules: int = 0
+    violated_labels: set[str] = field(default_factory=set)
+    #: Minimal (first found) violating trace, if any.
+    witness: Optional[Trace] = None
+
+    @property
+    def always_atomic(self) -> bool:
+        """True iff no schedule produced any violation."""
+        return self.violating_schedules == 0
+
+    def violation_rate(self) -> float:
+        return (
+            self.violating_schedules / self.schedules if self.schedules else 0.0
+        )
+
+    def __str__(self) -> str:
+        status = "atomic on all schedules" if self.always_atomic else (
+            f"violations on {self.violating_schedules}/{self.schedules} "
+            f"schedules: {sorted(self.violated_labels)}"
+        )
+        return f"{self.program_name}: {self.schedules} schedules, {status}"
+
+
+def iter_schedules(
+    program_factory: Callable[[], Program],
+    max_schedules: int = 10_000,
+    max_steps: int = 10_000,
+) -> Iterator[tuple[list[int], Trace]]:
+    """Enumerate every schedule of the program, depth-first.
+
+    Yields ``(choice_sequence, trace)`` per complete execution.  The
+    program must be deterministic apart from scheduling (true of all
+    generator-based programs here).  Raises :class:`ExplorationLimit`
+    when more than ``max_schedules`` executions are attempted.
+    """
+    # Each stack entry is a schedule prefix to run.  Running a prefix
+    # reveals the decision points after it; alternatives are pushed.
+    pending: list[list[int]] = [[]]
+    executed = 0
+    while pending:
+        prefix = pending.pop()
+        if executed >= max_schedules:
+            raise ExplorationLimit(
+                f"more than {max_schedules} schedules"
+            )
+        executed += 1
+        scheduler = _ScriptedScheduler(prefix)
+        interpreter = Interpreter(
+            program_factory(),
+            scheduler=scheduler,
+            record_trace=True,
+            max_steps=max_steps,
+        )
+        run = interpreter.run()
+        yield [chosen for chosen, _options in scheduler.decisions], run.trace
+        # Branch on every decision made after the scripted prefix.
+        for index in range(len(prefix), len(scheduler.decisions)):
+            chosen, options = scheduler.decisions[index]
+            base = [d[0] for d in scheduler.decisions[:index]]
+            for alternative in options:
+                if alternative != chosen:
+                    pending.append(base + [alternative])
+
+
+def explore(
+    program_factory: Callable[[], Program],
+    max_schedules: int = 10_000,
+    max_steps: int = 10_000,
+    stop_at_first_violation: bool = False,
+) -> ExplorationResult:
+    """Run Velodrome over every schedule of the program.
+
+    Returns the aggregated :class:`ExplorationResult`; the verdict per
+    schedule comes from the optimized analysis (and hence is exact for
+    each observed trace).  With ``stop_at_first_violation`` the search
+    returns as soon as one violating schedule is found — enough to
+    certify a ground-truth "non-atomic" label without paying for the
+    full enumeration.
+    """
+    name = program_factory().name
+    result = ExplorationResult(program_name=name)
+    for _choices, trace in iter_schedules(
+        program_factory, max_schedules=max_schedules, max_steps=max_steps
+    ):
+        result.schedules += 1
+        backend = VelodromeOptimized(first_warning_per_label=True)
+        backend.process_trace(trace)
+        if backend.error_detected:
+            result.violating_schedules += 1
+            result.violated_labels |= backend.warned_labels()
+            if result.witness is None:
+                result.witness = trace
+            if stop_at_first_violation:
+                break
+    return result

@@ -1,0 +1,396 @@
+"""Deterministic interpreter for concurrent programs.
+
+Executes a :class:`repro.runtime.program.Program` under a pluggable
+scheduler, maintaining the Figure 1 global store and emitting one
+operation event per shared-memory or lock action to an event sink (the
+instrumentation pipeline).  This replaces the paper's JVM + RoadRunner
+substrate: analyses consume an identical event stream, but runs are
+seeded and reproducible, and interleaving happens at operation
+granularity independent of the host's threading (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.events.operations import Operation, acquire, begin, end, read, release, write
+from repro.events.semantics import GlobalStore
+from repro.events.trace import Trace
+from repro.runtime import program as prog
+from repro.runtime.scheduler import RoundRobinScheduler, Scheduler
+
+
+class DeadlockError(RuntimeError):
+    """All unfinished threads are blocked."""
+
+
+class StepLimitExceeded(RuntimeError):
+    """The run exceeded its step budget (livelock guard)."""
+
+
+class ThreadStatus(enum.Enum):
+    READY = "ready"
+    BLOCKED = "blocked"
+    FINISHED = "finished"
+
+
+def fork_var(tid: int) -> str:
+    """The fork hand-off variable written by a spawner of thread ``tid``."""
+    return f"__fork_t{tid}"
+
+
+def join_var(tid: int) -> str:
+    """The join variable written by thread ``tid`` on termination."""
+    return f"__join_t{tid}"
+
+
+@dataclass
+class _Thread:
+    """Interpreter-side record of one thread."""
+
+    tid: int
+    name: str
+    body: prog.ThreadBody
+    status: ThreadStatus = ThreadStatus.READY
+    response: Any = None
+    pending: Optional[prog.Request] = None
+    work_remaining: int = 0
+    lock_depth: dict[str, int] = field(default_factory=dict)
+    block_depth: int = 0
+    started: bool = False
+    queued: bool = False  # currently in the interpreter's runnable list
+
+    def holds(self, lock: str) -> bool:
+        return self.lock_depth.get(lock, 0) > 0
+
+
+@dataclass
+class RunResult:
+    """Outcome of one interpreted run."""
+
+    program_name: str
+    steps: int
+    events: int
+    threads: int
+    trace: Optional[Trace] = None
+    final_store: Optional[GlobalStore] = None
+
+
+class Interpreter:
+    """Runs a program to completion under a scheduler.
+
+    Args:
+        program: the program to execute.
+        scheduler: interleaving policy (default round-robin).
+        sink: called with each emitted :class:`Operation`; usually the
+            instrumentation pipeline's ``process``.
+        record_trace: also accumulate the full trace (tests and small
+            experiments; large benchmark runs leave this off).
+        max_steps: hard bound on scheduler steps (livelock guard).
+        array_granularity: how array elements name shared variables:
+            ``"element"`` (default) gives every index its own variable;
+            ``"object"`` aliases the whole array to one variable —
+            sound for the modeled program but imprecise, the contrast
+            behind the paper's no-arrays limitation (experiment X2).
+    """
+
+    def __init__(
+        self,
+        program: prog.Program,
+        scheduler: Optional[Scheduler] = None,
+        sink: Optional[Callable[[Operation], None]] = None,
+        record_trace: bool = False,
+        max_steps: int = 5_000_000,
+        array_granularity: str = "element",
+    ):
+        if array_granularity not in ("element", "object"):
+            raise ValueError(
+                f"unknown array granularity: {array_granularity!r}"
+            )
+        self.array_granularity = array_granularity
+        self.program = program
+        self.scheduler = scheduler if scheduler is not None else RoundRobinScheduler()
+        self.sink = sink
+        self.record_trace = record_trace
+        self.max_steps = max_steps
+        self.store = GlobalStore(dict(program.initial_store), {})
+        self._threads: dict[int, _Thread] = {}
+        self._next_tid = 1
+        self._ops: list[Operation] = []
+        self._events = 0
+        self._steps = 0
+        self._current_tid: Optional[int] = None
+        self._runnable: list[int] = []
+        self._unfinished = 0
+        self._lock_waiters: dict[str, list[int]] = {}
+        self._join_waiters: dict[int, list[int]] = {}
+        self._await_waiters: dict[str, list[int]] = {}
+        for spec in program.threads:
+            self._create_thread(spec.body, spec.name)
+
+    # --------------------------------------------------------------- running
+    @property
+    def current_tid(self) -> Optional[int]:
+        """The thread currently executing (for pause callbacks)."""
+        return self._current_tid
+
+    def run(self) -> RunResult:
+        """Execute until every thread finishes.
+
+        The runnable set is maintained incrementally: threads leave it
+        when they block (lock contention, join, await) and re-enter
+        when the event they wait for occurs (release, thread finish,
+        matching write).  This keeps the per-step cost independent of
+        the total thread count.
+        """
+        runnable = self._runnable
+        while True:
+            if not runnable:
+                if self._unfinished == 0:
+                    break
+                blocked = [
+                    f"{t.name}(t{t.tid}) on {t.pending!r}"
+                    for t in self._threads.values()
+                    if t.status is not ThreadStatus.FINISHED
+                ]
+                raise DeadlockError(
+                    f"{self.program.name}: all threads blocked: "
+                    + "; ".join(blocked)
+                )
+            if self._steps >= self.max_steps:
+                raise StepLimitExceeded(
+                    f"{self.program.name}: exceeded {self.max_steps} steps"
+                )
+            tid = self.scheduler.choose(runnable, self._steps)
+            self._steps += 1
+            self._advance(self._threads[tid])
+        return RunResult(
+            program_name=self.program.name,
+            steps=self._steps,
+            events=self._events,
+            threads=len(self._threads),
+            trace=Trace(self._ops) if self.record_trace else None,
+            final_store=self.store,
+        )
+
+    # ----------------------------------------------------------- thread mgmt
+    def _create_thread(
+        self, body_factory: prog.BodyFactory, name: Optional[str]
+    ) -> _Thread:
+        tid = self._next_tid
+        self._next_tid += 1
+        thread = _Thread(
+            tid=tid, name=name or f"thread-{tid}", body=body_factory()
+        )
+        self._threads[tid] = thread
+        self._unfinished += 1
+        self._enqueue(thread)
+        return thread
+
+    def _enqueue(self, thread: _Thread) -> None:
+        if not thread.queued and thread.status is not ThreadStatus.FINISHED:
+            thread.queued = True
+            self._runnable.append(thread.tid)
+
+    def _dequeue(self, thread: _Thread) -> None:
+        if thread.queued:
+            thread.queued = False
+            self._runnable.remove(thread.tid)
+
+    def _wake_lock_waiters(self, lock: str) -> None:
+        waiters = self._lock_waiters.pop(lock, None)
+        if waiters:
+            for tid in waiters:
+                self._enqueue(self._threads[tid])
+
+    def _wake_awaiters(self, var: str) -> None:
+        waiters = self._await_waiters.pop(var, None)
+        if waiters:
+            for tid in waiters:
+                self._enqueue(self._threads[tid])
+
+    def _is_runnable(self, thread: _Thread) -> bool:
+        if thread.status is ThreadStatus.FINISHED:
+            return False
+        if thread.status is ThreadStatus.READY:
+            return True
+        # Blocked: check whether the pending request can now proceed.
+        pending = thread.pending
+        if isinstance(pending, prog.Acquire):
+            owner = self.store.holder(pending.lock)
+            return owner is None or owner == thread.tid
+        if isinstance(pending, prog.Join):
+            target = self._threads.get(pending.tid)
+            return target is not None and target.status is ThreadStatus.FINISHED
+        if isinstance(pending, prog.Await):
+            return self.store.read(pending.var) == pending.value
+        raise AssertionError(f"blocked on non-blocking request {pending!r}")
+
+    # ------------------------------------------------------------- advancing
+    def _advance(self, thread: _Thread) -> None:
+        self._current_tid = thread.tid
+        try:
+            if thread.work_remaining > 0:
+                thread.work_remaining -= 1
+                return
+            if not thread.started:
+                thread.started = True
+                if thread.tid > len(self.program.threads):
+                    # Spawned thread: read the fork hand-off variable
+                    # before the body's first action.
+                    self._emit(read(thread.tid, fork_var(thread.tid),
+                                    self.store.read(fork_var(thread.tid))))
+            request = thread.pending
+            if request is not None:
+                thread.pending = None
+                thread.status = ThreadStatus.READY
+            else:
+                try:
+                    request = thread.body.send(thread.response)
+                except StopIteration:
+                    self._finish_thread(thread)
+                    return
+                thread.response = None
+            self._execute(thread, request)
+        finally:
+            self._current_tid = None
+
+    def _finish_thread(self, thread: _Thread) -> None:
+        held = [lock for lock, depth in thread.lock_depth.items() if depth > 0]
+        if held:
+            raise RuntimeError(
+                f"thread {thread.name} finished holding locks {held}"
+            )
+        if thread.block_depth:
+            raise RuntimeError(
+                f"thread {thread.name} finished inside an atomic block"
+            )
+        thread.status = ThreadStatus.FINISHED
+        self._dequeue(thread)
+        self._unfinished -= 1
+        self.store.write(join_var(thread.tid), 1)
+        self._emit(write(thread.tid, join_var(thread.tid), 1))
+        for tid in self._join_waiters.pop(thread.tid, ()):
+            self._enqueue(self._threads[tid])
+        self._wake_awaiters(join_var(thread.tid))
+
+    # ------------------------------------------------------------- execution
+    def _execute(self, thread: _Thread, request: prog.Request) -> None:
+        tid = thread.tid
+        if isinstance(request, prog.Read):
+            value = self.store.read(request.var)
+            self._emit(read(tid, request.var, value))
+            thread.response = value
+        elif isinstance(request, prog.ReadElem):
+            cell = f"{request.array}[{request.index}]"
+            value = self.store.read(cell)
+            self._emit(read(tid, self._array_var(request.array, request.index),
+                            value))
+            thread.response = value
+        elif isinstance(request, prog.WriteElem):
+            cell = f"{request.array}[{request.index}]"
+            self.store.write(cell, request.value)
+            target = self._array_var(request.array, request.index)
+            self._emit(write(tid, target, request.value))
+            self._wake_awaiters(cell)
+        elif isinstance(request, prog.Write):
+            self.store.write(request.var, request.value)
+            self._emit(write(tid, request.var, request.value))
+            self._wake_awaiters(request.var)
+        elif isinstance(request, prog.Acquire):
+            self._acquire(thread, request)
+        elif isinstance(request, prog.Release):
+            self._release(thread, request)
+        elif isinstance(request, prog.Begin):
+            thread.block_depth += 1
+            self._emit(begin(tid, label=request.label))
+        elif isinstance(request, prog.End):
+            if thread.block_depth == 0:
+                raise RuntimeError(f"thread {thread.name}: End outside block")
+            thread.block_depth -= 1
+            self._emit(end(tid))
+        elif isinstance(request, prog.Work):
+            if request.units < 0:
+                raise ValueError("Work units must be non-negative")
+            thread.work_remaining = request.units
+        elif isinstance(request, prog.Yield):
+            pass
+        elif isinstance(request, prog.Spawn):
+            child = self._create_thread(request.body, request.name)
+            self.store.write(fork_var(child.tid), 1)
+            self._emit(write(tid, fork_var(child.tid), 1))
+            self._wake_awaiters(fork_var(child.tid))
+            thread.response = child.tid
+        elif isinstance(request, prog.Join):
+            target = self._threads.get(request.tid)
+            if target is None:
+                raise ValueError(f"join on unknown thread {request.tid}")
+            if target.status is ThreadStatus.FINISHED:
+                value = self.store.read(join_var(request.tid))
+                self._emit(read(tid, join_var(request.tid), value))
+            else:
+                self._block(thread, request)
+        elif isinstance(request, prog.Await):
+            if self.store.read(request.var) == request.value:
+                self._emit(read(tid, request.var, request.value))
+                thread.response = request.value
+            else:
+                self._block(thread, request)
+        else:
+            raise TypeError(f"unknown request {request!r}")
+
+    def _array_var(self, array: str, index: int) -> str:
+        """The shared-variable name an array access is analysed under."""
+        if self.array_granularity == "element":
+            return f"{array}[{index}]"
+        return array
+
+    def _acquire(self, thread: _Thread, request: prog.Acquire) -> None:
+        lock = request.lock
+        owner = self.store.holder(lock)
+        if owner is not None and owner != thread.tid:
+            self._block(thread, request)
+            return
+        depth = thread.lock_depth.get(lock, 0)
+        thread.lock_depth[lock] = depth + 1
+        if depth == 0:
+            self.store.acquire(thread.tid, lock)
+            # Re-entrant acquires are filtered here, as RoadRunner does
+            # (paper Section 5): only the 0 -> 1 transition is an event.
+            self._emit(acquire(thread.tid, lock))
+
+    def _release(self, thread: _Thread, request: prog.Release) -> None:
+        lock = request.lock
+        depth = thread.lock_depth.get(lock, 0)
+        if depth == 0:
+            raise RuntimeError(
+                f"thread {thread.name} released {lock} without holding it"
+            )
+        thread.lock_depth[lock] = depth - 1
+        if depth == 1:
+            self._emit(release(thread.tid, lock))
+            self.store.release(thread.tid, lock)
+            self._wake_lock_waiters(lock)
+
+    def _block(self, thread: _Thread, request: prog.Request) -> None:
+        thread.status = ThreadStatus.BLOCKED
+        thread.pending = request
+        self._dequeue(thread)
+        if isinstance(request, prog.Acquire):
+            self._lock_waiters.setdefault(request.lock, []).append(thread.tid)
+        elif isinstance(request, prog.Join):
+            self._join_waiters.setdefault(request.tid, []).append(thread.tid)
+        elif isinstance(request, prog.Await):
+            self._await_waiters.setdefault(request.var, []).append(thread.tid)
+        else:  # pragma: no cover - only blocking requests reach here
+            raise AssertionError(f"cannot block on {request!r}")
+
+    # -------------------------------------------------------------- emitting
+    def _emit(self, op: Operation) -> None:
+        self._events += 1
+        if self.sink is not None:
+            self.sink(op)
+        if self.record_trace:
+            self._ops.append(op)

@@ -1,0 +1,219 @@
+"""Concurrent programs as generator-based thread bodies.
+
+The paper's Velodrome instruments JVM bytecode; the reproduction
+replaces the JVM with a deterministic interpreter (see DESIGN.md).  A
+*program* is a set of thread bodies.  A thread body is a Python
+generator that yields :class:`Request` objects — read, write, acquire,
+release, begin/end atomic block, spawn, join, work — and receives the
+request's result (e.g. the value read) back from the interpreter::
+
+    def incrementer():
+        yield Begin("inc")
+        value = yield Read("counter")
+        yield Write("counter", value + 1)
+        yield End()
+
+Every yield is a scheduling point, giving the interpreter control over
+interleavings at exactly the granularity RoadRunner instruments (one
+event per shared-memory or lock operation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator, Iterable, Optional
+
+#: The type of a thread body: a generator yielding requests.
+ThreadBody = Generator["Request", Any, None]
+#: A factory producing a fresh thread body each run.
+BodyFactory = Callable[[], ThreadBody]
+
+
+class Request:
+    """Base class for requests yielded by thread bodies."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True, slots=True)
+class Read(Request):
+    """Read shared variable ``var``; the yield evaluates to its value."""
+
+    var: str
+
+
+@dataclass(frozen=True, slots=True)
+class Write(Request):
+    """Write ``value`` to shared variable ``var``."""
+
+    var: str
+    value: Any = 1
+
+
+@dataclass(frozen=True, slots=True)
+class ReadElem(Request):
+    """Read element ``index`` of array ``array``.
+
+    The paper's prototype analyses objects and fields but not arrays
+    (Section 5: "Supporting arrays would be possible, but would add
+    additional complexity").  This reproduction supports them: under
+    element granularity (the default) each index is its own shared
+    variable, under object granularity the whole array aliases to one —
+    the precision contrast is experiment X2.
+    """
+
+    array: str
+    index: int
+
+
+@dataclass(frozen=True, slots=True)
+class WriteElem(Request):
+    """Write ``value`` to element ``index`` of array ``array``."""
+
+    array: str
+    index: int
+    value: Any = 1
+
+
+@dataclass(frozen=True, slots=True)
+class Acquire(Request):
+    """Acquire lock ``lock`` (blocking; re-entrant)."""
+
+    lock: str
+
+
+@dataclass(frozen=True, slots=True)
+class Release(Request):
+    """Release lock ``lock`` (must be held; re-entrant)."""
+
+    lock: str
+
+
+@dataclass(frozen=True, slots=True)
+class Begin(Request):
+    """Enter an atomic block labelled ``label`` (may nest)."""
+
+    label: Optional[str] = None
+
+
+@dataclass(frozen=True, slots=True)
+class End(Request):
+    """Exit the innermost atomic block."""
+
+
+@dataclass(frozen=True, slots=True)
+class Work(Request):
+    """Consume ``units`` scheduler steps of thread-local compute.
+
+    Produces no events; models the CPU-bound stretches of the paper's
+    scientific benchmarks (sor, moldyn, montecarlo, raytracer...).
+    """
+
+    units: int = 1
+
+
+@dataclass(frozen=True, slots=True)
+class Yield(Request):
+    """A bare scheduling point with no event."""
+
+
+@dataclass(frozen=True, slots=True)
+class Spawn(Request):
+    """Start a new thread running ``body()``.
+
+    The yield evaluates to the child's thread id.  The hand-off is
+    modeled as a write of the per-child fork variable by the parent and
+    a read by the child before its first action — plain-variable
+    synchronization, exactly the fork-join idiom whose accesses look
+    racy to LockSet-based tools (a Table 2 false-alarm source) while
+    the precise analyses see the happens-before edge.
+    """
+
+    body: BodyFactory
+    name: Optional[str] = None
+
+
+@dataclass(frozen=True, slots=True)
+class Join(Request):
+    """Block until thread ``tid`` finishes.
+
+    Modeled as a read of the child's join variable, written by the
+    child on termination (see :class:`Spawn`).
+    """
+
+    tid: int
+
+
+@dataclass(frozen=True, slots=True)
+class Await(Request):
+    """Block until shared variable ``var`` holds ``value``.
+
+    Models a spin-wait loop (``while (b != v) skip;``) by suspending the
+    thread and emitting only the loop's final, successful read — the one
+    that creates the happens-before edge from the flag's writer.  This
+    is the volatile-flag hand-off idiom of paper Section 2 that defeats
+    the Atomizer but not Velodrome.
+    """
+
+    var: str
+    value: Any = 1
+
+
+@dataclass(frozen=True, slots=True)
+class ThreadSpec:
+    """One initial thread of a program."""
+
+    body: BodyFactory
+    name: Optional[str] = None
+
+
+@dataclass
+class Program:
+    """A concurrent program: named initial threads plus metadata.
+
+    Attributes:
+        name: program name (used in reports and benchmark tables).
+        threads: the initial threads, started together at time 0.
+        atomic_methods: labels of atomic blocks the program declares
+            (its atomicity specification).
+        non_atomic_methods: ground-truth labels that are genuinely not
+            atomic — i.e. some interleaving of this program produces a
+            non-serializable trace of that block.  Used by the Table 2
+            scorer to separate real warnings from false alarms.
+        initial_store: initial values of shared variables (variables
+            default to 0).
+        uninstrumented_locks: locks whose acquire/release events are
+            stripped before analysis, modeling synchronization inside
+            uninstrumented libraries (paper Section 6: the standard
+            Java libraries were not instrumented, a major Atomizer
+            false-alarm source on mtrt that cannot mislead Velodrome).
+    """
+
+    name: str
+    threads: list[ThreadSpec] = field(default_factory=list)
+    atomic_methods: set[str] = field(default_factory=set)
+    non_atomic_methods: set[str] = field(default_factory=set)
+    initial_store: dict[str, Any] = field(default_factory=dict)
+    uninstrumented_locks: set[str] = field(default_factory=set)
+
+    def spawn_thread(self, body: BodyFactory, name: Optional[str] = None) -> None:
+        """Add an initial thread."""
+        self.threads.append(ThreadSpec(body, name))
+
+    @property
+    def false_alarm_labels(self) -> set[str]:
+        """Atomic methods that are genuinely atomic (warnings on these
+        are false alarms)."""
+        return self.atomic_methods - self.non_atomic_methods
+
+
+def atomic(label: str, inner: Iterable[Request]) -> ThreadBody:
+    """Wrap a request sequence in an atomic block (helper generator).
+
+    The inner requests' results are discarded; use explicit generator
+    bodies when results matter.
+    """
+    yield Begin(label)
+    for request in inner:
+        yield request
+    yield End()

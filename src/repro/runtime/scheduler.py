@@ -1,0 +1,113 @@
+"""Thread schedulers for the deterministic interpreter.
+
+A scheduler picks which runnable thread executes the next operation.
+Seeded random scheduling stands in for the JVM's nondeterminism (the
+paper samples it with five runs per experiment); the adversarial
+scheduler reproduces the Section 5 technique of pausing a thread at an
+Atomizer-flagged commit point so that a conflicting operation of
+another thread can interleave.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Protocol, Sequence
+
+
+class Scheduler(Protocol):
+    """Strategy interface: pick the next thread to run."""
+
+    def choose(self, runnable: Sequence[int], step: int) -> int:
+        """Return the tid to run next, from the non-empty ``runnable``."""
+        ...
+
+
+class RoundRobinScheduler:
+    """Cycle through runnable threads in tid order, one op each."""
+
+    def __init__(self) -> None:
+        self._last: Optional[int] = None
+
+    def choose(self, runnable: Sequence[int], step: int) -> int:
+        if self._last is not None:
+            for tid in sorted(runnable):
+                if tid > self._last:
+                    self._last = tid
+                    return tid
+        tid = min(runnable)
+        self._last = tid
+        return tid
+
+
+class RandomScheduler:
+    """Seeded random scheduling with geometric bursts.
+
+    Real schedulers run a thread for a while between context switches;
+    ``switch_probability`` controls the chance of considering a switch
+    at each step (1.0 = fully random interleaving every operation).
+    """
+
+    def __init__(self, seed: int = 0, switch_probability: float = 0.35):
+        if not 0.0 < switch_probability <= 1.0:
+            raise ValueError("switch_probability must be in (0, 1]")
+        self.rng = random.Random(seed)
+        self.switch_probability = switch_probability
+        self._current: Optional[int] = None
+
+    def choose(self, runnable: Sequence[int], step: int) -> int:
+        if (
+            self._current in runnable
+            and self.rng.random() >= self.switch_probability
+        ):
+            return self._current
+        self._current = runnable[self.rng.randrange(len(runnable))]
+        return self._current
+
+
+class AdversarialScheduler:
+    """Pause threads at suspected commit points (paper Sections 5-6).
+
+    Wraps a base scheduler.  The Atomizer's ``pause_callback`` (wired by
+    the tool facade) calls :meth:`request_pause` when the running thread
+    performs the racy access that commits its atomic block; the thread
+    is then descheduled for ``pause_steps`` operations, inviting other
+    threads to interleave a conflicting access that Velodrome will
+    witness as a genuine violation.  The paper pauses for 100ms; here
+    the unit is scheduler steps.
+    """
+
+    def __init__(
+        self,
+        base: Optional[Scheduler] = None,
+        pause_steps: int = 50,
+        max_pauses_per_thread: int = 25,
+    ):
+        self.base = base if base is not None else RandomScheduler()
+        self.pause_steps = pause_steps
+        self.max_pauses_per_thread = max_pauses_per_thread
+        self._paused_until: dict[int, int] = {}
+        self._pause_counts: dict[int, int] = {}
+        self._step = 0
+
+    def request_pause(self, tid: int) -> None:
+        """Pause ``tid`` for the next ``pause_steps`` scheduling steps."""
+        count = self._pause_counts.get(tid, 0)
+        if count >= self.max_pauses_per_thread:
+            return
+        self._pause_counts[tid] = count + 1
+        self._paused_until[tid] = self._step + self.pause_steps
+
+    def choose(self, runnable: Sequence[int], step: int) -> int:
+        self._step = step
+        eligible = [
+            tid
+            for tid in runnable
+            if self._paused_until.get(tid, 0) <= step
+        ]
+        if not eligible:
+            # Everyone runnable is paused: wake the thread whose pause
+            # expires first rather than deadlock.
+            tid = min(runnable, key=lambda t: self._paused_until.get(t, 0))
+            self._paused_until.pop(tid, None)
+            return self.base.choose([tid], step)
+        return self.base.choose(eligible, step)

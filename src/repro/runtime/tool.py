@@ -1,0 +1,187 @@
+"""Tool facade: run a program under analyses, collect warnings and timings.
+
+This is the reproduction of the Velodrome *tool* of paper Section 5:
+program in, instrumented run out, with per-backend warnings, timing,
+and happens-before-graph statistics.  It also wires up the adversarial
+scheduling mode, where a concurrently-running Atomizer flags commit
+points and the scheduler pauses the offending thread.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+from repro.baselines.atomizer import Atomizer
+from repro.core.backend import AnalysisBackend
+from repro.core.optimized import VelodromeOptimized
+from repro.core.reports import Warning
+from repro.events.trace import Trace
+from repro.graph.hbgraph import GraphStats
+from repro.runtime.instrument import (
+    EventFilter,
+    EventPipeline,
+    UninstrumentedLockFilter,
+)
+from repro.runtime.interpreter import Interpreter, RunResult
+from repro.runtime.program import Program
+from repro.runtime.scheduler import (
+    AdversarialScheduler,
+    RandomScheduler,
+    Scheduler,
+)
+
+#: A factory producing a fresh backend per run.
+BackendFactory = Callable[[], AnalysisBackend]
+
+
+@dataclass
+class ToolRun:
+    """Result of running one program under one backend configuration."""
+
+    program: Program
+    run: RunResult
+    backends: list[AnalysisBackend]
+    elapsed: float
+    scheduler: Scheduler
+
+    @property
+    def warnings(self) -> list[Warning]:
+        collected: list[Warning] = []
+        for backend in self.backends:
+            collected.extend(backend.warnings)
+        return collected
+
+    @property
+    def trace(self) -> Optional[Trace]:
+        return self.run.trace
+
+    def warned_labels(self) -> set[str]:
+        """Distinct block labels warned about by any backend."""
+        labels: set[str] = set()
+        for backend in self.backends:
+            labels |= backend.warned_labels()
+        return labels
+
+    def labels_from(self, backend_name: str) -> set[str]:
+        """Distinct labels warned about by one backend (by name).
+
+        Use this in adversarial runs, where a guiding Atomizer shares
+        the pipeline with Velodrome and its (possibly false) reduction
+        warnings must not be conflated with Velodrome's.
+        """
+        labels: set[str] = set()
+        for backend in self.backends:
+            if backend.name == backend_name:
+                labels |= backend.warned_labels()
+        return labels
+
+    def graph_stats(self) -> Optional[GraphStats]:
+        """Happens-before graph statistics of the first Velodrome backend."""
+        for backend in self.backends:
+            graph = getattr(backend, "graph", None)
+            if graph is not None:
+                return graph.stats
+        return None
+
+
+def run_with_backends(
+    program: Program,
+    backends: Sequence[AnalysisBackend],
+    scheduler: Optional[Scheduler] = None,
+    filters: Sequence[EventFilter] = (),
+    record_trace: bool = False,
+    max_steps: int = 5_000_000,
+) -> ToolRun:
+    """Execute ``program`` once, streaming events to ``backends``.
+
+    Locks listed in ``program.uninstrumented_locks`` are filtered out
+    of the event stream automatically (library synchronization).
+    """
+    scheduler = scheduler if scheduler is not None else RandomScheduler()
+    all_filters = list(filters)
+    if program.uninstrumented_locks:
+        all_filters.insert(
+            0, UninstrumentedLockFilter(program.uninstrumented_locks)
+        )
+    pipeline = EventPipeline(backends, filters=all_filters)
+    interpreter = Interpreter(
+        program,
+        scheduler=scheduler,
+        sink=pipeline.process,
+        record_trace=record_trace,
+        max_steps=max_steps,
+    )
+    started = time.perf_counter()
+    run = interpreter.run()
+    pipeline.finish()
+    elapsed = time.perf_counter() - started
+    return ToolRun(
+        program=program,
+        run=run,
+        backends=list(backends),
+        elapsed=elapsed,
+        scheduler=scheduler,
+    )
+
+
+def run_uninstrumented(
+    program: Program,
+    scheduler: Optional[Scheduler] = None,
+    max_steps: int = 5_000_000,
+) -> tuple[RunResult, float]:
+    """Execute ``program`` with no event sink (the Table 1 base time)."""
+    scheduler = scheduler if scheduler is not None else RandomScheduler()
+    interpreter = Interpreter(
+        program, scheduler=scheduler, sink=None, max_steps=max_steps
+    )
+    started = time.perf_counter()
+    run = interpreter.run()
+    elapsed = time.perf_counter() - started
+    return run, elapsed
+
+
+def run_velodrome(
+    program: Program,
+    seed: int = 0,
+    adversarial: bool = False,
+    pause_steps: int = 50,
+    max_pauses_per_thread: int = 25,
+    filters: Sequence[EventFilter] = (),
+    record_trace: bool = False,
+    first_warning_per_label: bool = True,
+    max_steps: int = 5_000_000,
+    **velodrome_options,
+) -> ToolRun:
+    """Run Velodrome over ``program`` with a seeded random scheduler.
+
+    With ``adversarial=True``, an Atomizer runs concurrently and the
+    scheduler pauses a thread for ``pause_steps`` operations whenever
+    the Atomizer flags its atomic block's commit point (the technique
+    of paper Sections 5-6 that raises defect-detection rates).
+    """
+    velodrome = VelodromeOptimized(
+        first_warning_per_label=first_warning_per_label, **velodrome_options
+    )
+    backends: list[AnalysisBackend] = [velodrome]
+    if adversarial:
+        scheduler: Scheduler = AdversarialScheduler(
+            base=RandomScheduler(seed),
+            pause_steps=pause_steps,
+            max_pauses_per_thread=max_pauses_per_thread,
+        )
+        atomizer = Atomizer(
+            pause_callback=lambda op, position: scheduler.request_pause(op.tid)
+        )
+        backends.append(atomizer)
+    else:
+        scheduler = RandomScheduler(seed)
+    return run_with_backends(
+        program,
+        backends,
+        scheduler=scheduler,
+        filters=filters,
+        record_trace=record_trace,
+        max_steps=max_steps,
+    )

@@ -1,0 +1,28 @@
+"""Synthetic workload models of the paper's fifteen benchmarks."""
+
+from repro.workloads import injection, randomgen, suite, synthetic
+from repro.workloads.base import (
+    PaperTable1Row,
+    PaperTable2Row,
+    Workload,
+    all_workloads,
+    get,
+    names,
+    register,
+)
+from repro.workloads.suite import SUITE
+
+__all__ = [
+    "PaperTable1Row",
+    "PaperTable2Row",
+    "SUITE",
+    "Workload",
+    "all_workloads",
+    "get",
+    "injection",
+    "randomgen",
+    "names",
+    "register",
+    "suite",
+    "synthetic",
+]

@@ -1,0 +1,93 @@
+"""Workload specifications and registry.
+
+Each paper benchmark (elevator, hedc, tsp, ... jigsaw) is reproduced as
+a synthetic workload: a parameterized builder returning a
+:class:`repro.runtime.program.Program` whose concurrency signature —
+thread count, transaction volume, sharing pattern, locking discipline,
+Atomizer-confusing idioms, and seeded non-atomic methods — mirrors the
+original (see DESIGN.md for why this preserves the Table 1/2 shapes).
+
+Workloads also carry the paper's published numbers so the harness can
+print paper-vs-measured side by side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.runtime.program import Program
+
+#: Builder signature: scale >= 0 multiplies the workload's event volume.
+Builder = Callable[[float], Program]
+
+
+@dataclass(frozen=True)
+class PaperTable1Row:
+    """The paper's Table 1 row for one benchmark."""
+
+    size_lines: int
+    base_time_sec: float
+    slowdown_empty: float
+    slowdown_eraser: float
+    slowdown_atomizer: float
+    slowdown_velodrome: float
+    nodes_allocated_without_merge: int
+    max_alive_without_merge: int
+    nodes_allocated_with_merge: int
+    max_alive_with_merge: int
+
+
+@dataclass(frozen=True)
+class PaperTable2Row:
+    """The paper's Table 2 row for one benchmark."""
+
+    atomizer_non_serial: int
+    atomizer_false_alarms: int
+    velodrome_non_serial: int
+    velodrome_false_alarms: int
+    velodrome_missed: int
+
+
+@dataclass
+class Workload:
+    """One benchmark: builder plus paper reference numbers."""
+
+    name: str
+    build: Builder
+    description: str
+    compute_bound: bool
+    table1: Optional[PaperTable1Row] = None
+    table2: Optional[PaperTable2Row] = None
+
+    def program(self, scale: float = 1.0) -> Program:
+        """Build the program at the given scale."""
+        return self.build(scale)
+
+
+_REGISTRY: dict[str, Workload] = {}
+
+
+def register(workload: Workload) -> Workload:
+    """Add a workload to the global registry (idempotent by name)."""
+    _REGISTRY[workload.name] = workload
+    return workload
+
+
+def get(name: str) -> Workload:
+    """Look up a workload by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown workload {name!r}; known: {known}") from None
+
+
+def all_workloads() -> list[Workload]:
+    """Every registered workload, in registration order."""
+    return list(_REGISTRY.values())
+
+
+def names() -> list[str]:
+    """Registered workload names, in registration order."""
+    return list(_REGISTRY)

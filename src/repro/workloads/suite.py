@@ -1,0 +1,569 @@
+"""The fifteen paper benchmarks as synthetic workload models.
+
+Each builder assembles a :class:`Program` from the idioms in
+:mod:`repro.workloads.synthetic` so that its concurrency signature
+mirrors the original benchmark's (see DESIGN.md):
+
+* the number of genuinely non-atomic methods (and how contended each
+  is) reproduces the Table 2 row — heavily contended defects are caught
+  by Velodrome on most seeds, *rare* defects mostly show up only in the
+  Atomizer (Velodrome's "missed" column);
+* the Atomizer-false-alarm sources (flag hand-offs, barriers,
+  fork-join, uninstrumented library locks) reproduce the false-alarm
+  column;
+* the volume and sharing pattern of non-transactional operations
+  reproduces the Table 1 Without/With-Merge node-count shape;
+* the ratio of compute (``Work``) to events reproduces which
+  benchmarks are compute-bound.
+
+Every builder takes a ``scale`` factor multiplying event volume;
+``scale=1.0`` targets quick runs (used by tests), the Table 1 harness
+uses larger scales.
+"""
+
+from __future__ import annotations
+
+from repro.runtime.program import Program, ThreadSpec
+from repro.workloads import synthetic as syn
+from repro.workloads.base import (
+    PaperTable1Row,
+    PaperTable2Row,
+    Workload,
+    register,
+)
+
+
+def _scaled(value: int, scale: float, minimum: int = 1) -> int:
+    return max(minimum, int(round(value * scale)))
+
+
+def _defect_threads(
+    program: Program,
+    prefix: str,
+    caught: int,
+    rare: int,
+    scale: float,
+    rounds: int = 4,
+    gap: int = 3,
+    compound: bool = False,
+    lock: str = "defect_lock",
+    work_between: int = 0,
+) -> None:
+    """Plant ``caught`` contended and ``rare`` narrow-window defects.
+
+    Each defect is one distinct non-atomic method executed by a pair of
+    contender threads on its own shared variable.  Contended defects
+    use wide race windows (usually observed violated); rare defects use
+    single adjacent read-modify-writes at staggered start times (usually
+    observed serializable — Table 2 "missed").
+    """
+    rounds = _scaled(rounds, scale)
+    for index in range(caught):
+        label = f"{prefix}.m{index}"
+        var = f"{prefix}_v{index}"
+        program.atomic_methods.add(label)
+        program.non_atomic_methods.add(label)
+        if compound:
+            factory = lambda lab=label, v=var: syn.compound_locked(
+                lab, lock, v, v, rounds, work=gap
+            )()
+        else:
+            factory = lambda lab=label, v=var: syn.unsync_rmw(
+                lab, v, rounds, gap=gap, work_between=work_between
+            )()
+        program.spawn_thread(factory, f"{label}-a")
+        program.spawn_thread(factory, f"{label}-b")
+    for index in range(rare):
+        label = f"{prefix}.rare{index}"
+        var = f"{prefix}_r{index}"
+        program.atomic_methods.add(label)
+        program.non_atomic_methods.add(label)
+        first = syn.rare_rmw(label, var, rounds=1, start_delay=0)
+        second = syn.rare_rmw(label, var, rounds=1, start_delay=400 + 97 * index)
+        program.spawn_thread(first, f"{label}-a")
+        program.spawn_thread(second, f"{label}-b")
+
+
+def _clean_monitor_threads(
+    program: Program,
+    prefix: str,
+    methods: int,
+    threads_per_method: int,
+    rounds: int,
+    scale: float,
+    work: int = 0,
+    fields: int = 2,
+) -> None:
+    """Add well-synchronized monitor methods (no tool should warn)."""
+    rounds = _scaled(rounds, scale)
+    for index in range(methods):
+        label = f"{prefix}.sync{index}"
+        program.atomic_methods.add(label)
+        lock = f"{prefix}_mon{index}"
+        variables = [f"{prefix}_f{index}_{k}" for k in range(fields)]
+        for replica in range(threads_per_method):
+            program.spawn_thread(
+                syn.monitor_method(label, lock, variables, rounds, work=work),
+                f"{label}-{replica}",
+            )
+
+
+def _library_fa_threads(
+    program: Program,
+    prefix: str,
+    methods: int,
+    rounds: int,
+    scale: float,
+    work: int = 0,
+) -> None:
+    """Add atomic methods protected by uninstrumented library locks.
+
+    Genuinely atomic (Velodrome silent); Atomizer false alarm each.
+    """
+    rounds = _scaled(rounds, scale)
+    for index in range(methods):
+        label = f"{prefix}.lib{index}"
+        lock = f"__lib_{prefix}_{index}"
+        var = f"{prefix}_lib_v{index}"
+        program.atomic_methods.add(label)
+        program.uninstrumented_locks.add(lock)
+        for replica in range(2):
+            program.spawn_thread(
+                syn.hidden_lock_update(label, lock, var, rounds, work=work),
+                f"{label}-{replica}",
+            )
+
+
+def _flag_fa_pair(
+    program: Program, prefix: str, index: int, rounds: int, scale: float
+) -> None:
+    """Add one Section 2 flag hand-off pair (one Atomizer FA label)."""
+    label = f"{prefix}.flagged{index}"
+    var = f"{prefix}_flag_v{index}"
+    flag = f"{prefix}_flag{index}"
+    rounds = _scaled(rounds, scale)
+    program.atomic_methods.add(label)
+    program.initial_store[flag] = 1
+    program.spawn_thread(
+        syn.flag_sender(label, var, flag, my_turn=1, their_turn=2, rounds=rounds),
+        f"{label}-a",
+    )
+    program.spawn_thread(
+        syn.flag_sender(label, var, flag, my_turn=2, their_turn=1, rounds=rounds),
+        f"{label}-b",
+    )
+
+
+def _tx_churn_threads(
+    program: Program,
+    prefix: str,
+    threads: int,
+    blocks: int,
+    scale: float,
+    ops_per_block: int = 2,
+    work: int = 0,
+) -> None:
+    """Add transactional churn: real node allocation regardless of merge."""
+    label = f"{prefix}.step"
+    program.atomic_methods.add(label)
+    count = _scaled(blocks, scale)
+    for index in range(threads):
+        program.spawn_thread(
+            syn.transactional_churn(f"{prefix}{index}", label, count,
+                                    ops_per_block=ops_per_block,
+                                    seed=index, work=work),
+            f"{prefix}-txchurn{index}",
+        )
+
+
+def _churn_threads(
+    program: Program,
+    prefix: str,
+    threads: int,
+    ops_per_thread: int,
+    scale: float,
+    share_every: int = 0,
+    shared_var: str | None = None,
+) -> None:
+    """Add non-transactional churn (Table 1 node-count shaping)."""
+    ops = _scaled(ops_per_thread, scale)
+    for index in range(threads):
+        program.spawn_thread(
+            syn.outside_churn(
+                f"{prefix}{index}",
+                ops,
+                shared_var=shared_var,
+                share_every=share_every,
+                seed=index,
+            ),
+            f"{prefix}-churn{index}",
+        )
+
+
+# --------------------------------------------------------------------------
+# The fifteen benchmarks.
+# --------------------------------------------------------------------------
+
+
+def build_elevator(scale: float = 1.0) -> Program:
+    """Discrete event elevator simulator: event-driven, not compute-bound.
+
+    Five non-atomic controller methods; one flag hand-off false alarm.
+    """
+    program = Program("elevator")
+    _defect_threads(program, "elevator", caught=5, rare=0, scale=scale,
+                    rounds=5, gap=4, work_between=12)
+    _flag_fa_pair(program, "elevator", 0, rounds=4, scale=scale)
+    _clean_monitor_threads(program, "elevator", methods=3,
+                           threads_per_method=2, rounds=6, scale=scale, work=8)
+    _tx_churn_threads(program, "elevator", threads=3, blocks=300,
+                      scale=scale)
+    _churn_threads(program, "elevator", threads=2, ops_per_thread=30,
+                   scale=scale)
+    return program
+
+
+def build_hedc(scale: float = 1.0) -> Program:
+    """Web-source metadata crawler: producer/consumer task pool.
+
+    Six non-atomic methods; two false alarms (flag + fork-join).
+    """
+    program = Program("hedc")
+    _defect_threads(program, "hedc", caught=6, rare=0, scale=scale,
+                    rounds=4, gap=4, compound=True, lock="hedc_pool")
+    _flag_fa_pair(program, "hedc", 0, rounds=3, scale=scale)
+    program.atomic_methods.add("hedc.collect")
+    program.spawn_thread(
+        syn.fork_join_master("hedc.collect", "hedc.task", n_workers=3),
+        "hedc-master",
+    )
+    program.spawn_thread(
+        syn.producer("hedc.submit", "hedc_q", "hedc_queue",
+                     items=_scaled(6, scale)),
+        "hedc-producer",
+    )
+    program.atomic_methods.add("hedc.submit")
+    program.spawn_thread(
+        syn.consumer("hedc.take", "hedc_q", "hedc_queue",
+                     items=_scaled(6, scale)),
+        "hedc-consumer",
+    )
+    return program
+
+
+def build_tsp(scale: float = 1.0) -> Program:
+    """Traveling-salesman solver: huge non-transactional churn.
+
+    Private per-thread tour construction (merge collapses nearly all
+    unary transactions) with an occasional shared best-tour update;
+    eight non-atomic bound-update methods.
+    """
+    program = Program("tsp")
+    _defect_threads(program, "tsp", caught=8, rare=0, scale=scale,
+                    rounds=4, gap=3)
+    _churn_threads(program, "tsp", threads=4, ops_per_thread=2500,
+                   scale=scale, share_every=500, shared_var="tsp_best")
+    _clean_monitor_threads(program, "tsp", methods=1, threads_per_method=4,
+                           rounds=4, scale=scale)
+    return program
+
+
+def build_sor(scale: float = 1.0) -> Program:
+    """Successive over-relaxation: barrier-phased grid updates.
+
+    Barrier accesses happen outside atomic blocks (no Atomizer false
+    alarms); three non-atomic reduction methods.
+    """
+    program = Program("sor", initial_store={"sor_count": 0, "sor_gen": 0})
+    n_threads = 3
+    phases = _scaled(4, scale)
+    for index in range(n_threads):
+        program.spawn_thread(
+            syn.barrier_worker(
+                None, "sor_bar", "sor_count", "sor_gen",
+                n_threads, phases, "sor_cell", index, work=6,
+            ),
+            f"sor-worker{index}",
+        )
+    _defect_threads(program, "sor", caught=3, rare=0, scale=scale,
+                    rounds=4, gap=3)
+    return program
+
+
+def build_jbb(scale: float = 1.0) -> Program:
+    """SPEC JBB-style business-object warehouses.
+
+    Five non-atomic methods and a large population of library-locked
+    and fork-join methods whose accesses LockSet cannot vindicate: the
+    42-false-alarm row of Table 2.
+    """
+    program = Program("jbb")
+    _defect_threads(program, "jbb", caught=5, rare=0, scale=scale,
+                    rounds=4, gap=4, compound=True, lock="jbb_wh")
+    _library_fa_threads(program, "jbb", methods=38, rounds=2, scale=scale)
+    for index in range(4):
+        label = f"jbb.forkjoin{index}"
+        program.atomic_methods.add(label)
+        program.spawn_thread(
+            syn.fork_join_master(label, f"jbb.task{index}", n_workers=2,
+                                 input_var=f"jbb_in{index}",
+                                 result_prefix=f"jbb_res{index}"),
+            f"{label}-master",
+        )
+    _clean_monitor_threads(program, "jbb", methods=4, threads_per_method=2,
+                           rounds=8, scale=scale)
+    _tx_churn_threads(program, "jbb", threads=4, blocks=260, scale=scale)
+    _churn_threads(program, "jbb", threads=4, ops_per_thread=140,
+                   scale=scale)
+    return program
+
+
+def build_mtrt(scale: float = 1.0) -> Program:
+    """SPEC mtrt-style multithreaded ray tracer.
+
+    Two non-atomic scene-cache methods; 27 false alarms from standard-
+    library synchronization the instrumentation cannot see.  The shared
+    scene description is read through library locks outside atomic
+    blocks too, so merging barely reduces node allocation (Table 1).
+    """
+    program = Program("mtrt")
+    _defect_threads(program, "mtrt", caught=2, rare=0, scale=scale,
+                    rounds=5, gap=4)
+    _library_fa_threads(program, "mtrt", methods=25, rounds=2, scale=scale)
+    for index in range(2):
+        label = f"mtrt.render{index}"
+        program.atomic_methods.add(label)
+        program.spawn_thread(
+            syn.fork_join_master(label, f"mtrt.trace{index}", n_workers=3,
+                                 input_var=f"mtrt_scene{index}",
+                                 result_prefix=f"mtrt_px{index}"),
+            f"{label}-master",
+        )
+    _tx_churn_threads(program, "mtrt", threads=4, blocks=1200, scale=scale,
+                      ops_per_block=1)
+    return program
+
+
+def build_moldyn(scale: float = 1.0) -> Program:
+    """Java Grande molecular dynamics: compute plus force reductions.
+
+    Four non-atomic force-accumulation methods; tiny transaction count
+    (the Table 1 row allocates only a handful of nodes).
+    """
+    program = Program("moldyn")
+    _defect_threads(program, "moldyn", caught=4, rare=0, scale=scale,
+                    rounds=4, gap=3, work_between=4)
+    _clean_monitor_threads(program, "moldyn", methods=2,
+                           threads_per_method=2, rounds=5, scale=scale,
+                           work=10)
+    return program
+
+
+def build_montecarlo(scale: float = 1.0) -> Program:
+    """Java Grande Monte Carlo: per-task sampling, global accumulators."""
+    program = Program("montecarlo")
+    _defect_threads(program, "montecarlo", caught=6, rare=0, scale=scale,
+                    rounds=4, gap=3)
+    _tx_churn_threads(program, "montecarlo", threads=3, blocks=1000,
+                      scale=scale, ops_per_block=1)
+    _churn_threads(program, "montecarlo", threads=3, ops_per_thread=400,
+                   scale=scale)
+    return program
+
+
+def build_raytracer(scale: float = 1.0) -> Program:
+    """Java Grande ray tracer: one contended defect, one rare defect.
+
+    The rare checksum defect is the method the paper's Velodrome missed
+    without adversarial scheduling; three barrier/flag false alarms.
+    """
+    program = Program("raytracer")
+    _defect_threads(program, "raytracer", caught=1, rare=1, scale=scale,
+                    rounds=5, gap=4)
+    for index in range(3):
+        _flag_fa_pair(program, "raytracer", index, rounds=3, scale=scale)
+    _clean_monitor_threads(program, "raytracer", methods=2,
+                           threads_per_method=2, rounds=5, scale=scale,
+                           work=6)
+    return program
+
+
+def build_colt(scale: float = 1.0) -> Program:
+    """Colt scientific library: many small utility methods.
+
+    27 genuinely non-atomic methods of which 7 have very narrow race
+    windows (usually missed by observation-bound Velodrome); two
+    false alarms.  Not compute-bound.
+    """
+    program = Program("colt")
+    _defect_threads(program, "colt", caught=20, rare=7, scale=scale,
+                    rounds=3, gap=3, work_between=10)
+    _flag_fa_pair(program, "colt", 0, rounds=3, scale=scale)
+    _library_fa_threads(program, "colt", methods=1, rounds=2, scale=scale,
+                        work=6)
+    _clean_monitor_threads(program, "colt", methods=4, threads_per_method=2,
+                           rounds=4, scale=scale, work=8)
+    return program
+
+
+def build_philo(scale: float = 1.0) -> Program:
+    """Dining philosophers: ordered fork acquisition plus two defects."""
+    program = Program("philo")
+    n_philosophers = 4
+    program.atomic_methods.add("philo.eat")
+    for index in range(n_philosophers):
+        left = f"fork{index}"
+        right = f"fork{(index + 1) % n_philosophers}"
+        # Each philosopher counts its own meals: opposite philosophers
+        # hold disjoint fork pairs, so one shared counter would itself
+        # be a genuine atomicity defect.
+        program.spawn_thread(
+            syn.philosopher("philo.eat", left, right,
+                            meals=_scaled(4, scale),
+                            meal_var=f"philo_meals{index}"),
+            f"philo{index}",
+        )
+    _defect_threads(program, "philo", caught=2, rare=0, scale=scale,
+                    rounds=4, gap=4, work_between=6)
+    return program
+
+
+def build_raja(scale: float = 1.0) -> Program:
+    """Raja ray tracer: fully clean (the all-zero Table 2 row)."""
+    program = Program("raja")
+    _clean_monitor_threads(program, "raja", methods=4, threads_per_method=2,
+                           rounds=6, scale=scale, work=4)
+    _tx_churn_threads(program, "raja", threads=2, blocks=120, scale=scale)
+    return program
+
+
+def build_multiset(scale: float = 1.0) -> Program:
+    """Basic multiset: the extreme merge-win row of Table 1.
+
+    Nearly all operations are thread-private and non-transactional
+    (merge collapses hundreds of thousands of unary transactions to a
+    handful); five non-atomic size/contains methods.
+    """
+    program = Program("multiset")
+    _defect_threads(program, "multiset", caught=5, rare=0, scale=scale,
+                    rounds=4, gap=3, compound=True, lock="multiset_rep")
+    _churn_threads(program, "multiset", threads=3, ops_per_thread=2200,
+                   scale=scale)
+    return program
+
+
+def build_webl(scale: float = 1.0) -> Program:
+    """WebL interpreter running a crawler: merge-hostile churn.
+
+    Interpreter scratch state is shared between the crawler threads
+    outside atomic blocks, so most unary transactions keep multiple
+    incomparable predecessors and merging barely helps (Table 1:
+    470k -> 395k).  24 non-atomic methods, 2 of them rare.
+    """
+    program = Program("webl")
+    _defect_threads(program, "webl", caught=22, rare=2, scale=scale,
+                    rounds=3, gap=3)
+    _flag_fa_pair(program, "webl", 0, rounds=3, scale=scale)
+    _library_fa_threads(program, "webl", methods=1, rounds=2, scale=scale)
+    _tx_churn_threads(program, "webl", threads=4, blocks=700, scale=scale,
+                      ops_per_block=1)
+    _churn_threads(program, "webl", threads=4, ops_per_thread=140,
+                   scale=scale)
+    return program
+
+
+def build_jigsaw(scale: float = 1.0) -> Program:
+    """Jigsaw web server serving a fixed page set: the largest row.
+
+    55 genuinely non-atomic request-handling methods, 11 of them with
+    narrow windows; five false alarms; request-dispatch churn.
+    """
+    program = Program("jigsaw")
+    _defect_threads(program, "jigsaw", caught=44, rare=11, scale=scale,
+                    rounds=3, gap=3, work_between=8)
+    for index in range(3):
+        _flag_fa_pair(program, "jigsaw", index, rounds=2, scale=scale)
+    _library_fa_threads(program, "jigsaw", methods=2, rounds=2, scale=scale,
+                        work=4)
+    _clean_monitor_threads(program, "jigsaw", methods=6,
+                           threads_per_method=2, rounds=4, scale=scale,
+                           work=6)
+    _churn_threads(program, "jigsaw", threads=4, ops_per_thread=450,
+                   scale=scale, share_every=90, shared_var="jigsaw_log")
+    _tx_churn_threads(program, "jigsaw", threads=4, blocks=200, scale=scale,
+                      ops_per_block=1)
+    return program
+
+
+# --------------------------------------------------------------------------
+# Registration with the paper's published numbers.
+# --------------------------------------------------------------------------
+
+_T1 = PaperTable1Row
+_T2 = PaperTable2Row
+
+SUITE = [
+    Workload("elevator", build_elevator,
+             "discrete event elevator simulator", compute_bound=False,
+             table1=_T1(520, 5.64, 1.1, 1.1, 1.1, 1.1, 174_000, 20, 170_000, 13),
+             table2=_T2(5, 1, 5, 0, 0)),
+    Workload("hedc", build_hedc,
+             "astrophysics web-data crawler", compute_bound=False,
+             table1=_T1(6_400, 0.21, 6.2, 6.0, 5.9, 6.3, 79, 37, 58, 4),
+             table2=_T2(6, 2, 6, 0, 0)),
+    Workload("tsp", build_tsp,
+             "traveling salesman solver", compute_bound=True,
+             table1=_T1(700, 0.46, 30.9, 50.9, 60.2, 71.7, 1_000_000, 8, 12_000, 1),
+             table2=_T2(8, 0, 8, 0, 0)),
+    Workload("sor", build_sor,
+             "successive over-relaxation", compute_bound=True,
+             table1=_T1(690, 0.34, 2.3, 2.3, 2.4, 2.9, 2_000, 2, 2, 2),
+             table2=_T2(3, 0, 3, 0, 0)),
+    Workload("jbb", build_jbb,
+             "SPEC JBB business objects", compute_bound=True,
+             table1=_T1(36_000, 9.84, 2.9, 3.2, 3.4, 3.1, 21_000, 9, 14_000, 13),
+             table2=_T2(5, 42, 5, 0, 0)),
+    Workload("mtrt", build_mtrt,
+             "SPEC JVM98 ray tracer", compute_bound=True,
+             table1=_T1(11_000, 0.85, 9.3, 14.3, 22.4, 18.3, 645_000, 5, 645_000, 5),
+             table2=_T2(2, 27, 2, 0, 0)),
+    Workload("moldyn", build_moldyn,
+             "Java Grande molecular dynamics", compute_bound=True,
+             table1=_T1(1_400, 0.77, 3.8, 4.0, 4.1, 4.5, 5, 4, 5, 4),
+             table2=_T2(4, 0, 4, 0, 0)),
+    Workload("montecarlo", build_montecarlo,
+             "Java Grande Monte Carlo", compute_bound=True,
+             table1=_T1(3_600, 1.70, 1.6, 1.7, 1.7, 1.7, 410_000, 4, 300_000, 4),
+             table2=_T2(6, 0, 6, 0, 0)),
+    Workload("raytracer", build_raytracer,
+             "Java Grande ray tracer", compute_bound=True,
+             table1=_T1(18_000, 2.00, 4.5, 6.7, 9.4, 9.2, 128, 8, 23, 8),
+             table2=_T2(2, 3, 1, 0, 1)),
+    Workload("colt", build_colt,
+             "Colt scientific library", compute_bound=False,
+             table1=_T1(29_000, 16.40, 1.2, 1.2, 1.2, 1.2, 113, 11, 58, 19),
+             table2=_T2(27, 2, 20, 0, 7)),
+    Workload("philo", build_philo,
+             "dining philosophers", compute_bound=False,
+             table1=_T1(84, 2.71, 1.0, 1.0, 1.2, 1.2, 34, 5, 34, 5),
+             table2=_T2(2, 0, 2, 0, 0)),
+    Workload("raja", build_raja,
+             "Raja ray tracer", compute_bound=True,
+             table1=_T1(10_000, 0.55, 4.3, 4.4, 4.5, 4.5, 60, 1, 60, 1),
+             table2=_T2(0, 0, 0, 0, 0)),
+    Workload("multiset", build_multiset,
+             "basic multiset", compute_bound=True,
+             table1=_T1(300, 0.10, 4.0, 4.4, 4.7, 10.0, 218_000, 8, 8, 8),
+             table2=_T2(5, 0, 5, 0, 0)),
+    Workload("webl", build_webl,
+             "WebL interpreter (crawler)", compute_bound=True,
+             table1=_T1(22_300, 0.52, 8.6, 8.9, 9.3, 21.0, 470_000, 4, 395_000, 4),
+             table2=_T2(24, 2, 22, 0, 2)),
+    Workload("jigsaw", build_jigsaw,
+             "Jigsaw web server", compute_bound=False,
+             table1=_T1(91_100, 8.2, 1.1, 1.1, 1.1, 1.1, 123_000, 99, 36_600, 17),
+             table2=_T2(55, 5, 44, 0, 11)),
+]
+
+for workload in SUITE:
+    register(workload)

@@ -1,0 +1,546 @@
+"""Thread-body building blocks for the synthetic benchmarks.
+
+Each function returns a body factory (or a reusable request fragment)
+capturing one concurrency idiom from the paper's benchmark suite:
+
+* properly-locked updates (clean for every tool),
+* compound locked sections — the ``Set.add`` pattern of Section 1
+  (genuinely non-atomic under contention; the Atomizer always flags
+  the acquire-after-release),
+* unsynchronized read-modify-write (genuinely non-atomic; racy),
+* *rare* variants of the above whose violating interleavings are
+  narrow — sources of the "Velodrome missed" column of Table 2,
+* flag hand-offs and barriers (serializable, but LockSet-opaque:
+  Atomizer false alarms),
+* library synchronization via uninstrumented locks (mtrt-style false
+  alarms),
+* fork-join result collection (jbb/mtrt-style false alarms),
+* non-transactional churn with a tunable sharing fraction, which
+  controls how much the Figure 4 merge rule can avoid node allocation
+  (the "Without/With Merge" columns of Table 1).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, Optional
+
+from repro.runtime.program import (
+    Acquire,
+    Await,
+    Begin,
+    BodyFactory,
+    End,
+    Join,
+    Read,
+    Release,
+    Request,
+    Spawn,
+    Work,
+    Write,
+)
+
+
+def locked_update(
+    label: str,
+    lock: str,
+    var: str,
+    rounds: int,
+    work: int = 0,
+) -> BodyFactory:
+    """Atomic method with a correctly-locked read-modify-write.
+
+    Serializable and reducible: no tool should warn.
+    """
+
+    def body():
+        for _ in range(rounds):
+            yield Begin(label)
+            yield Acquire(lock)
+            value = yield Read(var)
+            yield Write(var, value + 1)
+            yield Release(lock)
+            yield End()
+            if work:
+                yield Work(work)
+
+    return body
+
+
+def compound_locked(
+    label: str,
+    lock: str,
+    check_var: str,
+    update_var: str,
+    rounds: int,
+    work: int = 0,
+) -> BodyFactory:
+    """The ``Set.add`` pattern: two locked regions inside one atomic block.
+
+    Each region is race-free, but another thread can update between
+    them, so the block is genuinely non-atomic under contention.  The
+    Atomizer flags the second acquire (a right-mover after a
+    left-mover) on every execution; Velodrome warns only when a
+    conflicting interleaving is actually observed.
+    """
+
+    def body():
+        for _ in range(rounds):
+            yield Begin(label)
+            yield Acquire(lock)
+            present = yield Read(check_var)
+            yield Release(lock)
+            if work:
+                yield Work(work)
+            yield Acquire(lock)
+            if not present:
+                size = yield Read(update_var)
+                yield Write(update_var, size + 1)
+            else:
+                yield Read(update_var)
+            yield Release(lock)
+            yield End()
+
+    return body
+
+
+def unsync_rmw(
+    label: str,
+    var: str,
+    rounds: int,
+    gap: int = 0,
+    work_between: int = 0,
+) -> BodyFactory:
+    """Atomic block with an unsynchronized read-modify-write.
+
+    Genuinely non-atomic (and racy).  ``gap`` inserts compute between
+    the read and the write, widening the window in which a conflicting
+    write can interleave; ``work_between`` spaces out iterations.
+    """
+
+    def body():
+        for _ in range(rounds):
+            yield Begin(label)
+            value = yield Read(var)
+            if gap:
+                yield Work(gap)
+            yield Write(var, value + 1)
+            yield End()
+            if work_between:
+                yield Work(work_between)
+
+    return body
+
+
+def rare_rmw(
+    label: str,
+    var: str,
+    rounds: int = 1,
+    start_delay: int = 0,
+) -> BodyFactory:
+    """A non-atomic read-modify-write with a very narrow race window.
+
+    The read and write are adjacent and executed only ``rounds`` times,
+    after ``start_delay`` units of compute, so the violating
+    interleaving is rarely observed: Velodrome usually reports nothing
+    (a "missed" method in Table 2 terms), while the Atomizer still
+    flags the racy accesses unconditionally.
+    """
+
+    def body():
+        if start_delay:
+            yield Work(start_delay)
+        for _ in range(rounds):
+            yield Begin(label)
+            value = yield Read(var)
+            yield Write(var, value + 1)
+            yield End()
+
+    return body
+
+
+def flag_sender(
+    label: str,
+    var: str,
+    flag: str,
+    my_turn: int,
+    their_turn: int,
+    rounds: int,
+) -> BodyFactory:
+    """One side of the Section 2 volatile-flag hand-off.
+
+    Waits for ``flag == my_turn``, performs an atomic unlocked
+    read-modify-write of ``var``, then passes the flag.  The protocol
+    serializes the blocks perfectly, but LockSet sees racy accesses:
+    an Atomizer false alarm by construction.
+    """
+
+    def body():
+        for _ in range(rounds):
+            yield Await(flag, my_turn)
+            yield Begin(label)
+            value = yield Read(var)
+            yield Write(var, value + 1)
+            yield Write(flag, their_turn)
+            yield End()
+
+    return body
+
+
+def hidden_lock_update(
+    label: str,
+    lock: str,
+    var: str,
+    rounds: int,
+    extra_reads: int = 1,
+    work: int = 0,
+) -> BodyFactory:
+    """Correctly-locked update whose lock is *uninstrumented*.
+
+    Register ``lock`` in the program's ``uninstrumented_locks``: the
+    interpreter still serializes the critical sections, but no analysis
+    sees the acquire/release.  Velodrome observes a serializable trace
+    (no warning); the Atomizer sees two or more racy accesses in one
+    block and raises a false alarm — the mtrt/jbb library pattern.
+    """
+
+    def body():
+        for _ in range(rounds):
+            yield Begin(label)
+            yield Acquire(lock)
+            value = yield Read(var)
+            for _ in range(extra_reads):
+                yield Read(var)
+            yield Write(var, value + 1)
+            yield Release(lock)
+            yield End()
+            if work:
+                yield Work(work)
+
+    return body
+
+
+def fork_join_master(
+    label: str,
+    worker_label: str,
+    n_workers: int,
+    input_var: str = "task",
+    result_prefix: str = "result",
+    worker_work: int = 10,
+) -> BodyFactory:
+    """A master that forks workers, joins them, and sums their results.
+
+    The result collection happens inside an atomic block: the reads of
+    the plain result variables are ordered by the join, so the block is
+    serializable, but LockSet sees them as racy — another Atomizer
+    false-alarm source (the paper attributes jbb/mtrt false alarms to
+    fork-join synchronization).
+    """
+
+    def worker(index: int) -> BodyFactory:
+        def body():
+            task = yield Read(input_var)
+            yield Work(worker_work)
+            yield Begin(worker_label)
+            yield Write(f"{result_prefix}_{index}", task + index)
+            yield End()
+
+        return body
+
+    def body():
+        yield Write(input_var, 7)
+        children = []
+        for index in range(n_workers):
+            child = yield Spawn(worker(index), f"{label}-w{index}")
+            children.append(child)
+        for child in children:
+            yield Join(child)
+        yield Begin(label)
+        total = 0
+        for index in range(n_workers):
+            value = yield Read(f"{result_prefix}_{index}")
+            total += value
+        yield Write(f"{result_prefix}_total", total)
+        yield End()
+
+    return body
+
+
+def barrier_worker(
+    label: Optional[str],
+    barrier_lock: str,
+    barrier_count: str,
+    barrier_gen: str,
+    n_threads: int,
+    phases: int,
+    phase_var_prefix: str,
+    my_index: int,
+    work: int = 3,
+) -> BodyFactory:
+    """A worker in a barrier-synchronized phased computation (sor-style).
+
+    Each phase: do local work, write a per-thread cell, then pass a
+    sense-reversing barrier built from a locked counter plus an
+    ``Await`` on the generation flag.  Reads of neighbouring cells in
+    the next phase are ordered by the barrier — serializable, but the
+    cell accesses look racy to LockSet inside atomic blocks.  Pass
+    ``label=None`` to run the phase body outside any atomic block
+    (sor-style: no Atomizer warnings, because the Atomizer only judges
+    atomic blocks).
+    """
+
+    def body():
+        for phase in range(phases):
+            if label is not None:
+                yield Begin(label)
+            if work:
+                yield Work(work)
+            yield Write(f"{phase_var_prefix}_{my_index}_{phase}", my_index)
+            neighbour = (my_index + 1) % n_threads
+            if phase > 0:
+                yield Read(f"{phase_var_prefix}_{neighbour}_{phase - 1}")
+            if label is not None:
+                yield End()
+            # Sense-reversing barrier.
+            yield Acquire(barrier_lock)
+            count = yield Read(barrier_count)
+            count += 1
+            if count == n_threads:
+                yield Write(barrier_count, 0)
+                generation = yield Read(barrier_gen)
+                yield Write(barrier_gen, generation + 1)
+                yield Release(barrier_lock)
+            else:
+                yield Write(barrier_count, count)
+                generation = yield Read(barrier_gen)
+                yield Release(barrier_lock)
+                yield Await(barrier_gen, generation + 1)
+
+    return body
+
+
+def outside_churn(
+    tid_tag: str,
+    private_ops: int,
+    shared_var: Optional[str] = None,
+    share_every: int = 0,
+    seed: int = 0,
+    n_private_vars: int = 4,
+) -> BodyFactory:
+    """Non-transactional churn with a tunable sharing fraction.
+
+    Emits ``private_ops`` reads/writes of per-thread variables outside
+    any atomic block, touching ``shared_var`` every ``share_every``
+    operations (0 = never).  Private chains merge into the thread's
+    predecessor node under the Figure 4 rules (few allocations); shared
+    touches force incomparable predecessors and hence fresh nodes —
+    this knob reproduces each benchmark's Without/With-Merge ratio in
+    Table 1.
+    """
+
+    def body():
+        rng = random.Random(seed)
+        for index in range(private_ops):
+            var = f"local_{tid_tag}_{rng.randrange(n_private_vars)}"
+            if rng.random() < 0.5:
+                yield Read(var)
+            else:
+                yield Write(var, index)
+            if share_every and shared_var and index % share_every == share_every - 1:
+                if rng.random() < 0.5:
+                    yield Read(shared_var)
+                else:
+                    yield Write(shared_var, index)
+
+    return body
+
+
+def transactional_churn(
+    tag: str,
+    label: str,
+    blocks: int,
+    ops_per_block: int = 2,
+    n_private_vars: int = 3,
+    seed: int = 0,
+    work: int = 0,
+) -> BodyFactory:
+    """Many small atomic blocks over thread-private data.
+
+    Each block is trivially atomic (single-thread data), but every
+    invocation starts a real transaction and therefore allocates a
+    happens-before graph node *regardless of merging* — the workload
+    shape behind Table 1 rows like mtrt and elevator where the
+    Without/With-Merge allocation counts are nearly equal.
+    """
+
+    def body():
+        rng = random.Random(seed)
+        for index in range(blocks):
+            yield Begin(label)
+            for _ in range(ops_per_block):
+                var = f"txlocal_{tag}_{rng.randrange(n_private_vars)}"
+                if rng.random() < 0.5:
+                    yield Read(var)
+                else:
+                    yield Write(var, index)
+            yield End()
+            if work:
+                yield Work(work)
+
+    return body
+
+
+def shared_pool_churn(
+    ops: int,
+    pool_prefix: str,
+    pool_size: int,
+    seed: int = 0,
+    write_fraction: float = 0.5,
+) -> BodyFactory:
+    """Merge-hostile non-transactional churn (mtrt/webl shape).
+
+    Every operation touches a variable drawn from a pool shared by all
+    churn threads.  With several concurrent writers rotating over the
+    pool, an operation's predecessors — the thread's own last node and
+    the variable's last writer/readers — are usually incomparable in
+    the happens-before graph, so the Figure 4 merge rule must allocate
+    a fresh node for nearly every operation: merging barely reduces the
+    Table 1 allocation count, as the paper observes for mtrt and webl.
+    """
+
+    def body():
+        rng = random.Random(seed)
+        for index in range(ops):
+            var = f"{pool_prefix}_{rng.randrange(pool_size)}"
+            if rng.random() < write_fraction:
+                yield Write(var, index)
+            else:
+                yield Read(var)
+
+    return body
+
+
+def monitor_method(
+    label: str,
+    lock: str,
+    variables: list[str],
+    rounds: int,
+    writes: int = 1,
+    work: int = 0,
+) -> BodyFactory:
+    """A synchronized method touching several fields under one monitor.
+
+    The whole block holds one lock: atomic, reducible, clean — the
+    bread-and-butter transaction shape of the paper's benchmarks.
+    """
+
+    def body():
+        for round_index in range(rounds):
+            yield Begin(label)
+            yield Acquire(lock)
+            for var in variables:
+                yield Read(var)
+            for var in variables[: max(writes, 0)]:
+                yield Write(var, round_index)
+            yield Release(lock)
+            yield End()
+            if work:
+                yield Work(work)
+
+    return body
+
+
+def producer(
+    label: str,
+    lock: str,
+    queue_var: str,
+    items: int,
+    work: int = 2,
+) -> BodyFactory:
+    """Locked producer pushing items (hedc/webl-style task feeding)."""
+
+    def body():
+        for _ in range(items):
+            if work:
+                yield Work(work)
+            yield Begin(label)
+            yield Acquire(lock)
+            depth = yield Read(queue_var)
+            yield Write(queue_var, depth + 1)
+            yield Release(lock)
+            yield End()
+
+    return body
+
+
+def consumer(
+    label: str,
+    lock: str,
+    queue_var: str,
+    items: int,
+    work: int = 2,
+) -> BodyFactory:
+    """Locked consumer popping items; waits for the queue to be non-empty."""
+
+    def body():
+        taken = 0
+        while taken < items:
+            yield Acquire(lock)
+            depth = yield Read(queue_var)
+            if depth > 0:
+                yield Write(queue_var, depth - 1)
+                taken += 1
+                yield Release(lock)
+                if work:
+                    yield Work(work)
+            else:
+                yield Release(lock)
+                yield Work(1)
+
+    return body
+
+
+def philosopher(
+    label: str,
+    left_fork: str,
+    right_fork: str,
+    meals: int,
+    meal_var: str,
+) -> BodyFactory:
+    """A dining philosopher taking both forks in a fixed global order.
+
+    Two nested acquires inside one atomic block are right-movers before
+    any release: reducible and atomic.
+    """
+
+    def body():
+        first, second = sorted([left_fork, right_fork])
+        for _ in range(meals):
+            yield Begin(label)
+            yield Acquire(first)
+            yield Acquire(second)
+            eaten = yield Read(meal_var)
+            yield Write(meal_var, eaten + 1)
+            yield Release(second)
+            yield Release(first)
+            yield End()
+            yield Work(2)
+
+    return body
+
+
+def sequence(*factories: BodyFactory) -> BodyFactory:
+    """Run several bodies one after another in a single thread."""
+
+    def body():
+        for factory in factories:
+            result = None
+            generator = factory()
+            while True:
+                try:
+                    request = generator.send(result)
+                except StopIteration:
+                    break
+                result = yield request
+
+    return body

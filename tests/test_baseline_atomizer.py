@@ -1,0 +1,122 @@
+"""Unit tests for the Atomizer reduction-based baseline."""
+
+from repro.baselines.atomizer import Atomizer
+from repro.events.trace import Trace
+
+
+def run(text, **options):
+    backend = Atomizer(**options)
+    backend.process_trace(Trace.parse(text))
+    return backend
+
+
+class TestReductionPatterns:
+    def test_single_locked_region_reducible(self):
+        backend = run(
+            "1:begin(m) 1:acq(l) 1:rd(x) 1:wr(x) 1:rel(l) 1:end "
+            "2:begin(m) 2:acq(l) 2:rd(x) 2:wr(x) 2:rel(l) 2:end"
+        )
+        assert not backend.error_detected
+
+    def test_nested_locks_reducible(self):
+        backend = run(
+            "1:begin(m) 1:acq(a) 1:acq(b) 1:rd(x) 1:rel(b) 1:rel(a) 1:end"
+        )
+        assert not backend.error_detected
+
+    def test_acquire_after_release_flagged(self):
+        # The Set.add pattern: R ... L R ... L inside one block.
+        backend = run(
+            "1:begin(add) 1:acq(l) 1:rd(x) 1:rel(l) "
+            "1:acq(l) 1:wr(x) 1:rel(l) 1:end"
+        )
+        assert backend.error_detected
+        assert backend.warnings[0].label == "add"
+
+    def test_single_racy_access_allowed(self):
+        # One non-mover between the movers: still reducible.
+        backend = run(
+            "2:wr(x) "  # make x shared and unprotected
+            "1:begin(m) 1:acq(l) 1:rd(x) 1:rel(l) 1:end"
+        )
+        # rd(x) is racy (no common lock) but is the single N before L.
+        assert not any(w.label == "m" for w in backend.warnings)
+
+    def test_two_racy_accesses_flagged(self):
+        backend = run(
+            "2:wr(x) "
+            "1:begin(m) 1:rd(x) 1:wr(x) 1:end"
+        )
+        assert any(w.label == "m" for w in backend.warnings)
+
+    def test_racy_access_after_release_flagged(self):
+        backend = run(
+            "2:wr(x) "
+            "1:begin(m) 1:acq(l) 1:rd(y) 1:rel(l) 1:rd(x) 1:end"
+        )
+        assert any(w.label == "m" for w in backend.warnings)
+
+    def test_acquire_after_racy_access_flagged(self):
+        backend = run(
+            "2:wr(x) "
+            "1:begin(m) 1:rd(x) 1:acq(l) 1:rd(y) 1:rel(l) 1:end"
+        )
+        assert any(w.label == "m" for w in backend.warnings)
+
+    def test_operations_outside_blocks_ignored(self):
+        backend = run("1:acq(l) 1:rd(x) 1:rel(l) 1:acq(l) 1:wr(x) 1:rel(l)")
+        assert not backend.error_detected
+
+
+class TestIncompleteness:
+    def test_false_alarm_on_flag_handoff(self):
+        """The Section 2 program: serializable, yet flagged."""
+        backend = run(
+            "1:rd(b) "
+            "1:begin(inc1) 1:rd(x) 1:wr(x) 1:wr(b) 1:end "
+            "2:rd(b) "
+            "2:begin(inc2) 2:rd(x) 2:wr(x) 2:wr(b) 2:end"
+        )
+        assert backend.error_detected  # false alarm by design
+
+    def test_thread_local_blocks_clean(self):
+        backend = run("1:begin(m) 1:rd(x) 1:wr(x) 1:rd(x) 1:end")
+        assert not backend.error_detected
+
+
+class TestMechanics:
+    def test_report_once_per_block(self):
+        text = (
+            "2:wr(x) 2:wr(y) "
+            "1:begin(m) 1:rd(x) 1:wr(x) 1:rd(y) 1:wr(y) 1:end"
+        )
+        assert len(run(text).warnings) == 1
+        assert len(run(text, report_once_per_block=False).warnings) >= 2
+
+    def test_nested_blocks_share_state(self):
+        backend = run(
+            "2:wr(x) "
+            "1:begin(outer) 1:rd(x) 1:begin(inner) 1:wr(x) 1:end 1:end"
+        )
+        labels = {w.label for w in backend.warnings}
+        assert labels == {"outer"}
+
+    def test_pause_callback_fires_at_commit_point(self):
+        pauses = []
+        backend = Atomizer(pause_callback=lambda op, pos: pauses.append(pos))
+        backend.process_trace(Trace.parse(
+            "2:wr(x) 1:begin(m) 1:rd(x) 1:end"
+        ))
+        assert len(pauses) == 1
+
+    def test_no_pause_for_protected_access(self):
+        pauses = []
+        backend = Atomizer(pause_callback=lambda op, pos: pauses.append(pos))
+        backend.process_trace(Trace.parse(
+            "1:begin(m) 1:acq(l) 1:rd(x) 1:rel(l) 1:end"
+        ))
+        assert pauses == []
+
+    def test_embedded_lockset_exposed(self):
+        backend = run("1:acq(m) 1:wr(x) 1:rel(m)")
+        assert backend.lockset.var_state("x").name == "EXCLUSIVE"

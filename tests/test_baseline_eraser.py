@@ -1,0 +1,115 @@
+"""Unit tests for the Eraser LockSet race detector."""
+
+from repro.baselines.eraser import EraserLockSet, VarState
+from repro.events.trace import Trace
+
+
+def run(text, **options):
+    backend = EraserLockSet(**options)
+    backend.process_trace(Trace.parse(text))
+    return backend
+
+
+class TestStateMachine:
+    def test_virgin_to_exclusive(self):
+        backend = run("1:wr(x)")
+        assert backend.var_state("x") is VarState.EXCLUSIVE
+
+    def test_exclusive_stays_for_owner(self):
+        backend = run("1:wr(x) 1:rd(x) 1:wr(x)")
+        assert backend.var_state("x") is VarState.EXCLUSIVE
+        assert not backend.error_detected
+
+    def test_second_thread_read_moves_to_shared(self):
+        backend = run("1:wr(x) 2:rd(x)")
+        assert backend.var_state("x") is VarState.SHARED
+
+    def test_second_thread_write_moves_to_shared_modified(self):
+        backend = run("1:wr(x) 2:wr(x)")
+        assert backend.var_state("x") is VarState.SHARED_MODIFIED
+
+    def test_shared_then_write_escalates(self):
+        backend = run("1:wr(x) 2:rd(x) 2:wr(x)")
+        assert backend.var_state("x") is VarState.SHARED_MODIFIED
+
+    def test_unknown_var_is_virgin(self):
+        assert run("").var_state("z") is VarState.VIRGIN
+
+
+class TestLocksets:
+    def test_candidate_set_initialized_on_transfer(self):
+        backend = run("1:wr(x) 2:acq(m) 2:wr(x) 2:rel(m)")
+        assert backend.lockset("x") == frozenset({"m"})
+
+    def test_intersection_refines(self):
+        backend = run(
+            "1:acq(m) 1:acq(n) 1:wr(x) 1:rel(n) 1:rel(m) "
+            "2:acq(m) 2:wr(x) 2:rel(m) "
+            "3:acq(m) 3:acq(n) 3:wr(x) 3:rel(n) 3:rel(m)"
+        )
+        assert backend.lockset("x") == frozenset({"m"})
+        assert not backend.error_detected
+
+    def test_empty_lockset_in_shared_modified_reports(self):
+        backend = run("1:wr(x) 2:wr(x)")
+        assert backend.error_detected
+        assert backend.warnings[0].target == "x"
+
+    def test_shared_state_does_not_report(self):
+        # Reads by many threads without locks: SHARED, no warning.
+        backend = run("1:wr(x) 2:rd(x) 3:rd(x)")
+        assert not backend.error_detected
+
+    def test_consistent_locking_never_reports(self):
+        backend = run(
+            "1:acq(m) 1:rd(x) 1:wr(x) 1:rel(m) "
+            "2:acq(m) 2:rd(x) 2:wr(x) 2:rel(m)"
+        )
+        assert not backend.error_detected
+
+    def test_report_once_per_var(self):
+        text = "1:wr(x) 2:wr(x) 1:wr(x) 2:wr(x)"
+        assert len(run(text).warnings) == 1
+        assert len(run(text, report_once_per_var=False).warnings) >= 2
+
+    def test_flag_discipline_invisible(self):
+        # The Section 2 idiom is race-free in the happens-before sense
+        # but Eraser (lock-based) flags it: the classic imprecision.
+        backend = run(
+            "1:rd(b) 1:rd(x) 1:wr(x) 1:wr(b) "
+            "2:rd(b) 2:rd(x) 2:wr(x) 2:wr(b)"
+        )
+        assert backend.error_detected
+
+
+class TestHeldLocks:
+    def test_held_tracking(self):
+        backend = EraserLockSet()
+        for op in Trace.parse("1:acq(m) 1:acq(n) 1:rel(n)"):
+            backend.process(op)
+        assert backend.held(1) == {"m"}
+
+    def test_is_protected_virgin(self):
+        backend = EraserLockSet()
+        assert backend.is_protected("x", 1)
+
+    def test_is_protected_exclusive_owner(self):
+        backend = run("1:wr(x)")
+        assert backend.is_protected("x", 1)
+
+    def test_is_protected_transfer_with_locks(self):
+        backend = EraserLockSet()
+        for op in Trace.parse("1:wr(x) 2:acq(m)"):
+            backend.process(op)
+        # Thread 2 holds a lock: the transfer access would initialize a
+        # non-empty candidate set, so it reads as protected.
+        assert backend.is_protected("x", 2)
+
+    def test_is_protected_transfer_without_locks(self):
+        backend = run("1:wr(x)")
+        assert not backend.is_protected("x", 2)
+
+    def test_is_protected_shared_requires_candidate_lock(self):
+        backend = run("1:acq(m) 1:wr(x) 1:rel(m) 2:acq(m) 2:wr(x)")
+        assert backend.is_protected("x", 2)  # still holds m
+        assert not backend.is_protected("x", 3)  # holds nothing

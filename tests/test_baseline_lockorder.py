@@ -1,0 +1,90 @@
+"""Tests for the lock-order (potential deadlock) monitor."""
+
+from repro.baselines.lockorder import LockOrderGraph, LockOrderMonitor
+from repro.events.trace import Trace
+
+
+def run(text, **options):
+    backend = LockOrderMonitor(**options)
+    backend.process_trace(Trace.parse(text))
+    return backend
+
+
+class TestGraph:
+    def test_edge_recorded(self):
+        graph = LockOrderGraph()
+        assert graph.add("a", "b") is None
+        assert ("a", "b") in graph.edges()
+
+    def test_inversion_detected(self):
+        graph = LockOrderGraph()
+        graph.add("a", "b")
+        cycle = graph.add("b", "a")
+        assert cycle is not None
+        assert cycle[0] == "a" and cycle[-1] == "a"
+
+    def test_transitive_inversion(self):
+        graph = LockOrderGraph()
+        graph.add("a", "b")
+        graph.add("b", "c")
+        cycle = graph.add("c", "a")
+        assert cycle is not None
+        assert set(cycle) == {"a", "b", "c"}
+
+    def test_no_false_cycle(self):
+        graph = LockOrderGraph()
+        graph.add("a", "b")
+        graph.add("a", "c")
+        assert graph.add("b", "c") is None
+
+
+class TestMonitor:
+    def test_consistent_order_clean(self):
+        backend = run(
+            "1:acq(a) 1:acq(b) 1:rel(b) 1:rel(a) "
+            "2:acq(a) 2:acq(b) 2:rel(b) 2:rel(a)"
+        )
+        assert not backend.error_detected
+
+    def test_inverted_order_flagged(self):
+        backend = run(
+            "1:acq(a) 1:acq(b) 1:rel(b) 1:rel(a) "
+            "2:acq(b) 2:acq(a) 2:rel(a) 2:rel(b)"
+        )
+        assert backend.error_detected
+        assert "potential deadlock" in backend.warnings[0].message
+
+    def test_detects_even_when_execution_survives(self):
+        # This interleaving completes fine; the hazard is still real.
+        backend = run(
+            "1:acq(a) 1:acq(b) 1:rel(b) 1:rel(a) "
+            "2:acq(b) 2:acq(a) 2:rel(a) 2:rel(b)"
+        )
+        assert len(backend.warnings) == 1
+
+    def test_report_once_per_pair(self):
+        text = (
+            "1:acq(a) 1:acq(b) 1:rel(b) 1:rel(a) "
+            "2:acq(b) 2:acq(a) 2:rel(a) 2:rel(b) "
+            "2:acq(b) 2:acq(a) 2:rel(a) 2:rel(b)"
+        )
+        assert len(run(text).warnings) == 1
+        assert len(run(text, report_once_per_pair=False).warnings) == 2
+
+    def test_single_thread_nesting_clean(self):
+        backend = run("1:acq(a) 1:acq(b) 1:rel(b) 1:acq(b) 1:rel(b) 1:rel(a)")
+        assert not backend.error_detected
+
+    def test_three_lock_rotation(self):
+        backend = run(
+            "1:acq(a) 1:acq(b) 1:rel(b) 1:rel(a) "
+            "2:acq(b) 2:acq(c) 2:rel(c) 2:rel(b) "
+            "3:acq(c) 3:acq(a) 3:rel(a) 3:rel(c)"
+        )
+        assert backend.error_detected
+
+    def test_held_order_maintained(self):
+        backend = LockOrderMonitor()
+        for op in Trace.parse("1:acq(a) 1:acq(b) 1:rel(a)"):
+            backend.process(op)
+        assert backend.held(1) == ["b"]

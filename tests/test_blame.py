@@ -1,0 +1,109 @@
+"""Unit tests for blame assignment (paper Section 4.3, experiment E7)."""
+
+from repro.core.blame import (
+    blamed_labels,
+    blamed_transaction,
+    summarize_blame,
+    verify_blame,
+)
+from repro.core.optimized import VelodromeOptimized
+from repro.events.trace import Trace
+
+
+def analyse(text, **options):
+    backend = VelodromeOptimized(**options)
+    trace = Trace.parse(text)
+    backend.process_trace(trace)
+    return trace, backend
+
+
+class TestBlameAssignment:
+    def test_rmw_victim_blamed(self):
+        trace, backend = analyse("1:begin(m) 1:rd(x) 2:wr(x) 1:wr(x) 1:end")
+        warning = backend.warnings[0]
+        assert warning.blamed
+        assert warning.label == "m"
+        assert verify_blame(trace, warning)
+
+    def test_blamed_transaction_lookup(self):
+        trace, backend = analyse("1:begin(m) 1:rd(x) 2:wr(x) 1:wr(x) 1:end")
+        transaction = blamed_transaction(trace, backend.warnings[0])
+        assert transaction.label == "m"
+        assert transaction.tid == 1
+
+    def test_intro_cycle_blames_outer_transaction(self):
+        trace, backend = analyse(
+            "1:begin(A) 1:rel(m) "
+            "2:begin(B) 2:acq(m) 2:wr(y) 2:end "
+            "3:begin(C) 3:rd(y) 3:wr(x) 3:end "
+            "1:rd(x) 1:end"
+        )
+        warning = backend.warnings[0]
+        assert warning.blamed
+        assert warning.label == "A"
+        assert verify_blame(trace, warning)
+
+    def test_nested_blocks_refuted_selectively(self):
+        """Section 4.3: p and q contain both the root read and the
+        target write; r contains only the write and is exonerated."""
+        _trace, backend = analyse(
+            "1:begin(p) 1:begin(q) 1:rd(x) 1:begin(r) "
+            "2:wr(x) "
+            "1:wr(x) 1:end 1:end 1:end"
+        )
+        labels = sorted(w.label for w in backend.warnings if w.blamed)
+        assert labels == ["p", "q"]
+
+    def test_inner_block_blamed_when_it_contains_cycle(self):
+        _trace, backend = analyse(
+            "1:begin(p) 1:begin(q) 1:rd(x) "
+            "2:wr(x) "
+            "1:wr(x) 1:end 1:end"
+        )
+        labels = sorted(w.label for w in backend.warnings if w.blamed)
+        assert labels == ["p", "q"]
+
+    def test_both_self_serializable_cycle_not_blamed(self):
+        """The D/E example: the trace is non-serializable but neither
+        transaction is individually refutable; the warning must not
+        certify blame (the increasing test fails)."""
+        trace, backend = analyse(
+            "1:begin(D) 1:wr(x) "
+            "2:begin(E) 2:wr(y) "
+            "1:rd(y) 1:end "
+            "2:rd(x) 2:end"
+        )
+        assert backend.error_detected
+        assert all(not w.blamed for w in backend.warnings)
+
+
+class TestBlameSummaries:
+    def test_summary_counts(self):
+        _trace, backend = analyse(
+            "1:begin(m) 1:rd(x) 2:wr(x) 1:wr(x) 1:end",
+        )
+        summary = summarize_blame(backend.warnings)
+        assert summary.total == 1
+        assert summary.blamed == 1
+        assert summary.blame_rate == 1.0
+        assert "100%" in str(summary)
+
+    def test_summary_ignores_non_atomicity_warnings(self):
+        from repro.core.reports import race_warning
+
+        summary = summarize_blame([race_warning("X", 1, 0, "x", "boom")])
+        assert summary.total == 0
+        assert summary.blame_rate == 0.0
+
+    def test_blamed_labels_helper(self):
+        _trace, backend = analyse("1:begin(m) 1:rd(x) 2:wr(x) 1:wr(x) 1:end")
+        assert blamed_labels(backend.warnings) == {"m"}
+
+    def test_verify_blame_requires_certified_warning(self):
+        trace, backend = analyse(
+            "1:begin(D) 1:wr(x) 2:begin(E) 2:wr(y) 1:rd(y) 1:end 2:rd(x) 2:end"
+        )
+        import pytest
+
+        with pytest.raises(ValueError):
+            verify_blame(trace, backend.warnings[0])

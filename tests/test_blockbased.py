@@ -1,0 +1,105 @@
+"""Tests for the block-based (single-variable pattern) baseline."""
+
+from repro.baselines.blockbased import BlockBasedChecker
+from repro.core import VelodromeOptimized
+from repro.events.trace import Trace
+
+
+def run(text, **options):
+    backend = BlockBasedChecker(**options)
+    backend.process_trace(Trace.parse(text))
+    return backend
+
+
+class TestPatterns:
+    def test_rd_wr_rd(self):
+        backend = run("1:begin(m) 1:rd(x) 2:wr(x) 1:rd(x) 1:end")
+        assert backend.error_detected
+        assert backend.warnings[0].label == "m"
+
+    def test_wr_rd_wr(self):
+        assert run("1:begin(m) 1:wr(x) 2:rd(x) 1:wr(x) 1:end").error_detected
+
+    def test_wr_wr_rd(self):
+        assert run("1:begin(m) 1:wr(x) 2:wr(x) 1:rd(x) 1:end").error_detected
+
+    def test_rd_wr_wr(self):
+        assert run("1:begin(m) 1:rd(x) 2:wr(x) 1:wr(x) 1:end").error_detected
+
+    def test_rd_rd_rd_serializable(self):
+        assert not run("1:begin(m) 1:rd(x) 2:rd(x) 1:rd(x) 1:end").error_detected
+
+    def test_wr_wr_wr_treated_serializable(self):
+        assert not run("1:begin(m) 1:wr(x) 2:wr(x) 1:wr(x) 1:end").error_detected
+
+    def test_rd_rd_wr_serializable(self):
+        assert not run("1:begin(m) 1:rd(x) 2:rd(x) 1:wr(x) 1:end").error_detected
+
+    def test_wr_rd_rd_serializable(self):
+        assert not run("1:begin(m) 1:wr(x) 2:rd(x) 1:rd(x) 1:end").error_detected
+
+    def test_patterns_imply_genuine_cycles(self):
+        """Each flagged pattern is a genuine two-node cycle, so on
+        these single-variable shapes the checker agrees with Velodrome."""
+        for text in (
+            "1:begin(m) 1:rd(x) 2:wr(x) 1:rd(x) 1:end",
+            "1:begin(m) 1:wr(x) 2:rd(x) 1:wr(x) 1:end",
+            "1:begin(m) 1:wr(x) 2:wr(x) 1:rd(x) 1:end",
+            "1:begin(m) 1:rd(x) 2:wr(x) 1:wr(x) 1:end",
+        ):
+            velodrome = VelodromeOptimized()
+            velodrome.process_trace(Trace.parse(text))
+            assert velodrome.error_detected, text
+
+
+class TestLimitations:
+    def test_misses_multivariable_cycle(self):
+        """The intro's A-B-C cycle spans variables and a lock: invisible
+        to single-variable patterns, caught by Velodrome."""
+        text = (
+            "1:begin(A) 1:rel(m) "
+            "2:begin(B) 2:acq(m) 2:wr(y) 2:end "
+            "3:begin(C) 3:rd(y) 3:wr(x) 3:end "
+            "1:rd(x) 1:end"
+        )
+        assert not run(text).error_detected
+        velodrome = VelodromeOptimized()
+        velodrome.process_trace(Trace.parse(text))
+        assert velodrome.error_detected
+
+    def test_misses_two_variable_cycle(self):
+        text = (
+            "1:begin(D) 1:wr(x) 2:begin(E) 2:wr(y) "
+            "1:rd(y) 1:end 2:rd(x) 2:end"
+        )
+        assert not run(text).error_detected
+
+
+class TestMechanics:
+    def test_intermediate_own_access_resets_pair(self):
+        # rd .. rd .. (remote wr) .. rd: the pair under test is the
+        # last two local accesses.
+        backend = run("1:begin(m) 1:rd(x) 1:rd(x) 2:wr(x) 1:rd(x) 1:end")
+        assert backend.error_detected  # rd-wr-rd on the final pair
+
+    def test_remote_outside_any_block_still_counts(self):
+        backend = run("1:begin(m) 1:rd(x) 2:wr(x) 1:rd(x) 1:end")
+        assert backend.error_detected
+
+    def test_accesses_outside_blocks_not_checked_locally(self):
+        backend = run("1:rd(x) 2:wr(x) 1:rd(x)")
+        assert not backend.error_detected
+
+    def test_report_once_per_block(self):
+        text = (
+            "1:begin(m) 1:rd(x) 2:wr(x) 1:rd(x) "
+            "1:rd(y) 2:wr(y) 1:rd(y) 1:end"
+        )
+        assert len(run(text).warnings) == 1
+        assert len(run(text, report_once_per_block=False).warnings) == 2
+
+    def test_nested_blocks_attribute_outermost(self):
+        backend = run(
+            "1:begin(p) 1:begin(q) 1:rd(x) 2:wr(x) 1:rd(x) 1:end 1:end"
+        )
+        assert backend.warnings[0].label == "p"

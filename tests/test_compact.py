@@ -1,0 +1,93 @@
+"""Tests for the compact (packed 64-bit) analysis state."""
+
+import pytest
+
+from repro.core.compact import VelodromeCompact
+from repro.core.optimized import VelodromeOptimized
+from repro.events.trace import Trace
+from repro.graph.stepcode import SlotsExhausted
+
+
+def run(text, cls=VelodromeCompact, **options):
+    backend = cls(**options)
+    backend.process_trace(Trace.parse(text))
+    return backend
+
+
+CASES = [
+    "1:begin 1:rd(x) 2:wr(x) 1:wr(x) 1:end",
+    "1:begin 1:rd(x) 2:wr(y) 1:wr(x) 1:end",
+    "1:begin(A) 1:rel(m) 2:begin(B) 2:acq(m) 2:wr(y) 2:end "
+    "3:begin(C) 3:rd(y) 3:wr(x) 3:end 1:rd(x) 1:end",
+    "1:wr(x) 1:rd(x) 2:wr(x) 2:rd(x) 1:wr(x)",
+    "1:begin(p) 1:begin(q) 1:rd(x) 2:wr(x) 1:wr(x) 1:end 1:end",
+    " ".join(f"1:begin 1:rd(v{i}) 1:end 2:begin 2:wr(v{i}) 2:end"
+             for i in range(30)),
+]
+
+
+class TestAgreement:
+    @pytest.mark.parametrize("text", CASES)
+    def test_verdicts_match_object_representation(self, text):
+        compact = run(text)
+        reference = run(text, cls=VelodromeOptimized)
+        assert compact.error_detected == reference.error_detected
+
+    @pytest.mark.parametrize("text", CASES)
+    def test_warning_labels_match(self, text):
+        compact = run(text)
+        reference = run(text, cls=VelodromeOptimized)
+        assert compact.warned_labels() == reference.warned_labels()
+
+    @pytest.mark.parametrize("text", CASES)
+    def test_allocation_counts_match(self, text):
+        compact = run(text)
+        reference = run(text, cls=VelodromeOptimized)
+        assert compact.graph.stats.allocated == reference.graph.stats.allocated
+
+
+class TestSlotRecycling:
+    def test_slots_bounded_by_gc(self):
+        text = " ".join(
+            f"1:begin 1:rd(x{i}) 1:end 2:begin 2:wr(x{i}) 2:end"
+            for i in range(200)
+        )
+        backend = run(text)
+        assert backend.graph.stats.allocated == 400
+        # GC recycles slots: far fewer slots than allocations.
+        assert backend.slots_in_use <= backend.graph.stats.max_alive
+
+    def test_stale_codes_read_as_absent(self):
+        backend = VelodromeCompact()
+        backend.process_trace(Trace.parse("1:begin 1:wr(x) 1:end"))
+        # The block's node had no incoming edges: collected at end; the
+        # packed W(x) code must now dereference to bottom.
+        assert backend.writer("x") is None
+        assert backend.last(1) is None
+
+    def test_live_codes_resolve(self):
+        backend = VelodromeCompact()
+        for op in Trace.parse("1:begin 1:wr(x)"):
+            backend.process(op)
+        step = backend.writer("x")
+        assert step is not None
+        assert step.timestamp == 1
+
+    def test_slot_exhaustion_raises(self):
+        backend = VelodromeCompact(max_slots=2)
+        trace = Trace.parse("1:begin 1:wr(x) 2:begin 2:rd(x) 3:begin 3:rd(x)")
+        with pytest.raises(SlotsExhausted):
+            backend.process_trace(trace)
+
+    def test_state_code_sizes(self):
+        backend = run("1:begin 1:rd(x) 1:acq(m) 1:rel(m) 1:wr(y) 1:end")
+        sizes = backend.state_codes()
+        assert sizes["reader"] == 1
+        assert sizes["writer"] == 1
+        assert sizes["unlocker"] == 1
+        assert sizes["last"] == 1
+
+
+class TestName:
+    def test_backend_name_distinct(self):
+        assert VelodromeCompact().name == "VELODROME-COMPACT"

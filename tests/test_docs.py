@@ -1,0 +1,91 @@
+"""Documentation consistency checks.
+
+Keeps README/DESIGN/EXPERIMENTS honest as the code evolves: every
+referenced artifact exists, every benchmark harness is indexed, every
+workload appears in the experiment records.
+"""
+
+import pathlib
+import re
+
+import pytest
+
+from repro.workloads import names
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def text_of(name: str) -> str:
+    return (ROOT / name).read_text()
+
+
+class TestFilesExist:
+    @pytest.mark.parametrize("name", [
+        "README.md", "DESIGN.md", "EXPERIMENTS.md",
+        "docs/algorithm.md", "docs/workloads.md", "docs/usage.md",
+        "docs/api.md",
+        "setup.cfg", "setup.py", "pytest.ini",
+        "src/repro/py.typed",
+    ])
+    def test_exists(self, name):
+        assert (ROOT / name).exists(), name
+
+
+class TestReadme:
+    def test_examples_listed_exist(self):
+        readme = text_of("README.md")
+        for match in re.findall(r"`(\w+\.py)`", readme):
+            if (ROOT / "examples" / match).exists():
+                continue
+            # Non-example .py mentions (e.g. tests) must exist too.
+            assert list(ROOT.rglob(match)), match
+
+    def test_install_commands_present(self):
+        readme = text_of("README.md")
+        assert "pip install -e ." in readme
+        assert "pytest tests/" in readme
+        assert "pytest benchmarks/ --benchmark-only" in readme
+
+    def test_doc_links_resolve(self):
+        readme = text_of("README.md")
+        for target in re.findall(r"\]\(([\w/.-]+\.md)\)", readme):
+            assert (ROOT / target).exists(), target
+
+
+class TestExperimentRecords:
+    def test_every_workload_recorded(self):
+        experiments = text_of("EXPERIMENTS.md")
+        for name in names():
+            assert name in experiments, name
+
+    def test_paper_headline_numbers_present(self):
+        experiments = text_of("EXPERIMENTS.md")
+        for token in ("154", "84", "133", "21", "85%"):
+            assert token in experiments, token
+
+    def test_every_experiment_has_regeneration_command(self):
+        experiments = text_of("EXPERIMENTS.md")
+        for command in (
+            "repro.harness.table1",
+            "repro.harness.table2",
+            "repro.harness.injection",
+            "repro.harness.sensitivity",
+        ):
+            assert command in experiments, command
+
+
+class TestDesignIndex:
+    def test_every_bench_file_indexed(self):
+        design = text_of("DESIGN.md")
+        for bench in (ROOT / "benchmarks").glob("bench_*.py"):
+            assert bench.name in design, bench.name
+
+    def test_indexed_modules_exist(self):
+        design = text_of("DESIGN.md")
+        for module in re.findall(r"benchmarks/(bench_\w+\.py)", design):
+            assert (ROOT / "benchmarks" / module).exists(), module
+
+    def test_erratum_documented(self):
+        design = text_of("DESIGN.md")
+        assert "erratum" in design.lower()
+        assert "finished" in design  # the merge side condition

@@ -1,0 +1,117 @@
+"""Unit tests for commutation equivalence and brute-force search."""
+
+import pytest
+
+from repro.events.equivalence import (
+    SearchBudgetExceeded,
+    adjacent_swaps,
+    equivalent_traces,
+    find_serial_equivalent,
+    find_serial_equivalent_for,
+    is_self_serializable,
+    is_serializable_bruteforce,
+)
+from repro.events.trace import Trace
+
+
+class TestAdjacentSwaps:
+    def test_commuting_ops_swap(self):
+        trace = Trace.parse("1:rd(x) 2:rd(y)")
+        swapped = list(adjacent_swaps(trace.operations))
+        assert len(swapped) == 1
+        assert swapped[0][0].tid == 2
+
+    def test_conflicting_ops_do_not_swap(self):
+        trace = Trace.parse("1:wr(x) 2:rd(x)")
+        assert list(adjacent_swaps(trace.operations)) == []
+
+    def test_same_thread_ops_never_swap(self):
+        trace = Trace.parse("1:rd(x) 1:rd(y)")
+        assert list(adjacent_swaps(trace.operations)) == []
+
+
+class TestEquivalenceClass:
+    def test_singleton_class(self):
+        trace = Trace.parse("1:rd(x) 2:wr(x)")
+        assert list(equivalent_traces(trace)) == [trace]
+
+    def test_class_contains_original(self):
+        trace = Trace.parse("1:rd(x) 2:rd(y) 1:wr(x)")
+        assert trace in list(equivalent_traces(trace))
+
+    def test_budget_enforced(self):
+        # 8 mutually-commuting ops -> 8! orderings > tiny budget.
+        ops = " ".join(f"{t}:rd(v{t})" for t in range(1, 9))
+        with pytest.raises(SearchBudgetExceeded):
+            list(equivalent_traces(Trace.parse(ops), state_limit=10))
+
+
+class TestSerializability:
+    def test_serial_trace_is_serializable(self):
+        trace = Trace.parse("1:begin 1:rd(x) 1:end 2:wr(x)")
+        assert is_serializable_bruteforce(trace)
+
+    def test_rmw_interleaved_write_not_serializable(self):
+        # The Section 2 example.
+        trace = Trace.parse("1:begin 1:rd(x) 2:wr(x) 1:wr(x) 1:end")
+        assert not is_serializable_bruteforce(trace)
+
+    def test_interleaved_but_commutable(self):
+        # The foreign write touches a different variable: serializable.
+        trace = Trace.parse("1:begin 1:rd(x) 2:wr(y) 1:wr(x) 1:end")
+        witness = find_serial_equivalent(trace)
+        assert witness is not None
+        assert witness.is_serial()
+
+    def test_witness_is_equivalent_permutation(self):
+        trace = Trace.parse("1:begin 1:rd(x) 2:wr(y) 1:wr(x) 1:end")
+        witness = find_serial_equivalent(trace)
+        assert sorted(map(str, witness)) == sorted(map(str, trace))
+
+    def test_lock_cycle_not_serializable(self):
+        trace = Trace.parse(
+            "1:begin 1:rel(m) 2:acq(m) 2:wr(x) 2:rel(m) 1:rd(x) 1:end"
+        )
+        # t1 releases m inside its block, t2's critical section writes x
+        # read later by t1: t1 -> t2 (lock) and t2 -> t1 (x) is a cycle.
+        assert not is_serializable_bruteforce(trace)
+
+
+class TestSelfSerializability:
+    def test_paper_d_e_example(self):
+        """Paper Section 4.3: a non-serializable trace where *both*
+        transactions are individually self-serializable.
+
+        D writes x then reads y; E writes y then reads x; the writes
+        cross the reads, forming the cycle D -> E -> D, yet either
+        transaction alone can be made contiguous by sliding the other's
+        non-conflicting half around it.
+        """
+        trace = Trace.parse(
+            "1:begin(D) 1:wr(x) "
+            "2:begin(E) 2:wr(y) "
+            "1:rd(y) 1:end "
+            "2:rd(x) 2:end"
+        )
+        assert not is_serializable_bruteforce(trace)
+        txs = trace.transactions()
+        d_index = next(tx.index for tx in txs if tx.label == "D")
+        e_index = next(tx.index for tx in txs if tx.label == "E")
+        assert is_self_serializable(trace, d_index)
+        assert is_self_serializable(trace, e_index)
+
+    def test_rmw_victim_not_self_serializable(self):
+        trace = Trace.parse("1:begin 1:rd(x) 2:wr(x) 1:wr(x) 1:end")
+        victim = trace.transaction_of(0).index
+        assert not is_self_serializable(trace, victim)
+
+    def test_interposed_writer_is_self_serializable(self):
+        trace = Trace.parse("1:begin 1:rd(x) 2:wr(x) 1:wr(x) 1:end")
+        writer = trace.transaction_of(2).index
+        assert is_self_serializable(trace, writer)
+
+    def test_witness_runs_transaction_contiguously(self):
+        trace = Trace.parse("1:begin 1:rd(x) 2:wr(y) 1:wr(x) 1:end")
+        victim = trace.transaction_of(0).index
+        witness = find_serial_equivalent_for(trace, victim)
+        assert witness is not None

@@ -1,0 +1,108 @@
+"""Tests for warning explanations and whole-graph dot rendering."""
+
+from repro.core.explain import Explanation, explain, explain_all
+from repro.core.optimized import VelodromeOptimized
+from repro.events.trace import Trace
+from repro.graph.dot import graph_to_dot
+from repro.graph.hbgraph import HBGraph
+from repro.graph.node import Step
+
+
+def analyse(text):
+    trace = Trace.parse(text)
+    backend = VelodromeOptimized(first_warning_per_label=False)
+    backend.process_trace(trace)
+    return trace, backend
+
+
+class TestExplain:
+    def test_blamed_explanation(self):
+        trace, backend = analyse(
+            "1:begin(inc) 1:rd(x) 2:wr(x) 1:wr(x) 1:end"
+        )
+        result = explain(trace, backend.warnings[0])
+        text = result.render()
+        assert "Blamed transaction" in text
+        assert "inc" in text
+        assert "Happens-before cycle" in text
+        assert "Thread 1" in text  # the diagram
+
+    def test_unblamed_explanation(self):
+        trace, backend = analyse(
+            "1:begin(D) 1:wr(x) 2:begin(E) 2:wr(y) "
+            "1:rd(y) 1:end 2:rd(x) 2:end"
+        )
+        result = explain(trace, backend.warnings[0])
+        assert "could be certified as the culprit" in result.render()
+
+    def test_marks_root_and_target(self):
+        trace, backend = analyse(
+            "1:begin(inc) 1:rd(x) 2:wr(x) 1:wr(x) 1:end"
+        )
+        result = explain(trace, backend.warnings[0])
+        marked = [line for line in result.diagram.splitlines()
+                  if line.startswith("*")]
+        # Both the root read and the closing write are marked.
+        assert len(marked) == 2
+
+    def test_dot_attached(self):
+        trace, backend = analyse(
+            "1:begin(inc) 1:rd(x) 2:wr(x) 1:wr(x) 1:end"
+        )
+        result = explain(trace, backend.warnings[0])
+        assert result.dot is not None
+        assert result.dot.startswith("digraph")
+
+    def test_explain_all_joins_sections(self):
+        trace, backend = analyse(
+            "1:begin(m) 1:rd(x) 2:wr(x) 1:wr(x) 1:end "
+            "3:begin(n) 3:rd(y) 4:wr(y) 3:wr(y) 3:end"
+        )
+        text = explain_all(trace, backend.warnings)
+        assert text.count("Happens-before cycle") == 2
+        assert "=" * 60 in text
+
+    def test_explain_all_skips_non_atomicity(self):
+        from repro.core.reports import race_warning
+
+        trace = Trace.parse("1:rd(x)")
+        assert explain_all(trace, [race_warning("E", 1, 0, "x", "r")]) == ""
+
+
+class TestGraphDot:
+    def test_nodes_and_edges_rendered(self):
+        graph = HBGraph()
+        a = graph.new_node(1, "m")
+        b = graph.new_node(2, "n")
+        graph.add_edge(Step(a, 1), Step(b, 0), "wr(x)")
+        dot = graph_to_dot(graph, title="state")
+        assert dot.startswith("digraph")
+        assert dot.count("n0 -> n1") == 1
+        assert "wr(x) [1->0]" in dot
+        assert 'label="state"' in dot
+
+    def test_current_nodes_bold(self):
+        graph = HBGraph()
+        a = graph.new_node(1)
+        b = graph.new_node(2)
+        graph.add_edge(Step(a, 0), Step(b, 0))
+        graph.finish(a)  # finished but kept alive? a has no incoming: collected
+        dot = graph_to_dot(graph)
+        # b is still current: bold.  a was collected: absent.
+        assert dot.count("penwidth=2") == 1
+        assert f"n{a.seq} " not in dot
+
+    def test_timestamps_optional(self):
+        graph = HBGraph()
+        a, b = graph.new_node(1), graph.new_node(2)
+        graph.add_edge(Step(a, 3), Step(b, 4), "r")
+        dot = graph_to_dot(graph, show_timestamps=False)
+        assert "[3->4]" not in dot
+
+    def test_live_analysis_graph_renders(self):
+        trace, backend = analyse(
+            "1:begin(m) 1:rd(x) 2:begin(n) 2:rd(x)"
+        )
+        dot = graph_to_dot(backend.graph)
+        assert dot.count("shape=box") == 1
+        assert "m#" in dot and "n#" in dot

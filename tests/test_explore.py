@@ -1,0 +1,108 @@
+"""Tests for bounded exhaustive schedule exploration."""
+
+import pytest
+
+from repro.core.serializability import is_serializable
+from repro.runtime.explore import (
+    ExplorationLimit,
+    explore,
+    iter_schedules,
+)
+from repro.runtime.program import (
+    Acquire,
+    Begin,
+    End,
+    Program,
+    Read,
+    Release,
+    ThreadSpec,
+    Write,
+)
+
+
+def rmw_program():
+    def body():
+        yield Begin("bump")
+        value = yield Read("c")
+        yield Write("c", value + 1)
+        yield End()
+
+    return Program("rmw", [ThreadSpec(body, "a"), ThreadSpec(body, "b")])
+
+
+def locked_program():
+    def body():
+        yield Begin("safe")
+        yield Acquire("l")
+        value = yield Read("c")
+        yield Write("c", value + 1)
+        yield Release("l")
+        yield End()
+
+    return Program("locked", [ThreadSpec(body, "a"), ThreadSpec(body, "b")])
+
+
+def single_thread_program():
+    def body():
+        yield Write("x", 1)
+        yield Read("x")
+
+    return Program("solo", [ThreadSpec(body)])
+
+
+class TestIterSchedules:
+    def test_single_thread_has_one_schedule(self):
+        schedules = list(iter_schedules(single_thread_program))
+        assert len(schedules) == 1
+
+    def test_all_schedules_distinct(self):
+        seen = set()
+        for choices, _trace in iter_schedules(rmw_program):
+            key = tuple(choices)
+            assert key not in seen
+            seen.add(key)
+
+    def test_interleaving_count_two_threads(self):
+        # Two threads, 5 operations each (begin rd wr end + join write):
+        # C(10, 5) = 252 interleavings.
+        schedules = list(iter_schedules(rmw_program))
+        assert len(schedules) == 252
+
+    def test_every_trace_complete(self):
+        lengths = {
+            len(trace) for _choices, trace in iter_schedules(rmw_program)
+        }
+        assert lengths == {10}
+
+    def test_budget_enforced(self):
+        with pytest.raises(ExplorationLimit):
+            list(iter_schedules(rmw_program, max_schedules=10))
+
+
+class TestExplore:
+    def test_unsynchronized_rmw_has_violations(self):
+        result = explore(rmw_program)
+        assert not result.always_atomic
+        assert result.violated_labels == {"bump"}
+        assert result.witness is not None
+        assert not is_serializable(result.witness)
+
+    def test_locked_rmw_atomic_on_all_schedules(self):
+        result = explore(locked_program)
+        assert result.always_atomic
+        assert result.schedules > 1
+        assert result.witness is None
+
+    def test_violation_rate_between_zero_and_one(self):
+        result = explore(rmw_program)
+        assert 0.0 < result.violation_rate() < 1.0
+
+    def test_str_mentions_labels(self):
+        result = explore(rmw_program)
+        assert "bump" in str(result)
+        clean = explore(locked_program)
+        assert "all schedules" in str(clean)
+
+    def test_counts_every_schedule(self):
+        result = explore(rmw_program)
+        assert result.schedules == 252

@@ -1,0 +1,138 @@
+"""Tests for the experiment harnesses (on reduced configurations)."""
+
+from repro.harness.formatting import ratio, render_table
+from repro.harness.injection import run_injection
+from repro.harness.table1 import measure_workload, run_table1
+from repro.harness.table2 import run_table2, score_workload
+from repro.workloads import get
+
+
+class TestFormatting:
+    def test_render_basic_table(self):
+        text = render_table(["A", "B"], [["x", 1], ["yy", 22]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "A" in lines[2] and "B" in lines[2]
+        assert any("yy" in line for line in lines)
+
+    def test_numeric_right_alignment(self):
+        text = render_table(["Name", "N"], [["a", 5], ["b", 123]])
+        rows = text.splitlines()[-2:]
+        assert rows[0].endswith("  5".rstrip()) or "  5" in rows[0]
+
+    def test_float_formatting(self):
+        text = render_table(["A"], [[1.25]])
+        assert "1.2" in text or "1.3" in text
+
+    def test_ratio_guards_zero(self):
+        import math
+
+        assert math.isnan(ratio(1.0, 0.0))
+        assert ratio(3.0, 1.5) == 2.0
+
+
+class TestTable2:
+    def test_score_single_workload(self):
+        row = score_workload(get("sor"), seeds=range(2), scale=0.5)
+        assert row.name == "sor"
+        assert row.velodrome_false_alarms == 0
+        assert row.ground_truth == 3
+
+    def test_run_table2_subset(self):
+        result = run_table2([get("raja"), get("sor")], seeds=range(2),
+                            scale=0.5)
+        assert len(result.rows) == 2
+        totals = result.totals()
+        assert totals.velodrome_false_alarms == 0
+        raja = next(r for r in result.rows if r.name == "raja")
+        assert raja.atomizer_non_serial == 0
+        assert raja.atomizer_false_alarms == 0
+
+    def test_render_mentions_paper_baselines(self):
+        result = run_table2([get("sor")], seeds=range(1), scale=0.5)
+        text = result.render()
+        assert "paper: 85%" in text
+        assert "Velodrome false alarms: 0" in text
+
+    def test_recall_and_blame_rates_defined(self):
+        result = run_table2([get("sor")], seeds=range(2), scale=0.5)
+        assert 0.0 <= result.recall_vs_atomizer <= 1.0
+        assert 0.0 <= result.blame_rate <= 1.0
+
+
+class TestTable1:
+    def test_measure_single_workload(self):
+        row = measure_workload(get("philo"), scale=0.5, seed=0)
+        assert row.base_time > 0
+        assert set(row.slowdowns) == {"empty", "eraser", "atomizer",
+                                      "velodrome"}
+        assert row.nodes_allocated_without_merge >= row.nodes_allocated_with_merge
+
+    def test_gc_keeps_max_alive_small(self):
+        row = measure_workload(get("montecarlo"), scale=0.5, seed=0)
+        assert row.max_alive_with_merge < 100
+        assert row.nodes_allocated_with_merge > row.max_alive_with_merge
+
+    def test_run_table1_renders(self):
+        result = run_table1([get("philo")], scale=0.5)
+        text = result.render()
+        assert "philo" in text
+        assert "Alloc w/o merge" in text
+        assert result.mean_slowdown("empty") > 0
+
+
+class TestInjectionHarness:
+    def test_small_study_runs(self):
+        result = run_injection(["elevator"], seeds=range(1))
+        assert len(result.rows) == 2  # plain + adversarial
+        plain = result.rate("elevator", False)
+        adversarial = result.rate("elevator", True)
+        assert 0.0 <= plain <= 1.0
+        assert 0.0 <= adversarial <= 1.0
+
+    def test_adversarial_not_worse(self):
+        result = run_injection(["elevator"], seeds=range(3))
+        assert result.overall(True) >= result.overall(False)
+
+    def test_render(self):
+        result = run_injection(["elevator"], seeds=range(1))
+        text = result.render()
+        assert "adversarial" in text
+        assert "paper ~30%" in text
+
+
+class TestReport:
+    def test_generate_report_subset(self):
+        from repro.harness.report import generate_report
+
+        report = generate_report(
+            scale=0.5, seeds=1, repeats=1, workload_names=["sor", "raja"]
+        )
+        assert "# Velodrome reproduction" in report
+        assert "sor" in report and "raja" in report
+        assert "## E3" in report
+        assert "## E4" in report
+        assert "merge ratio" in report
+
+
+class TestSensitivity:
+    def test_measure_subset(self):
+        from repro.harness.sensitivity import GRANULARITIES, measure
+
+        result = measure([get("sor"), get("tsp")], seeds=range(2), scale=0.5)
+        assert len(result.rows) == 2 * len(GRANULARITIES)
+        for granularity in GRANULARITIES:
+            total = result.totals(granularity)
+            assert total.velodrome_false_alarms == 0
+            # The Atomizer's verdict is schedule-independent here.
+        fine = result.totals("fine")
+        coarse = result.totals("coarse")
+        assert fine.atomizer_non_serial == coarse.atomizer_non_serial
+
+    def test_render(self):
+        from repro.harness.sensitivity import measure
+
+        result = measure([get("sor")], seeds=range(1), scale=0.5)
+        text = result.render()
+        assert "fairly uniform" in text
+        assert "coarse" in text

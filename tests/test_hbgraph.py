@@ -1,0 +1,258 @@
+"""Unit tests for the happens-before graph: edges, cycles, GC."""
+
+import pytest
+
+from repro.graph.hbgraph import HBGraph
+from repro.graph.node import Step, deref
+
+
+def step(node, ts=0):
+    return Step(node, ts)
+
+
+class TestNodes:
+    def test_new_node_is_current(self):
+        graph = HBGraph()
+        node = graph.new_node(1, label="m")
+        assert node.current
+        assert not node.collected
+        assert node.tid == 1
+        assert node.label == "m"
+
+    def test_allocation_stats(self):
+        graph = HBGraph()
+        graph.new_node(1)
+        graph.new_node(2)
+        assert graph.stats.allocated == 2
+        assert graph.stats.live == 2
+        assert graph.stats.max_alive == 2
+
+    def test_display_name_unique(self):
+        graph = HBGraph()
+        a, b = graph.new_node(1, "m"), graph.new_node(1, "m")
+        assert a.display_name() != b.display_name()
+
+
+class TestEdges:
+    def test_simple_edge(self):
+        graph = HBGraph()
+        a, b = graph.new_node(1), graph.new_node(2)
+        assert graph.add_edge(step(a), step(b), "r") is None
+        assert b.incoming == 1
+        assert graph.reaches(a, b)
+        assert not graph.reaches(b, a)
+
+    def test_self_edge_filtered(self):
+        graph = HBGraph()
+        a = graph.new_node(1)
+        assert graph.add_edge(step(a, 0), step(a, 1)) is None
+        assert a.incoming == 0
+        assert graph.stats.edges_added == 0
+
+    def test_edge_replacement_updates_timestamps(self):
+        graph = HBGraph()
+        a, b = graph.new_node(1), graph.new_node(2)
+        graph.add_edge(step(a, 1), step(b, 2), "first")
+        graph.add_edge(step(a, 5), step(b, 7), "second")
+        info = a.out_edges[b]
+        assert (info.tail_timestamp, info.head_timestamp) == (5, 7)
+        assert info.reason == "second"
+        assert b.incoming == 1  # still a single edge
+        assert graph.stats.edges_replaced == 1
+
+    def test_reaches_is_transitive(self):
+        graph = HBGraph()
+        a, b, c = (graph.new_node(t) for t in (1, 2, 3))
+        graph.add_edge(step(a), step(b))
+        graph.add_edge(step(b), step(c))
+        assert graph.reaches(a, c)
+
+    def test_reaches_reflexive(self):
+        graph = HBGraph()
+        a = graph.new_node(1)
+        assert graph.reaches(a, a)
+
+    def test_reaches_none_is_false(self):
+        graph = HBGraph()
+        a = graph.new_node(1)
+        assert not graph.reaches(None, a)
+        assert not graph.reaches(a, None)
+
+    def test_edge_to_collected_node_rejected(self):
+        graph = HBGraph()
+        a, b = graph.new_node(1), graph.new_node(2)
+        graph.finish(a)  # no incoming edges: collected
+        assert a.collected
+        with pytest.raises(ValueError):
+            graph.add_edge(step(b), step(a))
+
+
+@pytest.mark.parametrize("strategy", ["ancestors", "dfs"])
+class TestCycles:
+    def test_two_node_cycle_detected(self, strategy):
+        graph = HBGraph(cycle_strategy=strategy)
+        a, b = graph.new_node(1), graph.new_node(2)
+        graph.add_edge(step(a, 1), step(b, 0), "fwd")
+        cycle = graph.add_edge(step(b, 1), step(a, 2), "back")
+        assert cycle is not None
+        assert cycle.blamed_candidate is a
+        assert [n.seq for n in cycle.nodes] == [a.seq, b.seq]
+
+    def test_cycle_edge_not_inserted(self, strategy):
+        graph = HBGraph(cycle_strategy=strategy)
+        a, b = graph.new_node(1), graph.new_node(2)
+        graph.add_edge(step(a), step(b))
+        graph.add_edge(step(b), step(a))
+        graph.check_acyclic()  # stays acyclic
+        assert a.incoming == 0
+
+    def test_long_cycle_detected(self, strategy):
+        graph = HBGraph(cycle_strategy=strategy)
+        nodes = [graph.new_node(t) for t in range(1, 6)]
+        for u, v in zip(nodes, nodes[1:]):
+            assert graph.add_edge(step(u), step(v)) is None
+        cycle = graph.add_edge(step(nodes[-1]), step(nodes[0]))
+        assert cycle is not None
+        assert len(cycle.nodes) == 5
+
+    def test_path_recovered_in_order(self, strategy):
+        graph = HBGraph(cycle_strategy=strategy)
+        a, b, c = (graph.new_node(t) for t in (1, 2, 3))
+        graph.add_edge(step(a, 1), step(b, 0), "ab")
+        graph.add_edge(step(b, 1), step(c, 0), "bc")
+        cycle = graph.add_edge(step(c, 1), step(a, 9), "ca")
+        descriptions = cycle.edge_descriptions()
+        assert [reason for _s, _d, reason in descriptions] == ["ab", "bc", "ca"]
+
+    def test_diamond_no_false_cycle(self, strategy):
+        graph = HBGraph(cycle_strategy=strategy)
+        a, b, c, d = (graph.new_node(t) for t in (1, 2, 3, 4))
+        assert graph.add_edge(step(a), step(b)) is None
+        assert graph.add_edge(step(a), step(c)) is None
+        assert graph.add_edge(step(b), step(d)) is None
+        assert graph.add_edge(step(c), step(d)) is None
+        graph.check_acyclic()
+
+    def test_cycle_counted_in_stats(self, strategy):
+        graph = HBGraph(cycle_strategy=strategy)
+        a, b = graph.new_node(1), graph.new_node(2)
+        graph.add_edge(step(a), step(b))
+        graph.add_edge(step(b), step(a))
+        assert graph.stats.cycles_found == 1
+
+
+class TestIncreasingCycle:
+    def _cycle(self, tail_ab, head_ab, tail_ba, head_ba):
+        graph = HBGraph()
+        a, b = graph.new_node(1), graph.new_node(2)
+        graph.add_edge(Step(a, tail_ab), Step(b, head_ab), "ab")
+        return graph.add_edge(Step(b, tail_ba), Step(a, head_ba), "ba")
+
+    def test_increasing(self):
+        # b receives at 1, leaves at 2: increasing.
+        cycle = self._cycle(1, 1, 2, 5)
+        assert cycle.is_increasing()
+        assert cycle.root_timestamp == 1
+        assert cycle.target_timestamp == 5
+
+    def test_not_increasing(self):
+        # b receives at 3 but its outgoing edge left at 1.
+        cycle = self._cycle(1, 3, 1, 5)
+        assert not cycle.is_increasing()
+
+    def test_equal_timestamps_count_as_increasing(self):
+        cycle = self._cycle(1, 2, 2, 5)
+        assert cycle.is_increasing()
+
+
+class TestGarbageCollection:
+    def test_finished_node_without_incoming_collected(self):
+        graph = HBGraph()
+        a = graph.new_node(1)
+        graph.finish(a)
+        assert a.collected
+        assert graph.stats.collected == 1
+        assert graph.stats.live == 0
+
+    def test_incoming_edge_keeps_node_alive(self):
+        graph = HBGraph()
+        a, b = graph.new_node(1), graph.new_node(2)
+        graph.add_edge(step(a), step(b))
+        graph.finish(b)
+        assert not b.collected  # a's edge keeps it
+
+    def test_collection_cascades(self):
+        graph = HBGraph()
+        a, b, c = (graph.new_node(t) for t in (1, 2, 3))
+        graph.add_edge(step(a), step(b))
+        graph.add_edge(step(b), step(c))
+        graph.finish(b)
+        graph.finish(c)
+        assert not b.collected and not c.collected
+        graph.finish(a)  # no incoming: collect a -> b -> c
+        assert a.collected and b.collected and c.collected
+        assert graph.stats.live == 0
+
+    def test_outgoing_edges_do_not_keep_alive(self):
+        graph = HBGraph()
+        a, b = graph.new_node(1), graph.new_node(2)
+        graph.add_edge(step(a), step(b))
+        graph.finish(a)
+        assert a.collected
+        assert b.incoming == 0  # decremented by a's collection
+
+    def test_gc_disabled(self):
+        graph = HBGraph(collect_garbage=False)
+        a = graph.new_node(1)
+        graph.finish(a)
+        assert not a.collected
+        assert graph.stats.live == 1
+
+    def test_weak_step_deref(self):
+        graph = HBGraph()
+        a = graph.new_node(1)
+        weak = Step(a, 3)
+        graph.finish(a)
+        assert weak.deref() is None
+        assert deref(weak) is None
+        assert deref(None) is None
+
+    def test_live_step_derefs_to_itself(self):
+        graph = HBGraph()
+        a = graph.new_node(1)
+        weak = Step(a, 3)
+        assert weak.deref() is weak
+
+    def test_ancestor_sets_pruned_on_collection(self):
+        graph = HBGraph()
+        a, b = graph.new_node(1), graph.new_node(2)
+        graph.add_edge(step(a), step(b))
+        assert a in b.ancestors
+        graph.finish(a)
+        assert a.collected
+        assert a not in b.ancestors
+
+    def test_maybe_collect_noop_for_current(self):
+        graph = HBGraph()
+        a = graph.new_node(1)
+        graph.maybe_collect(a)
+        assert not a.collected
+
+
+class TestMisc:
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError):
+            HBGraph(cycle_strategy="magic")
+
+    def test_edge_list_and_live_nodes(self):
+        graph = HBGraph()
+        a, b = graph.new_node(1), graph.new_node(2)
+        graph.add_edge(step(a), step(b), "r")
+        assert len(graph.edge_list()) == 1
+        assert graph.live_nodes == {a, b}
+
+    def test_step_next(self):
+        graph = HBGraph()
+        a = graph.new_node(1)
+        s = Step(a, 4)
+        assert s.next() == Step(a, 5)

@@ -1,0 +1,72 @@
+"""Tests for the defect-injection machinery (experiment E4)."""
+
+import pytest
+
+from repro.runtime.tool import run_velodrome
+from repro.workloads.injection import (
+    FAMILIES,
+    build_variant,
+    site_label,
+    variants,
+)
+
+
+class TestVariants:
+    def test_families_present(self):
+        assert set(FAMILIES) == {"elevator", "colt"}
+
+    def test_intact_variant_has_no_defects(self):
+        family = FAMILIES["elevator"]
+        program = build_variant(family, None)
+        assert program.non_atomic_methods == set()
+        assert len(program.atomic_methods) == family.n_sites
+
+    def test_defect_variant_marks_one_method(self):
+        family = FAMILIES["colt"]
+        program = build_variant(family, 3)
+        assert program.non_atomic_methods == {site_label(family, 3)}
+
+    def test_site_out_of_range(self):
+        with pytest.raises(ValueError):
+            build_variant(FAMILIES["colt"], 99)
+
+    def test_variants_iterator(self):
+        items = list(variants("elevator"))
+        assert len(items) == FAMILIES["elevator"].n_sites
+        assert items[0][0] == 0
+
+    def test_two_threads_per_site(self):
+        family = FAMILIES["elevator"]
+        program = build_variant(family, 0)
+        assert len(program.threads) == 2 * family.n_sites
+
+
+class TestDetection:
+    def test_intact_program_never_warned(self):
+        program = build_variant(FAMILIES["elevator"], None)
+        for seed in range(3):
+            run = run_velodrome(program, seed=seed)
+            assert not run.warnings
+
+    def test_defect_detectable_under_adversarial_scheduling(self):
+        family = FAMILIES["elevator"]
+        target = site_label(family, 0)
+        hits = sum(
+            target in run_velodrome(
+                build_variant(family, 0),
+                seed=seed,
+                adversarial=True,
+                pause_steps=120,
+                max_pauses_per_thread=8,
+            ).labels_from("VELODROME")
+            for seed in range(5)
+        )
+        assert hits >= 1
+
+    def test_only_corrupted_site_ever_blamed(self):
+        family = FAMILIES["colt"]
+        program = build_variant(family, 2)
+        for seed in range(4):
+            run = run_velodrome(program, seed=seed, adversarial=True)
+            labels = run.labels_from("VELODROME")
+            assert labels <= {site_label(family, 2)}

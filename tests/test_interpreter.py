@@ -1,0 +1,328 @@
+"""Unit tests for the deterministic concurrent-program interpreter."""
+
+import pytest
+
+from repro.events.semantics import replay
+from repro.runtime.interpreter import (
+    DeadlockError,
+    Interpreter,
+    StepLimitExceeded,
+    fork_var,
+    join_var,
+)
+from repro.runtime.program import (
+    Acquire,
+    Await,
+    Begin,
+    End,
+    Join,
+    Program,
+    Read,
+    Release,
+    Spawn,
+    ThreadSpec,
+    Work,
+    Yield,
+)
+from repro.runtime.scheduler import RandomScheduler, RoundRobinScheduler
+
+
+def execute(program, scheduler=None, **kwargs):
+    interp = Interpreter(
+        program, scheduler=scheduler or RoundRobinScheduler(),
+        record_trace=True, **kwargs,
+    )
+    return interp.run()
+
+
+class TestBasics:
+    def test_read_returns_store_value(self):
+        seen = []
+
+        def body():
+            value = yield Read("x")
+            seen.append(value)
+
+        program = Program("p", [ThreadSpec(body)], initial_store={"x": 7})
+        execute(program)
+        assert seen == [7]
+
+    def test_write_updates_store(self):
+        from repro.runtime.program import Write
+
+        def body():
+            yield Write("x", 5)
+
+        result = execute(Program("p", [ThreadSpec(body)]))
+        assert result.final_store.read("x") == 5
+
+    def test_trace_is_well_formed(self):
+        from repro.runtime.program import Write
+
+        def body():
+            yield Begin("m")
+            yield Acquire("l")
+            value = yield Read("c")
+            yield Write("c", value + 1)
+            yield Release("l")
+            yield End()
+
+        program = Program("p", [ThreadSpec(body), ThreadSpec(body)])
+        result = execute(program, RandomScheduler(3))
+        replay(result.trace)  # raises if ill-formed
+
+    def test_events_counted(self):
+        def body():
+            yield Read("x")
+            yield Yield()
+            yield Work(5)
+
+        result = execute(Program("p", [ThreadSpec(body)]))
+        # read + implicit join-var write; Yield/Work are silent.
+        assert result.events == 2
+
+    def test_work_consumes_steps(self):
+        def body():
+            yield Work(10)
+
+        result = execute(Program("p", [ThreadSpec(body)]))
+        assert result.steps >= 11
+
+
+class TestLocks:
+    def test_mutual_exclusion(self):
+        from repro.runtime.program import Write
+
+        def body():
+            yield Acquire("l")
+            value = yield Read("c")
+            yield Yield()  # invite the scheduler to interleave
+            yield Write("c", value + 1)
+            yield Release("l")
+
+        program = Program("p", [ThreadSpec(body) for _ in range(4)])
+        result = execute(program, RandomScheduler(1))
+        assert result.final_store.read("c") == 4
+
+    def test_reentrant_acquire_emits_once(self):
+        def body():
+            yield Acquire("l")
+            yield Acquire("l")
+            yield Release("l")
+            yield Release("l")
+
+        result = execute(Program("p", [ThreadSpec(body)]))
+        lock_ops = [op for op in result.trace if op.is_lock_op]
+        assert len(lock_ops) == 2  # one acq, one rel
+
+    def test_release_without_hold_raises(self):
+        def body():
+            yield Release("l")
+
+        with pytest.raises(RuntimeError):
+            execute(Program("p", [ThreadSpec(body)]))
+
+    def test_finish_holding_lock_raises(self):
+        def body():
+            yield Acquire("l")
+
+        with pytest.raises(RuntimeError):
+            execute(Program("p", [ThreadSpec(body)]))
+
+    def test_deadlock_detected(self):
+        def grab(first, second):
+            def body():
+                yield Acquire(first)
+                yield Yield()
+                yield Acquire(second)
+                yield Release(second)
+                yield Release(first)
+
+            return body
+
+        program = Program(
+            "p", [ThreadSpec(grab("a", "b")), ThreadSpec(grab("b", "a"))]
+        )
+        with pytest.raises(DeadlockError):
+            execute(program, RoundRobinScheduler())
+
+
+class TestBlocks:
+    def test_begin_end_events(self):
+        def body():
+            yield Begin("m")
+            yield Read("x")
+            yield End()
+
+        result = execute(Program("p", [ThreadSpec(body)]))
+        assert str(result.trace[0]) == "1:begin(m)"
+        assert result.trace[2].kind.value == "end"
+
+    def test_end_outside_block_raises(self):
+        def body():
+            yield End()
+
+        with pytest.raises(RuntimeError):
+            execute(Program("p", [ThreadSpec(body)]))
+
+    def test_finish_inside_block_raises(self):
+        def body():
+            yield Begin("m")
+
+        with pytest.raises(RuntimeError):
+            execute(Program("p", [ThreadSpec(body)]))
+
+
+class TestSpawnJoin:
+    def test_spawn_returns_child_tid(self):
+        tids = []
+
+        def child():
+            yield Yield()
+
+        def parent():
+            tid = yield Spawn(child, "kid")
+            tids.append(tid)
+            yield Join(tid)
+
+        execute(Program("p", [ThreadSpec(parent)]))
+        assert tids == [2]
+
+    def test_fork_join_events_present(self):
+        from repro.runtime.program import Write
+
+        def child():
+            yield Write("r", 1)
+
+        def parent():
+            tid = yield Spawn(child)
+            yield Join(tid)
+            yield Read("r")
+
+        result = execute(Program("p", [ThreadSpec(parent)]))
+        names = [str(op) for op in result.trace]
+        assert any(fork_var(2) in name for name in names)
+        assert any(join_var(2) in name for name in names)
+
+    def test_join_orders_after_child_write(self):
+        from repro.runtime.program import Write
+
+        seen = []
+
+        def child():
+            yield Work(3)
+            yield Write("r", 42)
+
+        def parent():
+            tid = yield Spawn(child)
+            yield Join(tid)
+            value = yield Read("r")
+            seen.append(value)
+
+        execute(Program("p", [ThreadSpec(parent)]), RandomScheduler(5))
+        assert seen == [42]
+
+    def test_join_unknown_thread_raises(self):
+        def body():
+            yield Join(99)
+
+        with pytest.raises(ValueError):
+            execute(Program("p", [ThreadSpec(body)]))
+
+    def test_grandchildren(self):
+        from repro.runtime.program import Write
+
+        def leaf():
+            yield Write("leaf_done", 1)
+
+        def middle():
+            tid = yield Spawn(leaf)
+            yield Join(tid)
+
+        def root():
+            tid = yield Spawn(middle)
+            yield Join(tid)
+            yield Read("leaf_done")
+
+        result = execute(Program("p", [ThreadSpec(root)]))
+        assert result.threads == 3
+        assert result.final_store.read("leaf_done") == 1
+
+
+class TestAwait:
+    def test_await_blocks_until_value(self):
+        from repro.runtime.program import Write
+
+        order = []
+
+        def waiter():
+            yield Await("flag", 1)
+            order.append("woke")
+
+        def setter():
+            yield Work(5)
+            order.append("set")
+            yield Write("flag", 1)
+
+        execute(
+            Program("p", [ThreadSpec(waiter), ThreadSpec(setter)]),
+            RoundRobinScheduler(),
+        )
+        assert order == ["set", "woke"]
+
+    def test_await_satisfied_immediately(self):
+        def body():
+            yield Await("flag", 1)
+
+        program = Program("p", [ThreadSpec(body)], initial_store={"flag": 1})
+        result = execute(program)
+        assert result.events >= 1
+
+    def test_await_emits_single_read(self):
+        from repro.runtime.program import Write
+
+        def waiter():
+            yield Await("flag", 2)
+
+        def setter():
+            yield Write("flag", 1)
+            yield Write("flag", 2)
+
+        result = execute(
+            Program("p", [ThreadSpec(waiter), ThreadSpec(setter)]),
+            RoundRobinScheduler(),
+        )
+        reads = [op for op in result.trace
+                 if op.kind.value == "rd" and op.target == "flag"]
+        assert len(reads) == 1
+
+    def test_await_never_satisfied_deadlocks(self):
+        def body():
+            yield Await("flag", 1)
+
+        with pytest.raises(DeadlockError):
+            execute(Program("p", [ThreadSpec(body)]))
+
+
+class TestLimits:
+    def test_step_limit(self):
+        def body():
+            while True:
+                yield Yield()
+
+        with pytest.raises(StepLimitExceeded):
+            execute(Program("p", [ThreadSpec(body)]), max_steps=100)
+
+    def test_unknown_request_rejected(self):
+        def body():
+            yield "not a request"
+
+        with pytest.raises(TypeError):
+            execute(Program("p", [ThreadSpec(body)]))
+
+    def test_negative_work_rejected(self):
+        def body():
+            yield Work(-1)
+
+        with pytest.raises(ValueError):
+            execute(Program("p", [ThreadSpec(body)]))

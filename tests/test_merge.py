@@ -1,0 +1,89 @@
+"""Unit tests for the Figure 3/4 merge function."""
+
+from repro.core.merge import merge
+from repro.graph.hbgraph import HBGraph
+from repro.graph.node import Step
+
+
+def make_finished(graph, tid):
+    """A finished node kept alive by a pinned incoming edge."""
+    pin = graph.new_node(99)
+    node = graph.new_node(tid)
+    graph.add_edge(Step(pin, 0), Step(node, 0), "pin")
+    graph.finish(node)
+    return node
+
+
+class TestMergeCases:
+    def test_all_absent_returns_none(self):
+        graph = HBGraph()
+        assert merge(graph, [None, None], tid=1) is None
+        assert merge(graph, [], tid=1) is None
+
+    def test_single_live_step_reused(self):
+        graph = HBGraph()
+        node = make_finished(graph, 1)
+        step = Step(node, 3)
+        assert merge(graph, [step, None], tid=2) == step
+        assert graph.stats.merges == 1
+
+    def test_collected_steps_read_as_absent(self):
+        graph = HBGraph()
+        node = graph.new_node(1)
+        step = Step(node, 0)
+        graph.finish(node)  # collected immediately
+        assert merge(graph, [step], tid=1) is None
+
+    def test_dominating_step_reused(self):
+        graph = HBGraph()
+        a = make_finished(graph, 1)
+        b = make_finished(graph, 2)
+        graph.add_edge(Step(a, 1), Step(b, 0), "ab")
+        result = merge(graph, [Step(a, 1), Step(b, 2)], tid=3)
+        assert result.node is b  # b happens-after a
+
+    def test_same_node_steps_collapse(self):
+        graph = HBGraph()
+        node = make_finished(graph, 1)
+        result = merge(graph, [Step(node, 1), Step(node, 4)], tid=2)
+        assert result.node is node
+
+    def test_incomparable_steps_allocate_fresh_node(self):
+        graph = HBGraph()
+        a = make_finished(graph, 1)
+        b = make_finished(graph, 2)
+        before = graph.stats.allocated
+        result = merge(graph, [Step(a, 0), Step(b, 0)], tid=3)
+        assert graph.stats.allocated == before + 1
+        fresh = result.node
+        assert graph.reaches(a, fresh)
+        assert graph.reaches(b, fresh)
+        assert not fresh.current  # finished immediately
+
+    def test_fresh_node_survives_while_predecessors_live(self):
+        graph = HBGraph()
+        a = make_finished(graph, 1)
+        b = make_finished(graph, 2)
+        result = merge(graph, [Step(a, 0), Step(b, 0)], tid=3)
+        assert not result.node.collected
+        assert result.node.incoming == 2
+
+    def test_current_node_never_reused(self):
+        """Regression for the paper erratum (DESIGN.md §5): folding a
+        unary operation into another thread's *current* transaction
+        hides the genuine cycle current -> unary -> current."""
+        graph = HBGraph()
+        current = graph.new_node(1)  # still current
+        result = merge(graph, [Step(current, 2)], tid=2)
+        assert result is not None
+        assert result.node is not current
+        assert graph.reaches(current, result.node)
+
+    def test_current_node_excluded_even_when_dominating(self):
+        graph = HBGraph()
+        finished = make_finished(graph, 1)
+        current = graph.new_node(2)
+        graph.add_edge(Step(finished, 1), Step(current, 0), "fc")
+        result = merge(graph, [Step(finished, 1), Step(current, 1)], tid=3)
+        # `current` dominates but cannot be the representative.
+        assert result.node is not current

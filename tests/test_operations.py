@@ -1,0 +1,146 @@
+"""Unit tests for the operation model and the conflict relation."""
+
+import pytest
+
+from repro.events.operations import (
+    Operation,
+    OpKind,
+    acquire,
+    begin,
+    commutes,
+    conflicts,
+    end,
+    read,
+    release,
+    write,
+)
+
+
+class TestConstructors:
+    def test_read_has_target(self):
+        op = read(1, "x", value=7)
+        assert op.kind is OpKind.READ
+        assert op.tid == 1
+        assert op.target == "x"
+        assert op.value == 7
+
+    def test_write_has_target(self):
+        op = write(2, "y", value=3)
+        assert op.kind is OpKind.WRITE
+        assert op.target == "y"
+
+    def test_acquire_release(self):
+        assert acquire(1, "m").kind is OpKind.ACQUIRE
+        assert release(1, "m").kind is OpKind.RELEASE
+        assert acquire(1, "m").target == "m"
+
+    def test_begin_carries_label(self):
+        op = begin(1, label="add")
+        assert op.kind is OpKind.BEGIN
+        assert op.label == "add"
+        assert op.target is None
+
+    def test_begin_label_optional(self):
+        assert begin(1).label is None
+
+    def test_end_has_no_payload(self):
+        op = end(3)
+        assert op.kind is OpKind.END
+        assert op.target is None
+        assert op.label is None
+
+    def test_access_requires_target(self):
+        with pytest.raises(ValueError):
+            Operation(OpKind.READ, 1)
+
+    def test_lock_op_requires_target(self):
+        with pytest.raises(ValueError):
+            Operation(OpKind.ACQUIRE, 1)
+
+    def test_marker_rejects_target(self):
+        with pytest.raises(ValueError):
+            Operation(OpKind.BEGIN, 1, target="x")
+
+    def test_only_begin_carries_label(self):
+        with pytest.raises(ValueError):
+            Operation(OpKind.END, 1, label="oops")
+
+    def test_loc_not_part_of_equality(self):
+        assert read(1, "x", loc="a.py:1") == read(1, "x", loc="b.py:9")
+
+
+class TestPredicates:
+    def test_is_access(self):
+        assert read(1, "x").is_access
+        assert write(1, "x").is_access
+        assert not acquire(1, "m").is_access
+        assert not begin(1).is_access
+
+    def test_is_lock_op(self):
+        assert acquire(1, "m").is_lock_op
+        assert release(1, "m").is_lock_op
+        assert not read(1, "x").is_lock_op
+
+    def test_is_marker(self):
+        assert begin(1).is_marker
+        assert end(1).is_marker
+        assert not write(1, "x").is_marker
+
+
+class TestConflicts:
+    def test_same_thread_always_conflicts(self):
+        assert conflicts(read(1, "x"), read(1, "y"))
+        assert conflicts(begin(1), end(1))
+        assert conflicts(acquire(1, "m"), write(1, "z"))
+
+    def test_read_read_different_threads_commute(self):
+        assert commutes(read(1, "x"), read(2, "x"))
+
+    def test_read_write_same_var_conflict(self):
+        assert conflicts(read(1, "x"), write(2, "x"))
+        assert conflicts(write(1, "x"), read(2, "x"))
+
+    def test_write_write_same_var_conflict(self):
+        assert conflicts(write(1, "x"), write(2, "x"))
+
+    def test_accesses_to_different_vars_commute(self):
+        assert commutes(write(1, "x"), write(2, "y"))
+        assert commutes(read(1, "x"), write(2, "y"))
+
+    def test_same_lock_ops_conflict(self):
+        assert conflicts(acquire(1, "m"), acquire(2, "m"))
+        assert conflicts(release(1, "m"), acquire(2, "m"))
+        assert conflicts(release(1, "m"), release(2, "m"))
+
+    def test_different_locks_commute(self):
+        assert commutes(acquire(1, "m"), acquire(2, "n"))
+
+    def test_lock_and_variable_namespaces_are_distinct(self):
+        # A lock named "x" does not conflict with a variable named "x".
+        assert commutes(acquire(1, "x"), write(2, "x"))
+
+    def test_markers_of_different_threads_commute(self):
+        assert commutes(begin(1), end(2))
+        assert commutes(begin(1), write(2, "x"))
+
+    def test_conflict_is_symmetric(self):
+        pairs = [
+            (read(1, "x"), write(2, "x")),
+            (acquire(1, "m"), release(2, "m")),
+            (write(1, "x"), write(2, "x")),
+            (read(1, "x"), read(2, "x")),
+            (begin(1), begin(2)),
+        ]
+        for a, b in pairs:
+            assert conflicts(a, b) == conflicts(b, a)
+
+
+class TestDisplay:
+    def test_str_forms(self):
+        assert str(read(1, "x")) == "1:rd(x)"
+        assert str(write(2, "y", 5)) == "2:wr(y=5)"
+        assert str(acquire(1, "m")) == "1:acq(m)"
+        assert str(release(1, "m")) == "1:rel(m)"
+        assert str(begin(1, label="add")) == "1:begin(add)"
+        assert str(begin(1)) == "1:begin"
+        assert str(end(1)) == "1:end"

@@ -1,0 +1,170 @@
+"""Unit tests for the optimized (Figure 4) Velodrome analysis."""
+
+import pytest
+
+from repro.core.basic import VelodromeBasic
+from repro.core.optimized import VelodromeOptimized
+from repro.events.trace import Trace
+
+
+def run(text, **options):
+    backend = VelodromeOptimized(**options)
+    backend.process_trace(Trace.parse(text))
+    return backend
+
+
+class TestVerdicts:
+    CASES = [
+        ("1:begin 1:rd(x) 2:wr(x) 1:wr(x) 1:end", True),
+        ("1:begin 1:rd(x) 2:wr(y) 1:wr(x) 1:end", False),
+        ("1:begin 1:rd(x) 1:wr(x) 1:end 2:wr(x)", False),
+        (
+            "1:begin(A) 1:rel(m) 2:begin(B) 2:acq(m) 2:wr(y) 2:end "
+            "3:begin(C) 3:rd(y) 3:wr(x) 3:end 1:rd(x) 1:end",
+            True,
+        ),
+        ("1:rd(x) 2:wr(x) 1:rd(x)", False),  # unary ops always serializable here
+        (
+            "1:begin(a) 1:rd(x) 1:wr(x) 1:wr(b) 1:end 2:rd(b) "
+            "2:begin(c) 2:rd(x) 2:wr(x) 2:end",
+            False,
+        ),
+    ]
+
+    @pytest.mark.parametrize("text,expect_error", CASES)
+    def test_verdict(self, text, expect_error):
+        assert run(text).error_detected == expect_error
+
+    @pytest.mark.parametrize("text,expect_error", CASES)
+    def test_verdict_without_merge(self, text, expect_error):
+        assert run(text, merge_unary=False).error_detected == expect_error
+
+    @pytest.mark.parametrize("text,expect_error", CASES)
+    def test_verdict_without_gc(self, text, expect_error):
+        assert run(text, collect_garbage=False).error_detected == expect_error
+
+    @pytest.mark.parametrize("text,expect_error", CASES)
+    def test_verdict_dfs_strategy(self, text, expect_error):
+        assert run(text, cycle_strategy="dfs").error_detected == expect_error
+
+    @pytest.mark.parametrize("text,expect_error", CASES)
+    def test_matches_basic_analysis(self, text, expect_error):
+        basic = VelodromeBasic()
+        basic.process_trace(Trace.parse(text))
+        assert basic.error_detected == expect_error
+
+
+class TestNesting:
+    def test_depth_tracking(self):
+        backend = VelodromeOptimized()
+        trace = Trace.parse("1:begin(p) 1:begin(q) 1:rd(x)")
+        for op in trace:
+            backend.process(op)
+        assert backend.block_depth(1) == 2
+        assert backend.in_transaction(1)
+        assert not backend.in_transaction(2)
+
+    def test_nested_blocks_one_node(self):
+        backend = run("1:begin(p) 1:begin(q) 1:rd(x) 1:end 1:end")
+        assert backend.graph.stats.allocated == 1
+
+    def test_end_without_begin_raises(self):
+        with pytest.raises(ValueError):
+            run("1:end")
+
+    def test_reenter_after_exit_allocates_again(self):
+        backend = run("1:begin 1:rd(x) 1:end 1:begin 1:rd(x) 1:end")
+        assert backend.graph.stats.allocated == 2
+
+
+class TestTimestamps:
+    def test_steps_advance_per_operation(self):
+        backend = VelodromeOptimized()
+        trace = Trace.parse("1:begin(m) 1:rd(x) 1:wr(y) 1:acq(l) 1:rel(l)")
+        for op in trace:
+            backend.process(op)
+        last = backend.last(1)
+        assert last.timestamp == 4  # begin=0, then four ops
+
+    def test_reader_step_recorded(self):
+        backend = VelodromeOptimized()
+        for op in Trace.parse("1:begin 1:rd(x)"):
+            backend.process(op)
+        assert backend.reader("x", 1).timestamp == 1
+
+    def test_unlocker_step_recorded(self):
+        backend = VelodromeOptimized()
+        for op in Trace.parse("1:begin 1:acq(m) 1:rel(m)"):
+            backend.process(op)
+        assert backend.unlocker("m").timestamp == 2
+
+
+class TestMergeIntegration:
+    def test_private_outside_chain_merges(self):
+        backend = run("1:wr(x) 1:rd(x) 1:wr(x) 1:rd(x)")
+        # First write allocates nothing (no predecessors); the rest
+        # fold into the thread's chain.
+        assert backend.graph.stats.allocated == 0
+
+    def test_naive_mode_allocates_per_op(self):
+        backend = run("1:wr(x) 1:rd(x) 1:wr(x)", merge_unary=False)
+        assert backend.graph.stats.allocated == 3
+
+    def test_cross_thread_outside_conflict_allocates(self):
+        backend = run("1:begin 1:rd(x) 2:wr(x)")
+        # t2's write has t1's current transaction as predecessor: a
+        # fresh node is required (cannot merge into a current node).
+        assert backend.graph.stats.allocated >= 2
+
+    def test_outside_release_folds_into_predecessor(self):
+        backend = run("1:wr(x) 1:acq(m) 1:rel(m) 2:acq(m)")
+        assert not backend.error_detected
+
+    def test_outside_ops_with_no_predecessors_free(self):
+        backend = run("1:rd(a) 2:rd(b) 3:rd(c)")
+        assert backend.graph.stats.allocated == 0
+
+
+class TestWarnings:
+    def test_first_warning_per_label(self):
+        text = " ".join(
+            "1:begin(m) 1:rd(x) 2:wr(x) 1:wr(x) 1:end" for _ in range(3)
+        )
+        dedup = run(text, first_warning_per_label=True)
+        full = run(text, first_warning_per_label=False)
+        assert len(dedup.warnings) == 1
+        assert dedup.suppressed_warnings >= 1
+        assert len(full.warnings) >= len(dedup.warnings)
+
+    def test_warning_carries_cycle(self):
+        backend = run("1:begin(m) 1:rd(x) 2:wr(x) 1:wr(x) 1:end")
+        warning = backend.warnings[0]
+        assert warning.cycle is not None
+        assert warning.label == "m"
+        assert warning.blamed
+
+    def test_warned_labels(self):
+        backend = run("1:begin(m) 1:rd(x) 2:wr(x) 1:wr(x) 1:end")
+        assert backend.warned_labels() == {"m"}
+
+    def test_analysis_continues_after_warning(self):
+        backend = run(
+            "1:begin(m) 1:rd(x) 2:wr(x) 1:wr(x) 1:end "
+            "3:begin(n) 3:rd(y) 4:wr(y) 3:wr(y) 3:end",
+            first_warning_per_label=False,
+        )
+        assert backend.warned_labels() == {"m", "n"}
+
+
+class TestGarbageCollection:
+    def test_live_nodes_bounded(self):
+        text = " ".join(
+            f"1:begin 1:rd(x{i}) 1:end 2:begin 2:wr(x{i}) 2:end"
+            for i in range(100)
+        )
+        backend = run(text)
+        assert backend.graph.stats.max_alive <= 8
+
+    def test_events_counted(self):
+        backend = run("1:begin 1:rd(x) 1:end")
+        assert backend.events_processed == 3

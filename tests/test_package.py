@@ -1,0 +1,57 @@
+"""Public API surface tests."""
+
+import importlib
+
+import repro
+
+
+class TestPublicApi:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_quickstart_snippet(self):
+        """The README / module docstring snippet must work verbatim."""
+        from repro import Trace, check_atomicity
+
+        trace = Trace.parse("1:begin(add) 1:rd(x) 2:wr(x) 1:wr(x) 1:end")
+        warnings = check_atomicity(trace)
+        assert len(warnings) == 1
+        assert warnings[0].label == "add"
+
+    def test_velodrome_verdict_helper(self):
+        from repro import Trace, velodrome_verdict
+
+        assert velodrome_verdict(Trace.parse("1:rd(x) 2:wr(x)"))
+        assert not velodrome_verdict(
+            Trace.parse("1:begin 1:rd(x) 2:wr(x) 1:wr(x) 1:end")
+        )
+
+    def test_subpackages_importable(self):
+        for module in (
+            "repro.events",
+            "repro.graph",
+            "repro.core",
+            "repro.baselines",
+            "repro.runtime",
+            "repro.workloads",
+            "repro.harness",
+        ):
+            assert importlib.import_module(module) is not None
+
+    def test_subpackage_all_exports_resolve(self):
+        for module_name in (
+            "repro.events",
+            "repro.graph",
+            "repro.core",
+            "repro.baselines",
+            "repro.runtime",
+            "repro.workloads",
+            "repro.harness",
+        ):
+            module = importlib.import_module(module_name)
+            for name in getattr(module, "__all__", []):
+                assert hasattr(module, name), f"{module_name}.{name}"

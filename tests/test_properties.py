@@ -1,0 +1,180 @@
+"""Property-based cross-validation of the analyses (hypothesis).
+
+These tests are the teeth of the reproduction's correctness claim
+(Theorem 1): on randomly generated well-formed traces, every analysis
+variant must agree exactly with the serialization-graph reference — and
+on tiny traces, with exhaustive commutation search as well.
+"""
+
+from hypothesis import HealthCheck, given, settings
+
+from repro.core.basic import VelodromeBasic
+from repro.core.compact import VelodromeCompact
+from repro.core.optimized import VelodromeOptimized
+from repro.core.serializability import earliest_violation, is_serializable
+from repro.events.equivalence import (
+    SearchBudgetExceeded,
+    is_self_serializable,
+    is_serializable_bruteforce,
+)
+from repro.events.semantics import replay
+
+from tests.conftest import small_traces, traces
+
+RELAXED = settings(
+    max_examples=300,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def verdict(backend_class, trace, **options):
+    backend = backend_class(**options)
+    backend.process_trace(trace)
+    return not backend.error_detected
+
+
+@given(traces())
+@RELAXED
+def test_generated_traces_are_well_formed(trace):
+    replay(trace)
+
+
+@given(traces())
+@RELAXED
+def test_basic_analysis_sound_and_complete(trace):
+    assert verdict(VelodromeBasic, trace) == is_serializable(trace)
+
+
+@given(traces())
+@RELAXED
+def test_optimized_analysis_sound_and_complete(trace):
+    assert verdict(VelodromeOptimized, trace) == is_serializable(trace)
+
+
+@given(traces())
+@RELAXED
+def test_compact_state_preserves_verdicts(trace):
+    assert verdict(VelodromeCompact, trace) == is_serializable(trace)
+
+
+@given(traces())
+@RELAXED
+def test_merge_preserves_verdicts(trace):
+    with_merge = verdict(VelodromeOptimized, trace, merge_unary=True)
+    without = verdict(VelodromeOptimized, trace, merge_unary=False)
+    assert with_merge == without
+
+
+@given(traces())
+@RELAXED
+def test_gc_preserves_verdicts(trace):
+    collected = verdict(VelodromeOptimized, trace, collect_garbage=True)
+    retained = verdict(VelodromeOptimized, trace, collect_garbage=False)
+    assert collected == retained
+
+
+@given(traces())
+@RELAXED
+def test_dfs_and_ancestor_strategies_agree(trace):
+    ancestors = verdict(VelodromeOptimized, trace, cycle_strategy="ancestors")
+    dfs = verdict(VelodromeOptimized, trace, cycle_strategy="dfs")
+    assert ancestors == dfs
+
+
+@given(traces())
+@RELAXED
+def test_first_warning_at_earliest_violation(trace):
+    """A sound and complete online analysis must raise its first
+    warning exactly at the operation that first makes the trace
+    non-serializable."""
+    backend = VelodromeOptimized()
+    backend.process_trace(trace)
+    expected = earliest_violation(trace)
+    if expected is None:
+        assert not backend.warnings
+    else:
+        assert backend.warnings
+        assert backend.warnings[0].position == expected
+
+
+@given(traces())
+@RELAXED
+def test_graph_stays_acyclic(trace):
+    backend = VelodromeOptimized()
+    backend.process_trace(trace)
+    backend.graph.check_acyclic()
+
+
+@given(traces())
+@RELAXED
+def test_gc_never_leaves_collectible_garbage(trace):
+    backend = VelodromeOptimized()
+    backend.process_trace(trace)
+    for node in backend.graph.live_nodes:
+        assert not node.collectible
+
+
+@given(small_traces())
+@settings(max_examples=120, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_agreement_with_bruteforce(trace):
+    try:
+        expected = is_serializable_bruteforce(trace, state_limit=60_000)
+    except SearchBudgetExceeded:
+        return
+    assert verdict(VelodromeOptimized, trace) == expected
+    assert verdict(VelodromeBasic, trace) == expected
+
+
+@given(small_traces())
+@settings(max_examples=80, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_blamed_transactions_not_self_serializable(trace):
+    """Blame certification (increasing cycles) is checked against the
+    definition: a blamed transaction has no equivalent trace running it
+    contiguously."""
+    backend = VelodromeOptimized(first_warning_per_label=False)
+    backend.process_trace(trace)
+    blamed_positions = {w.position for w in backend.warnings if w.blamed}
+    for position in blamed_positions:
+        tx = trace.transaction_of(position)
+        try:
+            self_ser = is_self_serializable(trace, tx.index,
+                                            state_limit=60_000)
+        except SearchBudgetExceeded:
+            continue
+        assert not self_ser
+
+
+@given(traces(max_ops=40, n_threads=4))
+@settings(max_examples=60, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_larger_traces_still_agree(trace):
+    assert verdict(VelodromeOptimized, trace) == is_serializable(trace)
+
+
+@given(small_traces())
+@settings(max_examples=120, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_conflict_serializable_implies_view_serializable(trace):
+    from repro.core.view import is_view_serializable
+
+    if len(trace.transactions()) > 8:
+        return
+    if is_serializable(trace):
+        assert is_view_serializable(trace)
+
+
+@given(traces())
+@RELAXED
+def test_blockbased_patterns_are_sound(trace):
+    """Every single-variable pattern warning witnesses a genuine
+    violation: the block-based checker never fires on a trace
+    Velodrome (exact) calls serializable."""
+    from repro.baselines.blockbased import BlockBasedChecker
+
+    patterns = BlockBasedChecker()
+    patterns.process_trace(trace)
+    if patterns.error_detected:
+        assert not is_serializable(trace)

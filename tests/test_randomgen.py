@@ -1,0 +1,81 @@
+"""End-to-end fuzzing: random programs through the full stack."""
+
+import pytest
+
+from repro.core import VelodromeCompact, VelodromeOptimized
+from repro.core.serializability import is_serializable
+from repro.events.semantics import replay
+from repro.runtime.scheduler import RandomScheduler
+from repro.runtime.tool import run_with_backends
+from repro.workloads.randomgen import GeneratorConfig, random_program
+
+
+class TestGeneration:
+    def test_deterministic(self):
+        a = random_program(7)
+        b = random_program(7)
+        run_a = run_with_backends(a, [], RandomScheduler(0), record_trace=True)
+        run_b = run_with_backends(b, [], RandomScheduler(0), record_trace=True)
+        assert run_a.trace == run_b.trace
+
+    def test_different_seeds_differ(self):
+        run_a = run_with_backends(
+            random_program(1), [], RandomScheduler(0), record_trace=True
+        )
+        run_b = run_with_backends(
+            random_program(2), [], RandomScheduler(0), record_trace=True
+        )
+        assert run_a.trace != run_b.trace
+
+    def test_config_controls_threads(self):
+        config = GeneratorConfig(n_threads=5, ops_per_thread=5)
+        run = run_with_backends(
+            random_program(0, config), [], RandomScheduler(0)
+        )
+        assert run.run.threads == 5
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_traces_always_well_formed(self, seed):
+        run = run_with_backends(
+            random_program(seed), [], RandomScheduler(seed),
+            record_trace=True,
+        )
+        replay(run.trace)
+
+
+class TestEndToEndVerdicts:
+    """The crown property: online Velodrome over a *live* program run
+    agrees with the offline reference on the recorded trace."""
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_online_matches_offline(self, seed):
+        program = random_program(seed)
+        velodrome = VelodromeOptimized()
+        run = run_with_backends(
+            program, [velodrome], RandomScheduler(seed * 31 + 7),
+            record_trace=True,
+        )
+        assert velodrome.error_detected == (not is_serializable(run.trace))
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_compact_agrees_online(self, seed):
+        program = random_program(seed)
+        optimized, compact = VelodromeOptimized(), VelodromeCompact()
+        run_with_backends(
+            program, [optimized, compact], RandomScheduler(seed),
+        )
+        assert optimized.error_detected == compact.error_detected
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_scheduler_changes_interleaving_not_soundness(self, seed):
+        program_seed = 3
+        for scheduler_seed in (seed, seed + 100):
+            program = random_program(program_seed)
+            velodrome = VelodromeOptimized()
+            run = run_with_backends(
+                program, [velodrome], RandomScheduler(scheduler_seed),
+                record_trace=True,
+            )
+            assert velodrome.error_detected == (
+                not is_serializable(run.trace)
+            )

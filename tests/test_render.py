@@ -1,0 +1,51 @@
+"""Tests for the thread-column trace renderer."""
+
+from repro.events.render import render_columns, render_with_transactions
+from repro.events.trace import Trace
+
+SAMPLE = Trace.parse(
+    "1:begin(inc) 1:rd(x) 2:wr(x) 1:wr(x) 1:end"
+)
+
+
+class TestColumns:
+    def test_header_lists_threads(self):
+        text = render_columns(SAMPLE)
+        header = text.splitlines()[0]
+        assert "Thread 1" in header
+        assert "Thread 2" in header
+
+    def test_one_row_per_operation(self):
+        text = render_columns(SAMPLE)
+        assert len(text.splitlines()) == len(SAMPLE) + 2  # + header rows
+
+    def test_operations_land_in_their_column(self):
+        lines = render_columns(SAMPLE, column_width=18).splitlines()
+        wr_row = next(line for line in lines if "wr(x=" in line or
+                      ("wr(x)" in line and line.index("wr") > 18))
+        # Thread 2's write starts in the second column.
+        assert wr_row.index("wr") >= 18
+
+    def test_nesting_indents(self):
+        trace = Trace.parse("1:begin(p) 1:begin(q) 1:rd(x) 1:end 1:end")
+        lines = render_columns(trace).splitlines()
+        rd_line = next(line for line in lines if "rd(x)" in line)
+        begin_q = next(line for line in lines if "begin(q)" in line)
+        assert rd_line.index("rd") > begin_q.index("begin")
+
+    def test_marks_in_margin(self):
+        text = render_columns(SAMPLE, mark={1, 3})
+        marked = [line for line in text.splitlines() if line.startswith("*")]
+        assert len(marked) == 2
+
+    def test_values_shown(self):
+        trace = Trace.parse("1:wr(x=5)")
+        assert "wr(x=5)" in render_columns(trace)
+
+
+class TestWithTransactions:
+    def test_inventory_appended(self):
+        text = render_with_transactions(SAMPLE)
+        assert "Transactions:" in text
+        assert "unary" in text  # thread 2's write
+        assert "inc" in text

@@ -1,0 +1,90 @@
+"""Unit tests for warnings and dot error graphs."""
+
+import pytest
+
+from repro.core.optimized import VelodromeOptimized
+from repro.core.reports import (
+    WarningKind,
+    atomicity_warning,
+    cycle_to_dot,
+    race_warning,
+    reduction_warning,
+    warning_to_dot,
+)
+from repro.events.trace import Trace
+
+
+def first_warning(text):
+    backend = VelodromeOptimized()
+    backend.process_trace(Trace.parse(text))
+    return backend.warnings[0]
+
+
+class TestWarningTypes:
+    def test_atomicity_warning(self):
+        warning = atomicity_warning("V", "m", 1, 5, "boom", blamed=True)
+        assert warning.kind is WarningKind.ATOMICITY
+        assert warning.blamed
+        assert "[m]" in str(warning)
+
+    def test_race_warning(self):
+        warning = race_warning("E", 2, 9, "x", "racy")
+        assert warning.kind is WarningKind.RACE
+        assert warning.target == "x"
+        assert warning.label is None
+
+    def test_reduction_warning(self):
+        warning = reduction_warning("A", "m", 1, 3, "not reducible")
+        assert warning.kind is WarningKind.REDUCTION
+
+    def test_str_mentions_backend_and_position(self):
+        warning = race_warning("ERASER", 2, 9, "x", "racy")
+        assert "ERASER" in str(warning)
+        assert "@9" in str(warning)
+
+
+class TestDotRendering:
+    def test_cycle_to_dot_structure(self):
+        warning = first_warning("1:begin(m) 1:rd(x) 2:wr(x) 1:wr(x) 1:end")
+        dot = cycle_to_dot(warning.cycle, title="T", blamed=True)
+        assert dot.startswith("digraph")
+        assert dot.rstrip().endswith("}")
+        assert 'label="T"' in dot
+        assert "style=dashed" in dot  # the closing edge
+        assert "peripheries=2" in dot  # the blamed box
+
+    def test_unblamed_graph_has_no_double_box(self):
+        warning = first_warning("1:begin(m) 1:rd(x) 2:wr(x) 1:wr(x) 1:end")
+        dot = cycle_to_dot(warning.cycle, blamed=False)
+        assert "peripheries" not in dot
+
+    def test_edges_labelled_with_operations(self):
+        warning = first_warning("1:begin(m) 1:rd(x) 2:wr(x) 1:wr(x) 1:end")
+        dot = cycle_to_dot(warning.cycle)
+        assert "wr(x" in dot
+
+    def test_warning_to_dot_includes_label(self):
+        warning = first_warning("1:begin(m) 1:rd(x) 2:wr(x) 1:wr(x) 1:end")
+        dot = warning_to_dot(warning)
+        assert "m" in dot
+        assert "not atomic" in dot
+
+    def test_warning_without_cycle_rejected(self):
+        with pytest.raises(ValueError):
+            warning_to_dot(race_warning("E", 1, 0, "x", "racy"))
+
+    def test_quotes_escaped(self):
+        warning = first_warning("1:begin(m) 1:rd(x) 2:wr(x) 1:wr(x) 1:end")
+        dot = cycle_to_dot(warning.cycle, title='say "hi"')
+        assert '\\"hi\\"' in dot
+
+    def test_node_count_matches_cycle(self):
+        warning = first_warning(
+            "1:begin(A) 1:rel(m) "
+            "2:begin(B) 2:acq(m) 2:wr(y) 2:end "
+            "3:begin(C) 3:rd(y) 3:wr(x) 3:end "
+            "1:rd(x) 1:end"
+        )
+        dot = cycle_to_dot(warning.cycle)
+        assert dot.count("shape=box") == 1  # node default, set once
+        assert dot.count(" -> ") == 3  # three edges in the cycle

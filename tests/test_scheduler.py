@@ -1,0 +1,100 @@
+"""Unit tests for the schedulers."""
+
+from repro.runtime.scheduler import (
+    AdversarialScheduler,
+    RandomScheduler,
+    RoundRobinScheduler,
+)
+
+
+class TestRoundRobin:
+    def test_cycles_in_tid_order(self):
+        sched = RoundRobinScheduler()
+        picks = [sched.choose([1, 2, 3], step) for step in range(6)]
+        assert picks == [1, 2, 3, 1, 2, 3]
+
+    def test_skips_missing_threads(self):
+        sched = RoundRobinScheduler()
+        assert sched.choose([2, 5], 0) == 2
+        assert sched.choose([2, 5], 1) == 5
+        assert sched.choose([2, 5], 2) == 2
+
+    def test_wraps_when_last_disappears(self):
+        sched = RoundRobinScheduler()
+        sched.choose([1, 2], 0)
+        sched.choose([1, 2], 1)
+        assert sched.choose([1], 2) == 1
+
+
+class TestRandom:
+    @staticmethod
+    def _sequence(seed, n=50):
+        sched = RandomScheduler(seed)
+        return [sched.choose([1, 2, 3], step) for step in range(n)]
+
+    def test_deterministic_per_seed(self):
+        assert self._sequence(7) == self._sequence(7)
+
+    def test_different_seeds_differ(self):
+        assert self._sequence(1) != self._sequence(2)
+
+    def test_only_runnable_chosen(self):
+        sched = RandomScheduler(3)
+        for step in range(100):
+            assert sched.choose([4, 9], step) in (4, 9)
+
+    def test_bursts_keep_current(self):
+        sched = RandomScheduler(0, switch_probability=0.01)
+        picks = {sched.choose([1, 2, 3, 4], s) for s in range(20)}
+        assert len(picks) <= 2  # rarely switches
+
+    def test_switch_probability_validated(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            RandomScheduler(0, switch_probability=0.0)
+        with pytest.raises(ValueError):
+            RandomScheduler(0, switch_probability=1.5)
+
+    def test_current_gone_forces_switch(self):
+        sched = RandomScheduler(0, switch_probability=0.01)
+        first = sched.choose([1, 2], 0)
+        other = 2 if first == 1 else 1
+        assert sched.choose([other], 1) == other
+
+
+class TestAdversarial:
+    def test_passthrough_without_pauses(self):
+        sched = AdversarialScheduler(RoundRobinScheduler(), pause_steps=10)
+        picks = [sched.choose([1, 2], s) for s in range(4)]
+        assert picks == [1, 2, 1, 2]
+
+    def test_paused_thread_excluded(self):
+        sched = AdversarialScheduler(RoundRobinScheduler(), pause_steps=10)
+        sched.choose([1, 2], 0)
+        sched.request_pause(1)
+        picks = [sched.choose([1, 2], s) for s in range(1, 9)]
+        assert set(picks) == {2}
+
+    def test_pause_expires(self):
+        sched = AdversarialScheduler(RoundRobinScheduler(), pause_steps=3)
+        sched.choose([1, 2], 0)
+        sched.request_pause(1)
+        late_picks = [sched.choose([1, 2], s) for s in range(5, 10)]
+        assert 1 in late_picks
+
+    def test_all_paused_wakes_earliest(self):
+        sched = AdversarialScheduler(RoundRobinScheduler(), pause_steps=100)
+        sched.choose([1], 0)
+        sched.request_pause(1)
+        # Only thread 1 is runnable: it must be woken, not deadlocked.
+        assert sched.choose([1], 1) == 1
+
+    def test_pause_budget_enforced(self):
+        sched = AdversarialScheduler(
+            RoundRobinScheduler(), pause_steps=5, max_pauses_per_thread=2
+        )
+        sched.choose([1, 2], 0)
+        for _ in range(5):
+            sched.request_pause(1)
+        assert sched._pause_counts[1] == 2

@@ -1,0 +1,124 @@
+"""Unit tests for the Figure 1 operational semantics."""
+
+import pytest
+
+from repro.events.semantics import (
+    GlobalStore,
+    SemanticsError,
+    is_well_formed,
+    replay,
+    step,
+)
+from repro.events.operations import acquire, read, release, write
+from repro.events.trace import Trace
+
+
+class TestGlobalStore:
+    def test_read_defaults_to_initial_value(self):
+        store = GlobalStore()
+        assert store.read("x") == 0
+
+    def test_write_then_read(self):
+        store = GlobalStore()
+        store.write("x", 42)
+        assert store.read("x") == 42
+
+    def test_acquire_sets_holder(self):
+        store = GlobalStore()
+        store.acquire(1, "m")
+        assert store.holder("m") == 1
+
+    def test_acquire_held_lock_fails(self):
+        store = GlobalStore()
+        store.acquire(1, "m")
+        with pytest.raises(ValueError):
+            store.acquire(2, "m")
+
+    def test_release_frees_lock(self):
+        store = GlobalStore()
+        store.acquire(1, "m")
+        store.release(1, "m")
+        assert store.holder("m") is None
+
+    def test_release_by_non_holder_fails(self):
+        store = GlobalStore()
+        store.acquire(1, "m")
+        with pytest.raises(ValueError):
+            store.release(2, "m")
+
+    def test_release_free_lock_fails(self):
+        with pytest.raises(ValueError):
+            GlobalStore().release(1, "m")
+
+
+class TestStep:
+    def test_write_updates_store(self):
+        store = GlobalStore()
+        step(store, write(1, "x", 9))
+        assert store.read("x") == 9
+
+    def test_read_with_matching_value(self):
+        store = GlobalStore()
+        store.write("x", 5)
+        step(store, read(1, "x", 5))  # no error
+
+    def test_read_with_wrong_value_fails(self):
+        store = GlobalStore()
+        with pytest.raises(ValueError):
+            step(store, read(1, "x", 99))
+
+    def test_read_without_value_unconstrained(self):
+        step(GlobalStore(), read(1, "x"))
+
+    def test_lock_steps(self):
+        store = GlobalStore()
+        step(store, acquire(1, "m"))
+        step(store, release(1, "m"))
+        assert store.holder("m") is None
+
+
+class TestReplay:
+    def test_well_formed_trace(self):
+        trace = Trace.parse("1:acq(m) 1:rd(x) 1:wr(x) 1:rel(m)")
+        store = replay(trace)
+        assert store.holder("m") is None
+
+    def test_unbalanced_release_detected(self):
+        trace = Trace.parse("1:rel(m)")
+        with pytest.raises(SemanticsError) as info:
+            replay(trace)
+        assert info.value.position == 0
+
+    def test_double_acquire_detected(self):
+        trace = Trace.parse("1:acq(m) 2:acq(m)")
+        with pytest.raises(SemanticsError) as info:
+            replay(trace)
+        assert info.value.position == 1
+
+    def test_end_without_begin_detected(self):
+        with pytest.raises(SemanticsError):
+            replay(Trace.parse("1:begin 1:end 1:end"))
+
+    def test_nested_begin_end_ok(self):
+        replay(Trace.parse("1:begin 1:begin 1:end 1:end"))
+
+    def test_values_ignored_by_default(self):
+        trace = Trace.parse("1:rd(x=7)")  # store holds 0, value says 7
+        replay(trace)  # fine: values unchecked by default
+
+    def test_values_checked_when_requested(self):
+        trace = Trace.parse("1:rd(x=7)")
+        with pytest.raises(SemanticsError):
+            replay(trace, check_values=True)
+
+    def test_write_read_value_chain(self):
+        trace = Trace([write(1, "x", "7"), read(2, "x", "7")])
+        replay(trace, check_values=True)
+
+    def test_is_well_formed_predicate(self):
+        assert is_well_formed(Trace.parse("1:acq(m) 1:rel(m)"))
+        assert not is_well_formed(Trace.parse("1:rel(m)"))
+
+    def test_final_store_returned(self):
+        store = replay(Trace.parse("1:wr(x=5)"))
+        assert store.read("x") == "5"

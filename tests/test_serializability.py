@@ -1,0 +1,138 @@
+"""Unit tests for the reference serializability checkers."""
+
+from repro.core.serializability import (
+    earliest_violation,
+    find_cycle,
+    is_serializable,
+    serial_witness,
+    serialization_graph,
+    serialize,
+)
+from repro.events.trace import Trace
+
+
+class TestSerializationGraph:
+    def test_conflict_edge_direction(self):
+        trace = Trace.parse("1:wr(x) 2:rd(x)")
+        graph = serialization_graph(trace)
+        tx_w = trace.transaction_of(0).index
+        tx_r = trace.transaction_of(1).index
+        assert tx_r in graph[tx_w]
+        assert tx_w not in graph[tx_r]
+
+    def test_program_order_edges_between_own_transactions(self):
+        trace = Trace.parse("1:rd(x) 1:rd(y)")
+        graph = serialization_graph(trace)
+        assert 1 in graph[0]
+
+    def test_no_edges_within_one_transaction(self):
+        trace = Trace.parse("1:begin 1:rd(x) 1:wr(x) 1:end")
+        graph = serialization_graph(trace)
+        assert graph == {0: set()}
+
+    def test_lock_edges(self):
+        trace = Trace.parse("1:acq(m) 1:rel(m) 2:acq(m) 2:rel(m)")
+        graph = serialization_graph(trace)
+        # Each lock op is its own unary transaction; all of t1's precede
+        # and conflict with all of t2's.
+        t1_txs = {trace.transaction_of(p).index for p in (0, 1)}
+        t2_txs = {trace.transaction_of(p).index for p in (2, 3)}
+        for a in t1_txs:
+            assert t2_txs <= graph[a] | t2_txs  # edges point forward
+            assert graph[a] & t2_txs
+
+
+class TestFindCycle:
+    def test_acyclic(self):
+        assert find_cycle({0: {1}, 1: {2}, 2: set()}) is None
+
+    def test_self_loop_not_possible_but_two_cycle(self):
+        cycle = find_cycle({0: {1}, 1: {0}})
+        assert cycle is not None
+        assert cycle[0] == cycle[-1]
+        assert set(cycle) == {0, 1}
+
+    def test_cycle_in_larger_graph(self):
+        graph = {0: {1}, 1: {2}, 2: {3}, 3: {1}, 4: set()}
+        cycle = find_cycle(graph)
+        assert set(cycle) == {1, 2, 3}
+
+    def test_empty_graph(self):
+        assert find_cycle({}) is None
+
+
+class TestIsSerializable:
+    def test_section2_rmw(self):
+        trace = Trace.parse("1:begin 1:rd(x) 2:wr(x) 1:wr(x) 1:end")
+        assert not is_serializable(trace)
+
+    def test_serial_is_serializable(self):
+        trace = Trace.parse("1:begin 1:rd(x) 1:wr(x) 1:end 2:wr(x)")
+        assert is_serializable(trace)
+
+    def test_interleaved_disjoint_vars(self):
+        trace = Trace.parse("1:begin 1:rd(x) 2:wr(y) 1:wr(x) 1:end")
+        assert is_serializable(trace)
+
+    def test_empty_trace(self):
+        assert is_serializable(Trace([]))
+
+    def test_intro_three_transaction_cycle(self):
+        trace = Trace.parse(
+            "1:begin(A) 1:rel(m) "
+            "2:begin(B) 2:acq(m) 2:wr(y) 2:end "
+            "3:begin(C) 3:rd(y) 3:wr(x) 3:end "
+            "1:rd(x) 1:end"
+        )
+        assert not is_serializable(trace)
+
+
+class TestWitness:
+    def test_witness_for_serializable(self):
+        trace = Trace.parse("1:begin 1:rd(x) 2:wr(y) 1:wr(x) 1:end")
+        witness = serial_witness(trace)
+        assert witness is not None
+        assert len(witness) == len(trace.transactions())
+
+    def test_no_witness_for_cycle(self):
+        trace = Trace.parse("1:begin 1:rd(x) 2:wr(x) 1:wr(x) 1:end")
+        assert serial_witness(trace) is None
+        assert serialize(trace) is None
+
+    def test_serialize_produces_serial_permutation(self):
+        trace = Trace.parse("1:begin 1:rd(x) 2:wr(y) 1:wr(x) 1:end")
+        serial = serialize(trace)
+        assert serial.is_serial()
+        assert sorted(map(str, serial)) == sorted(map(str, trace))
+
+    def test_witness_respects_conflicts(self):
+        trace = Trace.parse("1:wr(x) 2:rd(x)")
+        witness = serial_witness(trace)
+        assert [tx.tid for tx in witness] == [1, 2]
+
+
+class TestEarliestViolation:
+    def test_none_for_serializable(self):
+        assert earliest_violation(Trace.parse("1:rd(x) 2:wr(x)")) is None
+
+    def test_position_of_closing_op(self):
+        trace = Trace.parse("1:begin 1:rd(x) 2:wr(x) 1:wr(x) 1:end")
+        # The trace first becomes non-serializable at t1's write (pos 3).
+        assert earliest_violation(trace) == 3
+
+    def test_violation_in_longer_trace(self):
+        trace = Trace.parse(
+            "3:rd(q) 1:begin 1:rd(x) 2:wr(x) 1:wr(x) 1:end 3:wr(q)"
+        )
+        assert earliest_violation(trace) == 4
+
+    def test_prefix_at_violation_is_nonserializable(self):
+        trace = Trace.parse(
+            "1:begin(A) 1:rel(m) "
+            "2:begin(B) 2:acq(m) 2:wr(y) 2:end "
+            "3:begin(C) 3:rd(y) 3:wr(x) 3:end "
+            "1:rd(x) 1:end"
+        )
+        pos = earliest_violation(trace)
+        assert not is_serializable(Trace(trace.operations[: pos + 1]))
+        assert is_serializable(Trace(trace.operations[:pos]))

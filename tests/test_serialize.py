@@ -1,0 +1,87 @@
+"""Tests for trace serialization (JSONL and DSL files)."""
+
+import io
+
+import pytest
+
+from repro.events import operations as ops
+from repro.events.serialize import (
+    dump_jsonl,
+    load_jsonl,
+    load_trace,
+    operation_from_json,
+    operation_to_json,
+    save_trace,
+    trace_to_text,
+)
+from repro.events.trace import Trace
+
+SAMPLE = Trace.parse(
+    "1:begin(add) 1:acq(m) 1:rd(x=3) 1:wr(x=4) 1:rel(m) 1:end 2:rd(x)"
+)
+
+
+class TestJsonRoundTrip:
+    def test_operation_round_trip(self):
+        for op in SAMPLE:
+            assert operation_from_json(operation_to_json(op)) == op
+
+    def test_sparse_encoding(self):
+        record = operation_to_json(ops.end(1))
+        assert set(record) == {"kind", "tid"}
+
+    def test_loc_preserved(self):
+        op = ops.read(1, "x", loc="Set.java:10")
+        rebuilt = operation_from_json(operation_to_json(op))
+        assert rebuilt.loc == "Set.java:10"
+
+    def test_stream_round_trip(self):
+        buffer = io.StringIO()
+        count = dump_jsonl(SAMPLE, buffer)
+        assert count == len(SAMPLE)
+        buffer.seek(0)
+        assert load_jsonl(buffer) == SAMPLE
+
+    def test_blank_lines_skipped(self):
+        buffer = io.StringIO('{"kind": "rd", "tid": 1, "target": "x"}\n\n')
+        assert len(load_jsonl(buffer)) == 1
+
+    def test_invalid_json_reports_line(self):
+        with pytest.raises(ValueError, match="line 1"):
+            load_jsonl(io.StringIO("not json\n"))
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown operation kind"):
+            operation_from_json({"kind": "frobnicate", "tid": 1})
+
+
+class TestFiles:
+    def test_jsonl_file_round_trip(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        save_trace(SAMPLE, path)
+        assert load_trace(path) == SAMPLE
+
+    def test_dsl_file_round_trip(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        save_trace(SAMPLE, path)
+        loaded = load_trace(path)
+        # The DSL keeps structure and string values.
+        assert [op.kind for op in loaded] == [op.kind for op in SAMPLE]
+        assert loaded[2].value == "3"
+
+    def test_dsl_drops_unrepresentable_values(self, tmp_path):
+        trace = Trace([ops.write(1, "x", value=17)])  # int value
+        path = tmp_path / "trace.txt"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        assert loaded[0].target == "x"
+        assert loaded[0].value is None
+
+
+class TestText:
+    def test_text_is_one_op_per_line(self):
+        text = trace_to_text(SAMPLE)
+        assert len(text.splitlines()) == len(SAMPLE)
+
+    def test_text_parses_back(self):
+        assert len(Trace.parse(trace_to_text(SAMPLE))) == len(SAMPLE)

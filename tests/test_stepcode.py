@@ -1,0 +1,141 @@
+"""Unit tests for the 64-bit step encoding and node-slot recycling."""
+
+import pytest
+
+from repro.graph.hbgraph import HBGraph
+from repro.graph.node import Step
+from repro.graph.stepcode import (
+    NIL,
+    MAX_SLOTS,
+    TIMESTAMP_MASK,
+    NodePool,
+    SlotsExhausted,
+    pack,
+    unpack,
+)
+
+
+class TestPacking:
+    def test_round_trip(self):
+        code = pack(17, 123456)
+        assert unpack(code) == (17, 123456)
+
+    def test_zero(self):
+        assert unpack(pack(0, 0)) == (0, 0)
+
+    def test_extremes(self):
+        code = pack(MAX_SLOTS - 1, TIMESTAMP_MASK)
+        assert unpack(code) == (MAX_SLOTS - 1, TIMESTAMP_MASK)
+
+    def test_fits_in_64_bits(self):
+        assert pack(MAX_SLOTS - 1, TIMESTAMP_MASK) < (1 << 64)
+
+    def test_slot_out_of_range(self):
+        with pytest.raises(ValueError):
+            pack(MAX_SLOTS, 0)
+        with pytest.raises(ValueError):
+            pack(-1, 0)
+
+    def test_timestamp_out_of_range(self):
+        with pytest.raises(ValueError):
+            pack(0, TIMESTAMP_MASK + 1)
+
+    def test_nil_cannot_unpack(self):
+        with pytest.raises(ValueError):
+            unpack(NIL)
+
+
+class TestNodePool:
+    def make(self):
+        return HBGraph(), NodePool()
+
+    def test_attach_assigns_slot(self):
+        graph, pool = self.make()
+        node = graph.new_node(1)
+        slot = pool.attach(node)
+        assert node.slot == slot
+        assert pool.slots_in_use == 1
+
+    def test_encode_decode_live_step(self):
+        graph, pool = self.make()
+        node = graph.new_node(1)
+        pool.attach(node)
+        node.last_timestamp = 5
+        code = pool.encode(Step(node, 5))
+        decoded = pool.decode(code)
+        assert decoded == Step(node, 5)
+
+    def test_none_encodes_to_nil(self):
+        _graph, pool = self.make()
+        assert pool.encode(None) == NIL
+        assert pool.decode(NIL) is None
+
+    def test_collected_node_encodes_to_nil(self):
+        graph, pool = self.make()
+        node = graph.new_node(1)
+        pool.attach(node)
+        graph.finish(node)  # collected
+        assert pool.encode(Step(node, 0)) == NIL
+
+    def test_stale_step_reads_as_absent_after_detach(self):
+        graph, pool = self.make()
+        node = graph.new_node(1)
+        pool.attach(node)
+        node.last_timestamp = 9
+        code = pool.encode(Step(node, 4))
+        graph.finish(node)
+        pool.detach(node)
+        assert pool.decode(code) is None
+
+    def test_recycled_slot_distinguishes_generations(self):
+        graph, pool = self.make()
+        old = graph.new_node(1)
+        slot = pool.attach(old)
+        old.last_timestamp = 7
+        stale = pool.encode(Step(old, 7))
+        graph.finish(old)
+        pool.detach(old)
+        fresh = graph.new_node(2)
+        assert pool.attach(fresh) == slot  # slot recycled
+        live = pool.encode(Step(fresh, 0))
+        # The stale code still reads as absent; the new one resolves.
+        assert pool.decode(stale) is None
+        assert pool.decode(live) == Step(fresh, 0)
+
+    def test_timestamps_monotone_across_recycles(self):
+        graph, pool = self.make()
+        old = graph.new_node(1)
+        pool.attach(old)
+        old.last_timestamp = 3
+        old_code = pool.encode(Step(old, 3))
+        graph.finish(old)
+        pool.detach(old)
+        fresh = graph.new_node(2)
+        pool.attach(fresh)
+        new_code = pool.encode(Step(fresh, 0))
+        assert new_code > old_code
+
+    def test_detach_wrong_node_rejected(self):
+        graph, pool = self.make()
+        a, b = graph.new_node(1), graph.new_node(2)
+        pool.attach(a)
+        with pytest.raises(ValueError):
+            pool.detach(b)
+
+    def test_encode_without_slot_rejected(self):
+        graph, pool = self.make()
+        node = graph.new_node(1)
+        with pytest.raises(ValueError):
+            pool.encode(Step(node, 0))
+
+    def test_slots_exhausted(self):
+        graph = HBGraph()
+        pool = NodePool(max_slots=2)
+        pool.attach(graph.new_node(1))
+        pool.attach(graph.new_node(2))
+        with pytest.raises(SlotsExhausted):
+            pool.attach(graph.new_node(3))
+
+    def test_decode_unknown_slot(self):
+        _graph, pool = self.make()
+        assert pool.decode(pack(42, 1)) is None

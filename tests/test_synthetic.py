@@ -1,0 +1,216 @@
+"""Unit tests for the workload building blocks."""
+
+import pytest
+
+from repro.baselines import Atomizer
+from repro.core import VelodromeOptimized
+from repro.core.serializability import is_serializable
+from repro.events.semantics import replay
+from repro.runtime.program import Program, ThreadSpec
+from repro.runtime.scheduler import RandomScheduler, RoundRobinScheduler
+from repro.runtime.tool import run_with_backends
+from repro.workloads import synthetic as syn
+
+
+def run_threads(*factories, seeds=range(4), initial_store=None,
+                uninstrumented_locks=(), names=None):
+    """Run the given bodies under several seeds, returning tool runs."""
+    results = []
+    for seed in seeds:
+        program = Program(
+            "synthetic-test",
+            [ThreadSpec(factory, names[i] if names else None)
+             for i, factory in enumerate(factories)],
+            initial_store=dict(initial_store or {}),
+            uninstrumented_locks=set(uninstrumented_locks),
+        )
+        results.append(
+            run_with_backends(
+                program,
+                [VelodromeOptimized(first_warning_per_label=True), Atomizer()],
+                RandomScheduler(seed),
+                record_trace=True,
+            )
+        )
+    return results
+
+
+def velodrome_labels(runs):
+    labels = set()
+    for run in runs:
+        labels |= run.backends[0].warned_labels()
+    return labels
+
+
+def atomizer_labels(runs):
+    labels = set()
+    for run in runs:
+        labels |= run.backends[1].warned_labels()
+    return labels
+
+
+class TestCleanBlocks:
+    def test_locked_update_is_clean(self):
+        runs = run_threads(
+            syn.locked_update("m", "l", "x", rounds=4),
+            syn.locked_update("m", "l", "x", rounds=4),
+        )
+        assert velodrome_labels(runs) == set()
+        assert atomizer_labels(runs) == set()
+
+    def test_monitor_method_is_clean(self):
+        runs = run_threads(
+            syn.monitor_method("m", "l", ["a", "b"], rounds=3),
+            syn.monitor_method("m", "l", ["a", "b"], rounds=3),
+        )
+        assert velodrome_labels(runs) == set()
+        assert atomizer_labels(runs) == set()
+
+    def test_philosopher_is_clean(self):
+        runs = run_threads(
+            syn.philosopher("eat", "f0", "f1", meals=3, meal_var="m0"),
+            syn.philosopher("eat", "f1", "f0", meals=3, meal_var="m1"),
+        )
+        assert velodrome_labels(runs) == set()
+        assert atomizer_labels(runs) == set()
+
+    def test_producer_consumer_balanced(self):
+        runs = run_threads(
+            syn.producer("put", "l", "q", items=5),
+            syn.consumer("take", "l", "q", items=5),
+        )
+        for run in runs:
+            assert run.run.final_store.read("q") == 0
+        assert velodrome_labels(runs) == set()
+
+
+class TestDefectBlocks:
+    def test_unsync_rmw_caught_under_contention(self):
+        runs = run_threads(
+            syn.unsync_rmw("bump", "x", rounds=5, gap=4),
+            syn.unsync_rmw("bump", "x", rounds=5, gap=4),
+        )
+        assert "bump" in velodrome_labels(runs)
+        assert "bump" in atomizer_labels(runs)
+
+    def test_compound_locked_caught_under_contention(self):
+        runs = run_threads(
+            syn.compound_locked("add", "l", "x", "x", rounds=5, work=3),
+            syn.compound_locked("add", "l", "x", "x", rounds=5, work=3),
+        )
+        assert "add" in velodrome_labels(runs)
+        assert "add" in atomizer_labels(runs)
+
+    def test_rare_rmw_atomizer_only(self):
+        runs = run_threads(
+            syn.rare_rmw("rare", "x", rounds=1, start_delay=0),
+            syn.rare_rmw("rare", "x", rounds=1, start_delay=500),
+        )
+        assert "rare" not in velodrome_labels(runs)  # never interleaved
+        assert "rare" in atomizer_labels(runs)  # flagged regardless
+
+
+class TestFalseAlarmIdioms:
+    def test_flag_sender_pair(self):
+        runs = run_threads(
+            syn.flag_sender("ping", "x", "flag", 1, 2, rounds=3),
+            syn.flag_sender("ping", "x", "flag", 2, 1, rounds=3),
+            initial_store={"flag": 1},
+        )
+        for run in runs:
+            assert is_serializable(run.trace)
+        assert velodrome_labels(runs) == set()
+        assert "ping" in atomizer_labels(runs)
+
+    def test_hidden_lock_update(self):
+        runs = run_threads(
+            syn.hidden_lock_update("lib", "hidden", "x", rounds=3),
+            syn.hidden_lock_update("lib", "hidden", "x", rounds=3),
+            uninstrumented_locks={"hidden"},
+        )
+        assert velodrome_labels(runs) == set()
+        assert "lib" in atomizer_labels(runs)
+
+    def test_fork_join_master(self):
+        runs = run_threads(
+            syn.fork_join_master("collect", "task", n_workers=3),
+        )
+        for run in runs:
+            # 3 workers write results; the master sums them.
+            assert run.run.final_store.read("result_total") == 7 * 3 + 0 + 1 + 2
+        assert velodrome_labels(runs) == set()
+        assert "collect" in atomizer_labels(runs)
+
+    def test_barrier_workers_serializable(self):
+        n, phases = 3, 3
+        factories = [
+            syn.barrier_worker("phase", "bl", "bc", "bg", n, phases,
+                               "cell", index)
+            for index in range(n)
+        ]
+        runs = run_threads(*factories, seeds=range(3),
+                           initial_store={"bc": 0, "bg": 0})
+        for run in runs:
+            assert is_serializable(run.trace)
+        assert velodrome_labels(runs) == set()
+
+    def test_barrier_without_label_invisible_to_atomizer(self):
+        n, phases = 2, 2
+        factories = [
+            syn.barrier_worker(None, "bl", "bc", "bg", n, phases,
+                               "cell", index)
+            for index in range(n)
+        ]
+        runs = run_threads(*factories, seeds=range(2),
+                           initial_store={"bc": 0, "bg": 0})
+        assert atomizer_labels(runs) == set()
+
+
+class TestChurn:
+    def test_outside_churn_private_allocates_nothing(self):
+        runs = run_threads(
+            syn.outside_churn("a", 50),
+            syn.outside_churn("b", 50, seed=1),
+            seeds=[0],
+        )
+        stats = runs[0].graph_stats()
+        assert stats.allocated == 0
+
+    def test_transactional_churn_allocates_per_block(self):
+        runs = run_threads(
+            syn.transactional_churn("a", "step", blocks=20),
+            seeds=[0],
+        )
+        assert runs[0].graph_stats().allocated == 20
+
+    def test_shared_pool_churn_runs_clean(self):
+        runs = run_threads(
+            syn.shared_pool_churn(40, "pool", pool_size=3, seed=0),
+            syn.shared_pool_churn(40, "pool", pool_size=3, seed=1),
+            seeds=[0],
+        )
+        assert velodrome_labels(runs) == set()  # unary ops only
+
+
+class TestCombinators:
+    def test_sequence_runs_in_order(self):
+        runs = run_threads(
+            syn.sequence(
+                syn.locked_update("first", "l", "x", rounds=1),
+                syn.locked_update("second", "l", "y", rounds=1),
+            ),
+            seeds=[0],
+        )
+        trace = runs[0].trace
+        labels = [op.label for op in trace if op.label]
+        assert labels == ["first", "second"]
+
+    def test_traces_replay_cleanly(self):
+        runs = run_threads(
+            syn.compound_locked("add", "l", "x", "x", rounds=3),
+            syn.unsync_rmw("bump", "y", rounds=3, gap=1),
+            syn.producer("put", "q", "depth", items=3),
+            syn.consumer("take", "q", "depth", items=3),
+        )
+        for run in runs:
+            replay(run.trace)

@@ -1,0 +1,175 @@
+"""Unit tests for the tool facade."""
+
+from repro.baselines import Atomizer, EmptyAnalysis
+from repro.core import VelodromeOptimized
+from repro.runtime.program import Begin, End, Program, Read, ThreadSpec, Write
+from repro.runtime.scheduler import RandomScheduler
+from repro.runtime.tool import (
+    run_uninstrumented,
+    run_velodrome,
+    run_with_backends,
+)
+
+
+def rmw_program(label="bump", rounds=3):
+    def body():
+        for _ in range(rounds):
+            yield Begin(label)
+            value = yield Read("c")
+            yield Write("c", value + 1)
+            yield End()
+
+    return Program(
+        "rmw",
+        [ThreadSpec(body, "a"), ThreadSpec(body, "b")],
+        atomic_methods={label},
+        non_atomic_methods={label},
+    )
+
+
+class TestRunWithBackends:
+    def test_all_backends_see_all_events(self):
+        a, b = EmptyAnalysis(), EmptyAnalysis()
+        run = run_with_backends(rmw_program(), [a, b], RandomScheduler(0))
+        assert a.events_processed == b.events_processed == run.run.events
+
+    def test_same_seed_same_trace(self):
+        one = run_with_backends(
+            rmw_program(), [EmptyAnalysis()], RandomScheduler(4),
+            record_trace=True,
+        )
+        two = run_with_backends(
+            rmw_program(), [EmptyAnalysis()], RandomScheduler(4),
+            record_trace=True,
+        )
+        assert one.trace == two.trace
+
+    def test_different_seeds_usually_differ(self):
+        traces = set()
+        for seed in range(5):
+            run = run_with_backends(
+                rmw_program(), [EmptyAnalysis()], RandomScheduler(seed),
+                record_trace=True,
+            )
+            traces.add(run.trace)
+        assert len(traces) > 1
+
+    def test_uninstrumented_lock_filter_applied(self):
+        def body():
+            yield Begin("m")
+            from repro.runtime.program import Acquire, Release
+
+            yield Acquire("lib")
+            yield Read("x")
+            yield Write("x", 1)
+            yield Release("lib")
+            yield End()
+
+        program = Program(
+            "lib", [ThreadSpec(body), ThreadSpec(body)],
+            uninstrumented_locks={"lib"},
+        )
+        run = run_with_backends(
+            program, [EmptyAnalysis()], RandomScheduler(0), record_trace=True
+        )
+        backend = run.backends[0]
+        # Lock events exist in the trace but never reach the backend.
+        assert any(op.is_lock_op for op in run.trace)
+        assert backend.events_processed < run.run.events
+
+    def test_graph_stats_found(self):
+        run = run_with_backends(
+            rmw_program(), [VelodromeOptimized()], RandomScheduler(0)
+        )
+        assert run.graph_stats() is not None
+        assert run.graph_stats().allocated >= 2
+
+    def test_graph_stats_absent_without_velodrome(self):
+        run = run_with_backends(
+            rmw_program(), [EmptyAnalysis()], RandomScheduler(0)
+        )
+        assert run.graph_stats() is None
+
+
+class TestRunVelodrome:
+    def test_detects_violation_on_some_seed(self):
+        assert any(
+            run_velodrome(rmw_program(), seed=seed).warnings
+            for seed in range(10)
+        )
+
+    def test_no_false_alarms_on_clean_program(self):
+        from repro.runtime.program import Acquire, Release
+
+        def body():
+            for _ in range(3):
+                yield Begin("safe")
+                yield Acquire("l")
+                value = yield Read("c")
+                yield Write("c", value + 1)
+                yield Release("l")
+                yield End()
+
+        program = Program("clean", [ThreadSpec(body), ThreadSpec(body)])
+        for seed in range(5):
+            assert not run_velodrome(program, seed=seed).warnings
+
+    def test_adversarial_adds_atomizer(self):
+        run = run_velodrome(rmw_program(), seed=0, adversarial=True)
+        names = [backend.name for backend in run.backends]
+        assert names == ["VELODROME", "ATOMIZER"]
+
+    def test_labels_from_separates_backends(self):
+        run = run_velodrome(rmw_program(rounds=5), seed=0, adversarial=True)
+        atomizer_labels = run.labels_from("ATOMIZER")
+        velodrome_labels = run.labels_from("VELODROME")
+        assert atomizer_labels == {"bump"}  # schedule-independent
+        assert velodrome_labels <= {"bump"}
+
+    def test_elapsed_recorded(self):
+        run = run_velodrome(rmw_program(), seed=0)
+        assert run.elapsed > 0
+
+
+class TestRunUninstrumented:
+    def test_returns_result_and_time(self):
+        result, elapsed = run_uninstrumented(rmw_program())
+        assert result.events > 0
+        assert elapsed > 0
+
+
+class TestCombinedPipelines:
+    """Paper §5: race detectors 'can be run concurrently with
+    Velodrome if race conditions are a concern'."""
+
+    def test_velodrome_with_race_detector(self):
+        from repro.baselines import EraserLockSet, HappensBeforeRaces
+
+        velodrome = VelodromeOptimized(first_warning_per_label=True)
+        eraser = EraserLockSet()
+        hb = HappensBeforeRaces()
+        run = run_with_backends(
+            rmw_program(rounds=4),
+            [velodrome, eraser, hb],
+            RandomScheduler(2),
+        )
+        # All three consumed the identical stream.
+        assert (velodrome.events_processed == eraser.events_processed
+                == hb.events_processed)
+        # The unsynchronized counter is both racy and (when interleaved)
+        # non-atomic; the detectors are independent.
+        assert hb.error_detected
+        assert eraser.error_detected
+
+    def test_combined_run_matches_solo_run(self):
+        from repro.baselines import HappensBeforeRaces
+
+        solo = VelodromeOptimized(first_warning_per_label=True)
+        run_with_backends(rmw_program(), [solo], RandomScheduler(5))
+
+        combined = VelodromeOptimized(first_warning_per_label=True)
+        run_with_backends(
+            rmw_program(), [combined, HappensBeforeRaces()],
+            RandomScheduler(5),
+        )
+        assert solo.warned_labels() == combined.warned_labels()

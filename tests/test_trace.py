@@ -1,0 +1,161 @@
+"""Unit tests for traces, the DSL, and transaction extraction."""
+
+import pytest
+
+from repro.events import operations as ops
+from repro.events.trace import Trace, TraceError
+
+
+class TestParse:
+    def test_round_trip_simple(self):
+        trace = Trace.parse("1:begin(add) 1:rd(x) 2:wr(x=3) 1:wr(x) 1:end")
+        kinds = [op.kind.value for op in trace]
+        assert kinds == ["begin", "rd", "wr", "wr", "end"]
+        assert trace[0].label == "add"
+        assert trace[2].value == "3"
+        assert trace[2].tid == 2
+
+    def test_semicolons_and_newlines(self):
+        trace = Trace.parse("1:rd(x); 2:wr(y)\n 1:acq(m)")
+        assert len(trace) == 3
+
+    def test_empty_text(self):
+        assert len(Trace.parse("   ")) == 0
+
+    def test_bad_token_raises(self):
+        with pytest.raises(TraceError):
+            Trace.parse("1:frobnicate(x)")
+
+    def test_missing_argument_raises(self):
+        with pytest.raises(TraceError):
+            Trace.parse("1:rd")
+
+    def test_parse_locks(self):
+        trace = Trace.parse("1:acq(m) 1:rel(m)")
+        assert trace[0].kind is ops.OpKind.ACQUIRE
+        assert trace[1].kind is ops.OpKind.RELEASE
+
+
+class TestSequenceProtocol:
+    def test_len_and_index(self):
+        trace = Trace.parse("1:rd(x) 2:wr(y)")
+        assert len(trace) == 2
+        assert trace[1].tid == 2
+
+    def test_slice_returns_list(self):
+        trace = Trace.parse("1:rd(x) 2:wr(y) 1:rd(z)")
+        assert [op.tid for op in trace[:2]] == [1, 2]
+
+    def test_equality_and_hash(self):
+        a = Trace.parse("1:rd(x)")
+        b = Trace.parse("1:rd(x)")
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_extended(self):
+        trace = Trace.parse("1:rd(x)").extended([ops.write(2, "x")])
+        assert len(trace) == 2
+
+    def test_tids_in_first_use_order(self):
+        trace = Trace.parse("3:rd(x) 1:rd(x) 3:wr(y) 2:rd(x)")
+        assert trace.tids == [3, 1, 2]
+
+    def test_variables_and_locks(self):
+        trace = Trace.parse("1:rd(x) 1:acq(m) 2:wr(y) 2:rel(m)")
+        # rel by t2 without holding is semantically invalid but still
+        # parseable; variables/locks are purely syntactic views.
+        assert trace.variables == {"x", "y"}
+        assert trace.locks == {"m"}
+
+
+class TestTransactions:
+    def test_unary_transactions(self):
+        trace = Trace.parse("1:rd(x) 2:wr(x)")
+        txs = trace.transactions()
+        assert len(txs) == 2
+        assert all(tx.unary for tx in txs)
+        assert txs[0].tid == 1 and txs[1].tid == 2
+
+    def test_block_is_one_transaction(self):
+        trace = Trace.parse("1:begin(m) 1:rd(x) 1:wr(x) 1:end")
+        txs = trace.transactions()
+        assert len(txs) == 1
+        assert txs[0].label == "m"
+        assert not txs[0].unary
+        assert txs[0].positions == (0, 1, 2, 3)
+
+    def test_nested_blocks_fold_into_outermost(self):
+        trace = Trace.parse("1:begin(p) 1:begin(q) 1:rd(x) 1:end 1:end")
+        txs = trace.transactions()
+        assert len(txs) == 1
+        assert txs[0].label == "p"
+        assert len(txs[0].positions) == 5
+
+    def test_interleaved_transactions(self):
+        trace = Trace.parse("1:begin 1:rd(x) 2:wr(x) 1:end")
+        txs = trace.transactions()
+        assert len(txs) == 2
+        assert trace.transaction_of(2).unary
+        assert trace.transaction_of(1).index == trace.transaction_of(3).index
+
+    def test_unterminated_block_extends_to_end(self):
+        trace = Trace.parse("1:begin(m) 1:rd(x) 2:wr(y) 1:wr(x)")
+        txs = trace.transactions()
+        tx1 = trace.transaction_of(0)
+        assert tx1.label == "m"
+        assert tx1.positions == (0, 1, 3)
+
+    def test_end_without_begin_raises(self):
+        with pytest.raises(TraceError):
+            Trace.parse("1:end").transactions()
+
+    def test_ops_outside_after_block(self):
+        trace = Trace.parse("1:begin 1:rd(x) 1:end 1:wr(x)")
+        txs = trace.transactions()
+        assert len(txs) == 2
+        assert txs[1].unary
+
+    def test_every_position_has_a_transaction(self):
+        trace = Trace.parse(
+            "1:begin 1:rd(x) 2:acq(m) 1:end 2:rel(m) 3:wr(z)"
+        )
+        for pos in range(len(trace)):
+            assert trace.transaction_of(pos) is not None
+
+    def test_ordinals_count_per_thread(self):
+        trace = Trace.parse("1:rd(x) 2:rd(x) 1:wr(x) 1:begin 1:rd(y) 1:end")
+        txs = trace.transactions()
+        t1 = [tx for tx in txs if tx.tid == 1]
+        assert [tx.ordinal for tx in t1] == [0, 1, 2]
+        t2 = [tx for tx in txs if tx.tid == 2]
+        assert [tx.ordinal for tx in t2] == [0]
+
+    def test_key_is_tid_and_ordinal(self):
+        trace = Trace.parse("1:rd(x) 1:wr(x)")
+        keys = [tx.key for tx in trace.transactions()]
+        assert keys == [(1, 0), (1, 1)]
+
+    def test_first_and_last(self):
+        trace = Trace.parse("1:begin 1:rd(x) 2:wr(y) 1:end")
+        tx = trace.transaction_of(0)
+        assert tx.first == 0
+        assert tx.last == 3
+
+
+class TestSerialCheck:
+    def test_serial_trace(self):
+        assert Trace.parse("1:begin 1:rd(x) 1:end 2:wr(x)").is_serial()
+
+    def test_interleaved_trace_not_serial(self):
+        assert not Trace.parse("1:begin 1:rd(x) 2:wr(x) 1:wr(x) 1:end").is_serial()
+
+    def test_empty_trace_is_serial(self):
+        assert Trace([]).is_serial()
+
+    def test_projection(self):
+        trace = Trace.parse("1:rd(x) 2:wr(y) 1:wr(z)")
+        assert [op.tid for op in trace.project(1)] == [1, 1]
+
+    def test_without_markers(self):
+        trace = Trace.parse("1:begin 1:rd(x) 1:end")
+        assert len(trace.without_markers()) == 1

@@ -1,0 +1,90 @@
+"""Cross-variant agreement: every analysis configuration tells the same
+story, not just the same boolean.
+
+The paper's Theorem 1 fixes the verdict; these tests pin down more —
+the *position* of the first warning and the *labels* warned — across
+the basic analysis, the optimized analysis, all its ablations, and the
+compact representation.
+"""
+
+from hypothesis import HealthCheck, given, settings
+
+from repro.core.basic import VelodromeBasic
+from repro.core.compact import VelodromeCompact
+from repro.core.optimized import VelodromeOptimized
+
+from tests.conftest import traces
+
+RELAXED = settings(
+    max_examples=150,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+VARIANTS = [
+    ("basic", lambda: VelodromeBasic()),
+    ("optimized", lambda: VelodromeOptimized()),
+    ("compact", lambda: VelodromeCompact()),
+    ("no-merge", lambda: VelodromeOptimized(merge_unary=False)),
+    ("no-gc", lambda: VelodromeOptimized(collect_garbage=False)),
+    ("dfs", lambda: VelodromeOptimized(cycle_strategy="dfs")),
+]
+
+
+def first_position(backend):
+    return backend.warnings[0].position if backend.warnings else None
+
+
+@given(traces())
+@RELAXED
+def test_first_warning_position_agrees_across_variants(trace):
+    positions = {}
+    for name, factory in VARIANTS:
+        backend = factory()
+        backend.process_trace(trace)
+        positions[name] = first_position(backend)
+    assert len(set(positions.values())) == 1, positions
+
+
+@given(traces())
+@RELAXED
+def test_optimized_variants_warn_same_labels(trace):
+    labels = {}
+    for name, factory in VARIANTS:
+        if name == "basic":
+            continue  # the basic analysis does no blame assignment
+        backend = factory()
+        backend.process_trace(trace)
+        labels[name] = backend.warned_labels()
+    reference = labels["optimized"]
+    for name, got in labels.items():
+        assert got == reference, (name, got, reference)
+
+
+@given(traces())
+@RELAXED
+def test_blame_decisions_agree_between_object_and_packed_state(trace):
+    object_backend = VelodromeOptimized(first_warning_per_label=False)
+    packed_backend = VelodromeCompact(first_warning_per_label=False)
+    object_backend.process_trace(trace)
+    packed_backend.process_trace(trace)
+    object_blames = [(w.position, w.label, w.blamed)
+                     for w in object_backend.warnings]
+    packed_blames = [(w.position, w.label, w.blamed)
+                     for w in packed_backend.warnings]
+    assert object_blames == packed_blames
+
+
+@given(traces())
+@RELAXED
+def test_suppression_only_changes_multiplicity(trace):
+    verbose = VelodromeOptimized(first_warning_per_label=False)
+    deduped = VelodromeOptimized(first_warning_per_label=True)
+    verbose.process_trace(trace)
+    deduped.process_trace(trace)
+    assert verbose.warned_labels() == deduped.warned_labels()
+    assert len(deduped.warnings) <= len(verbose.warnings)
+    assert (
+        len(deduped.warnings) + deduped.suppressed_warnings
+        == len(verbose.warnings)
+    )

@@ -1,0 +1,77 @@
+"""Tests for the view-serializability reference."""
+
+import pytest
+
+from repro.core.serializability import is_serializable
+from repro.core.view import (
+    final_writes,
+    is_view_serializable,
+    reads_from,
+    view_serial_witness,
+)
+from repro.events.trace import Trace
+
+
+class TestViews:
+    def test_reads_from_initial(self):
+        trace = Trace.parse("1:rd(x) 1:wr(x) 2:rd(x)")
+        assert reads_from(trace) == {0: None, 2: 1}
+
+    def test_reads_from_latest_write(self):
+        trace = Trace.parse("1:wr(x) 2:wr(x) 1:rd(x)")
+        assert reads_from(trace)[2] == 1
+
+    def test_final_writes(self):
+        trace = Trace.parse("1:wr(x) 2:wr(y) 1:wr(x)")
+        assert final_writes(trace) == {"x": 2, "y": 1}
+
+
+class TestViewSerializability:
+    def test_serial_trace(self):
+        assert is_view_serializable(
+            Trace.parse("1:begin 1:rd(x) 1:wr(x) 1:end 2:rd(x)")
+        )
+
+    def test_rmw_violation_not_view_serializable(self):
+        trace = Trace.parse("1:begin 1:rd(x) 2:wr(x) 1:wr(x) 1:end")
+        assert not is_view_serializable(trace)
+
+    def test_conflict_serializable_implies_view_serializable(self):
+        texts = [
+            "1:begin 1:rd(x) 2:wr(y) 1:wr(x) 1:end",
+            "1:rd(x) 2:wr(x) 1:rd(x)".replace("1:rd(x)", "1:rd(x)", 1),
+            "1:wr(x) 2:rd(x) 2:wr(y) 1:rd(y)",
+        ]
+        for text in texts:
+            trace = Trace.parse(text)
+            if is_serializable(trace):
+                assert is_view_serializable(trace), text
+
+    def test_blind_write_separates_the_notions(self):
+        """The textbook schedule: view-serializable (as T2,T1,T3) but
+        not conflict-serializable (cycle T2 <-> T1)."""
+        trace = Trace.parse(
+            "2:begin(T2) 2:rd(x) "
+            "1:begin(T1) 1:wr(x) 1:end "
+            "2:wr(x) 2:end "
+            "3:begin(T3) 3:wr(x) 3:end"
+        )
+        assert not is_serializable(trace)
+        witness = view_serial_witness(trace)
+        assert witness is not None
+        transactions = trace.transactions()
+        labels = [transactions[i].label for i in witness]
+        assert labels.index("T2") < labels.index("T1")
+        assert labels[-1] == "T3"
+
+    def test_witness_none_for_violation(self):
+        trace = Trace.parse("1:begin 1:rd(x) 2:wr(x) 1:wr(x) 1:end")
+        assert view_serial_witness(trace) is None
+
+    def test_transaction_budget_enforced(self):
+        ops = " ".join(f"{t}:wr(x)" for t in range(1, 4) for _ in range(3))
+        with pytest.raises(ValueError):
+            is_view_serializable(Trace.parse(ops))
+
+    def test_empty_trace(self):
+        assert is_view_serializable(Trace([]))

@@ -1,0 +1,60 @@
+"""Scaling behaviour of the workload builders and the interpreter."""
+
+import pytest
+
+from repro.runtime.tool import run_uninstrumented
+from repro.runtime.scheduler import RandomScheduler
+from repro.workloads import all_workloads, get
+
+
+class TestScaleParameter:
+    @pytest.mark.parametrize("name", ["tsp", "multiset", "mtrt", "elevator"])
+    def test_events_grow_with_scale(self, name):
+        small, _ = run_uninstrumented(
+            get(name).program(0.5), scheduler=RandomScheduler(0)
+        )
+        large, _ = run_uninstrumented(
+            get(name).program(2.0), scheduler=RandomScheduler(0)
+        )
+        assert large.events > 2 * small.events
+
+    def test_tiny_scale_still_runs(self):
+        for workload in all_workloads():
+            result, _ = run_uninstrumented(
+                workload.program(0.1), scheduler=RandomScheduler(1)
+            )
+            assert result.events > 0
+
+    @pytest.mark.parametrize("name", ["sor", "philo", "raja"])
+    def test_ground_truth_independent_of_scale(self, name):
+        truths = {
+            frozenset(get(name).program(scale).non_atomic_methods)
+            for scale in (0.5, 1.0, 3.0)
+        }
+        assert len(truths) == 1
+
+    def test_thread_count_independent_of_scale(self):
+        for scale in (0.5, 2.0):
+            program = get("jbb").program(scale)
+            reference = get("jbb").program(1.0)
+            assert len(program.threads) == len(reference.threads)
+
+
+class TestScaleInvariants:
+    @pytest.mark.parametrize("name", ["tsp", "mtrt"])
+    def test_gc_live_set_constant_across_scale(self, name):
+        """The paper's GC claim, as a scaling law: allocations grow
+        with the trace, the live set does not."""
+        from repro.core import VelodromeOptimized
+        from repro.runtime.tool import run_with_backends
+
+        stats = {}
+        for scale in (0.5, 2.0):
+            run = run_with_backends(
+                get(name).program(scale),
+                [VelodromeOptimized(first_warning_per_label=True)],
+                RandomScheduler(0),
+            )
+            stats[scale] = run.graph_stats()
+        assert stats[2.0].allocated > 2 * stats[0.5].allocated
+        assert stats[2.0].max_alive <= 3 * stats[0.5].max_alive

@@ -1,0 +1,134 @@
+"""Integration tests over the fifteen benchmark workload models."""
+
+import pytest
+
+from repro.baselines import Atomizer
+from repro.core import VelodromeOptimized
+from repro.events.semantics import replay
+from repro.runtime.scheduler import RandomScheduler
+from repro.runtime.tool import run_velodrome, run_with_backends
+from repro.workloads import all_workloads, get, names
+from repro.workloads.base import Workload
+
+WORKLOAD_NAMES = names()
+
+
+class TestRegistry:
+    def test_fifteen_workloads_registered(self):
+        assert len(WORKLOAD_NAMES) == 15
+
+    def test_paper_benchmarks_present(self):
+        expected = {
+            "elevator", "hedc", "tsp", "sor", "jbb", "mtrt", "moldyn",
+            "montecarlo", "raytracer", "colt", "philo", "raja",
+            "multiset", "webl", "jigsaw",
+        }
+        assert set(WORKLOAD_NAMES) == expected
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(KeyError):
+            get("nonexistent")
+
+    def test_paper_rows_attached(self):
+        for workload in all_workloads():
+            assert workload.table1 is not None
+            assert workload.table2 is not None
+
+    def test_paper_table2_totals(self):
+        """The numbers transcribed from the paper must sum to its
+        reported totals (154 / 84 / 133 / 0 / 21)."""
+        t2 = [w.table2 for w in all_workloads()]
+        assert sum(r.atomizer_non_serial for r in t2) == 154
+        assert sum(r.atomizer_false_alarms for r in t2) == 84
+        assert sum(r.velodrome_non_serial for r in t2) == 133
+        assert sum(r.velodrome_false_alarms for r in t2) == 0
+        assert sum(r.velodrome_missed for r in t2) == 21
+
+
+@pytest.mark.parametrize("name", WORKLOAD_NAMES)
+class TestEachWorkload:
+    def test_builds_and_runs(self, name):
+        program = get(name).program(0.5)
+        run = run_velodrome(program, seed=0)
+        assert run.run.events > 0
+
+    def test_ground_truth_is_declared_atomic(self, name):
+        program = get(name).program(0.5)
+        assert program.non_atomic_methods <= program.atomic_methods
+
+    def test_velodrome_never_false_alarms(self, name):
+        """Soundness in the field: every Velodrome warning names a
+        genuinely non-atomic method (or none at all)."""
+        program = get(name).program(0.5)
+        run = run_velodrome(program, seed=1)
+        false = run.labels_from("VELODROME") - program.non_atomic_methods
+        assert false == set()
+
+    def test_trace_well_formed(self, name):
+        program = get(name).program(0.3)
+        run = run_velodrome(program, seed=2, record_trace=True)
+        replay(run.trace)  # lock discipline + block nesting hold
+
+    def test_deterministic_given_seed(self, name):
+        runs = [
+            run_velodrome(get(name).program(0.3), seed=3, record_trace=True)
+            for _ in range(2)
+        ]
+        assert runs[0].trace == runs[1].trace
+
+
+class TestSuiteBehaviour:
+    def test_raja_is_fully_clean(self):
+        program = get("raja").program(1.0)
+        run = run_with_backends(
+            program,
+            [VelodromeOptimized(first_warning_per_label=True), Atomizer()],
+            RandomScheduler(0),
+        )
+        velodrome, atomizer = run.backends
+        assert velodrome.warned_labels() == set()
+        assert atomizer.warned_labels() == set()
+
+    def test_mtrt_atomizer_false_alarms(self):
+        program = get("mtrt").program(1.0)
+        run = run_with_backends(
+            program,
+            [VelodromeOptimized(first_warning_per_label=True), Atomizer()],
+            RandomScheduler(0),
+        )
+        velodrome, atomizer = run.backends
+        false = atomizer.warned_labels() - program.non_atomic_methods
+        assert len(false) >= 20  # the library-lock pattern misleads it
+        assert velodrome.warned_labels() - program.non_atomic_methods == set()
+
+    def test_contended_defects_found_within_a_few_seeds(self):
+        program_labels = {
+            "tsp": "tsp.m0",
+            "multiset": "multiset.m0",
+        }
+        for name, label in program_labels.items():
+            found = False
+            for seed in range(5):
+                run = run_velodrome(get(name).program(1.0), seed=seed)
+                if label in run.labels_from("VELODROME"):
+                    found = True
+                    break
+            assert found, f"{label} never observed violated"
+
+    def test_merge_shapes_tsp_vs_mtrt(self):
+        """tsp's churn is private (merge wins); mtrt's churn is
+        transactional (merge cannot help) — the Table 1 contrast."""
+        ratios = {}
+        for name in ("tsp", "mtrt"):
+            allocated = {}
+            for merge_unary in (False, True):
+                run = run_with_backends(
+                    get(name).program(0.5),
+                    [VelodromeOptimized(merge_unary=merge_unary,
+                                        first_warning_per_label=True)],
+                    RandomScheduler(0),
+                )
+                allocated[merge_unary] = run.graph_stats().allocated
+            ratios[name] = allocated[False] / max(1, allocated[True])
+        assert ratios["tsp"] > 20
+        assert ratios["mtrt"] < 2
