@@ -1,0 +1,151 @@
+"""Pipeline fan-out overhead: one pass versus N per-backend replays.
+
+The refactor's payoff claim: driving N analyses from a single pass
+over the event stream is cheaper than replaying the workload once per
+backend (the old Table 1 methodology).  Two comparisons:
+
+* live runs — one interpreted execution with all backends attached
+  versus N interpreted executions with one backend each (N-1 redundant
+  interpreter runs saved);
+* trace replays — ``repro check file --backend all`` shaped: load the
+  recording once and traverse it once through the fan-out, versus one
+  load + traversal per backend, which is what invoking ``repro check``
+  once per backend costs (N-1 redundant loads and iterations saved).
+
+Run with ``pytest benchmarks/bench_pipeline_overhead.py`` (assertions
+only) or add ``--benchmark-only`` for the timed statistics.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.baselines.atomizer import Atomizer
+from repro.baselines.empty import EmptyAnalysis
+from repro.baselines.eraser import EraserLockSet
+from repro.core.optimized import VelodromeOptimized
+from repro.events.serialize import load_trace, save_trace
+from repro.pipeline import Pipeline, TraceSource
+from repro.runtime.scheduler import RandomScheduler
+from repro.runtime.tool import run_velodrome, run_with_backends
+from repro.workloads import get
+
+from benchmarks.conftest import BENCH_SCALE, BENCH_SEED
+
+#: The Table 1 backend line-up the fan-out carries.
+FACTORIES = [
+    EmptyAnalysis,
+    EraserLockSet,
+    Atomizer,
+    lambda: VelodromeOptimized(first_warning_per_label=True),
+]
+
+
+def run_fanout(workload_name: str):
+    program = get(workload_name).program(BENCH_SCALE)
+    return run_with_backends(
+        program,
+        [factory() for factory in FACTORIES],
+        scheduler=RandomScheduler(BENCH_SEED),
+    )
+
+
+def run_replays(workload_name: str):
+    runs = []
+    for factory in FACTORIES:
+        program = get(workload_name).program(BENCH_SCALE)
+        runs.append(
+            run_with_backends(
+                program, [factory()], scheduler=RandomScheduler(BENCH_SEED)
+            )
+        )
+    return runs
+
+
+def best_of(repeats: int, thunk) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        thunk()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def test_live_single_pass_beats_replays():
+    """One instrumented run with 4 backends vs 4 instrumented runs."""
+    fanout = best_of(3, lambda: run_fanout("tsp"))
+    replays = best_of(3, lambda: run_replays("tsp"))
+    assert fanout < replays, (
+        f"fan-out {fanout:.3f}s not faster than replays {replays:.3f}s"
+    )
+
+
+def test_trace_single_pass_beats_replays(tmp_path):
+    """One load + traversal of a recording vs one of each per backend.
+
+    Models the CLI workflow: ``repro check file --backend all`` against
+    running ``repro check file --backend X`` once per backend, where
+    every invocation pays for loading the recording and walking it.
+    """
+    run = run_velodrome(
+        get("tsp").program(BENCH_SCALE), seed=BENCH_SEED, record_trace=True
+    )
+    path = str(tmp_path / "recording.jsonl")
+    save_trace(run.trace, path)
+
+    def fanout_pass():
+        Pipeline([factory() for factory in FACTORIES]).run(
+            TraceSource(load_trace(path))
+        )
+
+    def replay_passes():
+        for factory in FACTORIES:
+            Pipeline([factory()]).run(TraceSource(load_trace(path)))
+
+    fanout = best_of(5, fanout_pass)
+    replays = best_of(5, replay_passes)
+    assert fanout < replays, (
+        f"fan-out {fanout:.3f}s not faster than replays {replays:.3f}s"
+    )
+
+
+def test_fanout_verdicts_match_replays():
+    """The speedup is free: warnings agree backend-for-backend."""
+    fanout = run_fanout("sor")
+    replays = run_replays("sor")
+    for shared, solo_run in zip(fanout.backends, replays):
+        solo = solo_run.backends[0]
+        assert shared.warnings == solo.warnings
+        assert shared.events_processed == solo.events_processed
+
+
+def test_stats_collection_overhead_is_bounded():
+    """Per-backend timing (``stats=True``) must not dwarf the analysis."""
+
+    def run_with(stats):
+        return run_with_backends(
+            get("sor").program(BENCH_SCALE),
+            [factory() for factory in FACTORIES],
+            scheduler=RandomScheduler(BENCH_SEED),
+            stats=stats,
+        )
+
+    plain = best_of(3, lambda: run_with(False))
+    stats = best_of(3, lambda: run_with(True))
+    assert stats < plain * 6, (
+        f"stats overhead too high: {stats:.3f}s vs {plain:.3f}s"
+    )
+
+
+def test_bench_live_fanout(benchmark):
+    run = benchmark.pedantic(
+        lambda: run_fanout("tsp"), rounds=3, iterations=1
+    )
+    assert run.run.events > 0
+
+
+def test_bench_live_replays(benchmark):
+    runs = benchmark.pedantic(
+        lambda: run_replays("tsp"), rounds=3, iterations=1
+    )
+    assert len(runs) == len(FACTORIES)

@@ -2,16 +2,20 @@
 
 ::
 
-    python -m repro check TRACE_FILE [--backend ...] [--dot DIR] [--render]
+    python -m repro check TRACE_FILE [--backend NAME]... [--dot DIR]
     python -m repro run WORKLOAD [--seed N] [--scale S] [--adversarial]
     python -m repro random [--seed N] [--record FILE]
     python -m repro workloads
     python -m repro table1 / table2 / inject ...
 
 ``check`` analyses a recorded trace (``.jsonl`` or the textual DSL);
-``run`` executes one of the fifteen benchmark models under the tool;
-``table1``/``table2``/``inject`` regenerate the paper's experiments
-(forwarding to :mod:`repro.harness`).
+``--backend`` may be given several times (or as ``--backend all``) and
+the trace is loaded and traversed ONCE, fanned out to every selected
+analysis.  ``run`` executes one of the fifteen benchmark models under
+the tool; ``table1``/``table2``/``inject`` regenerate the paper's
+experiments (forwarding to :mod:`repro.harness`).  ``check`` and
+``run`` accept ``--stats`` to print pipeline metrics (event counts by
+kind, per-stage drops, per-backend cost).
 """
 
 from __future__ import annotations
@@ -45,6 +49,7 @@ from repro.harness import report as harness_report
 from repro.harness import sensitivity as harness_sensitivity
 from repro.harness import table1 as harness_table1
 from repro.harness import table2 as harness_table2
+from repro.pipeline import Pipeline, TraceSource
 from repro.runtime.tool import run_velodrome
 from repro.workloads import all_workloads, get
 from repro.workloads.randomgen import random_program
@@ -62,39 +67,61 @@ BACKENDS: dict[str, Callable[[], AnalysisBackend]] = {
 }
 
 
+def _selected_backends(names: Optional[Sequence[str]]) -> list[str]:
+    """Expand/deduplicate the ``--backend`` selection, keeping order."""
+    if not names:
+        return ["velodrome"]
+    if "all" in names:
+        return sorted(BACKENDS)
+    selected: list[str] = []
+    for name in names:
+        if name not in selected:
+            selected.append(name)
+    return selected
+
+
 def cmd_check(args: argparse.Namespace) -> int:
     trace = load_trace(args.trace)
-    backend = BACKENDS[args.backend]()
-    backend.process_trace(trace)
+    names = _selected_backends(args.backend)
+    backends = [BACKENDS[name]() for name in names]
+    pipeline = Pipeline(backends, stats=args.stats)
+    pipeline.run(TraceSource(trace))
     if args.render:
         print(render_with_transactions(trace))
         print()
-    if not backend.warnings:
-        print(f"{backend.name}: no warnings "
-              f"({backend.events_processed} events)")
-        return 0
-    if args.explain:
-        explained = explain_all(trace, backend.warnings)
-        if explained:
-            print(explained)
-            print()
-    for warning in backend.warnings:
-        print(warning)
-    atomicity = summarize_blame(backend.warnings)
-    if atomicity.total:
-        print(atomicity)
+    dot_index = 0
+    out_dir = None
     if args.dot:
         out_dir = pathlib.Path(args.dot)
         out_dir.mkdir(parents=True, exist_ok=True)
-        written = 0
-        for index, warning in enumerate(backend.warnings):
-            if warning.cycle is None:
-                continue
-            path = out_dir / f"warning_{index}.dot"
-            path.write_text(warning_to_dot(warning) + "\n")
-            written += 1
-        print(f"wrote {written} dot file(s) to {out_dir}")
-    return 1
+    for backend in backends:
+        if backend.warning_count == 0:
+            print(f"{backend.name}: no warnings "
+                  f"({backend.events_processed} events)")
+            continue
+        warnings = backend.warnings
+        if args.explain:
+            explained = explain_all(trace, warnings)
+            if explained:
+                print(explained)
+                print()
+        for warning in warnings:
+            print(warning)
+        atomicity = summarize_blame(warnings)
+        if atomicity.total:
+            print(atomicity)
+        if out_dir is not None:
+            for warning in warnings:
+                if warning.cycle is None:
+                    continue
+                path = out_dir / f"warning_{dot_index}.dot"
+                path.write_text(warning_to_dot(warning) + "\n")
+                dot_index += 1
+    if out_dir is not None:
+        print(f"wrote {dot_index} dot file(s) to {out_dir}")
+    if args.stats:
+        print(pipeline.metrics().render())
+    return 1 if pipeline.warning_count else 0
 
 
 def cmd_run(args: argparse.Namespace) -> int:
@@ -104,6 +131,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         seed=args.seed,
         adversarial=args.adversarial,
         record_trace=args.record is not None,
+        stats=args.stats,
     )
     labels = sorted(result.labels_from("VELODROME"))
     truth = program.non_atomic_methods
@@ -117,6 +145,8 @@ def cmd_run(args: argparse.Namespace) -> int:
     if args.record is not None:
         count = save_trace(result.trace, args.record)
         print(f"recorded {count} events to {args.record}")
+    if args.stats and result.metrics is not None:
+        print(result.metrics.render())
     return 0 if not labels else 1
 
 
@@ -149,8 +179,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     check = commands.add_parser("check", help="analyse a recorded trace file")
     check.add_argument("trace", help="trace file (.jsonl or DSL text)")
-    check.add_argument("--backend", choices=sorted(BACKENDS),
-                       default="velodrome")
+    check.add_argument("--backend", action="append",
+                       choices=sorted(BACKENDS) + ["all"], default=None,
+                       help="analysis to run; repeatable, 'all' selects "
+                            "every backend (default: velodrome)")
     check.add_argument("--dot", metavar="DIR",
                        help="write dot error graphs into DIR")
     check.add_argument("--render", action="store_true",
@@ -158,6 +190,8 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument("--explain", action="store_true",
                        help="print full explanations (cycle story, "
                             "marked diagram) for each warning")
+    check.add_argument("--stats", action="store_true",
+                       help="print pipeline metrics after the analysis")
     check.set_defaults(func=cmd_check)
 
     run = commands.add_parser("run", help="run a benchmark workload")
@@ -167,6 +201,8 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--adversarial", action="store_true")
     run.add_argument("--record", metavar="FILE",
                      help="save the observed trace")
+    run.add_argument("--stats", action="store_true",
+                     help="print pipeline metrics after the run")
     run.set_defaults(func=cmd_run)
 
     rand = commands.add_parser("random", help="run a random program")

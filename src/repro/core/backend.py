@@ -52,8 +52,17 @@ class AnalysisBackend(abc.ABC):
 
     @property
     def warnings(self) -> list["AnalysisWarning"]:
-        """All warnings reported so far, in detection order."""
+        """All warnings reported so far, in detection order.
+
+        Returns a fresh copy each access; in hot loops that only need
+        the count, use :attr:`warning_count` instead.
+        """
         return list(self._warnings)
+
+    @property
+    def warning_count(self) -> int:
+        """Number of warnings reported so far, without copying the list."""
+        return len(self._warnings)
 
     @property
     def error_detected(self) -> bool:

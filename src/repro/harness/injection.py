@@ -7,6 +7,10 @@ seed, with and without Atomizer-guided adversarial scheduling.  A run
 paper reports roughly 30% single-run detection without scheduler
 adjustment and roughly 70% with it.
 
+Every variant run goes through the fan-out pipeline (in adversarial
+mode Velodrome and the guiding Atomizer share one event stream), and
+``--stats`` aggregates the pipeline metrics over the whole study.
+
 Run as a script::
 
     python -m repro.harness.injection [--seeds N] [--pause-steps K]
@@ -19,6 +23,7 @@ from dataclasses import dataclass, field
 from typing import Iterable, Optional, Sequence
 
 from repro.harness.formatting import render_table
+from repro.pipeline import PipelineMetrics
 from repro.runtime.tool import run_velodrome
 from repro.workloads.injection import FAMILIES, build_variant, site_label
 
@@ -40,6 +45,7 @@ class InjectionRow:
 @dataclass
 class InjectionResult:
     rows: list[InjectionRow] = field(default_factory=list)
+    metrics: Optional[PipelineMetrics] = None
 
     def rate(self, family: str, adversarial: bool) -> float:
         for row in self.rows:
@@ -79,10 +85,12 @@ def run_injection(
     seeds: Iterable[int] = range(5),
     pause_steps: int = 120,
     max_pauses_per_thread: int = 8,
+    stats: bool = False,
 ) -> InjectionResult:
     """Run the full study; see the module docstring."""
     result = InjectionResult()
     seeds = list(seeds)
+    snapshots: list[PipelineMetrics] = []
     for family_name in families if families is not None else sorted(FAMILIES):
         family = FAMILIES[family_name]
         for adversarial in (False, True):
@@ -97,7 +105,10 @@ def run_injection(
                         adversarial=adversarial,
                         pause_steps=pause_steps,
                         max_pauses_per_thread=max_pauses_per_thread,
+                        stats=stats,
                     )
+                    if stats:
+                        snapshots.append(run.metrics)
                     row.trials += 1
                     # Score Velodrome's warnings only: in adversarial
                     # mode the guiding Atomizer also reports, and its
@@ -105,6 +116,8 @@ def run_injection(
                     if target in run.labels_from("VELODROME"):
                         row.detections += 1
             result.rows.append(row)
+    if snapshots:
+        result.metrics = PipelineMetrics.aggregate(snapshots)
     return result
 
 
@@ -114,14 +127,20 @@ def main(argv: Optional[Sequence[str]] = None) -> None:
     parser.add_argument("--pause-steps", type=int, default=120)
     parser.add_argument("--max-pauses", type=int, default=8)
     parser.add_argument("--family", action="append", default=None)
+    parser.add_argument("--stats", action="store_true",
+                        help="print aggregated pipeline metrics")
     args = parser.parse_args(argv)
     result = run_injection(
         args.family,
         seeds=range(args.seeds),
         pause_steps=args.pause_steps,
         max_pauses_per_thread=args.max_pauses,
+        stats=args.stats,
     )
     print(result.render())
+    if result.metrics is not None:
+        print()
+        print(result.metrics.render())
 
 
 if __name__ == "__main__":

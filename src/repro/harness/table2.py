@@ -9,9 +9,13 @@ labels, and score against the workload's ground truth:
 * *missed* (Velodrome): non-atomic methods the Atomizer reported but
   Velodrome never observed violated.
 
+Each benchmark/seed pair is executed ONCE: Velodrome and the Atomizer
+share the event stream through the fan-out pipeline, so the two
+analyses' verdicts come from the same observed schedule.
+
 Run as a script::
 
-    python -m repro.harness.table2 [--scale S] [--seeds N]
+    python -m repro.harness.table2 [--scale S] [--seeds N] [--stats]
 """
 
 from __future__ import annotations
@@ -25,6 +29,7 @@ from repro.core.blame import summarize_blame
 from repro.core.optimized import VelodromeOptimized
 from repro.core.reports import Warning
 from repro.harness.formatting import render_table
+from repro.pipeline import PipelineMetrics
 from repro.runtime.scheduler import RandomScheduler
 from repro.runtime.tool import run_with_backends
 from repro.workloads.base import Workload, all_workloads
@@ -43,6 +48,7 @@ class Table2Row:
     ground_truth: int
     blame_total: int = 0
     blame_assigned: int = 0
+    metrics: Optional[PipelineMetrics] = None
 
 
 @dataclass
@@ -119,12 +125,18 @@ def score_workload(
     workload: Workload,
     seeds: Iterable[int] = range(5),
     scale: float = 1.0,
+    stats: bool = False,
 ) -> Table2Row:
-    """Run one benchmark across seeds and score against ground truth."""
+    """Run one benchmark across seeds and score against ground truth.
+
+    Each seed is one fan-out run: Velodrome and the Atomizer analyse
+    the same schedule in a single pass over its event stream.
+    """
     velodrome_labels: set[str] = set()
     atomizer_labels: set[str] = set()
     velodrome_warnings: list[Warning] = []
     ground_truth: set[str] = set()
+    snapshots: list[PipelineMetrics] = []
     for seed in seeds:
         program = workload.program(scale)
         ground_truth = program.non_atomic_methods
@@ -135,12 +147,16 @@ def score_workload(
                 Atomizer(),
             ],
             scheduler=RandomScheduler(seed),
+            stats=stats,
         )
         velodrome, atomizer = run.backends
         velodrome_labels |= velodrome.warned_labels()
         atomizer_labels |= atomizer.warned_labels()
         velodrome_warnings.extend(velodrome.warnings)
+        if stats:
+            snapshots.append(run.metrics)
     blame = summarize_blame(velodrome_warnings)
+    metrics = PipelineMetrics.aggregate(snapshots) if snapshots else None
     return Table2Row(
         name=workload.name,
         atomizer_non_serial=len(atomizer_labels & ground_truth),
@@ -151,6 +167,7 @@ def score_workload(
         ground_truth=len(ground_truth),
         blame_total=blame.total,
         blame_assigned=blame.blamed,
+        metrics=metrics,
     )
 
 
@@ -158,12 +175,15 @@ def run_table2(
     workloads: Optional[Sequence[Workload]] = None,
     seeds: Iterable[int] = range(5),
     scale: float = 1.0,
+    stats: bool = False,
 ) -> Table2Result:
     """Score every benchmark; see the module docstring."""
     result = Table2Result()
     seeds = list(seeds)
     for workload in workloads if workloads is not None else all_workloads():
-        result.rows.append(score_workload(workload, seeds=seeds, scale=scale))
+        result.rows.append(
+            score_workload(workload, seeds=seeds, scale=scale, stats=stats)
+        )
     return result
 
 
@@ -172,14 +192,23 @@ def main(argv: Optional[Sequence[str]] = None) -> None:
     parser.add_argument("--scale", type=float, default=1.0)
     parser.add_argument("--seeds", type=int, default=5)
     parser.add_argument("--workload", action="append", default=None)
+    parser.add_argument("--stats", action="store_true",
+                        help="print aggregated pipeline metrics")
     args = parser.parse_args(argv)
     selected = None
     if args.workload:
         from repro.workloads.base import get
 
         selected = [get(name) for name in args.workload]
-    result = run_table2(selected, seeds=range(args.seeds), scale=args.scale)
+    result = run_table2(selected, seeds=range(args.seeds), scale=args.scale,
+                        stats=args.stats)
     print(result.render())
+    if args.stats:
+        aggregated = PipelineMetrics.aggregate(
+            row.metrics for row in result.rows if row.metrics is not None
+        )
+        print()
+        print(aggregated.render())
 
 
 if __name__ == "__main__":

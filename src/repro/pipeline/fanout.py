@@ -1,0 +1,68 @@
+"""Backend fan-out: one event stream feeding N analyses.
+
+The dispatcher at the end of the pipeline.  Each surviving event is
+handed to every attached :class:`~repro.core.backend.AnalysisBackend`
+in order, so a single pass over the trace (live run or recording)
+drives all analyses at once — the paper Section 5 architecture, where
+e.g. Velodrome and the Atomizer observe the same instrumented run.
+
+With ``timed=True`` the dispatcher accumulates per-backend wall time
+(its ``process`` and ``finish`` calls), which the harnesses use to
+attribute the cost of a shared run to individual analyses.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Sequence
+
+from repro.core.backend import AnalysisBackend
+from repro.events.operations import Operation
+from repro.pipeline.metrics import BackendMetrics
+
+
+class FanOut:
+    """Dispatch each event to every backend, optionally timing each."""
+
+    def __init__(
+        self, backends: Sequence[AnalysisBackend], timed: bool = False
+    ):
+        self.backends = list(backends)
+        self.timed = timed
+        self.times = [0.0] * len(self.backends)
+
+    def process(self, op: Operation) -> None:
+        """Feed one operation to every backend."""
+        if self.timed:
+            clock = time.perf_counter
+            for index, backend in enumerate(self.backends):
+                started = clock()
+                backend.process(op)
+                self.times[index] += clock() - started
+        else:
+            for backend in self.backends:
+                backend.process(op)
+
+    def finish(self) -> None:
+        """Signal end of stream to every backend."""
+        if self.timed:
+            clock = time.perf_counter
+            for index, backend in enumerate(self.backends):
+                started = clock()
+                backend.finish()
+                self.times[index] += clock() - started
+        else:
+            for backend in self.backends:
+                backend.finish()
+
+    def backend_metrics(self) -> tuple[BackendMetrics, ...]:
+        """Per-backend snapshot (events, accumulated time, warnings)."""
+        return tuple(
+            BackendMetrics(
+                name=backend.name,
+                events=backend.events_processed,
+                time=elapsed,
+                warning_count=backend.warning_count,
+            )
+            for backend, elapsed in zip(self.backends, self.times)
+        )

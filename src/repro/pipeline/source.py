@@ -1,0 +1,87 @@
+"""Event sources: where a pipeline's operations come from.
+
+Velodrome is an *online* analysis: it consumes an event stream, not a
+stored trace.  The stream can come from a live interpreted execution
+(:class:`LiveSource`) or from a recording on disk / in memory
+(:class:`TraceSource`); the pipeline downstream is identical.  Any
+object with a ``run(sink)`` method returning a :class:`SourceResult`
+satisfies the :class:`EventSource` protocol.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional, Protocol, runtime_checkable
+
+from repro.events.operations import Operation
+from repro.events.trace import Trace
+
+#: An event consumer: called once per operation, in stream order.
+EventSink = Callable[[Operation], None]
+
+
+class SourceResult:
+    """What a source reports after driving a sink to exhaustion.
+
+    Attributes:
+        events: number of operations pushed into the sink.
+        run: the interpreter's :class:`~repro.runtime.interpreter.
+            RunResult` for live executions, ``None`` for recordings.
+        trace: the underlying trace when one exists (always for
+            :class:`TraceSource`; for :class:`LiveSource` only when
+            recording was requested).
+    """
+
+    def __init__(self, events: int, run=None, trace: Optional[Trace] = None):
+        self.events = events
+        self.run = run
+        self.trace = trace
+
+
+@runtime_checkable
+class EventSource(Protocol):
+    """Anything that can push an operation stream into a sink."""
+
+    def run(self, sink: EventSink) -> SourceResult:
+        """Drive every event through ``sink``, in order."""
+        ...
+
+
+class TraceSource:
+    """Replay a recorded trace (or any operation iterable) into a sink."""
+
+    def __init__(self, ops: Iterable[Operation]):
+        self.ops = ops
+
+    def run(self, sink: EventSink) -> SourceResult:
+        count = 0
+        for op in self.ops:
+            sink(op)
+            count += 1
+        trace = self.ops if isinstance(self.ops, Trace) else None
+        return SourceResult(events=count, trace=trace)
+
+
+class LiveSource:
+    """Execute a program under the interpreter, streaming its events.
+
+    Keyword arguments are forwarded to
+    :class:`~repro.runtime.interpreter.Interpreter` (scheduler,
+    record_trace, max_steps, array_granularity).
+    """
+
+    def __init__(self, program, **interpreter_options):
+        self.program = program
+        self.interpreter_options = interpreter_options
+
+    def run(self, sink: EventSink) -> SourceResult:
+        # Imported here: repro.runtime imports repro.pipeline for its
+        # compatibility shims, so the reverse import must be deferred.
+        from repro.runtime.interpreter import Interpreter
+
+        interpreter = Interpreter(
+            self.program, sink=sink, **self.interpreter_options
+        )
+        result = interpreter.run()
+        return SourceResult(
+            events=result.events, run=result, trace=result.trace
+        )

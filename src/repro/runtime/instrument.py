@@ -1,195 +1,57 @@
-"""The instrumentation pipeline: event filters and backend fan-out.
+"""Backward-compatible facade over :mod:`repro.pipeline`.
 
-Mirrors RoadRunner's event plumbing (paper Section 5): the interpreter
-produces one event per operation; a chain of filters may drop events
-(re-entrant lock operations, thread-local data, excluded atomic
-blocks); the surviving stream is fanned out to one or more analysis
-backends, which can run concurrently over the same stream (e.g.
-Velodrome plus a race detector, or Velodrome plus the Atomizer for
-adversarial scheduling).
+The instrumentation plumbing — filter stages and backend fan-out —
+now lives in the :mod:`repro.pipeline` package, where sources, stages,
+fan-out, and metrics are first-class and composable.  This module
+keeps the original import surface alive: the filter classes are
+re-exported unchanged, and :class:`EventPipeline` remains as a thin
+alias of :class:`repro.pipeline.Pipeline` accepting the historical
+``filters=`` keyword.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Sequence
+from typing import Sequence
 
 from repro.core.backend import AnalysisBackend
-from repro.events.operations import Operation, OpKind
+from repro.pipeline.core import Pipeline
+from repro.pipeline.stages import (
+    AtomicSpecFilter,
+    BlockFilter,
+    EventFilter,
+    ReentrantLockFilter,
+    Stage,
+    ThreadLocalFilter,
+    UninstrumentedLockFilter,
+)
+
+__all__ = [
+    "AtomicSpecFilter",
+    "BlockFilter",
+    "EventFilter",
+    "EventPipeline",
+    "ReentrantLockFilter",
+    "Stage",
+    "ThreadLocalFilter",
+    "UninstrumentedLockFilter",
+]
 
 
-class EventFilter:
-    """Base class: transform or drop events before analysis."""
+class EventPipeline(Pipeline):
+    """Filter chain plus backend fan-out; callable as an event sink.
 
-    def process(self, op: Operation) -> Optional[Operation]:
-        """Return the operation to forward, or ``None`` to drop it."""
-        return op
-
-
-class ReentrantLockFilter(EventFilter):
-    """Drop re-entrant (and hence redundant) lock acquires/releases.
-
-    RoadRunner performs this filtering so back-ends see each lock held
-    at most once (paper Section 5).  The interpreter already filters
-    its own events; this filter makes hand-written traces safe too.
+    Historical name for :class:`repro.pipeline.Pipeline`; the filter
+    chain is passed as ``filters=`` and exposed under that name too.
     """
-
-    def __init__(self) -> None:
-        self._depth: dict[tuple[int, str], int] = {}
-
-    def process(self, op: Operation) -> Optional[Operation]:
-        if op.kind is OpKind.ACQUIRE:
-            key = (op.tid, op.target)
-            depth = self._depth.get(key, 0)
-            self._depth[key] = depth + 1
-            return op if depth == 0 else None
-        if op.kind is OpKind.RELEASE:
-            key = (op.tid, op.target)
-            depth = self._depth.get(key, 1)
-            self._depth[key] = depth - 1
-            return op if depth == 1 else None
-        return op
-
-
-class ThreadLocalFilter(EventFilter):
-    """Drop accesses to data observed by only one thread so far.
-
-    Dramatically reduces event volume, at the cost of being *slightly
-    unsound* (paper Section 5, citing Eraser): the accesses performed
-    before a variable first becomes shared are lost to the analysis.
-    Enabled for the performance experiments, disabled by default.
-    """
-
-    def __init__(self) -> None:
-        self._owner: dict[str, int] = {}
-        self._shared: set[str] = set()
-
-    def process(self, op: Operation) -> Optional[Operation]:
-        if not op.is_access:
-            return op
-        var = op.target
-        if var in self._shared:
-            return op
-        owner = self._owner.get(var)
-        if owner is None:
-            self._owner[var] = op.tid
-            return None
-        if owner == op.tid:
-            return None
-        self._shared.add(var)
-        return op
-
-
-class AtomicSpecFilter(EventFilter):
-    """Keep only the atomic blocks of a specification.
-
-    The Velodrome tool "takes as input a compiled Java program and a
-    specification of which methods in that program should be atomic"
-    (paper Section 5).  This filter implements the specification side:
-    blocks whose label is *not* in the spec have their begin/end
-    markers stripped, so only the specified methods are checked for
-    atomicity (their operations still flow to the analyses, as data
-    other transactions may conflict with).
-    """
-
-    def __init__(self, atomic_labels: Iterable[str]):
-        self.atomic_labels = frozenset(atomic_labels)
-        self._stacks: dict[int, list[bool]] = {}
-
-    def process(self, op: Operation) -> Optional[Operation]:
-        if op.kind is OpKind.BEGIN:
-            keep = op.label in self.atomic_labels
-            self._stacks.setdefault(op.tid, []).append(keep)
-            return op if keep else None
-        if op.kind is OpKind.END:
-            stack = self._stacks.get(op.tid)
-            if not stack:
-                return op
-            return op if stack.pop() else None
-        return op
-
-
-class UninstrumentedLockFilter(EventFilter):
-    """Strip acquire/release events for selected locks.
-
-    Models synchronization performed inside uninstrumented libraries
-    (paper Sections 5-6): the lock still serializes the interpreter's
-    threads, but no analysis sees it.  Velodrome stays precise — a
-    subsequence of a serializable trace is serializable — while
-    LockSet-based tools see the protected accesses as racy.
-    """
-
-    def __init__(self, locks: Iterable[str]):
-        self.locks = frozenset(locks)
-
-    def process(self, op: Operation) -> Optional[Operation]:
-        if op.is_lock_op and op.target in self.locks:
-            return None
-        return op
-
-
-class BlockFilter(EventFilter):
-    """Strip the begin/end events of selected atomic blocks.
-
-    Used to reproduce the paper's Table 1 methodology: first identify
-    the non-atomic methods, then re-run performance experiments
-    checking only the remaining methods, by erasing the excluded
-    blocks' boundaries (their operations then run non-transactionally
-    unless nested inside a kept block).
-    """
-
-    def __init__(self, exclude_labels: Iterable[str]):
-        self.exclude_labels = frozenset(exclude_labels)
-        self._stacks: dict[int, list[bool]] = {}
-
-    def process(self, op: Operation) -> Optional[Operation]:
-        if op.kind is OpKind.BEGIN:
-            keep = op.label not in self.exclude_labels
-            self._stacks.setdefault(op.tid, []).append(keep)
-            return op if keep else None
-        if op.kind is OpKind.END:
-            stack = self._stacks.get(op.tid)
-            if not stack:
-                return op
-            keep = stack.pop()
-            return op if keep else None
-        return op
-
-
-class EventPipeline:
-    """Filter chain plus backend fan-out; callable as an event sink."""
 
     def __init__(
         self,
         backends: Sequence[AnalysisBackend],
-        filters: Sequence[EventFilter] = (),
+        filters: Sequence[Stage] = (),
+        stats: bool = False,
     ):
-        self.backends = list(backends)
-        self.filters = list(filters)
-        self.events_in = 0
-        self.events_out = 0
+        super().__init__(backends, stages=filters, stats=stats)
 
-    def process(self, op: Operation) -> None:
-        """Run one event through the filters, then every backend."""
-        self.events_in += 1
-        current: Optional[Operation] = op
-        for event_filter in self.filters:
-            current = event_filter.process(current)
-            if current is None:
-                return
-        self.events_out += 1
-        for backend in self.backends:
-            backend.process(current)
-
-    __call__ = process
-
-    def finish(self) -> None:
-        """Signal end of stream to every backend."""
-        for backend in self.backends:
-            backend.finish()
-
-    def warnings(self) -> list:
-        """All warnings from all backends, in backend order."""
-        collected = []
-        for backend in self.backends:
-            collected.extend(backend.warnings)
-        return collected
+    @property
+    def filters(self) -> list[Stage]:
+        return self.stages

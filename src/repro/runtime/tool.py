@@ -2,15 +2,19 @@
 
 This is the reproduction of the Velodrome *tool* of paper Section 5:
 program in, instrumented run out, with per-backend warnings, timing,
-and happens-before-graph statistics.  It also wires up the adversarial
-scheduling mode, where a concurrently-running Atomizer flags commit
-points and the scheduler pauses the offending thread.
+and happens-before-graph statistics.  Execution goes through the
+:mod:`repro.pipeline` subsystem — a :class:`~repro.pipeline.LiveSource`
+streams interpreter events through filter stages into a fan-out over
+all requested back-ends, so one run drives every analysis.  It also
+wires up the adversarial scheduling mode, where a concurrently-running
+Atomizer flags commit points and the scheduler pauses the offending
+thread.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Optional, Sequence
 
 from repro.baselines.atomizer import Atomizer
@@ -19,9 +23,11 @@ from repro.core.optimized import VelodromeOptimized
 from repro.core.reports import Warning
 from repro.events.trace import Trace
 from repro.graph.hbgraph import GraphStats
-from repro.runtime.instrument import (
-    EventFilter,
-    EventPipeline,
+from repro.pipeline import (
+    LiveSource,
+    Pipeline,
+    PipelineMetrics,
+    Stage,
     UninstrumentedLockFilter,
 )
 from repro.runtime.interpreter import Interpreter, RunResult
@@ -45,6 +51,7 @@ class ToolRun:
     backends: list[AnalysisBackend]
     elapsed: float
     scheduler: Scheduler
+    metrics: Optional[PipelineMetrics] = None
 
     @property
     def warnings(self) -> list[Warning]:
@@ -52,6 +59,11 @@ class ToolRun:
         for backend in self.backends:
             collected.extend(backend.warnings)
         return collected
+
+    @property
+    def warning_count(self) -> int:
+        """Total warnings across backends, without copying any lists."""
+        return sum(backend.warning_count for backend in self.backends)
 
     @property
     def trace(self) -> Optional[Trace]:
@@ -86,43 +98,58 @@ class ToolRun:
         return None
 
 
-def run_with_backends(
+def build_pipeline(
     program: Program,
     backends: Sequence[AnalysisBackend],
-    scheduler: Optional[Scheduler] = None,
-    filters: Sequence[EventFilter] = (),
-    record_trace: bool = False,
-    max_steps: int = 5_000_000,
-) -> ToolRun:
-    """Execute ``program`` once, streaming events to ``backends``.
+    stages: Sequence[Stage] = (),
+    stats: bool = False,
+) -> Pipeline:
+    """Assemble the event pipeline for one instrumented run.
 
     Locks listed in ``program.uninstrumented_locks`` are filtered out
     of the event stream automatically (library synchronization).
     """
-    scheduler = scheduler if scheduler is not None else RandomScheduler()
-    all_filters = list(filters)
+    all_stages = list(stages)
     if program.uninstrumented_locks:
-        all_filters.insert(
+        all_stages.insert(
             0, UninstrumentedLockFilter(program.uninstrumented_locks)
         )
-    pipeline = EventPipeline(backends, filters=all_filters)
-    interpreter = Interpreter(
+    return Pipeline(backends, stages=all_stages, stats=stats)
+
+
+def run_with_backends(
+    program: Program,
+    backends: Sequence[AnalysisBackend],
+    scheduler: Optional[Scheduler] = None,
+    filters: Sequence[Stage] = (),
+    record_trace: bool = False,
+    max_steps: int = 5_000_000,
+    stats: bool = False,
+) -> ToolRun:
+    """Execute ``program`` once, streaming events to all ``backends``.
+
+    One pass: the interpreter runs the program a single time and the
+    pipeline fans every surviving event out to every backend.  With
+    ``stats=True`` the returned :class:`ToolRun` carries a
+    :class:`~repro.pipeline.PipelineMetrics` snapshot (per-kind event
+    counters, per-stage drops, per-backend wall time).
+    """
+    scheduler = scheduler if scheduler is not None else RandomScheduler()
+    pipeline = build_pipeline(program, backends, stages=filters, stats=stats)
+    source = LiveSource(
         program,
         scheduler=scheduler,
-        sink=pipeline.process,
         record_trace=record_trace,
         max_steps=max_steps,
     )
-    started = time.perf_counter()
-    run = interpreter.run()
-    pipeline.finish()
-    elapsed = time.perf_counter() - started
+    result = pipeline.run(source)
     return ToolRun(
         program=program,
-        run=run,
+        run=result.run,
         backends=list(backends),
-        elapsed=elapsed,
+        elapsed=pipeline.elapsed,
         scheduler=scheduler,
+        metrics=pipeline.metrics(),
     )
 
 
@@ -148,10 +175,11 @@ def run_velodrome(
     adversarial: bool = False,
     pause_steps: int = 50,
     max_pauses_per_thread: int = 25,
-    filters: Sequence[EventFilter] = (),
+    filters: Sequence[Stage] = (),
     record_trace: bool = False,
     first_warning_per_label: bool = True,
     max_steps: int = 5_000_000,
+    stats: bool = False,
     **velodrome_options,
 ) -> ToolRun:
     """Run Velodrome over ``program`` with a seeded random scheduler.
@@ -184,4 +212,5 @@ def run_velodrome(
         filters=filters,
         record_trace=record_trace,
         max_steps=max_steps,
+        stats=stats,
     )
