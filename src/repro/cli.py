@@ -5,6 +5,7 @@
     python -m repro check TRACE_FILE [--backend NAME]... [--dot DIR]
     python -m repro run WORKLOAD [--seed N] [--scale S] [--adversarial]
     python -m repro random [--seed N] [--record FILE]
+    python -m repro fuzz [--budget N] [--seed S] [--shrink] [--stats]
     python -m repro workloads
     python -m repro table1 / table2 / inject ...
 
@@ -16,6 +17,13 @@ the tool; ``table1``/``table2``/``inject`` regenerate the paper's
 experiments (forwarding to :mod:`repro.harness`).  ``check`` and
 ``run`` accept ``--stats`` to print pipeline metrics (event counts by
 kind, per-stage drops, per-backend cost).
+
+``fuzz`` runs the differential fuzzer (:mod:`repro.fuzz`): seeded
+random traces replayed across the full ablation grid and compared
+against the serialization-graph oracle, with optional delta-debugging
+shrinking (``--shrink``) and corpus persistence (``--corpus DIR``);
+``fuzz --replay DIR`` re-checks an existing corpus instead of
+generating new traces.  Exit status 1 signals a divergence.
 """
 
 from __future__ import annotations
@@ -44,6 +52,7 @@ from repro.core import (
 from repro.core.backend import AnalysisBackend
 from repro.events.render import render_with_transactions
 from repro.events.serialize import load_trace, save_trace
+from repro.fuzz import DEFAULT_CORPUS, FuzzConfig, FuzzEngine, replay_corpus
 from repro.harness import injection as harness_injection
 from repro.harness import report as harness_report
 from repro.harness import sensitivity as harness_sensitivity
@@ -161,6 +170,52 @@ def cmd_random(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    if args.replay is not None:
+        checks = replay_corpus(args.replay)
+        if not checks:
+            print(f"no corpus traces under {args.replay}")
+            return 0
+        dirty = 0
+        for path, check in checks.items():
+            verdict = "serializable" if check.serializable else "not serializable"
+            if check.clean:
+                print(f"{path}: agreement ({verdict})")
+            else:
+                dirty += 1
+                print(f"{path}: DIVERGES ({verdict})")
+                for divergence in check.divergences:
+                    print(f"  {divergence}")
+        print(f"replayed {len(checks)} trace(s), {dirty} diverging")
+        return 1 if dirty else 0
+
+    config = FuzzConfig(
+        budget=args.budget,
+        seed=args.seed,
+        shrink=args.shrink,
+        stats=args.stats,
+        corpus_dir=pathlib.Path(args.corpus) if args.corpus else None,
+    )
+
+    def on_finding(finding):
+        print(f"iteration {finding.index} (seed {finding.seed}): "
+              f"{len(finding.divergences)} divergence(s)")
+        for divergence in finding.divergences:
+            print(f"  {divergence}")
+        if finding.shrunk is not None:
+            shrunk = finding.shrunk
+            print(f"  shrunk {shrunk.original_events} -> {shrunk.events} "
+                  f"events ({shrunk.evaluations} evaluations)")
+        if finding.corpus_path is not None:
+            print(f"  repro saved to {finding.corpus_path}")
+
+    report = FuzzEngine(config).run(on_finding=on_finding)
+    print(report.summary())
+    if args.stats and report.metrics is not None:
+        print(report.metrics.render())
+    return 0 if report.clean else 1
+
+
 def cmd_workloads(_args: argparse.Namespace) -> int:
     for workload in all_workloads():
         table2 = workload.table2
@@ -209,6 +264,24 @@ def build_parser() -> argparse.ArgumentParser:
     rand.add_argument("--seed", type=int, default=0)
     rand.add_argument("--record", metavar="FILE")
     rand.set_defaults(func=cmd_random)
+
+    fz = commands.add_parser(
+        "fuzz", help="differential-fuzz the ablation grid vs the oracle"
+    )
+    fz.add_argument("--budget", type=int, default=100,
+                    help="number of random traces to generate (default 100)")
+    fz.add_argument("--seed", type=int, default=0,
+                    help="base seed; every iteration seed derives from it")
+    fz.add_argument("--shrink", action="store_true",
+                    help="delta-debug diverging traces to a minimal repro")
+    fz.add_argument("--stats", action="store_true",
+                    help="print aggregated pipeline metrics after the run")
+    fz.add_argument("--corpus", metavar="DIR",
+                    help="persist (shrunken) repros into DIR "
+                         f"(conventionally {DEFAULT_CORPUS})")
+    fz.add_argument("--replay", metavar="DIR",
+                    help="re-check the corpus under DIR instead of fuzzing")
+    fz.set_defaults(func=cmd_fuzz)
 
     wl = commands.add_parser("workloads", help="list benchmark workloads")
     wl.set_defaults(func=cmd_workloads)

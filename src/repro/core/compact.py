@@ -28,7 +28,9 @@ class VelodromeCompact(VelodromeOptimized):
     """Optimized Velodrome with packed 64-bit state components.
 
     Accepts the same options as :class:`VelodromeOptimized`, plus the
-    pool's slot capacity.  Slots are attached on node allocation and
+    pool's slot count and timestamp capacity (see
+    :class:`~repro.graph.stepcode.NodePool`).  Slots are attached on
+    node allocation and
     recycled on collection via the graph's hooks; dereferencing a code
     whose slot was recycled (or whose timestamp falls at or below the
     slot's watermark) yields the paper's bottom, exactly like the weak
@@ -37,9 +39,17 @@ class VelodromeCompact(VelodromeOptimized):
 
     name = "VELODROME-COMPACT"
 
-    def __init__(self, max_slots: int = 1 << 16, **options):
+    def __init__(
+        self,
+        max_slots: int = 1 << 16,
+        timestamp_capacity: Optional[int] = None,
+        **options,
+    ):
         super().__init__(**options)
-        self.pool = NodePool(max_slots=max_slots)
+        pool_options = {"max_slots": max_slots}
+        if timestamp_capacity is not None:
+            pool_options["timestamp_capacity"] = timestamp_capacity
+        self.pool = NodePool(**pool_options)
         self.graph.on_alloc = self.pool.attach
         self.graph.on_collect = self.pool.detach
         # Packed state: plain int codes, NIL for bottom.

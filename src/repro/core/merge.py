@@ -16,6 +16,20 @@ would be the new node's predecessors and:
 Merging is safe because the merged node can never acquire incoming
 edges beyond the ones given here, so no cycle can form through it
 (paper Section 4.2).
+
+When folding into an existing node, the direct edges from the other
+predecessors are still recorded (refreshing timestamps on edges that
+already exist).  Reachability is unchanged — every predecessor
+already reaches the representative, which is exactly why folding is
+legal — but the *timestamps* of the subsumed conflicts would
+otherwise only survive on whatever stale multi-hop path made the
+representative reachable.  Blame assignment (Section 4.3) reads root
+timestamps off cycle paths, so dropping the direct edges makes blame
+depend on which predecessors garbage collection happened to keep
+alive: the differential fuzzer found a trace where the GC-enabled
+analysis folded a racing write into a bystander's node, aged the
+conflict's root timestamp past an open block's entry, and lost a
+blame the GC-disabled analysis certified (``tests/corpus/``).
 """
 
 from __future__ import annotations
@@ -60,6 +74,17 @@ def merge(
             continue
         if all(graph.reaches(step.node, candidate.node) for step in live):
             graph.stats.merges += 1
+            # Record the direct conflict edges (see module docstring):
+            # each predecessor already reaches the candidate, so these
+            # can never close a cycle — they only pin the timestamps
+            # blame assignment needs.
+            for step in live:
+                if step.node is candidate.node:
+                    continue
+                cycle = graph.add_edge(step, candidate, reason="merge")
+                assert cycle is None, (
+                    "edge to an already-reachable node cannot close a cycle"
+                )
             return candidate
     node = graph.new_node(tid, label=None)
     fresh = Step(node, 0)

@@ -41,13 +41,20 @@ def operation_to_json(op: Operation) -> dict:
 
 def operation_from_json(record: dict) -> Operation:
     """Rebuild an operation from its JSON dict."""
+    if not isinstance(record, dict):
+        raise ValueError(f"operation record must be an object, "
+                         f"got {type(record).__name__}")
     try:
         kind = _KINDS[record["kind"]]
     except KeyError:
         raise ValueError(f"unknown operation kind: {record.get('kind')!r}")
+    tid = record.get("tid")
+    if not isinstance(tid, int) or isinstance(tid, bool):
+        raise ValueError(f"operation record needs an integer tid, "
+                         f"got {tid!r}")
     return Operation(
         kind,
-        record["tid"],
+        tid,
         target=record.get("target"),
         value=record.get("value"),
         label=record.get("label"),
@@ -81,9 +88,14 @@ def load_jsonl(stream: TextIO) -> Trace:
 
 
 def save_trace(trace: Iterable[Operation], path: PathLike) -> int:
-    """Save to ``path``; `.jsonl` uses JSONL, anything else the DSL."""
+    """Save to ``path``; `.jsonl` uses JSONL, anything else the DSL.
+
+    Recordings are always UTF-8, independent of the locale: a trace
+    with non-ASCII lock or variable names must load back identically
+    on any machine (and must not crash the save under a C locale).
+    """
     path = Path(path)
-    with path.open("w") as stream:
+    with path.open("w", encoding="utf-8") as stream:
         if path.suffix == ".jsonl":
             return dump_jsonl(trace, stream)
         ops = list(trace)
@@ -95,7 +107,7 @@ def save_trace(trace: Iterable[Operation], path: PathLike) -> int:
 def load_trace(path: PathLike) -> Trace:
     """Load from ``path``; `.jsonl` uses JSONL, anything else the DSL."""
     path = Path(path)
-    with path.open() as stream:
+    with path.open(encoding="utf-8") as stream:
         if path.suffix == ".jsonl":
             return load_jsonl(stream)
         return Trace.parse(stream.read())

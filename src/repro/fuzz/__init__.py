@@ -1,0 +1,62 @@
+"""Differential fuzzing and trace shrinking.
+
+Velodrome's headline claim — soundness *and* completeness (Theorem 1)
+— means every disagreement between any analysis configuration and the
+serialization-graph oracle is a bug by definition.  This package hunts
+for such disagreements at scale and reduces what it finds to minimal,
+human-debuggable repro traces:
+
+* :mod:`repro.fuzz.grid` — the ablation grid of configurations swept;
+* :mod:`repro.fuzz.verdicts` — one-pass differential comparison of a
+  trace across the grid and the oracle;
+* :mod:`repro.fuzz.engine` — the seeded generate/replay/compare loop;
+* :mod:`repro.fuzz.shrink` — delta-debugging reduction of diverging
+  traces;
+* :mod:`repro.fuzz.corpus` — the persisted regression corpus the test
+  suite replays.
+
+CLI: ``repro fuzz --budget N --seed S [--shrink] [--stats]``.
+"""
+
+from repro.fuzz.corpus import (
+    DEFAULT_CORPUS,
+    corpus_traces,
+    persist_repro,
+    replay_corpus,
+)
+from repro.fuzz.engine import (
+    Finding,
+    FuzzConfig,
+    FuzzEngine,
+    FuzzReport,
+    fuzz,
+    iteration_seeds,
+    round_trip_divergences,
+    trace_for_seed,
+)
+from repro.fuzz.grid import GridConfig, ablation_grid, default_grid
+from repro.fuzz.shrink import ShrinkResult, shrink_trace
+from repro.fuzz.verdicts import Divergence, TraceCheck, check_trace
+
+__all__ = [
+    "DEFAULT_CORPUS",
+    "Divergence",
+    "Finding",
+    "FuzzConfig",
+    "FuzzEngine",
+    "FuzzReport",
+    "GridConfig",
+    "ShrinkResult",
+    "TraceCheck",
+    "ablation_grid",
+    "check_trace",
+    "corpus_traces",
+    "default_grid",
+    "fuzz",
+    "iteration_seeds",
+    "persist_repro",
+    "replay_corpus",
+    "round_trip_divergences",
+    "shrink_trace",
+    "trace_for_seed",
+]

@@ -1,0 +1,113 @@
+"""The regression corpus: shrunken repro traces the suite replays.
+
+Every divergence the fuzzer finds is minimized and persisted here as a
+plain JSONL recording (loadable by ``repro check`` like any other
+trace) plus a ``.meta.json`` sidecar recording provenance: the seed,
+the diverging configurations, and the oracle's verdict at capture
+time.  ``tests/test_corpus.py`` replays every corpus trace through the
+full ablation grid on each run, so a reintroduced bug in any backend
+fails the build even after the original fix's unit test has rotted.
+
+Corpus entries need not be divergent *today* — after the bug they
+captured is fixed, they are agreement regressions: traces on which all
+configurations and the oracle must keep agreeing forever.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import json
+from pathlib import Path
+from typing import Optional, Sequence, Union
+
+from repro.events.serialize import dump_jsonl, load_trace
+from repro.events.trace import Trace
+from repro.fuzz.grid import GridConfig
+from repro.fuzz.verdicts import Divergence, TraceCheck, check_trace
+
+PathLike = Union[str, Path]
+
+#: The default corpus location, relative to the repository root.
+DEFAULT_CORPUS = Path("tests") / "corpus"
+
+
+def trace_digest(trace: Trace) -> str:
+    """A short content hash naming a corpus entry."""
+    buffer = io.StringIO()
+    dump_jsonl(trace, buffer)
+    return hashlib.sha256(buffer.getvalue().encode("utf-8")).hexdigest()[:12]
+
+
+def _portable(value: object) -> object:
+    """``value`` as JSON-friendly data (repr for non-primitives)."""
+    if value is None or isinstance(value, (str, int, float, bool)):
+        return value
+    return repr(value)
+
+
+def persist_repro(
+    trace: Trace,
+    directory: PathLike,
+    divergences: Sequence[Divergence] = (),
+    seed: Optional[int] = None,
+    original_events: Optional[int] = None,
+) -> Path:
+    """Write ``trace`` (and its provenance sidecar) into the corpus.
+
+    Returns the path of the ``.jsonl`` recording.  Writing the same
+    trace twice is idempotent — the name is a content hash.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    name = f"div-{trace_digest(trace)}"
+    path = directory / f"{name}.jsonl"
+    with path.open("w", encoding="utf-8") as stream:
+        dump_jsonl(trace, stream)
+    meta = {
+        "events": len(trace),
+        "divergences": [
+            {
+                "kind": d.kind,
+                "config": d.config,
+                "expected": _portable(d.expected),
+                "observed": _portable(d.observed),
+            }
+            for d in divergences
+        ],
+    }
+    if seed is not None:
+        meta["seed"] = seed
+    if original_events is not None:
+        meta["original_events"] = original_events
+    meta_path = directory / f"{name}.meta.json"
+    meta_path.write_text(
+        json.dumps(meta, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return path
+
+
+def corpus_traces(directory: PathLike) -> list[tuple[Path, Trace]]:
+    """All corpus recordings, sorted by name for stable replay order."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        return []
+    return [
+        (path, load_trace(path))
+        for path in sorted(directory.glob("*.jsonl"))
+    ]
+
+
+def replay_corpus(
+    directory: PathLike,
+    configs: Optional[Sequence[GridConfig]] = None,
+) -> dict[Path, TraceCheck]:
+    """Re-check every corpus trace across the grid.
+
+    Returns the per-file :class:`~repro.fuzz.verdicts.TraceCheck`; a
+    clean corpus has ``check.clean`` true for every entry.
+    """
+    return {
+        path: check_trace(trace, configs=configs)
+        for path, trace in corpus_traces(directory)
+    }

@@ -1,0 +1,265 @@
+"""The differential fuzzing loop.
+
+Each iteration draws a seed, generates a random concurrent program
+(:mod:`repro.workloads.randomgen`), executes it once under a seeded
+scheduler to record a trace, round-trips the recording through the
+JSONL serializer (a recording that does not survive ``load(dump(t))``
+is itself a divergence), and replays the trace through every ablation
+configuration in a single fan-out pass, comparing verdicts, first
+warning positions, and label sets against the serialization-graph
+oracle (:mod:`repro.fuzz.verdicts`).
+
+On any divergence the trace is delta-debugged down to a minimal
+diverging core (:mod:`repro.fuzz.shrink`) and persisted into the
+regression corpus (:mod:`repro.fuzz.corpus`).
+
+Seed discipline: iteration ``i`` of ``FuzzEngine(seed=S)`` derives its
+seed from ``random.Random(S)`` once, up front, and both the program
+*and* the scheduler are seeded from that per-iteration value — so any
+repro can be regenerated outside the fuzzer with
+``repro random --seed <iteration seed> --record FILE`` followed by
+``repro check FILE``.
+"""
+
+from __future__ import annotations
+
+import io
+import random
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Optional, Sequence
+
+from repro.events.serialize import dump_jsonl, load_jsonl
+from repro.events.trace import Trace
+from repro.fuzz.corpus import persist_repro
+from repro.fuzz.grid import GridConfig, ablation_grid
+from repro.fuzz.shrink import ShrinkResult, shrink_trace
+from repro.fuzz.verdicts import Divergence, TraceCheck, check_trace
+from repro.pipeline import PipelineMetrics
+from repro.runtime.scheduler import RandomScheduler
+from repro.runtime.tool import run_with_backends
+from repro.workloads.randomgen import GeneratorConfig, random_program
+
+
+def iteration_seeds(seed: int, budget: int) -> list[int]:
+    """The per-iteration seeds of a fuzz run, derived once up front.
+
+    Deriving every seed from one generator before the loop starts means
+    no amount of work done *inside* an iteration (shrinking, corpus
+    writes) can perturb the seeds of later iterations.
+    """
+    rng = random.Random(seed)
+    return [rng.randrange(1 << 30) for _ in range(budget)]
+
+
+def trace_for_seed(
+    seed: int, generator: Optional[GeneratorConfig] = None
+) -> Trace:
+    """The recorded trace of random program ``seed``.
+
+    This is *the* seed-to-trace mapping: program and scheduler are both
+    seeded with ``seed``, exactly as ``repro random --seed N`` runs it,
+    so fuzzer iterations and CLI repros are byte-identical recordings.
+    """
+    program = random_program(seed, generator)
+    result = run_with_backends(
+        program, [], scheduler=RandomScheduler(seed), record_trace=True
+    )
+    return result.trace
+
+
+def round_trip_divergences(trace: Trace) -> list[Divergence]:
+    """Check that the recording survives a JSONL dump/load cycle."""
+    buffer = io.StringIO()
+    dump_jsonl(trace, buffer)
+    buffer.seek(0)
+    try:
+        reloaded = load_jsonl(buffer)
+    except Exception as exc:  # noqa: BLE001 - any failure is a finding
+        return [
+            Divergence(
+                kind="round-trip",
+                config="events.serialize",
+                expected="load(dump(t)) == t",
+                observed=f"{type(exc).__name__}: {exc}",
+            )
+        ]
+    if reloaded != trace:
+        position = next(
+            (
+                i
+                for i, (a, b) in enumerate(zip(trace, reloaded))
+                if a != b
+            ),
+            min(len(trace), len(reloaded)),
+        )
+        return [
+            Divergence(
+                kind="round-trip",
+                config="events.serialize",
+                expected="load(dump(t)) == t",
+                observed=f"first difference at position {position}",
+            )
+        ]
+    return []
+
+
+@dataclass(frozen=True)
+class FuzzConfig:
+    """Tunable shape of one fuzz run."""
+
+    budget: int = 100
+    seed: int = 0
+    shrink: bool = False
+    stats: bool = False
+    corpus_dir: Optional[Path] = None
+    generator: Optional[GeneratorConfig] = None
+    configs: Optional[tuple[GridConfig, ...]] = None
+    max_shrink_evaluations: int = 5000
+
+
+@dataclass
+class Finding:
+    """One diverging iteration, with its (optionally shrunken) repro."""
+
+    index: int
+    seed: int
+    divergences: tuple[Divergence, ...]
+    trace: Trace
+    shrunk: Optional[ShrinkResult] = None
+    corpus_path: Optional[Path] = None
+
+    @property
+    def repro(self) -> Trace:
+        """The smallest trace known to exhibit the divergence."""
+        return self.shrunk.trace if self.shrunk is not None else self.trace
+
+
+@dataclass
+class FuzzReport:
+    """Outcome of one fuzz run."""
+
+    config: FuzzConfig
+    iterations: int = 0
+    events: int = 0
+    serializable: int = 0
+    findings: list[Finding] = field(default_factory=list)
+    elapsed: float = 0.0
+    metrics: Optional[PipelineMetrics] = None
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    def summary(self) -> str:
+        verdicts = (
+            f"{self.serializable} serializable / "
+            f"{self.iterations - self.serializable} not"
+        )
+        return (
+            f"fuzz: {self.iterations} traces, {self.events} events "
+            f"({verdicts}), {len(self.findings)} divergence(s) "
+            f"in {self.elapsed:.2f}s"
+        )
+
+
+class FuzzEngine:
+    """Runs the differential loop described in the module docstring."""
+
+    def __init__(self, config: FuzzConfig):
+        self.config = config
+        self.grid: tuple[GridConfig, ...] = (
+            config.configs if config.configs is not None else ablation_grid()
+        )
+
+    def _divergence_predicate(
+        self, kinds: frozenset[str]
+    ) -> Callable[[Trace], bool]:
+        """True when a candidate still shows a divergence of any
+        originally-observed kind (round-trip included)."""
+
+        def still_diverges(candidate: Trace) -> bool:
+            observed: list[Divergence] = []
+            if "round-trip" in kinds:
+                observed.extend(round_trip_divergences(candidate))
+            check = check_trace(candidate, configs=self.grid)
+            observed.extend(check.divergences)
+            return any(d.kind in kinds for d in observed)
+
+        return still_diverges
+
+    def _handle_divergence(
+        self,
+        index: int,
+        seed: int,
+        trace: Trace,
+        divergences: Sequence[Divergence],
+    ) -> Finding:
+        finding = Finding(
+            index=index,
+            seed=seed,
+            divergences=tuple(divergences),
+            trace=trace,
+        )
+        if self.config.shrink:
+            kinds = frozenset(d.kind for d in divergences)
+            finding.shrunk = shrink_trace(
+                trace,
+                self._divergence_predicate(kinds),
+                max_evaluations=self.config.max_shrink_evaluations,
+            )
+        if self.config.corpus_dir is not None:
+            finding.corpus_path = persist_repro(
+                finding.repro,
+                self.config.corpus_dir,
+                divergences=finding.divergences,
+                seed=seed,
+                original_events=len(trace),
+            )
+        return finding
+
+    def run(
+        self, on_finding: Optional[Callable[[Finding], None]] = None
+    ) -> FuzzReport:
+        """Execute the configured number of iterations."""
+        config = self.config
+        report = FuzzReport(config=config)
+        snapshots: list[PipelineMetrics] = []
+        started = time.perf_counter()
+        for index, seed in enumerate(
+            iteration_seeds(config.seed, config.budget)
+        ):
+            trace = trace_for_seed(seed, config.generator)
+            report.iterations += 1
+            report.events += len(trace)
+            divergences = list(round_trip_divergences(trace))
+            check: TraceCheck = check_trace(
+                trace, configs=self.grid, stats=config.stats
+            )
+            if check.serializable:
+                report.serializable += 1
+            if config.stats and check.metrics is not None:
+                snapshots.append(check.metrics)
+            divergences.extend(check.divergences)
+            if divergences:
+                finding = self._handle_divergence(
+                    index, seed, trace, divergences
+                )
+                report.findings.append(finding)
+                if on_finding is not None:
+                    on_finding(finding)
+        report.elapsed = time.perf_counter() - started
+        if snapshots:
+            report.metrics = PipelineMetrics.aggregate(snapshots)
+        return report
+
+
+def fuzz(
+    budget: int = 100,
+    seed: int = 0,
+    **options,
+) -> FuzzReport:
+    """One-call entry point: ``fuzz(budget, seed).clean`` is the claim
+    Theorem 1 makes about this codebase."""
+    return FuzzEngine(FuzzConfig(budget=budget, seed=seed, **options)).run()

@@ -1,0 +1,125 @@
+"""The ablation grid: every backend configuration the fuzzer checks.
+
+Theorem 1 makes Velodrome sound *and* complete, so every configuration
+of the analysis — basic or optimized, with or without merging, with or
+without garbage collection, under either cycle-detection strategy —
+must agree with the serialization-graph oracle on every trace.  The
+optimizations are exactly where soundness/completeness bugs hide, so
+the differential fuzzer sweeps the full grid rather than just the
+defaults.
+
+Blame assignment is a different matter: *which* atomic block a warning
+names depends on where the first cycle closes, and the Section 4.2
+merge rules legitimately move that point (merged unary operations close
+cycles at different operations than per-operation nodes do).  Grid
+configurations therefore carry a ``label_family``: configurations in
+the same family must report identical blamed-label sets, while
+configurations in different families are only required to agree on the
+verdict and on the position of the first warning.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.core.backend import AnalysisBackend
+from repro.core.basic import VelodromeBasic
+from repro.core.compact import VelodromeCompact
+from repro.core.optimized import VelodromeOptimized
+
+
+@dataclass(frozen=True)
+class GridConfig:
+    """One backend configuration participating in the differential run.
+
+    Attributes:
+        name: unique human-readable identifier (appears in divergence
+            reports and ``--stats`` output).
+        factory: zero-argument callable building a fresh backend.
+        label_family: configurations sharing a family must produce the
+            same set of warning labels on every trace; ``None`` opts
+            out of label comparison (verdict and first-warning position
+            are still checked).
+    """
+
+    name: str
+    factory: Callable[[], AnalysisBackend]
+    label_family: Optional[str] = None
+
+    def build(self) -> AnalysisBackend:
+        """A fresh backend, renamed so reports identify the config."""
+        backend = self.factory()
+        backend.name = self.name
+        return backend
+
+
+def _basic_configs() -> list[GridConfig]:
+    configs = []
+    for gc, strategy in itertools.product((True, False), ("ancestors", "dfs")):
+        configs.append(
+            GridConfig(
+                name=f"basic/gc={int(gc)}/{strategy}",
+                factory=lambda gc=gc, strategy=strategy: VelodromeBasic(
+                    collect_garbage=gc, cycle_strategy=strategy
+                ),
+                label_family="basic",
+            )
+        )
+    return configs
+
+
+def _optimized_configs() -> list[GridConfig]:
+    configs = []
+    for merge, gc, strategy, first in itertools.product(
+        (True, False), (True, False), ("ancestors", "dfs"), (False, True)
+    ):
+        configs.append(
+            GridConfig(
+                name=(
+                    f"opt/merge={int(merge)}/gc={int(gc)}/{strategy}"
+                    f"/fw={int(first)}"
+                ),
+                factory=lambda merge=merge, gc=gc, strategy=strategy,
+                first=first: VelodromeOptimized(
+                    merge_unary=merge,
+                    collect_garbage=gc,
+                    cycle_strategy=strategy,
+                    first_warning_per_label=first,
+                ),
+                label_family=f"optimized/merge={int(merge)}",
+            )
+        )
+    return configs
+
+
+def ablation_grid() -> tuple[GridConfig, ...]:
+    """The full configuration sweep.
+
+    21 configurations: VelodromeBasic over (GC on/off x ancestors/dfs),
+    VelodromeOptimized over (merge on/off x GC on/off x ancestors/dfs x
+    first-warning-per-label on/off), and VelodromeCompact (the packed
+    64-bit state representation, semantically the merged default).
+    """
+    compact = GridConfig(
+        name="compact",
+        factory=VelodromeCompact,
+        label_family="optimized/merge=1",
+    )
+    return tuple(_basic_configs() + _optimized_configs() + [compact])
+
+
+def default_grid() -> tuple[GridConfig, ...]:
+    """A four-configuration smoke grid (one per family) for quick runs."""
+    return tuple(
+        config
+        for config in ablation_grid()
+        if config.name
+        in (
+            "basic/gc=1/ancestors",
+            "opt/merge=1/gc=1/ancestors/fw=0",
+            "opt/merge=0/gc=1/ancestors/fw=0",
+            "compact",
+        )
+    )

@@ -1,0 +1,224 @@
+"""Delta-debugging trace reduction.
+
+When the fuzzer finds a diverging trace, hundreds of events obscure a
+core that is usually a handful of operations.  The shrinker reduces the
+trace while re-validating after every step that the reduced trace
+*still diverges* (the caller supplies the predicate), using four
+reductions, cheapest first:
+
+* **thread projection** — drop every operation of one thread;
+* **transaction removal** — drop a whole transaction (keeps the trace
+  structurally well-formed by construction);
+* **event subsequence** — classic ddmin: remove contiguous chunks of
+  operations at successively finer granularity;
+* **block flattening** — delete a matching ``begin``/``end`` pair,
+  turning the block's operations into unary transactions.
+
+Candidates that are structurally malformed (an ``end`` without its
+``begin`` after a removal) or make the predicate raise are rejected.
+The passes repeat until a full round makes no progress or the
+evaluation budget runs out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator, Optional, Sequence
+
+from repro.events.operations import Operation, OpKind
+from repro.events.trace import Trace, TraceError
+
+#: Decides whether a candidate trace still exhibits the divergence.
+Predicate = Callable[[Trace], bool]
+
+
+@dataclass
+class ShrinkResult:
+    """Outcome of one shrink run."""
+
+    trace: Trace
+    original_events: int
+    evaluations: int
+    rounds: int
+
+    @property
+    def events(self) -> int:
+        return len(self.trace)
+
+    @property
+    def reduction(self) -> float:
+        """Fraction of the original events removed."""
+        if not self.original_events:
+            return 0.0
+        return 1.0 - len(self.trace) / self.original_events
+
+
+class _Budget:
+    """Caps predicate evaluations so shrinking terminates promptly."""
+
+    def __init__(self, limit: int):
+        self.limit = limit
+        self.spent = 0
+
+    @property
+    def exhausted(self) -> bool:
+        return self.spent >= self.limit
+
+    def charge(self) -> None:
+        self.spent += 1
+
+
+def _well_formed(ops: Sequence[Operation]) -> Optional[Trace]:
+    """The candidate as a trace, or ``None`` if structurally invalid."""
+    trace = Trace(ops)
+    try:
+        trace.transactions()
+    except TraceError:
+        return None
+    return trace
+
+
+def _try(
+    ops: Sequence[Operation], diverges: Predicate, budget: _Budget
+) -> Optional[Trace]:
+    """The candidate trace if it is well-formed and still diverges."""
+    if budget.exhausted:
+        return None
+    trace = _well_formed(ops)
+    if trace is None:
+        return None
+    budget.charge()
+    try:
+        if diverges(trace):
+            return trace
+    except Exception:  # noqa: BLE001 - crashing candidates are rejected
+        return None
+    return None
+
+
+def _project_threads(
+    trace: Trace, diverges: Predicate, budget: _Budget
+) -> Optional[Trace]:
+    """Try removing all operations of one thread (largest first)."""
+    tids = sorted(
+        trace.tids, key=lambda tid: -sum(1 for op in trace if op.tid == tid)
+    )
+    for tid in tids:
+        kept = [op for op in trace if op.tid != tid]
+        if not kept or len(kept) == len(trace):
+            continue
+        candidate = _try(kept, diverges, budget)
+        if candidate is not None:
+            return candidate
+    return None
+
+
+def _remove_transactions(
+    trace: Trace, diverges: Predicate, budget: _Budget
+) -> Optional[Trace]:
+    """Try dropping one whole transaction (largest first)."""
+    transactions = sorted(
+        trace.transactions(), key=lambda tx: -len(tx.positions)
+    )
+    for tx in transactions:
+        doomed = set(tx.positions)
+        if len(doomed) == len(trace):
+            continue
+        kept = [op for pos, op in enumerate(trace) if pos not in doomed]
+        candidate = _try(kept, diverges, budget)
+        if candidate is not None:
+            return candidate
+    return None
+
+
+def _ddmin_chunks(
+    trace: Trace, diverges: Predicate, budget: _Budget
+) -> Optional[Trace]:
+    """One ddmin sweep: remove a contiguous chunk, coarsest first."""
+    n = len(trace)
+    granularity = 2
+    while granularity <= n:
+        chunk = max(1, n // granularity)
+        for start in range(0, n, chunk):
+            kept = list(trace[:start]) + list(trace[start + chunk:])
+            if not kept or len(kept) == n:
+                continue
+            candidate = _try(kept, diverges, budget)
+            if candidate is not None:
+                return candidate
+        if chunk == 1 or budget.exhausted:
+            break
+        granularity *= 2
+    return None
+
+
+def _block_pairs(trace: Trace) -> Iterator[tuple[int, int]]:
+    """Positions of matching (begin, end) pairs, innermost last."""
+    stacks: dict[int, list[int]] = {}
+    for pos, op in enumerate(trace):
+        if op.kind is OpKind.BEGIN:
+            stacks.setdefault(op.tid, []).append(pos)
+        elif op.kind is OpKind.END:
+            stack = stacks.get(op.tid)
+            if stack:
+                yield stack.pop(), pos
+
+
+def _flatten_blocks(
+    trace: Trace, diverges: Predicate, budget: _Budget
+) -> Optional[Trace]:
+    """Try deleting one begin/end marker pair (contents survive)."""
+    for begin_pos, end_pos in sorted(_block_pairs(trace)):
+        doomed = {begin_pos, end_pos}
+        kept = [op for pos, op in enumerate(trace) if pos not in doomed]
+        if not kept:
+            continue
+        candidate = _try(kept, diverges, budget)
+        if candidate is not None:
+            return candidate
+    return None
+
+
+_PASSES = (
+    _project_threads,
+    _remove_transactions,
+    _ddmin_chunks,
+    _flatten_blocks,
+)
+
+
+def shrink_trace(
+    trace: Trace,
+    diverges: Predicate,
+    max_evaluations: int = 5000,
+) -> ShrinkResult:
+    """Reduce ``trace`` to a smaller trace on which ``diverges`` holds.
+
+    The original trace must satisfy the predicate; the result always
+    does (re-validated after every accepted reduction).  Termination:
+    every accepted step strictly shrinks the trace, and rejected
+    sweeps end the run, bounded additionally by ``max_evaluations``
+    predicate calls.
+    """
+    if not diverges(trace):
+        raise ValueError("original trace does not satisfy the predicate")
+    budget = _Budget(max_evaluations)
+    original = len(trace)
+    rounds = 0
+    progressed = True
+    while progressed and not budget.exhausted:
+        progressed = False
+        rounds += 1
+        for reduction in _PASSES:
+            while True:
+                candidate = reduction(trace, diverges, budget)
+                if candidate is None:
+                    break
+                trace = candidate
+                progressed = True
+    return ShrinkResult(
+        trace=trace,
+        original_events=original,
+        evaluations=budget.spent,
+        rounds=rounds,
+    )

@@ -1,0 +1,174 @@
+"""Differential verdict comparison: grid configurations vs the oracle.
+
+One trace goes through every grid configuration in a single pass (the
+pipeline fan-out of PR 1) and the results are compared against the
+reference serialization-graph checker on three levels:
+
+* **verdict** — Theorem 1: each configuration must report an error iff
+  the trace is not conflict-serializable;
+* **first-warning position** — soundness and completeness together pin
+  the *operation* at which the first warning fires: the earliest
+  operation whose prefix is non-serializable
+  (:func:`repro.core.serializability.earliest_violation`);
+* **label sets** — configurations in the same
+  :attr:`~repro.fuzz.grid.GridConfig.label_family` must name the same
+  atomic-block labels in their warnings.
+
+Any mismatch is a :class:`Divergence` — by Theorem 1 a bug by
+definition, either in a backend or in the oracle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.core.serializability import earliest_violation, is_serializable
+from repro.events.trace import Trace
+from repro.fuzz.grid import GridConfig, ablation_grid
+from repro.pipeline import Pipeline, PipelineMetrics, TraceSource
+
+
+@dataclass(frozen=True)
+class Divergence:
+    """One disagreement between a configuration and the ground truth.
+
+    Attributes:
+        kind: ``"verdict"``, ``"first-warning"``, ``"labels"``,
+            ``"crash"``, or ``"round-trip"`` (the last raised by the
+            engine's recording check, not by :func:`check_trace`).
+        config: name of the diverging grid configuration.
+        expected: the oracle's (or reference configuration's) value.
+        observed: what the diverging configuration produced.
+    """
+
+    kind: str
+    config: str
+    expected: object
+    observed: object
+
+    def __str__(self) -> str:
+        return (
+            f"[{self.kind}] {self.config}: "
+            f"expected {self.expected!r}, observed {self.observed!r}"
+        )
+
+
+@dataclass(frozen=True)
+class TraceCheck:
+    """Everything one differential pass over a trace established."""
+
+    serializable: bool
+    violation_position: Optional[int]
+    divergences: tuple[Divergence, ...]
+    metrics: Optional[PipelineMetrics] = None
+
+    @property
+    def clean(self) -> bool:
+        return not self.divergences
+
+
+def first_warning_position(backend) -> Optional[int]:
+    """Trace position of the backend's earliest warning, if any."""
+    return min((w.position for w in backend.warnings), default=None)
+
+
+def warned_label_set(backend) -> frozenset[str]:
+    """The non-None labels named by the backend's warnings."""
+    return frozenset(
+        w.label for w in backend.warnings if w.label is not None
+    )
+
+
+def check_trace(
+    trace: Trace,
+    configs: Optional[Sequence[GridConfig]] = None,
+    stats: bool = False,
+) -> TraceCheck:
+    """Replay ``trace`` through every configuration and compare.
+
+    The trace is traversed once: fresh backends for all ``configs``
+    (default: the full :func:`~repro.fuzz.grid.ablation_grid`) hang off
+    one pipeline fan-out.  A backend that raises is reported as a
+    ``"crash"`` divergence rather than aborting the sweep of the
+    remaining configurations.
+    """
+    configs = list(ablation_grid() if configs is None else configs)
+    serializable = is_serializable(trace)
+    violation = None if serializable else earliest_violation(trace)
+    divergences: list[Divergence] = []
+
+    # One fan-out pass over the trace feeds every configuration — the
+    # production dispatch path real runs use.  If any backend raises,
+    # the sweep is re-done backend-by-backend to attribute the crash
+    # and still collect verdicts from the survivors.
+    backends: list = [config.build() for config in configs]
+    pipeline = Pipeline(backends, stats=stats)
+    metrics = None
+    try:
+        pipeline.run(TraceSource(trace))
+        if stats:
+            metrics = pipeline.metrics()
+    except Exception:  # noqa: BLE001 - attribute the crash below
+        backends = []
+        for config in configs:
+            backend = config.build()
+            try:
+                backend.process_trace(trace)
+            except Exception as exc:  # noqa: BLE001 - any crash is a finding
+                divergences.append(
+                    Divergence(
+                        kind="crash",
+                        config=config.name,
+                        expected="no exception",
+                        observed=f"{type(exc).__name__}: {exc}",
+                    )
+                )
+                backend = None
+            backends.append(backend)
+
+    label_reference: dict[str, tuple[str, frozenset[str]]] = {}
+    for config, backend in zip(configs, backends):
+        if backend is None:
+            continue
+        observed_error = backend.error_detected
+        if observed_error != (not serializable):
+            divergences.append(
+                Divergence(
+                    kind="verdict",
+                    config=config.name,
+                    expected=not serializable,
+                    observed=observed_error,
+                )
+            )
+            continue
+        position = first_warning_position(backend)
+        if position != violation:
+            divergences.append(
+                Divergence(
+                    kind="first-warning",
+                    config=config.name,
+                    expected=violation,
+                    observed=position,
+                )
+            )
+        if config.label_family is not None:
+            labels = warned_label_set(backend)
+            reference = label_reference.setdefault(
+                config.label_family, (config.name, labels)
+            )
+            if labels != reference[1]:
+                divergences.append(
+                    Divergence(
+                        kind="labels",
+                        config=config.name,
+                        expected=f"{sorted(reference[1])} ({reference[0]})",
+                        observed=sorted(labels),
+                    )
+                )
+    return TraceCheck(
+        serializable=serializable,
+        violation_position=violation,
+        divergences=tuple(divergences),
+        metrics=metrics,
+    )

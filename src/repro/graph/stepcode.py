@@ -10,6 +10,19 @@ absent (the conceptual node it named is gone).
 
 Timestamps on a slot therefore increase monotonically across recycles:
 a slot's next incarnation starts numbering after the watermark.
+
+Both resources are finite and both exhaust with a diagnosable
+:class:`SlotsExhausted` (never a bare overflow from ``pack``):
+
+* more live nodes than slots — every slot resident and the free list
+  empty;
+* a slot's watermark reaching the timestamp capacity — the slot is
+  *retired* on detach instead of recycled (a fresh incarnation would
+  have no timestamps left), and a biased timestamp overflowing the
+  capacity while encoding raises immediately.
+
+``timestamp_capacity`` exists so tests can drive the 48-bit watermark
+path without 2**48 operations.
 """
 
 from __future__ import annotations
@@ -44,7 +57,7 @@ def unpack(code: int) -> tuple[int, int]:
 
 
 class SlotsExhausted(RuntimeError):
-    """Raised when more live nodes exist than the encoding can name."""
+    """Raised when the encoding runs out of slots or timestamps."""
 
 
 class NodePool:
@@ -56,60 +69,116 @@ class NodePool:
     values and packed integers; ``decode`` returns ``None`` for steps
     of collected nodes, implementing the weak-reference discipline
     without per-step back-pointers.
+
+    Args:
+        max_slots: how many node slots the encoding can name.
+        timestamp_capacity: largest biased timestamp a slot may carry.
+            The default is the full 48-bit range; tests lower it to
+            exercise watermark exhaustion and slot retirement cheaply.
     """
 
-    def __init__(self, max_slots: int = MAX_SLOTS):
+    def __init__(
+        self,
+        max_slots: int = MAX_SLOTS,
+        timestamp_capacity: int = TIMESTAMP_MASK,
+    ):
+        if not 1 <= max_slots <= MAX_SLOTS:
+            raise ValueError(f"max_slots {max_slots} out of range")
+        if not 0 <= timestamp_capacity <= TIMESTAMP_MASK:
+            raise ValueError(
+                f"timestamp_capacity {timestamp_capacity} out of range"
+            )
         self.max_slots = max_slots
+        self.timestamp_capacity = timestamp_capacity
         self._resident: list[Optional[TxNode]] = []
         self._watermark: list[int] = []
         self._base: list[int] = []
         self._free: list[int] = []
+        self._live = 0
+        self._retired = 0
 
     @property
     def slots_in_use(self) -> int:
         """Number of slots currently holding a live node."""
-        return sum(1 for node in self._resident if node is not None)
+        return self._live
+
+    @property
+    def retired_slots(self) -> int:
+        """Slots permanently taken out of service by watermark overflow."""
+        return self._retired
+
+    def _exhausted(self, detail: str) -> SlotsExhausted:
+        return SlotsExhausted(
+            f"{detail} ({self._live} live nodes, "
+            f"{self._retired} of {self.max_slots} slots retired)"
+        )
 
     def attach(self, node: TxNode) -> int:
         """Assign a slot to a freshly-allocated node.
 
         The node's timestamps (starting at its local 0) are biased by
         the slot's watermark so that packed timestamps keep increasing
-        across recycles.
+        across recycles.  Raises :class:`SlotsExhausted` when every
+        slot is resident or retired.
         """
         if self._free:
             slot = self._free.pop()
         else:
             if len(self._resident) >= self.max_slots:
-                raise SlotsExhausted(
-                    f"all {self.max_slots} node slots hold live nodes"
-                )
+                raise self._exhausted("no node slot available")
             slot = len(self._resident)
             self._resident.append(None)
             self._watermark.append(-1)
             self._base.append(0)
         self._resident[slot] = node
         self._base[slot] = self._watermark[slot] + 1
+        self._live += 1
         node.slot = slot
         return slot
 
     def detach(self, node: TxNode) -> None:
-        """Release a collected node's slot for recycling."""
+        """Release a collected node's slot.
+
+        The slot returns to the free list with its watermark advanced
+        past every timestamp the node used — unless the watermark has
+        reached the timestamp capacity, in which case the slot is
+        retired: a fresh incarnation would have no room to number its
+        steps, and handing the slot out again would make ``encode``
+        fail at an arbitrary later operation instead of here.
+        """
         slot = node.slot
         if slot is None or self._resident[slot] is not node:
             raise ValueError("node is not resident in this pool")
         self._watermark[slot] = self._base[slot] + node.last_timestamp
         self._resident[slot] = None
-        self._free.append(slot)
+        self._live -= 1
+        if self._watermark[slot] >= self.timestamp_capacity:
+            self._retired += 1
+        else:
+            self._free.append(slot)
 
     def encode(self, step: Optional[Step]) -> int:
-        """Pack a step; absent (or collected-node) steps pack to NIL."""
+        """Pack a step; absent (or collected-node) steps pack to NIL.
+
+        Raises :class:`SlotsExhausted` when the biased timestamp
+        overflows the slot's capacity (the 48-bit field in the full
+        encoding).
+        """
         if step is None or step.node.collected:
             return NIL
         slot = step.node.slot
         if slot is None:
             raise ValueError("node has no slot; call attach() first")
-        return pack(slot, self._base[slot] + step.timestamp)
+        biased = self._base[slot] + step.timestamp
+        if biased > self.timestamp_capacity:
+            raise self._exhausted(
+                f"slot {slot} timestamp watermark overflow: biased "
+                f"timestamp {biased} exceeds capacity "
+                f"{self.timestamp_capacity} "
+                f"(slot watermark {self._watermark[slot]}, "
+                f"base {self._base[slot]})"
+            )
+        return pack(slot, biased)
 
     def decode(self, code: int) -> Optional[Step]:
         """Unpack a step code; dead or NIL codes decode to ``None``."""

@@ -53,11 +53,20 @@ def _var(rng: random.Random, config: GeneratorConfig) -> str:
     return f"v{rng.randrange(config.n_vars)}"
 
 
-def _locks(rng: random.Random, config: GeneratorConfig) -> list[str]:
-    """A sorted subset of locks (global order prevents deadlock)."""
-    count = rng.randint(1, config.n_locks)
-    chosen = rng.sample(range(config.n_locks), count)
-    return [f"l{index}" for index in sorted(chosen)]
+def _locks(
+    rng: random.Random, config: GeneratorConfig, lowest: int = 0
+) -> list[int]:
+    """A sorted subset of lock indices, all at least ``lowest``.
+
+    Deadlock freedom relies on every thread acquiring locks in one
+    global order; ``lowest`` lets nested groups keep that invariant by
+    only taking locks above everything their enclosing groups hold.
+    """
+    population = range(lowest, config.n_locks)
+    if not population:
+        return []
+    count = rng.randint(1, len(population))
+    return sorted(rng.sample(population, count))
 
 
 def _accesses(rng: random.Random, config: GeneratorConfig, count: int):
@@ -69,22 +78,33 @@ def _accesses(rng: random.Random, config: GeneratorConfig, count: int):
             yield Read(var)
 
 
-def _group(rng: random.Random, config: GeneratorConfig, depth: int):
+def _group(
+    rng: random.Random, config: GeneratorConfig, depth: int, min_lock: int = 0
+):
     """One action group: an optionally locked, optionally atomic run
-    of accesses, possibly with a nested inner block."""
+    of accesses, possibly with a nested inner block.
+
+    ``min_lock`` is the smallest lock index this group may acquire.
+    Nested groups run while their ancestors hold locks, so they must
+    stay above the held range or the global acquisition order (and
+    with it deadlock freedom) breaks — found by the differential
+    fuzzer as an interpreter deadlock between two threads at
+    different nesting depths.
+    """
     ops = rng.randint(1, config.max_block_ops)
     in_block = rng.random() < config.p_block
     locked = rng.random() < config.p_locked
     if in_block:
         yield Begin(f"m{rng.randrange(6)}")
-    locks = _locks(rng, config) if locked else []
-    for lock in locks:
-        yield Acquire(lock)
+    lock_indices = _locks(rng, config, min_lock) if locked else []
+    for index in lock_indices:
+        yield Acquire(f"l{index}")
     yield from _accesses(rng, config, ops)
     if in_block and depth < config.max_nesting and rng.random() < 0.3:
-        yield from _group(rng, config, depth + 1)
-    for lock in reversed(locks):
-        yield Release(lock)
+        inner_min = lock_indices[-1] + 1 if lock_indices else min_lock
+        yield from _group(rng, config, depth + 1, inner_min)
+    for index in reversed(lock_indices):
+        yield Release(f"l{index}")
     if in_block:
         yield End()
     if config.max_work and rng.random() < 0.3:

@@ -85,3 +85,137 @@ class TestText:
 
     def test_text_parses_back(self):
         assert len(Trace.parse(trace_to_text(SAMPLE))) == len(SAMPLE)
+
+
+class TestRoundTripEdgeCases:
+    """load(dump(t)) == t on the shapes the fuzzer generates."""
+
+    def round_trip(self, trace):
+        buffer = io.StringIO()
+        dump_jsonl(trace, buffer)
+        buffer.seek(0)
+        return load_jsonl(buffer)
+
+    def test_unlabeled_atomic_block(self):
+        trace = Trace([ops.begin(1), ops.write(1, "x", 1), ops.end(1)])
+        reloaded = self.round_trip(trace)
+        assert reloaded == trace
+        assert reloaded[0].label is None
+
+    def test_empty_transaction(self):
+        trace = Trace([ops.begin(1, label="m"), ops.end(1)])
+        assert self.round_trip(trace) == trace
+
+    def test_non_ascii_names(self):
+        trace = Trace([
+            ops.acquire(1, "verrou_été"),
+            ops.write(1, "данные", 7),
+            ops.read(2, "данные", 7),
+            ops.release(1, "verrou_été"),
+        ])
+        assert self.round_trip(trace) == trace
+
+    def test_non_ascii_jsonl_file_round_trip(self, tmp_path):
+        trace = Trace([
+            ops.begin(1, label="méthode"),
+            ops.write(1, "données", "café"),
+            ops.end(1),
+        ])
+        path = tmp_path / "trace.jsonl"
+        save_trace(trace, path)
+        assert load_trace(path) == trace
+
+    def test_missing_tid_rejected(self):
+        with pytest.raises(ValueError, match="integer tid"):
+            operation_from_json({"kind": "rd", "target": "x"})
+
+    def test_non_integer_tid_rejected(self):
+        with pytest.raises(ValueError, match="integer tid"):
+            operation_from_json({"kind": "rd", "tid": "one", "target": "x"})
+
+    def test_non_object_record_rejected(self):
+        with pytest.raises(ValueError, match="must be an object"):
+            operation_from_json(["rd", 1])
+
+    def test_missing_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown operation kind"):
+            operation_from_json({"tid": 1})
+
+
+class TestRandomTraceRoundTrip:
+    """Property tests: every generated recording survives a round trip."""
+
+    def test_randomgen_traces_round_trip(self):
+        from repro.fuzz.engine import round_trip_divergences, trace_for_seed
+
+        for seed in range(10):
+            trace = trace_for_seed(seed)
+            assert round_trip_divergences(trace) == []
+
+    def test_hypothesis_traces_round_trip(self):
+        from hypothesis import HealthCheck, given, settings
+
+        from tests.conftest import traces
+
+        @settings(
+            max_examples=60,
+            deadline=None,
+            suppress_health_check=[HealthCheck.too_slow],
+        )
+        @given(traces())
+        def check(trace):
+            buffer = io.StringIO()
+            dump_jsonl(trace, buffer)
+            buffer.seek(0)
+            assert load_jsonl(buffer) == trace
+
+        check()
+
+
+class TestLocaleIndependence:
+    """Recordings are UTF-8 regardless of the ambient locale.
+
+    ``Path.open`` reads the preferred encoding at the C level, so a
+    monkeypatched ``locale.getpreferredencoding`` does not reach it —
+    the regression has to run in a subprocess with a C locale.
+    """
+
+    def test_save_and_load_under_c_locale(self, tmp_path):
+        import os
+        import subprocess
+        import sys
+
+        script = tmp_path / "probe.py"
+        script.write_text(
+            "from repro.events import operations as ops\n"
+            "from repro.events.serialize import load_trace, save_trace\n"
+            "from repro.events.trace import Trace\n"
+            "trace = Trace([\n"
+            "    ops.begin(1, label='m\\u00e9thode'),\n"
+            "    ops.write(1, '\\u0434\\u0430\\u043d\\u043d\\u044b\\u0435', 7),\n"
+            "    ops.end(1),\n"
+            "])\n"
+            f"for name in ('t.jsonl', 't.trace'):\n"
+            f"    path = {str(tmp_path)!r} + '/' + name\n"
+            "    save_trace(trace, path)\n"
+            "    load_trace(path)\n"
+            "print('OK')\n",
+            encoding="utf-8",
+        )
+        env = dict(
+            os.environ,
+            LC_ALL="C",
+            LANG="C",
+            PYTHONUTF8="0",
+            PYTHONCOERCECLOCALE="0",
+            PYTHONPATH="src",
+        )
+        result = subprocess.run(
+            [sys.executable, str(script)],
+            capture_output=True,
+            text=True,
+            env=env,
+            cwd=os.getcwd(),
+        )
+        assert result.returncode == 0, result.stderr
+        assert "OK" in result.stdout

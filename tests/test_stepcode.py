@@ -139,3 +139,129 @@ class TestNodePool:
     def test_decode_unknown_slot(self):
         _graph, pool = self.make()
         assert pool.decode(pack(42, 1)) is None
+
+
+class TestExhaustionDiagnostics:
+    def test_slot_exhaustion_message_reports_pool_state(self):
+        graph = HBGraph()
+        pool = NodePool(max_slots=2)
+        pool.attach(graph.new_node(1))
+        pool.attach(graph.new_node(2))
+        with pytest.raises(SlotsExhausted, match=r"2 live nodes.*of 2 slots"):
+            pool.attach(graph.new_node(3))
+
+    def test_timestamp_overflow_raises_slots_exhausted(self):
+        graph = HBGraph()
+        pool = NodePool(timestamp_capacity=3)
+        node = graph.new_node(1)
+        pool.attach(node)
+        node.last_timestamp = 4
+        with pytest.raises(SlotsExhausted, match=r"watermark overflow"):
+            pool.encode(Step(node, 4))
+
+    def test_overflow_message_reports_watermark_and_base(self):
+        graph = HBGraph()
+        pool = NodePool(timestamp_capacity=5)
+        old = graph.new_node(1)
+        pool.attach(old)
+        old.last_timestamp = 3
+        graph.finish(old)
+        pool.detach(old)  # watermark 3; room for timestamps 4..5
+        fresh = graph.new_node(2)
+        pool.attach(fresh)
+        fresh.last_timestamp = 2
+        with pytest.raises(
+            SlotsExhausted, match=r"slot watermark 3, base 4"
+        ):
+            pool.encode(Step(fresh, 2))  # biased 6 > capacity 5
+
+    def test_invalid_construction_rejected(self):
+        with pytest.raises(ValueError):
+            NodePool(max_slots=0)
+        with pytest.raises(ValueError):
+            NodePool(max_slots=MAX_SLOTS + 1)
+        with pytest.raises(ValueError):
+            NodePool(timestamp_capacity=-1)
+        with pytest.raises(ValueError):
+            NodePool(timestamp_capacity=TIMESTAMP_MASK + 1)
+
+
+class TestSlotRetirement:
+    def recycle(self, graph, pool, last_timestamp):
+        """Attach, use and detach one node; return its slot."""
+        node = graph.new_node(1)
+        slot = pool.attach(node)
+        node.last_timestamp = last_timestamp
+        graph.finish(node)
+        pool.detach(node)
+        return slot
+
+    def test_watermark_exhausted_slot_is_retired(self):
+        graph = HBGraph()
+        pool = NodePool(max_slots=2, timestamp_capacity=3)
+        slot = self.recycle(graph, pool, last_timestamp=3)
+        assert pool.retired_slots == 1
+        # The retired slot is never handed out again.
+        fresh = graph.new_node(2)
+        assert pool.attach(fresh) != slot
+
+    def test_retired_slots_count_toward_exhaustion(self):
+        graph = HBGraph()
+        pool = NodePool(max_slots=1, timestamp_capacity=1)
+        self.recycle(graph, pool, last_timestamp=1)
+        with pytest.raises(SlotsExhausted, match=r"1 of 1 slots retired"):
+            pool.attach(graph.new_node(2))
+
+    def test_full_recycle_cycle_with_watermark(self):
+        """Drive one slot through repeated recycles to retirement."""
+        graph = HBGraph()
+        pool = NodePool(max_slots=1, timestamp_capacity=9)
+        codes = []
+        # Each incarnation uses timestamps 0..3 (biased by the prior
+        # watermark + 1): bases 0, 4, 8; the third incarnation's
+        # timestamps run past the capacity during encoding.
+        for generation in range(2):
+            node = graph.new_node(1)
+            assert pool.attach(node) == 0
+            node.last_timestamp = 3
+            codes.append(pool.encode(Step(node, 3)))
+            graph.finish(node)
+            pool.detach(node)
+        assert codes == sorted(codes)  # monotone across recycles
+        assert all(pool.decode(code) is None for code in codes)
+        final = graph.new_node(1)
+        pool.attach(final)  # base 8: timestamps 0 and 1 fit
+        final.last_timestamp = 2
+        assert pool.decode(pool.encode(Step(final, 1))) == Step(final, 1)
+        with pytest.raises(SlotsExhausted):
+            pool.encode(Step(final, 2))
+        graph.finish(final)
+        pool.detach(final)
+        assert pool.retired_slots == 1
+        assert pool.slots_in_use == 0
+
+    def test_live_counter_tracks_attach_detach(self):
+        graph = HBGraph()
+        pool = NodePool()
+        nodes = [graph.new_node(tid) for tid in range(5)]
+        for index, node in enumerate(nodes):
+            pool.attach(node)
+            assert pool.slots_in_use == index + 1
+        for index, node in enumerate(nodes):
+            graph.finish(node)
+            pool.detach(node)
+            assert pool.slots_in_use == len(nodes) - index - 1
+
+
+class TestCompactBackendExhaustion:
+    def test_compact_surfaces_watermark_exhaustion(self):
+        from repro.core.compact import VelodromeCompact
+        from repro.events.trace import Trace
+
+        backend = VelodromeCompact(max_slots=1, timestamp_capacity=4)
+        # Each block recycles the single slot and advances its
+        # watermark; the pool must fail with the diagnostic error, not
+        # a bare packing ValueError.
+        text = " ".join("1:begin 1:wr(x) 1:end" for _ in range(4))
+        with pytest.raises(SlotsExhausted, match=r"slots retired"):
+            backend.process_trace(Trace.parse(text))
