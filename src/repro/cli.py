@@ -3,6 +3,9 @@
 ::
 
     python -m repro check TRACE_FILE [--backend NAME]... [--dot DIR]
+                          [--checkpoint FILE [--checkpoint-every N]]
+                          [--resume FILE] [--max-nodes N]
+                          [--on-pressure {degrade,fail}]
     python -m repro run WORKLOAD [--seed N] [--scale S] [--adversarial]
     python -m repro random [--seed N] [--record FILE]
     python -m repro fuzz [--budget N] [--seed S] [--shrink] [--stats]
@@ -17,6 +20,13 @@ the tool; ``table1``/``table2``/``inject`` regenerate the paper's
 experiments (forwarding to :mod:`repro.harness`).  ``check`` and
 ``run`` accept ``--stats`` to print pipeline metrics (event counts by
 kind, per-stage drops, per-backend cost).
+
+``check`` with any of ``--checkpoint`` / ``--checkpoint-every`` /
+``--resume`` / ``--max-nodes`` runs under the supervised runtime
+(:mod:`repro.resilience`): the analysis state checkpoints to a
+versioned snapshot file, resumes byte-identically from one, and
+resource pressure degrades gracefully instead of crashing (see
+``docs/resilience.md``).
 
 ``fuzz`` runs the differential fuzzer (:mod:`repro.fuzz`): seeded
 random traces replayed across the full ablation grid and compared
@@ -52,13 +62,20 @@ from repro.core import (
 from repro.core.backend import AnalysisBackend
 from repro.events.render import render_with_transactions
 from repro.events.serialize import load_trace, save_trace
-from repro.fuzz import DEFAULT_CORPUS, FuzzConfig, FuzzEngine, replay_corpus
+from repro.fuzz import (
+    DEFAULT_CORPUS,
+    FuzzConfig,
+    FuzzEngine,
+    default_grid,
+    replay_corpus,
+)
 from repro.harness import injection as harness_injection
 from repro.harness import report as harness_report
 from repro.harness import sensitivity as harness_sensitivity
 from repro.harness import table1 as harness_table1
 from repro.harness import table2 as harness_table2
 from repro.pipeline import Pipeline, TraceSource
+from repro.resilience import Budgets, SupervisedChecker
 from repro.runtime.tool import run_velodrome
 from repro.workloads import all_workloads, get
 from repro.workloads.randomgen import random_program
@@ -89,12 +106,8 @@ def _selected_backends(names: Optional[Sequence[str]]) -> list[str]:
     return selected
 
 
-def cmd_check(args: argparse.Namespace) -> int:
-    trace = load_trace(args.trace)
-    names = _selected_backends(args.backend)
-    backends = [BACKENDS[name]() for name in names]
-    pipeline = Pipeline(backends, stats=args.stats)
-    pipeline.run(TraceSource(trace))
+def _report_warnings(args: argparse.Namespace, trace, backends) -> int:
+    """Print each backend's warnings (and dot files); returns the count."""
     if args.render:
         print(render_with_transactions(trace))
         print()
@@ -103,12 +116,14 @@ def cmd_check(args: argparse.Namespace) -> int:
     if args.dot:
         out_dir = pathlib.Path(args.dot)
         out_dir.mkdir(parents=True, exist_ok=True)
+    total = 0
     for backend in backends:
         if backend.warning_count == 0:
             print(f"{backend.name}: no warnings "
                   f"({backend.events_processed} events)")
             continue
         warnings = backend.warnings
+        total += len(warnings)
         if args.explain:
             explained = explain_all(trace, warnings)
             if explained:
@@ -128,9 +143,74 @@ def cmd_check(args: argparse.Namespace) -> int:
                 dot_index += 1
     if out_dir is not None:
         print(f"wrote {dot_index} dot file(s) to {out_dir}")
+    return total
+
+
+def _check_supervised(args: argparse.Namespace, trace) -> int:
+    """The supervised `check` path: checkpoints, budgets, resume."""
+    if args.checkpoint_every and not (args.checkpoint or args.resume):
+        print("error: --checkpoint-every requires --checkpoint",
+              file=sys.stderr)
+        return 2
+    # Probe roughly once per budget's worth of events: with a tight
+    # node budget the default interval (256) would never fire on a
+    # short trace, leaving everything to the exhaustion handler.
+    budgets = Budgets(
+        max_live_nodes=args.max_nodes,
+        check_interval=(
+            min(256, max(1, args.max_nodes)) if args.max_nodes else 256
+        ),
+    )
+    options = dict(
+        checkpoint_every=args.checkpoint_every,
+        checkpoint_path=args.checkpoint,
+        budgets=budgets,
+        on_pressure=args.on_pressure,
+    )
+    if args.resume:
+        checker = SupervisedChecker.resume(args.resume, **{
+            key: value for key, value in options.items()
+            if key != "checkpoint_path"
+        })
+        print(f"resumed {len(checker.backends)} backend(s) at event "
+              f"{checker.position} from {args.resume}")
+        remaining = list(trace)[checker.position:]
+    else:
+        names = _selected_backends(args.backend)
+        checker = SupervisedChecker(
+            [BACKENDS[name]() for name in names], **options
+        )
+        remaining = list(trace)
+    checker.run(TraceSource(remaining))
+    if args.checkpoint and not args.resume:
+        written = checker.checkpoint()
+        print(f"final checkpoint written to {written}")
+    warning_count = _report_warnings(args, trace, checker.backends)
+    report = checker.report()
+    print(report.summary())
+    for event in report.degradations:
+        print(f"  event {event.position}: {event.rung} "
+              f"({event.trigger}) -> {event.detail}")
+    return 1 if warning_count else 0
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    trace = load_trace(args.trace)
+    if (
+        args.resume
+        or args.checkpoint
+        or args.checkpoint_every
+        or args.max_nodes
+    ):
+        return _check_supervised(args, trace)
+    names = _selected_backends(args.backend)
+    backends = [BACKENDS[name]() for name in names]
+    pipeline = Pipeline(backends, stats=args.stats)
+    pipeline.run(TraceSource(trace))
+    warning_count = _report_warnings(args, trace, backends)
     if args.stats:
         print(pipeline.metrics().render())
-    return 1 if pipeline.warning_count else 0
+    return 1 if warning_count else 0
 
 
 def cmd_run(args: argparse.Namespace) -> int:
@@ -172,7 +252,7 @@ def cmd_random(args: argparse.Namespace) -> int:
 
 def cmd_fuzz(args: argparse.Namespace) -> int:
     if args.replay is not None:
-        checks = replay_corpus(args.replay)
+        checks = replay_corpus(args.replay, crash=args.crash, seed=args.seed)
         if not checks:
             print(f"no corpus traces under {args.replay}")
             return 0
@@ -194,7 +274,9 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
         seed=args.seed,
         shrink=args.shrink,
         stats=args.stats,
+        crash=args.crash,
         corpus_dir=pathlib.Path(args.corpus) if args.corpus else None,
+        configs=default_grid() if args.quick else None,
     )
 
     def on_finding(finding):
@@ -247,6 +329,28 @@ def build_parser() -> argparse.ArgumentParser:
                             "marked diagram) for each warning")
     check.add_argument("--stats", action="store_true",
                        help="print pipeline metrics after the analysis")
+    check.add_argument("--checkpoint", metavar="FILE",
+                       help="snapshot file for the supervised runtime; a "
+                            "final checkpoint is always written, and "
+                            "--checkpoint-every adds periodic ones")
+    check.add_argument("--checkpoint-every", type=int, metavar="N",
+                       help="write a checkpoint every N events "
+                            "(requires --checkpoint)")
+    check.add_argument("--resume", metavar="FILE",
+                       help="resume the analysis from a snapshot file; "
+                            "the trace is skipped up to the snapshot's "
+                            "position and verdicts match an "
+                            "uninterrupted run")
+    check.add_argument("--max-nodes", type=int, metavar="N",
+                       help="budget on live happens-before nodes; "
+                            "crossing it climbs the degradation ladder "
+                            "instead of failing")
+    check.add_argument("--on-pressure", choices=("degrade", "fail"),
+                       default="degrade",
+                       help="what the ladder's last rung may do: reset "
+                            "the happens-before window (sound, flagged) "
+                            "or re-raise the exhaustion (default: "
+                            "degrade)")
     check.set_defaults(func=cmd_check)
 
     run = commands.add_parser("run", help="run a benchmark workload")
@@ -274,6 +378,14 @@ def build_parser() -> argparse.ArgumentParser:
                     help="base seed; every iteration seed derives from it")
     fz.add_argument("--shrink", action="store_true",
                     help="delta-debug diverging traces to a minimal repro")
+    fz.add_argument("--crash", action="store_true",
+                    help="also kill each configuration at a random event "
+                         "and resume it from a checkpoint file, and replay "
+                         "fault-laced recordings through the hardened "
+                         "reader; recovered runs must match exactly")
+    fz.add_argument("--quick", action="store_true",
+                    help="sweep the four-configuration smoke grid instead "
+                         "of the full ablation grid")
     fz.add_argument("--stats", action="store_true",
                     help="print aggregated pipeline metrics after the run")
     fz.add_argument("--corpus", metavar="DIR",

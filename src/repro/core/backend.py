@@ -9,7 +9,7 @@ generates an event stream that is passed to an analysis back-end.
 from __future__ import annotations
 
 import abc
-from typing import TYPE_CHECKING, Iterable
+from typing import TYPE_CHECKING, Iterable, Optional
 
 from repro.events.operations import Operation
 
@@ -72,3 +72,26 @@ class AnalysisBackend(abc.ABC):
     def warned_labels(self) -> set[str]:
         """Distinct atomic-block / method labels named by warnings."""
         return {w.label for w in self._warnings if w.label is not None}
+
+    # ------------------------------------------------------- resource hygiene
+    # Hooks the supervised runtime (repro.resilience) uses to keep a
+    # long-running analysis inside its budgets.  The defaults make every
+    # backend safely supervisable; the Velodrome variants override them.
+
+    def state_entry_count(self) -> Optional[int]:
+        """Number of retained state entries, or ``None`` if untracked.
+
+        Used by the resource governor as a memory proxy; ``None`` opts
+        the backend out of state-budget enforcement.
+        """
+        return None
+
+    def compact_state(self) -> dict[str, int]:
+        """Drop reclaimable internal state; returns per-component counts.
+
+        Must never change verdicts: only state that already reads as
+        absent (weak references to collected transactions, dead packed
+        codes) may be dropped.  The default backend retains nothing
+        reclaimable.
+        """
+        return {}

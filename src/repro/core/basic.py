@@ -41,6 +41,14 @@ def _live(node: Optional[TxNode]) -> Optional[TxNode]:
     return node
 
 
+def _purge_dead(table: dict) -> int:
+    """Remove entries whose node has been collected; returns the count."""
+    dead = [key for key, node in table.items() if node.collected]
+    for key in dead:
+        del table[key]
+    return len(dead)
+
+
 class VelodromeBasic(AnalysisBackend):
     """Sound and complete serializability analysis, unoptimized.
 
@@ -94,6 +102,30 @@ class VelodromeBasic(AnalysisBackend):
     def reader(self, var: str, tid: int) -> Optional[TxNode]:
         """R(x, t): the last transaction of ``tid`` to read ``var``."""
         return _live(self._readers.get(var, {}).get(tid))
+
+    # ------------------------------------------------------- resource hygiene
+    def state_entry_count(self) -> int:
+        return (
+            len(self._last)
+            + len(self._unlocker)
+            + len(self._writer)
+            + sum(len(readers) for readers in self._readers.values())
+        )
+
+    def compact_state(self) -> dict[str, int]:
+        """Purge weak references to collected transactions (no-op on
+        verdicts: a collected node already reads as absent)."""
+        dropped = {
+            "last": _purge_dead(self._last),
+            "unlocker": _purge_dead(self._unlocker),
+            "writer": _purge_dead(self._writer),
+            "reader": 0,
+        }
+        for var in list(self._readers):
+            dropped["reader"] += _purge_dead(self._readers[var])
+            if not self._readers[var]:
+                del self._readers[var]
+        return dropped
 
     # ---------------------------------------------------------------- process
     def _process(self, op: Operation, position: int) -> None:

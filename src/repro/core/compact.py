@@ -89,6 +89,49 @@ class VelodromeCompact(VelodromeOptimized):
     def _reader_tids(self, var: str) -> list[int]:
         return list(self._reader_index.get(var, ()))
 
+    # ------------------------------------------------------- resource hygiene
+    def state_entry_count(self) -> int:
+        return (
+            len(self._last_code)
+            + len(self._unlocker_code)
+            + len(self._writer_code)
+            + len(self._reader_code)
+        )
+
+    def compact_state(self) -> dict[str, int]:
+        """Drop packed codes that decode to the paper's bottom.
+
+        A dead code (NIL, or naming a recycled/retired slot incarnation
+        at or below its watermark) already reads as absent, so removal
+        — equivalent to storing NIL — cannot change verdicts.  The
+        reader index keeps only threads whose reader code is live; the
+        index drives edge *iteration*, and dead readers contribute no
+        edges.
+        """
+        dropped = {
+            "last": self._purge_dead_codes(self._last_code),
+            "unlocker": self._purge_dead_codes(self._unlocker_code),
+            "writer": self._purge_dead_codes(self._writer_code),
+            "reader": self._purge_dead_codes(self._reader_code),
+        }
+        for var in list(self._reader_index):
+            index = self._reader_index[var]
+            index.intersection_update(
+                tid for tid in index if (var, tid) in self._reader_code
+            )
+            if not index:
+                del self._reader_index[var]
+        return dropped
+
+    def _purge_dead_codes(self, table: dict) -> int:
+        dead = [
+            key for key, code in table.items()
+            if self.pool.decode(code) is None
+        ]
+        for key in dead:
+            del table[key]
+        return len(dead)
+
     # --------------------------------------------------------------- extras
     @property
     def slots_in_use(self) -> int:

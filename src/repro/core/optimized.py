@@ -41,6 +41,14 @@ class _Block:
     entry: Step  # step of the block's begin operation
 
 
+def _purge_dead_steps(table: dict) -> int:
+    """Remove step entries whose node was collected; returns the count."""
+    dead = [key for key, step in table.items() if step.node.collected]
+    for key in dead:
+        del table[key]
+    return len(dead)
+
+
 class VelodromeOptimized(AnalysisBackend):
     """Sound and complete atomicity checker with all Figure 4 machinery.
 
@@ -125,6 +133,33 @@ class VelodromeOptimized(AnalysisBackend):
 
     def _reader_tids(self, var: str) -> list[int]:
         return list(self._readers.get(var, ()))
+
+    # ------------------------------------------------------- resource hygiene
+    def state_entry_count(self) -> int:
+        return (
+            len(self._last)
+            + len(self._unlocker)
+            + len(self._writer)
+            + sum(len(readers) for readers in self._readers.values())
+        )
+
+    def compact_state(self) -> dict[str, int]:
+        """Purge weak step references to collected transactions.
+
+        No-op on verdicts: a collected node's step already dereferences
+        to absent through every ``_load_*`` accessor.
+        """
+        dropped = {
+            "last": _purge_dead_steps(self._last),
+            "unlocker": _purge_dead_steps(self._unlocker),
+            "writer": _purge_dead_steps(self._writer),
+            "reader": 0,
+        }
+        for var in list(self._readers):
+            dropped["reader"] += _purge_dead_steps(self._readers[var])
+            if not self._readers[var]:
+                del self._readers[var]
+        return dropped
 
     # ------------------------------------------------------------ state views
     def in_transaction(self, tid: int) -> bool:

@@ -9,13 +9,26 @@ Two formats:
 * **DSL text** — the compact ``tid:kind(arg)`` format of
   :meth:`repro.events.trace.Trace.parse`; human-editable, drops
   non-string values and locations.
+
+JSONL recordings may carry an optional ``seq`` field (``dump_jsonl``
+with ``with_seq=True``): a monotonically increasing stream position
+that the hardened reader of :mod:`repro.resilience.quarantine` uses to
+detect duplicated and reordered records.  ``load_jsonl`` ignores it,
+so sequenced and plain recordings load identically.
+
+A recording written by a process that crashed mid-write usually ends
+in a *torn* final record.  :func:`iter_jsonl` / :func:`load_jsonl_tolerant`
+stream all complete records and report the byte offset of the torn
+tail instead of refusing the whole file — the resume path of the
+supervised runtime (see ``docs/resilience.md``) depends on this.
 """
 
 from __future__ import annotations
 
 import json
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterable, TextIO, Union
+from typing import Iterable, Iterator, Optional, TextIO, Union
 
 from repro.events.operations import Operation, OpKind
 from repro.events.trace import Trace
@@ -62,11 +75,22 @@ def operation_from_json(record: dict) -> Operation:
     )
 
 
-def dump_jsonl(trace: Iterable[Operation], stream: TextIO) -> int:
-    """Write operations to ``stream`` as JSON lines; returns the count."""
+def dump_jsonl(
+    trace: Iterable[Operation], stream: TextIO, with_seq: bool = False
+) -> int:
+    """Write operations to ``stream`` as JSON lines; returns the count.
+
+    With ``with_seq``, each record carries its 0-based stream position
+    as a ``seq`` field, letting the hardened reader detect duplicated,
+    dropped, and reordered records (the field is otherwise ignored on
+    load, so the recording stays round-trip-equal to the plain form).
+    """
     count = 0
     for op in trace:
-        stream.write(json.dumps(operation_to_json(op), sort_keys=True))
+        record = operation_to_json(op)
+        if with_seq:
+            record["seq"] = count
+        stream.write(json.dumps(record, sort_keys=True))
         stream.write("\n")
         count += 1
     return count
@@ -85,6 +109,107 @@ def load_jsonl(stream: TextIO) -> Trace:
             raise ValueError(f"line {line_number}: invalid JSON") from exc
         ops.append(operation_from_json(record))
     return Trace(ops)
+
+
+@dataclass(frozen=True)
+class JsonlRecord:
+    """One complete record streamed from a JSONL recording."""
+
+    line_number: int
+    byte_offset: int
+    op: Operation
+    seq: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class JsonlFault:
+    """One line of a JSONL recording that did not yield an operation.
+
+    Attributes:
+        line_number: 1-based line of the offending record.
+        byte_offset: offset of the record's first byte (UTF-8), i.e.
+            where a recovery tool should truncate or resume writing.
+        error: what went wrong, human-readable.
+        content: the raw line (newline stripped, bounded).
+        torn: True for the stream's final record when it was cut
+            mid-write (no terminating newline) — the expected state of
+            a recording whose writer crashed.  Torn records are never
+            yielded as operations even when their prefix happens to
+            parse: a cut like ``"tid": 12`` → ``"tid": 1`` is valid
+            JSON with wrong data.
+    """
+
+    line_number: int
+    byte_offset: int
+    error: str
+    content: str
+    torn: bool = False
+
+
+def iter_jsonl(stream: TextIO) -> Iterator[Union[JsonlRecord, JsonlFault]]:
+    """Stream a JSONL recording as :class:`JsonlRecord`/:class:`JsonlFault`.
+
+    Yields every line in order, classified; never raises on content.
+    Blank lines are skipped.  Byte offsets assume the UTF-8 encoding
+    :func:`save_trace` pins.
+    """
+    offset = 0
+    line_number = 0
+    for line in stream:
+        line_number += 1
+        line_offset = offset
+        offset += len(line.encode("utf-8"))
+        terminated = line.endswith("\n")
+        content = line.rstrip("\r\n")
+        if not content.strip():
+            continue
+        if not terminated:
+            yield JsonlFault(
+                line_number,
+                line_offset,
+                "torn final record (no terminating newline)",
+                content[:200],
+                torn=True,
+            )
+            return
+        seq: Optional[int] = None
+        try:
+            record = json.loads(content)
+            if isinstance(record, dict):
+                raw_seq = record.get("seq")
+                if isinstance(raw_seq, int) and not isinstance(raw_seq, bool):
+                    seq = raw_seq
+            op = operation_from_json(record)
+        except (ValueError, TypeError) as exc:
+            yield JsonlFault(
+                line_number, line_offset, str(exc) or type(exc).__name__,
+                content[:200],
+            )
+            continue
+        yield JsonlRecord(line_number, line_offset, op, seq=seq)
+
+
+def load_jsonl_tolerant(
+    stream: TextIO,
+) -> tuple[Trace, Optional[JsonlFault]]:
+    """Read a JSONL stream, tolerating a torn final record.
+
+    Returns the trace of all complete records plus the torn tail (or
+    ``None`` for a cleanly terminated stream).  Interior corruption —
+    a malformed record *with* a terminating newline — still raises
+    ``ValueError``; route through the hardened reader of
+    :mod:`repro.resilience.quarantine` to quarantine those instead.
+    """
+    ops = []
+    tail: Optional[JsonlFault] = None
+    for item in iter_jsonl(stream):
+        if isinstance(item, JsonlFault):
+            if item.torn:
+                tail = item
+                break
+            raise ValueError(f"line {item.line_number}: {item.error}")
+        ops.append(item.op)
+    return Trace(ops), tail
 
 
 def save_trace(trace: Iterable[Operation], path: PathLike) -> int:

@@ -10,12 +10,14 @@ human-debuggable repro traces:
 * :mod:`repro.fuzz.verdicts` — one-pass differential comparison of a
   trace across the grid and the oracle;
 * :mod:`repro.fuzz.engine` — the seeded generate/replay/compare loop;
+* :mod:`repro.fuzz.faults` — crash (kill + resume-from-checkpoint) and
+  stream-fault injection probes;
 * :mod:`repro.fuzz.shrink` — delta-debugging reduction of diverging
   traces;
 * :mod:`repro.fuzz.corpus` — the persisted regression corpus the test
   suite replays.
 
-CLI: ``repro fuzz --budget N --seed S [--shrink] [--stats]``.
+CLI: ``repro fuzz --budget N --seed S [--shrink] [--stats] [--crash]``.
 """
 
 from repro.fuzz.corpus import (
@@ -23,6 +25,11 @@ from repro.fuzz.corpus import (
     corpus_traces,
     persist_repro,
     replay_corpus,
+)
+from repro.fuzz.faults import (
+    crash_recovery_divergences,
+    fault_injection_divergences,
+    lace_stream,
 )
 from repro.fuzz.engine import (
     Finding,
@@ -51,8 +58,11 @@ __all__ = [
     "ablation_grid",
     "check_trace",
     "corpus_traces",
+    "crash_recovery_divergences",
     "default_grid",
+    "fault_injection_divergences",
     "fuzz",
+    "lace_stream",
     "iteration_seeds",
     "persist_repro",
     "replay_corpus",

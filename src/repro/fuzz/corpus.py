@@ -101,13 +101,36 @@ def corpus_traces(directory: PathLike) -> list[tuple[Path, Trace]]:
 def replay_corpus(
     directory: PathLike,
     configs: Optional[Sequence[GridConfig]] = None,
+    crash: bool = False,
+    seed: int = 0,
 ) -> dict[Path, TraceCheck]:
     """Re-check every corpus trace across the grid.
 
     Returns the per-file :class:`~repro.fuzz.verdicts.TraceCheck`; a
-    clean corpus has ``check.clean`` true for every entry.
+    clean corpus has ``check.clean`` true for every entry.  With
+    ``crash``, each trace additionally runs the kill/resume and
+    fault-laced-stream probes of :mod:`repro.fuzz.faults` — corpus
+    traces are exactly the ones that found bugs before, so they make
+    the sharpest recovery regressions.
     """
-    return {
-        path: check_trace(trace, configs=configs)
-        for path, trace in corpus_traces(directory)
-    }
+    from dataclasses import replace
+
+    from repro.fuzz.faults import (
+        crash_recovery_divergences,
+        fault_injection_divergences,
+    )
+
+    checks: dict[Path, TraceCheck] = {}
+    for path, trace in corpus_traces(directory):
+        check = check_trace(trace, configs=configs)
+        if crash:
+            extra = [
+                *crash_recovery_divergences(trace, configs=configs, seed=seed),
+                *fault_injection_divergences(trace, configs=configs, seed=seed),
+            ]
+            if extra:
+                check = replace(
+                    check, divergences=(*check.divergences, *extra)
+                )
+        checks[path] = check
+    return checks

@@ -33,6 +33,10 @@ from typing import Callable, Optional, Sequence
 from repro.events.serialize import dump_jsonl, load_jsonl
 from repro.events.trace import Trace
 from repro.fuzz.corpus import persist_repro
+from repro.fuzz.faults import (
+    crash_recovery_divergences,
+    fault_injection_divergences,
+)
 from repro.fuzz.grid import GridConfig, ablation_grid
 from repro.fuzz.shrink import ShrinkResult, shrink_trace
 from repro.fuzz.verdicts import Divergence, TraceCheck, check_trace
@@ -107,12 +111,21 @@ def round_trip_divergences(trace: Trace) -> list[Divergence]:
 
 @dataclass(frozen=True)
 class FuzzConfig:
-    """Tunable shape of one fuzz run."""
+    """Tunable shape of one fuzz run.
+
+    ``crash`` adds the crash/fault-injection probes of
+    :mod:`repro.fuzz.faults` to every iteration: each configuration is
+    additionally killed at a random event and resumed from a
+    checkpoint file, and fed a fault-laced copy of the recording
+    through the hardened reader — both must reproduce the
+    uninterrupted run's warnings exactly.
+    """
 
     budget: int = 100
     seed: int = 0
     shrink: bool = False
     stats: bool = False
+    crash: bool = False
     corpus_dir: Optional[Path] = None
     generator: Optional[GeneratorConfig] = None
     configs: Optional[tuple[GridConfig, ...]] = None
@@ -174,15 +187,29 @@ class FuzzEngine:
         )
 
     def _divergence_predicate(
-        self, kinds: frozenset[str]
+        self, kinds: frozenset[str], seed: int
     ) -> Callable[[Trace], bool]:
         """True when a candidate still shows a divergence of any
-        originally-observed kind (round-trip included)."""
+        originally-observed kind (round-trip and crash/fault-injection
+        included; the probes reuse the iteration seed so the kill point
+        and lacing pattern stay fixed while the trace shrinks)."""
 
         def still_diverges(candidate: Trace) -> bool:
             observed: list[Divergence] = []
             if "round-trip" in kinds:
                 observed.extend(round_trip_divergences(candidate))
+            if "crash-recovery" in kinds:
+                observed.extend(
+                    crash_recovery_divergences(
+                        candidate, configs=self.grid, seed=seed
+                    )
+                )
+            if "fault-injection" in kinds:
+                observed.extend(
+                    fault_injection_divergences(
+                        candidate, configs=self.grid, seed=seed
+                    )
+                )
             check = check_trace(candidate, configs=self.grid)
             observed.extend(check.divergences)
             return any(d.kind in kinds for d in observed)
@@ -206,7 +233,7 @@ class FuzzEngine:
             kinds = frozenset(d.kind for d in divergences)
             finding.shrunk = shrink_trace(
                 trace,
-                self._divergence_predicate(kinds),
+                self._divergence_predicate(kinds, seed),
                 max_evaluations=self.config.max_shrink_evaluations,
             )
         if self.config.corpus_dir is not None:
@@ -242,6 +269,17 @@ class FuzzEngine:
             if config.stats and check.metrics is not None:
                 snapshots.append(check.metrics)
             divergences.extend(check.divergences)
+            if config.crash:
+                divergences.extend(
+                    crash_recovery_divergences(
+                        trace, configs=self.grid, seed=seed
+                    )
+                )
+                divergences.extend(
+                    fault_injection_divergences(
+                        trace, configs=self.grid, seed=seed
+                    )
+                )
             if divergences:
                 finding = self._handle_divergence(
                     index, seed, trace, divergences

@@ -1,0 +1,241 @@
+"""Crash and fault injection for the differential fuzzer.
+
+Two extra differential probes, layered on the same grid and oracle the
+verdict sweep uses:
+
+* **crash recovery** (:func:`crash_recovery_divergences`) — run each
+  configuration to a random event ``k``, write a checkpoint file, throw
+  the live backend away (the "kill"), restore from the file, and replay
+  the remainder.  The recovered run must match the uninterrupted run
+  *exactly*: verdict, every warning (label, position, message), in
+  order.  Any difference is a ``"crash-recovery"`` divergence.
+
+* **fault-laced streams** (:func:`fault_injection_divergences`) — dump
+  the trace as sequenced JSONL, lace it with *recoverable* stream
+  faults (duplicated records, interleaved garbage, unknown-operation
+  records, blank lines, a torn garbage tail), and feed it through the
+  hardened reader of :mod:`repro.resilience.quarantine`.  Because every
+  injected fault is one the reader can fully repair — no original
+  record is lost — the analysis of the laced stream must again match
+  the clean run exactly; mismatches are ``"fault-injection"``
+  divergences.
+
+Both probes derive all randomness from the iteration seed, so a
+finding reproduces from its seed alone, like every other fuzzer
+divergence.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import random
+import tempfile
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.events.serialize import dump_jsonl
+from repro.events.trace import Trace
+from repro.fuzz.grid import GridConfig, ablation_grid
+from repro.fuzz.verdicts import Divergence
+from repro.resilience.quarantine import LENIENT, HardenedJsonlSource
+from repro.resilience.snapshot import read_snapshot, write_snapshot
+
+
+def _warning_fingerprint(backend) -> list[tuple]:
+    """Everything observable about a backend's warnings, in order."""
+    return [
+        (w.kind.value, w.label, w.tid, w.position, w.message, w.blamed,
+         w.target)
+        for w in backend.warnings
+    ]
+
+
+def _run_clean(config: GridConfig, ops: Sequence) -> Optional[object]:
+    """The uninterrupted reference run, or ``None`` if it crashes.
+
+    A crashing configuration is the verdict sweep's ``"crash"``
+    divergence, not a recovery finding — skip it here.
+    """
+    backend = config.build()
+    try:
+        for op in ops:
+            backend.process(op)
+        backend.finish()
+    except Exception:  # noqa: BLE001 - attributed by check_trace
+        return None
+    return backend
+
+
+def crash_recovery_divergences(
+    trace: Trace,
+    configs: Optional[Sequence[GridConfig]] = None,
+    seed: int = 0,
+    snapshot_dir: Optional[Path] = None,
+) -> list[Divergence]:
+    """Kill-at-``k`` + restore-from-checkpoint vs the straight run.
+
+    One random kill point is drawn per call (from ``seed``) and applied
+    to every configuration, exercising the full snapshot path — capture,
+    atomic file write, parse, restore — not just in-memory cloning.
+    """
+    from repro.resilience.snapshot import supports
+
+    configs = list(ablation_grid() if configs is None else configs)
+    ops = list(trace)
+    divergences: list[Divergence] = []
+    if not ops:
+        return divergences
+    rng = random.Random(seed)
+    kill_at = rng.randrange(len(ops) + 1)
+    with tempfile.TemporaryDirectory() as tmp:
+        directory = Path(snapshot_dir) if snapshot_dir is not None else Path(tmp)
+        for index, config in enumerate(configs):
+            reference = _run_clean(config, ops)
+            if reference is None or not supports(reference):
+                continue
+            interrupted = config.build()
+            try:
+                for op in ops[:kill_at]:
+                    interrupted.process(op)
+            except Exception:  # noqa: BLE001 - crash divergence elsewhere
+                continue
+            path = directory / f"crash-{index}.json"
+            write_snapshot(path, [interrupted], kill_at)
+            del interrupted  # the kill: only the file survives
+            snapshot = read_snapshot(path)
+            [resumed] = snapshot.restore()
+            resumed.name = config.name
+            try:
+                for op in ops[snapshot.position:]:
+                    resumed.process(op)
+                resumed.finish()
+            except Exception as exc:  # noqa: BLE001 - recovery must not crash
+                divergences.append(
+                    Divergence(
+                        kind="crash-recovery",
+                        config=config.name,
+                        expected=f"clean resume from event {kill_at}",
+                        observed=f"{type(exc).__name__}: {exc}",
+                    )
+                )
+                continue
+            expected = _warning_fingerprint(reference)
+            observed = _warning_fingerprint(resumed)
+            if expected != observed:
+                position = next(
+                    (
+                        i
+                        for i, (a, b) in enumerate(zip(expected, observed))
+                        if a != b
+                    ),
+                    min(len(expected), len(observed)),
+                )
+                divergences.append(
+                    Divergence(
+                        kind="crash-recovery",
+                        config=config.name,
+                        expected=(
+                            f"{len(expected)} warning(s), identical "
+                            f"after resume at event {kill_at}"
+                        ),
+                        observed=(
+                            f"{len(observed)} warning(s); first "
+                            f"difference at warning {position}"
+                        ),
+                    )
+                )
+    return divergences
+
+
+def lace_stream(trace: Trace, seed: int, faults: int = 4) -> str:
+    """A sequenced JSONL dump of ``trace`` laced with recoverable faults.
+
+    Every injected fault is repairable by the hardened reader without
+    losing an original record: duplicated lines (dropped again via
+    their ``seq``), inserted garbage / unknown-op / blank lines
+    (quarantined), and a torn garbage tail (quarantined).  The repaired
+    stream therefore replays to the exact original trace.
+    """
+    buffer = io.StringIO()
+    dump_jsonl(trace, buffer, with_seq=True)
+    lines = buffer.getvalue().splitlines(keepends=True)
+    rng = random.Random(seed)
+    for _ in range(faults):
+        kind = rng.choice(("duplicate", "garbage", "unknown-op", "blank"))
+        at = rng.randrange(len(lines) + 1)
+        if kind == "duplicate" and lines:
+            # The copy must land at or after its original: a copy seen
+            # first would be delivered and demote the *original* to an
+            # out-of-order fault, losing a record — not recoverable.
+            source = rng.randrange(len(lines))
+            lines.insert(
+                rng.randrange(source + 1, len(lines) + 1), lines[source]
+            )
+        elif kind == "garbage":
+            lines.insert(at, '{"kind": "wr", "tid": \n')
+        elif kind == "unknown-op":
+            record = {"kind": "fence", "tid": rng.randrange(4)}
+            lines.insert(at, json.dumps(record) + "\n")
+        else:
+            lines.insert(at, "\n")
+    if rng.random() < 0.5:
+        lines.append('{"kind": "rd", "tid": 0, "tar')  # torn tail
+    return "".join(lines)
+
+
+def fault_injection_divergences(
+    trace: Trace,
+    configs: Optional[Sequence[GridConfig]] = None,
+    seed: int = 0,
+) -> list[Divergence]:
+    """Analysis of a fault-laced stream vs the clean recording."""
+    configs = list(ablation_grid() if configs is None else configs)
+    ops = list(trace)
+    laced = lace_stream(trace, seed)
+    divergences: list[Divergence] = []
+    for config in configs:
+        reference = _run_clean(config, ops)
+        if reference is None:
+            continue
+        hardened = config.build()
+        source = HardenedJsonlSource(io.StringIO(laced), policy=LENIENT)
+        try:
+            delivered = source.run(hardened.process).events
+            hardened.finish()
+        except Exception as exc:  # noqa: BLE001 - hardening must not crash
+            divergences.append(
+                Divergence(
+                    kind="fault-injection",
+                    config=config.name,
+                    expected="hardened reader absorbs laced faults",
+                    observed=f"{type(exc).__name__}: {exc}",
+                )
+            )
+            continue
+        if delivered != len(ops):
+            divergences.append(
+                Divergence(
+                    kind="fault-injection",
+                    config=config.name,
+                    expected=f"{len(ops)} operations delivered",
+                    observed=(
+                        f"{delivered} delivered "
+                        f"({source.quarantine.summary()})"
+                    ),
+                )
+            )
+            continue
+        if _warning_fingerprint(reference) != _warning_fingerprint(hardened):
+            divergences.append(
+                Divergence(
+                    kind="fault-injection",
+                    config=config.name,
+                    expected="identical warnings on the laced stream",
+                    observed=(
+                        f"warnings differ "
+                        f"({source.quarantine.summary()})"
+                    ),
+                )
+            )
+    return divergences

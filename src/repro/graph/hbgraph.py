@@ -170,13 +170,21 @@ class HBGraph:
 
     # ---------------------------------------------------------------- nodes
     def new_node(self, tid: int, label: Optional[str] = None) -> TxNode:
-        """Allocate a fresh, current transaction node for thread ``tid``."""
+        """Allocate a fresh, current transaction node for thread ``tid``.
+
+        The allocation hook runs *before* the node is registered: if it
+        raises (the compact pool's :class:`~repro.graph.stepcode.
+        SlotsExhausted`), the graph is unchanged — no phantom node in
+        the live set, no stats drift, and the sequence number is reused
+        by the retry the resource governor makes after relieving
+        pressure.
+        """
         node = TxNode(self._next_seq, tid, label=label)
+        if self.on_alloc is not None:
+            self.on_alloc(node)
         self._next_seq += 1
         self._live.add(node)
         self.stats.note_alloc()
-        if self.on_alloc is not None:
-            self.on_alloc(node)
         return node
 
     def finish(self, node: TxNode) -> None:
@@ -189,6 +197,11 @@ class HBGraph:
     def live_nodes(self) -> frozenset[TxNode]:
         """A snapshot of the currently live nodes."""
         return frozenset(self._live)
+
+    @property
+    def live_count(self) -> int:
+        """Number of live nodes, without copying the set."""
+        return len(self._live)
 
     # ---------------------------------------------------------------- edges
     def add_edge(self, src: Step, dst: Step, reason: str = "") -> Optional[Cycle]:
@@ -299,6 +312,45 @@ class HBGraph:
         return Cycle(src, dst, reason, path)
 
     # ------------------------------------------------------------------- GC
+    def sweep(self) -> int:
+        """Force-collect every currently collectible node.
+
+        Rung one of the resource governor's degradation ladder: applies
+        the Section 4.1 GC rule to the whole live set at once, *even
+        when* ``collect_garbage`` is off (the GC ablations accumulate
+        collectible nodes by design; under memory pressure reclaiming
+        them is sound — a finished node with no incoming edges can
+        never join a cycle).  Returns the number of nodes collected.
+        """
+        collected_before = self.stats.collected
+        for node in list(self._live):
+            if node.collectible:
+                self._collect(node)
+        return self.stats.collected - collected_before
+
+    def reset_history(self) -> int:
+        """Drop every edge, then collect all finished nodes.
+
+        The final rung of the resource governor's degradation ladder
+        (the *window reset*): every happens-before constraint recorded
+        so far is forgotten, after which only the current transactions
+        remain live.  Sound — any cycle found later uses only
+        post-reset edges, each a genuine constraint, so reported
+        violations are still real — but incomplete: cycles spanning the
+        reset are missed, which is why the supervisor flags the run as
+        having degraded completeness.  Returns the number of nodes
+        collected.
+        """
+        for node in list(self._live):
+            node.out_edges.clear()
+            node.ancestors.clear()
+            node.incoming = 0
+        collected_before = self.stats.collected
+        for node in list(self._live):
+            if node.collectible:
+                self._collect(node)
+        return self.stats.collected - collected_before
+
     def maybe_collect(self, node: TxNode) -> None:
         """Collect ``node`` now if the GC rule permits it."""
         if self.collect_garbage and node.collectible:

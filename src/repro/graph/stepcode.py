@@ -27,6 +27,7 @@ path without 2**48 operations.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.graph.node import Step, TxNode
@@ -58,6 +59,36 @@ def unpack(code: int) -> tuple[int, int]:
 
 class SlotsExhausted(RuntimeError):
     """Raised when the encoding runs out of slots or timestamps."""
+
+
+@dataclass(frozen=True)
+class PoolStats:
+    """One consistent snapshot of a pool's slot accounting.
+
+    The four slot populations partition the slot space::
+
+        live + free + retired + unallocated == max_slots
+
+    ``min_recycle_headroom`` is the smallest number of timestamps a
+    recycled slot on the free list can still hand to its next
+    incarnation (``None`` when the free list is empty); unallocated
+    slots always offer the full ``timestamp_capacity + 1``.  The
+    resource governor reads these to decide when to compact before the
+    pool would otherwise raise :class:`SlotsExhausted`.
+    """
+
+    live: int
+    free: int
+    retired: int
+    unallocated: int
+    max_slots: int
+    timestamp_capacity: int
+    min_recycle_headroom: Optional[int]
+
+    @property
+    def attachable(self) -> int:
+        """Slots an ``attach`` call could use right now."""
+        return self.free + self.unallocated
 
 
 class NodePool:
@@ -121,6 +152,11 @@ class NodePool:
         across recycles.  Raises :class:`SlotsExhausted` when every
         slot is resident or retired.
         """
+        if node.slot is not None and (
+            node.slot < len(self._resident)
+            and self._resident[node.slot] is node
+        ):
+            raise ValueError("node is already resident in this pool")
         if self._free:
             slot = self._free.pop()
         else:
@@ -152,10 +188,54 @@ class NodePool:
         self._watermark[slot] = self._base[slot] + node.last_timestamp
         self._resident[slot] = None
         self._live -= 1
+        # The node no longer names a slot: a stale ``slot`` here would
+        # let a retained step of this node encode against whatever node
+        # the slot hosts next (a silent resurrection), and would let a
+        # second detach corrupt the live counter once the slot is
+        # rehosted.  Retirement and recycling both clear it.
+        node.slot = None
         if self._watermark[slot] >= self.timestamp_capacity:
             self._retired += 1
         else:
             self._free.append(slot)
+
+    def pool_stats(self) -> PoolStats:
+        """A consistent :class:`PoolStats` snapshot.
+
+        Checks the slot-partition invariant before reporting, so a
+        bookkeeping bug surfaces here (where the governor and
+        ``--stats`` read the counters) instead of as a mis-raised
+        :class:`SlotsExhausted` arbitrarily later.
+        """
+        allocated = len(self._resident)
+        resident = sum(1 for node in self._resident if node is not None)
+        if resident != self._live:
+            raise AssertionError(
+                f"live-slot counter drift: counter {self._live}, "
+                f"resident {resident}"
+            )
+        if self._live + len(self._free) + self._retired != allocated:
+            raise AssertionError(
+                f"slot partition violated: {self._live} live + "
+                f"{len(self._free)} free + {self._retired} retired != "
+                f"{allocated} allocated"
+            )
+        return PoolStats(
+            live=self._live,
+            free=len(self._free),
+            retired=self._retired,
+            unallocated=self.max_slots - allocated,
+            max_slots=self.max_slots,
+            timestamp_capacity=self.timestamp_capacity,
+            min_recycle_headroom=(
+                min(
+                    self.timestamp_capacity - self._watermark[slot]
+                    for slot in self._free
+                )
+                if self._free
+                else None
+            ),
+        )
 
     def encode(self, step: Optional[Step]) -> int:
         """Pack a step; absent (or collected-node) steps pack to NIL.

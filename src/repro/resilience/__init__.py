@@ -1,0 +1,93 @@
+"""Supervised checker runtime: checkpoints, budgets, hardened streams.
+
+Velodrome is designed as an *online* checker that rides along with a
+program for its whole execution (paper Section 5).  This package wraps
+any :class:`~repro.core.backend.AnalysisBackend` with the machinery a
+long-lived deployment needs:
+
+* :mod:`~repro.resilience.snapshot` — versioned checkpoint files that
+  capture the complete ``(C, L, U, R, W, H)`` state and restore it for
+  byte-identical resumption;
+* :mod:`~repro.resilience.governor` — resource budgets with a
+  graceful-degradation ladder instead of
+  :class:`~repro.graph.stepcode.SlotsExhausted` crashes;
+* :mod:`~repro.resilience.quarantine` — a hardened event reader that
+  quarantines malformed, duplicated, and out-of-order records with
+  structured faults;
+* :mod:`~repro.resilience.supervisor` — the supervised runtime tying
+  the three together (periodic checkpoints, crash recovery, resume).
+
+See ``docs/resilience.md`` for the operational story.
+"""
+
+from repro.resilience.governor import (
+    RUNGS,
+    Budgets,
+    DegradationEvent,
+    GovernorError,
+    ResourceGovernor,
+)
+from repro.resilience.quarantine import (
+    LENIENT,
+    STRICT,
+    FaultKind,
+    HardenedJsonlSource,
+    HardenedTraceSource,
+    Quarantine,
+    ResyncPolicy,
+    StreamFault,
+    StreamIntegrityError,
+)
+from repro.resilience.snapshot import (
+    SNAPSHOT_FORMAT,
+    SNAPSHOT_VERSION,
+    Snapshot,
+    SnapshotError,
+    UnsupportedBackend,
+    adopt_state,
+    capture_backend,
+    capture_snapshot,
+    clone_backend,
+    parse_snapshot,
+    read_snapshot,
+    restore_backend,
+    supports,
+    write_snapshot,
+)
+from repro.resilience.supervisor import (
+    SupervisedChecker,
+    SupervisedReport,
+)
+
+__all__ = [
+    "RUNGS",
+    "Budgets",
+    "DegradationEvent",
+    "FaultKind",
+    "GovernorError",
+    "HardenedJsonlSource",
+    "HardenedTraceSource",
+    "LENIENT",
+    "Quarantine",
+    "ResourceGovernor",
+    "ResyncPolicy",
+    "STRICT",
+    "StreamFault",
+    "StreamIntegrityError",
+    "SupervisedChecker",
+    "SupervisedReport",
+    "SNAPSHOT_FORMAT",
+    "SNAPSHOT_VERSION",
+    "Snapshot",
+    "SnapshotError",
+    "UnsupportedBackend",
+    "adopt_state",
+    "capture_backend",
+    "capture_snapshot",
+    "clone_backend",
+    "parse_snapshot",
+    "read_snapshot",
+    "restore_backend",
+    "supports",
+    "write_snapshot",
+]

@@ -1,0 +1,295 @@
+"""Resource budgets with a graceful-degradation ladder.
+
+The compact Velodrome representation has two hard resource walls —
+node slots and per-slot timestamps — and crossing either raises
+:class:`~repro.graph.stepcode.SlotsExhausted` mid-stream, losing every
+warning accumulated so far.  The object representations have no hard
+wall but grow without bound on GC-hostile workloads.  The governor
+turns both failure modes into *managed pressure*: it watches
+configurable budgets and, when one is crossed (or an exhaustion
+actually fires), climbs a ladder of increasingly aggressive
+interventions:
+
+1. **sweep** — force-collect every collectible graph node
+   (:meth:`~repro.graph.hbgraph.HBGraph.sweep`); free even when the GC
+   ablation has eager collection off.
+2. **compact-state** — purge dead weak references and packed codes
+   from the analysis state maps
+   (:meth:`~repro.core.backend.AnalysisBackend.compact_state`); never
+   changes verdicts.
+3. **checkpoint-compact** — snapshot the backend and restore it with
+   ``compact_pools=True``, re-basing the step-code pool so retired
+   slots and burned timestamp ranges come back
+   (:func:`~repro.resilience.snapshot.restore_backend`); verdicts are
+   preserved, only future exhaustion points move.
+4. **degrade** — reset the happens-before window
+   (:meth:`~repro.graph.hbgraph.HBGraph.reset_history`) and flag the
+   run: every warning reported after this point is still genuine
+   (sound), but cycles spanning the reset are missed (completeness is
+   gone).  This is the rung that lets an analysis *finish* under any
+   budget instead of crashing.
+
+Each rung is tried only if the previous ones did not bring the
+pressure back under budget, and a rung that just ran is not retried
+until ``cooldown`` further events have passed — so a workload whose
+live set legitimately exceeds the budget escalates instead of
+thrashing on a rung that cannot help.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.backend import AnalysisBackend
+from repro.graph.stepcode import SlotsExhausted
+from repro.resilience.snapshot import adopt_state, clone_backend, supports
+
+#: Ladder rungs, least to most aggressive.
+RUNGS = ("sweep", "compact-state", "checkpoint-compact", "degrade")
+
+
+@dataclass(frozen=True)
+class Budgets:
+    """Resource budgets the governor enforces.
+
+    Attributes:
+        max_live_nodes: ceiling on live happens-before graph nodes
+            (``None`` = unlimited).  The natural budget for the compact
+            representation, where live nodes occupy pool slots.
+        max_state_entries: ceiling on retained analysis-state entries
+            as reported by ``state_entry_count()`` (``None`` =
+            unlimited; backends that return ``None`` are exempt).
+        check_interval: probe budgets every this many events.  Pressure
+            between probes is caught by the exhaustion handler, so a
+            large interval trades responsiveness for overhead, never
+            correctness.
+        cooldown: events that must pass before the same rung is applied
+            again; prevents thrashing when a rung cannot relieve the
+            pressure.
+    """
+
+    max_live_nodes: Optional[int] = None
+    max_state_entries: Optional[int] = None
+    check_interval: int = 256
+    cooldown: int = 64
+
+    def __post_init__(self) -> None:
+        if self.check_interval < 1:
+            raise ValueError("check_interval must be >= 1")
+        if self.cooldown < 0:
+            raise ValueError("cooldown must be >= 0")
+        for name in ("max_live_nodes", "max_state_entries"):
+            value = getattr(self, name)
+            if value is not None and value < 1:
+                raise ValueError(f"{name} must be >= 1 when set")
+
+    @property
+    def unbounded(self) -> bool:
+        return self.max_live_nodes is None and self.max_state_entries is None
+
+
+@dataclass(frozen=True)
+class DegradationEvent:
+    """One ladder intervention, for the supervised run's report."""
+
+    position: int
+    rung: str
+    trigger: str
+    detail: str
+
+
+class GovernorError(RuntimeError):
+    """The ladder was exhausted and ``on_pressure`` forbids degrading."""
+
+
+class ResourceGovernor:
+    """Keeps one backend inside its :class:`Budgets`.
+
+    Args:
+        backend: the analysis to govern.  Graph-based budgets require a
+            ``graph`` attribute (all Velodrome variants); other
+            backends are governed through ``state_entry_count`` only.
+        budgets: the limits to enforce.
+        on_pressure: what the top of the ladder is allowed to do —
+            ``"degrade"`` (default) permits the window reset,
+            ``"fail"`` re-raises the original pressure as
+            :class:`GovernorError` instead (for deployments where a
+            missed warning is worse than a crash).
+
+    Attributes:
+        degraded: True once the degrade rung has run; verdicts from a
+            degraded run are sound but not complete.
+        events: every intervention taken, in order.
+    """
+
+    def __init__(
+        self,
+        backend: AnalysisBackend,
+        budgets: Budgets,
+        on_pressure: str = "degrade",
+    ):
+        if on_pressure not in ("degrade", "fail"):
+            raise ValueError(f"unknown on_pressure mode {on_pressure!r}")
+        self.backend = backend
+        self.budgets = budgets
+        self.on_pressure = on_pressure
+        self.degraded = False
+        self.events: list[DegradationEvent] = []
+        self._last_applied: dict[str, int] = {}
+
+    # -------------------------------------------------------------- pressure
+    def _pressure(self) -> Optional[str]:
+        """The budget currently exceeded, or ``None``."""
+        budgets = self.budgets
+        graph = getattr(self.backend, "graph", None)
+        if (
+            budgets.max_live_nodes is not None
+            and graph is not None
+            and graph.live_count > budgets.max_live_nodes
+        ):
+            return (
+                f"live-nodes {graph.live_count} > "
+                f"budget {budgets.max_live_nodes}"
+            )
+        if budgets.max_state_entries is not None:
+            entries = self.backend.state_entry_count()
+            if entries is not None and entries > budgets.max_state_entries:
+                return (
+                    f"state-entries {entries} > "
+                    f"budget {budgets.max_state_entries}"
+                )
+        return None
+
+    def should_check(self, position: int) -> bool:
+        """True on positions where budgets are probed."""
+        if self.budgets.unbounded:
+            return False
+        return position % self.budgets.check_interval == 0
+
+    # ---------------------------------------------------------------- ladder
+    def relieve(self, position: int, trigger: str) -> bool:
+        """Climb the ladder until the pressure clears; True on success.
+
+        Rungs in cooldown are skipped (they just ran and did not
+        help).  Budget pressure is advisory: if even the degrade rung
+        leaves residual pressure (e.g. the budget sits below the
+        irreducible floor of current transactions), the governor has
+        done all it can and returns False — the run continues, and the
+        *hard* wall is still handled by :meth:`handle_exhaustion`.
+        """
+        for rung in RUNGS:
+            applied_at = self._last_applied.get(rung)
+            if (
+                applied_at is not None
+                and position - applied_at < self.budgets.cooldown
+            ):
+                continue
+            if not self._apply(rung, position, trigger):
+                continue
+            if self._pressure() is None:
+                return True
+        return self._pressure() is None
+
+    def intervene(self, position: int) -> bool:
+        """Periodic probe: relieve if over budget.  True if acted."""
+        trigger = self._pressure()
+        if trigger is None:
+            return False
+        return self.relieve(position, trigger)
+
+    def handle_exhaustion(
+        self, position: int, exc: SlotsExhausted
+    ) -> None:
+        """React to an actual :class:`SlotsExhausted` from the backend.
+
+        Climbs the ladder; on success the supervisor retries the
+        failed event.  Raises :class:`GovernorError` (chained to the
+        exhaustion) when nothing helps or degrading is forbidden.
+        """
+        trigger = f"slots-exhausted: {exc}"
+        # An exhaustion is unconditional pressure: clear cooldowns so
+        # every rung is available — retrying the event with no
+        # intervention at all would just re-raise.
+        self._last_applied.clear()
+        for rung in RUNGS:
+            self._apply(rung, position, trigger)
+            # No measurable budget may be violated (exhaustion can
+            # strike inside the budgets); the test is whether the
+            # *retry* succeeds, so apply rungs until one plausibly
+            # freed pool resources, escalating on the next exhaustion
+            # at the same position if not.
+            if self._freed_pool_resources():
+                return
+        raise GovernorError(
+            f"degradation ladder exhausted at event {position} "
+            f"after {exc}"
+        ) from exc
+
+    # ----------------------------------------------------------------- rungs
+    def _apply(self, rung: str, position: int, trigger: str) -> bool:
+        """Run one rung; True if it was applicable and did something."""
+        if rung == "sweep":
+            detail = self._rung_sweep()
+        elif rung == "compact-state":
+            detail = self._rung_compact_state()
+        elif rung == "checkpoint-compact":
+            detail = self._rung_checkpoint_compact()
+        else:
+            detail = self._rung_degrade()
+        if detail is None:
+            return False
+        self._last_applied[rung] = position
+        self.events.append(DegradationEvent(position, rung, trigger, detail))
+        return True
+
+    def _rung_sweep(self) -> Optional[str]:
+        graph = getattr(self.backend, "graph", None)
+        if graph is None:
+            return None
+        collected = graph.sweep()
+        return f"collected {collected} nodes"
+
+    def _rung_compact_state(self) -> Optional[str]:
+        dropped = self.backend.compact_state()
+        total = sum(dropped.values())
+        if total == 0:
+            return None
+        parts = ", ".join(f"{k}={v}" for k, v in sorted(dropped.items()))
+        return f"dropped {total} dead entries ({parts})"
+
+    def _rung_checkpoint_compact(self) -> Optional[str]:
+        backend = self.backend
+        if not supports(backend) or not hasattr(backend, "pool"):
+            return None
+        before = backend.pool.pool_stats()
+        adopt_state(backend, clone_backend(backend, compact_pools=True))
+        after = backend.pool.pool_stats()
+        return (
+            f"pool rebuilt: retired {before.retired} -> {after.retired}, "
+            f"attachable {before.attachable} -> {after.attachable}"
+        )
+
+    def _rung_degrade(self) -> Optional[str]:
+        if self.on_pressure == "fail":
+            return None
+        graph = getattr(self.backend, "graph", None)
+        if graph is None:
+            return None
+        collected = graph.reset_history()
+        self.backend.compact_state()
+        self.degraded = True
+        return (
+            f"happens-before window reset ({collected} nodes dropped); "
+            f"completeness degraded from here on"
+        )
+
+    # --------------------------------------------------------------- helpers
+    def _freed_pool_resources(self) -> bool:
+        """Heuristic: does the pool now have room to attach a node?"""
+        pool = getattr(self.backend, "pool", None)
+        if pool is None:
+            # Object representations have no hard wall; any rung that
+            # ran is as good as it gets.
+            return True
+        return pool.pool_stats().attachable > 0

@@ -1,0 +1,342 @@
+"""Event-stream hardening: quarantine bad records instead of aborting.
+
+A long-lived checker consumes event streams produced by other
+processes — instrumentation agents, recorders, network relays — and a
+single malformed, duplicated, reordered, or truncated record must not
+take the whole analysis down.  This module classifies every record of
+a stream, delivers the good ones to the pipeline, and routes the rest
+into a :class:`Quarantine` as structured :class:`StreamFault` entries,
+under a configurable :class:`ResyncPolicy`.
+
+Fault classes:
+
+* **malformed** — the record is not valid JSON or not a valid
+  operation object;
+* **unknown-op** — valid JSON naming an operation kind this build does
+  not know (e.g. a stream from a newer recorder);
+* **torn** — the stream's final record was cut mid-write (see
+  :func:`repro.events.serialize.iter_jsonl`);
+* **duplicate** / **out-of-order** / **gap** — sequence anomalies,
+  detected when records carry the optional ``seq`` field written by
+  ``dump_jsonl(..., with_seq=True)``;
+* **structural** — an operation that is individually well-formed but
+  impossible at its stream position (an ``end`` with no open ``begin``
+  for that thread), which would otherwise raise deep inside a backend.
+
+Resynchronisation is per-record: a quarantined record is skipped and
+the stream continues at the next one ("skip" policy), or the stream
+halts with :class:`StreamIntegrityError` ("halt" policy, or when the
+fault budget ``max_faults`` is exceeded).  Either way the analysis
+state stays consistent — a fault never half-applies.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator, Optional, TextIO, Union
+
+from repro.events.operations import Operation, OpKind
+from repro.events.serialize import JsonlFault, JsonlRecord, iter_jsonl
+from repro.pipeline.source import EventSink, SourceResult
+
+PathLike = Union[str, Path]
+
+
+class FaultKind(enum.Enum):
+    """Why a record was quarantined."""
+
+    MALFORMED = "malformed"
+    UNKNOWN_OP = "unknown-op"
+    TORN = "torn"
+    DUPLICATE = "duplicate"
+    OUT_OF_ORDER = "out-of-order"
+    GAP = "gap"
+    STRUCTURAL = "structural"
+
+
+@dataclass(frozen=True)
+class StreamFault:
+    """One quarantined record, with enough context to find it again.
+
+    Attributes:
+        kind: the fault class.
+        detail: human-readable description.
+        position: 0-based index among *delivered* operations at the
+            time the fault was seen (where a resync resumes).
+        line_number: 1-based source line, when the stream is textual.
+        byte_offset: offset of the record's first byte, when known.
+        seq: the record's declared stream sequence number, if any.
+        content: the offending raw content, bounded.
+    """
+
+    kind: FaultKind
+    detail: str
+    position: int
+    line_number: Optional[int] = None
+    byte_offset: Optional[int] = None
+    seq: Optional[int] = None
+    content: str = ""
+
+
+class StreamIntegrityError(RuntimeError):
+    """The stream was rejected under the active resync policy."""
+
+    def __init__(self, message: str, faults: list[StreamFault]):
+        super().__init__(message)
+        self.faults = faults
+
+
+@dataclass(frozen=True)
+class ResyncPolicy:
+    """How the hardened reader reacts to faults.
+
+    Attributes:
+        action: ``"skip"`` quarantines the record and continues at the
+            next one; ``"halt"`` raises on the first fault.
+        max_faults: with ``"skip"``, how many faults to tolerate before
+            halting anyway (``None`` = unlimited).  A stream that is
+            mostly garbage is better rejected than half-analyzed.
+        halt_on: fault kinds that always halt, regardless of ``action``
+            (e.g. halt on structural faults while skipping duplicates).
+    """
+
+    action: str = "skip"
+    max_faults: Optional[int] = None
+    halt_on: frozenset = frozenset()
+
+    def __post_init__(self) -> None:
+        if self.action not in ("skip", "halt"):
+            raise ValueError(f"unknown resync action {self.action!r}")
+
+
+#: Tolerate everything except a totally corrupt stream.
+LENIENT = ResyncPolicy(action="skip")
+#: Reject the stream on any fault.
+STRICT = ResyncPolicy(action="halt")
+
+
+class Quarantine:
+    """Collects stream faults and enforces a :class:`ResyncPolicy`."""
+
+    def __init__(self, policy: ResyncPolicy = LENIENT):
+        self.policy = policy
+        self.faults: list[StreamFault] = []
+
+    def admit(self, fault: StreamFault) -> None:
+        """Record a fault; raises when the policy says to halt."""
+        self.faults.append(fault)
+        policy = self.policy
+        if policy.action == "halt" or fault.kind in policy.halt_on:
+            raise StreamIntegrityError(
+                f"stream fault ({fault.kind.value}): {fault.detail}",
+                self.faults,
+            )
+        if (
+            policy.max_faults is not None
+            and len(self.faults) > policy.max_faults
+        ):
+            raise StreamIntegrityError(
+                f"fault budget exceeded: {len(self.faults)} faults "
+                f"(budget {policy.max_faults}); last was "
+                f"{fault.kind.value}: {fault.detail}",
+                self.faults,
+            )
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+    def counts(self) -> dict[str, int]:
+        """Fault counts by kind value (for reports and metrics)."""
+        out: dict[str, int] = {}
+        for fault in self.faults:
+            out[fault.kind.value] = out.get(fault.kind.value, 0) + 1
+        return out
+
+    def summary(self) -> str:
+        if not self.faults:
+            return "quarantine: clean stream"
+        parts = ", ".join(
+            f"{kind}={count}" for kind, count in sorted(self.counts().items())
+        )
+        return f"quarantine: {len(self.faults)} faults ({parts})"
+
+
+class _StructuralGuard:
+    """Per-thread begin/end depth tracking.
+
+    The analyses raise ``ValueError`` deep inside ``process`` on an
+    ``end`` with no open ``begin`` — by then the event counter has not
+    advanced but a supervisor cannot tell a stream problem from a bug.
+    The guard rejects such markers *before* they reach any backend.
+    """
+
+    def __init__(self) -> None:
+        self._depth: dict[int, int] = {}
+
+    def check(self, op: Operation) -> Optional[str]:
+        """None if ``op`` is structurally admissible, else the problem."""
+        if op.kind is OpKind.BEGIN:
+            self._depth[op.tid] = self._depth.get(op.tid, 0) + 1
+        elif op.kind is OpKind.END:
+            depth = self._depth.get(op.tid, 0)
+            if depth == 0:
+                return f"end without begin for thread {op.tid}"
+            self._depth[op.tid] = depth - 1
+        return None
+
+
+class HardenedJsonlSource:
+    """An :class:`~repro.pipeline.source.EventSource` over a JSONL
+    recording that quarantines bad records instead of raising.
+
+    Sequence anomalies are only detectable when the recording carries
+    ``seq`` fields; without them every record is presumed in order.
+    A ``gap`` fault (records missing between two delivered ones) is
+    recorded but the later record is still delivered — the data that
+    *did* arrive is good.
+
+    Args:
+        source: an open text stream, a path to a ``.jsonl`` file, or an
+            iterable of pre-classified :class:`JsonlRecord` /
+            :class:`JsonlFault` items.
+        policy: the resync policy (default: skip everything skippable).
+        structural: guard against end-without-begin markers.
+    """
+
+    def __init__(
+        self,
+        source: Union[TextIO, PathLike, Iterable],
+        policy: ResyncPolicy = LENIENT,
+        structural: bool = True,
+    ):
+        self._source = source
+        self.quarantine = Quarantine(policy)
+        self._structural = structural
+
+    def _items(self) -> Iterator[Union[JsonlRecord, JsonlFault]]:
+        source = self._source
+        if isinstance(source, (str, Path)):
+            with open(source, encoding="utf-8") as stream:
+                yield from iter_jsonl(stream)
+        elif hasattr(source, "read"):
+            yield from iter_jsonl(source)
+        else:
+            yield from source
+
+    def run(self, sink: EventSink) -> SourceResult:
+        quarantine = self.quarantine
+        guard = _StructuralGuard() if self._structural else None
+        delivered = 0
+        last_seq: Optional[int] = None
+        seen_seqs: set[int] = set()
+        for item in self._items():
+            if isinstance(item, JsonlFault):
+                if item.torn:
+                    kind = FaultKind.TORN
+                elif "unknown operation kind" in item.error:
+                    kind = FaultKind.UNKNOWN_OP
+                else:
+                    kind = FaultKind.MALFORMED
+                quarantine.admit(
+                    StreamFault(
+                        kind,
+                        item.error,
+                        delivered,
+                        line_number=item.line_number,
+                        byte_offset=item.byte_offset,
+                        content=item.content,
+                    )
+                )
+                continue
+            seq = item.seq
+            if seq is not None:
+                if seq in seen_seqs:
+                    quarantine.admit(
+                        StreamFault(
+                            FaultKind.DUPLICATE,
+                            f"record seq {seq} already delivered",
+                            delivered,
+                            line_number=item.line_number,
+                            byte_offset=item.byte_offset,
+                            seq=seq,
+                        )
+                    )
+                    continue
+                if last_seq is not None and seq < last_seq:
+                    quarantine.admit(
+                        StreamFault(
+                            FaultKind.OUT_OF_ORDER,
+                            f"record seq {seq} after seq {last_seq}",
+                            delivered,
+                            line_number=item.line_number,
+                            byte_offset=item.byte_offset,
+                            seq=seq,
+                        )
+                    )
+                    continue
+                if last_seq is not None and seq > last_seq + 1:
+                    # The missing records are gone; this one is fine.
+                    quarantine.admit(
+                        StreamFault(
+                            FaultKind.GAP,
+                            f"records seq {last_seq + 1}..{seq - 1} missing",
+                            delivered,
+                            line_number=item.line_number,
+                            byte_offset=item.byte_offset,
+                            seq=seq,
+                        )
+                    )
+                seen_seqs.add(seq)
+                last_seq = seq
+            if guard is not None:
+                problem = guard.check(item.op)
+                if problem is not None:
+                    quarantine.admit(
+                        StreamFault(
+                            FaultKind.STRUCTURAL,
+                            problem,
+                            delivered,
+                            line_number=item.line_number,
+                            byte_offset=item.byte_offset,
+                            seq=seq,
+                        )
+                    )
+                    continue
+            sink(item.op)
+            delivered += 1
+        return SourceResult(events=delivered)
+
+
+class HardenedTraceSource:
+    """Structural hardening over an in-memory operation stream.
+
+    The in-memory analogue of :class:`HardenedJsonlSource` for sources
+    that are already :class:`~repro.events.operations.Operation`
+    objects (no parse or sequence layer): only the structural guard
+    applies.
+    """
+
+    def __init__(
+        self,
+        ops: Iterable[Operation],
+        policy: ResyncPolicy = LENIENT,
+    ):
+        self.ops = ops
+        self.quarantine = Quarantine(policy)
+
+    def run(self, sink: EventSink) -> SourceResult:
+        guard = _StructuralGuard()
+        delivered = 0
+        for op in self.ops:
+            problem = guard.check(op)
+            if problem is not None:
+                self.quarantine.admit(
+                    StreamFault(FaultKind.STRUCTURAL, problem, delivered,
+                                content=str(op))
+                )
+                continue
+            sink(op)
+            delivered += 1
+        return SourceResult(events=delivered)

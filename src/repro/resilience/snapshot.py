@@ -1,0 +1,682 @@
+"""Versioned checkpoint snapshots of a running analysis.
+
+Velodrome is an online analysis meant to run for the life of a program
+(paper Section 5); a killed checker process must not lose the
+accumulated ``(C, L, U, R, W, H)`` state.  This module serializes the
+*complete* analysis state of any Velodrome variant — per-thread
+transaction stacks, the lock/variable maps, the live happens-before
+graph (nodes, edges, timestamps, stats), the packed step-code pool,
+and the warning log — into a JSON snapshot, and restores it so exactly
+that the resumed run produces byte-identical verdicts, warning
+messages, first-warning positions, and blamed-label sets, and even
+exhausts its node pool at the same future event as an uninterrupted
+run.
+
+Two restore modes:
+
+* **verbatim** (default) — pool slot assignments, timestamp bases, and
+  watermarks come back bit-for-bit; the resumed run is
+  indistinguishable from one that was never stopped.
+* **compact** (``compact_pools=True``) — live nodes are re-attached to
+  a fresh pool in sequence order, re-basing every timestamp and
+  reclaiming retired slots.  Verdicts are unchanged (slot numbers are
+  invisible to the analysis rules); only future exhaustion points
+  move.  This is the ``checkpoint-and-compact`` rung of the resource
+  governor's degradation ladder.
+
+Only state that can influence output is captured.  Warning objects are
+captured without their witness :class:`~repro.graph.hbgraph.Cycle`
+(``Warning.cycle`` is excluded from equality and exists for rendering
+at detection time); ancestor sets and incoming-edge counts are derived
+data, recomputed from the edge list on restore.
+
+The on-disk form is a single JSON document with ``format``/``version``
+fields (see :data:`SNAPSHOT_VERSION`); readers reject unknown versions
+instead of mis-parsing them.  Writes go through a temp file and
+``os.replace`` so a crash mid-checkpoint can never leave a torn
+snapshot — the previous one survives intact.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Sequence, Union
+
+from repro.core.backend import AnalysisBackend
+from repro.core.basic import VelodromeBasic
+from repro.core.compact import VelodromeCompact
+from repro.core.optimized import VelodromeOptimized, _Block
+from repro.core.reports import Warning, WarningKind
+from repro.graph.hbgraph import HBGraph
+from repro.graph.node import EdgeInfo, Step, TxNode
+
+PathLike = Union[str, Path]
+
+SNAPSHOT_FORMAT = "velodrome-snapshot"
+SNAPSHOT_VERSION = 1
+
+
+class SnapshotError(ValueError):
+    """A snapshot could not be captured, parsed, or restored."""
+
+
+class UnsupportedBackend(SnapshotError):
+    """The backend type has no snapshot codec registered."""
+
+
+def supports(backend: AnalysisBackend) -> bool:
+    """True iff ``backend`` can be checkpointed by this module."""
+    return type(backend) in _CODECS
+
+
+# --------------------------------------------------------------------- steps
+def _pack_step(step: Optional[Step]) -> Optional[list]:
+    """A step as [seq, ts]; absent *or dead* steps pack to None.
+
+    The analysis state legitimately retains weak references to
+    collected transactions; those nodes are gone from the snapshot, so
+    their steps are captured as the tombstone marker and restored as a
+    shared dead node (see :func:`_tombstone`) — present in the map
+    (membership and iteration order are part of the state: the WRITE
+    rules iterate the reader maps when adding edges) but dereferencing
+    to absent, exactly like the original.
+    """
+    if step is None or step.node.collected:
+        return None
+    return [step.node.seq, step.timestamp]
+
+
+def _step_table(table: dict) -> list:
+    """A dict of steps as [key, [seq, ts]-or-None] pairs, in order."""
+    return [[key, _pack_step(step)] for key, step in table.items()]
+
+
+def _tombstone() -> TxNode:
+    """A collected placeholder node standing in for dead references."""
+    node = TxNode(-1, -1, label=None)
+    node.current = False
+    node.collected = True
+    return node
+
+
+# --------------------------------------------------------------------- graph
+def _capture_graph(graph: HBGraph) -> dict:
+    nodes = []
+    for node in sorted(graph._live, key=lambda n: n.seq):
+        nodes.append(
+            {
+                "seq": node.seq,
+                "tid": node.tid,
+                "label": node.label,
+                "current": node.current,
+                "last_timestamp": node.last_timestamp,
+                # Edge order is the out_edges dict's insertion order;
+                # cycle-path recovery walks it, so it must round-trip.
+                "edges": [
+                    [dst.seq, info.tail_timestamp, info.head_timestamp,
+                     info.reason]
+                    for dst, info in node.out_edges.items()
+                ],
+            }
+        )
+    stats = graph.stats
+    return {
+        "next_seq": graph._next_seq,
+        "nodes": nodes,
+        "stats": {
+            "allocated": stats.allocated,
+            "collected": stats.collected,
+            "live": stats.live,
+            "max_alive": stats.max_alive,
+            "edges_added": stats.edges_added,
+            "edges_replaced": stats.edges_replaced,
+            "cycle_checks": stats.cycle_checks,
+            "cycles_found": stats.cycles_found,
+            "merges": stats.merges,
+        },
+    }
+
+
+def _restore_graph(graph: HBGraph, state: dict) -> dict[int, TxNode]:
+    """Rebuild nodes and edges into a fresh graph; returns seq → node.
+
+    Bypasses ``new_node``/``add_edge`` (and therefore the alloc/collect
+    hooks and stats) — callers re-link pools and stats themselves.
+    Ancestor sets and incoming counts are recomputed; a single pass of
+    ancestor propagation per edge converges because each propagation
+    cascades through all downstream descendants.
+    """
+    nodes: dict[int, TxNode] = {}
+    for entry in state["nodes"]:
+        node = TxNode(entry["seq"], entry["tid"], label=entry["label"])
+        node.current = entry["current"]
+        node.last_timestamp = entry["last_timestamp"]
+        nodes[node.seq] = node
+    for entry in state["nodes"]:
+        node = nodes[entry["seq"]]
+        for dst_seq, tail, head, reason in entry["edges"]:
+            try:
+                dst = nodes[dst_seq]
+            except KeyError:
+                raise SnapshotError(
+                    f"edge target #{dst_seq} missing from snapshot"
+                ) from None
+            node.out_edges[dst] = EdgeInfo(tail, head, reason)
+            dst.incoming += 1
+    graph._live = set(nodes.values())
+    graph._next_seq = state["next_seq"]
+    for field, value in state["stats"].items():
+        setattr(graph.stats, field, value)
+    if graph.cycle_strategy == "ancestors":
+        for node in nodes.values():
+            for dst in node.out_edges:
+                graph._propagate_ancestors(node, dst)
+    return nodes
+
+
+# ------------------------------------------------------------------ warnings
+def _capture_warning(warning: Warning) -> dict:
+    return {
+        "kind": warning.kind.value,
+        "backend": warning.backend,
+        "label": warning.label,
+        "tid": warning.tid,
+        "position": warning.position,
+        "message": warning.message,
+        "blamed": warning.blamed,
+        "target": warning.target,
+    }
+
+
+def _restore_warning(state: dict) -> Warning:
+    return Warning(
+        kind=WarningKind(state["kind"]),
+        backend=state["backend"],
+        label=state["label"],
+        tid=state["tid"],
+        position=state["position"],
+        message=state["message"],
+        blamed=state["blamed"],
+        target=state["target"],
+    )
+
+
+def _capture_common(backend: AnalysisBackend) -> dict:
+    return {
+        "name": backend.name,
+        "events_processed": backend.events_processed,
+        "warnings": [_capture_warning(w) for w in backend._warnings],
+    }
+
+
+def _restore_common(backend: AnalysisBackend, state: dict) -> None:
+    backend.name = state["name"]
+    backend.events_processed = state["events_processed"]
+    backend._warnings = [_restore_warning(w) for w in state["warnings"]]
+
+
+# ------------------------------------------------------------------- codecs
+class _BasicCodec:
+    """Snapshot codec for :class:`VelodromeBasic` (node-valued state)."""
+
+    key = "basic"
+
+    def capture(self, backend: VelodromeBasic) -> dict:
+        def node_table(table: dict) -> list:
+            return [
+                [key, None if node.collected else node.seq]
+                for key, node in table.items()
+            ]
+
+        return {
+            **_capture_common(backend),
+            "collect_garbage": backend.graph.collect_garbage,
+            "cycle_strategy": backend.graph.cycle_strategy,
+            "graph": _capture_graph(backend.graph),
+            "depth": list(backend._depth.items()),
+            "current": node_table(backend._current),
+            "last": node_table(backend._last),
+            "unlocker": node_table(backend._unlocker),
+            "readers": [
+                [var, node_table(readers)]
+                for var, readers in backend._readers.items()
+            ],
+            "writer": node_table(backend._writer),
+        }
+
+    def restore(self, state: dict, compact_pools: bool = False) -> VelodromeBasic:
+        backend = VelodromeBasic(
+            collect_garbage=state["collect_garbage"],
+            cycle_strategy=state["cycle_strategy"],
+        )
+        _restore_common(backend, state)
+        nodes = _restore_graph(backend.graph, state["graph"])
+        dead = _tombstone()
+
+        def node_map(entries: list) -> dict:
+            return {
+                _key(key): dead if seq is None else nodes[seq]
+                for key, seq in entries
+            }
+
+        backend._depth = {tid: depth for tid, depth in state["depth"]}
+        backend._current = node_map(state["current"])
+        backend._last = node_map(state["last"])
+        backend._unlocker = node_map(state["unlocker"])
+        backend._readers = {
+            var: node_map(entries) for var, entries in state["readers"]
+        }
+        backend._writer = node_map(state["writer"])
+        return backend
+
+
+class _OptimizedCodec:
+    """Snapshot codec for :class:`VelodromeOptimized` (step-valued state)."""
+
+    key = "optimized"
+
+    def capture(self, backend: VelodromeOptimized) -> dict:
+        return {
+            **_capture_common(backend),
+            "merge_unary": backend.merge_unary,
+            "collect_garbage": backend.graph.collect_garbage,
+            "cycle_strategy": backend.graph.cycle_strategy,
+            "first_warning_per_label": backend.first_warning_per_label,
+            "suppressed_warnings": backend.suppressed_warnings,
+            "warned_labels": list(backend._warned_labels),
+            "graph": _capture_graph(backend.graph),
+            "stacks": [
+                [tid, [[b.label, b.entry.node.seq, b.entry.timestamp]
+                       for b in stack]]
+                for tid, stack in backend._stacks.items()
+            ],
+            "last": _step_table(backend._last),
+            "unlocker": _step_table(backend._unlocker),
+            "readers": [
+                [var, _step_table(readers)]
+                for var, readers in backend._readers.items()
+            ],
+            "writer": _step_table(backend._writer),
+        }
+
+    def build(self, state: dict) -> VelodromeOptimized:
+        return VelodromeOptimized(
+            merge_unary=state["merge_unary"],
+            collect_garbage=state["collect_garbage"],
+            cycle_strategy=state["cycle_strategy"],
+            first_warning_per_label=state["first_warning_per_label"],
+        )
+
+    def restore(
+        self, state: dict, compact_pools: bool = False
+    ) -> VelodromeOptimized:
+        backend = self.build(state)
+        _restore_common(backend, state)
+        nodes = _restore_graph(backend.graph, state["graph"])
+        self._restore_analysis_state(backend, state, nodes)
+        return backend
+
+    def _restore_analysis_state(
+        self,
+        backend: VelodromeOptimized,
+        state: dict,
+        nodes: dict[int, TxNode],
+    ) -> None:
+        dead = _tombstone()
+
+        def step(packed: Optional[list]) -> Step:
+            if packed is None:
+                return Step(dead, 0)
+            seq, timestamp = packed
+            try:
+                return Step(nodes[seq], timestamp)
+            except KeyError:
+                raise SnapshotError(
+                    f"step references node #{seq} missing from snapshot"
+                ) from None
+
+        def step_map(entries: list) -> dict:
+            return {_key(key): step(packed) for key, packed in entries}
+
+        backend.suppressed_warnings = state["suppressed_warnings"]
+        backend._warned_labels = set(state["warned_labels"])
+        backend._stacks = {
+            tid: [
+                _Block(label, Step(nodes[seq], timestamp))
+                for label, seq, timestamp in stack
+            ]
+            for tid, stack in state["stacks"]
+        }
+        backend._last = step_map(state["last"])
+        backend._unlocker = step_map(state["unlocker"])
+        backend._readers = {
+            var: step_map(entries) for var, entries in state["readers"]
+        }
+        backend._writer = step_map(state["writer"])
+
+
+class _CompactCodec(_OptimizedCodec):
+    """Snapshot codec for :class:`VelodromeCompact` (packed 64-bit state).
+
+    On top of the optimized state, captures the node pool (per-slot
+    residency, watermark, and timestamp base, the free list, and the
+    retirement count) and the four packed code maps verbatim, so a
+    verbatim restore reproduces even the future
+    :class:`~repro.graph.stepcode.SlotsExhausted` points exactly.
+    """
+
+    key = "compact"
+
+    def capture(self, backend: VelodromeCompact) -> dict:
+        pool = backend.pool
+        state = super().capture(backend)
+
+        # VelodromeCompact stores L/U/R/W as packed codes; the
+        # object-level tables the parent codec just captured are
+        # permanently empty.  Overwrite those fields with views decoded
+        # from the code maps (dead codes decode to None and pack to the
+        # tombstone marker) so the optimized-format fields describe the
+        # real state — the compacted-rebuild restore path re-encodes
+        # from them.
+        def decoded(table: dict) -> dict:
+            return {key: pool.decode(code) for key, code in table.items()}
+
+        readers: dict[str, dict[int, Optional[Step]]] = {}
+        for (var, tid), code in backend._reader_code.items():
+            readers.setdefault(var, {})[tid] = pool.decode(code)
+        state.update(
+            {
+                "last": _step_table(decoded(backend._last_code)),
+                "unlocker": _step_table(decoded(backend._unlocker_code)),
+                "writer": _step_table(decoded(backend._writer_code)),
+                "readers": [
+                    [var, _step_table(table)]
+                    for var, table in readers.items()
+                ],
+                "max_slots": pool.max_slots,
+                "timestamp_capacity": pool.timestamp_capacity,
+                "pool": {
+                    "resident": [
+                        None if node is None else node.seq
+                        for node in pool._resident
+                    ],
+                    "watermark": list(pool._watermark),
+                    "base": list(pool._base),
+                    "free": list(pool._free),
+                    "retired": pool._retired,
+                },
+                "codes": {
+                    "last": [[k, v] for k, v in backend._last_code.items()],
+                    "unlocker": [
+                        [k, v] for k, v in backend._unlocker_code.items()
+                    ],
+                    "writer": [
+                        [k, v] for k, v in backend._writer_code.items()
+                    ],
+                    "reader": [
+                        [list(k), v] for k, v in backend._reader_code.items()
+                    ],
+                    # Live iteration order, not sorted: the index drives
+                    # the WRITE rule's reader-edge order, which cycle
+                    # messages depend on.
+                    "reader_index": [
+                        [var, list(tids)]
+                        for var, tids in backend._reader_index.items()
+                    ],
+                },
+            }
+        )
+        return state
+
+    def build(self, state: dict) -> VelodromeCompact:
+        return VelodromeCompact(
+            max_slots=state["max_slots"],
+            timestamp_capacity=state["timestamp_capacity"],
+            merge_unary=state["merge_unary"],
+            collect_garbage=state["collect_garbage"],
+            cycle_strategy=state["cycle_strategy"],
+            first_warning_per_label=state["first_warning_per_label"],
+        )
+
+    def restore(
+        self, state: dict, compact_pools: bool = False
+    ) -> VelodromeCompact:
+        backend = self.build(state)
+        _restore_common(backend, state)
+        # The constructor hooked attach/detach into the graph; the
+        # rebuild below re-links slots manually, so unhook first and
+        # re-hook once the pool state is consistent.
+        backend.graph.on_alloc = None
+        backend.graph.on_collect = None
+        nodes = _restore_graph(backend.graph, state["graph"])
+        self._restore_analysis_state(backend, state, nodes)
+        if compact_pools:
+            self._rebuild_pool_compacted(backend, state, nodes)
+        else:
+            self._restore_pool_verbatim(backend, state, nodes)
+        # An organically-run compact backend never populates the
+        # object-level step tables (its _store_* overrides write codes
+        # instead); the copies restored above fed the pool rebuild, so
+        # empty them to match.
+        backend._last = {}
+        backend._unlocker = {}
+        backend._readers = {}
+        backend._writer = {}
+        backend.graph.on_alloc = backend.pool.attach
+        backend.graph.on_collect = backend.pool.detach
+        return backend
+
+    def _restore_pool_verbatim(
+        self,
+        backend: VelodromeCompact,
+        state: dict,
+        nodes: dict[int, TxNode],
+    ) -> None:
+        pool = backend.pool
+        pool_state = state["pool"]
+        pool._resident = [
+            None if seq is None else nodes[seq]
+            for seq in pool_state["resident"]
+        ]
+        pool._watermark = list(pool_state["watermark"])
+        pool._base = list(pool_state["base"])
+        pool._free = list(pool_state["free"])
+        pool._retired = pool_state["retired"]
+        pool._live = sum(1 for node in pool._resident if node is not None)
+        for slot, node in enumerate(pool._resident):
+            if node is not None:
+                node.slot = slot
+        codes = state["codes"]
+        backend._last_code = {tid: code for tid, code in codes["last"]}
+        backend._unlocker_code = {
+            lock: code for lock, code in codes["unlocker"]
+        }
+        backend._writer_code = {var: code for var, code in codes["writer"]}
+        backend._reader_code = {
+            (var, tid): code for (var, tid), code in codes["reader"]
+        }
+        backend._reader_index = {
+            var: set(tids) for var, tids in codes["reader_index"]
+        }
+
+    def _rebuild_pool_compacted(
+        self,
+        backend: VelodromeCompact,
+        state: dict,
+        nodes: dict[int, TxNode],
+    ) -> None:
+        """Attach live nodes to the fresh pool and re-encode all state.
+
+        Slot assignment restarts from slot 0 in node sequence order
+        (deterministic), every timestamp base resets, and retired
+        slots are reclaimed.  Dead codes re-encode as NIL — exactly
+        what they already decoded to — and every captured key stays
+        present, so map membership and iteration order (which the
+        WRITE rule's reader-edge order depends on) survive the rebuild.
+        """
+        pool = backend.pool
+        for seq in sorted(nodes):
+            pool.attach(nodes[seq])
+        backend._last_code = {
+            tid: pool.encode(step) for tid, step in backend._last.items()
+        }
+        backend._unlocker_code = {
+            lock: pool.encode(step)
+            for lock, step in backend._unlocker.items()
+        }
+        backend._writer_code = {
+            var: pool.encode(step) for var, step in backend._writer.items()
+        }
+        backend._reader_code = {
+            (var, tid): pool.encode(step)
+            for var, readers in backend._readers.items()
+            for tid, step in readers.items()
+        }
+        backend._reader_index = {
+            var: set(tids)
+            for var, tids in state["codes"]["reader_index"]
+        }
+
+
+_CODECS = {
+    VelodromeBasic: _BasicCodec(),
+    VelodromeOptimized: _OptimizedCodec(),
+    VelodromeCompact: _CompactCodec(),
+}
+_CODECS_BY_KEY = {codec.key: codec for codec in _CODECS.values()}
+
+
+def _key(key):
+    """JSON round-trips list-valued dict keys as lists; re-tuple them."""
+    return tuple(key) if isinstance(key, list) else key
+
+
+# ------------------------------------------------------------- public API
+def capture_backend(backend: AnalysisBackend) -> dict:
+    """The backend's complete analysis state as a JSON-ready dict."""
+    codec = _CODECS.get(type(backend))
+    if codec is None:
+        raise UnsupportedBackend(
+            f"no snapshot codec for {type(backend).__name__}; "
+            f"supported: {sorted(c.__name__ for c in _CODECS)}"
+        )
+    state = codec.capture(backend)
+    state["codec"] = codec.key
+    return state
+
+
+def restore_backend(
+    state: dict, compact_pools: bool = False
+) -> AnalysisBackend:
+    """Rebuild a backend from :func:`capture_backend` output."""
+    try:
+        codec = _CODECS_BY_KEY[state["codec"]]
+    except KeyError:
+        raise SnapshotError(
+            f"unknown backend codec {state.get('codec')!r}"
+        ) from None
+    return codec.restore(state, compact_pools=compact_pools)
+
+
+@dataclass(frozen=True)
+class Snapshot:
+    """One parsed checkpoint: stream position plus per-backend states."""
+
+    position: int
+    states: tuple[dict, ...]
+
+    def restore(self, compact_pools: bool = False) -> list[AnalysisBackend]:
+        return [
+            restore_backend(state, compact_pools=compact_pools)
+            for state in self.states
+        ]
+
+
+def capture_snapshot(
+    backends: Sequence[AnalysisBackend], position: int
+) -> dict:
+    """The versioned snapshot envelope for a group of backends."""
+    return {
+        "format": SNAPSHOT_FORMAT,
+        "version": SNAPSHOT_VERSION,
+        "position": position,
+        "backends": [capture_backend(backend) for backend in backends],
+    }
+
+
+def parse_snapshot(document: dict) -> Snapshot:
+    """Validate a snapshot envelope; raises :class:`SnapshotError`."""
+    if not isinstance(document, dict):
+        raise SnapshotError("snapshot must be a JSON object")
+    if document.get("format") != SNAPSHOT_FORMAT:
+        raise SnapshotError(
+            f"not a {SNAPSHOT_FORMAT} document "
+            f"(format={document.get('format')!r})"
+        )
+    version = document.get("version")
+    if version != SNAPSHOT_VERSION:
+        raise SnapshotError(
+            f"snapshot version {version!r} not supported "
+            f"(this build reads version {SNAPSHOT_VERSION})"
+        )
+    position = document.get("position")
+    if not isinstance(position, int) or position < 0:
+        raise SnapshotError(f"bad snapshot position {position!r}")
+    return Snapshot(
+        position=position, states=tuple(document.get("backends", ()))
+    )
+
+
+def write_snapshot(
+    path: PathLike, backends: Sequence[AnalysisBackend], position: int
+) -> Path:
+    """Atomically write a snapshot file (temp file + rename).
+
+    A crash during checkpointing leaves either the previous complete
+    snapshot or the new complete snapshot — never a torn file.
+    """
+    path = Path(path)
+    document = capture_snapshot(backends, position)
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(json.dumps(document, sort_keys=True), encoding="utf-8")
+    os.replace(tmp, path)
+    return path
+
+
+def read_snapshot(path: PathLike) -> Snapshot:
+    """Read and validate a snapshot file."""
+    path = Path(path)
+    try:
+        document = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise SnapshotError(f"{path}: snapshot is not valid JSON") from exc
+    return parse_snapshot(document)
+
+
+def clone_backend(
+    backend: AnalysisBackend, compact_pools: bool = False
+) -> AnalysisBackend:
+    """An independent copy of the backend via capture + restore."""
+    return restore_backend(
+        capture_backend(backend), compact_pools=compact_pools
+    )
+
+
+def adopt_state(target: AnalysisBackend, source: AnalysisBackend) -> None:
+    """Move ``source``'s state into ``target`` in place.
+
+    The pipeline and supervisor hold references to the original backend
+    object; after a checkpoint-and-compact or a degradation reset, the
+    rebuilt state must live in *that* object.  Backends are plain
+    attribute-dict classes, so adopting the instance dict is complete.
+    """
+    if type(target) is not type(source):
+        raise SnapshotError(
+            f"cannot adopt {type(source).__name__} state into "
+            f"{type(target).__name__}"
+        )
+    target.__dict__.clear()
+    target.__dict__.update(source.__dict__)

@@ -1,0 +1,293 @@
+"""The supervised checker runtime: checkpoints, recovery, budgets.
+
+:class:`SupervisedChecker` wraps a group of analysis backends the way
+:class:`~repro.pipeline.core.Pipeline` does — it is an event sink and
+can drain any :class:`~repro.pipeline.source.EventSource` — but adds
+the machinery a long-lived deployment needs:
+
+* **periodic checkpoints** — every ``checkpoint_every`` events the
+  complete analysis state is written atomically to
+  ``checkpoint_path`` (:func:`~repro.resilience.snapshot.
+  write_snapshot`); a killed process resumes from the last checkpoint
+  with :meth:`SupervisedChecker.resume` and produces byte-identical
+  verdicts to an uninterrupted run;
+* **exhaustion recovery** — a :class:`~repro.graph.stepcode.
+  SlotsExhausted` from a backend no longer kills the run.  The
+  supervisor keeps an in-memory *recovery boundary* (a snapshot plus
+  the operations seen since); on exhaustion it rolls the failed
+  backend back to the boundary with a compacted pool and replays,
+  escalating through the governor's degradation ladder if replay hits
+  the wall again;
+* **resource governance** — between events, each backend's
+  :class:`~repro.resilience.governor.ResourceGovernor` probes its
+  budgets and intervenes before hard failures happen.
+
+Failures are contained per backend: one exhausted analysis degrades
+alone while the others continue unperturbed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Sequence, Union
+
+from repro.core.backend import AnalysisBackend
+from repro.events.operations import Operation
+from repro.graph.stepcode import SlotsExhausted
+from repro.pipeline.source import EventSource, SourceResult
+from repro.resilience.governor import (
+    Budgets,
+    DegradationEvent,
+    GovernorError,
+    ResourceGovernor,
+)
+from repro.resilience.snapshot import (
+    adopt_state,
+    capture_backend,
+    read_snapshot,
+    restore_backend,
+    write_snapshot,
+)
+
+PathLike = Union[str, Path]
+
+#: How many ladder round-trips one replayed operation may trigger
+#: before the supervisor concludes nothing can save it.
+MAX_REPLAY_ATTEMPTS = 3
+
+
+@dataclass(frozen=True)
+class SupervisedReport:
+    """What happened during a supervised run."""
+
+    events: int
+    checkpoints_written: int
+    recoveries: int
+    degraded: bool
+    degradations: tuple[DegradationEvent, ...]
+
+    def summary(self) -> str:
+        flag = " [DEGRADED COMPLETENESS]" if self.degraded else ""
+        return (
+            f"supervised: {self.events} events, "
+            f"{self.checkpoints_written} checkpoints, "
+            f"{self.recoveries} recoveries, "
+            f"{len(self.degradations)} interventions{flag}"
+        )
+
+
+class SupervisedChecker:
+    """Run backends under supervision; an event sink like a pipeline.
+
+    Args:
+        backends: the analyses to feed, in order.
+        checkpoint_every: write a snapshot every this many events
+            (``None`` disables periodic checkpoints).
+        checkpoint_path: where snapshots go; required when
+            ``checkpoint_every`` is set, optional otherwise (a final
+            checkpoint can still be requested with :meth:`checkpoint`).
+        budgets: resource budgets enforced per backend.
+        on_pressure: ``"degrade"`` lets the governor's final rung reset
+            the happens-before window (sound, flagged, run completes);
+            ``"fail"`` re-raises the original exhaustion instead.
+        recovery_window: events between in-memory recovery boundaries.
+            Defaults to ``checkpoint_every`` when set, else 256.
+            Smaller windows make exhaustion recovery cheaper but
+            capture state more often.
+        start_position: stream position of the first event this
+            instance will see (non-zero when resuming).
+    """
+
+    def __init__(
+        self,
+        backends: Sequence[AnalysisBackend],
+        checkpoint_every: Optional[int] = None,
+        checkpoint_path: Optional[PathLike] = None,
+        budgets: Optional[Budgets] = None,
+        on_pressure: str = "degrade",
+        recovery_window: Optional[int] = None,
+        start_position: int = 0,
+    ):
+        if checkpoint_every is not None and checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be >= 1")
+        if checkpoint_every is not None and checkpoint_path is None:
+            raise ValueError(
+                "checkpoint_every requires a checkpoint_path"
+            )
+        self.backends = list(backends)
+        self.checkpoint_every = checkpoint_every
+        self.checkpoint_path = (
+            None if checkpoint_path is None else Path(checkpoint_path)
+        )
+        self.budgets = budgets if budgets is not None else Budgets()
+        self.governors = [
+            ResourceGovernor(backend, self.budgets, on_pressure=on_pressure)
+            for backend in self.backends
+        ]
+        self.on_pressure = on_pressure
+        if recovery_window is None:
+            recovery_window = (
+                checkpoint_every if checkpoint_every is not None else 256
+            )
+        if recovery_window < 1:
+            raise ValueError("recovery_window must be >= 1")
+        self.recovery_window = recovery_window
+        self.position = start_position
+        self.checkpoints_written = 0
+        self.recoveries = 0
+        self._boundary: list[dict] = [
+            capture_backend(backend) for backend in self.backends
+        ]
+        self._buffer: list[Operation] = []
+
+    # -------------------------------------------------------------- resuming
+    @classmethod
+    def resume(
+        cls, checkpoint_path: PathLike, **options
+    ) -> "SupervisedChecker":
+        """Rebuild a supervised run from its last checkpoint file.
+
+        The returned checker expects the event stream to continue at
+        :attr:`position`; feed it ``ops[checker.position:]`` (or seek
+        the recording) and the completed run is byte-identical to one
+        that was never interrupted.
+        """
+        snapshot = read_snapshot(checkpoint_path)
+        return cls(
+            snapshot.restore(),
+            checkpoint_path=checkpoint_path,
+            start_position=snapshot.position,
+            **options,
+        )
+
+    # ------------------------------------------------------------ event sink
+    def process(self, op: Operation) -> None:
+        """Feed one operation to every backend, with recovery."""
+        for index, backend in enumerate(self.backends):
+            try:
+                backend.process(op)
+            except SlotsExhausted as exc:
+                self._recover(index, op, exc)
+        self.position += 1
+        self._buffer.append(op)
+        for governor in self.governors:
+            if governor.should_check(self.position):
+                governor.intervene(self.position)
+        if (
+            self.checkpoint_every is not None
+            and self.position % self.checkpoint_every == 0
+        ):
+            self.checkpoint()
+        elif len(self._buffer) >= self.recovery_window:
+            self._refresh_boundary()
+
+    __call__ = process
+
+    def finish(self) -> None:
+        """Signal end of stream to every backend."""
+        for backend in self.backends:
+            backend.finish()
+
+    def run(self, source: EventSource) -> SourceResult:
+        """Drain ``source`` through the supervised backends."""
+        result = source.run(self.process)
+        self.finish()
+        return result
+
+    # ----------------------------------------------------------- checkpoints
+    def checkpoint(self, path: Optional[PathLike] = None) -> Path:
+        """Write a snapshot now; returns the file written.
+
+        Also refreshes the in-memory recovery boundary — the state
+        just captured is the newest consistent cut.
+        """
+        target = Path(path) if path is not None else self.checkpoint_path
+        if target is None:
+            raise ValueError("no checkpoint path configured")
+        written = write_snapshot(target, self.backends, self.position)
+        self.checkpoints_written += 1
+        self._refresh_boundary()
+        return written
+
+    def _refresh_boundary(self) -> None:
+        self._boundary = [
+            capture_backend(backend) for backend in self.backends
+        ]
+        self._buffer.clear()
+
+    # -------------------------------------------------------------- recovery
+    def _recover(
+        self, index: int, op: Operation, exc: SlotsExhausted
+    ) -> None:
+        """Roll backend ``index`` back to the boundary and replay.
+
+        The failed ``process`` call may have half-applied ``op``
+        (edges added, a node allocated, a warning reported) — the
+        rollback discards all of that, so recovery never duplicates or
+        loses work.  The restore compacts the step-code pool, which is
+        what usually clears the exhaustion; if replay hits the wall
+        again the governor's ladder escalates, ending (when permitted)
+        in the sound-but-flagged window reset.
+        """
+        if self.on_pressure == "fail":
+            raise
+        self.recoveries += 1
+        backend = self.backends[index]
+        governor = self.governors[index]
+        adopt_state(
+            backend, restore_backend(self._boundary[index],
+                                     compact_pools=True)
+        )
+        for replayed in [*self._buffer, op]:
+            attempts = 0
+            while True:
+                rollback = capture_backend(backend)
+                try:
+                    backend.process(replayed)
+                    break
+                except SlotsExhausted as replay_exc:
+                    attempts += 1
+                    adopt_state(
+                        backend,
+                        restore_backend(rollback, compact_pools=True),
+                    )
+                    if attempts >= MAX_REPLAY_ATTEMPTS:
+                        raise GovernorError(
+                            f"recovery replay could not get past event "
+                            f"{backend.events_processed} after "
+                            f"{attempts} attempts: {replay_exc}"
+                        ) from replay_exc
+                    governor.handle_exhaustion(
+                        backend.events_processed, replay_exc
+                    )
+
+    # --------------------------------------------------------------- results
+    @property
+    def degraded(self) -> bool:
+        """True if any backend runs with degraded completeness."""
+        return any(governor.degraded for governor in self.governors)
+
+    def degradations(self) -> list[DegradationEvent]:
+        """Every governor intervention, across backends, in order."""
+        merged: list[DegradationEvent] = []
+        for governor in self.governors:
+            merged.extend(governor.events)
+        merged.sort(key=lambda event: event.position)
+        return merged
+
+    def warnings(self) -> list:
+        """All warnings from all backends, in backend order."""
+        collected = []
+        for backend in self.backends:
+            collected.extend(backend.warnings)
+        return collected
+
+    def report(self) -> SupervisedReport:
+        return SupervisedReport(
+            events=self.position,
+            checkpoints_written=self.checkpoints_written,
+            recoveries=self.recoveries,
+            degraded=self.degraded,
+            degradations=tuple(self.degradations()),
+        )

@@ -1,0 +1,111 @@
+"""Tests for crash/fault-injection fuzzing (repro.fuzz.faults).
+
+These are the differential probes the ``--crash`` fuzzer mode runs:
+kill-at-k + resume-from-checkpoint, and fault-laced streams through
+the hardened reader.  Beyond "the probes come back clean", the suite
+proves the probes can *fail* — a detector that cannot fire is not
+testing anything.
+"""
+
+import io
+
+import pytest
+
+from repro.events.serialize import load_jsonl
+from repro.events.trace import Trace
+from repro.fuzz import (
+    FuzzConfig,
+    FuzzEngine,
+    crash_recovery_divergences,
+    default_grid,
+    fault_injection_divergences,
+    lace_stream,
+    trace_for_seed,
+)
+from repro.resilience.quarantine import LENIENT, HardenedJsonlSource
+
+SEEDS = (1, 7, 23)
+
+
+class TestCrashRecoveryProbe:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_clean_on_random_traces(self, seed):
+        trace = trace_for_seed(seed)
+        assert crash_recovery_divergences(
+            trace, configs=default_grid(), seed=seed
+        ) == []
+
+    def test_empty_trace_is_trivially_clean(self):
+        assert crash_recovery_divergences(Trace([])) == []
+
+    def test_kill_point_is_seed_deterministic(self, tmp_path):
+        trace = trace_for_seed(3)
+        a = tmp_path / "a"
+        b = tmp_path / "b"
+        a.mkdir()
+        b.mkdir()
+        crash_recovery_divergences(
+            trace, configs=default_grid()[:1], seed=9, snapshot_dir=a
+        )
+        crash_recovery_divergences(
+            trace, configs=default_grid()[:1], seed=9, snapshot_dir=b
+        )
+        [snap_a] = list(a.iterdir())
+        [snap_b] = list(b.iterdir())
+        assert snap_a.read_text() == snap_b.read_text()
+
+
+class TestLacedStreams:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_clean_on_random_traces(self, seed):
+        trace = trace_for_seed(seed)
+        assert fault_injection_divergences(
+            trace, configs=default_grid(), seed=seed
+        ) == []
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_lacing_is_repairable_by_construction(self, seed):
+        # The hardened reader must recover the *exact* original trace
+        # from any laced stream: no record lost, none duplicated.
+        trace = trace_for_seed(seed)
+        laced = lace_stream(trace, seed)
+        source = HardenedJsonlSource(io.StringIO(laced), policy=LENIENT)
+        recovered = []
+        source.run(recovered.append)
+        assert recovered == list(trace)
+
+    def test_lacing_actually_injects_faults(self):
+        trace = trace_for_seed(1)
+        laced = lace_stream(trace, seed=1)
+        clean_lines = len(list(trace))
+        assert len(laced.splitlines()) > clean_lines
+
+    def test_laced_stream_breaks_the_naive_loader(self):
+        # The point of the hardened reader: the plain loader dies on
+        # the same stream the quarantine absorbs.
+        laced = lace_stream(trace_for_seed(1), seed=1, faults=8)
+        with pytest.raises(ValueError):
+            load_jsonl(io.StringIO(laced))
+
+
+class TestEngineIntegration:
+    def test_crash_mode_small_run_is_clean(self):
+        report = FuzzEngine(
+            FuzzConfig(
+                budget=3, seed=0, crash=True,
+                configs=default_grid(),
+            )
+        ).run()
+        assert report.clean, [
+            (f.seed, [d.kind for d in f.divergences])
+            for f in report.findings
+        ]
+
+    def test_crash_divergence_kinds_are_distinct(self):
+        # The probe kinds must not collide with the verdict sweep's,
+        # or shrinking would chase the wrong predicate.
+        from repro.fuzz.verdicts import Divergence
+
+        assert Divergence(
+            kind="crash-recovery", config="c", expected="e", observed="o"
+        ).kind != "crash"

@@ -1,0 +1,140 @@
+"""Tests for the resource governor (repro.resilience.governor)."""
+
+import pytest
+
+from repro.core.basic import VelodromeBasic
+from repro.core.compact import VelodromeCompact
+from repro.events.trace import Trace
+from repro.fuzz import trace_for_seed
+from repro.graph.stepcode import SlotsExhausted
+from repro.resilience.governor import (
+    RUNGS,
+    Budgets,
+    GovernorError,
+    ResourceGovernor,
+)
+
+
+class TestBudgets:
+    def test_defaults_are_unbounded(self):
+        assert Budgets().unbounded
+
+    def test_any_limit_is_bounded(self):
+        assert not Budgets(max_live_nodes=10).unbounded
+        assert not Budgets(max_state_entries=10).unbounded
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"check_interval": 0},
+            {"cooldown": -1},
+            {"max_live_nodes": 0},
+            {"max_state_entries": -5},
+        ],
+    )
+    def test_invalid_values_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            Budgets(**kwargs)
+
+    def test_unbounded_budgets_never_probe(self):
+        governor = ResourceGovernor(VelodromeBasic(), Budgets())
+        assert not governor.should_check(0)
+        assert not governor.should_check(256)
+
+
+class TestLadder:
+    def test_rungs_order_least_to_most_aggressive(self):
+        assert RUNGS == (
+            "sweep", "compact-state", "checkpoint-compact", "degrade"
+        )
+
+    def test_no_pressure_no_intervention(self):
+        backend = VelodromeBasic()
+        backend.process_trace(Trace.parse("1:begin 1:rd(x) 1:end"))
+        governor = ResourceGovernor(
+            backend, Budgets(max_live_nodes=100, check_interval=1)
+        )
+        assert not governor.intervene(3)
+        assert governor.events == []
+        assert not governor.degraded
+
+    def test_pressure_climbs_to_degrade_and_flags(self):
+        backend = VelodromeBasic(collect_garbage=False)
+        # Three concurrent open transactions: an irreducible live set.
+        backend.process_trace(Trace.parse("1:begin 2:begin 3:begin"))
+        governor = ResourceGovernor(
+            backend, Budgets(max_live_nodes=1, check_interval=1)
+        )
+        governor.intervene(3)
+        assert governor.degraded
+        # Inapplicable rungs (nothing dead to compact, no step-code
+        # pool) are skipped; the climb still ends at degrade.
+        rungs = [event.rung for event in governor.events]
+        assert rungs[-1] == "degrade"
+        assert rungs == sorted(rungs, key=RUNGS.index)
+
+    def test_budget_pressure_is_advisory_never_raises(self):
+        # Even when the ladder cannot reach the budget (current
+        # transactions are the floor), relieve reports failure instead
+        # of killing the run.
+        backend = VelodromeBasic(collect_garbage=False)
+        backend.process_trace(Trace.parse("1:begin 2:begin 3:begin"))
+        governor = ResourceGovernor(backend, Budgets(max_live_nodes=1))
+        assert governor.relieve(3, "live-nodes 3 > budget 1") is False
+        assert governor.degraded
+
+    def test_cooldown_prevents_thrash(self):
+        backend = VelodromeBasic(collect_garbage=False)
+        backend.process_trace(Trace.parse("1:begin 2:begin 3:begin"))
+        governor = ResourceGovernor(
+            backend, Budgets(max_live_nodes=1, check_interval=1, cooldown=64)
+        )
+        governor.intervene(3)
+        taken = len(governor.events)
+        governor.intervene(4)  # every rung still cooling down
+        assert len(governor.events) == taken
+
+    def test_fail_mode_withholds_degrade_rung(self):
+        backend = VelodromeBasic(collect_garbage=False)
+        backend.process_trace(Trace.parse("1:begin 2:begin 3:begin"))
+        governor = ResourceGovernor(
+            backend, Budgets(max_live_nodes=1), on_pressure="fail"
+        )
+        governor.relieve(3, "pressure")
+        assert not governor.degraded
+        assert "degrade" not in {event.rung for event in governor.events}
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="on_pressure"):
+            ResourceGovernor(VelodromeBasic(), Budgets(), on_pressure="panic")
+
+
+class TestExhaustionHandling:
+    def exhaust(self, backend, ops):
+        for op in ops:
+            try:
+                backend.process(op)
+            except SlotsExhausted as exc:
+                return exc
+        pytest.fail("backend never exhausted")
+
+    def test_handle_exhaustion_frees_pool_resources(self):
+        backend = VelodromeCompact(
+            max_slots=4, timestamp_capacity=64, collect_garbage=False
+        )
+        exc = self.exhaust(backend, list(trace_for_seed(5)))
+        governor = ResourceGovernor(backend, Budgets())
+        governor.handle_exhaustion(backend.events_processed, exc)
+        assert backend.pool.pool_stats().attachable > 0
+        assert governor.events  # interventions were recorded
+
+    def test_ladder_exhausted_raises_governor_error(self):
+        # With every slot pinned by an *open* transaction nothing on
+        # the ladder can free a slot: the governor must give up loudly.
+        backend = VelodromeCompact(max_slots=2, collect_garbage=False)
+        exc = self.exhaust(
+            backend, list(Trace.parse("1:begin 2:begin 3:begin"))
+        )
+        governor = ResourceGovernor(backend, Budgets())
+        with pytest.raises(GovernorError, match="ladder exhausted"):
+            governor.handle_exhaustion(backend.events_processed, exc)

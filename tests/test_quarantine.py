@@ -1,0 +1,175 @@
+"""Tests for event-stream hardening (repro.resilience.quarantine)."""
+
+import io
+import json
+
+import pytest
+
+from repro.core.basic import VelodromeBasic
+from repro.events import operations as ops
+from repro.events.serialize import dump_jsonl
+from repro.events.trace import Trace
+from repro.resilience.quarantine import (
+    LENIENT,
+    STRICT,
+    FaultKind,
+    HardenedJsonlSource,
+    HardenedTraceSource,
+    Quarantine,
+    ResyncPolicy,
+    StreamFault,
+    StreamIntegrityError,
+)
+
+CLEAN = Trace.parse("1:begin(m) 1:rd(x) 1:wr(x) 1:end 2:wr(x)")
+
+
+def jsonl(trace, with_seq=False):
+    buffer = io.StringIO()
+    dump_jsonl(trace, buffer, with_seq=with_seq)
+    return buffer.getvalue()
+
+
+def drain(source):
+    collected = []
+    result = source.run(collected.append)
+    return collected, result
+
+
+class TestCleanStreams:
+    def test_plain_stream_delivered_unchanged(self):
+        source = HardenedJsonlSource(io.StringIO(jsonl(CLEAN)))
+        collected, result = drain(source)
+        assert collected == list(CLEAN)
+        assert result.events == len(CLEAN)
+        assert len(source.quarantine) == 0
+        assert source.quarantine.summary() == "quarantine: clean stream"
+
+    def test_sequenced_stream_delivered_unchanged(self):
+        source = HardenedJsonlSource(io.StringIO(jsonl(CLEAN, with_seq=True)))
+        collected, _ = drain(source)
+        assert collected == list(CLEAN)
+
+    def test_path_source(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text(jsonl(CLEAN), encoding="utf-8")
+        collected, _ = drain(HardenedJsonlSource(path))
+        assert collected == list(CLEAN)
+
+
+class TestFaultClassification:
+    def laced(self):
+        lines = jsonl(CLEAN, with_seq=True).splitlines(keepends=True)
+        lines.insert(2, "{broken json\n")
+        lines.insert(4, json.dumps({"kind": "fence", "tid": 1}) + "\n")
+        lines.append(lines[0])  # duplicate of seq 0
+        lines.append('{"kind": "rd", "tid": 1, "tar')  # torn tail
+        return "".join(lines)
+
+    def test_all_good_records_still_delivered(self):
+        source = HardenedJsonlSource(io.StringIO(self.laced()))
+        collected, result = drain(source)
+        assert collected == list(CLEAN)
+        assert result.events == len(CLEAN)
+
+    def test_faults_classified(self):
+        source = HardenedJsonlSource(io.StringIO(self.laced()))
+        drain(source)
+        counts = source.quarantine.counts()
+        assert counts["malformed"] == 1
+        assert counts["unknown-op"] == 1
+        assert counts["duplicate"] == 1
+        assert counts["torn"] == 1
+
+    def test_faults_carry_location(self):
+        source = HardenedJsonlSource(io.StringIO(self.laced()))
+        drain(source)
+        for fault in source.quarantine.faults:
+            assert fault.line_number is not None
+            assert fault.byte_offset is not None
+
+    def test_out_of_order_and_gap(self):
+        lines = jsonl(CLEAN, with_seq=True).splitlines(keepends=True)
+        reordered = [lines[0], lines[2], lines[1], *lines[3:]]
+        source = HardenedJsonlSource(io.StringIO("".join(reordered)))
+        collected, _ = drain(source)
+        counts = source.quarantine.counts()
+        # seq 2 after seq 0 is a gap (seq 1 missing, still delivered);
+        # seq 1 after seq 2 is out of order (quarantined).
+        assert counts["gap"] == 1
+        assert counts["out-of-order"] == 1
+        assert len(collected) == len(CLEAN) - 1
+
+    def test_structural_guard_rejects_end_without_begin(self):
+        stream = Trace([ops.end(1), ops.read(1, "x")])
+        source = HardenedJsonlSource(io.StringIO(jsonl(stream)))
+        collected, _ = drain(source)
+        assert collected == [ops.read(1, "x")]
+        [fault] = source.quarantine.faults
+        assert fault.kind is FaultKind.STRUCTURAL
+
+    def test_structural_guard_protects_backend(self):
+        backend = VelodromeBasic()
+        stream = Trace([ops.end(1), *CLEAN])
+        source = HardenedJsonlSource(io.StringIO(jsonl(stream)))
+        source.run(backend.process)  # must not raise from the backend
+        backend.finish()
+        assert backend.events_processed == len(CLEAN)
+
+    def test_structural_guard_optional(self):
+        stream = Trace([ops.begin(2), ops.end(2), ops.end(1)])
+        source = HardenedJsonlSource(
+            io.StringIO(jsonl(stream)), structural=False
+        )
+        collected, _ = drain(source)
+        assert len(collected) == 3
+
+
+class TestPolicies:
+    def test_strict_halts_on_first_fault(self):
+        source = HardenedJsonlSource(
+            io.StringIO("garbage\n" + jsonl(CLEAN)), policy=STRICT
+        )
+        with pytest.raises(StreamIntegrityError) as info:
+            drain(source)
+        assert [f.kind for f in info.value.faults] == [FaultKind.MALFORMED]
+
+    def test_fault_budget(self):
+        policy = ResyncPolicy(action="skip", max_faults=1)
+        source = HardenedJsonlSource(
+            io.StringIO("garbage\ngarbage\n" + jsonl(CLEAN)), policy=policy
+        )
+        with pytest.raises(StreamIntegrityError, match="budget exceeded"):
+            drain(source)
+
+    def test_selective_halt_on(self):
+        policy = ResyncPolicy(
+            action="skip", halt_on=frozenset({FaultKind.STRUCTURAL})
+        )
+        stream = Trace([*CLEAN, ops.end(3)])
+        source = HardenedJsonlSource(
+            io.StringIO("garbage\n" + jsonl(stream)), policy=policy
+        )
+        with pytest.raises(StreamIntegrityError, match="structural"):
+            drain(source)
+
+    def test_unknown_action_rejected(self):
+        with pytest.raises(ValueError, match="resync action"):
+            ResyncPolicy(action="retry")
+
+    def test_quarantine_admit_respects_halt(self):
+        quarantine = Quarantine(STRICT)
+        with pytest.raises(StreamIntegrityError):
+            quarantine.admit(
+                StreamFault(FaultKind.MALFORMED, "boom", position=0)
+            )
+
+
+class TestHardenedTraceSource:
+    def test_structural_only(self):
+        stream = [ops.end(1), *CLEAN]
+        source = HardenedTraceSource(stream, policy=LENIENT)
+        collected, result = drain(source)
+        assert collected == list(CLEAN)
+        assert result.events == len(CLEAN)
+        assert source.quarantine.counts() == {"structural": 1}

@@ -1,6 +1,7 @@
 """Tests for trace serialization (JSONL and DSL files)."""
 
 import io
+import json
 
 import pytest
 
@@ -219,3 +220,99 @@ class TestLocaleIndependence:
         )
         assert result.returncode == 0, result.stderr
         assert "OK" in result.stdout
+
+
+class TestStreamingReader:
+    """iter_jsonl / load_jsonl_tolerant: torn tails, offsets, seq."""
+
+    def stream(self, text):
+        from repro.events.serialize import iter_jsonl
+
+        return list(iter_jsonl(io.StringIO(text)))
+
+    def test_clean_stream_yields_records_with_offsets(self):
+        buffer = io.StringIO()
+        dump_jsonl(SAMPLE, buffer)
+        items = self.stream(buffer.getvalue())
+        assert [item.op for item in items] == list(SAMPLE)
+        text = buffer.getvalue()
+        for item in items:
+            line = text[item.byte_offset:].split("\n", 1)[0]
+            assert operation_from_json(json.loads(line)) == item.op
+
+    def test_torn_final_record_reported_not_raised(self):
+        from repro.events.serialize import JsonlFault
+
+        buffer = io.StringIO()
+        dump_jsonl(SAMPLE, buffer)
+        text = buffer.getvalue()[:-10]  # cut mid final record
+        items = self.stream(text)
+        assert [item.op for item in items[:-1]] == list(SAMPLE)[:-1]
+        tail = items[-1]
+        assert isinstance(tail, JsonlFault)
+        assert tail.torn
+        # The offset is where a recovery tool truncates: everything
+        # before it is exactly the complete records.
+        assert text[: tail.byte_offset].endswith("\n")
+
+    def test_torn_record_never_parsed_even_if_prefix_is_valid_json(self):
+        # '{"kind": "end", "tid": 12' cut to '...\"tid\": 1' would parse
+        # with the wrong tid; torn means quarantined, always.
+        text = '{"kind": "end", "tid": 1'
+        [tail] = self.stream(text)
+        assert tail.torn
+
+    def test_interior_corruption_is_a_non_torn_fault(self):
+        text = 'garbage\n{"kind": "end", "tid": 1}\n'
+        fault, record = self.stream(text)
+        assert not fault.torn
+        assert record.op == ops.end(1)
+
+    def test_load_jsonl_tolerant(self):
+        from repro.events.serialize import load_jsonl_tolerant
+
+        buffer = io.StringIO()
+        dump_jsonl(SAMPLE, buffer)
+        trace, tail = load_jsonl_tolerant(
+            io.StringIO(buffer.getvalue()[:-5])
+        )
+        assert trace == Trace(list(SAMPLE)[:-1])
+        assert tail is not None and tail.torn
+
+    def test_load_jsonl_tolerant_clean_stream_has_no_tail(self):
+        from repro.events.serialize import load_jsonl_tolerant
+
+        buffer = io.StringIO()
+        dump_jsonl(SAMPLE, buffer)
+        trace, tail = load_jsonl_tolerant(io.StringIO(buffer.getvalue()))
+        assert trace == SAMPLE
+        assert tail is None
+
+    def test_load_jsonl_tolerant_interior_corruption_raises(self):
+        from repro.events.serialize import load_jsonl_tolerant
+
+        with pytest.raises(ValueError, match="line 1"):
+            load_jsonl_tolerant(io.StringIO("garbage\n"))
+
+    def test_seq_field_round_trip(self):
+        buffer = io.StringIO()
+        dump_jsonl(SAMPLE, buffer, with_seq=True)
+        items = self.stream(buffer.getvalue())
+        assert [item.seq for item in items] == list(range(len(SAMPLE)))
+
+    def test_sequenced_recording_loads_like_a_plain_one(self):
+        buffer = io.StringIO()
+        dump_jsonl(SAMPLE, buffer, with_seq=True)
+        buffer.seek(0)
+        assert load_jsonl(buffer) == SAMPLE
+
+    def test_multibyte_content_offsets_are_utf8(self):
+        trace = Trace([ops.write(1, "данные")])
+        buffer = io.StringIO()
+        dump_jsonl(trace, buffer)
+        text = buffer.getvalue() + '{"torn'
+        *records, tail = self.stream(text)
+        assert tail.torn
+        assert tail.byte_offset == len(
+            text[: -len('{"torn')].encode("utf-8")
+        )

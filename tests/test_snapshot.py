@@ -1,0 +1,245 @@
+"""Tests for checkpoint/restore (repro.resilience.snapshot).
+
+The contract under test is *byte-identical resumption*: splitting any
+trace at any event, snapshotting, restoring, and replaying the rest
+must reproduce the uninterrupted run's verdict and every warning —
+across the full ablation grid, through the file format, and in the
+compacted-pool restore mode.
+"""
+
+import json
+import random
+
+import pytest
+
+from repro.core.backend import AnalysisBackend
+from repro.core.basic import VelodromeBasic
+from repro.core.compact import VelodromeCompact
+from repro.core.optimized import VelodromeOptimized
+from repro.events.trace import Trace
+from repro.fuzz import ablation_grid, trace_for_seed
+from repro.graph.stepcode import SlotsExhausted
+from repro.resilience.snapshot import (
+    SNAPSHOT_FORMAT,
+    SNAPSHOT_VERSION,
+    SnapshotError,
+    UnsupportedBackend,
+    adopt_state,
+    capture_backend,
+    capture_snapshot,
+    clone_backend,
+    parse_snapshot,
+    read_snapshot,
+    restore_backend,
+    supports,
+    write_snapshot,
+)
+
+NON_SERIALIZABLE = "1:begin(m) 1:rd(x) 2:wr(x) 1:wr(x) 1:end"
+
+
+def fingerprint(backend):
+    """Everything observable about a finished run."""
+    return (
+        backend.error_detected,
+        [
+            (w.kind.value, w.label, w.tid, w.position, w.message, w.blamed)
+            for w in backend.warnings
+        ],
+    )
+
+
+def run_split(factory, ops, k, compact_pools=False, via_file=None):
+    """Run to ``k``, snapshot, restore, replay the rest; return backend."""
+    backend = factory()
+    for op in ops[:k]:
+        backend.process(op)
+    if via_file is not None:
+        path = via_file / "snap.json"
+        write_snapshot(path, [backend], k)
+        del backend
+        snapshot = read_snapshot(path)
+        assert snapshot.position == k
+        [restored] = snapshot.restore(compact_pools=compact_pools)
+    else:
+        state = capture_backend(backend)
+        del backend
+        restored = restore_backend(state, compact_pools=compact_pools)
+    for op in ops[k:]:
+        restored.process(op)
+    restored.finish()
+    return restored
+
+
+class TestGridRoundTrips:
+    """Satellite: round-trips across every ablation-grid configuration."""
+
+    @pytest.mark.parametrize(
+        "config", ablation_grid(), ids=lambda c: c.name
+    )
+    def test_random_split_is_byte_identical(self, config):
+        rng = random.Random(hash(config.name) & 0xFFFF)
+        for seed in (3, 17):
+            ops = list(trace_for_seed(seed))
+            reference = config.build()
+            for op in ops:
+                reference.process(op)
+            reference.finish()
+            k = rng.randrange(len(ops) + 1)
+            resumed = run_split(config.build, ops, k)
+            assert fingerprint(resumed) == fingerprint(reference), (
+                f"{config.name}: split at {k} of {len(ops)} diverged"
+            )
+
+    def test_blamed_labels_survive_split(self, tmp_path):
+        ops = list(Trace.parse(NON_SERIALIZABLE))
+        for factory in (VelodromeBasic, VelodromeOptimized, VelodromeCompact):
+            reference = factory()
+            reference.process_trace(Trace(ops))
+            reference.finish()
+            assert reference.error_detected
+            for k in range(len(ops) + 1):
+                resumed = run_split(factory, ops, k, via_file=tmp_path)
+                assert fingerprint(resumed) == fingerprint(reference)
+
+
+class TestCompactFidelity:
+    def tiny(self):
+        return VelodromeCompact(
+            max_slots=4, timestamp_capacity=64, collect_garbage=False
+        )
+
+    def exhaustion_point(self, factory, ops):
+        backend = factory()
+        for index, op in enumerate(ops):
+            try:
+                backend.process(op)
+            except SlotsExhausted:
+                return index
+        return None
+
+    def test_verbatim_restore_reproduces_exhaustion_point(self):
+        ops = list(trace_for_seed(5))
+        point = self.exhaustion_point(self.tiny, ops)
+        assert point is not None, "trace too small to exhaust tiny pool"
+        # Snapshot *before* the wall; the verbatim restore must hit the
+        # wall at exactly the same future event.
+        k = point // 2
+        backend = self.tiny()
+        for op in ops[:k]:
+            backend.process(op)
+        restored = restore_backend(capture_backend(backend))
+        for index, op in enumerate(ops[k:], start=k):
+            try:
+                restored.process(op)
+            except SlotsExhausted:
+                assert index == point
+                break
+        else:
+            pytest.fail("restored run never exhausted")
+
+    def test_compacted_restore_never_moves_the_wall_earlier(self):
+        # Re-basing pools reclaims retired slots and burned timestamp
+        # ranges; it cannot shrink the live set (GC is off here), so
+        # the exhaustion point may stay put but must never move up.
+        ops = list(trace_for_seed(5))
+        point = self.exhaustion_point(self.tiny, ops)
+        k = point // 2
+        backend = self.tiny()
+        for op in ops[:k]:
+            backend.process(op)
+        compacted = restore_backend(
+            capture_backend(backend), compact_pools=True
+        )
+        later = self.exhaustion_point(lambda: compacted, ops[k:])
+        resumed_point = None if later is None else k + later
+        assert resumed_point is None or resumed_point >= point
+
+    def test_compacted_restore_preserves_warnings(self):
+        ops = list(Trace.parse(NON_SERIALIZABLE))
+        reference = VelodromeCompact()
+        reference.process_trace(Trace(ops))
+        reference.finish()
+        for k in range(len(ops) + 1):
+            resumed = run_split(VelodromeCompact, ops, k, compact_pools=True)
+            assert fingerprint(resumed) == fingerprint(reference)
+
+
+class TestFileFormat:
+    def snapshot_document(self):
+        backend = VelodromeBasic()
+        backend.process_trace(Trace.parse("1:begin 1:wr(x) 1:end"))
+        return capture_snapshot([backend], position=3)
+
+    def test_document_carries_format_and_version(self):
+        document = self.snapshot_document()
+        assert document["format"] == SNAPSHOT_FORMAT
+        assert document["version"] == SNAPSHOT_VERSION
+        json.dumps(document)  # must be pure-JSON serializable
+
+    def test_wrong_format_rejected(self):
+        document = self.snapshot_document()
+        document["format"] = "pickle"
+        with pytest.raises(SnapshotError, match="format"):
+            parse_snapshot(document)
+
+    def test_future_version_rejected(self):
+        document = self.snapshot_document()
+        document["version"] = SNAPSHOT_VERSION + 1
+        with pytest.raises(SnapshotError, match="version"):
+            parse_snapshot(document)
+
+    def test_corrupt_file_rejected(self, tmp_path):
+        path = tmp_path / "snap.json"
+        path.write_text("{not json")
+        with pytest.raises(SnapshotError):
+            read_snapshot(path)
+
+    def test_write_is_atomic_no_temp_residue(self, tmp_path):
+        backend = VelodromeBasic()
+        backend.process_trace(Trace.parse("1:rd(x)"))
+        path = tmp_path / "snap.json"
+        write_snapshot(path, [backend], 1)
+        assert [p.name for p in tmp_path.iterdir()] == ["snap.json"]
+
+
+class TestSupportsAndAdopt:
+    def test_unsupported_backend_raises(self):
+        class Foreign(AnalysisBackend):
+            name = "FOREIGN"
+
+            def _process(self, op, position):
+                pass
+
+        backend = Foreign()
+        assert not supports(backend)
+        with pytest.raises(UnsupportedBackend):
+            capture_backend(backend)
+
+    def test_clone_is_independent(self):
+        ops = list(Trace.parse(NON_SERIALIZABLE))
+        backend = VelodromeOptimized()
+        for op in ops[:3]:
+            backend.process(op)
+        twin = clone_backend(backend)
+        for op in ops[3:]:
+            backend.process(op)
+            twin.process(op)
+        backend.finish()
+        twin.finish()
+        assert fingerprint(twin) == fingerprint(backend)
+
+    def test_adopt_state_swaps_in_place(self):
+        ops = list(Trace.parse(NON_SERIALIZABLE))
+        target = VelodromeBasic()
+        source = VelodromeBasic()
+        for op in ops[:2]:
+            source.process(op)
+        adopt_state(target, source)
+        for op in ops[2:]:
+            target.process(op)
+        target.finish()
+        reference = VelodromeBasic()
+        reference.process_trace(Trace(ops))
+        reference.finish()
+        assert fingerprint(target) == fingerprint(reference)

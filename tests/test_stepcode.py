@@ -265,3 +265,94 @@ class TestCompactBackendExhaustion:
         text = " ".join("1:begin 1:wr(x) 1:end" for _ in range(4))
         with pytest.raises(SlotsExhausted, match=r"slots retired"):
             backend.process_trace(Trace.parse(text))
+
+
+class TestPoolStats:
+    def test_partition_invariant_through_lifecycle(self):
+        graph = HBGraph()
+        pool = NodePool(max_slots=8, timestamp_capacity=16)
+
+        def check(stats):
+            assert (
+                stats.live + stats.free + stats.retired + stats.unallocated
+                == stats.max_slots
+            )
+
+        check(pool.pool_stats())
+        nodes = [graph.new_node(tid) for tid in range(5)]
+        for node in nodes:
+            pool.attach(node)
+            check(pool.pool_stats())
+        assert pool.pool_stats().live == 5
+        for node in nodes[:3]:
+            graph.finish(node)
+            pool.detach(node)
+            check(pool.pool_stats())
+        stats = pool.pool_stats()
+        assert stats.live == 2
+        assert stats.free == 3
+        assert stats.unallocated == 3
+
+    def test_attachable_counts_free_and_unallocated(self):
+        graph = HBGraph()
+        pool = NodePool(max_slots=4)
+        stats = pool.pool_stats()
+        assert stats.attachable == 4
+        node = graph.new_node(1)
+        pool.attach(node)
+        assert pool.pool_stats().attachable == 3
+        graph.finish(node)
+        pool.detach(node)
+        assert pool.pool_stats().attachable == 4
+
+    def test_retired_slot_reduces_attachable(self):
+        graph = HBGraph()
+        pool = NodePool(max_slots=2, timestamp_capacity=2)
+        node = graph.new_node(1)
+        pool.attach(node)
+        node.last_timestamp = 2  # timestamps reach capacity: slot retires
+        graph.finish(node)
+        pool.detach(node)
+        stats = pool.pool_stats()
+        assert stats.retired == 1
+        assert stats.attachable == 1
+
+    def test_detach_clears_slot_reference(self):
+        graph = HBGraph()
+        pool = NodePool()
+        node = graph.new_node(1)
+        pool.attach(node)
+        graph.finish(node)
+        pool.detach(node)
+        assert node.slot is None
+        with pytest.raises(ValueError):
+            pool.detach(node)  # a second detach must not corrupt counts
+        assert pool.pool_stats().live == 0
+
+    def test_min_recycle_headroom(self):
+        graph = HBGraph()
+        pool = NodePool(max_slots=2, timestamp_capacity=10)
+        assert pool.pool_stats().min_recycle_headroom is None
+        node = graph.new_node(1)
+        pool.attach(node)
+        node.last_timestamp = 4
+        graph.finish(node)
+        pool.detach(node)
+        # Watermark sits at 4; the next incarnation has 10 - 4 = 6.
+        assert pool.pool_stats().min_recycle_headroom == 6
+
+
+class TestAllocationRollback:
+    def test_failed_on_alloc_leaves_graph_unchanged(self):
+        graph = HBGraph()
+        pool = NodePool(max_slots=1)
+        first = graph.new_node(1)
+        pool.attach(first)
+        graph.on_alloc = pool.attach
+        live_before = graph.live_count
+        with pytest.raises(SlotsExhausted):
+            graph.new_node(2)  # pool is full: attach fails mid-alloc
+        # The half-born node must not be registered anywhere: the next
+        # sweep or snapshot would otherwise see a node with no slot.
+        assert graph.live_count == live_before
+        assert pool.pool_stats().live == 1

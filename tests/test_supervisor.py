@@ -1,0 +1,209 @@
+"""Tests for the supervised checker runtime (repro.resilience.supervisor).
+
+The two acceptance criteria of the resilience work live here:
+
+* a node-budget-constrained run that would die with ``SlotsExhausted``
+  unsupervised instead *completes*, flagged as degraded when the
+  window reset was needed;
+* killing a supervised run at an arbitrary event and resuming from its
+  checkpoint file yields verdicts byte-identical to a run that was
+  never interrupted.
+"""
+
+import pytest
+
+from repro.core.basic import VelodromeBasic
+from repro.core.compact import VelodromeCompact
+from repro.core.optimized import VelodromeOptimized
+from repro.events.trace import Trace
+from repro.fuzz import trace_for_seed
+from repro.graph.stepcode import SlotsExhausted
+from repro.pipeline.source import TraceSource
+from repro.resilience import Budgets, SupervisedChecker
+
+NON_SERIALIZABLE = "1:begin(m) 1:rd(x) 2:wr(x) 1:wr(x) 1:end"
+
+
+def tiny_compact():
+    """A compact backend guaranteed to exhaust on a random trace."""
+    return VelodromeCompact(
+        max_slots=4, timestamp_capacity=32, collect_garbage=False
+    )
+
+
+def fingerprint(backend):
+    return (
+        backend.error_detected,
+        [
+            (w.kind.value, w.label, w.tid, w.position, w.message, w.blamed)
+            for w in backend.warnings
+        ],
+    )
+
+
+class TestConstruction:
+    def test_checkpoint_every_requires_path(self):
+        with pytest.raises(ValueError, match="checkpoint_path"):
+            SupervisedChecker([VelodromeBasic()], checkpoint_every=10)
+
+    def test_invalid_intervals_rejected(self):
+        with pytest.raises(ValueError):
+            SupervisedChecker(
+                [VelodromeBasic()], checkpoint_every=0,
+                checkpoint_path="x.json",
+            )
+        with pytest.raises(ValueError):
+            SupervisedChecker([VelodromeBasic()], recovery_window=0)
+
+
+class TestExhaustionRecovery:
+    def test_unsupervised_run_crashes(self):
+        backend = tiny_compact()
+        with pytest.raises(SlotsExhausted):
+            for op in trace_for_seed(5):
+                backend.process(op)
+
+    def test_supervised_run_completes_instead(self):
+        """THE acceptance criterion: the wall recovers, run completes."""
+        checker = SupervisedChecker([tiny_compact()], recovery_window=16)
+        checker.run(TraceSource(trace_for_seed(5)))
+        report = checker.report()
+        assert report.events == len(trace_for_seed(5))
+        assert report.recoveries > 0
+
+    def test_budget_pressure_completes_with_degraded_flag(self):
+        # A node budget below the concurrent-transaction floor forces
+        # the ladder all the way to the window reset: the run still
+        # completes, flagged instead of crashed.
+        checker = SupervisedChecker(
+            [VelodromeCompact(collect_garbage=False)],
+            budgets=Budgets(max_live_nodes=2, check_interval=1),
+        )
+        checker.run(TraceSource(trace_for_seed(5)))
+        report = checker.report()
+        assert report.events == len(trace_for_seed(5))
+        assert report.degraded
+        assert "[DEGRADED COMPLETENESS]" in report.summary()
+        assert any(e.rung == "degrade" for e in report.degradations)
+
+    def test_warnings_before_the_wall_survive_recovery(self):
+        # The non-serializable core completes *before* pool pressure
+        # (induced by trailing churn) hits; its warning must survive.
+        churn = " ".join(
+            f"{tid}:begin {tid}:wr(y{i}) {tid}:end"
+            for i, tid in enumerate([1, 2, 3, 1, 2, 3, 1, 2])
+        )
+        ops = list(Trace.parse(NON_SERIALIZABLE + " " + churn))
+        reference = VelodromeCompact()
+        reference.process_trace(Trace(ops))
+        reference.finish()
+        assert reference.error_detected
+        expected_labels = {w.label for w in reference.warnings}
+
+        checker = SupervisedChecker([tiny_compact()], recovery_window=4)
+        checker.run(TraceSource(Trace(ops)))
+        [backend] = checker.backends
+        assert backend.error_detected
+        assert {w.label for w in backend.warnings} >= expected_labels
+
+    def test_fail_mode_reraises_exhaustion(self):
+        checker = SupervisedChecker([tiny_compact()], on_pressure="fail")
+        with pytest.raises(SlotsExhausted):
+            checker.run(TraceSource(trace_for_seed(5)))
+
+    def test_failure_contained_per_backend(self):
+        # The compact backend hits its wall; the object backend must
+        # sail through and keep the reference verdict.
+        ops = list(trace_for_seed(5))
+        reference = VelodromeOptimized()
+        for op in ops:
+            reference.process(op)
+        reference.finish()
+        checker = SupervisedChecker(
+            [VelodromeOptimized(), tiny_compact()], recovery_window=16
+        )
+        checker.run(TraceSource(Trace(ops)))
+        assert fingerprint(checker.backends[0]) == fingerprint(reference)
+        assert checker.report().recoveries > 0
+
+
+class TestCheckpointResume:
+    def run_reference(self, ops):
+        backend = VelodromeCompact()
+        for op in ops:
+            backend.process(op)
+        backend.finish()
+        return backend
+
+    def test_periodic_checkpoints_written(self, tmp_path):
+        path = tmp_path / "snap.json"
+        checker = SupervisedChecker(
+            [VelodromeCompact()], checkpoint_every=25, checkpoint_path=path
+        )
+        ops = list(trace_for_seed(7))
+        checker.run(TraceSource(Trace(ops)))
+        assert checker.checkpoints_written == len(ops) // 25
+        assert path.exists()
+
+    @pytest.mark.parametrize("kill_at", [0, 1, 37, 61, 105])
+    def test_kill_and_resume_is_byte_identical(self, tmp_path, kill_at):
+        ops = list(trace_for_seed(7))
+        kill_at = min(kill_at, len(ops))
+        reference = self.run_reference(ops)
+
+        path = tmp_path / "snap.json"
+        first = SupervisedChecker(
+            [VelodromeCompact()], checkpoint_every=25, checkpoint_path=path
+        )
+        for op in ops[:kill_at]:
+            first.process(op)
+        first.checkpoint()  # the boundary the "kill" falls back to
+        del first
+
+        resumed = SupervisedChecker.resume(path)
+        assert resumed.position == kill_at
+        for op in ops[resumed.position:]:
+            resumed.process(op)
+        resumed.finish()
+        [backend] = resumed.backends
+        assert fingerprint(backend) == fingerprint(reference)
+
+    def test_resume_mid_stream_from_periodic_checkpoint(self, tmp_path):
+        # Kill *between* checkpoints: resume replays from the last
+        # checkpoint position, not the kill position.
+        ops = list(trace_for_seed(7))
+        path = tmp_path / "snap.json"
+        first = SupervisedChecker(
+            [VelodromeCompact()], checkpoint_every=25, checkpoint_path=path
+        )
+        for op in ops[:61]:
+            first.process(op)
+        del first  # killed; only the checkpoint at event 50 survives
+
+        resumed = SupervisedChecker.resume(path)
+        assert resumed.position == 50
+        for op in ops[resumed.position:]:
+            resumed.process(op)
+        resumed.finish()
+        [backend] = resumed.backends
+        assert fingerprint(backend) == fingerprint(self.run_reference(ops))
+
+    def test_checkpoint_without_path_rejected(self):
+        checker = SupervisedChecker([VelodromeBasic()])
+        with pytest.raises(ValueError, match="no checkpoint path"):
+            checker.checkpoint()
+
+
+class TestReport:
+    def test_clean_run_summary(self):
+        checker = SupervisedChecker([VelodromeBasic()])
+        checker.run(TraceSource(Trace.parse("1:begin 1:rd(x) 1:end")))
+        report = checker.report()
+        assert report.events == 3
+        assert not report.degraded
+        assert "DEGRADED" not in report.summary()
+
+    def test_warnings_aggregated_across_backends(self):
+        checker = SupervisedChecker([VelodromeBasic(), VelodromeOptimized()])
+        checker.run(TraceSource(Trace.parse(NON_SERIALIZABLE)))
+        assert len(checker.warnings()) >= 2
