@@ -1,0 +1,72 @@
+"""Shard-and-merge engine benchmarks: `repro bench` under pytest.
+
+Exercises the :mod:`repro.parallel.bench` harness end to end in its
+quick (CI perf-smoke) shape: per-stage single-process throughput,
+serial-versus-``--jobs`` fuzz throughput, JSON report emission, and
+the regression gate against the committed baseline.
+
+The committed ``benchmarks/baseline/BENCH_parallel.json`` records the
+events/sec this container measured at commit time together with its
+``cpu_count``; the gate tolerates 30% (hardware and load vary), and on
+a single-core box the parallel speedup hovers near 1.0x rather than
+the multi-core scaling the shard layer exists for.
+
+Run with ``pytest benchmarks/bench_parallel.py``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.parallel.bench import compare_to_baseline, main, run_bench
+
+BASELINE = Path(__file__).parent / "baseline" / "BENCH_parallel.json"
+
+
+@pytest.fixture(scope="module")
+def quick_report() -> dict:
+    return run_bench(quick=True, jobs=2)
+
+
+def test_report_shape(quick_report):
+    assert quick_report["schema"] == 1
+    assert quick_report["cpu_count"] >= 1
+    assert set(quick_report["stages"]) == {
+        "generate", "encode", "decode", "analyze",
+    }
+    for entry in quick_report["stages"].values():
+        assert entry["events"] > 0
+        assert entry["events_per_sec"] > 0
+    fuzz = quick_report["fuzz"]
+    assert fuzz["serial"]["events_per_sec"] > 0
+    assert fuzz["parallel"]["jobs"] == 2
+    assert fuzz["speedup"] > 0
+
+
+def test_cli_writes_report(tmp_path):
+    output = tmp_path / "BENCH_parallel.json"
+    main(["--quick", "--jobs", "2", "--budget", "4",
+          "--output", str(output)])
+    report = json.loads(output.read_text())
+    assert report["fuzz"]["budget"] == 4
+
+
+def test_gate_against_committed_baseline(quick_report):
+    baseline = json.loads(BASELINE.read_text())
+    regressions = compare_to_baseline(
+        quick_report, baseline, threshold=0.50
+    )
+    # Generous threshold here: this assertion runs on arbitrary
+    # developer hardware.  CI runs the 30% gate on its own baseline.
+    assert not regressions, "\n".join(regressions)
+
+
+def test_gate_fails_on_synthetic_regression(quick_report):
+    inflated = json.loads(json.dumps(quick_report))
+    for entry in inflated["stages"].values():
+        entry["events_per_sec"] *= 10
+    regressions = compare_to_baseline(quick_report, inflated, threshold=0.30)
+    assert len(regressions) == len(inflated["stages"])

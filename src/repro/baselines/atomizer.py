@@ -73,51 +73,76 @@ class Atomizer(AnalysisBackend):
         self.pause_callback = pause_callback
         self.lockset = EraserLockSet()
         self._blocks: dict[int, list[_BlockState]] = {}
+        # Per-kind dispatch table; every handler ends by forwarding the
+        # operation to the lockset oracle.
+        self._handlers = {
+            OpKind.BEGIN: self._begin,
+            OpKind.END: self._end,
+            OpKind.ACQUIRE: self._acquire,
+            OpKind.RELEASE: self._release,
+            OpKind.READ: self._access,
+            OpKind.WRITE: self._access,
+        }
 
     # ----------------------------------------------------------- process
-    def _process(self, op: Operation, position: int) -> None:
-        kind = op.kind
-        tid = op.tid
-        stack = self._blocks.setdefault(tid, [])
-        if kind is OpKind.BEGIN:
-            if not stack:
-                stack.append(_BlockState(op.label))
-            else:
-                # Nested blocks are folded into the outermost one, as in
-                # the Velodrome transaction model.
-                stack.append(stack[0])
-            self.lockset.process(op)
-            return
-        if kind is OpKind.END:
-            if stack:
-                stack.pop()
-            self.lockset.process(op)
-            return
-
-        block = stack[0] if stack else None
-        if kind is OpKind.ACQUIRE:
-            # Acquires are right-movers: illegal after the commit point.
-            if block is not None and block.committed:
-                self._violation(block, op, position, "lock acquire after commit point")
-        elif kind is OpKind.RELEASE:
-            # Releases are left-movers: mark the commit.
-            if block is not None:
-                block.seen_left_mover = True
-        else:
-            # Classify the access using the lockset oracle *before*
-            # the access refines it.
-            protected = self.lockset.is_protected(op.target, tid)
-            if block is not None and not protected:
-                if block.committed:
-                    self._violation(
-                        block, op, position,
-                        f"racy access to {op.target} after commit point",
-                    )
-                else:
-                    block.seen_non_mover = True
-                    if self.pause_callback is not None:
-                        self.pause_callback(op, position)
+    def process(self, op: Operation) -> None:
+        # Overrides the base class to fold the process -> _process call
+        # into a single frame.
+        self._handlers[op.kind](op, self.events_processed)
         self.lockset.process(op)
+        self.events_processed += 1
+
+    def _process(self, op: Operation, position: int) -> None:
+        self._handlers[op.kind](op, position)
+        self.lockset.process(op)
+
+    def _begin(self, op: Operation, position: int) -> None:
+        stack = self._blocks.setdefault(op.tid, [])
+        if not stack:
+            stack.append(_BlockState(op.label))
+        else:
+            # Nested blocks are folded into the outermost one, as in
+            # the Velodrome transaction model.
+            stack.append(stack[0])
+
+    def _end(self, op: Operation, position: int) -> None:
+        stack = self._blocks.get(op.tid)
+        if stack:
+            stack.pop()
+
+    def _current_block(self, tid: int) -> Optional[_BlockState]:
+        stack = self._blocks.get(tid)
+        return stack[0] if stack else None
+
+    def _acquire(self, op: Operation, position: int) -> None:
+        # Acquires are right-movers: illegal after the commit point.
+        block = self._current_block(op.tid)
+        if block is not None and block.committed:
+            self._violation(block, op, position, "lock acquire after commit point")
+
+    def _release(self, op: Operation, position: int) -> None:
+        # Releases are left-movers: mark the commit.
+        block = self._current_block(op.tid)
+        if block is not None:
+            block.seen_left_mover = True
+
+    def _access(self, op: Operation, position: int) -> None:
+        # Classify the access using the lockset oracle *before*
+        # the access refines it.
+        block = self._current_block(op.tid)
+        if block is None:
+            return
+        if self.lockset.is_protected(op.target, op.tid):
+            return
+        if block.committed:
+            self._violation(
+                block, op, position,
+                f"racy access to {op.target} after commit point",
+            )
+        else:
+            block.seen_non_mover = True
+            if self.pause_callback is not None:
+                self.pause_callback(op, position)
 
     def _violation(
         self, block: _BlockState, op: Operation, position: int, why: str

@@ -61,6 +61,14 @@ class EraserLockSet(AnalysisBackend):
         self.report_once_per_var = report_once_per_var
         self._held: dict[int, set[str]] = {}
         self._vars: dict[str, VarInfo] = {}
+        # Per-kind dispatch table; BEGIN/END are absent (ignored):
+        # Eraser knows nothing of atomicity.
+        self._handlers = {
+            OpKind.ACQUIRE: self._acquire,
+            OpKind.RELEASE: self._release,
+            OpKind.READ: self._read,
+            OpKind.WRITE: self._write,
+        }
 
     # ------------------------------------------------------------- state
     def held(self, tid: int) -> set[str]:
@@ -76,17 +84,30 @@ class EraserLockSet(AnalysisBackend):
         return self._vars.get(var, VarInfo()).lockset
 
     # ----------------------------------------------------------- process
+    def process(self, op: Operation) -> None:
+        # Overrides the base class to fold the process -> _process call
+        # into a single frame.
+        handler = self._handlers.get(op.kind)
+        if handler is not None:
+            handler(op, self.events_processed)
+        self.events_processed += 1
+
     def _process(self, op: Operation, position: int) -> None:
-        kind = op.kind
-        if kind is OpKind.ACQUIRE:
-            self.held(op.tid).add(op.target)
-        elif kind is OpKind.RELEASE:
-            self.held(op.tid).discard(op.target)
-        elif kind is OpKind.READ:
-            self._access(op, position, is_write=False)
-        elif kind is OpKind.WRITE:
-            self._access(op, position, is_write=True)
-        # BEGIN/END are ignored: Eraser knows nothing of atomicity.
+        handler = self._handlers.get(op.kind)
+        if handler is not None:
+            handler(op, position)
+
+    def _acquire(self, op: Operation, position: int) -> None:
+        self.held(op.tid).add(op.target)
+
+    def _release(self, op: Operation, position: int) -> None:
+        self.held(op.tid).discard(op.target)
+
+    def _read(self, op: Operation, position: int) -> None:
+        self._access(op, position, is_write=False)
+
+    def _write(self, op: Operation, position: int) -> None:
+        self._access(op, position, is_write=True)
 
     def _access(self, op: Operation, position: int, is_write: bool) -> None:
         info = self._vars.setdefault(op.target, VarInfo())

@@ -58,49 +58,71 @@ class TwoPhaseLocking(AnalysisBackend):
         self.report_once_per_block = report_once_per_block
         self._held: dict[int, set[str]] = {}
         self._stacks: dict[int, list[_TxState]] = {}
+        # Per-kind dispatch table, one lookup per event.
+        self._handlers = {
+            OpKind.BEGIN: self._begin,
+            OpKind.END: self._end,
+            OpKind.ACQUIRE: self._acquire,
+            OpKind.RELEASE: self._release,
+            OpKind.READ: self._access,
+            OpKind.WRITE: self._access,
+        }
 
     def held(self, tid: int) -> set[str]:
         """Locks currently held by thread ``tid``."""
         return self._held.setdefault(tid, set())
 
     # ----------------------------------------------------------- process
-    def _process(self, op: Operation, position: int) -> None:
-        tid = op.tid
-        stack = self._stacks.setdefault(tid, [])
-        kind = op.kind
-        if kind is OpKind.BEGIN:
-            if not stack:
-                stack.append(_TxState(op.label))
-            else:
-                stack.append(stack[0])
-            return
-        if kind is OpKind.END:
-            if stack:
-                stack.pop()
-            return
+    def process(self, op: Operation) -> None:
+        # Overrides the base class to fold the process -> _process call
+        # into a single frame.
+        self._handlers[op.kind](op, self.events_processed)
+        self.events_processed += 1
 
-        tx = stack[0] if stack else None
-        held = self.held(tid)
-        if kind is OpKind.ACQUIRE:
-            if tx is not None and tx.shrinking:
-                self._violation(
-                    tx, op, position,
-                    f"acquire of {op.target} in the shrinking phase",
-                )
-            held.add(op.target)
-        elif kind is OpKind.RELEASE:
-            held.discard(op.target)
-            if tx is not None:
-                tx.shrinking = True
-                tx.released.add(op.target)
-        elif tx is not None:
-            # An access inside a transaction: strictness requires a
-            # protecting lock that has not been released early.
-            if self.require_protection and not held:
-                self._violation(
-                    tx, op, position,
-                    f"unprotected access to {op.target}",
-                )
+    def _process(self, op: Operation, position: int) -> None:
+        self._handlers[op.kind](op, position)
+
+    def _begin(self, op: Operation, position: int) -> None:
+        stack = self._stacks.setdefault(op.tid, [])
+        if not stack:
+            stack.append(_TxState(op.label))
+        else:
+            stack.append(stack[0])
+
+    def _end(self, op: Operation, position: int) -> None:
+        stack = self._stacks.get(op.tid)
+        if stack:
+            stack.pop()
+
+    def _current_tx(self, tid: int) -> Optional[_TxState]:
+        stack = self._stacks.get(tid)
+        return stack[0] if stack else None
+
+    def _acquire(self, op: Operation, position: int) -> None:
+        tx = self._current_tx(op.tid)
+        if tx is not None and tx.shrinking:
+            self._violation(
+                tx, op, position,
+                f"acquire of {op.target} in the shrinking phase",
+            )
+        self.held(op.tid).add(op.target)
+
+    def _release(self, op: Operation, position: int) -> None:
+        self.held(op.tid).discard(op.target)
+        tx = self._current_tx(op.tid)
+        if tx is not None:
+            tx.shrinking = True
+            tx.released.add(op.target)
+
+    def _access(self, op: Operation, position: int) -> None:
+        # An access inside a transaction: strictness requires a
+        # protecting lock that has not been released early.
+        tx = self._current_tx(op.tid)
+        if tx is not None and self.require_protection and not self.held(op.tid):
+            self._violation(
+                tx, op, position,
+                f"unprotected access to {op.target}",
+            )
 
     def _violation(
         self, tx: _TxState, op: Operation, position: int, why: str

@@ -81,6 +81,14 @@ class HappensBeforeRaces(AnalysisBackend):
         self._threads: dict[int, VectorClock] = {}
         self._locks: dict[str, VectorClock] = {}
         self._vars: dict[str, _VarClocks] = {}
+        # Per-kind dispatch table; BEGIN/END are absent (they carry no
+        # synchronization).
+        self._handlers = {
+            OpKind.ACQUIRE: self._acquire,
+            OpKind.RELEASE: self._release,
+            OpKind.READ: self._read,
+            OpKind.WRITE: self._write,
+        }
 
     def clock(self, tid: int) -> VectorClock:
         """The current vector clock of thread ``tid``."""
@@ -91,22 +99,28 @@ class HappensBeforeRaces(AnalysisBackend):
         return vc
 
     # ----------------------------------------------------------- process
+    def process(self, op: Operation) -> None:
+        # Overrides the base class to fold the process -> _process call
+        # into a single frame.
+        handler = self._handlers.get(op.kind)
+        if handler is not None:
+            handler(op, self.events_processed)
+        self.events_processed += 1
+
     def _process(self, op: Operation, position: int) -> None:
-        kind = op.kind
-        tid = op.tid
-        if kind is OpKind.ACQUIRE:
-            lock_vc = self._locks.get(op.target)
-            if lock_vc is not None:
-                self.clock(tid).join(lock_vc)
-        elif kind is OpKind.RELEASE:
-            vc = self.clock(tid)
-            self._locks[op.target] = vc.copy()
-            vc.tick(tid)
-        elif kind is OpKind.READ:
-            self._read(op, position)
-        elif kind is OpKind.WRITE:
-            self._write(op, position)
-        # BEGIN/END carry no synchronization.
+        handler = self._handlers.get(op.kind)
+        if handler is not None:
+            handler(op, position)
+
+    def _acquire(self, op: Operation, position: int) -> None:
+        lock_vc = self._locks.get(op.target)
+        if lock_vc is not None:
+            self.clock(op.tid).join(lock_vc)
+
+    def _release(self, op: Operation, position: int) -> None:
+        vc = self.clock(op.tid)
+        self._locks[op.target] = vc.copy()
+        vc.tick(op.tid)
 
     def _read(self, op: Operation, position: int) -> None:
         tid = op.tid

@@ -74,6 +74,7 @@ from repro.harness import report as harness_report
 from repro.harness import sensitivity as harness_sensitivity
 from repro.harness import table1 as harness_table1
 from repro.harness import table2 as harness_table2
+from repro.parallel import bench as parallel_bench
 from repro.pipeline import Pipeline, TraceSource
 from repro.resilience import Budgets, SupervisedChecker
 from repro.runtime.tool import run_velodrome
@@ -252,7 +253,8 @@ def cmd_random(args: argparse.Namespace) -> int:
 
 def cmd_fuzz(args: argparse.Namespace) -> int:
     if args.replay is not None:
-        checks = replay_corpus(args.replay, crash=args.crash, seed=args.seed)
+        checks = replay_corpus(args.replay, crash=args.crash, seed=args.seed,
+                               jobs=args.jobs)
         if not checks:
             print(f"no corpus traces under {args.replay}")
             return 0
@@ -277,6 +279,7 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
         crash=args.crash,
         corpus_dir=pathlib.Path(args.corpus) if args.corpus else None,
         configs=default_grid() if args.quick else None,
+        jobs=args.jobs,
     )
 
     def on_finding(finding):
@@ -393,6 +396,10 @@ def build_parser() -> argparse.ArgumentParser:
                          f"(conventionally {DEFAULT_CORPUS})")
     fz.add_argument("--replay", metavar="DIR",
                     help="re-check the corpus under DIR instead of fuzzing")
+    fz.add_argument("--jobs", type=int, default=1, metavar="N",
+                    help="shard iterations (or replayed files) across N "
+                         "worker processes; output is byte-identical to "
+                         "a serial run (default 1)")
     fz.set_defaults(func=cmd_fuzz)
 
     wl = commands.add_parser("workloads", help="list benchmark workloads")
@@ -410,6 +417,14 @@ def build_parser() -> argparse.ArgumentParser:
             add_help=False,
         )
         sub.set_defaults(func=None, harness_main=module.main)
+
+    bench = commands.add_parser(
+        "bench",
+        help="measure serial and --jobs throughput "
+             "(writes BENCH_parallel.json)",
+        add_help=False,
+    )
+    bench.set_defaults(func=None, harness_main=parallel_bench.main)
     return parser
 
 
@@ -418,7 +433,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     # Harness subcommands forward their remaining arguments untouched.
     if argv and argv[0] in ("table1", "table2", "inject", "report",
-                            "sensitivity"):
+                            "sensitivity", "bench"):
         args, rest = parser.parse_known_args(argv[:1])
         args.harness_main(argv[1:])
         return 0

@@ -38,8 +38,9 @@ class AnalysisBackend(abc.ABC):
 
     def process_trace(self, ops: Iterable[Operation]) -> "AnalysisBackend":
         """Feed a whole trace, then finish.  Returns self for chaining."""
+        process = self.process  # bound once, outside the event loop
         for op in ops:
-            self.process(op)
+            process(op)
         self.finish()
         return self
 

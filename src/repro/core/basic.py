@@ -81,6 +81,18 @@ class VelodromeBasic(AnalysisBackend):
         self._unlocker: dict[str, TxNode] = {}  # U (weak)
         self._readers: dict[str, dict[int, TxNode]] = {}  # R (weak)
         self._writer: dict[str, TxNode] = {}  # W (weak)
+        # Per-kind dispatch table: one dict lookup per event instead of
+        # an elif chain.  Non-marker kinds fold the [INS OUTSIDE]
+        # wrapper into the per-kind method, which allocates a unary
+        # transaction when the thread is not inside an atomic block.
+        self._handlers = {
+            OpKind.BEGIN: self._enter,
+            OpKind.END: self._exit,
+            OpKind.ACQUIRE: self._acquire,
+            OpKind.RELEASE: self._release,
+            OpKind.READ: self._read,
+            OpKind.WRITE: self._write,
+        }
 
     # ------------------------------------------------------------ state views
     def current(self, tid: int) -> Optional[TxNode]:
@@ -128,49 +140,70 @@ class VelodromeBasic(AnalysisBackend):
         return dropped
 
     # ---------------------------------------------------------------- process
-    def _process(self, op: Operation, position: int) -> None:
-        kind = op.kind
-        tid = op.tid
-        if kind is OpKind.BEGIN:
-            self._enter(op)
-            return
-        if kind is OpKind.END:
-            self._exit(op)
-            return
-        node = self._current.get(tid)
-        if node is None:
-            # [INS OUTSIDE]: wrap the operation in a fresh unary
-            # transaction.  No merging in the basic analysis.
-            node = self._start_transaction(tid, label=None)
-            self._dispatch(op, position, node)
-            self._finish_transaction(tid)
-        else:
-            self._dispatch(op, position, node)
+    def process(self, op: Operation) -> None:
+        # Overrides the base class to fold the process -> _process call
+        # into a single frame: one dict lookup, one handler call.
+        self._handlers[op.kind](op, self.events_processed)
+        self.events_processed += 1
 
-    def _dispatch(self, op: Operation, position: int, node: TxNode) -> None:
-        kind = op.kind
-        if kind is OpKind.ACQUIRE:
-            # [INS ACQUIRE]: edge from the last unlocker.
-            self._edge(self.unlocker(op.target), node, op, position)
-        elif kind is OpKind.RELEASE:
-            # [INS RELEASE]: record the unlocker.
-            self._unlocker[op.target] = node
-        elif kind is OpKind.READ:
-            # [INS READ]: record the reader; edge from the last writer.
-            self._readers.setdefault(op.target, {})[op.tid] = node
-            self._edge(self.writer(op.target), node, op, position)
-        elif kind is OpKind.WRITE:
-            # [INS WRITE]: edges from all readers and the last writer;
-            # record the writer.
-            for reader_tid in list(self._readers.get(op.target, {})):
-                self._edge(self.reader(op.target, reader_tid), node, op, position)
-            self._edge(self.writer(op.target), node, op, position)
-            self._writer[op.target] = node
-        else:  # pragma: no cover - BEGIN/END handled by caller
-            raise AssertionError(f"unexpected kind {kind}")
+    def _process(self, op: Operation, position: int) -> None:
+        self._handlers[op.kind](op, position)
+
+    # ------------------------------------------------------ per-kind rules
+    # Each method folds the [INS OUTSIDE] wrapper into the rule body:
+    # inside a transaction the rule runs against the current node;
+    # outside, the operation is wrapped in a fresh unary transaction
+    # (no merging in the basic analysis).  ``self._current`` is read
+    # through the attribute on every call: snapshot restore rebinds
+    # the dict wholesale.
+
+    def _acquire(self, op: Operation, position: int) -> None:
+        node = self._current.get(op.tid)
+        unary = node is None
+        if unary:
+            node = self._start_transaction(op.tid, label=None)
+        # [INS ACQUIRE]: edge from the last unlocker.
+        self._edge(self.unlocker(op.target), node, op, position)
+        if unary:
+            self._finish_transaction(op.tid)
+
+    def _release(self, op: Operation, position: int) -> None:
+        node = self._current.get(op.tid)
+        unary = node is None
+        if unary:
+            node = self._start_transaction(op.tid, label=None)
+        # [INS RELEASE]: record the unlocker.
+        self._unlocker[op.target] = node
+        if unary:
+            self._finish_transaction(op.tid)
+
+    def _read(self, op: Operation, position: int) -> None:
+        node = self._current.get(op.tid)
+        unary = node is None
+        if unary:
+            node = self._start_transaction(op.tid, label=None)
+        # [INS READ]: record the reader; edge from the last writer.
+        self._readers.setdefault(op.target, {})[op.tid] = node
+        self._edge(self.writer(op.target), node, op, position)
+        if unary:
+            self._finish_transaction(op.tid)
+
+    def _write(self, op: Operation, position: int) -> None:
+        node = self._current.get(op.tid)
+        unary = node is None
+        if unary:
+            node = self._start_transaction(op.tid, label=None)
+        # [INS WRITE]: edges from all readers and the last writer;
+        # record the writer.
+        for reader_tid in list(self._readers.get(op.target, {})):
+            self._edge(self.reader(op.target, reader_tid), node, op, position)
+        self._edge(self.writer(op.target), node, op, position)
+        self._writer[op.target] = node
+        if unary:
+            self._finish_transaction(op.tid)
 
     # ----------------------------------------------------------- transactions
-    def _enter(self, op: Operation) -> None:
+    def _enter(self, op: Operation, position: int = 0) -> None:
         tid = op.tid
         depth = self._depth.get(tid, 0)
         self._depth[tid] = depth + 1
@@ -178,7 +211,7 @@ class VelodromeBasic(AnalysisBackend):
             # [INS ENTER]: fresh node, program-order edge from L(t).
             self._start_transaction(tid, label=op.label)
 
-    def _exit(self, op: Operation) -> None:
+    def _exit(self, op: Operation, position: int = 0) -> None:
         tid = op.tid
         depth = self._depth.get(tid, 0)
         if depth == 0 or tid not in self._current:

@@ -87,6 +87,25 @@ class VelodromeOptimized(AnalysisBackend):
         self._readers: dict[str, dict[int, Step]] = {}  # R (weak)
         self._writer: dict[str, Step] = {}  # W (weak)
         self._warned_labels: set[Optional[str]] = set()
+        # Dispatch tables, built once: process costs one dict lookup
+        # per event instead of walking an elif chain, and the
+        # merged-vs-naive choice for non-transactional operations is
+        # made here rather than per event.  Each per-kind method folds
+        # the inside-vs-outside branch into itself (no extra call
+        # frame); the naive configuration routes outside operations to
+        # the [INS OUTSIDE] wrapper instead.
+        self._merged_handlers = {
+            OpKind.ACQUIRE: self._acquire,
+            OpKind.RELEASE: self._release,
+            OpKind.READ: self._read,
+            OpKind.WRITE: self._write,
+        }
+        self._handlers = {
+            OpKind.BEGIN: self._enter,
+            OpKind.END: self._exit,
+        }
+        for kind, handler in self._merged_handlers.items():
+            self._handlers[kind] = handler if merge_unary else self._naive
 
     # -------------------------------------------------------- state storage
     # The L/U/R/W components are weak maps of steps.  All access goes
@@ -205,21 +224,17 @@ class VelodromeOptimized(AnalysisBackend):
         self._store_last(tid, step)
 
     # ---------------------------------------------------------------- process
+    def process(self, op: Operation) -> None:
+        # Overrides the base class to fold the process -> _process call
+        # into a single frame: one dict lookup, one handler call.
+        self._handlers[op.kind](op, self.events_processed)
+        self.events_processed += 1
+
     def _process(self, op: Operation, position: int) -> None:
-        kind = op.kind
-        if kind is OpKind.BEGIN:
-            self._enter(op)
-        elif kind is OpKind.END:
-            self._exit(op)
-        elif self.in_transaction(op.tid):
-            self._inside(op, position)
-        elif self.merge_unary:
-            self._outside_merged(op, position)
-        else:
-            self._outside_naive(op, position)
+        self._handlers[op.kind](op, position)
 
     # ----------------------------------------------------------- begin / end
-    def _enter(self, op: Operation) -> None:
+    def _enter(self, op: Operation, position: int = 0) -> None:
         tid = op.tid
         stack = self._stacks.setdefault(tid, [])
         if not stack:
@@ -240,7 +255,7 @@ class VelodromeOptimized(AnalysisBackend):
             step = self._advance(tid)
             stack.append(_Block(op.label, step))
 
-    def _exit(self, op: Operation) -> None:
+    def _exit(self, op: Operation, position: int = 0) -> None:
         tid = op.tid
         stack = self._stacks.get(tid)
         if not stack:
@@ -252,39 +267,33 @@ class VelodromeOptimized(AnalysisBackend):
         if not stack:
             self.graph.finish(step.node)
 
-    # -------------------------------------------------- transactional ops
-    def _inside(self, op: Operation, position: int) -> None:
-        tid = op.tid
-        step = self._advance(tid)
-        kind = op.kind
-        if kind is OpKind.ACQUIRE:
-            # [INS2 INSIDE ACQUIRE].
-            self._edge(self.unlocker(op.target), step, op, position)
-        elif kind is OpKind.RELEASE:
-            # [INS2 INSIDE RELEASE].
-            self._store_unlocker(op.target, step)
-        elif kind is OpKind.READ:
-            # [INS2 INSIDE READ].
-            self._store_reader(op.target, tid, step)
-            self._edge(self.writer(op.target), step, op, position)
-        elif kind is OpKind.WRITE:
-            # [INS2 INSIDE WRITE].
-            for reader_tid in self._reader_tids(op.target):
-                self._edge(self.reader(op.target, reader_tid), step, op, position)
-            self._edge(self.writer(op.target), step, op, position)
-            self._store_writer(op.target, step)
-        else:  # pragma: no cover
-            raise AssertionError(f"unexpected kind {kind}")
+    # ------------------------------------------------------ per-kind rules
+    # Each method folds the [INS2 INSIDE ...] and [INS2 OUTSIDE ...]
+    # variants of one operation kind into a single frame, branching on
+    # the thread's transactional context.  ``self._stacks`` is read
+    # through the attribute on every call: snapshot restore rebinds the
+    # dict wholesale.
 
-    # ------------------------------------------- non-transactional ops
-    def _outside_merged(self, op: Operation, position: int) -> None:
+    def _acquire(self, op: Operation, position: int) -> None:
         tid = op.tid
-        kind = op.kind
-        if kind is OpKind.ACQUIRE:
+        if self._stacks.get(tid):
+            # [INS2 INSIDE ACQUIRE].
+            step = self._advance(tid)
+            self._edge(self.unlocker(op.target), step, op, position)
+        else:
             # [INS2 OUTSIDE ACQUIRE].
-            step = merge(self.graph, [self.last(tid), self.unlocker(op.target)], tid)
+            step = merge(
+                self.graph, [self.last(tid), self.unlocker(op.target)], tid
+            )
             self._set_last(tid, step)
-        elif kind is OpKind.RELEASE:
+
+    def _release(self, op: Operation, position: int) -> None:
+        tid = op.tid
+        if self._stacks.get(tid):
+            # [INS2 INSIDE RELEASE].
+            step = self._advance(tid)
+            self._store_unlocker(op.target, step)
+        else:
             # [INS2 OUTSIDE RELEASE]: fold the release into the
             # predecessor node; with no predecessor the release's unary
             # transaction can never join a cycle and needs no node.
@@ -296,12 +305,34 @@ class VelodromeOptimized(AnalysisBackend):
                 step = last.next()
                 self._set_last(tid, step)
                 self._store_unlocker(op.target, step)
-        elif kind is OpKind.READ:
+
+    def _read(self, op: Operation, position: int) -> None:
+        tid = op.tid
+        if self._stacks.get(tid):
+            # [INS2 INSIDE READ].
+            step = self._advance(tid)
+            self._store_reader(op.target, tid, step)
+            self._edge(self.writer(op.target), step, op, position)
+        else:
             # [INS2 OUTSIDE READ].
-            step = merge(self.graph, [self.last(tid), self.writer(op.target)], tid)
+            step = merge(
+                self.graph, [self.last(tid), self.writer(op.target)], tid
+            )
             self._set_last(tid, step)
             self._store_reader(op.target, tid, step)
-        elif kind is OpKind.WRITE:
+
+    def _write(self, op: Operation, position: int) -> None:
+        tid = op.tid
+        if self._stacks.get(tid):
+            # [INS2 INSIDE WRITE].
+            step = self._advance(tid)
+            for reader_tid in self._reader_tids(op.target):
+                self._edge(
+                    self.reader(op.target, reader_tid), step, op, position
+                )
+            self._edge(self.writer(op.target), step, op, position)
+            self._store_writer(op.target, step)
+        else:
             # [INS2 OUTSIDE WRITE].
             sources: list[Optional[Step]] = [
                 self.reader(op.target, reader_tid)
@@ -312,12 +343,20 @@ class VelodromeOptimized(AnalysisBackend):
             step = merge(self.graph, sources, tid)
             self._set_last(tid, step)
             self._store_writer(op.target, step)
-        else:  # pragma: no cover
-            raise AssertionError(f"unexpected kind {kind}")
 
-    def _outside_naive(self, op: Operation, position: int) -> None:
-        """[INS OUTSIDE]: wrap in a fresh unary transaction, no merging."""
+    def _naive(self, op: Operation, position: int) -> None:
+        """[INS OUTSIDE]: wrap in a fresh unary transaction, no merging.
+
+        Installed for ACQUIRE/RELEASE/READ/WRITE when ``merge_unary``
+        is off.  Inside a transaction the per-kind rule applies
+        unchanged; outside, the operation runs in its own unary
+        transaction, reusing the per-kind method — which routes to its
+        inside branch because the unary block is on the stack.
+        """
         tid = op.tid
+        if self._stacks.get(tid):
+            self._merged_handlers[op.kind](op, position)
+            return
         node = self.graph.new_node(tid, label=None)
         step = Step(node, 0)
         predecessor = self.last(tid)
@@ -328,7 +367,7 @@ class VelodromeOptimized(AnalysisBackend):
             assert cycle is None
         self._stacks.setdefault(tid, []).append(_Block(None, step))
         self._set_last(tid, step)
-        self._inside(op, position)
+        self._merged_handlers[op.kind](op, position)
         self._stacks[tid].pop()
         self._advance(tid)
         self.graph.finish(step.node)

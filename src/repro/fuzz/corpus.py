@@ -103,6 +103,7 @@ def replay_corpus(
     configs: Optional[Sequence[GridConfig]] = None,
     crash: bool = False,
     seed: int = 0,
+    jobs: int = 1,
 ) -> dict[Path, TraceCheck]:
     """Re-check every corpus trace across the grid.
 
@@ -112,25 +113,75 @@ def replay_corpus(
     fault-laced-stream probes of :mod:`repro.fuzz.faults` — corpus
     traces are exactly the ones that found bugs before, so they make
     the sharpest recovery regressions.
+
+    ``jobs`` > 1 replays files in worker processes (one shard per
+    recording, merged in name order, so the result dict is identical
+    to a serial replay).  A shard whose worker died is reported as a
+    synthetic ``shard`` divergence on its file rather than aborting
+    the batch.
     """
-    from dataclasses import replace
-
-    from repro.fuzz.faults import (
-        crash_recovery_divergences,
-        fault_injection_divergences,
-    )
-
     checks: dict[Path, TraceCheck] = {}
-    for path, trace in corpus_traces(directory):
-        check = check_trace(trace, configs=configs)
-        if crash:
-            extra = [
-                *crash_recovery_divergences(trace, configs=configs, seed=seed),
-                *fault_injection_divergences(trace, configs=configs, seed=seed),
-            ]
-            if extra:
-                check = replace(
-                    check, divergences=(*check.divergences, *extra)
-                )
-        checks[path] = check
+    if jobs <= 1:
+        # Direct serial path: works with *any* GridConfig objects,
+        # including ad-hoc ones that have no ablation-grid name.
+        from dataclasses import replace
+
+        from repro.fuzz.faults import (
+            crash_recovery_divergences,
+            fault_injection_divergences,
+        )
+
+        for path, trace in corpus_traces(directory):
+            check = check_trace(trace, configs=configs)
+            if crash:
+                extra = [
+                    *crash_recovery_divergences(
+                        trace, configs=configs, seed=seed
+                    ),
+                    *fault_injection_divergences(
+                        trace, configs=configs, seed=seed
+                    ),
+                ]
+                if extra:
+                    check = replace(
+                        check, divergences=(*check.divergences, *extra)
+                    )
+            checks[path] = check
+        return checks
+
+    from repro.fuzz.grid import ship_grid
+    from repro.parallel.executor import run_shards
+    from repro.parallel.tasks import CorpusReplayTask, run_corpus_replay
+
+    path_root = Path(directory)
+    paths = (
+        sorted(path_root.glob("*.jsonl")) if path_root.is_dir() else []
+    )
+    names, shipped = ship_grid(configs)  # raises before forking
+    tasks = [
+        CorpusReplayTask(
+            path=str(path), config_names=names, crash=crash, seed=seed,
+            configs=shipped,
+        )
+        for path in paths
+    ]
+    for shard in run_shards(run_corpus_replay, tasks, jobs=jobs):
+        path = paths[shard.index]
+        if shard.ok:
+            checks[path] = shard.value
+        else:
+            checks[path] = TraceCheck(
+                serializable=False,
+                violation_position=None,
+                divergences=(
+                    Divergence(
+                        kind="shard",
+                        config="parallel",
+                        expected="replay shard completes",
+                        observed=shard.error.strip().splitlines()[-1]
+                        if shard.error.strip()
+                        else "worker died",
+                    ),
+                ),
+            )
     return checks

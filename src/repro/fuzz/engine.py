@@ -37,7 +37,11 @@ from repro.fuzz.faults import (
     crash_recovery_divergences,
     fault_injection_divergences,
 )
-from repro.fuzz.grid import GridConfig, ablation_grid
+from repro.fuzz.grid import (
+    GridConfig,
+    ablation_grid,
+    ship_grid,
+)
 from repro.fuzz.shrink import ShrinkResult, shrink_trace
 from repro.fuzz.verdicts import Divergence, TraceCheck, check_trace
 from repro.pipeline import PipelineMetrics
@@ -46,15 +50,29 @@ from repro.runtime.tool import run_with_backends
 from repro.workloads.randomgen import GeneratorConfig, random_program
 
 
+def iteration_seed(seed: int, index: int) -> int:
+    """The seed of fuzz iteration ``index`` under base seed ``seed``.
+
+    Derived from ``(seed, index)`` alone — no shared generator state —
+    so iteration ``i`` draws the same seed whether the run is serial,
+    sharded across 4 workers, or resumed mid-budget: the generated
+    trace corpus depends only on the base seed, never on worker count
+    or scheduling.  String seeding hashes through SHA-512 inside
+    ``random.Random``, so the value is stable across processes and
+    independent of ``PYTHONHASHSEED``.
+    """
+    return random.Random(f"{seed}/{index}").randrange(1 << 30)
+
+
 def iteration_seeds(seed: int, budget: int) -> list[int]:
     """The per-iteration seeds of a fuzz run, derived once up front.
 
-    Deriving every seed from one generator before the loop starts means
-    no amount of work done *inside* an iteration (shrinking, corpus
-    writes) can perturb the seeds of later iterations.
+    Deriving every seed independently of the loop means no amount of
+    work done *inside* an iteration (shrinking, corpus writes) can
+    perturb the seeds of later iterations, and any prefix of a longer
+    run is seed-identical to a shorter one.
     """
-    rng = random.Random(seed)
-    return [rng.randrange(1 << 30) for _ in range(budget)]
+    return [iteration_seed(seed, index) for index in range(budget)]
 
 
 def trace_for_seed(
@@ -119,6 +137,12 @@ class FuzzConfig:
     checkpoint file, and fed a fault-laced copy of the recording
     through the hardened reader — both must reproduce the
     uninterrupted run's warnings exactly.
+
+    ``jobs`` > 1 shards iterations across worker processes
+    (:mod:`repro.parallel`); seeds derive per-iteration from
+    ``(seed, index)``, results merge in iteration order, and corpus
+    writes stay in the parent, so the report, console output, and
+    corpus are byte-identical to a serial run (elapsed time aside).
     """
 
     budget: int = 100
@@ -130,6 +154,7 @@ class FuzzConfig:
     generator: Optional[GeneratorConfig] = None
     configs: Optional[tuple[GridConfig, ...]] = None
     max_shrink_evaluations: int = 5000
+    jobs: int = 1
 
 
 @dataclass
@@ -150,8 +175,36 @@ class Finding:
 
 
 @dataclass
+class IterationOutcome:
+    """Everything one fuzz iteration established, in picklable form.
+
+    This is the unit of work the ``--jobs`` sharding ships between
+    processes: the worker generates, checks, and (optionally) shrinks;
+    the parent merges outcomes in iteration order and performs every
+    side effect (corpus writes, callbacks).  ``trace`` is carried only
+    for diverging iterations, so clean iterations cross the process
+    boundary as a few dozen bytes.
+    """
+
+    index: int
+    seed: int
+    events: int
+    serializable: bool
+    divergences: tuple[Divergence, ...]
+    trace: Optional[Trace] = None
+    shrunk: Optional[ShrinkResult] = None
+    metrics: Optional[PipelineMetrics] = None
+
+
+@dataclass
 class FuzzReport:
-    """Outcome of one fuzz run."""
+    """Outcome of one fuzz run.
+
+    ``shard_failures`` is non-empty only for parallel runs in which a
+    worker process died or timed out: each entry describes one failed
+    shard (its iterations were not checked).  Failed shards make the
+    run not :attr:`clean`.
+    """
 
     config: FuzzConfig
     iterations: int = 0
@@ -160,20 +213,26 @@ class FuzzReport:
     findings: list[Finding] = field(default_factory=list)
     elapsed: float = 0.0
     metrics: Optional[PipelineMetrics] = None
+    shard_failures: list[str] = field(default_factory=list)
 
     @property
     def clean(self) -> bool:
-        return not self.findings
+        return not self.findings and not self.shard_failures
 
     def summary(self) -> str:
         verdicts = (
             f"{self.serializable} serializable / "
             f"{self.iterations - self.serializable} not"
         )
+        failed = (
+            f", {len(self.shard_failures)} failed shard(s)"
+            if self.shard_failures
+            else ""
+        )
         return (
             f"fuzz: {self.iterations} traces, {self.events} events "
             f"({verdicts}), {len(self.findings)} divergence(s) "
-            f"in {self.elapsed:.2f}s"
+            f"in {self.elapsed:.2f}s{failed}"
         )
 
 
@@ -216,35 +275,124 @@ class FuzzEngine:
 
         return still_diverges
 
-    def _handle_divergence(
-        self,
-        index: int,
-        seed: int,
-        trace: Trace,
-        divergences: Sequence[Divergence],
-    ) -> Finding:
-        finding = Finding(
-            index=index,
-            seed=seed,
-            divergences=tuple(divergences),
-            trace=trace,
+    def check_iteration(self, index: int, seed: int) -> IterationOutcome:
+        """Generate, check, and (optionally) shrink one iteration.
+
+        Pure with respect to the engine: no corpus writes, no report
+        mutation — exactly the work a ``--jobs`` shard performs in its
+        worker process.  The parent applies side effects while merging.
+        """
+        config = self.config
+        trace = trace_for_seed(seed, config.generator)
+        divergences = list(round_trip_divergences(trace))
+        check: TraceCheck = check_trace(
+            trace, configs=self.grid, stats=config.stats
         )
-        if self.config.shrink:
+        divergences.extend(check.divergences)
+        if config.crash:
+            divergences.extend(
+                crash_recovery_divergences(trace, configs=self.grid, seed=seed)
+            )
+            divergences.extend(
+                fault_injection_divergences(
+                    trace, configs=self.grid, seed=seed
+                )
+            )
+        shrunk: Optional[ShrinkResult] = None
+        if divergences and config.shrink:
             kinds = frozenset(d.kind for d in divergences)
-            finding.shrunk = shrink_trace(
+            shrunk = shrink_trace(
                 trace,
                 self._divergence_predicate(kinds, seed),
-                max_evaluations=self.config.max_shrink_evaluations,
+                max_evaluations=config.max_shrink_evaluations,
             )
+        return IterationOutcome(
+            index=index,
+            seed=seed,
+            events=len(trace),
+            serializable=check.serializable,
+            divergences=tuple(divergences),
+            trace=trace if divergences else None,
+            shrunk=shrunk,
+            metrics=check.metrics if config.stats else None,
+        )
+
+    def _merge_outcome(
+        self,
+        report: FuzzReport,
+        snapshots: list[PipelineMetrics],
+        outcome: IterationOutcome,
+        on_finding: Optional[Callable[[Finding], None]],
+    ) -> None:
+        """Fold one iteration's outcome into the report, side effects
+        included — called in iteration order for serial and parallel
+        runs alike, which is what makes their output identical."""
+        report.iterations += 1
+        report.events += outcome.events
+        if outcome.serializable:
+            report.serializable += 1
+        if outcome.metrics is not None:
+            snapshots.append(outcome.metrics)
+        if not outcome.divergences:
+            return
+        finding = Finding(
+            index=outcome.index,
+            seed=outcome.seed,
+            divergences=outcome.divergences,
+            trace=outcome.trace,
+            shrunk=outcome.shrunk,
+        )
         if self.config.corpus_dir is not None:
             finding.corpus_path = persist_repro(
                 finding.repro,
                 self.config.corpus_dir,
                 divergences=finding.divergences,
-                seed=seed,
-                original_events=len(trace),
+                seed=outcome.seed,
+                original_events=len(outcome.trace),
             )
-        return finding
+        report.findings.append(finding)
+        if on_finding is not None:
+            on_finding(finding)
+
+    def _parallel_outcomes(
+        self, seeds: Sequence[int], report: FuzzReport
+    ) -> list[IterationOutcome]:
+        """Fan iterations out across worker processes (``jobs > 1``).
+
+        Shards come back in iteration order whatever order workers
+        finished in; a shard whose worker crashed or hung is recorded
+        in ``report.shard_failures`` instead of aborting the batch.
+        """
+        # Deferred import: repro.parallel.tasks imports this module.
+        from repro.parallel.executor import run_shards
+        from repro.parallel.tasks import FuzzIterationTask, run_fuzz_iteration
+
+        config = self.config
+        names, shipped = ship_grid(self.grid)  # raises before forking
+        tasks = [
+            FuzzIterationTask(
+                index=index,
+                seed=seed,
+                shrink=config.shrink,
+                stats=config.stats,
+                crash=config.crash,
+                max_shrink_evaluations=config.max_shrink_evaluations,
+                generator=config.generator,
+                config_names=names,
+                configs=shipped,
+            )
+            for index, seed in enumerate(seeds)
+        ]
+        outcomes: list[IterationOutcome] = []
+        for shard in run_shards(run_fuzz_iteration, tasks, jobs=config.jobs):
+            if shard.ok:
+                outcomes.append(shard.value)
+            else:
+                report.shard_failures.append(
+                    f"iteration {shard.index} (seed {seeds[shard.index]}): "
+                    f"{shard.error.strip().splitlines()[-1]}"
+                )
+        return outcomes
 
     def run(
         self, on_finding: Optional[Callable[[Finding], None]] = None
@@ -254,39 +402,16 @@ class FuzzEngine:
         report = FuzzReport(config=config)
         snapshots: list[PipelineMetrics] = []
         started = time.perf_counter()
-        for index, seed in enumerate(
-            iteration_seeds(config.seed, config.budget)
-        ):
-            trace = trace_for_seed(seed, config.generator)
-            report.iterations += 1
-            report.events += len(trace)
-            divergences = list(round_trip_divergences(trace))
-            check: TraceCheck = check_trace(
-                trace, configs=self.grid, stats=config.stats
+        seeds = iteration_seeds(config.seed, config.budget)
+        if config.jobs > 1 and config.budget > 1:
+            outcomes = self._parallel_outcomes(seeds, report)
+        else:
+            outcomes = (
+                self.check_iteration(index, seed)
+                for index, seed in enumerate(seeds)
             )
-            if check.serializable:
-                report.serializable += 1
-            if config.stats and check.metrics is not None:
-                snapshots.append(check.metrics)
-            divergences.extend(check.divergences)
-            if config.crash:
-                divergences.extend(
-                    crash_recovery_divergences(
-                        trace, configs=self.grid, seed=seed
-                    )
-                )
-                divergences.extend(
-                    fault_injection_divergences(
-                        trace, configs=self.grid, seed=seed
-                    )
-                )
-            if divergences:
-                finding = self._handle_divergence(
-                    index, seed, trace, divergences
-                )
-                report.findings.append(finding)
-                if on_finding is not None:
-                    on_finding(finding)
+        for outcome in outcomes:
+            self._merge_outcome(report, snapshots, outcome, on_finding)
         report.elapsed = time.perf_counter() - started
         if snapshots:
             report.metrics = PipelineMetrics.aggregate(snapshots)

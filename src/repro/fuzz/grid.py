@@ -21,8 +21,9 @@ verdict and on the position of the first warning.
 from __future__ import annotations
 
 import itertools
+import pickle
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import Callable, Optional, Sequence
 
 from repro.core.backend import AnalysisBackend
 from repro.core.basic import VelodromeBasic
@@ -123,3 +124,81 @@ def default_grid() -> tuple[GridConfig, ...]:
             "compact",
         )
     )
+
+
+def grid_names(configs: Optional[Sequence[GridConfig]]) -> Optional[tuple[str, ...]]:
+    """The configuration names of ``configs`` (``None`` passes through).
+
+    This is the picklable form of a grid selection: a
+    :class:`GridConfig` carries closures, so parallel shard tasks ship
+    names and the worker rebuilds the configurations with
+    :func:`grid_by_names`.
+    """
+    if configs is None:
+        return None
+    return tuple(config.name for config in configs)
+
+
+def grid_by_names(
+    names: Optional[Sequence[str]],
+) -> Optional[tuple[GridConfig, ...]]:
+    """Resolve configuration names against the full ablation grid.
+
+    Preserves the requested order.  ``None`` passes through (meaning
+    "the caller's default grid").  Unknown names raise ``KeyError`` —
+    a grid selection that is not made of named ablation-grid members
+    cannot cross a process boundary.
+    """
+    if names is None:
+        return None
+    by_name = {config.name: config for config in ablation_grid()}
+    missing = [name for name in names if name not in by_name]
+    if missing:
+        raise KeyError(
+            f"unknown grid configuration(s): {', '.join(sorted(missing))}"
+        )
+    return tuple(by_name[name] for name in names)
+
+
+def ship_grid(
+    configs: Optional[Sequence[GridConfig]],
+) -> tuple[Optional[tuple[str, ...]], Optional[tuple[GridConfig, ...]]]:
+    """The picklable form of a grid selection, as ``(names, configs)``.
+
+    Exactly one of the pair is populated (both ``None`` means "the
+    worker's default grid").  Grids whose configurations pickle — class
+    factories, no closures — ship directly, which is exact for ad-hoc
+    grids.  The standard ablation grid's factories are closures, so it
+    ships by name and the worker rebuilds it with
+    :func:`grid_by_names`.  A grid that neither pickles nor resolves by
+    name cannot cross a process boundary: ``ValueError``.
+    """
+    if configs is None:
+        return None, None
+    configs = tuple(configs)
+    try:
+        pickle.dumps(configs)
+    except Exception:
+        pass
+    else:
+        return None, configs
+    names = grid_names(configs)
+    try:
+        grid_by_names(names)
+    except KeyError as exc:
+        raise ValueError(
+            "grid cannot cross a process boundary: its factories do not "
+            "pickle and its names are not ablation-grid members "
+            f"({', '.join(names)}); run with jobs=1"
+        ) from exc
+    return names, None
+
+
+def unship_grid(
+    names: Optional[Sequence[str]],
+    configs: Optional[tuple[GridConfig, ...]] = None,
+) -> Optional[tuple[GridConfig, ...]]:
+    """Rebuild a grid shipped by :func:`ship_grid` inside a worker."""
+    if configs is not None:
+        return configs
+    return grid_by_names(names)

@@ -32,7 +32,9 @@ def graph_to_dot(
     if title:
         lines.append(f'  label="{_escape(title)}"; labelloc=t;')
     lines.append("  node [shape=box];")
-    nodes = sorted(graph.live_nodes, key=lambda node: node.seq)
+    # Direct iteration: sorted() materializes its own list, so the
+    # frozenset copy live_nodes would make is pure overhead here.
+    nodes = sorted(graph.iter_live(), key=lambda node: node.seq)
     for node in nodes:
         attrs = [f'label="{_escape(node.display_name())}"']
         if node.current:

@@ -195,13 +195,29 @@ class HBGraph:
 
     @property
     def live_nodes(self) -> frozenset[TxNode]:
-        """A snapshot of the currently live nodes."""
+        """A snapshot of the currently live nodes.
+
+        Copies the live set into a frozenset on every access — use it
+        when a stable snapshot is wanted (e.g. asserting over nodes
+        while mutating the graph).  Hot paths and statistics callers
+        should use :attr:`live_count` (no copy) or :meth:`iter_live`
+        (direct iteration) instead.
+        """
         return frozenset(self._live)
 
     @property
     def live_count(self) -> int:
         """Number of live nodes, without copying the set."""
         return len(self._live)
+
+    def iter_live(self) -> Iterable[TxNode]:
+        """Iterate the live nodes without copying the set.
+
+        The graph must not be mutated (no allocation, collection, or
+        edge insertion) while iterating; take :attr:`live_nodes` for a
+        stable snapshot in that case.
+        """
+        return iter(self._live)
 
     # ---------------------------------------------------------------- edges
     def add_edge(self, src: Step, dst: Step, reason: str = "") -> Optional[Cycle]:

@@ -175,10 +175,38 @@ def run_table1(
     scale: float = 1.0,
     seed: int = 0,
     repeats: int = 1,
+    jobs: int = 1,
 ) -> Table1Result:
-    """Measure every benchmark; see the module docstring."""
+    """Measure every benchmark; see the module docstring.
+
+    ``jobs`` > 1 measures workloads in parallel worker processes (one
+    shard per benchmark) and merges rows in benchmark order, so the
+    rendered table is identical to a serial run.  Every shard must
+    succeed — a table with missing rows is not a Table 1 — so a dead
+    worker raises :class:`~repro.parallel.executor.ShardError`.
+
+    Caveat: parallel workers contend for CPU, so the measured
+    *slowdown ratios* stay meaningful (base and instrumented runs sit
+    in the same shard) but absolute times inflate under oversubscription.
+    """
+    selected = list(workloads) if workloads is not None else all_workloads()
     result = Table1Result()
-    for workload in workloads if workloads is not None else all_workloads():
+    if jobs > 1 and len(selected) > 1:
+        from repro.parallel.executor import require_all, run_shards
+        from repro.parallel.tasks import Table1Task, run_table1_workload
+
+        tasks = [
+            Table1Task(
+                workload=workload.name, scale=scale, seed=seed,
+                repeats=repeats,
+            )
+            for workload in selected
+        ]
+        result.rows.extend(
+            require_all(run_shards(run_table1_workload, tasks, jobs=jobs))
+        )
+        return result
+    for workload in selected:
         result.rows.append(
             measure_workload(workload, scale=scale, seed=seed, repeats=repeats)
         )
@@ -191,6 +219,9 @@ def main(argv: Optional[Sequence[str]] = None) -> None:
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--repeats", type=int, default=2)
     parser.add_argument("--workload", action="append", default=None)
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="measure benchmarks in N parallel worker "
+                             "processes (rows merge in benchmark order)")
     parser.add_argument("--stats", action="store_true",
                         help="print aggregated pipeline metrics")
     args = parser.parse_args(argv)
@@ -200,7 +231,8 @@ def main(argv: Optional[Sequence[str]] = None) -> None:
 
         selected = [get(name) for name in args.workload]
     result = run_table1(
-        selected, scale=args.scale, seed=args.seed, repeats=args.repeats
+        selected, scale=args.scale, seed=args.seed, repeats=args.repeats,
+        jobs=args.jobs,
     )
     print(result.render())
     print(

@@ -176,11 +176,36 @@ def run_table2(
     seeds: Iterable[int] = range(5),
     scale: float = 1.0,
     stats: bool = False,
+    jobs: int = 1,
 ) -> Table2Result:
-    """Score every benchmark; see the module docstring."""
-    result = Table2Result()
+    """Score every benchmark; see the module docstring.
+
+    ``jobs`` > 1 scores benchmarks in parallel worker processes (one
+    shard per benchmark, carrying all its seeds) and merges rows in
+    benchmark order.  Verdicts are schedule-deterministic per seed, so
+    the rendered table is byte-identical to a serial run.  A dead
+    worker raises :class:`~repro.parallel.executor.ShardError` — a
+    table with missing rows would be silently wrong.
+    """
     seeds = list(seeds)
-    for workload in workloads if workloads is not None else all_workloads():
+    selected = list(workloads) if workloads is not None else all_workloads()
+    result = Table2Result()
+    if jobs > 1 and len(selected) > 1:
+        from repro.parallel.executor import require_all, run_shards
+        from repro.parallel.tasks import Table2Task, run_table2_workload
+
+        tasks = [
+            Table2Task(
+                workload=workload.name, seeds=tuple(seeds), scale=scale,
+                stats=stats,
+            )
+            for workload in selected
+        ]
+        result.rows.extend(
+            require_all(run_shards(run_table2_workload, tasks, jobs=jobs))
+        )
+        return result
+    for workload in selected:
         result.rows.append(
             score_workload(workload, seeds=seeds, scale=scale, stats=stats)
         )
@@ -192,6 +217,9 @@ def main(argv: Optional[Sequence[str]] = None) -> None:
     parser.add_argument("--scale", type=float, default=1.0)
     parser.add_argument("--seeds", type=int, default=5)
     parser.add_argument("--workload", action="append", default=None)
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="score benchmarks in N parallel worker "
+                             "processes (rows merge in benchmark order)")
     parser.add_argument("--stats", action="store_true",
                         help="print aggregated pipeline metrics")
     args = parser.parse_args(argv)
@@ -201,7 +229,7 @@ def main(argv: Optional[Sequence[str]] = None) -> None:
 
         selected = [get(name) for name in args.workload]
     result = run_table2(selected, seeds=range(args.seeds), scale=args.scale,
-                        stats=args.stats)
+                        stats=args.stats, jobs=args.jobs)
     print(result.render())
     if args.stats:
         aggregated = PipelineMetrics.aggregate(

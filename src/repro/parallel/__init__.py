@@ -1,0 +1,31 @@
+"""Shard-and-merge parallel execution (``--jobs N``).
+
+The repository's expensive entry points — the differential fuzzer, the
+Table 1/2 harnesses, and corpus replay — all decompose into independent
+(workload x configuration x backend-set) runs.  This package fans those
+runs out across worker processes and merges the results **in submission
+order**, so the merged output is byte-identical to a serial run: the
+parallelism changes wall-clock time and nothing else.
+
+Design constraints (see ``docs/performance.md``):
+
+* Work units travel as small picklable *task* dataclasses
+  (:mod:`repro.parallel.tasks`); grid configurations are carried by
+  *name* and rebuilt inside the worker, because
+  :class:`~repro.fuzz.grid.GridConfig` holds closures.
+* Per-task seeds derive from ``(base_seed, index)`` independently of
+  every other task (:func:`repro.fuzz.engine.iteration_seed`), so the
+  generated trace corpus is identical for any worker count and any
+  scheduling order.
+* A worker crash or timeout fails the *shard*, not the batch: the
+  executor reports which shard died and keeps collecting the rest
+  (:mod:`repro.parallel.executor`).
+"""
+
+from repro.parallel.executor import ShardError, ShardResult, run_shards
+
+__all__ = [
+    "ShardError",
+    "ShardResult",
+    "run_shards",
+]

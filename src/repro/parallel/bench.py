@@ -1,0 +1,249 @@
+"""``repro bench``: measure serial and ``--jobs`` throughput.
+
+Produces ``BENCH_parallel.json`` with two sections:
+
+* **stages** — single-process events/sec for each pipeline stage in
+  isolation: ``generate`` (random program -> recorded trace),
+  ``encode`` / ``decode`` (JSONL round trip), and ``analyze`` (the
+  Table 1 fan-out lineup over a recorded trace).  These numbers track
+  the hot-path event loop: dispatch tables, fan-out binding, batched
+  decode.
+* **fuzz** — end-to-end differential-fuzz throughput, serial versus
+  ``--jobs N``, with the observed speedup.  On a single-core container
+  the speedup cannot exceed ~1.0x; ``cpu_count`` is recorded alongside
+  so the number can be read in context.
+
+``--check-against BASELINE.json`` compares the new events/sec figures
+to a committed baseline and exits non-zero on a regression beyond
+``--threshold`` (default 30%) — the CI perf-smoke gate.
+
+Run as a script::
+
+    python -m repro.parallel.bench [--quick] [--jobs N]
+        [--output FILE] [--check-against FILE] [--threshold F]
+"""
+
+from __future__ import annotations
+
+import argparse
+import io
+import json
+import os
+import sys
+import time
+from typing import Callable, Optional, Sequence
+
+#: Trace used by every stage measurement: one seed, repeated to a few
+#: thousand events so per-call overhead dominates over warm-up noise.
+_STAGE_SEED = 7
+_STAGE_COPIES = 40
+_STAGE_COPIES_QUICK = 10
+
+
+def _best_of(repeats: int, thunk: Callable[[], object]) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        thunk()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def measure_stages(quick: bool = False) -> dict:
+    """Single-process events/sec per pipeline stage."""
+    from repro.baselines.atomizer import Atomizer
+    from repro.baselines.empty import EmptyAnalysis
+    from repro.baselines.eraser import EraserLockSet
+    from repro.core.optimized import VelodromeOptimized
+    from repro.events.serialize import dump_jsonl, load_jsonl
+    from repro.events.trace import Trace
+    from repro.fuzz.engine import trace_for_seed
+    from repro.pipeline import Pipeline, TraceSource
+
+    repeats = 3 if quick else 7
+    copies = _STAGE_COPIES_QUICK if quick else _STAGE_COPIES
+    base = trace_for_seed(_STAGE_SEED)
+    ops = list(base) * copies
+    trace = Trace(ops)
+    buffer = io.StringIO()
+    dump_jsonl(ops, buffer)
+    text = buffer.getvalue()
+    events = len(ops)
+
+    def analyze():
+        Pipeline(
+            [
+                EmptyAnalysis(),
+                EraserLockSet(),
+                Atomizer(),
+                VelodromeOptimized(first_warning_per_label=True),
+            ]
+        ).run(TraceSource(trace))
+
+    stages = {
+        "generate": _best_of(repeats, lambda: trace_for_seed(_STAGE_SEED)),
+        "encode": _best_of(
+            repeats, lambda: dump_jsonl(ops, io.StringIO())
+        ),
+        "decode": _best_of(repeats, lambda: load_jsonl(io.StringIO(text))),
+        "analyze": _best_of(repeats, analyze),
+    }
+    generate_events = len(base)
+    report = {}
+    for name, elapsed in stages.items():
+        stage_events = generate_events if name == "generate" else events
+        report[name] = {
+            "events": stage_events,
+            "best_seconds": round(elapsed, 6),
+            "events_per_sec": round(stage_events / elapsed, 1),
+        }
+    return report
+
+
+def measure_fuzz(budget: int, jobs: int, quick: bool = False) -> dict:
+    """End-to-end fuzz throughput, serial versus ``--jobs``."""
+    from repro.fuzz.engine import FuzzConfig, FuzzEngine
+    from repro.fuzz.grid import default_grid
+
+    configs = default_grid() if quick else None
+
+    def run(n_jobs: int):
+        report = FuzzEngine(
+            FuzzConfig(budget=budget, seed=0, configs=configs, jobs=n_jobs)
+        ).run()
+        if not report.clean:
+            raise RuntimeError(
+                f"bench fuzz run not clean: {report.summary()}"
+            )
+        return report
+
+    serial = run(1)
+    parallel = run(jobs)
+    serial_rate = serial.events / serial.elapsed if serial.elapsed else 0.0
+    parallel_rate = (
+        parallel.events / parallel.elapsed if parallel.elapsed else 0.0
+    )
+    return {
+        "budget": budget,
+        "grid": "quick" if quick else "full",
+        "events": serial.events,
+        "serial": {
+            "elapsed_seconds": round(serial.elapsed, 3),
+            "events_per_sec": round(serial_rate, 1),
+        },
+        "parallel": {
+            "jobs": jobs,
+            "elapsed_seconds": round(parallel.elapsed, 3),
+            "events_per_sec": round(parallel_rate, 1),
+        },
+        "speedup": round(
+            serial.elapsed / parallel.elapsed, 3
+        ) if parallel.elapsed else 0.0,
+    }
+
+
+def run_bench(
+    quick: bool = False, jobs: int = 4, budget: Optional[int] = None
+) -> dict:
+    """The full measurement; returns the ``BENCH_parallel.json`` dict."""
+    if budget is None:
+        budget = 8 if quick else 40
+    return {
+        "schema": 1,
+        "cpu_count": os.cpu_count(),
+        "quick": quick,
+        "stages": measure_stages(quick=quick),
+        "fuzz": measure_fuzz(budget=budget, jobs=jobs, quick=quick),
+    }
+
+
+def compare_to_baseline(
+    current: dict, baseline: dict, threshold: float = 0.30
+) -> list[str]:
+    """Regressions beyond ``threshold``, as human-readable strings.
+
+    Compares every ``events_per_sec`` figure present in both reports;
+    keys only one side has are skipped (benchmarks may gain stages).
+    Faster-than-baseline is never a failure.
+    """
+    regressions = []
+    pairs = [
+        (f"stages.{name}", entry, baseline.get("stages", {}).get(name))
+        for name, entry in current.get("stages", {}).items()
+    ]
+    pairs.append(
+        (
+            "fuzz.serial",
+            current.get("fuzz", {}).get("serial"),
+            baseline.get("fuzz", {}).get("serial"),
+        )
+    )
+    for label, new, old in pairs:
+        if not new or not old:
+            continue
+        new_rate = new.get("events_per_sec")
+        old_rate = old.get("events_per_sec")
+        if not new_rate or not old_rate:
+            continue
+        floor = old_rate * (1.0 - threshold)
+        if new_rate < floor:
+            regressions.append(
+                f"{label}: {new_rate:,.0f} ev/s is "
+                f"{1 - new_rate / old_rate:.0%} below baseline "
+                f"{old_rate:,.0f} ev/s (allowed: {threshold:.0%})"
+            )
+    return regressions
+
+
+def main(argv: Optional[Sequence[str]] = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller budgets (the CI perf-smoke shape)")
+    parser.add_argument("--jobs", type=int, default=4,
+                        help="worker count for the parallel comparison "
+                             "(default 4)")
+    parser.add_argument("--budget", type=int, default=None,
+                        help="fuzz iterations (default: 8 quick, 40 full)")
+    parser.add_argument("--output", default="BENCH_parallel.json",
+                        help="where to write the JSON report")
+    parser.add_argument("--check-against", metavar="FILE", default=None,
+                        help="committed baseline to gate against")
+    parser.add_argument("--threshold", type=float, default=0.30,
+                        help="allowed events/sec regression vs the "
+                             "baseline (default 0.30)")
+    args = parser.parse_args(argv)
+
+    report = run_bench(quick=args.quick, jobs=args.jobs, budget=args.budget)
+    with open(args.output, "w", encoding="utf-8") as stream:
+        json.dump(report, stream, indent=2, sort_keys=True)
+        stream.write("\n")
+
+    for name, entry in report["stages"].items():
+        print(f"{name:>9}: {entry['events_per_sec']:>12,.0f} ev/s")
+    fuzz = report["fuzz"]
+    print(f"fuzz serial : {fuzz['serial']['events_per_sec']:>10,.0f} ev/s "
+          f"({fuzz['serial']['elapsed_seconds']}s, "
+          f"budget {fuzz['budget']}, {fuzz['grid']} grid)")
+    print(f"fuzz --jobs {fuzz['parallel']['jobs']}: "
+          f"{fuzz['parallel']['events_per_sec']:>10,.0f} ev/s "
+          f"({fuzz['parallel']['elapsed_seconds']}s)")
+    print(f"speedup: {fuzz['speedup']}x on {report['cpu_count']} cpu(s)")
+    print(f"wrote {args.output}")
+
+    if args.check_against:
+        with open(args.check_against, encoding="utf-8") as stream:
+            baseline = json.load(stream)
+        regressions = compare_to_baseline(
+            report, baseline, threshold=args.threshold
+        )
+        if regressions:
+            print("PERF REGRESSION:", file=sys.stderr)
+            for line in regressions:
+                print(f"  {line}", file=sys.stderr)
+            raise SystemExit(1)
+        print(f"no regression vs {args.check_against} "
+              f"(threshold {args.threshold:.0%})")
+
+
+if __name__ == "__main__":
+    main()

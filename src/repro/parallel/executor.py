@@ -1,0 +1,179 @@
+"""The shard executor: fan tasks out, merge results in submission order.
+
+:func:`run_shards` is the one parallel primitive every ``--jobs N``
+entry point uses.  It guarantees:
+
+* **Determinism** — results come back as a list indexed exactly like
+  the submitted task list, whatever order the workers finished in.
+  Callers merge by walking that list, so merged output is
+  byte-identical to a serial run.
+* **Containment** — a task that raises fails its own shard (the
+  exception text is captured in the :class:`ShardResult`); a worker
+  process that *dies* (segfault, ``os._exit``, OOM kill) or exceeds
+  the per-shard timeout breaks only the shards it was holding: the
+  pool is rebuilt and the remaining tasks resubmitted.
+* **Serial fallback** — ``jobs <= 1`` (or a single task) runs
+  everything in-process through the same task/worker functions, so the
+  serial and parallel paths cannot drift apart.
+
+The worker callable and every task must be picklable (module-level
+function plus dataclass tasks; see :mod:`repro.parallel.tasks`).
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from concurrent.futures import ProcessPoolExecutor, TimeoutError as FutureTimeout
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Any, Callable, Optional, Sequence
+
+
+@dataclass
+class ShardResult:
+    """Outcome of one shard (one task).
+
+    Attributes:
+        index: position of the task in the submitted sequence.
+        ok: True when the task returned a value.
+        value: the worker's return value (``None`` on failure).
+        error: failure description — the worker's traceback for an
+            in-task exception, or what killed the shard (broken pool,
+            timeout) when the worker process itself died.
+        elapsed: wall-clock seconds the task ran inside its worker
+            (0.0 when the worker died before reporting).
+    """
+
+    index: int
+    ok: bool
+    value: Any = None
+    error: str = ""
+    elapsed: float = 0.0
+
+
+class ShardError(RuntimeError):
+    """Raised by callers that need every shard to succeed."""
+
+    def __init__(self, failures: Sequence[ShardResult]):
+        self.failures = list(failures)
+        lines = [f"{len(self.failures)} shard(s) failed:"]
+        for shard in self.failures:
+            first = shard.error.strip().splitlines()
+            lines.append(f"  shard {shard.index}: "
+                         f"{first[-1] if first else 'unknown failure'}")
+        super().__init__("\n".join(lines))
+
+
+def _run_task(worker: Callable[[Any], Any], task: Any) -> tuple[Any, float]:
+    """Executed inside the worker process: time one task."""
+    started = time.perf_counter()
+    value = worker(task)
+    return value, time.perf_counter() - started
+
+
+def _run_serial(
+    worker: Callable[[Any], Any], tasks: Sequence[Any]
+) -> list[ShardResult]:
+    results = []
+    for index, task in enumerate(tasks):
+        try:
+            value, elapsed = _run_task(worker, task)
+        except Exception:  # noqa: BLE001 - containment is the contract
+            results.append(
+                ShardResult(index, False, error=traceback.format_exc())
+            )
+        else:
+            results.append(ShardResult(index, True, value, elapsed=elapsed))
+    return results
+
+
+def _terminate(pool: ProcessPoolExecutor) -> None:
+    """Tear a pool down without waiting on hung or dead workers."""
+    processes = list(getattr(pool, "_processes", {}).values())
+    for process in processes:
+        process.terminate()
+    pool.shutdown(wait=False, cancel_futures=True)
+
+
+def run_shards(
+    worker: Callable[[Any], Any],
+    tasks: Sequence[Any],
+    jobs: int = 1,
+    timeout: Optional[float] = None,
+) -> list[ShardResult]:
+    """Run ``worker(task)`` for every task; results in task order.
+
+    Args:
+        worker: picklable callable applied to each task in its own
+            worker process.
+        tasks: picklable task objects.
+        jobs: worker process count; ``<= 1`` runs serially in-process.
+        timeout: per-shard wall-clock limit in seconds (parallel mode
+            only); an overrunning shard is failed and its worker pool
+            recycled.
+    """
+    tasks = list(tasks)
+    if jobs <= 1 or len(tasks) <= 1:
+        return _run_serial(worker, tasks)
+
+    results: list[Optional[ShardResult]] = [None] * len(tasks)
+    pending = list(range(len(tasks)))
+    while pending:
+        pool = ProcessPoolExecutor(max_workers=min(jobs, len(pending)))
+        futures = {
+            index: pool.submit(_run_task, worker, tasks[index])
+            for index in pending
+        }
+        rebuild = False
+        # Collect in submission order: the merge order never depends on
+        # which worker finished first.
+        for index in list(pending):
+            try:
+                value, elapsed = futures[index].result(timeout=timeout)
+            except BrokenProcessPool:
+                # The pool is dead; the oldest uncollected shard is the
+                # one whose worker most plausibly died.  Fail it and
+                # retry the rest in a fresh pool — if a later shard was
+                # the real culprit, it becomes oldest and is failed on
+                # a subsequent round, so the loop always terminates.
+                results[index] = ShardResult(
+                    index, False,
+                    error="worker process died (broken pool); "
+                          "shard abandoned",
+                )
+                pending.remove(index)
+                rebuild = True
+                break
+            except FutureTimeout:
+                results[index] = ShardResult(
+                    index, False,
+                    error=f"shard exceeded timeout ({timeout}s); "
+                          f"worker pool recycled",
+                )
+                pending.remove(index)
+                rebuild = True
+                break
+            except Exception:  # noqa: BLE001 - in-task exception
+                results[index] = ShardResult(
+                    index, False, error=traceback.format_exc()
+                )
+                pending.remove(index)
+            else:
+                results[index] = ShardResult(
+                    index, True, value, elapsed=elapsed
+                )
+                pending.remove(index)
+        if rebuild:
+            _terminate(pool)
+        else:
+            pool.shutdown(wait=True)
+    return [result for result in results if result is not None]
+
+
+def require_all(results: Sequence[ShardResult]) -> list[Any]:
+    """The shard values in order; raises :class:`ShardError` on failure."""
+    failures = [shard for shard in results if not shard.ok]
+    if failures:
+        raise ShardError(failures)
+    return [shard.value for shard in results]

@@ -1,0 +1,156 @@
+"""Picklable task specs and module-level workers for every shard kind.
+
+Each entry point that accepts ``--jobs`` has a task dataclass (what
+crosses the process boundary going in) and a module-level worker
+function (what the pool executes).  Grid selections cross the boundary
+in the form :func:`~repro.fuzz.grid.ship_grid` chose: directly when
+the configurations pickle, otherwise as ablation-grid *names* the
+worker resolves with :func:`~repro.fuzz.grid.grid_by_names` (the
+standard grid's factories are closures and cannot pickle).
+
+Workers are side-effect free: they return picklable result objects
+(:class:`~repro.fuzz.engine.IterationOutcome`,
+:class:`~repro.harness.table1.Table1Row`, ...) and the parent process
+performs all writes and console output while merging in submission
+order.  That split is what makes ``--jobs N`` output byte-identical to
+``--jobs 1``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.fuzz.grid import GridConfig
+from repro.workloads.randomgen import GeneratorConfig
+
+
+# ------------------------------------------------------------------ fuzz
+@dataclass(frozen=True)
+class FuzzIterationTask:
+    """One fuzz iteration: generate, check, optionally shrink.
+
+    ``seed`` is the already-derived iteration seed (see
+    :func:`repro.fuzz.engine.iteration_seed`), so the worker needs no
+    knowledge of the base seed or its shard's position in the budget.
+    """
+
+    index: int
+    seed: int
+    shrink: bool
+    stats: bool
+    crash: bool
+    max_shrink_evaluations: int
+    generator: Optional[GeneratorConfig]
+    config_names: Optional[tuple[str, ...]]
+    configs: Optional[tuple[GridConfig, ...]] = None
+
+
+def run_fuzz_iteration(task: FuzzIterationTask):
+    """Worker: one differential-fuzz iteration, no side effects."""
+    from repro.fuzz.engine import FuzzConfig, FuzzEngine
+    from repro.fuzz.grid import unship_grid
+
+    engine = FuzzEngine(
+        FuzzConfig(
+            budget=1,
+            seed=task.seed,
+            shrink=task.shrink,
+            stats=task.stats,
+            crash=task.crash,
+            generator=task.generator,
+            configs=unship_grid(task.config_names, task.configs),
+            max_shrink_evaluations=task.max_shrink_evaluations,
+        )
+    )
+    return engine.check_iteration(task.index, task.seed)
+
+
+# ------------------------------------------------------------ table 1 / 2
+@dataclass(frozen=True)
+class Table1Task:
+    """One Table 1 benchmark measurement (E1 slowdowns + E2 nodes)."""
+
+    workload: str
+    scale: float
+    seed: int
+    repeats: int
+
+
+def run_table1_workload(task: Table1Task):
+    """Worker: measure one workload; returns its ``Table1Row``."""
+    from repro.harness.table1 import measure_workload
+    from repro.workloads.base import get
+
+    return measure_workload(
+        get(task.workload),
+        scale=task.scale,
+        seed=task.seed,
+        repeats=task.repeats,
+    )
+
+
+@dataclass(frozen=True)
+class Table2Task:
+    """One Table 2 benchmark scoring (precision/recall over seeds)."""
+
+    workload: str
+    seeds: tuple[int, ...]
+    scale: float
+    stats: bool
+
+
+def run_table2_workload(task: Table2Task):
+    """Worker: score one workload; returns its ``Table2Row``."""
+    from repro.harness.table2 import score_workload
+    from repro.workloads.base import get
+
+    return score_workload(
+        get(task.workload),
+        seeds=task.seeds,
+        scale=task.scale,
+        stats=task.stats,
+    )
+
+
+# ---------------------------------------------------------- corpus replay
+@dataclass(frozen=True)
+class CorpusReplayTask:
+    """Re-check one corpus recording across the grid."""
+
+    path: str
+    config_names: Optional[tuple[str, ...]]
+    crash: bool
+    seed: int
+    configs: Optional[tuple[GridConfig, ...]] = None
+
+
+def run_corpus_replay(task: CorpusReplayTask):
+    """Worker: replay one corpus trace; returns its ``TraceCheck``."""
+    from dataclasses import replace
+
+    from repro.events.serialize import load_trace
+    from repro.fuzz.faults import (
+        crash_recovery_divergences,
+        fault_injection_divergences,
+    )
+    from repro.fuzz.grid import unship_grid
+    from repro.fuzz.verdicts import check_trace
+
+    configs = unship_grid(task.config_names, task.configs)
+    trace = load_trace(task.path)
+    check = check_trace(trace, configs=configs)
+    if task.crash:
+        extra = [
+            *crash_recovery_divergences(
+                trace, configs=configs, seed=task.seed
+            ),
+            *fault_injection_divergences(
+                trace, configs=configs, seed=task.seed
+            ),
+        ]
+        if extra:
+            check = replace(
+                check, divergences=(*check.divergences, *extra)
+            )
+    return check

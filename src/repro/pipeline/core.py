@@ -45,6 +45,9 @@ class Pipeline:
     ):
         self.stages = list(stages)
         self.fanout = FanOut(backends, timed=stats)
+        # The fan-out's process hook is fixed at its construction, so
+        # it can be bound once here instead of resolved per event.
+        self._sink = self.fanout.process
         self.stats = stats
         self.events_in = 0
         self.events_out = 0
@@ -60,13 +63,15 @@ class Pipeline:
         self.events_in += 1
         if self.stats:
             self._kind_counts[op.kind] = self._kind_counts.get(op.kind, 0) + 1
-        current: Optional[Operation] = op
-        for stage in self.stages:
-            current = stage.process(current)
-            if current is None:
-                return
+        if self.stages:
+            current: Optional[Operation] = op
+            for stage in self.stages:
+                current = stage.process(current)
+                if current is None:
+                    return
+            op = current
         self.events_out += 1
-        self.fanout.process(current)
+        self._sink(op)
 
     __call__ = process
 

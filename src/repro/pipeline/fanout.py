@@ -9,6 +9,14 @@ e.g. Velodrome and the Atomizer observe the same instrumented run.
 With ``timed=True`` the dispatcher accumulates per-backend wall time
 (its ``process`` and ``finish`` calls), which the harnesses use to
 attribute the cost of a shared run to individual analyses.
+
+Hot-path notes: the timed/untimed decision is made ONCE, at
+construction — ``process`` and ``finish`` are bound to the matching
+implementation, so the per-event path never re-tests ``self.timed``
+and never re-binds ``time.perf_counter``.  The untimed path pre-binds
+the backends' ``process`` methods (a single-backend fan-out forwards
+straight to it), skipping both the timing branch and the enumerate
+loop entirely.
 """
 
 from __future__ import annotations
@@ -22,7 +30,13 @@ from repro.pipeline.metrics import BackendMetrics
 
 
 class FanOut:
-    """Dispatch each event to every backend, optionally timing each."""
+    """Dispatch each event to every backend, optionally timing each.
+
+    ``process`` and ``finish`` are chosen at construction: timed mode
+    accumulates per-backend wall clock into :attr:`times`; untimed mode
+    dispatches over a pre-bound list of backend methods with no timing
+    overhead at all.
+    """
 
     def __init__(
         self, backends: Sequence[AnalysisBackend], timed: bool = False
@@ -30,31 +44,58 @@ class FanOut:
         self.backends = list(backends)
         self.timed = timed
         self.times = [0.0] * len(self.backends)
+        self._clock = time.perf_counter  # hoisted out of the event loop
+        if timed:
+            self.process = self._process_timed
+            self.finish = self._finish_timed
+        elif len(self.backends) == 1:
+            # The common `repro check` shape: forward straight to the
+            # single backend, no loop, no wrapper frame.
+            self.process = self.backends[0].process
+            self.finish = self.backends[0].finish
+        else:
+            self._processors = [backend.process for backend in self.backends]
+            self.process = self._process_untimed
+            self.finish = self._finish_untimed
 
-    def process(self, op: Operation) -> None:
+    # The class-level definitions keep the protocol documented (and the
+    # instance attributes above shadow them with the bound choice).
+
+    def process(self, op: Operation) -> None:  # pragma: no cover - shadowed
         """Feed one operation to every backend."""
-        if self.timed:
-            clock = time.perf_counter
-            for index, backend in enumerate(self.backends):
-                started = clock()
-                backend.process(op)
-                self.times[index] += clock() - started
-        else:
-            for backend in self.backends:
-                backend.process(op)
+        raise AssertionError("process is bound in __init__")
 
-    def finish(self) -> None:
+    def finish(self) -> None:  # pragma: no cover - shadowed
         """Signal end of stream to every backend."""
-        if self.timed:
-            clock = time.perf_counter
-            for index, backend in enumerate(self.backends):
-                started = clock()
-                backend.finish()
-                self.times[index] += clock() - started
-        else:
-            for backend in self.backends:
-                backend.finish()
+        raise AssertionError("finish is bound in __init__")
 
+    # ------------------------------------------------------------ untimed
+    def _process_untimed(self, op: Operation) -> None:
+        for process in self._processors:
+            process(op)
+
+    def _finish_untimed(self) -> None:
+        for backend in self.backends:
+            backend.finish()
+
+    # -------------------------------------------------------------- timed
+    def _process_timed(self, op: Operation) -> None:
+        clock = self._clock
+        times = self.times
+        for index, backend in enumerate(self.backends):
+            started = clock()
+            backend.process(op)
+            times[index] += clock() - started
+
+    def _finish_timed(self) -> None:
+        clock = self._clock
+        times = self.times
+        for index, backend in enumerate(self.backends):
+            started = clock()
+            backend.finish()
+            times[index] += clock() - started
+
+    # ------------------------------------------------------------- metrics
     def backend_metrics(self) -> tuple[BackendMetrics, ...]:
         """Per-backend snapshot (events, accumulated time, warnings)."""
         return tuple(

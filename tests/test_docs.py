@@ -23,7 +23,9 @@ class TestFilesExist:
     @pytest.mark.parametrize("name", [
         "README.md", "DESIGN.md", "EXPERIMENTS.md",
         "docs/algorithm.md", "docs/workloads.md", "docs/usage.md",
-        "docs/api.md",
+        "docs/api.md", "docs/pipeline.md", "docs/fuzzing.md",
+        "docs/resilience.md", "docs/performance.md",
+        "benchmarks/baseline/BENCH_parallel.json",
         "setup.cfg", "setup.py", "pytest.ini",
         "src/repro/py.typed",
     ])
