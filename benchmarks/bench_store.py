@@ -1,0 +1,95 @@
+"""Packed trace store benchmarks: ``repro bench store`` under pytest.
+
+Exercises the :mod:`repro.store.bench` harness end to end in its quick
+(CI perf-smoke) shape: size ratio versus JSONL, encode/decode
+events/sec for both formats, mid-file seek cost, JSON report emission,
+the absolute acceptance floors (packed >= 3x smaller, decode >= 1.5x
+faster than JSONL), and the regression gate against the committed
+baseline.
+
+The committed ``benchmarks/baseline/BENCH_store.json`` records the
+figures this container measured at commit time together with its
+``cpu_count``; the gate tolerates 30% (hardware and load vary) and the
+floors are absolute.
+
+Run with ``pytest benchmarks/bench_store.py``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.store.bench import (
+    DECODE_SPEEDUP_FLOOR,
+    SIZE_RATIO_FLOOR,
+    check_floors,
+    compare_to_baseline,
+    main,
+    measure_store,
+)
+
+BASELINE = Path(__file__).parent / "baseline" / "BENCH_store.json"
+
+
+@pytest.fixture(scope="module")
+def quick_report() -> dict:
+    return measure_store(quick=True)
+
+
+def test_report_shape(quick_report):
+    assert quick_report["schema"] == 1
+    assert quick_report["cpu_count"] >= 1
+    assert quick_report["events"] > 0
+    assert quick_report["size"]["jsonl_bytes"] > 0
+    assert quick_report["size"]["packed_bytes"] > 0
+    for section in ("encode", "decode"):
+        for fmt in ("jsonl", "packed"):
+            assert quick_report[section][fmt]["events_per_sec"] > 0
+    seek = quick_report["seek"]
+    assert 0 < seek["blocks_touched"]
+    assert seek["events_per_sec"] > 0
+
+
+def test_acceptance_floors(quick_report):
+    assert quick_report["size"]["ratio"] >= SIZE_RATIO_FLOOR
+    assert quick_report["decode"]["speedup"] >= DECODE_SPEEDUP_FLOOR
+    assert check_floors(quick_report) == []
+
+
+def test_floor_check_fails_on_synthetic_miss(quick_report):
+    bad = json.loads(json.dumps(quick_report))
+    bad["size"]["ratio"] = SIZE_RATIO_FLOOR - 0.1
+    bad["decode"]["speedup"] = DECODE_SPEEDUP_FLOOR - 0.1
+    assert len(check_floors(bad)) == 2
+
+
+def test_cli_writes_report(tmp_path):
+    output = tmp_path / "BENCH_store.json"
+    main(["--quick", "--output", str(output)])
+    report = json.loads(output.read_text())
+    assert report["quick"] is True
+    assert report["size"]["ratio"] >= SIZE_RATIO_FLOOR
+
+
+def test_gate_against_committed_baseline(quick_report):
+    baseline = json.loads(BASELINE.read_text())
+    regressions = compare_to_baseline(
+        quick_report, baseline, threshold=0.50
+    )
+    # Generous threshold here: this assertion runs on arbitrary
+    # developer hardware.  CI runs the 30% gate on its own baseline.
+    assert not regressions, "\n".join(regressions)
+
+
+def test_gate_fails_on_synthetic_regression(quick_report):
+    inflated = json.loads(json.dumps(quick_report))
+    for section in ("encode", "decode"):
+        for fmt in ("jsonl", "packed"):
+            inflated[section][fmt]["events_per_sec"] *= 10
+    regressions = compare_to_baseline(
+        quick_report, inflated, threshold=0.30
+    )
+    assert len(regressions) == 4

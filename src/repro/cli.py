@@ -3,19 +3,23 @@
 ::
 
     python -m repro check TRACE_FILE [--backend NAME]... [--dot DIR]
+                          [--jobs N]
                           [--checkpoint FILE [--checkpoint-every N]]
                           [--resume FILE] [--max-nodes N]
                           [--on-pressure {degrade,fail}]
     python -m repro run WORKLOAD [--seed N] [--scale S] [--adversarial]
     python -m repro random [--seed N] [--record FILE]
     python -m repro fuzz [--budget N] [--seed S] [--shrink] [--stats]
+    python -m repro trace pack/unpack/info/cat ...
     python -m repro workloads
     python -m repro table1 / table2 / inject ...
 
-``check`` analyses a recorded trace (``.jsonl`` or the textual DSL);
-``--backend`` may be given several times (or as ``--backend all``) and
-the trace is loaded and traversed ONCE, fanned out to every selected
-analysis.  ``run`` executes one of the fifteen benchmark models under
+``check`` analyses a recorded trace — packed binary (``.vtrc``),
+``.jsonl``, or the textual DSL, told apart by content sniffing (see
+``docs/traces.md``); ``--backend`` may be given several times (or as
+``--backend all``) and the trace is loaded and traversed ONCE, fanned
+out to every selected analysis.  ``--jobs N`` decodes a packed trace's
+blocks across N worker processes before the (serial) analysis.  ``run`` executes one of the fifteen benchmark models under
 the tool; ``table1``/``table2``/``inject`` regenerate the paper's
 experiments (forwarding to :mod:`repro.harness`).  ``check`` and
 ``run`` accept ``--stats`` to print pipeline metrics (event counts by
@@ -34,6 +38,12 @@ against the serialization-graph oracle, with optional delta-debugging
 shrinking (``--shrink``) and corpus persistence (``--corpus DIR``);
 ``fuzz --replay DIR`` re-checks an existing corpus instead of
 generating new traces.  Exit status 1 signals a divergence.
+
+``trace`` groups the packed-store utilities: ``pack`` re-encodes any
+readable recording as packed VTRC, ``unpack`` converts back (or
+between formats), ``info`` prints the block layout, and ``cat``
+streams operations from an arbitrary position using the block index
+(only the blocks actually shown are decoded).
 """
 
 from __future__ import annotations
@@ -108,7 +118,15 @@ def _selected_backends(names: Optional[Sequence[str]]) -> list[str]:
 
 
 def _report_warnings(args: argparse.Namespace, trace, backends) -> int:
-    """Print each backend's warnings (and dot files); returns the count."""
+    """Print each backend's warnings (and dot files); returns the count.
+
+    ``trace`` may be a :class:`~repro.events.trace.Trace` or a
+    zero-argument callable producing one — the resume path hands in a
+    lazy loader so a packed recording's prefix is only decoded when
+    ``--render``/``--explain`` actually need the full trace.
+    """
+    if callable(trace) and (args.render or args.explain):
+        trace = trace()
     if args.render:
         print(render_with_transactions(trace))
         print()
@@ -147,7 +165,48 @@ def _report_warnings(args: argparse.Namespace, trace, backends) -> int:
     return total
 
 
-def _check_supervised(args: argparse.Namespace, trace) -> int:
+def _is_packed(path) -> bool:
+    """True when ``path``'s magic bytes identify a VTRC packed trace."""
+    from repro.store.sniff import FORMAT_PACKED, sniff_path
+
+    return sniff_path(path) == FORMAT_PACKED
+
+
+def _load_check_trace(path, jobs: int = 1):
+    """Load a trace for analysis, fanning packed decode out to workers."""
+    if jobs and jobs > 1 and _is_packed(path):
+        from repro.store.parallel import load_packed_parallel
+
+        return load_packed_parallel(path, jobs=jobs)
+    return load_trace(path)
+
+
+def _packed_checkpoint_meta(path):
+    """A ``checkpoint_meta`` callable for supervised runs over a
+    packed trace: records the source file and the block-aligned byte
+    offset from which ``--resume`` can re-read only the tail."""
+    def meta(position: int) -> dict:
+        from repro.store.reader import PackedTraceReader
+
+        entry: dict = {
+            "trace": str(path),
+            "format": "vtrc",
+            "resume_seq": position,
+        }
+        with PackedTraceReader(path) as reader:
+            if 0 <= position < reader.total_ops:
+                block = reader.block_for_seq(position)
+                entry["resume_block"] = block.number
+                entry["resume_block_offset"] = block.byte_offset
+            else:  # checkpoint at end of stream: nothing left to read
+                entry["resume_block"] = None
+                entry["resume_block_offset"] = None
+        return entry
+
+    return meta
+
+
+def _check_supervised(args: argparse.Namespace) -> int:
     """The supervised `check` path: checkpoints, budgets, resume."""
     if args.checkpoint_every and not (args.checkpoint or args.resume):
         print("error: --checkpoint-every requires --checkpoint",
@@ -162,31 +221,53 @@ def _check_supervised(args: argparse.Namespace, trace) -> int:
             min(256, max(1, args.max_nodes)) if args.max_nodes else 256
         ),
     )
+    packed = _is_packed(args.trace)
     options = dict(
         checkpoint_every=args.checkpoint_every,
         checkpoint_path=args.checkpoint,
         budgets=budgets,
         on_pressure=args.on_pressure,
+        checkpoint_meta=(
+            _packed_checkpoint_meta(args.trace) if packed else None
+        ),
     )
-    if args.resume:
-        checker = SupervisedChecker.resume(args.resume, **{
-            key: value for key, value in options.items()
-            if key != "checkpoint_path"
-        })
-        print(f"resumed {len(checker.backends)} backend(s) at event "
-              f"{checker.position} from {args.resume}")
-        remaining = list(trace)[checker.position:]
-    else:
-        names = _selected_backends(args.backend)
-        checker = SupervisedChecker(
-            [BACKENDS[name]() for name in names], **options
-        )
-        remaining = list(trace)
-    checker.run(TraceSource(remaining))
+    packed_reader = None
+    try:
+        if args.resume:
+            checker = SupervisedChecker.resume(args.resume, **{
+                key: value for key, value in options.items()
+                if key != "checkpoint_path"
+            })
+            print(f"resumed {len(checker.backends)} backend(s) at event "
+                  f"{checker.position} from {args.resume}")
+            if packed:
+                # Seek via the block index: only the block containing
+                # the checkpoint position and its successors are read.
+                from repro.store.reader import PackedTraceReader
+
+                packed_reader = PackedTraceReader(args.trace)
+                remaining = packed_reader.seek(checker.position)
+            else:
+                remaining = iter(
+                    list(_load_check_trace(args.trace))[checker.position:]
+                )
+        else:
+            names = _selected_backends(args.backend)
+            checker = SupervisedChecker(
+                [BACKENDS[name]() for name in names], **options
+            )
+            remaining = iter(_load_check_trace(args.trace, args.jobs))
+        checker.run(TraceSource(remaining))
+    finally:
+        if packed_reader is not None:
+            packed_reader.close()
     if args.checkpoint and not args.resume:
         written = checker.checkpoint()
         print(f"final checkpoint written to {written}")
-    warning_count = _report_warnings(args, trace, checker.backends)
+    warning_count = _report_warnings(
+        args, lambda: _load_check_trace(args.trace, args.jobs),
+        checker.backends,
+    )
     report = checker.report()
     print(report.summary())
     for event in report.degradations:
@@ -196,14 +277,14 @@ def _check_supervised(args: argparse.Namespace, trace) -> int:
 
 
 def cmd_check(args: argparse.Namespace) -> int:
-    trace = load_trace(args.trace)
     if (
         args.resume
         or args.checkpoint
         or args.checkpoint_every
         or args.max_nodes
     ):
-        return _check_supervised(args, trace)
+        return _check_supervised(args)
+    trace = _load_check_trace(args.trace, args.jobs)
     names = _selected_backends(args.backend)
     backends = [BACKENDS[name]() for name in names]
     pipeline = Pipeline(backends, stats=args.stats)
@@ -278,6 +359,7 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
         stats=args.stats,
         crash=args.crash,
         corpus_dir=pathlib.Path(args.corpus) if args.corpus else None,
+        corpus_format=args.corpus_format,
         configs=default_grid() if args.quick else None,
         jobs=args.jobs,
     )
@@ -301,6 +383,70 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
     return 0 if report.clean else 1
 
 
+def cmd_trace_pack(args: argparse.Namespace) -> int:
+    from repro.store.writer import save_packed
+
+    trace = load_trace(args.source)
+    written = save_packed(
+        list(trace), args.dest,
+        block_ops=args.block_size, compress_level=args.level,
+    )
+    src_bytes = pathlib.Path(args.source).stat().st_size
+    dst_bytes = pathlib.Path(args.dest).stat().st_size
+    ratio = src_bytes / dst_bytes if dst_bytes else 0.0
+    print(f"packed {written} ops: {src_bytes} -> {dst_bytes} bytes "
+          f"({ratio:.1f}x)")
+    return 0
+
+
+def cmd_trace_unpack(args: argparse.Namespace) -> int:
+    if args.tolerant:
+        from repro.resilience.quarantine import LENIENT
+        from repro.store.reader import load_packed_tolerant
+
+        trace, quarantine = load_packed_tolerant(args.source, LENIENT)
+        if quarantine.faults:
+            print(quarantine.summary(), file=sys.stderr)
+    else:
+        trace = _load_check_trace(args.source, args.jobs)
+    count = save_trace(trace, args.dest)
+    print(f"unpacked {count} ops to {args.dest}")
+    return 0
+
+
+def cmd_trace_info(args: argparse.Namespace) -> int:
+    from repro.store.reader import PackedTraceReader
+
+    with PackedTraceReader(args.file) as reader:
+        print(reader.info().render())
+        if args.blocks:
+            print(f"  {'block':>5} {'offset':>10} {'bytes':>8} "
+                  f"{'ops':>6} {'seqs':>15}")
+            for block in reader.blocks:
+                print(f"  {block.number:>5} {block.byte_offset:>10} "
+                      f"{block.comp_len:>8} {block.op_count:>6} "
+                      f"{block.first_seq:>6}..{block.last_seq}")
+    return 0
+
+
+def cmd_trace_cat(args: argparse.Namespace) -> int:
+    from repro.store.reader import PackedTraceReader
+
+    shown = 0
+    with PackedTraceReader(args.file) as reader:
+        start = args.start
+        if start >= reader.total_ops:
+            print(f"position {start} past the last operation "
+                  f"({reader.total_ops} total)", file=sys.stderr)
+            return 2
+        for seq, op in enumerate(reader.seek(start), start=start):
+            print(f"{seq}: {op}")
+            shown += 1
+            if args.limit is not None and shown >= args.limit:
+                break
+    return 0
+
+
 def cmd_workloads(_args: argparse.Namespace) -> int:
     for workload in all_workloads():
         table2 = workload.table2
@@ -318,7 +464,13 @@ def build_parser() -> argparse.ArgumentParser:
     commands = parser.add_subparsers(dest="command", required=True)
 
     check = commands.add_parser("check", help="analyse a recorded trace file")
-    check.add_argument("trace", help="trace file (.jsonl or DSL text)")
+    check.add_argument("trace",
+                       help="trace file (.vtrc packed, .jsonl, or DSL "
+                            "text; format sniffed from content)")
+    check.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="decode a packed trace's blocks across N "
+                            "worker processes (default 1; no effect on "
+                            "other formats)")
     check.add_argument("--backend", action="append",
                        choices=sorted(BACKENDS) + ["all"], default=None,
                        help="analysis to run; repeatable, 'all' selects "
@@ -394,6 +546,11 @@ def build_parser() -> argparse.ArgumentParser:
     fz.add_argument("--corpus", metavar="DIR",
                     help="persist (shrunken) repros into DIR "
                          f"(conventionally {DEFAULT_CORPUS})")
+    fz.add_argument("--corpus-format", choices=("jsonl", "vtrc"),
+                    default="jsonl",
+                    help="on-disk format for persisted repros; entries "
+                         "dedupe by content hash across formats "
+                         "(default jsonl)")
     fz.add_argument("--replay", metavar="DIR",
                     help="re-check the corpus under DIR instead of fuzzing")
     fz.add_argument("--jobs", type=int, default=1, metavar="N",
@@ -401,6 +558,56 @@ def build_parser() -> argparse.ArgumentParser:
                          "worker processes; output is byte-identical to "
                          "a serial run (default 1)")
     fz.set_defaults(func=cmd_fuzz)
+
+    tr = commands.add_parser(
+        "trace", help="packed trace store utilities (pack/unpack/info/cat)"
+    )
+    verbs = tr.add_subparsers(dest="verb", required=True)
+
+    pack = verbs.add_parser(
+        "pack", help="re-encode a recording as a packed .vtrc file"
+    )
+    pack.add_argument("source", help="input recording (any format)")
+    pack.add_argument("dest", help="output packed trace file")
+    pack.add_argument("--block-size", type=int, default=512, metavar="N",
+                      help="operations per block (default 512); smaller "
+                           "blocks seek finer, larger compress better")
+    pack.add_argument("--level", type=int, default=6, metavar="L",
+                      help="zlib compression level 0-9 (default 6)")
+    pack.set_defaults(func=cmd_trace_pack)
+
+    unpack = verbs.add_parser(
+        "unpack", help="convert a recording to the format DEST's "
+                       "extension selects (.jsonl/.vtrc, else DSL)"
+    )
+    unpack.add_argument("source", help="input recording (any format)")
+    unpack.add_argument("dest", help="output trace file")
+    unpack.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="decode packed blocks across N workers")
+    unpack.add_argument("--tolerant", action="store_true",
+                        help="salvage a damaged packed trace: skip "
+                             "quarantined blocks instead of failing "
+                             "(prints the fault summary to stderr)")
+    unpack.set_defaults(func=cmd_trace_unpack)
+
+    info = verbs.add_parser(
+        "info", help="print a packed trace's layout summary"
+    )
+    info.add_argument("file", help="packed .vtrc trace file")
+    info.add_argument("--blocks", action="store_true",
+                      help="also list every block (offset, size, seqs)")
+    info.set_defaults(func=cmd_trace_info)
+
+    cat = verbs.add_parser(
+        "cat", help="print operations, seeking via the block index"
+    )
+    cat.add_argument("file", help="packed .vtrc trace file")
+    cat.add_argument("--start", type=int, default=0, metavar="SEQ",
+                     help="first stream position to print (default 0); "
+                          "only the blocks shown are decoded")
+    cat.add_argument("--limit", type=int, default=None, metavar="N",
+                     help="stop after N operations")
+    cat.set_defaults(func=cmd_trace_cat)
 
     wl = commands.add_parser("workloads", help="list benchmark workloads")
     wl.set_defaults(func=cmd_workloads)
@@ -420,8 +627,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     bench = commands.add_parser(
         "bench",
-        help="measure serial and --jobs throughput "
-             "(writes BENCH_parallel.json)",
+        help="measure serial and --jobs throughput (writes "
+             "BENCH_parallel.json); 'bench store' measures the packed "
+             "trace store (writes BENCH_store.json)",
         add_help=False,
     )
     bench.set_defaults(func=None, harness_main=parallel_bench.main)

@@ -2,10 +2,14 @@
 
 Recorded event streams can be saved and re-analyzed offline — the
 workflow RoadRunner users follow when a run is expensive to reproduce.
-Two formats:
+Three formats:
 
 * **JSONL** — one JSON object per operation; lossless (values, labels,
   source locations).
+* **VTRC** — the packed binary store of :mod:`repro.store`: lossless
+  like JSONL, several times smaller, faster to decode, and seekable
+  (see ``docs/traces.md``).  :func:`save_trace` writes it for
+  ``.vtrc`` paths; :func:`load_trace` detects it by magic bytes.
 * **DSL text** — the compact ``tid:kind(arg)`` format of
   :meth:`repro.events.trace.Trace.parse`; human-editable, drops
   non-string values and locations.
@@ -255,13 +259,24 @@ def load_jsonl_tolerant(
 
 
 def save_trace(trace: Iterable[Operation], path: PathLike) -> int:
-    """Save to ``path``; `.jsonl` uses JSONL, anything else the DSL.
+    """Save to ``path``; the extension picks the format.
 
-    Recordings are always UTF-8, independent of the locale: a trace
-    with non-ASCII lock or variable names must load back identically
-    on any machine (and must not crash the save under a C locale).
+    ``.jsonl`` writes JSON lines, ``.vtrc`` the packed binary store
+    (:mod:`repro.store`), anything else the textual DSL.  Writing is
+    the one place extensions matter — a writer must pick *some*
+    format; readers sniff content instead (:func:`load_trace`).
+
+    Text recordings are always UTF-8, independent of the locale: a
+    trace with non-ASCII lock or variable names must load back
+    identically on any machine (and must not crash the save under a
+    C locale).
     """
     path = Path(path)
+    if path.suffix == ".vtrc":
+        # Deferred: repro.store imports this module.
+        from repro.store.writer import save_packed
+
+        return save_packed(trace, path)
     with path.open("w", encoding="utf-8") as stream:
         if path.suffix == ".jsonl":
             return dump_jsonl(trace, stream)
@@ -272,10 +287,26 @@ def save_trace(trace: Iterable[Operation], path: PathLike) -> int:
 
 
 def load_trace(path: PathLike) -> Trace:
-    """Load from ``path``; `.jsonl` uses JSONL, anything else the DSL."""
+    """Load a recording, whatever its format, by sniffing content.
+
+    The leading bytes decide: the ``VTRC`` magic selects the packed
+    binary reader, a ``{`` selects JSONL, a ``tid:kind`` token the
+    DSL — file extensions are never consulted, so renamed or
+    extensionless recordings load correctly and genuinely unknown
+    content fails with a clear
+    :class:`~repro.store.sniff.UnknownTraceFormat` instead of a
+    misleading parse error.
+    """
     path = Path(path)
+    # Deferred: repro.store imports this module.
+    from repro.store.reader import load_packed
+    from repro.store.sniff import FORMAT_JSONL, FORMAT_PACKED, sniff_path
+
+    detected = sniff_path(path)
+    if detected == FORMAT_PACKED:
+        return load_packed(path)
     with path.open(encoding="utf-8") as stream:
-        if path.suffix == ".jsonl":
+        if detected == FORMAT_JSONL:
             return load_jsonl(stream)
         return Trace.parse(stream.read())
 

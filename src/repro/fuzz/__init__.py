@@ -22,9 +22,11 @@ CLI: ``repro fuzz --budget N --seed S [--shrink] [--stats] [--crash]``.
 
 from repro.fuzz.corpus import (
     DEFAULT_CORPUS,
+    corpus_paths,
     corpus_traces,
     persist_repro,
     replay_corpus,
+    trace_digest,
 )
 from repro.fuzz.faults import (
     crash_recovery_divergences,
@@ -57,6 +59,7 @@ __all__ = [
     "TraceCheck",
     "ablation_grid",
     "check_trace",
+    "corpus_paths",
     "corpus_traces",
     "crash_recovery_divergences",
     "default_grid",
@@ -68,5 +71,6 @@ __all__ = [
     "replay_corpus",
     "round_trip_divergences",
     "shrink_trace",
+    "trace_digest",
     "trace_for_seed",
 ]

@@ -11,16 +11,22 @@ fails the build even after the original fix's unit test has rotted.
 Corpus entries need not be divergent *today* — after the bug they
 captured is fixed, they are agreement regressions: traces on which all
 configurations and the oracle must keep agreeing forever.
+
+Entries may be stored as JSONL or as the packed binary format of
+:mod:`repro.store` (``persist_repro(..., fmt="vtrc")``); identity is
+the *content* hash of the trace's canonical operation tuples, not of
+its file bytes, so a packed and a JSONL recording of the same trace
+dedupe to one corpus entry.
 """
 
 from __future__ import annotations
 
 import hashlib
-import io
 import json
 from pathlib import Path
 from typing import Optional, Sequence, Union
 
+from repro.events.operations import Operation
 from repro.events.serialize import dump_jsonl, load_trace
 from repro.events.trace import Trace
 from repro.fuzz.grid import GridConfig
@@ -31,12 +37,43 @@ PathLike = Union[str, Path]
 #: The default corpus location, relative to the repository root.
 DEFAULT_CORPUS = Path("tests") / "corpus"
 
+#: Recording formats a corpus entry may be stored in.  When the same
+#: digest exists in several formats, the earliest listed wins during
+#: enumeration (they decode to the same trace by construction).
+CORPUS_SUFFIXES = (".jsonl", ".vtrc")
+
+
+def canonical_operation(op: Operation) -> list:
+    """One operation as its canonical identity tuple.
+
+    Mirrors :class:`~repro.events.operations.Operation` equality:
+    kind, tid, target, value, and label participate; ``loc`` does not
+    (it is ``compare=False`` — diagnostics, not behavior).  Values are
+    type-tagged so ``1``, ``1.0``, and ``True`` stay distinct.
+    """
+    value = op.value
+    return [
+        op.kind.value,
+        op.tid,
+        op.target,
+        [type(value).__name__, value],
+        op.label,
+    ]
+
 
 def trace_digest(trace: Trace) -> str:
-    """A short content hash naming a corpus entry."""
-    buffer = io.StringIO()
-    dump_jsonl(trace, buffer)
-    return hashlib.sha256(buffer.getvalue().encode("utf-8")).hexdigest()[:12]
+    """A short content hash naming a corpus entry.
+
+    Hashes the canonical operation tuples, not serialized file bytes:
+    every lossless encoding of the same trace — JSONL, packed, with or
+    without ``seq`` fields — digests identically.
+    """
+    canonical = json.dumps(
+        [canonical_operation(op) for op in trace],
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:12]
 
 
 def _portable(value: object) -> object:
@@ -52,19 +89,35 @@ def persist_repro(
     divergences: Sequence[Divergence] = (),
     seed: Optional[int] = None,
     original_events: Optional[int] = None,
+    fmt: str = "jsonl",
 ) -> Path:
     """Write ``trace`` (and its provenance sidecar) into the corpus.
 
-    Returns the path of the ``.jsonl`` recording.  Writing the same
-    trace twice is idempotent — the name is a content hash.
+    Returns the path of the recording (``fmt`` is ``"jsonl"`` or
+    ``"vtrc"``).  Writing the same trace twice is idempotent — the
+    name is a *content* hash over canonical operation tuples, so a
+    trace already present in any format is never duplicated: the
+    existing recording's path is returned unchanged.
     """
+    if fmt not in ("jsonl", "vtrc"):
+        raise ValueError(f"unknown corpus format {fmt!r}")
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
     name = f"div-{trace_digest(trace)}"
-    path = directory / f"{name}.jsonl"
-    with path.open("w", encoding="utf-8") as stream:
-        dump_jsonl(trace, stream)
+    for suffix in CORPUS_SUFFIXES:
+        existing = directory / f"{name}{suffix}"
+        if existing.exists():
+            return existing
+    path = directory / f"{name}.{fmt}"
+    if fmt == "vtrc":
+        from repro.store.writer import save_packed
+
+        save_packed(trace, path)
+    else:
+        with path.open("w", encoding="utf-8") as stream:
+            dump_jsonl(trace, stream)
     meta = {
+        "digest": name.removeprefix("div-"),
         "events": len(trace),
         "divergences": [
             {
@@ -87,14 +140,28 @@ def persist_repro(
     return path
 
 
-def corpus_traces(directory: PathLike) -> list[tuple[Path, Trace]]:
-    """All corpus recordings, sorted by name for stable replay order."""
+def corpus_paths(directory: PathLike) -> list[Path]:
+    """Corpus recording paths, deduplicated and in stable replay order.
+
+    Enumerates both storage formats; when one digest is present as
+    JSONL *and* packed, only the preferred format's file is listed
+    (the two decode to the same trace — content hashing guarantees
+    it), so replays see each trace exactly once.
+    """
     directory = Path(directory)
     if not directory.is_dir():
         return []
+    by_stem: dict[str, Path] = {}
+    for suffix in CORPUS_SUFFIXES:
+        for path in directory.glob(f"*{suffix}"):
+            by_stem.setdefault(path.stem, path)
+    return [by_stem[stem] for stem in sorted(by_stem)]
+
+
+def corpus_traces(directory: PathLike) -> list[tuple[Path, Trace]]:
+    """All corpus recordings, sorted by name for stable replay order."""
     return [
-        (path, load_trace(path))
-        for path in sorted(directory.glob("*.jsonl"))
+        (path, load_trace(path)) for path in corpus_paths(directory)
     ]
 
 
@@ -153,10 +220,7 @@ def replay_corpus(
     from repro.parallel.executor import run_shards
     from repro.parallel.tasks import CorpusReplayTask, run_corpus_replay
 
-    path_root = Path(directory)
-    paths = (
-        sorted(path_root.glob("*.jsonl")) if path_root.is_dir() else []
-    )
+    paths = corpus_paths(directory)
     names, shipped = ship_grid(configs)  # raises before forking
     tasks = [
         CorpusReplayTask(

@@ -91,40 +91,79 @@ def trace_for_seed(
     return result.trace
 
 
+def _compare_round_trip(
+    trace: Trace, reloaded: Trace, config: str
+) -> list[Divergence]:
+    if reloaded == trace:
+        return []
+    position = next(
+        (
+            i
+            for i, (a, b) in enumerate(zip(trace, reloaded))
+            if a != b
+        ),
+        min(len(trace), len(reloaded)),
+    )
+    return [
+        Divergence(
+            kind="round-trip",
+            config=config,
+            expected="load(dump(t)) == t",
+            observed=f"first difference at position {position}",
+        )
+    ]
+
+
 def round_trip_divergences(trace: Trace) -> list[Divergence]:
-    """Check that the recording survives a JSONL dump/load cycle."""
+    """Check that the recording survives both lossless codecs.
+
+    Every iteration's trace is round-tripped through the JSONL
+    serializer *and* the packed binary store (:mod:`repro.store`,
+    encoded to an in-memory buffer) — an encoding that loses or
+    reorders a single operation is itself a divergence, caught with
+    the same seed discipline as an analysis bug.
+    """
+    from repro.store.reader import PackedTraceReader
+    from repro.store.writer import PackedTraceWriter
+
+    divergences: list[Divergence] = []
     buffer = io.StringIO()
     dump_jsonl(trace, buffer)
     buffer.seek(0)
     try:
         reloaded = load_jsonl(buffer)
     except Exception as exc:  # noqa: BLE001 - any failure is a finding
-        return [
+        divergences.append(
             Divergence(
                 kind="round-trip",
                 config="events.serialize",
                 expected="load(dump(t)) == t",
                 observed=f"{type(exc).__name__}: {exc}",
             )
-        ]
-    if reloaded != trace:
-        position = next(
-            (
-                i
-                for i, (a, b) in enumerate(zip(trace, reloaded))
-                if a != b
-            ),
-            min(len(trace), len(reloaded)),
         )
-        return [
+    else:
+        divergences.extend(
+            _compare_round_trip(trace, reloaded, "events.serialize")
+        )
+    packed = io.BytesIO()
+    try:
+        with PackedTraceWriter(packed) as writer:
+            writer.write_all(trace)
+        repacked = PackedTraceReader(packed).read()
+    except Exception as exc:  # noqa: BLE001 - any failure is a finding
+        divergences.append(
             Divergence(
                 kind="round-trip",
-                config="events.serialize",
+                config="store.packed",
                 expected="load(dump(t)) == t",
-                observed=f"first difference at position {position}",
+                observed=f"{type(exc).__name__}: {exc}",
             )
-        ]
-    return []
+        )
+    else:
+        divergences.extend(
+            _compare_round_trip(trace, repacked, "store.packed")
+        )
+    return divergences
 
 
 @dataclass(frozen=True)
@@ -137,6 +176,10 @@ class FuzzConfig:
     checkpoint file, and fed a fault-laced copy of the recording
     through the hardened reader — both must reproduce the
     uninterrupted run's warnings exactly.
+
+    ``corpus_format`` selects how repros are persisted (``"jsonl"``
+    or the packed ``"vtrc"`` store); either loads back identically
+    and dedupes against the other by content hash.
 
     ``jobs`` > 1 shards iterations across worker processes
     (:mod:`repro.parallel`); seeds derive per-iteration from
@@ -151,6 +194,7 @@ class FuzzConfig:
     stats: bool = False
     crash: bool = False
     corpus_dir: Optional[Path] = None
+    corpus_format: str = "jsonl"
     generator: Optional[GeneratorConfig] = None
     configs: Optional[tuple[GridConfig, ...]] = None
     max_shrink_evaluations: int = 5000
@@ -349,6 +393,7 @@ class FuzzEngine:
                 divergences=finding.divergences,
                 seed=outcome.seed,
                 original_events=len(outcome.trace),
+                fmt=self.config.corpus_format,
             )
         report.findings.append(finding)
         if on_finding is not None:

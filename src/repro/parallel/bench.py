@@ -196,6 +196,12 @@ def compare_to_baseline(
 
 
 def main(argv: Optional[Sequence[str]] = None) -> None:
+    if argv and argv[0] == "store":
+        # ``repro bench store ...`` — the packed-store benchmark.
+        from repro.store.bench import main as store_main
+
+        store_main(list(argv)[1:])
+        return
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quick", action="store_true",
                         help="smaller budgets (the CI perf-smoke shape)")

@@ -113,6 +113,33 @@ def run_table2_workload(task: Table2Task):
     )
 
 
+# ----------------------------------------------------------- packed decode
+@dataclass(frozen=True)
+class BlockRangeTask:
+    """Decode blocks ``[first_block, end_block)`` of a packed trace.
+
+    Block ranges are disjoint by construction
+    (:func:`repro.store.parallel.block_ranges`), so workers touch
+    non-overlapping byte ranges of the file and the parent's
+    block-order concatenation reproduces a serial decode exactly.
+    """
+
+    path: str
+    first_block: int
+    end_block: int
+
+
+def run_block_decode(task: BlockRangeTask):
+    """Worker: decode one block range; returns its operation list."""
+    from repro.store.reader import PackedTraceReader
+
+    ops = []
+    with PackedTraceReader(task.path) as reader:
+        for number in range(task.first_block, task.end_block):
+            ops.extend(reader.decode_block(number))
+    return ops
+
+
 # ---------------------------------------------------------- corpus replay
 @dataclass(frozen=True)
 class CorpusReplayTask:

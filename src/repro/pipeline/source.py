@@ -52,6 +52,20 @@ class TraceSource:
     def __init__(self, ops: Iterable[Operation]):
         self.ops = ops
 
+    @classmethod
+    def from_path(cls, path) -> "TraceSource":
+        """A source over the recording at ``path``, any format.
+
+        The format — packed binary, JSONL, or DSL — is sniffed from
+        the file's leading bytes (:mod:`repro.store.sniff`), never
+        from its extension.
+        """
+        # Deferred: repro.store reaches this module through
+        # repro.resilience.quarantine.
+        from repro.events.serialize import load_trace
+
+        return cls(load_trace(path))
+
     def run(self, sink: EventSink) -> SourceResult:
         count = 0
         for op in self.ops:

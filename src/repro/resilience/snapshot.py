@@ -41,7 +41,7 @@ from __future__ import annotations
 
 import json
 import os
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Optional, Sequence, Union
 
@@ -583,10 +583,18 @@ def restore_backend(
 
 @dataclass(frozen=True)
 class Snapshot:
-    """One parsed checkpoint: stream position plus per-backend states."""
+    """One parsed checkpoint: stream position plus per-backend states.
+
+    ``meta`` carries optional provenance the supervisor recorded at
+    checkpoint time — for packed trace input, the source path and the
+    block-aligned byte offset at which ``--resume`` may re-open the
+    recording and re-read only the tail (see ``docs/traces.md``).
+    Restores never depend on it.
+    """
 
     position: int
     states: tuple[dict, ...]
+    meta: dict = field(default_factory=dict)
 
     def restore(self, compact_pools: bool = False) -> list[AnalysisBackend]:
         return [
@@ -596,15 +604,20 @@ class Snapshot:
 
 
 def capture_snapshot(
-    backends: Sequence[AnalysisBackend], position: int
+    backends: Sequence[AnalysisBackend],
+    position: int,
+    meta: Optional[dict] = None,
 ) -> dict:
     """The versioned snapshot envelope for a group of backends."""
-    return {
+    document = {
         "format": SNAPSHOT_FORMAT,
         "version": SNAPSHOT_VERSION,
         "position": position,
         "backends": [capture_backend(backend) for backend in backends],
     }
+    if meta:
+        document["meta"] = meta
+    return document
 
 
 def parse_snapshot(document: dict) -> Snapshot:
@@ -625,21 +638,30 @@ def parse_snapshot(document: dict) -> Snapshot:
     position = document.get("position")
     if not isinstance(position, int) or position < 0:
         raise SnapshotError(f"bad snapshot position {position!r}")
+    meta = document.get("meta")
+    if meta is not None and not isinstance(meta, dict):
+        raise SnapshotError(f"bad snapshot meta {meta!r}")
     return Snapshot(
-        position=position, states=tuple(document.get("backends", ()))
+        position=position,
+        states=tuple(document.get("backends", ())),
+        meta=meta or {},
     )
 
 
 def write_snapshot(
-    path: PathLike, backends: Sequence[AnalysisBackend], position: int
+    path: PathLike,
+    backends: Sequence[AnalysisBackend],
+    position: int,
+    meta: Optional[dict] = None,
 ) -> Path:
     """Atomically write a snapshot file (temp file + rename).
 
     A crash during checkpointing leaves either the previous complete
     snapshot or the new complete snapshot — never a torn file.
+    ``meta`` (JSON-serializable) is stored verbatim in the envelope.
     """
     path = Path(path)
-    document = capture_snapshot(backends, position)
+    document = capture_snapshot(backends, position, meta=meta)
     tmp = path.with_name(path.name + ".tmp")
     tmp.write_text(json.dumps(document, sort_keys=True), encoding="utf-8")
     os.replace(tmp, path)

@@ -97,6 +97,11 @@ class SupervisedChecker:
             capture state more often.
         start_position: stream position of the first event this
             instance will see (non-zero when resuming).
+        checkpoint_meta: optional provenance stored in every snapshot
+            envelope — a JSON-serializable dict, or a callable
+            receiving the checkpoint position and returning one (used
+            to record the packed trace's block-aligned resume offset,
+            which depends on the position being checkpointed).
     """
 
     def __init__(
@@ -108,6 +113,7 @@ class SupervisedChecker:
         on_pressure: str = "degrade",
         recovery_window: Optional[int] = None,
         start_position: int = 0,
+        checkpoint_meta=None,
     ):
         if checkpoint_every is not None and checkpoint_every < 1:
             raise ValueError("checkpoint_every must be >= 1")
@@ -133,6 +139,7 @@ class SupervisedChecker:
         if recovery_window < 1:
             raise ValueError("recovery_window must be >= 1")
         self.recovery_window = recovery_window
+        self.checkpoint_meta = checkpoint_meta
         self.position = start_position
         self.checkpoints_written = 0
         self.recoveries = 0
@@ -205,7 +212,12 @@ class SupervisedChecker:
         target = Path(path) if path is not None else self.checkpoint_path
         if target is None:
             raise ValueError("no checkpoint path configured")
-        written = write_snapshot(target, self.backends, self.position)
+        meta = self.checkpoint_meta
+        if callable(meta):
+            meta = meta(self.position)
+        written = write_snapshot(
+            target, self.backends, self.position, meta=meta
+        )
         self.checkpoints_written += 1
         self._refresh_boundary()
         return written

@@ -1,0 +1,261 @@
+"""``repro bench store``: packed-store size and speed measurements.
+
+Produces ``BENCH_store.json`` with three sections:
+
+* **size** — bytes on the wire for the same recording as JSONL and as
+  packed VTRC, plus the ratio.  The acceptance floor is 3.0x: packed
+  must stay at least three times smaller than JSONL.
+* **encode** / **decode** — best-of-N events/sec for each format's
+  writer and reader over an in-memory stream (no disk noise).  The
+  acceptance floor is a 1.5x decode speedup of packed over JSONL.
+* **seek** — how long ``seek(seq)`` to the middle of the recording
+  takes versus decoding everything up to that point, and the fraction
+  of blocks it touched.
+
+``--check-against BASELINE.json`` additionally gates on the committed
+baseline: an events/sec regression beyond ``--threshold`` (default
+30%) fails, and the 3.0x / 1.5x floors are always enforced whether or
+not a baseline is given.
+
+Run as a script::
+
+    python -m repro.store.bench [--quick] [--output FILE]
+        [--check-against FILE] [--threshold F]
+"""
+
+from __future__ import annotations
+
+import argparse
+import io
+import json
+import os
+import sys
+import time
+import zlib
+from typing import Callable, Optional, Sequence
+
+#: Acceptance floors from the issue: packed must be at least this many
+#: times smaller than JSONL, and decode at least this many times
+#: faster.  These are absolute gates, independent of any baseline.
+SIZE_RATIO_FLOOR = 3.0
+DECODE_SPEEDUP_FLOOR = 1.5
+
+_STAGE_SEED = 7
+_STAGE_COPIES = 40
+_STAGE_COPIES_QUICK = 10
+
+
+def _best_of(repeats: int, thunk: Callable[[], object]) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        thunk()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def _bench_ops(quick: bool) -> list:
+    from repro.fuzz.engine import trace_for_seed
+
+    copies = _STAGE_COPIES_QUICK if quick else _STAGE_COPIES
+    return list(trace_for_seed(_STAGE_SEED)) * copies
+
+
+def measure_store(quick: bool = False) -> dict:
+    """The full measurement; returns the ``BENCH_store.json`` dict."""
+    from repro.events.serialize import dump_jsonl, load_jsonl
+    from repro.store.reader import PackedTraceReader
+    from repro.store.writer import PackedTraceWriter
+
+    repeats = 3 if quick else 7
+    ops = _bench_ops(quick)
+    events = len(ops)
+
+    buffer = io.StringIO()
+    dump_jsonl(ops, buffer)
+    jsonl_text = buffer.getvalue()
+    jsonl_bytes = len(jsonl_text.encode("utf-8"))
+
+    def pack() -> bytes:
+        sink = io.BytesIO()
+        with PackedTraceWriter(sink) as writer:
+            writer.write_all(ops)
+        return sink.getvalue()
+
+    packed_blob = pack()
+    packed_bytes = len(packed_blob)
+
+    def decode_packed():
+        with PackedTraceReader(io.BytesIO(packed_blob)) as reader:
+            return reader.read()
+
+    jsonl_encode = _best_of(repeats, lambda: dump_jsonl(ops, io.StringIO()))
+    jsonl_decode = _best_of(
+        repeats, lambda: load_jsonl(io.StringIO(jsonl_text))
+    )
+    packed_encode = _best_of(repeats, pack)
+    packed_decode = _best_of(repeats, decode_packed)
+
+    # Seek to the midpoint: only the containing block onward is read.
+    mid = events // 2
+    with PackedTraceReader(io.BytesIO(packed_blob)) as reader:
+        block = reader.block_for_seq(mid)
+        blocks_touched = len(reader.blocks) - block.number
+
+        def seek_tail():
+            for _op in reader.seek(mid):
+                pass
+
+        seek_seconds = _best_of(repeats, seek_tail)
+
+    def rate(elapsed: float, n: int = events) -> float:
+        return round(n / elapsed, 1) if elapsed else 0.0
+
+    return {
+        "schema": 1,
+        "cpu_count": os.cpu_count(),
+        "quick": quick,
+        "zlib": zlib.ZLIB_VERSION,
+        "events": events,
+        "size": {
+            "jsonl_bytes": jsonl_bytes,
+            "packed_bytes": packed_bytes,
+            "ratio": round(jsonl_bytes / packed_bytes, 2),
+            "floor": SIZE_RATIO_FLOOR,
+        },
+        "encode": {
+            "jsonl": {
+                "best_seconds": round(jsonl_encode, 6),
+                "events_per_sec": rate(jsonl_encode),
+            },
+            "packed": {
+                "best_seconds": round(packed_encode, 6),
+                "events_per_sec": rate(packed_encode),
+            },
+        },
+        "decode": {
+            "jsonl": {
+                "best_seconds": round(jsonl_decode, 6),
+                "events_per_sec": rate(jsonl_decode),
+            },
+            "packed": {
+                "best_seconds": round(packed_decode, 6),
+                "events_per_sec": rate(packed_decode),
+            },
+            "speedup": round(jsonl_decode / packed_decode, 2)
+            if packed_decode else 0.0,
+            "floor": DECODE_SPEEDUP_FLOOR,
+        },
+        "seek": {
+            "position": mid,
+            "blocks_touched": blocks_touched,
+            "blocks_total_fraction": round(
+                blocks_touched / max(1, blocks_touched + block.number), 3
+            ),
+            "best_seconds": round(seek_seconds, 6),
+            "events_per_sec": rate(seek_seconds, events - mid),
+        },
+    }
+
+
+def check_floors(report: dict) -> list[str]:
+    """Violations of the absolute acceptance floors (empty = pass)."""
+    problems = []
+    ratio = report["size"]["ratio"]
+    if ratio < SIZE_RATIO_FLOOR:
+        problems.append(
+            f"size: packed is only {ratio:.2f}x smaller than JSONL "
+            f"(floor {SIZE_RATIO_FLOOR:.1f}x)"
+        )
+    speedup = report["decode"]["speedup"]
+    if speedup < DECODE_SPEEDUP_FLOOR:
+        problems.append(
+            f"decode: packed is only {speedup:.2f}x faster than JSONL "
+            f"(floor {DECODE_SPEEDUP_FLOOR:.1f}x)"
+        )
+    return problems
+
+
+def compare_to_baseline(
+    current: dict, baseline: dict, threshold: float = 0.30
+) -> list[str]:
+    """Events/sec regressions beyond ``threshold`` vs the baseline.
+
+    Only figures present in both reports are compared; faster than
+    baseline is never a failure.
+    """
+    regressions = []
+    for section in ("encode", "decode"):
+        for fmt in ("jsonl", "packed"):
+            new = current.get(section, {}).get(fmt)
+            old = baseline.get(section, {}).get(fmt)
+            if not new or not old:
+                continue
+            new_rate = new.get("events_per_sec")
+            old_rate = old.get("events_per_sec")
+            if not new_rate or not old_rate:
+                continue
+            floor = old_rate * (1.0 - threshold)
+            if new_rate < floor:
+                regressions.append(
+                    f"{section}.{fmt}: {new_rate:,.0f} ev/s is "
+                    f"{1 - new_rate / old_rate:.0%} below baseline "
+                    f"{old_rate:,.0f} ev/s (allowed: {threshold:.0%})"
+                )
+    return regressions
+
+
+def main(argv: Optional[Sequence[str]] = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller trace (the CI perf-smoke shape)")
+    parser.add_argument("--output", default="BENCH_store.json",
+                        help="where to write the JSON report")
+    parser.add_argument("--check-against", metavar="FILE", default=None,
+                        help="committed baseline to gate against")
+    parser.add_argument("--threshold", type=float, default=0.30,
+                        help="allowed events/sec regression vs the "
+                             "baseline (default 0.30)")
+    args = parser.parse_args(argv)
+
+    report = measure_store(quick=args.quick)
+    with open(args.output, "w", encoding="utf-8") as stream:
+        json.dump(report, stream, indent=2, sort_keys=True)
+        stream.write("\n")
+
+    size = report["size"]
+    print(f"size   : {size['jsonl_bytes']:,} B jsonl -> "
+          f"{size['packed_bytes']:,} B packed ({size['ratio']}x smaller)")
+    for section in ("encode", "decode"):
+        entry = report[section]
+        print(f"{section} : jsonl "
+              f"{entry['jsonl']['events_per_sec']:>12,.0f} ev/s | packed "
+              f"{entry['packed']['events_per_sec']:>12,.0f} ev/s")
+    print(f"decode speedup: {report['decode']['speedup']}x "
+          f"(floor {DECODE_SPEEDUP_FLOOR}x)")
+    seek = report["seek"]
+    print(f"seek   : position {seek['position']} touched "
+          f"{seek['blocks_touched']} block(s), "
+          f"{seek['events_per_sec']:,.0f} ev/s")
+    print(f"wrote {args.output}")
+
+    problems = check_floors(report)
+    if args.check_against:
+        with open(args.check_against, encoding="utf-8") as stream:
+            baseline = json.load(stream)
+        problems.extend(
+            compare_to_baseline(report, baseline, threshold=args.threshold)
+        )
+    if problems:
+        print("STORE BENCH FAILURE:", file=sys.stderr)
+        for line in problems:
+            print(f"  {line}", file=sys.stderr)
+        raise SystemExit(1)
+    if args.check_against:
+        print(f"no regression vs {args.check_against} "
+              f"(threshold {args.threshold:.0%}; floors "
+              f"{SIZE_RATIO_FLOOR}x size, {DECODE_SPEEDUP_FLOOR}x decode)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,240 @@
+"""Block payload codec: operations <-> columnar bytes.
+
+One block's decompressed payload encodes a run of consecutive
+operations.  The layout (all integers LEB128 varints unless noted)::
+
+    first_seq                 global position of the block's first op
+    op_count
+    n_strings; then per string: byte length + UTF-8 bytes
+    values_json byte length; then a JSON array of recorded values
+    n_distinct                distinct operation shapes in this block
+    kinds                     n_distinct raw bytes (op-kind codes)
+    tids                      n_distinct zigzag deltas
+    target refs               n_distinct varints (0 = None,
+                              k = strings[k-1])
+    value refs                n_distinct varints (0 = None,
+                              k = values[k-1])
+    label refs                n_distinct varints (same string table)
+    loc refs                  n_distinct varints (same string table)
+    occurrences               op_count varints into the distinct table
+
+Interning distinct shapes is what makes both directions fast: a
+typical trace repeats a few dozen operation shapes thousands of times
+(loop bodies, lock acquire/release pairs, the same source location),
+so the decoder materializes each :class:`Operation` once and the
+occurrence pass is a C-speed list indexing loop.
+
+Values survive exactly one JSON round trip — the same contract the
+JSONL serializer has always had; a value ``json`` cannot represent
+raises :class:`~repro.store.format.StoreError` at pack time instead
+of corrupting the recording.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional, Sequence
+
+from repro.events.operations import Operation, OpKind
+from repro.store.format import (
+    StoreError,
+    read_varint,
+    unzigzag,
+    write_varint,
+    zigzag,
+)
+
+#: Stable wire codes for operation kinds.  New kinds append; existing
+#: codes never renumber (they are on disk).
+KIND_CODES: dict[OpKind, int] = {
+    OpKind.READ: 0,
+    OpKind.WRITE: 1,
+    OpKind.ACQUIRE: 2,
+    OpKind.RELEASE: 3,
+    OpKind.BEGIN: 4,
+    OpKind.END: 5,
+}
+CODE_KINDS: dict[int, OpKind] = {code: kind for kind, code in
+                                 KIND_CODES.items()}
+
+
+def encode_block(ops: Sequence[Operation], first_seq: int) -> bytes:
+    """Encode consecutive operations into one payload (uncompressed)."""
+    strings: dict[str, int] = {}
+    values: list = []
+    value_refs: dict[str, int] = {}
+    distinct: dict[tuple, int] = {}
+    table: list[Operation] = []
+    occurrences = bytearray()
+
+    def intern_string(text: Optional[str]) -> int:
+        if text is None:
+            return 0
+        ref = strings.get(text)
+        if ref is None:
+            ref = len(strings) + 1
+            strings[text] = ref
+        return ref
+
+    def intern_value(value: object) -> int:
+        if value is None:
+            return 0
+        try:
+            canonical = json.dumps(value, sort_keys=True)
+        except (TypeError, ValueError) as exc:
+            raise StoreError(
+                f"value {value!r} is not JSON-representable; packed "
+                f"traces store values the way JSONL recordings do"
+            ) from exc
+        ref = value_refs.get(canonical)
+        if ref is None:
+            values.append(json.loads(canonical))
+            ref = len(values)
+            value_refs[canonical] = ref
+        return ref
+
+    refs: list[tuple[int, int, int, int, int, int]] = []
+    for op in ops:
+        value = op.value
+        if value is None or isinstance(value, (str, int, float, bool)):
+            # Type-qualified: True == 1 == 1.0 in dict keys, but they
+            # are distinct on the wire (JSON true / 1 / 1.0).
+            value_key = (type(value).__name__, value)
+        else:
+            value_key = ("id", id(value))
+        key = (op.kind, op.tid, op.target, value_key, op.label, op.loc)
+        index = distinct.get(key)
+        if index is None:
+            index = len(table)
+            distinct[key] = index
+            table.append(op)
+            refs.append((
+                KIND_CODES[op.kind],
+                op.tid,
+                intern_string(op.target),
+                intern_value(op.value),
+                intern_string(op.label),
+                intern_string(op.loc),
+            ))
+        write_varint(occurrences, index)
+
+    out = bytearray()
+    write_varint(out, first_seq)
+    write_varint(out, len(ops))
+    write_varint(out, len(strings))
+    for text in strings:  # insertion order == ref order
+        raw = text.encode("utf-8")
+        write_varint(out, len(raw))
+        out += raw
+    values_json = json.dumps(values, sort_keys=True).encode("utf-8")
+    write_varint(out, len(values_json))
+    out += values_json
+    write_varint(out, len(table))
+    out += bytes(ref[0] for ref in refs)
+    previous_tid = 0
+    for ref in refs:
+        write_varint(out, zigzag(ref[1] - previous_tid))
+        previous_tid = ref[1]
+    for column in (2, 3, 4, 5):
+        for ref in refs:
+            write_varint(out, ref[column])
+    out += occurrences
+    return bytes(out)
+
+
+def decode_block(
+    payload: bytes,
+) -> tuple[int, list[Operation]]:
+    """Decode one payload; returns (first_seq, operations).
+
+    Raises :class:`~repro.store.format.StoreError` on any structural
+    problem — truncated varints, out-of-range table references, bad
+    kind codes, undecodable UTF-8.
+    """
+    try:
+        pos = 0
+        first_seq, pos = read_varint(payload, pos)
+        op_count, pos = read_varint(payload, pos)
+        n_strings, pos = read_varint(payload, pos)
+        strings: list[str] = []
+        for _ in range(n_strings):
+            length, pos = read_varint(payload, pos)
+            end = pos + length
+            if end > len(payload):
+                raise StoreError("string table overruns payload")
+            strings.append(payload[pos:end].decode("utf-8"))
+            pos = end
+        values_len, pos = read_varint(payload, pos)
+        end = pos + values_len
+        if end > len(payload):
+            raise StoreError("value table overruns payload")
+        values = json.loads(payload[pos:end].decode("utf-8"))
+        if not isinstance(values, list):
+            raise StoreError("value table is not a JSON array")
+        pos = end
+        n_distinct, pos = read_varint(payload, pos)
+        end = pos + n_distinct
+        if end > len(payload):
+            raise StoreError("kind column overruns payload")
+        kind_codes = payload[pos:end]
+        pos = end
+        tids: list[int] = []
+        tid = 0
+        for _ in range(n_distinct):
+            delta, pos = read_varint(payload, pos)
+            tid += unzigzag(delta)
+            tids.append(tid)
+        columns: list[list[int]] = []
+        for _ in range(4):
+            column = []
+            for _ in range(n_distinct):
+                ref, pos = read_varint(payload, pos)
+                column.append(ref)
+            columns.append(column)
+        target_refs, value_refs, label_refs, loc_refs = columns
+
+        def string_at(ref: int) -> Optional[str]:
+            if ref == 0:
+                return None
+            if ref > len(strings):
+                raise StoreError(f"string reference {ref} out of range")
+            return strings[ref - 1]
+
+        def value_at(ref: int) -> object:
+            if ref == 0:
+                return None
+            if ref > len(values):
+                raise StoreError(f"value reference {ref} out of range")
+            return values[ref - 1]
+
+        table: list[Operation] = []
+        for i in range(n_distinct):
+            code = kind_codes[i]
+            kind = CODE_KINDS.get(code)
+            if kind is None:
+                raise StoreError(f"unknown op-kind code {code}")
+            table.append(Operation(
+                kind,
+                tids[i],
+                target=string_at(target_refs[i]),
+                value=value_at(value_refs[i]),
+                label=string_at(label_refs[i]),
+                loc=string_at(loc_refs[i]),
+            ))
+        indices: list[int] = []
+        for _ in range(op_count):
+            index, pos = read_varint(payload, pos)
+            indices.append(index)
+        if pos != len(payload):
+            raise StoreError(
+                f"{len(payload) - pos} trailing bytes after block payload"
+            )
+        try:
+            ops = [table[i] for i in indices]
+        except IndexError:
+            raise StoreError("occurrence index out of range") from None
+        return first_seq, ops
+    except StoreError:
+        raise
+    except (ValueError, UnicodeDecodeError, KeyError) as exc:
+        raise StoreError(f"undecodable block payload: {exc}") from exc

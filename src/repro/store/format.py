@@ -1,0 +1,197 @@
+"""The VTRC packed binary trace format: constants and primitives.
+
+A ``.vtrc`` file is a compact, seekable, self-describing container
+for one recorded operation stream::
+
+    +----------------+  12 bytes: magic "VTRC", version, flags,
+    |     header     |  nominal block size (ops per block)
+    +----------------+
+    |    block 0     |  u32 comp_len | u32 crc32 | zlib payload
+    |    block 1     |
+    |      ...       |
+    +----------------+
+    |     index      |  varint-coded [comp_len, op_count, crc32]
+    +----------------+  per block, in file order
+    |     footer     |  24 bytes: index length + crc, total op
+    +----------------+  count, end magic "VTRCIDX\\0"
+
+Each block packs up to ``block_ops`` consecutive operations.  The
+*decompressed* payload is columnar: a per-block interned string table
+(variables, locks, labels, source locations), a JSON-encoded table of
+recorded values, and a table of *distinct* operation shapes — op-kind
+byte column, zigzag/delta-coded tid column, varint string/value table
+references — followed by one varint per operation indexing into the
+distinct table.  Real traces repeat a small set of operation shapes
+constantly (loop bodies, lock pairs), so the occurrence sequence is
+the only per-op cost and both encode size and decode time collapse.
+
+The payload also begins with the block's first global sequence number
+and its op count, making every block self-describing: a reader that
+lost the trailing index (a writer crash truncates the file before the
+footer is written) can still scan blocks front to back.
+
+The trailing index makes ``seek(seq)`` O(log blocks): cumulative op
+counts locate the one block that must be decoded.  CRCs are computed
+over the *compressed* payload so corruption is detected before
+``zlib`` sees attacker-shaped input.
+
+Versioning rules: the header carries a format version; readers reject
+versions they do not know (forward compatibility is explicit, never
+guessed).  Additions that old readers can safely ignore must come
+with a new version anyway — a trace store that silently drops fields
+is corrupting evidence.  See ``docs/traces.md`` for the normative
+layout description.
+"""
+
+from __future__ import annotations
+
+import struct
+
+#: Leading file magic; the first four bytes of every packed trace.
+MAGIC = b"VTRC"
+#: Trailing footer magic; the last eight bytes of a *complete* file.
+END_MAGIC = b"VTRCIDX\x00"
+#: Current format version (header byte); readers reject others.
+VERSION = 1
+
+#: Header layout: magic, version u8, flags u8, reserved u16,
+#: nominal ops-per-block u32.
+_HEADER = struct.Struct("<4sBBHI")
+HEADER_SIZE = _HEADER.size  # 12
+
+#: Per-block frame prefix: compressed length u32, crc32 u32.
+_FRAME = struct.Struct("<II")
+FRAME_SIZE = _FRAME.size  # 8
+
+#: Footer layout: index length u32, index crc32 u32, total ops u64,
+#: end magic.
+_FOOTER = struct.Struct("<IIQ8s")
+FOOTER_SIZE = _FOOTER.size  # 24
+
+#: Default nominal block size (operations per block).  Large enough
+#: that zlib and the string tables amortize, small enough that a
+#: ``seek`` never decodes more than a modest prefix of its block.
+DEFAULT_BLOCK_OPS = 512
+
+#: An encoder-side cap on how implausibly large a single compressed
+#: block may claim to be; the tolerant reader treats frames beyond it
+#: as corruption rather than allocating unbounded buffers.
+MAX_BLOCK_BYTES = 1 << 30
+
+
+class StoreError(ValueError):
+    """A packed trace could not be encoded, parsed, or decoded."""
+
+
+class StoreFormatError(StoreError):
+    """The file is not a packed trace this build can read."""
+
+
+class CorruptBlock(StoreError):
+    """One block failed its CRC, decompression, or payload parse.
+
+    Attributes:
+        block: 0-based block number in file order.
+        byte_offset: offset of the block frame's first byte.
+    """
+
+    def __init__(self, message: str, block: int, byte_offset: int):
+        super().__init__(message)
+        self.block = block
+        self.byte_offset = byte_offset
+
+
+def pack_header(block_ops: int) -> bytes:
+    return _HEADER.pack(MAGIC, VERSION, 0, 0, block_ops)
+
+
+def parse_header(raw: bytes) -> int:
+    """Validate a header; returns the nominal block size."""
+    if len(raw) < HEADER_SIZE:
+        raise StoreFormatError(
+            f"file too short for a packed-trace header "
+            f"({len(raw)} bytes, need {HEADER_SIZE})"
+        )
+    magic, version, _flags, _reserved, block_ops = _HEADER.unpack_from(raw)
+    if magic != MAGIC:
+        raise StoreFormatError(
+            f"bad magic {magic!r} (expected {MAGIC!r}): "
+            f"not a packed trace"
+        )
+    if version != VERSION:
+        raise StoreFormatError(
+            f"packed-trace version {version} not supported "
+            f"(this build reads version {VERSION})"
+        )
+    if block_ops < 1:
+        raise StoreFormatError(f"bad block size {block_ops}")
+    return block_ops
+
+
+def pack_frame(comp_len: int, crc: int) -> bytes:
+    return _FRAME.pack(comp_len, crc)
+
+
+def parse_frame(raw: bytes, offset: int = 0) -> tuple[int, int]:
+    return _FRAME.unpack_from(raw, offset)
+
+
+def pack_footer(index_len: int, index_crc: int, total_ops: int) -> bytes:
+    return _FOOTER.pack(index_len, index_crc, total_ops, END_MAGIC)
+
+
+def parse_footer(raw: bytes) -> tuple[int, int, int]:
+    """Validate a footer; returns (index_len, index_crc, total_ops)."""
+    if len(raw) != FOOTER_SIZE:
+        raise StoreFormatError(
+            f"footer truncated ({len(raw)} bytes, need {FOOTER_SIZE})"
+        )
+    index_len, index_crc, total_ops, magic = _FOOTER.unpack(raw)
+    if magic != END_MAGIC:
+        raise StoreFormatError(
+            f"bad end magic {magic!r}: file is truncated or not a "
+            f"complete packed trace"
+        )
+    return index_len, index_crc, total_ops
+
+
+# ------------------------------------------------------------------ varints
+def write_varint(out: bytearray, value: int) -> None:
+    """Append ``value`` (non-negative) as a LEB128 varint."""
+    if value < 0:
+        raise StoreError(f"varint must be non-negative, got {value}")
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return
+
+
+def read_varint(data: bytes, pos: int) -> tuple[int, int]:
+    """Decode one varint at ``pos``; returns (value, next_pos)."""
+    result = 0
+    shift = 0
+    length = len(data)
+    while True:
+        if pos >= length:
+            raise StoreError("truncated varint")
+        byte = data[pos]
+        pos += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, pos
+        shift += 7
+        if shift > 63:
+            raise StoreError("varint too long")
+
+
+def zigzag(value: int) -> int:
+    """Signed -> unsigned mapping for delta columns."""
+    return (value << 1) if value >= 0 else ((-value) << 1) - 1
+
+
+def unzigzag(value: int) -> int:
+    return (value >> 1) if not value & 1 else -((value + 1) >> 1)

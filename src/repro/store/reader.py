@@ -1,0 +1,498 @@
+"""Readers for packed (VTRC) trace files.
+
+Two readers with different trust models:
+
+* :class:`PackedTraceReader` — the strict, seekable reader.  Parses
+  the footer and block index on open, verifies every CRC it touches,
+  and raises :class:`~repro.store.format.StoreError` on the first
+  problem.  ``seek(seq)`` decodes exactly one block to land on an
+  arbitrary stream position; ``iter_blocks()`` exposes the physical
+  layout for shard planning (:mod:`repro.store.parallel`).
+
+* :class:`TolerantPackedReader` — the quarantine-aware reader used by
+  recovery paths.  Reuses the fault taxonomy and
+  :class:`~repro.resilience.quarantine.ResyncPolicy` machinery of
+  :mod:`repro.resilience.quarantine`: a CRC-failing or undecodable
+  block becomes a ``malformed`` :class:`StreamFault` (with the frame's
+  byte offset) and reading resumes at the next indexed block; a
+  truncated final block (writer crashed before ``close()``) becomes a
+  ``torn`` fault; missing operations between delivered blocks are
+  reported as a ``gap``.  Under ``STRICT`` the first fault raises
+  :class:`~repro.resilience.quarantine.StreamIntegrityError`.
+"""
+
+from __future__ import annotations
+
+import os
+import zlib
+from bisect import bisect_right
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator, Optional, Union
+
+from repro.events.operations import Operation
+from repro.events.trace import Trace
+from repro.resilience.quarantine import (
+    LENIENT,
+    FaultKind,
+    Quarantine,
+    ResyncPolicy,
+    StreamFault,
+)
+from repro.store.codec import decode_block
+from repro.store.format import (
+    FOOTER_SIZE,
+    FRAME_SIZE,
+    HEADER_SIZE,
+    MAX_BLOCK_BYTES,
+    CorruptBlock,
+    StoreError,
+    StoreFormatError,
+    parse_footer,
+    parse_frame,
+    parse_header,
+    read_varint,
+)
+
+PathLike = Union[str, Path]
+
+
+@dataclass(frozen=True)
+class BlockInfo:
+    """One entry of the trailing block index.
+
+    Attributes:
+        number: 0-based block position in file order.
+        byte_offset: offset of the block's frame header.
+        comp_len: compressed payload length in bytes.
+        op_count: operations encoded in the block.
+        first_seq: global position of the block's first operation.
+        crc: CRC-32 of the compressed payload.
+    """
+
+    number: int
+    byte_offset: int
+    comp_len: int
+    op_count: int
+    first_seq: int
+    crc: int
+
+    @property
+    def last_seq(self) -> int:
+        """Global position of the block's final operation."""
+        return self.first_seq + self.op_count - 1
+
+
+@dataclass(frozen=True)
+class StoreInfo:
+    """Summary of a packed trace file (``repro trace info``)."""
+
+    path: Optional[str]
+    file_bytes: int
+    block_ops: int
+    blocks: int
+    ops: int
+    payload_bytes: int
+
+    def render(self) -> str:
+        lines = [
+            f"packed trace: {self.path or '<stream>'}",
+            f"  operations : {self.ops}",
+            f"  blocks     : {self.blocks} "
+            f"(nominal {self.block_ops} ops/block)",
+            f"  file size  : {self.file_bytes} bytes",
+            f"  compressed : {self.payload_bytes} bytes of block payload",
+        ]
+        if self.ops:
+            lines.append(
+                f"  bytes/op   : {self.file_bytes / self.ops:.2f}"
+            )
+        return "\n".join(lines)
+
+
+class PackedTraceReader:
+    """Strict random-access reader over a complete packed trace.
+
+    Accepts a path or any seekable binary stream (which the caller
+    keeps ownership of).
+    """
+
+    def __init__(self, path: Union[PathLike, "os.PathLike", object]):
+        if hasattr(path, "read") and hasattr(path, "seek"):
+            self.path = None
+            self._stream = path
+            self._owns_stream = False
+        else:
+            self.path = Path(path)
+            self._stream = open(self.path, "rb")
+            self._owns_stream = True
+        self._name = str(self.path) if self.path is not None else "<stream>"
+        try:
+            self._stream.seek(0)
+            self._load_layout()
+        except Exception:
+            if self._owns_stream:
+                self._stream.close()
+            raise
+
+    # -------------------------------------------------------------- layout
+    def _load_layout(self) -> None:
+        stream = self._stream
+        header = stream.read(HEADER_SIZE)
+        self.block_ops = parse_header(header)
+        stream.seek(0, os.SEEK_END)
+        self.file_bytes = stream.tell()
+        if self.file_bytes < HEADER_SIZE + FOOTER_SIZE:
+            raise StoreFormatError(
+                f"{self._name}: too short to hold a footer — "
+                f"truncated packed trace (recover with the tolerant "
+                f"reader)"
+            )
+        stream.seek(self.file_bytes - FOOTER_SIZE)
+        index_len, index_crc, total_ops = parse_footer(
+            stream.read(FOOTER_SIZE)
+        )
+        index_start = self.file_bytes - FOOTER_SIZE - index_len
+        if index_start < HEADER_SIZE:
+            raise StoreFormatError(
+                f"{self._name}: index length {index_len} overruns the file"
+            )
+        stream.seek(index_start)
+        index_bytes = stream.read(index_len)
+        if zlib.crc32(index_bytes) != index_crc:
+            raise StoreFormatError(
+                f"{self._name}: block index fails its CRC"
+            )
+        blocks: list[BlockInfo] = []
+        pos = 0
+        n_blocks, pos = read_varint(index_bytes, pos)
+        offset = HEADER_SIZE
+        first_seq = 0
+        for number in range(n_blocks):
+            comp_len, pos = read_varint(index_bytes, pos)
+            op_count, pos = read_varint(index_bytes, pos)
+            if pos + 4 > len(index_bytes):
+                raise StoreFormatError(
+                    f"{self._name}: block index truncated"
+                )
+            crc = int.from_bytes(index_bytes[pos:pos + 4], "little")
+            pos += 4
+            blocks.append(BlockInfo(
+                number=number,
+                byte_offset=offset,
+                comp_len=comp_len,
+                op_count=op_count,
+                first_seq=first_seq,
+                crc=crc,
+            ))
+            offset += FRAME_SIZE + comp_len
+            first_seq += op_count
+        if pos != len(index_bytes):
+            raise StoreFormatError(
+                f"{self._name}: {len(index_bytes) - pos} stray bytes in "
+                f"the block index"
+            )
+        if offset != index_start:
+            raise StoreFormatError(
+                f"{self._name}: blocks end at byte {offset} but the "
+                f"index starts at {index_start}"
+            )
+        if first_seq != total_ops:
+            raise StoreFormatError(
+                f"{self._name}: footer claims {total_ops} ops but the "
+                f"index sums to {first_seq}"
+            )
+        self.blocks: list[BlockInfo] = blocks
+        self.total_ops = total_ops
+        #: Cumulative first_seq list for bisect-based seeks.
+        self._starts = [block.first_seq for block in blocks]
+
+    # ------------------------------------------------------------- reading
+    def decode_block(self, block: Union[int, BlockInfo]) -> list[Operation]:
+        """Decode one block (by number or index entry) to operations."""
+        info = self.blocks[block] if isinstance(block, int) else block
+        self._stream.seek(info.byte_offset)
+        frame = self._stream.read(FRAME_SIZE)
+        if len(frame) < FRAME_SIZE:
+            raise CorruptBlock(
+                f"block {info.number} frame truncated",
+                info.number, info.byte_offset,
+            )
+        comp_len, crc = parse_frame(frame)
+        if comp_len != info.comp_len or crc != info.crc:
+            raise CorruptBlock(
+                f"block {info.number} frame disagrees with the index "
+                f"at byte {info.byte_offset}",
+                info.number, info.byte_offset,
+            )
+        comp = self._stream.read(comp_len)
+        if len(comp) < comp_len:
+            raise CorruptBlock(
+                f"block {info.number} payload truncated "
+                f"at byte {info.byte_offset}",
+                info.number, info.byte_offset,
+            )
+        if zlib.crc32(comp) != crc:
+            raise CorruptBlock(
+                f"block {info.number} fails its CRC "
+                f"at byte {info.byte_offset}",
+                info.number, info.byte_offset,
+            )
+        try:
+            first_seq, ops = decode_block(zlib.decompress(comp))
+        except (zlib.error, StoreError) as exc:
+            raise CorruptBlock(
+                f"block {info.number} undecodable at byte "
+                f"{info.byte_offset}: {exc}",
+                info.number, info.byte_offset,
+            ) from exc
+        if first_seq != info.first_seq or len(ops) != info.op_count:
+            raise CorruptBlock(
+                f"block {info.number} payload claims seqs "
+                f"{first_seq}..{first_seq + len(ops) - 1}, index says "
+                f"{info.first_seq}..{info.last_seq}",
+                info.number, info.byte_offset,
+            )
+        return ops
+
+    def iter_blocks(self) -> Iterator[tuple[BlockInfo, list[Operation]]]:
+        """Yield every (index entry, decoded operations) pair in order."""
+        for info in self.blocks:
+            yield info, self.decode_block(info)
+
+    def __iter__(self) -> Iterator[Operation]:
+        for _info, ops in self.iter_blocks():
+            yield from ops
+
+    def seek(self, seq: int) -> Iterator[Operation]:
+        """Iterate operations from global position ``seq`` onward.
+
+        Only the block containing ``seq`` and its successors are read
+        and decoded; the prefix of the file is never touched.
+        """
+        if seq < 0:
+            raise StoreError(f"seek position must be >= 0, got {seq}")
+        if seq >= self.total_ops:
+            return
+        number = bisect_right(self._starts, seq) - 1
+        info = self.blocks[number]
+        yield from self.decode_block(info)[seq - info.first_seq:]
+        for later in self.blocks[number + 1:]:
+            yield from self.decode_block(later)
+
+    def block_for_seq(self, seq: int) -> BlockInfo:
+        """The index entry of the block containing position ``seq``."""
+        if not 0 <= seq < self.total_ops:
+            raise StoreError(
+                f"position {seq} outside 0..{self.total_ops - 1}"
+            )
+        return self.blocks[bisect_right(self._starts, seq) - 1]
+
+    def read(self) -> Trace:
+        """The whole recording as a :class:`Trace`."""
+        ops: list[Operation] = []
+        for _info, block_ops in self.iter_blocks():
+            ops.extend(block_ops)
+        return Trace(ops)
+
+    def info(self) -> StoreInfo:
+        return StoreInfo(
+            path=None if self.path is None else str(self.path),
+            file_bytes=self.file_bytes,
+            block_ops=self.block_ops,
+            blocks=len(self.blocks),
+            ops=self.total_ops,
+            payload_bytes=sum(block.comp_len for block in self.blocks),
+        )
+
+    # ------------------------------------------------------------ plumbing
+    def close(self) -> None:
+        if self._owns_stream:
+            self._stream.close()
+
+    def __enter__(self) -> "PackedTraceReader":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+
+def load_packed(path: PathLike) -> Trace:
+    """Read a complete packed trace strictly."""
+    with PackedTraceReader(path) as reader:
+        return reader.read()
+
+
+class TolerantPackedReader:
+    """Quarantine-aware reader that survives damaged packed traces.
+
+    With an intact footer, iteration is index-driven: a block that
+    fails its CRC or decode is quarantined as ``malformed`` (byte
+    offset included) and reading **resumes at the next indexed
+    block**, with a ``gap`` fault recording the sequence range lost.
+    Without a footer — the file a crashed writer leaves — blocks are
+    scanned front to back using their frames; the cut-off final frame
+    is quarantined as ``torn``.
+
+    Args:
+        path: the packed trace file.
+        policy: :data:`~repro.resilience.quarantine.LENIENT` skips and
+            records; :data:`~repro.resilience.quarantine.STRICT`
+            raises on the first fault.
+    """
+
+    def __init__(self, path: PathLike, policy: ResyncPolicy = LENIENT):
+        self.path = Path(path)
+        self.quarantine = Quarantine(policy)
+        self.ops_delivered = 0
+
+    # ------------------------------------------------------------ internals
+    def _admit(
+        self,
+        kind: FaultKind,
+        detail: str,
+        byte_offset: int,
+        seq: Optional[int] = None,
+    ) -> None:
+        self.quarantine.admit(StreamFault(
+            kind,
+            detail,
+            self.ops_delivered,
+            byte_offset=byte_offset,
+            seq=seq,
+        ))
+
+    def _iter_indexed(self, reader: PackedTraceReader) -> Iterator[Operation]:
+        expected_seq = 0
+        for info in reader.blocks:
+            try:
+                ops = reader.decode_block(info)
+            except CorruptBlock as exc:
+                self._admit(
+                    FaultKind.MALFORMED, str(exc), exc.byte_offset,
+                    seq=info.first_seq,
+                )
+                continue
+            if info.first_seq != expected_seq:
+                self._admit(
+                    FaultKind.GAP,
+                    f"operations {expected_seq}..{info.first_seq - 1} "
+                    f"lost to damaged blocks",
+                    info.byte_offset,
+                    seq=info.first_seq,
+                )
+            expected_seq = info.first_seq + len(ops)
+            for op in ops:
+                yield op
+                self.ops_delivered += 1
+        if expected_seq < reader.total_ops:
+            self._admit(
+                FaultKind.GAP,
+                f"operations {expected_seq}..{reader.total_ops - 1} "
+                f"lost to damaged blocks",
+                reader.file_bytes,
+                seq=expected_seq,
+            )
+
+    def _iter_scanning(self) -> Iterator[Operation]:
+        with open(self.path, "rb") as stream:
+            header = stream.read(HEADER_SIZE)
+            parse_header(header)  # garbage headers are unrecoverable
+            data = stream.read()
+        file_bytes = HEADER_SIZE + len(data)
+        self._admit(
+            FaultKind.TORN,
+            "no trailing index (writer did not close the file); "
+            "scanning blocks sequentially",
+            file_bytes,
+        )
+        pos = 0
+        expected_seq = 0
+        while pos < len(data):
+            frame_offset = HEADER_SIZE + pos
+            if pos + FRAME_SIZE > len(data):
+                self._admit(
+                    FaultKind.TORN,
+                    f"trailing {len(data) - pos} bytes are shorter "
+                    f"than a block frame",
+                    frame_offset,
+                )
+                return
+            comp_len, crc = parse_frame(data, pos)
+            if comp_len > MAX_BLOCK_BYTES:
+                self._admit(
+                    FaultKind.MALFORMED,
+                    f"implausible block length {comp_len} at byte "
+                    f"{frame_offset}; cannot resync past it",
+                    frame_offset,
+                )
+                return
+            start = pos + FRAME_SIZE
+            end = start + comp_len
+            if end > len(data):
+                self._admit(
+                    FaultKind.TORN,
+                    f"final block truncated at byte {frame_offset} "
+                    f"({len(data) - start} of {comp_len} payload bytes "
+                    f"present)",
+                    frame_offset,
+                )
+                return
+            comp = data[start:end]
+            pos = end
+            if zlib.crc32(comp) != crc:
+                self._admit(
+                    FaultKind.MALFORMED,
+                    f"block at byte {frame_offset} fails its CRC",
+                    frame_offset,
+                )
+                continue
+            try:
+                first_seq, ops = decode_block(zlib.decompress(comp))
+            except (zlib.error, StoreError) as exc:
+                self._admit(
+                    FaultKind.MALFORMED,
+                    f"block at byte {frame_offset} undecodable: {exc}",
+                    frame_offset,
+                )
+                continue
+            if first_seq != expected_seq:
+                self._admit(
+                    FaultKind.GAP,
+                    f"operations {expected_seq}..{first_seq - 1} lost "
+                    f"to damaged blocks",
+                    frame_offset,
+                    seq=first_seq,
+                )
+            expected_seq = first_seq + len(ops)
+            for op in ops:
+                yield op
+                self.ops_delivered += 1
+
+    # ------------------------------------------------------------- surface
+    def __iter__(self) -> Iterator[Operation]:
+        try:
+            reader = PackedTraceReader(self.path)
+        except StoreFormatError:
+            # No (or damaged) footer/index: fall back to a front-to-
+            # back scan.  A garbage *header* still raises — there is
+            # nothing recoverable behind an unknown magic.
+            with open(self.path, "rb") as stream:
+                parse_header(stream.read(HEADER_SIZE))
+            yield from self._iter_scanning()
+            return
+        with reader:
+            yield from self._iter_indexed(reader)
+
+    def read(self) -> Trace:
+        """All recoverable operations, faults quarantined."""
+        return Trace(list(self))
+
+
+def load_packed_tolerant(
+    path: PathLike, policy: ResyncPolicy = LENIENT
+) -> tuple[Trace, Quarantine]:
+    """Read as much of a packed trace as survives, plus the faults."""
+    reader = TolerantPackedReader(path, policy=policy)
+    trace = reader.read()
+    return trace, reader.quarantine

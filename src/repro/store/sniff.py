@@ -1,0 +1,68 @@
+"""Trace format sniffing: magic bytes, never file extensions.
+
+Every reader entry point (``load_trace``, ``TraceSource.from_path``,
+``repro check``, ``fuzz --replay``, ``--resume``) accepts packed,
+JSONL, and DSL recordings through one detector:
+
+* a file whose first four bytes are the ``VTRC`` magic is a packed
+  trace, whatever it is named;
+* a file whose first non-whitespace byte is ``{`` is JSONL (every
+  record the serializer has ever written is a JSON object);
+* a file whose first token matches the DSL's ``tid:kind`` shape is
+  DSL text; an empty file is an empty DSL trace;
+* anything else raises :class:`UnknownTraceFormat` — a renamed
+  database file must fail loudly, not parse as a zero-op trace.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Union
+
+from repro.store.format import MAGIC
+
+PathLike = Union[str, Path]
+
+FORMAT_PACKED = "vtrc"
+FORMAT_JSONL = "jsonl"
+FORMAT_DSL = "dsl"
+
+#: How many leading bytes the detector needs at most.
+SNIFF_BYTES = 64
+
+_DSL_TOKEN = re.compile(rb"^\d+:[a-z]+")
+
+
+class UnknownTraceFormat(ValueError):
+    """The file matches no trace format this build knows."""
+
+
+def sniff_bytes(prefix: bytes) -> str:
+    """Classify a file by its leading bytes.
+
+    Returns one of :data:`FORMAT_PACKED`, :data:`FORMAT_JSONL`,
+    :data:`FORMAT_DSL`; raises :class:`UnknownTraceFormat` otherwise.
+    """
+    if prefix.startswith(MAGIC):
+        return FORMAT_PACKED
+    stripped = prefix.lstrip(b" \t\r\n;")
+    if not stripped and not prefix.strip(b" \t\r\n;"):
+        # Entirely whitespace (or empty): a legal, empty DSL trace.
+        return FORMAT_DSL
+    if stripped.startswith(b"{"):
+        return FORMAT_JSONL
+    if _DSL_TOKEN.match(stripped):
+        return FORMAT_DSL
+    head = prefix[:16]
+    raise UnknownTraceFormat(
+        f"unrecognized trace format (leading bytes {head!r}): expected "
+        f"the {MAGIC!r} packed-trace magic, a JSONL record, or a "
+        f"tid:kind DSL token"
+    )
+
+
+def sniff_path(path: PathLike) -> str:
+    """Classify the trace file at ``path`` by content."""
+    with open(path, "rb") as stream:
+        return sniff_bytes(stream.read(SNIFF_BYTES))

@@ -1,0 +1,147 @@
+"""Streaming writer for packed (VTRC) trace files.
+
+:class:`PackedTraceWriter` accumulates operations into blocks of
+``block_ops``, encodes each block columnar (:mod:`repro.store.codec`),
+compresses it with zlib, and appends a ``[length | crc32 | payload]``
+frame.  ``close()`` flushes the final partial block and writes the
+trailing block index plus footer, after which the file is complete
+and seekable.  A writer killed before ``close()`` leaves a header and
+whole frames — exactly the truncated shape the tolerant reader
+(:class:`repro.store.reader.TolerantPackedReader`) recovers from.
+"""
+
+from __future__ import annotations
+
+import zlib
+from pathlib import Path
+from typing import BinaryIO, Iterable, Optional, Union
+
+from repro.events.operations import Operation
+from repro.store.codec import encode_block
+from repro.store.format import (
+    DEFAULT_BLOCK_OPS,
+    StoreError,
+    pack_footer,
+    pack_frame,
+    pack_header,
+    write_varint,
+)
+
+PathLike = Union[str, Path]
+
+
+class PackedTraceWriter:
+    """Write an operation stream as a packed trace.
+
+    Usable as a context manager; ``close()`` is idempotent.  The
+    writer owns the stream only when constructed from a path.
+
+    Args:
+        destination: a path or a binary stream open for writing.
+        block_ops: nominal operations per block.  Small blocks seek
+            finer but compress worse; the default suits both.
+        compress_level: zlib level (1 fastest .. 9 smallest).
+    """
+
+    def __init__(
+        self,
+        destination: Union[PathLike, BinaryIO],
+        block_ops: int = DEFAULT_BLOCK_OPS,
+        compress_level: int = 6,
+    ):
+        if block_ops < 1:
+            raise StoreError("block_ops must be >= 1")
+        if isinstance(destination, (str, Path)):
+            self._stream: BinaryIO = open(destination, "wb")
+            self._owns_stream = True
+        else:
+            self._stream = destination
+            self._owns_stream = False
+        self.block_ops = block_ops
+        self.compress_level = compress_level
+        self.ops_written = 0
+        self.blocks_written = 0
+        self._pending: list[Operation] = []
+        #: Per-block [comp_len, op_count, crc] index entries.
+        self._index: list[tuple[int, int, int]] = []
+        self._closed = False
+        self._stream.write(pack_header(block_ops))
+
+    # ------------------------------------------------------------- writing
+    def write(self, op: Operation) -> None:
+        """Append one operation to the stream."""
+        if self._closed:
+            raise StoreError("writer is closed")
+        self._pending.append(op)
+        if len(self._pending) >= self.block_ops:
+            self._flush_block()
+
+    def write_all(self, ops: Iterable[Operation]) -> int:
+        """Append every operation of ``ops``; returns how many."""
+        count = 0
+        for op in ops:
+            self.write(op)
+            count += 1
+        return count
+
+    def _flush_block(self) -> None:
+        if not self._pending:
+            return
+        first_seq = self.ops_written
+        payload = encode_block(self._pending, first_seq)
+        comp = zlib.compress(payload, self.compress_level)
+        crc = zlib.crc32(comp)
+        self._stream.write(pack_frame(len(comp), crc))
+        self._stream.write(comp)
+        self._index.append((len(comp), len(self._pending), crc))
+        self.ops_written += len(self._pending)
+        self.blocks_written += 1
+        self._pending.clear()
+
+    # ------------------------------------------------------------- closing
+    def close(self) -> int:
+        """Flush, write the index and footer; returns ops written."""
+        if self._closed:
+            return self.ops_written
+        self._flush_block()
+        index = bytearray()
+        write_varint(index, len(self._index))
+        for comp_len, op_count, crc in self._index:
+            write_varint(index, comp_len)
+            write_varint(index, op_count)
+            index += crc.to_bytes(4, "little")
+        index_bytes = bytes(index)
+        self._stream.write(index_bytes)
+        self._stream.write(pack_footer(
+            len(index_bytes), zlib.crc32(index_bytes), self.ops_written
+        ))
+        self._stream.flush()
+        if self._owns_stream:
+            self._stream.close()
+        self._closed = True
+        return self.ops_written
+
+    def __enter__(self) -> "PackedTraceWriter":
+        return self
+
+    def __exit__(self, exc_type, _exc, _tb) -> None:
+        # On error, leave the file truncated (no footer): a partial
+        # recording must not masquerade as a complete one.
+        if exc_type is None:
+            self.close()
+        elif self._owns_stream and not self._closed:
+            self._stream.close()
+            self._closed = True
+
+
+def save_packed(
+    ops: Iterable[Operation],
+    path: PathLike,
+    block_ops: int = DEFAULT_BLOCK_OPS,
+    compress_level: int = 6,
+) -> int:
+    """Write ``ops`` to ``path`` as a packed trace; returns the count."""
+    with PackedTraceWriter(
+        path, block_ops=block_ops, compress_level=compress_level
+    ) as writer:
+        return writer.write_all(ops)

@@ -14,15 +14,23 @@ import pytest
 from repro.core.compact import VelodromeCompact
 from repro.core.optimized import VelodromeOptimized
 from repro.events.serialize import load_trace
-from repro.fuzz import ablation_grid, check_trace, corpus_traces
+from repro.fuzz import (
+    ablation_grid,
+    check_trace,
+    corpus_traces,
+    persist_repro,
+    trace_digest,
+)
 
 CORPUS = Path(__file__).parent / "corpus"
 
-GC_BLAME_REPRO = CORPUS / "div-39ed09cf5877.jsonl"
+GC_BLAME_REPRO = CORPUS / "div-f8af84b01d00.jsonl"
 
 
 def corpus_paths():
-    paths = sorted(CORPUS.glob("*.jsonl"))
+    from repro.fuzz import corpus_paths as enumerate_corpus
+
+    paths = enumerate_corpus(CORPUS)
     assert paths, "the regression corpus must not be empty"
     return paths
 
@@ -45,6 +53,60 @@ class TestCorpusReplay:
     def test_corpus_traces_enumerates_everything(self):
         listed = [path for path, _trace in corpus_traces(CORPUS)]
         assert listed == corpus_paths()
+
+    def test_entries_are_named_by_content_digest(self):
+        # The file name IS the identity: div-<hash of the canonical
+        # operation tuples>, independent of the storage format.
+        for path in corpus_paths():
+            digest = trace_digest(load_trace(path))
+            assert path.stem == f"div-{digest}"
+
+
+class TestContentHashIdentity:
+    """Packed and JSONL recordings of one trace are one corpus entry."""
+
+    def test_digest_is_format_independent(self, tmp_path):
+        trace = load_trace(GC_BLAME_REPRO)
+        from repro.events.serialize import save_trace
+
+        packed = tmp_path / "copy.vtrc"
+        save_trace(trace, packed)
+        assert trace_digest(load_trace(packed)) == trace_digest(trace)
+
+    def test_cross_format_dedupe(self, tmp_path):
+        trace = load_trace(GC_BLAME_REPRO)
+        first = persist_repro(trace, tmp_path, fmt="jsonl")
+        again = persist_repro(trace, tmp_path, fmt="vtrc")
+        # The packed write is elided: the digest already exists.
+        assert again == first
+        assert first.suffix == ".jsonl"
+        assert not (tmp_path / first.with_suffix(".vtrc").name).exists()
+
+    def test_packed_entries_enumerate_and_replay(self, tmp_path):
+        trace = load_trace(GC_BLAME_REPRO)
+        path = persist_repro(trace, tmp_path, fmt="vtrc")
+        assert path.suffix == ".vtrc"
+        meta = json.loads(
+            path.with_name(path.stem + ".meta.json").read_text()
+        )
+        assert meta["digest"] == path.stem.removeprefix("div-")
+        [(listed, loaded)] = corpus_traces(tmp_path)
+        assert listed == path
+        assert list(loaded) == list(trace)
+
+    def test_type_tagged_values_stay_distinct(self):
+        # JSON true, 1, and 1.0 must not collide in the digest.
+        from repro.events.operations import Operation, OpKind
+
+        def one(value):
+            from repro.events.trace import Trace
+
+            return Trace([
+                Operation(OpKind.WRITE, tid=1, target="v", value=value)
+            ])
+
+        digests = {trace_digest(one(v)) for v in (True, 1, 1.0)}
+        assert len(digests) == 3
 
 
 class TestGcBlameRegression:

@@ -1,0 +1,366 @@
+"""The packed binary trace store: round trips, seeking, sniffing.
+
+Everything here guards the store's one invariant: a packed recording
+is a *lossless* encoding of its operation stream.  Round trips run
+over hand-built edge-case traces, the randomgen grid, and the
+committed corpus; verdict equivalence runs the full 21-configuration
+ablation grid over packed and JSONL encodings of the same trace and
+requires identical results.  Corruption handling lives in
+``test_store_corruption.py``.
+"""
+
+import io
+from pathlib import Path
+
+import pytest
+
+from repro.events.operations import (
+    acquire,
+    begin,
+    end,
+    read,
+    release,
+    write,
+)
+from repro.events.serialize import load_trace, save_trace
+from repro.events.trace import Trace
+from repro.fuzz import ablation_grid, check_trace
+from repro.fuzz.engine import trace_for_seed
+from repro.pipeline import TraceSource
+from repro.store import (
+    DEFAULT_BLOCK_OPS,
+    FORMAT_DSL,
+    FORMAT_JSONL,
+    FORMAT_PACKED,
+    PackedTraceReader,
+    PackedTraceWriter,
+    StoreError,
+    UnknownTraceFormat,
+    block_ranges,
+    load_packed,
+    load_packed_parallel,
+    save_packed,
+    sniff_bytes,
+    sniff_path,
+)
+
+CORPUS = Path(__file__).parent / "corpus"
+
+
+def simple_trace() -> Trace:
+    return Trace([
+        begin(1, "m1"),
+        acquire(1, "l"),
+        read(1, "x", 1),
+        write(1, "x", 2),
+        release(1, "l"),
+        end(1),
+        begin(2, "m2"),
+        write(2, "x", 3),
+        end(2),
+    ])
+
+
+def edge_case_trace() -> Trace:
+    """Unicode, every value type, loc strings, negative/huge tids."""
+    return Trace([
+        begin(3, "méthode-中文"),
+        write(3, "vàr", "valeur ☃"),
+        read(3, "vàr", None),
+        write(3, "big", 2**80),
+        write(3, "neg", -17),
+        write(3, "f", 3.25),
+        write(3, "t", True),
+        write(3, "one", 1),
+        write(3, "onef", 1.0),
+        read(3, "vàr", "", loc="file.py:12"),
+        end(3),
+        begin(1000000007, "far-thread"),
+        write(1000000007, "w", "x" * 300),
+        end(1000000007),
+    ])
+
+
+def assert_lossless(original: Trace, decoded: Trace) -> None:
+    """Equality plus the fields dataclass comparison skips (loc) and
+    value type identity (True vs 1 vs 1.0)."""
+    a, b = list(original), list(decoded)
+    assert a == b
+    for x, y in zip(a, b):
+        assert x.loc == y.loc
+        assert type(x.value) is type(y.value)
+
+
+class TestRoundTrip:
+    def roundtrip(self, trace, **writer_options) -> Trace:
+        sink = io.BytesIO()
+        with PackedTraceWriter(sink, **writer_options) as writer:
+            writer.write_all(trace)
+        sink.seek(0)
+        with PackedTraceReader(sink) as reader:
+            return reader.read()
+
+    def test_simple(self):
+        trace = simple_trace()
+        assert_lossless(trace, self.roundtrip(trace))
+
+    def test_edge_cases(self):
+        trace = edge_case_trace()
+        assert_lossless(trace, self.roundtrip(trace))
+
+    def test_empty(self):
+        decoded = self.roundtrip(Trace([]))
+        assert list(decoded) == []
+
+    def test_multi_block(self):
+        trace = Trace(list(simple_trace()) * 100)
+        decoded = self.roundtrip(trace, block_ops=16)
+        assert_lossless(trace, decoded)
+
+    def test_one_op_per_block(self):
+        trace = edge_case_trace()
+        assert_lossless(trace, self.roundtrip(trace, block_ops=1))
+
+    @pytest.mark.parametrize("seed", [0, 7, 42, 182261230])
+    def test_randomgen_grid(self, seed):
+        trace = trace_for_seed(seed)
+        assert_lossless(trace, self.roundtrip(trace))
+        assert_lossless(trace, self.roundtrip(trace, block_ops=13))
+
+    def test_committed_corpus(self):
+        for path in sorted(CORPUS.glob("*.jsonl")):
+            trace = load_trace(path)
+            assert_lossless(trace, self.roundtrip(trace))
+
+    def test_non_json_value_rejected(self):
+        trace = Trace([write(1, "x", object())])
+        with pytest.raises(StoreError):
+            self.roundtrip(trace)
+
+    def test_writer_rejects_bad_block_ops(self):
+        with pytest.raises(StoreError):
+            PackedTraceWriter(io.BytesIO(), block_ops=0)
+
+    def test_closed_writer_rejects_writes(self):
+        writer = PackedTraceWriter(io.BytesIO())
+        writer.close()
+        with pytest.raises(StoreError):
+            writer.write(begin(1, "m"))
+
+
+class TestSeeking:
+    @pytest.fixture(scope="class")
+    def packed(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("store") / "trace.vtrc"
+        trace = Trace(list(simple_trace()) * 50)  # 450 ops
+        save_packed(trace, path, block_ops=32)
+        return path, list(trace)
+
+    def test_seek_everywhere(self, packed):
+        path, ops = packed
+        with PackedTraceReader(path) as reader:
+            for seq in (0, 1, 31, 32, 33, 200, len(ops) - 1):
+                assert list(reader.seek(seq)) == ops[seq:]
+
+    def test_seek_past_end_is_empty(self, packed):
+        path, ops = packed
+        with PackedTraceReader(path) as reader:
+            assert list(reader.seek(len(ops))) == []
+
+    def test_seek_negative_raises(self, packed):
+        path, _ops = packed
+        with PackedTraceReader(path) as reader:
+            with pytest.raises(StoreError):
+                list(reader.seek(-1))
+
+    def test_block_for_seq(self, packed):
+        path, ops = packed
+        with PackedTraceReader(path) as reader:
+            for seq in (0, 31, 32, len(ops) - 1):
+                block = reader.block_for_seq(seq)
+                assert block.first_seq <= seq <= block.last_seq
+
+    def test_iter_blocks_covers_stream(self, packed):
+        path, ops = packed
+        with PackedTraceReader(path) as reader:
+            collected = []
+            expected_seq = 0
+            for info, block_ops in reader.iter_blocks():
+                assert info.first_seq == expected_seq
+                assert info.op_count == len(block_ops)
+                expected_seq += len(block_ops)
+                collected.extend(block_ops)
+            assert collected == ops
+
+    def test_info(self, packed):
+        path, ops = packed
+        with PackedTraceReader(path) as reader:
+            info = reader.info()
+        assert info.ops == len(ops)
+        assert info.block_ops == 32
+        assert info.blocks == len(ops) // 32 + (1 if len(ops) % 32 else 0)
+        assert info.file_bytes == path.stat().st_size
+        assert str(info.ops) in info.render()
+
+
+class TestSniffing:
+    def test_packed_magic(self):
+        assert sniff_bytes(b"VTRC\x01\x00\x00\x00") == FORMAT_PACKED
+
+    def test_jsonl(self):
+        assert sniff_bytes(b'{"kind": "wr"}') == FORMAT_JSONL
+        assert sniff_bytes(b'  \n{"kind"') == FORMAT_JSONL
+
+    def test_dsl(self):
+        assert sniff_bytes(b"1:begin(m1) 1:wr(x)") == FORMAT_DSL
+        assert sniff_bytes(b"") == FORMAT_DSL
+        assert sniff_bytes(b"  \n\t") == FORMAT_DSL
+
+    def test_unknown_raises_with_leading_bytes(self):
+        with pytest.raises(UnknownTraceFormat) as excinfo:
+            sniff_bytes(b"SQLite format 3\x00")
+        assert "SQLite" in str(excinfo.value)
+
+    def test_extension_is_ignored(self, tmp_path):
+        # A packed trace named .jsonl still loads as packed.
+        lying = tmp_path / "trace.jsonl"
+        trace = simple_trace()
+        save_packed(trace, lying)
+        assert sniff_path(lying) == FORMAT_PACKED
+        assert list(load_trace(lying)) == list(trace)
+
+
+class TestSerializeIntegration:
+    def test_save_trace_picks_format_by_extension(self, tmp_path):
+        trace = edge_case_trace()
+        packed = tmp_path / "t.vtrc"
+        jsonl = tmp_path / "t.jsonl"
+        save_trace(trace, packed)
+        save_trace(trace, jsonl)
+        assert packed.read_bytes().startswith(b"VTRC")
+        assert jsonl.read_text(encoding="utf-8").startswith("{")
+        assert_lossless(trace, load_trace(packed))
+        assert_lossless(trace, load_trace(jsonl))
+
+    def test_load_packed(self, tmp_path):
+        trace = simple_trace()
+        path = tmp_path / "t.vtrc"
+        save_packed(trace, path)
+        assert_lossless(trace, load_packed(path))
+
+    def test_trace_source_from_path(self, tmp_path):
+        trace = simple_trace()
+        path = tmp_path / "t.vtrc"
+        save_trace(trace, path)
+        seen = []
+        TraceSource.from_path(path).run(seen.append)
+        assert seen == list(trace)
+
+    def test_unknown_format_fails_loudly(self, tmp_path):
+        impostor = tmp_path / "trace.jsonl"
+        impostor.write_bytes(b"\x89PNG\r\n\x1a\n not a trace")
+        with pytest.raises(UnknownTraceFormat):
+            load_trace(impostor)
+
+
+class TestParallelDecode:
+    def test_block_ranges_partition(self):
+        for n_blocks in (1, 4, 7, 16):
+            for jobs in (1, 2, 3, 8, 40):
+                ranges = block_ranges(n_blocks, jobs)
+                assert ranges[0][0] == 0
+                assert ranges[-1][1] == n_blocks
+                for (_, hi), (lo, _) in zip(ranges, ranges[1:]):
+                    assert hi == lo
+
+    def test_parallel_decode_is_byte_identical(self, tmp_path):
+        path = tmp_path / "t.vtrc"
+        trace = Trace(list(simple_trace()) * 60)
+        save_packed(trace, path, block_ops=16)
+        serial = load_packed(path)
+        parallel = load_packed_parallel(path, jobs=3)
+        assert list(parallel) == list(serial) == list(trace)
+
+    def test_small_file_falls_back_to_serial(self, tmp_path):
+        path = tmp_path / "t.vtrc"
+        trace = simple_trace()
+        save_packed(trace, path)  # one block: below the shard floor
+        assert list(load_packed_parallel(path, jobs=8)) == list(trace)
+
+
+class TestVerdictEquivalence:
+    """Packed and JSONL encodings must be indistinguishable to every
+    analysis configuration — the full 21-config ablation grid."""
+
+    @pytest.mark.parametrize("seed", [7, 42])
+    def test_full_grid_identical(self, tmp_path, seed):
+        trace = trace_for_seed(seed)
+        jsonl = tmp_path / "t.jsonl"
+        packed = tmp_path / "t.vtrc"
+        save_trace(trace, jsonl)
+        save_trace(trace, packed)
+        grid = ablation_grid()
+        assert len(grid) == 21
+        from_jsonl = check_trace(load_trace(jsonl), configs=grid)
+        from_packed = check_trace(load_trace(packed), configs=grid)
+        assert from_jsonl == from_packed
+
+    def test_corpus_verdicts_identical(self, tmp_path):
+        for source in sorted(CORPUS.glob("*.jsonl")):
+            trace = load_trace(source)
+            packed = tmp_path / (source.stem + ".vtrc")
+            save_trace(trace, packed)
+            grid = ablation_grid()
+            assert check_trace(load_trace(packed), configs=grid) == \
+                check_trace(trace, configs=grid)
+
+
+class TestDefaultBlockSize:
+    def test_default_flows_from_header(self, tmp_path):
+        path = tmp_path / "t.vtrc"
+        save_packed(simple_trace(), path)
+        with PackedTraceReader(path) as reader:
+            assert reader.block_ops == DEFAULT_BLOCK_OPS
+
+
+def test_cat_and_info_cli(tmp_path, capsys):
+    from repro.cli import main
+
+    path = tmp_path / "t.vtrc"
+    jsonl = tmp_path / "t.jsonl"
+    trace = Trace(list(simple_trace()) * 10)
+    save_trace(trace, jsonl)
+
+    assert main(["trace", "pack", str(jsonl), str(path),
+                 "--block-size", "16"]) == 0
+    assert main(["trace", "info", str(path), "--blocks"]) == 0
+    out = capsys.readouterr().out
+    assert "operations : 90" in out
+
+    assert main(["trace", "cat", str(path), "--start", "85"]) == 0
+    out = capsys.readouterr().out
+    lines = [line for line in out.splitlines() if line]
+    assert len(lines) == 5
+    assert lines[0].startswith("85: ")
+
+    back = tmp_path / "back.jsonl"
+    assert main(["trace", "unpack", str(path), str(back)]) == 0
+    assert back.read_text(encoding="utf-8") == \
+        jsonl.read_text(encoding="utf-8")
+
+
+def test_check_cli_packed_matches_jsonl(tmp_path, capsys):
+    from repro.cli import main
+
+    trace = trace_for_seed(7)
+    jsonl = tmp_path / "t.jsonl"
+    packed = tmp_path / "t.vtrc"
+    save_trace(trace, jsonl)
+    save_trace(trace, packed)
+
+    code_jsonl = main(["check", str(jsonl), "--backend", "all"])
+    out_jsonl = capsys.readouterr().out
+    code_packed = main(["check", str(packed), "--backend", "all"])
+    out_packed = capsys.readouterr().out
+    assert code_jsonl == code_packed
+    assert out_jsonl == out_packed

@@ -1,0 +1,288 @@
+"""Corruption handling in the packed trace store.
+
+The strict reader must refuse every damaged file with a precise
+error; the tolerant reader must salvage everything salvageable,
+quarantining each fault with its byte offset, and resume at the next
+indexed block.  Damage is injected at known offsets so the assertions
+can check not just *that* a fault was reported but *where*.
+"""
+
+import zlib
+from pathlib import Path
+
+import pytest
+
+from repro.events.operations import begin, end, read, write
+from repro.events.trace import Trace
+from repro.resilience.quarantine import (
+    LENIENT,
+    STRICT,
+    FaultKind,
+    StreamIntegrityError,
+)
+from repro.store import (
+    CorruptBlock,
+    PackedTraceReader,
+    StoreFormatError,
+    TolerantPackedReader,
+    load_packed_tolerant,
+    save_packed,
+)
+from repro.store.format import FOOTER_SIZE, FRAME_SIZE, HEADER_SIZE
+
+
+def blocky_trace() -> Trace:
+    ops = []
+    for i in range(96):
+        tid = i % 3 + 1
+        ops.extend([
+            begin(tid, f"m{i}"),
+            write(tid, f"v{i % 7}", i),
+            read(tid, f"v{i % 7}", i),
+            end(tid),
+        ])
+    return Trace(ops)  # 384 ops
+
+
+@pytest.fixture()
+def packed(tmp_path) -> tuple[Path, list]:
+    trace = blocky_trace()
+    path = tmp_path / "t.vtrc"
+    save_packed(trace, path, block_ops=64)  # 6 blocks
+    return path, list(trace)
+
+
+def block_layout(path):
+    with PackedTraceReader(path) as reader:
+        return list(reader.blocks)
+
+
+def flip_byte(path: Path, offset: int) -> None:
+    data = bytearray(path.read_bytes())
+    data[offset] ^= 0xFF
+    path.write_bytes(bytes(data))
+
+
+class TestTruncatedFinalBlock:
+    """A writer killed before close(): no footer, cut final frame."""
+
+    def truncate(self, path, keep_blocks=5, partial_bytes=9):
+        blocks = block_layout(path)
+        cut = blocks[keep_blocks].byte_offset + FRAME_SIZE + partial_bytes
+        path.write_bytes(path.read_bytes()[:cut])
+        return blocks
+
+    def test_strict_reader_refuses(self, packed):
+        path, _ops = packed
+        self.truncate(path)
+        with pytest.raises(StoreFormatError) as excinfo:
+            PackedTraceReader(path)
+        assert "truncated" in str(excinfo.value)
+
+    def test_lenient_salvages_whole_blocks(self, packed):
+        path, ops = packed
+        blocks = self.truncate(path)
+        trace, quarantine = load_packed_tolerant(path, LENIENT)
+        # Every op of the five intact blocks survives.
+        assert list(trace) == ops[:blocks[5].first_seq]
+        kinds = [fault.kind for fault in quarantine.faults]
+        assert kinds.count(FaultKind.TORN) == 2  # no index + cut block
+        torn = [f for f in quarantine.faults
+                if f.kind is FaultKind.TORN and "truncated" in f.detail]
+        assert torn[0].byte_offset == blocks[5].byte_offset
+
+    def test_strict_policy_halts(self, packed):
+        path, _ops = packed
+        self.truncate(path)
+        with pytest.raises(StreamIntegrityError):
+            load_packed_tolerant(path, STRICT)
+
+
+class TestFlippedCrc:
+    """One bit of one block's payload flipped in place."""
+
+    def corrupt_block(self, path, number):
+        blocks = block_layout(path)
+        victim = blocks[number]
+        flip_byte(path, victim.byte_offset + FRAME_SIZE + 3)
+        return blocks
+
+    def test_strict_reader_names_block_and_offset(self, packed):
+        path, _ops = packed
+        blocks = self.corrupt_block(path, 2)
+        with PackedTraceReader(path) as reader:
+            with pytest.raises(CorruptBlock) as excinfo:
+                reader.decode_block(2)
+        assert excinfo.value.block == 2
+        assert excinfo.value.byte_offset == blocks[2].byte_offset
+
+    def test_lenient_resumes_at_next_indexed_block(self, packed):
+        path, ops = packed
+        blocks = self.corrupt_block(path, 2)
+        trace, quarantine = load_packed_tolerant(path, LENIENT)
+        # Block 2 (seqs 128..191) is lost; everything else survives,
+        # including every block AFTER the damage.
+        expected = ops[:blocks[2].first_seq] + ops[blocks[3].first_seq:]
+        assert list(trace) == expected
+        [malformed] = [f for f in quarantine.faults
+                       if f.kind is FaultKind.MALFORMED]
+        assert malformed.byte_offset == blocks[2].byte_offset
+        [gap] = [f for f in quarantine.faults if f.kind is FaultKind.GAP]
+        assert gap.seq == blocks[3].first_seq
+        assert "128..191" in gap.detail
+
+    def test_trailing_damage_reports_trailing_gap(self, packed):
+        path, ops = packed
+        blocks = self.corrupt_block(path, 5)
+        trace, quarantine = load_packed_tolerant(path, LENIENT)
+        assert list(trace) == ops[:blocks[5].first_seq]
+        [gap] = [f for f in quarantine.faults if f.kind is FaultKind.GAP]
+        assert gap.seq == blocks[5].first_seq
+
+    def test_strict_policy_halts_on_first_fault(self, packed):
+        path, _ops = packed
+        self.corrupt_block(path, 2)
+        with pytest.raises(StreamIntegrityError) as excinfo:
+            load_packed_tolerant(path, STRICT)
+        assert excinfo.value.faults[0].kind is FaultKind.MALFORMED
+
+
+class TestGarbageHeader:
+    """Nothing behind an unknown magic is recoverable — both readers
+    must refuse, under every policy."""
+
+    def test_wrong_magic(self, packed):
+        path, _ops = packed
+        flip_byte(path, 0)
+        for policy in (LENIENT, STRICT):
+            with pytest.raises(StoreFormatError):
+                TolerantPackedReader(path, policy).read()
+        with pytest.raises(StoreFormatError):
+            PackedTraceReader(path)
+
+    def test_unknown_version(self, packed):
+        path, _ops = packed
+        data = bytearray(path.read_bytes())
+        data[4] = 99
+        path.write_bytes(bytes(data))
+        with pytest.raises(StoreFormatError) as excinfo:
+            PackedTraceReader(path)
+        assert "version 99" in str(excinfo.value)
+        with pytest.raises(StoreFormatError):
+            TolerantPackedReader(path, LENIENT).read()
+
+
+class TestDamagedIndex:
+    def test_flipped_index_byte_detected(self, packed):
+        path, _ops = packed
+        size = path.stat().st_size
+        flip_byte(path, size - FOOTER_SIZE - 2)
+        with pytest.raises(StoreFormatError) as excinfo:
+            PackedTraceReader(path)
+        assert "CRC" in str(excinfo.value)
+        # The blocks themselves are intact: the tolerant reader's
+        # footer-less scan recovers every operation.  The scan then
+        # runs into the (damaged) index bytes and quarantines them as
+        # junk — extra faults, but no lost operations.
+        trace, quarantine = load_packed_tolerant(path, LENIENT)
+        assert len(trace) == 384
+        assert quarantine.faults[0].kind is FaultKind.TORN
+
+    def test_footer_magic_damage(self, packed):
+        path, ops = packed
+        flip_byte(path, path.stat().st_size - 1)
+        with pytest.raises(StoreFormatError):
+            PackedTraceReader(path)
+        trace, _quarantine = load_packed_tolerant(path, LENIENT)
+        assert list(trace) == ops
+
+
+class TestFrameDisagreement:
+    def test_frame_vs_index_mismatch(self, packed):
+        path, _ops = packed
+        blocks = block_layout(path)
+        # Flip a byte of block 1's *frame* (its stored CRC field):
+        # the index still holds the true value, so the strict reader
+        # reports the disagreement before touching the payload.
+        flip_byte(path, blocks[1].byte_offset + 4)
+        with PackedTraceReader(path) as reader:
+            with pytest.raises(CorruptBlock) as excinfo:
+                reader.decode_block(1)
+        assert "disagrees with the index" in str(excinfo.value)
+
+    def test_undecodable_payload(self, packed):
+        """CRCs all pass but the payload is not zlib data: the decode
+        failure itself must quarantine cleanly, not crash."""
+        from repro.store.format import read_varint
+
+        path, ops = packed
+        blocks = block_layout(path)
+        victim = blocks[0]
+        data = bytearray(path.read_bytes())
+        garbage = b"\xAA" * victim.comp_len
+        crc = zlib.crc32(garbage)
+        start = victim.byte_offset + FRAME_SIZE
+        data[start:start + victim.comp_len] = garbage
+        data[victim.byte_offset + 4:victim.byte_offset + 8] = \
+            crc.to_bytes(4, "little")
+        # Patch the index entry and the footer's index CRC so every
+        # integrity check passes and only decompression can fail.
+        index_len = int.from_bytes(data[-FOOTER_SIZE:-FOOTER_SIZE + 4],
+                                   "little")
+        index_start = len(data) - FOOTER_SIZE - index_len
+        index = bytearray(data[index_start:len(data) - FOOTER_SIZE])
+        pos = 0
+        for _ in range(3):  # n_blocks, block 0 comp_len, block 0 ops
+            _value, pos = read_varint(bytes(index), pos)
+        index[pos:pos + 4] = crc.to_bytes(4, "little")
+        data[index_start:len(data) - FOOTER_SIZE] = index
+        data[-FOOTER_SIZE + 4:-FOOTER_SIZE + 8] = \
+            zlib.crc32(bytes(index)).to_bytes(4, "little")
+        path.write_bytes(bytes(data))
+
+        with PackedTraceReader(path) as reader:
+            with pytest.raises(CorruptBlock) as excinfo:
+                reader.decode_block(0)
+        assert "undecodable" in str(excinfo.value)
+        trace, quarantine = load_packed_tolerant(path, LENIENT)
+        assert list(trace) == ops[64:]
+        assert quarantine.faults[0].kind is FaultKind.MALFORMED
+
+
+def test_empty_file_is_not_a_packed_trace(tmp_path):
+    path = tmp_path / "empty.vtrc"
+    path.write_bytes(b"")
+    with pytest.raises(StoreFormatError):
+        PackedTraceReader(path)
+
+
+def test_header_only_file(tmp_path):
+    # A writer killed immediately after open(): header, zero blocks.
+    from repro.store.format import pack_header
+
+    path = tmp_path / "t.vtrc"
+    path.write_bytes(pack_header(512))
+    with pytest.raises(StoreFormatError):
+        PackedTraceReader(path)
+    trace, quarantine = load_packed_tolerant(path, LENIENT)
+    assert list(trace) == []
+    assert [f.kind for f in quarantine.faults] == [FaultKind.TORN]
+
+
+def test_tolerant_cli_unpack(tmp_path, capsys):
+    from repro.cli import main
+
+    trace = blocky_trace()
+    path = tmp_path / "t.vtrc"
+    save_packed(trace, path, block_ops=64)
+    blocks = block_layout(path)
+    flip_byte(path, blocks[1].byte_offset + FRAME_SIZE + 1)
+
+    out = tmp_path / "salvaged.jsonl"
+    assert main(["trace", "unpack", str(path), str(out), "--tolerant"]) == 0
+    captured = capsys.readouterr()
+    assert "quarantine" in captured.err
+    from repro.events.serialize import load_trace
+
+    salvaged = load_trace(out)
+    assert len(salvaged) == len(trace) - 64
