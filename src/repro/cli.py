@@ -231,6 +231,7 @@ def _check_supervised(args: argparse.Namespace) -> int:
             _packed_checkpoint_meta(args.trace) if packed else None
         ),
     )
+    fast_forward = packed and not args.no_fast_forward
     packed_reader = None
     try:
         if args.resume:
@@ -240,24 +241,43 @@ def _check_supervised(args: argparse.Namespace) -> int:
             })
             print(f"resumed {len(checker.backends)} backend(s) at event "
                   f"{checker.position} from {args.resume}")
-            if packed:
-                # Seek via the block index: only the block containing
-                # the checkpoint position and its successors are read.
-                from repro.store.reader import PackedTraceReader
+            if fast_forward:
+                # Block-granular seek: the checkpoint's block is
+                # replayed from its first op, later blocks may
+                # fast-forward from their summaries.
+                from repro.pipeline.source import PackedTraceSource
 
-                packed_reader = PackedTraceReader(args.trace)
-                remaining = packed_reader.seek(checker.position)
+                checker.run(PackedTraceSource(
+                    args.trace, start_seq=checker.position
+                ))
             else:
-                remaining = iter(
-                    list(_load_check_trace(args.trace))[checker.position:]
-                )
+                if packed:
+                    # Seek via the block index: only the block
+                    # containing the checkpoint position and its
+                    # successors are read.
+                    from repro.store.reader import PackedTraceReader
+
+                    packed_reader = PackedTraceReader(args.trace)
+                    remaining = packed_reader.seek(checker.position)
+                else:
+                    remaining = iter(
+                        list(_load_check_trace(args.trace))
+                        [checker.position:]
+                    )
+                checker.run(TraceSource(remaining))
         else:
             names = _selected_backends(args.backend)
             checker = SupervisedChecker(
                 [BACKENDS[name]() for name in names], **options
             )
-            remaining = iter(_load_check_trace(args.trace, args.jobs))
-        checker.run(TraceSource(remaining))
+            if fast_forward:
+                from repro.pipeline.source import PackedTraceSource
+
+                checker.run(PackedTraceSource(args.trace, jobs=args.jobs))
+            else:
+                checker.run(TraceSource(
+                    iter(_load_check_trace(args.trace, args.jobs))
+                ))
     finally:
         if packed_reader is not None:
             packed_reader.close()
@@ -276,6 +296,11 @@ def _check_supervised(args: argparse.Namespace) -> int:
     return 1 if warning_count else 0
 
 
+def _fast_forward_enabled(args: argparse.Namespace) -> bool:
+    """Packed input + fast-forward not disabled on the command line."""
+    return not args.no_fast_forward and _is_packed(args.trace)
+
+
 def cmd_check(args: argparse.Namespace) -> int:
     if (
         args.resume
@@ -284,11 +309,20 @@ def cmd_check(args: argparse.Namespace) -> int:
         or args.max_nodes
     ):
         return _check_supervised(args)
-    trace = _load_check_trace(args.trace, args.jobs)
     names = _selected_backends(args.backend)
     backends = [BACKENDS[name]() for name in names]
     pipeline = Pipeline(backends, stats=args.stats)
-    pipeline.run(TraceSource(trace))
+    if _fast_forward_enabled(args):
+        # Block-granular source: backends fast-forward summarized
+        # blocks, and the full trace is only decoded if the warning
+        # report actually needs it (--render/--explain).
+        from repro.pipeline.source import PackedTraceSource
+
+        pipeline.run(PackedTraceSource(args.trace, jobs=args.jobs))
+        trace = lambda: _load_check_trace(args.trace, args.jobs)
+    else:
+        trace = _load_check_trace(args.trace, args.jobs)
+        pipeline.run(TraceSource(trace))
     warning_count = _report_warnings(args, trace, backends)
     if args.stats:
         print(pipeline.metrics().render())
@@ -414,10 +448,51 @@ def cmd_trace_unpack(args: argparse.Namespace) -> int:
     return 0
 
 
+def _summary_json(summary) -> dict:
+    """One block summary as a JSON-ready dict (``trace info --json``)."""
+    return {
+        "block": summary.number,
+        "first_seq": summary.first_seq,
+        "last_seq": summary.last_seq,
+        "ops": summary.op_count,
+        "tids": list(summary.tids),
+        "histogram": {
+            "read": summary.reads, "write": summary.writes,
+            "acquire": summary.acquires, "release": summary.releases,
+            "begin": summary.begins, "end": summary.ends,
+        },
+        "variables": len(summary.variables),
+        "locks": len(summary.locks),
+        "foldable": summary.foldable,
+    }
+
+
 def cmd_trace_info(args: argparse.Namespace) -> int:
+    import json
+
     from repro.store.reader import PackedTraceReader
 
     with PackedTraceReader(args.file) as reader:
+        if args.json:
+            # v1 files have no stored summaries; reconstruct them from
+            # one decode pass per block.
+            info = reader.info()
+            payload = {
+                "path": str(args.file),
+                "version": info.version,
+                "block_ops": info.block_ops,
+                "blocks": info.blocks,
+                "ops": info.ops,
+                "payload_bytes": info.payload_bytes,
+                "summaries": [
+                    _summary_json(
+                        reader.block_summary(b.number, reconstruct=True)
+                    )
+                    for b in reader.blocks
+                ],
+            }
+            print(json.dumps(payload, indent=2))
+            return 0
         print(reader.info().render())
         if args.blocks:
             print(f"  {'block':>5} {'offset':>10} {'bytes':>8} "
@@ -426,6 +501,22 @@ def cmd_trace_info(args: argparse.Namespace) -> int:
                 print(f"  {block.number:>5} {block.byte_offset:>10} "
                       f"{block.comp_len:>8} {block.op_count:>6} "
                       f"{block.first_seq:>6}..{block.last_seq}")
+        if args.summaries:
+            print(f"  {'block':>5} {'seqs':>15} {'tids':>12} "
+                  f"{'vars':>5} {'locks':>5} "
+                  f"{'rd':>6} {'wr':>6} {'acq':>5} {'rel':>5} "
+                  f"{'beg':>5} {'end':>5}  fold")
+            for block in reader.blocks:
+                s = reader.block_summary(block.number, reconstruct=True)
+                seqs = f"{s.first_seq}..{s.last_seq}"
+                tids = ",".join(str(t) for t in s.tids)
+                if len(tids) > 12:
+                    tids = tids[:9] + "..."
+                print(f"  {s.number:>5} {seqs:>15} {tids:>12} "
+                      f"{len(s.variables):>5} {len(s.locks):>5} "
+                      f"{s.reads:>6} {s.writes:>6} {s.acquires:>5} "
+                      f"{s.releases:>5} {s.begins:>5} {s.ends:>5}  "
+                      f"{'yes' if s.foldable else 'no'}")
     return 0
 
 
@@ -482,6 +573,9 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument("--explain", action="store_true",
                        help="print full explanations (cycle story, "
                             "marked diagram) for each warning")
+    check.add_argument("--no-fast-forward", action="store_true",
+                       help="always decode packed blocks and replay "
+                            "op-by-op, ignoring stored block summaries")
     check.add_argument("--stats", action="store_true",
                        help="print pipeline metrics after the analysis")
     check.add_argument("--checkpoint", metavar="FILE",
@@ -594,6 +688,12 @@ def build_parser() -> argparse.ArgumentParser:
         "info", help="print a packed trace's layout summary"
     )
     info.add_argument("file", help="packed .vtrc trace file")
+    info.add_argument("--summaries", action="store_true",
+                      help="print the per-block summary table (tids, "
+                           "footprint sizes, op histogram, seq range); "
+                           "v1 files reconstruct summaries by decoding")
+    info.add_argument("--json", action="store_true",
+                      help="emit layout and per-block summaries as JSON")
     info.add_argument("--blocks", action="store_true",
                       help="also list every block (offset, size, seqs)")
     info.set_defaults(func=cmd_trace_info)

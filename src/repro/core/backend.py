@@ -15,6 +15,7 @@ from repro.events.operations import Operation
 
 if TYPE_CHECKING:
     from repro.core.reports import Warning as AnalysisWarning
+    from repro.store.summary import BlockSummary
 
 
 class AnalysisBackend(abc.ABC):
@@ -46,6 +47,26 @@ class AnalysisBackend(abc.ABC):
 
     def finish(self) -> None:
         """Signal end of trace.  Subclasses may flush state."""
+
+    def apply_block_summary(self, summary: "BlockSummary") -> bool:
+        """Fast-forward one packed block from its summary, if possible.
+
+        A packed trace source offers each block's
+        :class:`~repro.store.summary.BlockSummary` before paying for
+        the block's decode.  A backend that can prove from the summary
+        alone that replaying the block operation by operation would
+        leave it in a state it can construct directly may apply that
+        state here and return True, *certifying* that its resulting
+        state — verdicts, counters, internal maps — is exactly what
+        the op-by-op replay would have produced.  ``events_processed``
+        must be advanced by ``summary.op_count`` before returning True.
+
+        Returning False declines the block: the caller decodes it and
+        feeds every operation through :meth:`process` as usual, so a
+        conservative (or wrong-shaped) summary can never weaken
+        soundness or completeness.  The default declines everything.
+        """
+        return False
 
     def report(self, warning: "AnalysisWarning") -> None:
         """Record one warning."""

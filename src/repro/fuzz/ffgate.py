@@ -1,0 +1,229 @@
+"""The fast-forward equivalence gate.
+
+The block-summary fast path (:meth:`~repro.core.backend.
+AnalysisBackend.apply_block_summary`) claims to be *invisible*: a
+backend that accepts a block's summary must land in exactly the state
+an op-by-op replay of that block would have produced.  This module
+checks the claim the strong way — not just verdict equality but full
+analysis-state equality — across the entire ablation grid:
+
+for every configuration, every trace is checked twice,
+
+* **op path**: the trace replayed operation by operation (fast-forward
+  never consulted), and
+* **block path**: the trace packed to VTRC v2 and streamed through
+  :class:`~repro.pipeline.source.PackedTraceSource`, where summarized
+  blocks may fold;
+
+and the two runs must agree on the verdict, every warning string, the
+warning label set, the processed-event count, *and* the complete
+captured backend state (:func:`~repro.resilience.snapshot.
+capture_backend`).  Configurations that always decline (basic, naive
+merge) exercise the decode fallback plumbing instead — agreement is
+required either way.
+
+Run as a module::
+
+    python -m repro.fuzz.ffgate --budget 200 [--seed S] [--corpus DIR]
+
+replays the persisted corpus first (every shrunken divergence ever
+found), then ``budget`` fresh random traces.  Exit status 1 signals a
+divergence — the fast path must not ship.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.core.backend import AnalysisBackend
+from repro.events.operations import Operation
+from repro.fuzz.corpus import DEFAULT_CORPUS
+from repro.fuzz.engine import iteration_seeds, trace_for_seed
+from repro.fuzz.grid import GridConfig, ablation_grid
+from repro.pipeline.core import Pipeline
+from repro.pipeline.source import PackedTraceSource, TraceSource
+from repro.resilience.snapshot import capture_backend, supports
+from repro.store.writer import save_packed
+
+
+@dataclass(frozen=True)
+class FFDivergence:
+    """One disagreement between the op path and the block path."""
+
+    source: str  # corpus file or "seed:N"
+    config: str
+    field: str  # verdict | warnings | labels | events | state
+    op_value: str
+    block_value: str
+
+    def __str__(self) -> str:
+        return (
+            f"[{self.source}] {self.config}: {self.field} diverged\n"
+            f"  op   : {self.op_value}\n"
+            f"  block: {self.block_value}"
+        )
+
+
+def _run_op_path(ops: Sequence[Operation], config: GridConfig):
+    backend = config.build()
+    Pipeline([backend]).run(TraceSource(ops))
+    return backend
+
+
+def _run_block_path(path, config: GridConfig):
+    backend = config.build()
+    pipeline = Pipeline([backend])
+    pipeline.run(PackedTraceSource(path))
+    return backend, pipeline
+
+
+def _state_digest(backend: AnalysisBackend) -> Optional[str]:
+    if not supports(backend):
+        return None
+    return json.dumps(capture_backend(backend), sort_keys=True)
+
+
+def _labels(backend: AnalysisBackend) -> list:
+    return sorted(
+        {str(w.label) for w in backend.warnings}
+    )
+
+
+#: Block sizes the gate packs each trace with.  Fuzz traces are short
+#: and thread-interleaved, so the production default (512 ops) would
+#: rarely produce a single-tid — i.e. foldable — block; tiny blocks
+#: turn nearly every single-tid run into one, and exercise block
+#: boundaries (first/last op of a block) far more densely.
+GATE_BLOCK_OPS = (4, 16)
+
+
+def gate_trace(
+    ops: Sequence[Operation],
+    source: str,
+    configs: Optional[Sequence[GridConfig]] = None,
+    block_ops: int = GATE_BLOCK_OPS[0],
+) -> tuple[list[FFDivergence], int]:
+    """Check op-path vs block-path agreement on one trace.
+
+    Returns the divergences plus the number of blocks the grid
+    fast-forwarded in total (so callers can report how much of the
+    fast path the run actually exercised).
+    """
+    if configs is None:
+        configs = ablation_grid()
+    ops = list(ops)
+    divergences: list[FFDivergence] = []
+    fast_forwarded = 0
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "gate.vtrc"
+        save_packed(ops, path, block_ops=block_ops)
+        for config in configs:
+            op_backend = _run_op_path(ops, config)
+            block_backend, pipeline = _run_block_path(path, config)
+            fast_forwarded += pipeline.metrics().blocks_fast_forwarded
+
+            def diverge(field: str, op_value, block_value) -> None:
+                divergences.append(FFDivergence(
+                    source=source, config=config.name, field=field,
+                    op_value=str(op_value), block_value=str(block_value),
+                ))
+
+            if op_backend.error_detected != block_backend.error_detected:
+                diverge("verdict", op_backend.error_detected,
+                        block_backend.error_detected)
+            op_warnings = [str(w) for w in op_backend.warnings]
+            block_warnings = [str(w) for w in block_backend.warnings]
+            if op_warnings != block_warnings:
+                diverge("warnings", op_warnings, block_warnings)
+            if _labels(op_backend) != _labels(block_backend):
+                diverge("labels", _labels(op_backend),
+                        _labels(block_backend))
+            if (
+                op_backend.events_processed
+                != block_backend.events_processed
+            ):
+                diverge("events", op_backend.events_processed,
+                        block_backend.events_processed)
+            op_state = _state_digest(op_backend)
+            block_state = _state_digest(block_backend)
+            if op_state != block_state:
+                diverge("state", "<captured state A>",
+                        "<captured state B — see snapshots>")
+    return divergences, fast_forwarded
+
+
+def _corpus_traces(corpus: Path):
+    from repro.events.serialize import load_trace
+
+    if not corpus.is_dir():
+        return
+    for path in sorted(corpus.glob("*.jsonl")):
+        yield path.name, list(load_trace(path))
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.fuzz.ffgate",
+        description="fast-forward vs op-by-op equivalence gate",
+    )
+    parser.add_argument("--budget", type=int, default=100, metavar="N",
+                        help="fresh random traces to gate (default 100)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="base seed for the random traces")
+    parser.add_argument("--corpus", default=str(DEFAULT_CORPUS),
+                        metavar="DIR",
+                        help="replay this corpus directory first")
+    parser.add_argument("--quick", action="store_true",
+                        help="gate only the four-config smoke grid")
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        from repro.fuzz.grid import default_grid
+
+        configs = default_grid()
+    else:
+        configs = ablation_grid()
+
+    failures: list[FFDivergence] = []
+    checked = 0
+    folded = 0
+    for name, ops in _corpus_traces(Path(args.corpus)):
+        for block_ops in GATE_BLOCK_OPS:
+            divergences, fast = gate_trace(
+                ops, f"{name}@b{block_ops}", configs, block_ops
+            )
+            failures.extend(divergences)
+            folded += fast
+        checked += 1
+    for index, seed in enumerate(
+        iteration_seeds(args.seed, args.budget)
+    ):
+        ops = list(trace_for_seed(seed))
+        for block_ops in GATE_BLOCK_OPS:
+            divergences, fast = gate_trace(
+                ops, f"seed:{seed}@b{block_ops}", configs, block_ops
+            )
+            failures.extend(divergences)
+            folded += fast
+        checked += 1
+        if (index + 1) % 25 == 0:
+            print(f"  ... {index + 1}/{args.budget} fresh traces, "
+                  f"{folded} blocks fast-forwarded, "
+                  f"{len(failures)} divergences")
+    for failure in failures:
+        print(failure)
+    verdict = "FAIL" if failures else "OK"
+    print(f"ffgate: {verdict} — {checked} traces x {len(configs)} "
+          f"configs, {folded} blocks fast-forwarded, "
+          f"{len(failures)} divergences")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

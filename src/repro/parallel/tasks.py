@@ -140,6 +140,32 @@ def run_block_decode(task: BlockRangeTask):
     return ops
 
 
+@dataclass(frozen=True)
+class BlockListTask:
+    """Decode blocks ``[first_block, end_block)``, keeping boundaries.
+
+    Like :class:`BlockRangeTask` but returning one operation list per
+    block instead of a flat concatenation: the block-granular analysis
+    plane (:class:`~repro.pipeline.source.PackedTraceSource`) needs
+    per-block lists so decoded blocks line up with their summaries.
+    """
+
+    path: str
+    first_block: int
+    end_block: int
+
+
+def run_block_lists(task: BlockListTask):
+    """Worker: decode one block range; returns a list per block."""
+    from repro.store.reader import PackedTraceReader
+
+    with PackedTraceReader(task.path) as reader:
+        return [
+            reader.decode_block(number)
+            for number in range(task.first_block, task.end_block)
+        ]
+
+
 # ---------------------------------------------------------- corpus replay
 @dataclass(frozen=True)
 class CorpusReplayTask:

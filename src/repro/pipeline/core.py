@@ -25,6 +25,15 @@ from repro.pipeline.metrics import (
 from repro.pipeline.source import EventSource, SourceResult
 from repro.pipeline.stages import Stage
 
+#: Block-summary histogram slots, in on-disk kind-code order.  Kept in
+#: lockstep with ``repro.store.summary.HISTOGRAM_KINDS`` (pinned by
+#: tests) but defined locally: the store package reaches this module
+#: through the resilience layer, so importing back would cycle.
+_HISTOGRAM_KINDS = (
+    OpKind.READ, OpKind.WRITE, OpKind.ACQUIRE,
+    OpKind.RELEASE, OpKind.BEGIN, OpKind.END,
+)
+
 
 class Pipeline:
     """Filter stages plus backend fan-out; callable as an event sink.
@@ -51,6 +60,8 @@ class Pipeline:
         self.stats = stats
         self.events_in = 0
         self.events_out = 0
+        self.blocks_in = 0
+        self.blocks_decoded = 0
         self.elapsed = 0.0
         self._kind_counts: dict[OpKind, int] = {}
 
@@ -75,6 +86,34 @@ class Pipeline:
 
     __call__ = process
 
+    def process_block(self, summary, decode) -> None:
+        """Run one packed block through the fan-out.
+
+        ``summary`` is the block's
+        :class:`~repro.store.summary.BlockSummary` (or ``None`` when
+        the source has none — v1 files, partial resume blocks), and
+        ``decode`` a thunk producing the block's operations.  Blocks
+        bypass the stage chain, so :meth:`run` only routes to this
+        method when no stages are attached.
+        """
+        self.blocks_in += 1
+        if summary is None:
+            self.blocks_decoded += 1
+            process = self.process
+            for op in decode():
+                process(op)
+            return
+        count = summary.op_count
+        self.events_in += count
+        self.events_out += count
+        if self.stats:
+            counts = self._kind_counts
+            for kind, n in zip(_HISTOGRAM_KINDS, summary.histogram):
+                if n:
+                    counts[kind] = counts.get(kind, 0) + n
+        if self.fanout.process_block(summary, decode):
+            self.blocks_decoded += 1
+
     def finish(self) -> None:
         """Signal end of stream to every backend."""
         self.fanout.finish()
@@ -82,11 +121,20 @@ class Pipeline:
     def run(self, source: EventSource) -> SourceResult:
         """Drain ``source`` through this pipeline, then finish.
 
+        Sources that can serve whole packed blocks (``run_blocks``,
+        e.g. :class:`~repro.pipeline.source.PackedTraceSource`) are
+        drained block-wise so backends may fast-forward; a stage chain
+        forces the op-wise path (stages see individual operations).
+
         Records total wall time in :attr:`elapsed` (and therefore in
         the metrics snapshot), regardless of the ``stats`` setting.
         """
         started = time.perf_counter()
-        result = source.run(self.process)
+        run_blocks = getattr(source, "run_blocks", None)
+        if run_blocks is not None and not self.stages:
+            result = run_blocks(self.process_block)
+        else:
+            result = source.run(self.process)
         self.finish()
         self.elapsed += time.perf_counter() - started
         return result
@@ -120,4 +168,6 @@ class Pipeline:
             ),
             backends=self.fanout.backend_metrics(),
             elapsed=self.elapsed if elapsed is None else elapsed,
+            blocks_in=self.blocks_in,
+            blocks_decoded=self.blocks_decoded,
         )

@@ -44,6 +44,8 @@ class FanOut:
         self.backends = list(backends)
         self.timed = timed
         self.times = [0.0] * len(self.backends)
+        #: Per-backend events absorbed via block summaries.
+        self.ff_events = [0] * len(self.backends)
         self._clock = time.perf_counter  # hoisted out of the event loop
         if timed:
             self.process = self._process_timed
@@ -95,6 +97,49 @@ class FanOut:
             backend.finish()
             times[index] += clock() - started
 
+    # -------------------------------------------------------------- blocks
+    def process_block(self, summary, decode) -> bool:
+        """Offer one packed block to every backend; returns True iff it
+        had to be decoded.
+
+        Each backend is first offered the block's summary via
+        :meth:`~repro.core.backend.AnalysisBackend.apply_block_summary`.
+        The decode thunk runs at most once, lazily, the first time a
+        backend declines; decliners then replay the operations through
+        their ordinary ``process``.  In timed mode the summary offer
+        and the replay are attributed to the backend, the shared
+        decode to none (it is store cost, not analysis cost).
+
+        Backends see the block in backend order, not interleaved — an
+        accepter is fully fast-forwarded before the next backend runs.
+        Backends are independent (that is the point of the fan-out),
+        so the reordering is unobservable.
+        """
+        ops = None
+        clock = self._clock if self.timed else None
+        for index, backend in enumerate(self.backends):
+            if clock is not None:
+                started = clock()
+                accepted = backend.apply_block_summary(summary)
+                self.times[index] += clock() - started
+            else:
+                accepted = backend.apply_block_summary(summary)
+            if accepted:
+                self.ff_events[index] += summary.op_count
+                continue
+            if ops is None:
+                ops = decode()
+            process = backend.process
+            if clock is not None:
+                started = clock()
+                for op in ops:
+                    process(op)
+                self.times[index] += clock() - started
+            else:
+                for op in ops:
+                    process(op)
+        return ops is not None
+
     # ------------------------------------------------------------- metrics
     def backend_metrics(self) -> tuple[BackendMetrics, ...]:
         """Per-backend snapshot (events, accumulated time, warnings)."""
@@ -104,6 +149,9 @@ class FanOut:
                 events=backend.events_processed,
                 time=elapsed,
                 warning_count=backend.warning_count,
+                events_fast_forwarded=fast,
             )
-            for backend, elapsed in zip(self.backends, self.times)
+            for backend, elapsed, fast in zip(
+                self.backends, self.times, self.ff_events
+            )
         )

@@ -37,13 +37,17 @@ class BackendMetrics:
 
     ``time`` covers this backend's ``process``/``finish`` calls only
     (measured by the fan-out dispatcher); it is 0.0 when the pipeline
-    ran without timing enabled.
+    ran without timing enabled.  ``events_fast_forwarded`` counts the
+    events this backend absorbed via block summaries
+    (:meth:`~repro.core.backend.AnalysisBackend.apply_block_summary`)
+    instead of op-by-op replay; they are included in ``events``.
     """
 
     name: str
     events: int
     time: float
     warning_count: int
+    events_fast_forwarded: int = 0
 
 
 @dataclass(frozen=True)
@@ -56,10 +60,19 @@ class PipelineMetrics:
     stages: tuple[StageMetrics, ...] = ()
     backends: tuple[BackendMetrics, ...] = ()
     elapsed: float = 0.0
+    #: Packed blocks offered to the pipeline (0 for op-wise sources).
+    blocks_in: int = 0
+    #: Blocks that at least one backend required a full decode for.
+    blocks_decoded: int = 0
 
     @property
     def events_dropped(self) -> int:
         return self.events_in - self.events_out
+
+    @property
+    def blocks_fast_forwarded(self) -> int:
+        """Blocks every backend absorbed from summaries alone."""
+        return self.blocks_in - self.blocks_decoded
 
     @property
     def events_per_second(self) -> float:
@@ -86,6 +99,7 @@ class PipelineMetrics:
         with differing stage/backend line-ups simply union the names.
         """
         events_in = events_out = 0
+        blocks_in = blocks_decoded = 0
         elapsed = 0.0
         by_kind: dict[str, int] = {}
         stage_seen: dict[str, int] = {}
@@ -94,10 +108,13 @@ class PipelineMetrics:
         backend_events: dict[str, int] = {}
         backend_time: dict[str, float] = {}
         backend_warnings: dict[str, int] = {}
+        backend_ff: dict[str, int] = {}
         backend_order: list[str] = []
         for snap in snapshots:
             events_in += snap.events_in
             events_out += snap.events_out
+            blocks_in += snap.blocks_in
+            blocks_decoded += snap.blocks_decoded
             elapsed += snap.elapsed
             for kind, count in snap.by_kind.items():
                 by_kind[kind] = by_kind.get(kind, 0) + count
@@ -120,6 +137,10 @@ class PipelineMetrics:
                 backend_warnings[backend.name] = (
                     backend_warnings.get(backend.name, 0) + backend.warning_count
                 )
+                backend_ff[backend.name] = (
+                    backend_ff.get(backend.name, 0)
+                    + backend.events_fast_forwarded
+                )
         return cls(
             events_in=events_in,
             events_out=events_out,
@@ -134,10 +155,13 @@ class PipelineMetrics:
                     backend_events[name],
                     backend_time[name],
                     backend_warnings[name],
+                    backend_ff[name],
                 )
                 for name in backend_order
             ),
             elapsed=elapsed,
+            blocks_in=blocks_in,
+            blocks_decoded=blocks_decoded,
         )
 
     def render(self) -> str:
@@ -158,6 +182,12 @@ class PipelineMetrics:
                 f"  elapsed: {self.elapsed:.3f}s "
                 f"({self.events_per_second:,.0f} events/s)"
             )
+        if self.blocks_in:
+            lines.append(
+                f"  blocks: in={self.blocks_in} "
+                f"decoded={self.blocks_decoded} "
+                f"fast-forwarded={self.blocks_fast_forwarded}"
+            )
         for stage in self.stages:
             lines.append(
                 f"  stage {stage.name}: seen={stage.seen} "
@@ -165,9 +195,13 @@ class PipelineMetrics:
             )
         for backend in self.backends:
             timing = f" time={backend.time:.3f}s" if backend.time else ""
+            fast = (
+                f" fast-forwarded={backend.events_fast_forwarded}"
+                if backend.events_fast_forwarded else ""
+            )
             lines.append(
                 f"  backend {backend.name}: events={backend.events}"
-                f"{timing} warnings={backend.warning_count}"
+                f"{timing}{fast} warnings={backend.warning_count}"
             )
         return "\n".join(lines)
 

@@ -75,6 +75,124 @@ class TraceSource:
         return SourceResult(events=count, trace=trace)
 
 
+class PackedTraceSource:
+    """Stream a packed (VTRC) recording block by block.
+
+    Satisfies :class:`EventSource` through :meth:`run`, but also
+    offers :meth:`run_blocks`, which :meth:`Pipeline.run
+    <repro.pipeline.core.Pipeline.run>` prefers: the sink receives
+    ``(summary, decode)`` pairs — the block's stored
+    :class:`~repro.store.summary.BlockSummary` (``None`` for v1 files
+    and partial resume blocks) and a thunk decoding the block — so
+    backends can fast-forward summarized blocks without ever paying
+    for the decode.
+
+    Args:
+        path: the packed trace file (or a seekable binary stream; a
+            stream disables parallel prefetch).
+        start_seq: first global position to deliver (resume support).
+            The containing block is delivered as a summary-less
+            partial block; later blocks flow normally.
+        jobs: with more than one, block decodes are prefetched by
+            worker processes (disjoint block ranges, merged in block
+            order), so the operation stream — and therefore every
+            backend state — is byte-identical to the serial path.
+    """
+
+    def __init__(self, path, start_seq: int = 0, jobs: int = 1):
+        self.path = path
+        self.start_seq = start_seq
+        self.jobs = jobs
+
+    def run(self, sink: EventSink) -> SourceResult:
+        # Deferred: repro.store reaches this module through
+        # repro.resilience.quarantine.
+        from repro.store.reader import PackedTraceReader
+
+        count = 0
+        with PackedTraceReader(self.path) as reader:
+            for op in reader.seek(self.start_seq):
+                sink(op)
+                count += 1
+        return SourceResult(events=count)
+
+    def run_blocks(self, block_sink) -> SourceResult:
+        """Drive ``block_sink(summary, decode)`` over every block."""
+        from repro.store.reader import PackedTraceReader
+
+        count = 0
+        with PackedTraceReader(self.path) as reader:
+            start_block = 0
+            skip = 0
+            if self.start_seq:
+                if self.start_seq >= reader.total_ops:
+                    return SourceResult(events=0)
+                first = reader.block_for_seq(self.start_seq)
+                start_block = first.number
+                skip = self.start_seq - first.first_seq
+            prefetched = self._prefetch(reader, start_block)
+            for info in reader.blocks[start_block:]:
+                if prefetched is not None:
+                    cached = prefetched[info.number - start_block]
+                    decode = (lambda ops=cached: ops)
+                else:
+                    decode = (
+                        lambda r=reader, b=info: r.decode_block(b)
+                    )
+                if skip and info.number == start_block:
+                    # A partial block's stored summary describes
+                    # operations the sink must not see; deliver the
+                    # tail summary-less.
+                    tail = decode()[skip:]
+                    block_sink(None, lambda ops=tail: ops)
+                    count += len(tail)
+                else:
+                    block_sink(reader.block_summary(info.number), decode)
+                    count += info.op_count
+        return SourceResult(events=count)
+
+    def _prefetch(self, reader, start_block: int):
+        """Decode blocks ``start_block..`` in worker processes.
+
+        Returns one operation list per block, or ``None`` when the
+        file is too small to shard, ``jobs`` is 1, or the source wraps
+        a stream (workers need a path to reopen).  Failed shards are
+        re-decoded in-process, mirroring
+        :func:`repro.store.parallel.load_packed_parallel`.
+        """
+        import os
+        from pathlib import Path as _Path
+
+        if not isinstance(self.path, (str, os.PathLike, _Path)):
+            return None
+        n_blocks = len(reader.blocks) - start_block
+        from repro.store.parallel import (
+            MIN_BLOCKS_PER_SHARD,
+            block_ranges,
+        )
+
+        if self.jobs <= 1 or n_blocks < MIN_BLOCKS_PER_SHARD * 2:
+            return None
+        from repro.parallel.executor import run_shards
+        from repro.parallel.tasks import BlockListTask, run_block_lists
+
+        tasks = [
+            BlockListTask(
+                path=str(self.path),
+                first_block=start_block + lo,
+                end_block=start_block + hi,
+            )
+            for lo, hi in block_ranges(n_blocks, self.jobs)
+        ]
+        blocks: list[list[Operation]] = []
+        for shard in run_shards(run_block_lists, tasks, jobs=self.jobs):
+            if shard.ok:
+                blocks.extend(shard.value)
+            else:
+                blocks.extend(run_block_lists(tasks[shard.index]))
+        return blocks
+
+
 class LiveSource:
     """Execute a program under the interpreter, streaming its events.
 

@@ -167,6 +167,18 @@ class ResourceGovernor:
             return False
         return position % self.budgets.check_interval == 0
 
+    def should_check_span(self, old: int, new: int) -> bool:
+        """True when advancing ``old -> new`` crossed a probe position.
+
+        The block-granular supervisor advances many events at once, so
+        exact probe positions can be jumped over; crossing detection
+        keeps the probing cadence without landing on the multiples.
+        """
+        if self.budgets.unbounded:
+            return False
+        interval = self.budgets.check_interval
+        return old // interval != new // interval
+
     # ---------------------------------------------------------------- ladder
     def relieve(self, position: int, trigger: str) -> bool:
         """Climb the ladder until the pressure clears; True on success.

@@ -57,6 +57,27 @@ PathLike = Union[str, Path]
 MAX_REPLAY_ATTEMPTS = 3
 
 
+class _BlockEntry:
+    """A buffered packed block, decoded only if a recovery replays it.
+
+    Fully fast-forwarded blocks were never decoded; buffering the
+    summary plus the decode thunk keeps that saving unless an
+    exhaustion later in the window actually forces a replay.
+    """
+
+    __slots__ = ("summary", "_decode", "_ops")
+
+    def __init__(self, summary, decode, ops=None):
+        self.summary = summary
+        self._decode = decode
+        self._ops = ops
+
+    def ops(self):
+        if self._ops is None:
+            self._ops = self._decode()
+        return self._ops
+
+
 @dataclass(frozen=True)
 class SupervisedReport:
     """What happened during a supervised run."""
@@ -146,7 +167,13 @@ class SupervisedChecker:
         self._boundary: list[dict] = [
             capture_backend(backend) for backend in self.backends
         ]
-        self._buffer: list[Operation] = []
+        #: Operations (and undecoded block entries) since the boundary.
+        self._buffer: list = []
+        self._buffered_ops = 0
+        #: [first_seq, last_seq] spans every backend absorbed from
+        #: summaries alone — recorded into checkpoint meta so a resumed
+        #: run can see which stretches were never decoded.
+        self._ff_ranges: list[list[int]] = []
 
     # -------------------------------------------------------------- resuming
     @classmethod
@@ -175,9 +202,10 @@ class SupervisedChecker:
             try:
                 backend.process(op)
             except SlotsExhausted as exc:
-                self._recover(index, op, exc)
+                self._recover(index, exc, (op,))
         self.position += 1
         self._buffer.append(op)
+        self._buffered_ops += 1
         for governor in self.governors:
             if governor.should_check(self.position):
                 governor.intervene(self.position)
@@ -186,10 +214,75 @@ class SupervisedChecker:
             and self.position % self.checkpoint_every == 0
         ):
             self.checkpoint()
-        elif len(self._buffer) >= self.recovery_window:
+        elif self._buffered_ops >= self.recovery_window:
             self._refresh_boundary()
 
     __call__ = process
+
+    def process_block(self, summary, decode) -> None:
+        """Feed one packed block to every backend, with recovery.
+
+        Summary-less blocks (v1 recordings, partial resume blocks) are
+        replayed through :meth:`process`, op for op.  Otherwise each
+        backend is offered the summary
+        (:meth:`~repro.core.backend.AnalysisBackend.apply_block_summary`)
+        and decliners replay the decoded operations, exactly like the
+        pipeline fan-out — plus the supervisor's guarantees: an
+        exhaustion anywhere (even inside the fold itself) rolls the
+        backend back to the recovery boundary and replays forward.
+
+        Checkpoints and governor probes fire on *interval crossings*
+        rather than exact positions — a block advance can jump over a
+        multiple of ``checkpoint_every`` — so a block-fed run may
+        checkpoint at slightly different positions than an op-fed one.
+        Every checkpoint is still a consistent cut; resumes from either
+        produce identical verdicts.
+        """
+        if summary is None:
+            for op in decode():
+                self.process(op)
+            return
+        ops = None
+        for index, backend in enumerate(self.backends):
+            try:
+                accepted = backend.apply_block_summary(summary)
+            except SlotsExhausted as exc:
+                # The fold may have half-applied; the rollback
+                # discards it, then the block replays op-wise below.
+                self._recover(index, exc)
+                accepted = False
+            if accepted:
+                continue
+            if ops is None:
+                ops = decode()
+            for done, op in enumerate(ops):
+                try:
+                    backend.process(op)
+                except SlotsExhausted as exc:
+                    self._recover(index, exc, ops[: done + 1])
+        before = self.position
+        self.position += summary.op_count
+        if ops is None:
+            self._record_fast_forward(summary)
+        self._buffer.append(_BlockEntry(summary, decode, ops))
+        self._buffered_ops += summary.op_count
+        for governor in self.governors:
+            if governor.should_check_span(before, self.position):
+                governor.intervene(self.position)
+        if self.checkpoint_every is not None and (
+            before // self.checkpoint_every
+            != self.position // self.checkpoint_every
+        ):
+            self.checkpoint()
+        elif self._buffered_ops >= self.recovery_window:
+            self._refresh_boundary()
+
+    def _record_fast_forward(self, summary) -> None:
+        spans = self._ff_ranges
+        if spans and spans[-1][1] + 1 == summary.first_seq:
+            spans[-1][1] = summary.last_seq
+        else:
+            spans.append([summary.first_seq, summary.last_seq])
 
     def finish(self) -> None:
         """Signal end of stream to every backend."""
@@ -197,8 +290,16 @@ class SupervisedChecker:
             backend.finish()
 
     def run(self, source: EventSource) -> SourceResult:
-        """Drain ``source`` through the supervised backends."""
-        result = source.run(self.process)
+        """Drain ``source`` through the supervised backends.
+
+        Sources offering whole packed blocks (``run_blocks``) are
+        drained block-wise so backends may fast-forward.
+        """
+        run_blocks = getattr(source, "run_blocks", None)
+        if run_blocks is not None:
+            result = run_blocks(self.process_block)
+        else:
+            result = source.run(self.process)
         self.finish()
         return result
 
@@ -215,6 +316,11 @@ class SupervisedChecker:
         meta = self.checkpoint_meta
         if callable(meta):
             meta = meta(self.position)
+        if self._ff_ranges:
+            meta = dict(meta) if meta else {}
+            meta["fast_forwarded_blocks"] = [
+                list(span) for span in self._ff_ranges
+            ]
         written = write_snapshot(
             target, self.backends, self.position, meta=meta
         )
@@ -227,20 +333,26 @@ class SupervisedChecker:
             capture_backend(backend) for backend in self.backends
         ]
         self._buffer.clear()
+        self._buffered_ops = 0
 
     # -------------------------------------------------------------- recovery
     def _recover(
-        self, index: int, op: Operation, exc: SlotsExhausted
+        self, index: int, exc: SlotsExhausted, tail: Sequence[Operation] = ()
     ) -> None:
         """Roll backend ``index`` back to the boundary and replay.
 
-        The failed ``process`` call may have half-applied ``op``
-        (edges added, a node allocated, a warning reported) — the
-        rollback discards all of that, so recovery never duplicates or
-        loses work.  The restore compacts the step-code pool, which is
-        what usually clears the exhaustion; if replay hits the wall
-        again the governor's ladder escalates, ending (when permitted)
-        in the sound-but-flagged window reset.
+        ``tail`` holds the operations this backend saw after the last
+        buffered item, ending with the one whose ``process`` failed
+        (for a failed block fold, the fold half-applied no *operation*,
+        so the tail is empty).  The failed call may have half-applied
+        its work (edges added, a node allocated, a warning reported) —
+        the rollback discards all of that, so recovery never
+        duplicates or loses work.  Undecoded blocks in the buffer are
+        decoded here, the first time a recovery actually replays them.
+        The restore compacts the step-code pool, which is what usually
+        clears the exhaustion; if replay hits the wall again the
+        governor's ladder escalates, ending (when permitted) in the
+        sound-but-flagged window reset.
         """
         if self.on_pressure == "fail":
             raise
@@ -251,7 +363,7 @@ class SupervisedChecker:
             backend, restore_backend(self._boundary[index],
                                      compact_pools=True)
         )
-        for replayed in [*self._buffer, op]:
+        for replayed in self._replay_stream(tail):
             attempts = 0
             while True:
                 rollback = capture_backend(backend)
@@ -273,6 +385,15 @@ class SupervisedChecker:
                     governor.handle_exhaustion(
                         backend.events_processed, replay_exc
                     )
+
+    def _replay_stream(self, tail: Sequence[Operation]):
+        """Every operation since the boundary: buffer, then ``tail``."""
+        for item in self._buffer:
+            if isinstance(item, _BlockEntry):
+                yield from item.ops()
+            else:
+                yield item
+        yield from tail
 
     # --------------------------------------------------------------- results
     @property

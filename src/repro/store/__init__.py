@@ -13,6 +13,9 @@ Public surface:
 * :class:`TolerantPackedReader` / :func:`load_packed_tolerant` —
   quarantine-aware recovery reads;
 * :func:`load_packed_parallel` — multi-process block-range decode;
+* :class:`BlockSummary` / :class:`TargetFootprint` /
+  :func:`summarize_ops` — the v2 per-block summary records that let
+  analyses fast-forward whole blocks without decoding them;
 * :func:`sniff_path` / :func:`sniff_bytes` — magic-byte format
   detection shared by every trace-reading entry point.
 """
@@ -42,10 +45,20 @@ from repro.store.sniff import (
     sniff_bytes,
     sniff_path,
 )
+from repro.store.summary import (
+    HISTOGRAM_KINDS,
+    BlockSummary,
+    TargetFootprint,
+    summarize_ops,
+)
 from repro.store.writer import PackedTraceWriter, save_packed
 
 __all__ = [
     "BlockInfo",
+    "BlockSummary",
+    "HISTOGRAM_KINDS",
+    "TargetFootprint",
+    "summarize_ops",
     "CorruptBlock",
     "DEFAULT_BLOCK_OPS",
     "FORMAT_DSL",

@@ -17,10 +17,18 @@ baseline: an events/sec regression beyond ``--threshold`` (default
 30%) fails, and the 3.0x / 1.5x floors are always enforced whether or
 not a baseline is given.
 
+``--analyze`` measures the *analysis* plane instead (writes
+``BENCH_analyze.json``): the same packed recording checked by
+``VelodromeOptimized`` with block-summary fast-forward on versus off,
+over two workload shapes — **sparse** (long thread-local stretches,
+where most blocks fold: floor is a 2.0x end-to-end speedup) and
+**dense** (per-op thread interleave, where no block is foldable and
+the summary offers must cost < 5%).
+
 Run as a script::
 
     python -m repro.store.bench [--quick] [--output FILE]
-        [--check-against FILE] [--threshold F]
+        [--check-against FILE] [--threshold F] [--analyze]
 """
 
 from __future__ import annotations
@@ -39,6 +47,14 @@ from typing import Callable, Optional, Sequence
 #: faster.  These are absolute gates, independent of any baseline.
 SIZE_RATIO_FLOOR = 3.0
 DECODE_SPEEDUP_FLOOR = 1.5
+
+#: Fast-forward floors: on the sparse (mostly-foldable) workload,
+#: checking with summaries must be at least this much faster
+#: end-to-end than full decode + op-by-op replay ...
+ANALYZE_SPARSE_FLOOR = 2.0
+#: ... and on the dense (never-foldable) workload the declined
+#: summary offers must not cost more than 5% throughput.
+ANALYZE_DENSE_RATIO_FLOOR = 0.95
 
 _STAGE_SEED = 7
 _STAGE_COPIES = 40
@@ -158,6 +174,167 @@ def measure_store(quick: bool = False) -> dict:
     }
 
 
+def _analyze_ops_sparse(quick: bool) -> list:
+    """Thread-local stretches aligned to whole blocks (512 ops).
+
+    Each thread works its own variables and lock for exactly two
+    blocks before yielding, so nearly every block is single-tid and
+    lock-release-only — the foldable shape the summaries certify.
+    """
+    from repro.events.operations import Operation, OpKind
+
+    turns = 8 if quick else 24
+    ops = []
+    for turn in range(turns):
+        tid = turn % 4
+        for i in range(1024):
+            phase = i % 128
+            if phase == 126:
+                ops.append(Operation(OpKind.ACQUIRE, tid, f"m{tid}"))
+            elif phase == 127:
+                ops.append(Operation(OpKind.RELEASE, tid, f"m{tid}"))
+            elif i % 4 == 3:
+                ops.append(Operation(OpKind.WRITE, tid, f"x{tid}_{i % 8}"))
+            else:
+                ops.append(Operation(OpKind.READ, tid, f"x{tid}_{i % 8}"))
+    return ops
+
+
+def _analyze_ops_dense(quick: bool) -> list:
+    """Per-op thread interleave: no block is ever single-tid."""
+    from repro.events.operations import Operation, OpKind
+
+    count = 8 * 1024 if quick else 24 * 1024
+    ops = []
+    for i in range(count):
+        tid = i % 4
+        var = f"s{i % 8}"
+        if i % 4 == 3:
+            ops.append(Operation(OpKind.WRITE, tid, var))
+        else:
+            ops.append(Operation(OpKind.READ, tid, var))
+    return ops
+
+
+def _measure_checked(blob: bytes, fast_forward: bool, repeats: int):
+    """Best-of-N wall time checking ``blob`` with VelodromeOptimized.
+
+    Returns ``(best_seconds, blocks_in, blocks_fast_forwarded)`` from
+    the fastest run.  Both modes pay the same reader-open cost (index
+    and summary parse); only the per-block treatment differs.
+    """
+    from repro.core.optimized import VelodromeOptimized
+    from repro.pipeline.core import Pipeline
+    from repro.pipeline.source import PackedTraceSource
+
+    best = float("inf")
+    blocks = fast = 0
+    for _ in range(repeats):
+        pipeline = Pipeline([VelodromeOptimized()])
+        source = PackedTraceSource(io.BytesIO(blob))
+        started = time.perf_counter()
+        if fast_forward:
+            source.run_blocks(pipeline.process_block)
+        else:
+            source.run(pipeline.process)
+        pipeline.finish()
+        elapsed = time.perf_counter() - started
+        if elapsed < best:
+            best = elapsed
+            metrics = pipeline.metrics()
+            blocks = metrics.blocks_in
+            fast = metrics.blocks_fast_forwarded
+    return best, blocks, fast
+
+
+def measure_analyze(quick: bool = False) -> dict:
+    """The fast-forward measurement; returns ``BENCH_analyze.json``."""
+    from repro.store.writer import PackedTraceWriter
+
+    repeats = 3 if quick else 5
+    report: dict = {"schema": 1, "cpu_count": os.cpu_count(),
+                    "quick": quick}
+    for shape, make_ops in (
+        ("sparse", _analyze_ops_sparse),
+        ("dense", _analyze_ops_dense),
+    ):
+        ops = make_ops(quick)
+        sink = io.BytesIO()
+        with PackedTraceWriter(sink) as writer:
+            writer.write_all(ops)
+        blob = sink.getvalue()
+        on, blocks, fast = _measure_checked(blob, True, repeats)
+        off, _, _ = _measure_checked(blob, False, repeats)
+        speedup = round(off / on, 2) if on else 0.0
+        report[shape] = {
+            "events": len(ops),
+            "blocks": blocks,
+            "blocks_fast_forwarded": fast,
+            "ff_on": {
+                "best_seconds": round(on, 6),
+                "events_per_sec": round(len(ops) / on, 1) if on else 0.0,
+            },
+            "ff_off": {
+                "best_seconds": round(off, 6),
+                "events_per_sec": round(len(ops) / off, 1) if off else 0.0,
+            },
+            "speedup": speedup,
+            "floor": (
+                ANALYZE_SPARSE_FLOOR if shape == "sparse"
+                else ANALYZE_DENSE_RATIO_FLOOR
+            ),
+        }
+    return report
+
+
+def check_analyze_floors(report: dict) -> list[str]:
+    """Fast-forward floor violations (empty = pass)."""
+    problems = []
+    sparse = report["sparse"]["speedup"]
+    if sparse < ANALYZE_SPARSE_FLOOR:
+        problems.append(
+            f"analyze.sparse: fast-forward is only {sparse:.2f}x faster "
+            f"than full decode (floor {ANALYZE_SPARSE_FLOOR:.1f}x)"
+        )
+    if report["sparse"]["blocks_fast_forwarded"] == 0:
+        problems.append(
+            "analyze.sparse: no block was fast-forwarded — the "
+            "workload no longer exercises the fast path"
+        )
+    dense = report["dense"]["speedup"]
+    if dense < ANALYZE_DENSE_RATIO_FLOOR:
+        problems.append(
+            f"analyze.dense: declined summary offers cost "
+            f"{1 - dense:.0%} throughput "
+            f"(allowed {1 - ANALYZE_DENSE_RATIO_FLOOR:.0%})"
+        )
+    return problems
+
+
+def compare_analyze_to_baseline(
+    current: dict, baseline: dict, threshold: float = 0.30
+) -> list[str]:
+    """Events/sec regressions vs a committed ``BENCH_analyze.json``."""
+    regressions = []
+    for shape in ("sparse", "dense"):
+        for mode in ("ff_on", "ff_off"):
+            new = current.get(shape, {}).get(mode)
+            old = baseline.get(shape, {}).get(mode)
+            if not new or not old:
+                continue
+            new_rate = new.get("events_per_sec")
+            old_rate = old.get("events_per_sec")
+            if not new_rate or not old_rate:
+                continue
+            if new_rate < old_rate * (1.0 - threshold):
+                regressions.append(
+                    f"analyze.{shape}.{mode}: {new_rate:,.0f} ev/s is "
+                    f"{1 - new_rate / old_rate:.0%} below baseline "
+                    f"{old_rate:,.0f} ev/s (allowed: {threshold:.0%})"
+                )
+    return regressions
+
+
 def check_floors(report: dict) -> list[str]:
     """Violations of the absolute acceptance floors (empty = pass)."""
     problems = []
@@ -209,14 +386,26 @@ def main(argv: Optional[Sequence[str]] = None) -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quick", action="store_true",
                         help="smaller trace (the CI perf-smoke shape)")
-    parser.add_argument("--output", default="BENCH_store.json",
-                        help="where to write the JSON report")
+    parser.add_argument("--analyze", action="store_true",
+                        help="measure block-summary fast-forward vs "
+                             "full decode (writes BENCH_analyze.json)")
+    parser.add_argument("--output", default=None,
+                        help="where to write the JSON report (default "
+                             "BENCH_store.json, or BENCH_analyze.json "
+                             "with --analyze)")
     parser.add_argument("--check-against", metavar="FILE", default=None,
                         help="committed baseline to gate against")
     parser.add_argument("--threshold", type=float, default=0.30,
                         help="allowed events/sec regression vs the "
                              "baseline (default 0.30)")
     args = parser.parse_args(argv)
+    if args.output is None:
+        args.output = (
+            "BENCH_analyze.json" if args.analyze else "BENCH_store.json"
+        )
+
+    if args.analyze:
+        return _main_analyze(args)
 
     report = measure_store(quick=args.quick)
     with open(args.output, "w", encoding="utf-8") as stream:
@@ -255,6 +444,42 @@ def main(argv: Optional[Sequence[str]] = None) -> None:
         print(f"no regression vs {args.check_against} "
               f"(threshold {args.threshold:.0%}; floors "
               f"{SIZE_RATIO_FLOOR}x size, {DECODE_SPEEDUP_FLOOR}x decode)")
+
+
+def _main_analyze(args) -> None:
+    """The ``--analyze`` lane: measure, print, gate, write."""
+    report = measure_analyze(quick=args.quick)
+    with open(args.output, "w", encoding="utf-8") as stream:
+        json.dump(report, stream, indent=2, sort_keys=True)
+        stream.write("\n")
+
+    for shape in ("sparse", "dense"):
+        entry = report[shape]
+        print(f"{shape:6s} : ff-on "
+              f"{entry['ff_on']['events_per_sec']:>12,.0f} ev/s | "
+              f"ff-off {entry['ff_off']['events_per_sec']:>12,.0f} ev/s "
+              f"({entry['speedup']}x, "
+              f"{entry['blocks_fast_forwarded']}/{entry['blocks']} "
+              f"blocks folded)")
+    print(f"wrote {args.output}")
+
+    problems = check_analyze_floors(report)
+    if args.check_against:
+        with open(args.check_against, encoding="utf-8") as stream:
+            baseline = json.load(stream)
+        problems.extend(compare_analyze_to_baseline(
+            report, baseline, threshold=args.threshold
+        ))
+    if problems:
+        print("ANALYZE BENCH FAILURE:", file=sys.stderr)
+        for line in problems:
+            print(f"  {line}", file=sys.stderr)
+        raise SystemExit(1)
+    if args.check_against:
+        print(f"no regression vs {args.check_against} "
+              f"(threshold {args.threshold:.0%}; floors "
+              f"{ANALYZE_SPARSE_FLOOR}x sparse, "
+              f"{ANALYZE_DENSE_RATIO_FLOOR} dense ratio)")
 
 
 if __name__ == "__main__":

@@ -52,7 +52,12 @@ MAGIC = b"VTRC"
 #: Trailing footer magic; the last eight bytes of a *complete* file.
 END_MAGIC = b"VTRCIDX\x00"
 #: Current format version (header byte); readers reject others.
-VERSION = 1
+#: v1: blocks + [comp_len, op_count, crc] index.  v2: identical block
+#: frames and index prefix, plus per-block summary records appended to
+#: the index (see ``repro.store.summary`` and ``docs/traces.md``).
+VERSION = 2
+#: Every version this build can read.
+SUPPORTED_VERSIONS = frozenset({1, 2})
 
 #: Header layout: magic, version u8, flags u8, reserved u16,
 #: nominal ops-per-block u32.
@@ -101,12 +106,12 @@ class CorruptBlock(StoreError):
         self.byte_offset = byte_offset
 
 
-def pack_header(block_ops: int) -> bytes:
-    return _HEADER.pack(MAGIC, VERSION, 0, 0, block_ops)
+def pack_header(block_ops: int, version: int = VERSION) -> bytes:
+    return _HEADER.pack(MAGIC, version, 0, 0, block_ops)
 
 
-def parse_header(raw: bytes) -> int:
-    """Validate a header; returns the nominal block size."""
+def parse_header(raw: bytes) -> tuple[int, int]:
+    """Validate a header; returns (format version, nominal block size)."""
     if len(raw) < HEADER_SIZE:
         raise StoreFormatError(
             f"file too short for a packed-trace header "
@@ -118,14 +123,15 @@ def parse_header(raw: bytes) -> int:
             f"bad magic {magic!r} (expected {MAGIC!r}): "
             f"not a packed trace"
         )
-    if version != VERSION:
+    if version not in SUPPORTED_VERSIONS:
+        supported = ", ".join(str(v) for v in sorted(SUPPORTED_VERSIONS))
         raise StoreFormatError(
             f"packed-trace version {version} not supported "
-            f"(this build reads version {VERSION})"
+            f"(this build reads versions {supported})"
         )
     if block_ops < 1:
         raise StoreFormatError(f"bad block size {block_ops}")
-    return block_ops
+    return version, block_ops
 
 
 def pack_frame(comp_len: int, crc: int) -> bytes:

@@ -40,6 +40,7 @@ from repro.resilience.quarantine import (
     StreamFault,
 )
 from repro.store.codec import decode_block
+from repro.store.summary import BlockSummary, decode_summary, summarize_ops
 from repro.store.format import (
     FOOTER_SIZE,
     FRAME_SIZE,
@@ -93,10 +94,13 @@ class StoreInfo:
     blocks: int
     ops: int
     payload_bytes: int
+    version: int = 1
 
     def render(self) -> str:
         lines = [
             f"packed trace: {self.path or '<stream>'}",
+            f"  format     : VTRC v{self.version}"
+            + (" (per-block summaries)" if self.version >= 2 else ""),
             f"  operations : {self.ops}",
             f"  blocks     : {self.blocks} "
             f"(nominal {self.block_ops} ops/block)",
@@ -139,7 +143,7 @@ class PackedTraceReader:
     def _load_layout(self) -> None:
         stream = self._stream
         header = stream.read(HEADER_SIZE)
-        self.block_ops = parse_header(header)
+        self.version, self.block_ops = parse_header(header)
         stream.seek(0, os.SEEK_END)
         self.file_bytes = stream.tell()
         if self.file_bytes < HEADER_SIZE + FOOTER_SIZE:
@@ -187,6 +191,29 @@ class PackedTraceReader:
             ))
             offset += FRAME_SIZE + comp_len
             first_seq += op_count
+        summaries: list[Optional[BlockSummary]] = [None] * n_blocks
+        if self.version >= 2:
+            # Summaries trail the v1-shaped triplets: interned target
+            # names, then one record per block (repro.store.summary).
+            try:
+                n_strings, pos = read_varint(index_bytes, pos)
+                strings: list[str] = []
+                for _ in range(n_strings):
+                    length, pos = read_varint(index_bytes, pos)
+                    end = pos + length
+                    if end > len(index_bytes):
+                        raise StoreError("string table overruns the index")
+                    strings.append(index_bytes[pos:end].decode("utf-8"))
+                    pos = end
+                for number in range(n_blocks):
+                    summaries[number], pos = decode_summary(
+                        index_bytes, pos, strings, number,
+                        blocks[number].first_seq, blocks[number].op_count,
+                    )
+            except (StoreError, UnicodeDecodeError) as exc:
+                raise StoreFormatError(
+                    f"{self._name}: malformed block summaries: {exc}"
+                ) from exc
         if pos != len(index_bytes):
             raise StoreFormatError(
                 f"{self._name}: {len(index_bytes) - pos} stray bytes in "
@@ -204,6 +231,9 @@ class PackedTraceReader:
             )
         self.blocks: list[BlockInfo] = blocks
         self.total_ops = total_ops
+        #: Per-block summaries: parsed from the index for v2 files,
+        #: reconstructed (and cached) on demand for v1.
+        self._summaries = summaries
         #: Cumulative first_seq list for bisect-based seeks.
         self._starts = [block.first_seq for block in blocks]
 
@@ -255,6 +285,27 @@ class PackedTraceReader:
             )
         return ops
 
+    def block_summary(
+        self, block: Union[int, BlockInfo], reconstruct: bool = False
+    ) -> Optional[BlockSummary]:
+        """The stored summary of one block.
+
+        For v2 files this is free (parsed from the index on open).
+        For v1 files it is ``None`` unless ``reconstruct`` is set, in
+        which case the block is decoded once and the summary computed
+        with the same :func:`~repro.store.summary.summarize_ops` the
+        v2 writer uses, then cached.
+        """
+        number = block if isinstance(block, int) else block.number
+        summary = self._summaries[number]
+        if summary is None and reconstruct:
+            info = self.blocks[number]
+            summary = summarize_ops(
+                self.decode_block(info), info.first_seq, number=number
+            )
+            self._summaries[number] = summary
+        return summary
+
     def iter_blocks(self) -> Iterator[tuple[BlockInfo, list[Operation]]]:
         """Yield every (index entry, decoded operations) pair in order."""
         for info in self.blocks:
@@ -303,6 +354,7 @@ class PackedTraceReader:
             blocks=len(self.blocks),
             ops=self.total_ops,
             payload_bytes=sum(block.comp_len for block in self.blocks),
+            version=self.version,
         )
 
     # ------------------------------------------------------------ plumbing

@@ -9,9 +9,10 @@ JSONL, and DSL recordings through one detector:
 * a file whose first non-whitespace byte is ``{`` is JSONL (every
   record the serializer has ever written is a JSON object);
 * a file whose first token matches the DSL's ``tid:kind`` shape is
-  DSL text; an empty file is an empty DSL trace;
-* anything else raises :class:`UnknownTraceFormat` — a renamed
-  database file must fail loudly, not parse as a zero-op trace.
+  DSL text;
+* anything else — including an empty or whitespace-only file — raises
+  :class:`UnknownTraceFormat`: a renamed database file or a truncated
+  copy must fail loudly, not parse as a zero-op trace.
 """
 
 from __future__ import annotations
@@ -48,8 +49,14 @@ def sniff_bytes(prefix: bytes) -> str:
         return FORMAT_PACKED
     stripped = prefix.lstrip(b" \t\r\n;")
     if not stripped and not prefix.strip(b" \t\r\n;"):
-        # Entirely whitespace (or empty): a legal, empty DSL trace.
-        return FORMAT_DSL
+        # An empty (or whitespace-only) file carries no format
+        # evidence at all.  Treating it as an empty trace once hid a
+        # truncated-to-zero recording behind a clean "no warnings".
+        raise UnknownTraceFormat(
+            "empty file: no trace content to sniff (an intentionally "
+            "empty recording must still carry its format, e.g. a "
+            "packed header or a JSONL/DSL comment line)"
+        )
     if stripped.startswith(b"{"):
         return FORMAT_JSONL
     if _DSL_TOKEN.match(stripped):

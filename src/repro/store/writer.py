@@ -20,12 +20,15 @@ from repro.events.operations import Operation
 from repro.store.codec import encode_block
 from repro.store.format import (
     DEFAULT_BLOCK_OPS,
+    SUPPORTED_VERSIONS,
+    VERSION,
     StoreError,
     pack_footer,
     pack_frame,
     pack_header,
     write_varint,
 )
+from repro.store.summary import BlockSummary, encode_summary, summarize_ops
 
 PathLike = Union[str, Path]
 
@@ -41,6 +44,10 @@ class PackedTraceWriter:
         block_ops: nominal operations per block.  Small blocks seek
             finer but compress worse; the default suits both.
         compress_level: zlib level (1 fastest .. 9 smallest).
+        version: on-disk format version.  The default (v2) stores a
+            per-block :class:`~repro.store.summary.BlockSummary` in
+            the trailing index; pass 1 to write the summary-free v1
+            layout older readers expect.
     """
 
     def __init__(
@@ -48,9 +55,12 @@ class PackedTraceWriter:
         destination: Union[PathLike, BinaryIO],
         block_ops: int = DEFAULT_BLOCK_OPS,
         compress_level: int = 6,
+        version: int = VERSION,
     ):
         if block_ops < 1:
             raise StoreError("block_ops must be >= 1")
+        if version not in SUPPORTED_VERSIONS:
+            raise StoreError(f"cannot write packed-trace version {version}")
         if isinstance(destination, (str, Path)):
             self._stream: BinaryIO = open(destination, "wb")
             self._owns_stream = True
@@ -59,13 +69,16 @@ class PackedTraceWriter:
             self._owns_stream = False
         self.block_ops = block_ops
         self.compress_level = compress_level
+        self.version = version
         self.ops_written = 0
         self.blocks_written = 0
         self._pending: list[Operation] = []
         #: Per-block [comp_len, op_count, crc] index entries.
         self._index: list[tuple[int, int, int]] = []
+        #: Per-block summaries (v2 only), in block order.
+        self._summaries: list[BlockSummary] = []
         self._closed = False
-        self._stream.write(pack_header(block_ops))
+        self._stream.write(pack_header(block_ops, version=version))
 
     # ------------------------------------------------------------- writing
     def write(self, op: Operation) -> None:
@@ -94,6 +107,10 @@ class PackedTraceWriter:
         self._stream.write(pack_frame(len(comp), crc))
         self._stream.write(comp)
         self._index.append((len(comp), len(self._pending), crc))
+        if self.version >= 2:
+            self._summaries.append(summarize_ops(
+                self._pending, first_seq, number=self.blocks_written
+            ))
         self.ops_written += len(self._pending)
         self.blocks_written += 1
         self._pending.clear()
@@ -110,6 +127,28 @@ class PackedTraceWriter:
             write_varint(index, comp_len)
             write_varint(index, op_count)
             index += crc.to_bytes(4, "little")
+        if self.version >= 2:
+            # v2 appends summaries after the v1-shaped triplets: a
+            # file-level interned table of target names, then one
+            # record per block.  The footer's index CRC covers it all.
+            strings: dict[str, int] = {}
+
+            def intern(name: str) -> int:
+                ref = strings.get(name)
+                if ref is None:
+                    ref = len(strings) + 1
+                    strings[name] = ref
+                return ref
+
+            records = bytearray()
+            for summary in self._summaries:
+                encode_summary(records, summary, intern)
+            write_varint(index, len(strings))
+            for name in strings:  # insertion order == ref order
+                raw = name.encode("utf-8")
+                write_varint(index, len(raw))
+                index += raw
+            index += records
         index_bytes = bytes(index)
         self._stream.write(index_bytes)
         self._stream.write(pack_footer(
@@ -139,9 +178,11 @@ def save_packed(
     path: PathLike,
     block_ops: int = DEFAULT_BLOCK_OPS,
     compress_level: int = 6,
+    version: int = VERSION,
 ) -> int:
     """Write ``ops`` to ``path`` as a packed trace; returns the count."""
     with PackedTraceWriter(
-        path, block_ops=block_ops, compress_level=compress_level
+        path, block_ops=block_ops, compress_level=compress_level,
+        version=version,
     ) as writer:
         return writer.write_all(ops)

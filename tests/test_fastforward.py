@@ -1,0 +1,471 @@
+"""Tests for block-summary fast-forwarding (VTRC v2 summaries).
+
+The fast path has one correctness contract: a backend that accepts a
+block's :class:`~repro.store.summary.BlockSummary` must land in a
+state *bit-identical* to an op-by-op replay of that block — not merely
+the same verdict.  These tests pin that contract at every layer:
+
+* the summary record itself (histogram order, fold-machine offsets,
+  v2 stored == v1 reconstructed);
+* the backend folds (L0 and vacuous regimes, optimized and compact);
+* the pipeline block path (metrics, decode-once, op/block identity);
+* the supervised runtime (checkpoint meta, resume identity);
+* the fuzz equivalence gate itself.
+
+State identity is asserted through
+:func:`~repro.resilience.snapshot.capture_backend`, the same
+full-state capture checkpointing trusts.
+"""
+
+import json
+
+import pytest
+
+from repro.core.backend import AnalysisBackend
+from repro.core.basic import VelodromeBasic
+from repro.core.compact import VelodromeCompact
+from repro.core.optimized import VelodromeOptimized
+from repro.baselines.empty import EmptyAnalysis
+from repro.events.operations import (
+    OpKind,
+    acquire,
+    begin,
+    end,
+    read,
+    release,
+    write,
+)
+from repro.pipeline.core import _HISTOGRAM_KINDS, Pipeline
+from repro.pipeline.source import PackedTraceSource, TraceSource
+from repro.resilience import SupervisedChecker
+from repro.resilience.snapshot import capture_backend, read_snapshot
+from repro.store import (
+    HISTOGRAM_KINDS,
+    PackedTraceReader,
+    save_packed,
+    summarize_ops,
+)
+from repro.store.codec import KIND_CODES
+
+
+def digest(backend):
+    """Canonical full-state fingerprint of a backend."""
+    return json.dumps(capture_backend(backend), sort_keys=True)
+
+
+def foldable_trace():
+    """One thread, outside transactions: every block can fold."""
+    ops = []
+    for i in range(64):
+        ops.append(acquire(1, "m"))
+        ops.append(read(1, f"x{i % 5}", i))
+        ops.append(write(1, f"x{i % 5}", i + 1))
+        ops.append(write(1, f"fresh{i}", i))
+        ops.append(release(1, "m"))
+    return ops
+
+
+def mixed_trace():
+    """Two threads with transactions: some blocks fold, some don't."""
+    ops = []
+    for i in range(40):
+        ops.append(read(1, f"a{i % 3}", i))
+        ops.append(write(1, f"a{i % 3}", i))
+    ops.append(begin(2, "txn"))
+    ops.append(write(2, "shared", 1))
+    ops.append(end(2))
+    for i in range(40):
+        ops.append(acquire(1, "l"))
+        ops.append(write(1, "shared", i))
+        ops.append(release(1, "l"))
+    return ops
+
+
+# --------------------------------------------------------------- alignment
+
+
+class TestKindOrder:
+    """The three copies of the histogram slot order must agree."""
+
+    def test_histogram_matches_wire_codes(self):
+        for slot, kind in enumerate(HISTOGRAM_KINDS):
+            assert KIND_CODES[kind] == slot
+
+    def test_pipeline_local_copy_matches(self):
+        assert tuple(_HISTOGRAM_KINDS) == tuple(HISTOGRAM_KINDS)
+
+    def test_all_kinds_covered(self):
+        assert set(HISTOGRAM_KINDS) == set(OpKind)
+
+
+# --------------------------------------------------------------- summaries
+
+
+class TestSummarizeOps:
+    def test_histogram_and_tids(self):
+        ops = [
+            begin(1, "m"), read(1, "x", 0), write(2, "x", 1),
+            acquire(1, "l"), release(1, "l"), end(1),
+            read(3, "y", 2),
+        ]
+        s = summarize_ops(ops, first_seq=10, number=3)
+        assert s.number == 3
+        assert s.first_seq == 10
+        assert s.last_seq == 16
+        assert s.op_count == 7
+        assert s.tids == (1, 2, 3)
+        assert s.histogram == (2, 1, 1, 1, 1, 1)
+        assert s.reads == 2 and s.writes == 1
+        assert not s.foldable  # multi-tid, has begin/end
+
+    def test_footprint_first_touch_order(self):
+        ops = [read(1, "b", 0), write(1, "a", 1), acquire(1, "l")]
+        s = summarize_ops(ops, first_seq=0)
+        assert [t.name for t in s.targets] == ["b", "a", "l"]
+        assert s.variables == ("b", "a")
+        assert s.locks == ("l",)
+
+    def test_fold_machine_offsets(self):
+        # Hand-computed: release bumps k, a write jumps k back to the
+        # variable's latest in-block read, reads/acquires hold k.
+        ops = [
+            read(1, "x", 0),       # k=0, x.read_k=0
+            release(1, "m"),       # k=1
+            release(1, "m"),       # k=2
+            write(1, "x", 1),      # jumps back: k=x.read_k=0
+            write(1, "y", 2),      # first-access write: pre_k=0, k=0
+            release(1, "m"),       # k=1
+            write(1, "y", 3),      # jumps to y.write_k=0
+        ]
+        s = summarize_ops(ops, first_seq=0)
+        assert s.foldable
+        assert s.last_k == 0
+        assert s.max_k == 2
+        by_name = {t.name: t for t in s.targets}
+        x, y, m = by_name["x"], by_name["y"], by_name["m"]
+        assert x.read_k == 0 and x.write_k == 0
+        assert not x.first_access_write
+        assert y.first_access_write
+        assert y.write_pre_k == 0 and y.write_k == 0
+        assert m.release_k == 1  # last release's k
+        assert m.first_release == 1
+
+    def test_empty_block_not_foldable(self):
+        assert not summarize_ops([], first_seq=0).foldable
+
+
+class TestStoredVsReconstructed:
+    """A v2 file's stored summaries == a v1 file's lazy reconstruction."""
+
+    @pytest.mark.parametrize("make", [foldable_trace, mixed_trace])
+    def test_equal_per_block(self, tmp_path, make):
+        ops = make()
+        v1 = tmp_path / "t.v1.vtrc"
+        v2 = tmp_path / "t.v2.vtrc"
+        save_packed(ops, v1, block_ops=16, version=1)
+        save_packed(ops, v2, block_ops=16, version=2)
+        with PackedTraceReader(v1) as r1, PackedTraceReader(v2) as r2:
+            assert r1.info().version == 1
+            assert r2.info().version == 2
+            assert len(r1.blocks) == len(r2.blocks)
+            for info in r2.blocks:
+                stored = r2.block_summary(info.number)
+                lazy = r1.block_summary(info.number, reconstruct=True)
+                assert stored == lazy
+
+    def test_v1_summary_is_none_without_reconstruct(self, tmp_path):
+        path = tmp_path / "t.vtrc"
+        save_packed(foldable_trace(), path, block_ops=16, version=1)
+        with PackedTraceReader(path) as reader:
+            assert reader.block_summary(0) is None
+            assert reader.block_summary(0, reconstruct=True) is not None
+
+
+# ----------------------------------------------------------- backend folds
+
+
+BACKENDS = [
+    ("optimized", lambda: VelodromeOptimized()),
+    ("optimized-nogc", lambda: VelodromeOptimized(collect_garbage=False)),
+    ("compact", lambda: VelodromeCompact()),
+]
+
+
+class TestApplyBlockSummary:
+    @pytest.mark.parametrize("name,factory", BACKENDS)
+    @pytest.mark.parametrize("make", [foldable_trace, mixed_trace])
+    @pytest.mark.parametrize("block_ops", [4, 16])
+    def test_state_identity(self, name, factory, make, block_ops):
+        """Fold path == op path, block by block, full state."""
+        ops = make()
+        op_backend = factory()
+        fold_backend = factory()
+        position = 0
+        folded = 0
+        while position < len(ops):
+            block = ops[position:position + block_ops]
+            summary = summarize_ops(block, first_seq=position)
+            for op in block:
+                op_backend.process(op)
+            if fold_backend.apply_block_summary(summary):
+                folded += 1
+            else:
+                for op in block:
+                    fold_backend.process(op)
+            position += len(block)
+            assert digest(op_backend) == digest(fold_backend), \
+                f"{name} diverged at block ending {position}"
+        op_backend.finish()
+        fold_backend.finish()
+        assert op_backend.error_detected == fold_backend.error_detected
+        assert (
+            [str(w) for w in op_backend.warnings]
+            == [str(w) for w in fold_backend.warnings]
+        )
+        assert op_backend.events_processed == fold_backend.events_processed
+
+    @pytest.mark.parametrize("name,factory", BACKENDS)
+    def test_some_blocks_actually_fold(self, name, factory):
+        ops = foldable_trace()
+        backend = factory()
+        folded = 0
+        for start in range(0, len(ops), 16):
+            block = ops[start:start + 16]
+            if backend.apply_block_summary(
+                summarize_ops(block, first_seq=start)
+            ):
+                folded += 1
+            else:
+                for op in block:
+                    backend.process(op)
+        assert folded > 0, f"{name} never fast-forwarded"
+
+    def test_unfoldable_summary_declined(self):
+        summary = summarize_ops([begin(1, "m"), end(1)], first_seq=0)
+        assert not VelodromeOptimized().apply_block_summary(summary)
+
+    def test_base_class_declines(self):
+        class Plain(AnalysisBackend):
+            def _process(self, op, position):
+                pass
+
+        summary = summarize_ops(foldable_trace()[:8], first_seq=0)
+        assert not Plain().apply_block_summary(summary)
+
+    def test_basic_declines(self):
+        summary = summarize_ops(foldable_trace()[:8], first_seq=0)
+        assert not VelodromeBasic().apply_block_summary(summary)
+
+    def test_empty_baseline_accepts_and_advances(self):
+        backend = EmptyAnalysis()
+        summary = summarize_ops(foldable_trace()[:8], first_seq=0)
+        assert backend.apply_block_summary(summary)
+        assert backend.events_processed == 8
+
+
+# ------------------------------------------------------------ pipeline path
+
+
+class TestPipelineBlockPath:
+    def test_block_vs_op_state_identity(self, tmp_path):
+        ops = foldable_trace()
+        path = tmp_path / "t.vtrc"
+        save_packed(ops, path, block_ops=16)
+
+        op_backend = VelodromeOptimized()
+        Pipeline([op_backend]).run(TraceSource(ops))
+
+        block_backend = VelodromeOptimized()
+        pipeline = Pipeline([block_backend])
+        pipeline.run(PackedTraceSource(path))
+
+        assert digest(op_backend) == digest(block_backend)
+        metrics = pipeline.metrics()
+        assert metrics.blocks_in == len(ops) // 16
+        assert metrics.blocks_fast_forwarded > 0
+        assert (
+            metrics.blocks_decoded + metrics.blocks_fast_forwarded
+            == metrics.blocks_in
+        )
+        assert metrics.events_in == len(ops)
+        ff = [b.events_fast_forwarded for b in metrics.backends]
+        assert sum(ff) == metrics.blocks_fast_forwarded * 16
+
+    def test_decode_runs_at_most_once(self, tmp_path):
+        # Two declining backends must share one decode.
+        ops = mixed_trace()
+        path = tmp_path / "t.vtrc"
+        save_packed(ops, path, block_ops=16)
+        decodes = 0
+
+        class Counting(PackedTraceReader):
+            def decode_block(self, block):
+                nonlocal decodes
+                decodes += 1
+                return super().decode_block(block)
+
+        pipeline = Pipeline([VelodromeBasic(), VelodromeBasic()])
+        with Counting(path) as reader:
+            n_blocks = len(reader.blocks)
+            for info in reader.blocks:
+                pipeline.process_block(
+                    reader.block_summary(info.number),
+                    lambda r=reader, b=info: r.decode_block(b),
+                )
+        pipeline.finish()
+        assert decodes == n_blocks  # once per block, not per backend
+
+    def test_stats_render_has_blocks_line(self, tmp_path):
+        ops = foldable_trace()
+        path = tmp_path / "t.vtrc"
+        save_packed(ops, path, block_ops=16)
+        pipeline = Pipeline([VelodromeOptimized()], stats=True)
+        pipeline.run(PackedTraceSource(path))
+        rendered = pipeline.metrics().render()
+        assert "blocks: in=" in rendered
+        assert "fast-forwarded=" in rendered
+
+    def test_stages_force_op_path(self, tmp_path):
+        from repro.pipeline.stages import Stage
+
+        class Passthrough(Stage):
+            name = "passthrough"
+
+        ops = foldable_trace()
+        path = tmp_path / "t.vtrc"
+        save_packed(ops, path, block_ops=16)
+        pipeline = Pipeline([VelodromeOptimized()], stages=[Passthrough()])
+        pipeline.run(PackedTraceSource(path))
+        assert pipeline.blocks_in == 0
+        assert pipeline.events_in == len(ops)
+
+
+class TestPackedTraceSource:
+    def test_run_vs_run_blocks_identity(self, tmp_path):
+        ops = mixed_trace()
+        path = tmp_path / "t.vtrc"
+        save_packed(ops, path, block_ops=16)
+        a = VelodromeOptimized()
+        Pipeline([a]).run(PackedTraceSource(path))
+        b = VelodromeOptimized()
+        source = PackedTraceSource(path)
+        pipeline = Pipeline([b])
+        source.run(pipeline.process)
+        pipeline.finish()
+        assert digest(a) == digest(b)
+
+    def test_start_seq_mid_block_is_summaryless(self, tmp_path):
+        ops = foldable_trace()
+        path = tmp_path / "t.vtrc"
+        save_packed(ops, path, block_ops=16)
+        start = 21  # inside block 1
+        seen = []
+        summaries = []
+
+        def sink(summary, decode):
+            summaries.append(summary)
+            seen.extend(decode())
+
+        result = PackedTraceSource(path, start_seq=start).run_blocks(sink)
+        assert seen == ops[start:]
+        assert result.events == len(ops) - start
+        assert summaries[0] is None  # the partial block
+        assert all(s is not None for s in summaries[1:])
+
+    def test_start_seq_past_end(self, tmp_path):
+        ops = foldable_trace()
+        path = tmp_path / "t.vtrc"
+        save_packed(ops, path, block_ops=16)
+        result = PackedTraceSource(path, start_seq=len(ops)).run_blocks(
+            lambda summary, decode: pytest.fail("no blocks expected")
+        )
+        assert result.events == 0
+
+    def test_prefetch_jobs_identity(self, tmp_path):
+        ops = foldable_trace() * 4  # enough blocks to shard
+        path = tmp_path / "t.vtrc"
+        save_packed(ops, path, block_ops=16)
+        serial = VelodromeOptimized()
+        Pipeline([serial]).run(PackedTraceSource(path, jobs=1))
+        sharded = VelodromeOptimized()
+        Pipeline([sharded]).run(PackedTraceSource(path, jobs=2))
+        assert digest(serial) == digest(sharded)
+
+
+# ----------------------------------------------------------- supervised path
+
+
+class TestSupervisedFastForward:
+    def test_block_path_state_identity(self, tmp_path):
+        ops = foldable_trace()
+        path = tmp_path / "t.vtrc"
+        save_packed(ops, path, block_ops=16)
+        op_checker = SupervisedChecker([VelodromeOptimized()])
+        op_checker.run(TraceSource(ops))
+        block_checker = SupervisedChecker([VelodromeOptimized()])
+        block_checker.run(PackedTraceSource(path))
+        assert op_checker.position == block_checker.position == len(ops)
+        assert (
+            digest(op_checker.backends[0])
+            == digest(block_checker.backends[0])
+        )
+
+    def test_checkpoint_meta_records_ff_ranges(self, tmp_path):
+        ops = foldable_trace()
+        path = tmp_path / "t.vtrc"
+        ckpt = tmp_path / "ckpt.json"
+        save_packed(ops, path, block_ops=16)
+        checker = SupervisedChecker(
+            [VelodromeOptimized()],
+            checkpoint_every=64,
+            checkpoint_path=ckpt,
+        )
+        checker.run(PackedTraceSource(path))
+        checker.checkpoint()
+        snapshot = read_snapshot(ckpt)
+        spans = snapshot.meta["fast_forwarded_blocks"]
+        assert spans, "no fast-forwarded spans recorded"
+        for first, last in spans:
+            assert 0 <= first <= last < len(ops)
+            # Spans are block-aligned on both edges.
+            assert first % 16 == 0
+            assert (last + 1) % 16 == 0
+
+    def test_resume_after_fast_forward(self, tmp_path):
+        ops = foldable_trace()
+        path = tmp_path / "t.vtrc"
+        ckpt = tmp_path / "ckpt.json"
+        save_packed(ops, path, block_ops=16)
+
+        uninterrupted = SupervisedChecker([VelodromeOptimized()])
+        uninterrupted.run(PackedTraceSource(path))
+
+        first = SupervisedChecker(
+            [VelodromeOptimized()],
+            checkpoint_every=100,
+            checkpoint_path=ckpt,
+        )
+        first.run(PackedTraceSource(path, start_seq=0))
+        # Rewind to the mid-run checkpoint and continue from there.
+        resumed = SupervisedChecker.resume(ckpt)
+        assert 0 < resumed.position < len(ops)
+        resumed.run(PackedTraceSource(path, start_seq=resumed.position))
+        assert (
+            digest(uninterrupted.backends[0])
+            == digest(resumed.backends[0])
+        )
+
+
+# ------------------------------------------------------------- the gate
+
+
+class TestGate:
+    def test_gate_trace_clean(self):
+        from repro.fuzz.ffgate import gate_trace
+        from repro.fuzz.grid import default_grid
+
+        divergences, folded = gate_trace(
+            foldable_trace(), "test", default_grid(), block_ops=16
+        )
+        assert divergences == []
+        assert folded > 0

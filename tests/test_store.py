@@ -166,6 +166,21 @@ class TestSeeking:
         path, ops = packed
         with PackedTraceReader(path) as reader:
             assert list(reader.seek(len(ops))) == []
+            assert list(reader.seek(len(ops) + 1000)) == []
+
+    def test_seek_every_block_boundary(self, packed):
+        # The exact edges the block index bisects on: the first seq of
+        # each block and the last seq of the block before it.
+        path, ops = packed
+        with PackedTraceReader(path) as reader:
+            for info in reader.blocks:
+                assert list(reader.seek(info.first_seq)) == \
+                    ops[info.first_seq:], f"block {info.number} first seq"
+                if info.number:
+                    previous_last = info.first_seq - 1
+                    assert list(reader.seek(previous_last)) == \
+                        ops[previous_last:], \
+                        f"block {info.number - 1} last seq"
 
     def test_seek_negative_raises(self, packed):
         path, _ops = packed
@@ -213,8 +228,14 @@ class TestSniffing:
 
     def test_dsl(self):
         assert sniff_bytes(b"1:begin(m1) 1:wr(x)") == FORMAT_DSL
-        assert sniff_bytes(b"") == FORMAT_DSL
-        assert sniff_bytes(b"  \n\t") == FORMAT_DSL
+
+    def test_empty_file_raises(self):
+        # A zero-byte (or whitespace-only) file carries no format
+        # evidence; it must fail loudly, not sniff as an empty trace.
+        for prefix in (b"", b"  \n\t"):
+            with pytest.raises(UnknownTraceFormat) as excinfo:
+                sniff_bytes(prefix)
+            assert "empty file" in str(excinfo.value)
 
     def test_unknown_raises_with_leading_bytes(self):
         with pytest.raises(UnknownTraceFormat) as excinfo:
