@@ -1,0 +1,84 @@
+"""Backend head-to-head benchmarks: ``repro bench backends`` under pytest.
+
+Exercises the :mod:`repro.core.bench` harness end to end in its quick
+(CI smoke) shape: per-workload events/sec for the graph checker
+(:class:`~repro.core.optimized.VelodromeOptimized`) versus the
+vector-clock checker (:class:`~repro.core.aerodrome.AeroDrome`) over
+identical recorded traces, verdict/first-warning agreement (a
+disagreement aborts the measurement rather than averaging away), JSON
+report emission, and the regression gate against the committed
+baseline.
+
+The committed ``benchmarks/baseline/BENCH_backends.json`` records the
+events/sec this container measured at commit time; the gate tolerates
+30% in CI (hardware and load vary; 50% here because the quick shape
+runs at half scale).
+
+Run with ``pytest benchmarks/bench_backends.py``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.core.bench import compare_to_baseline, main, run_bench
+from repro.workloads import names
+
+BASELINE = Path(__file__).parent / "baseline" / "BENCH_backends.json"
+
+
+@pytest.fixture(scope="module")
+def quick_report() -> dict:
+    return run_bench(quick=True)
+
+
+def test_report_shape(quick_report):
+    assert quick_report["schema"] == 1
+    assert set(quick_report["workloads"]) == set(names())
+    for entry in quick_report["workloads"].values():
+        assert entry["events"] > 0
+        for backend in ("velodrome", "aerodrome"):
+            assert entry[backend]["events_per_sec"] > 0
+        assert entry["speedup"] > 0
+        assert isinstance(entry["error_detected"], bool)
+    total = quick_report["total"]
+    assert total["events"] == sum(
+        entry["events"] for entry in quick_report["workloads"].values()
+    )
+    assert total["speedup"] > 0
+
+
+def test_vector_clocks_not_slower_overall(quick_report):
+    # The deliverable: the linear-time clock analysis must at least
+    # hold its own against the graph checker on the paper lineup.
+    assert quick_report["total"]["speedup"] >= 1.0
+
+
+def test_cli_writes_report(tmp_path):
+    output = tmp_path / "BENCH_backends.json"
+    main(["--quick", "--scale", "0.25", "--repeats", "1",
+          "--output", str(output)])
+    report = json.loads(output.read_text())
+    assert report["scale"] == 0.25
+    assert set(report["workloads"]) == set(names())
+
+
+def test_gate_against_committed_baseline(quick_report):
+    baseline = json.loads(BASELINE.read_text())
+    regressions = compare_to_baseline(
+        quick_report, baseline, threshold=0.50
+    )
+    assert regressions == [], regressions
+
+
+def test_gate_flags_synthetic_regression(quick_report):
+    slowed = json.loads(json.dumps(quick_report))
+    entry = slowed["workloads"]["tsp"]["aerodrome"]
+    entry["events_per_sec"] = entry["events_per_sec"] / 10
+    regressions = compare_to_baseline(
+        slowed, json.loads(BASELINE.read_text()), threshold=0.30
+    )
+    assert any("tsp.aerodrome" in line for line in regressions)

@@ -18,45 +18,14 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.core.backend import AnalysisBackend
+from repro.core.clocks import VectorClock
 from repro.core.reports import race_warning
 from repro.events.operations import Operation, OpKind
 
-
-class VectorClock:
-    """A mapping from thread ids to logical clocks (sparse)."""
-
-    __slots__ = ("_clocks",)
-
-    def __init__(self, clocks: Optional[dict[int, int]] = None):
-        self._clocks: dict[int, int] = dict(clocks) if clocks else {}
-
-    def get(self, tid: int) -> int:
-        """The component for thread ``tid`` (0 when absent)."""
-        return self._clocks.get(tid, 0)
-
-    def tick(self, tid: int) -> None:
-        """Increment thread ``tid``'s component."""
-        self._clocks[tid] = self._clocks.get(tid, 0) + 1
-
-    def join(self, other: "VectorClock") -> None:
-        """Pointwise maximum, in place."""
-        for tid, clock in other._clocks.items():
-            if clock > self._clocks.get(tid, 0):
-                self._clocks[tid] = clock
-
-    def copy(self) -> "VectorClock":
-        return VectorClock(self._clocks)
-
-    def dominates(self, other: "VectorClock") -> bool:
-        """True iff ``self >= other`` pointwise."""
-        return all(
-            self._clocks.get(tid, 0) >= clock
-            for tid, clock in other._clocks.items()
-        )
-
-    def __repr__(self) -> str:
-        inner = ", ".join(f"t{t}:{c}" for t, c in sorted(self._clocks.items()))
-        return f"VC({inner})"
+# ``VectorClock`` historically lived here; it moved to
+# ``repro.core.clocks`` when the AeroDrome backend became a second
+# consumer.  Re-exported for existing imports.
+__all__ = ["HappensBeforeRaces", "VectorClock"]
 
 
 @dataclass

@@ -69,6 +69,7 @@ from repro.core import (
     summarize_blame,
     warning_to_dot,
 )
+from repro.core.aerodrome import AeroDrome
 from repro.core.backend import AnalysisBackend
 from repro.events.render import render_with_transactions
 from repro.events.serialize import load_trace, save_trace
@@ -87,6 +88,7 @@ from repro.harness import table2 as harness_table2
 from repro.parallel import bench as parallel_bench
 from repro.pipeline import Pipeline, TraceSource
 from repro.resilience import Budgets, SupervisedChecker
+from repro.resilience.snapshot import supports as snapshot_supports
 from repro.runtime.tool import run_velodrome
 from repro.workloads import all_workloads, get
 from repro.workloads.randomgen import random_program
@@ -95,6 +97,7 @@ BACKENDS: dict[str, Callable[[], AnalysisBackend]] = {
     "velodrome": VelodromeOptimized,
     "basic": VelodromeBasic,
     "compact": VelodromeCompact,
+    "aerodrome": AeroDrome,
     "atomizer": Atomizer,
     "block-based": BlockBasedChecker,
     "eraser": EraserLockSet,
@@ -102,6 +105,23 @@ BACKENDS: dict[str, Callable[[], AnalysisBackend]] = {
     "2pl": TwoPhaseLocking,
     "lock-order": LockOrderMonitor,
 }
+
+
+def resolve_backend(name: str) -> Callable[[], AnalysisBackend]:
+    """Look up a backend factory by CLI name.
+
+    Argparse validates ``--backend`` against ``choices``, but
+    programmatic callers (the fuzz grid, scripts) hit the registry
+    directly; a bare ``KeyError`` from ``BACKENDS[name]`` names
+    neither the problem nor the alternatives.
+    """
+    try:
+        return BACKENDS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown backend {name!r}; valid backends: "
+            f"{', '.join(sorted(BACKENDS))}"
+        ) from None
 
 
 def _selected_backends(names: Optional[Sequence[str]]) -> list[str]:
@@ -181,6 +201,27 @@ def _load_check_trace(path, jobs: int = 1):
     return load_trace(path)
 
 
+def _stream_trace_tail(path, position: int):
+    """The operations of a non-packed trace from ``position`` on.
+
+    JSONL recordings stream line by line
+    (:func:`~repro.events.serialize.stream_jsonl`), so skipping the
+    prefix is O(1) memory however large the recording — resuming
+    must not cost a full materialization just to slice.  The textual
+    DSL needs whole-file parsing anyway (it is a small hand-written
+    format), so it loads eagerly and slices lazily.
+    """
+    import itertools
+
+    from repro.store.sniff import FORMAT_JSONL, sniff_path
+
+    if sniff_path(path) == FORMAT_JSONL:
+        from repro.events.serialize import stream_jsonl
+
+        return itertools.islice(stream_jsonl(path), position, None)
+    return itertools.islice(iter(load_trace(path)), position, None)
+
+
 def _packed_checkpoint_meta(path):
     """A ``checkpoint_meta`` callable for supervised runs over a
     packed trace: records the source file and the block-aligned byte
@@ -212,6 +253,16 @@ def _check_supervised(args: argparse.Namespace) -> int:
         print("error: --checkpoint-every requires --checkpoint",
               file=sys.stderr)
         return 2
+    if args.checkpoint:
+        unsupported = [
+            name for name in _selected_backends(args.backend)
+            if not snapshot_supports(resolve_backend(name)())
+        ]
+        if unsupported:
+            print(f"error: backend(s) {', '.join(unsupported)} have no "
+                  f"snapshot codec and cannot be checkpointed",
+                  file=sys.stderr)
+            return 2
     # Probe roughly once per budget's worth of events: with a tight
     # node budget the default interval (256) would never fire on a
     # short trace, leaving everything to the exhaustion handler.
@@ -260,15 +311,14 @@ def _check_supervised(args: argparse.Namespace) -> int:
                     packed_reader = PackedTraceReader(args.trace)
                     remaining = packed_reader.seek(checker.position)
                 else:
-                    remaining = iter(
-                        list(_load_check_trace(args.trace))
-                        [checker.position:]
+                    remaining = _stream_trace_tail(
+                        args.trace, checker.position
                     )
                 checker.run(TraceSource(remaining))
         else:
             names = _selected_backends(args.backend)
             checker = SupervisedChecker(
-                [BACKENDS[name]() for name in names], **options
+                [resolve_backend(name)() for name in names], **options
             )
             if fast_forward:
                 from repro.pipeline.source import PackedTraceSource
@@ -310,7 +360,7 @@ def cmd_check(args: argparse.Namespace) -> int:
     ):
         return _check_supervised(args)
     names = _selected_backends(args.backend)
-    backends = [BACKENDS[name]() for name in names]
+    backends = [resolve_backend(name)() for name in names]
     pipeline = Pipeline(backends, stats=args.stats)
     if _fast_forward_enabled(args):
         # Block-granular source: backends fast-forward summarized
@@ -729,7 +779,9 @@ def build_parser() -> argparse.ArgumentParser:
         "bench",
         help="measure serial and --jobs throughput (writes "
              "BENCH_parallel.json); 'bench store' measures the packed "
-             "trace store (writes BENCH_store.json)",
+             "trace store (writes BENCH_store.json); 'bench backends' "
+             "races the graph vs vector-clock checkers (writes "
+             "BENCH_backends.json)",
         add_help=False,
     )
     bench.set_defaults(func=None, harness_main=parallel_bench.main)

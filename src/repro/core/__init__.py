@@ -2,8 +2,10 @@
 
 from typing import Optional
 
+from repro.core.aerodrome import AeroDrome
 from repro.core.backend import AnalysisBackend
 from repro.core.basic import VelodromeBasic
+from repro.core.clocks import VectorClock
 from repro.core.compact import VelodromeCompact
 from repro.core.explain import Explanation, explain, explain_all
 from repro.core.blame import (
@@ -61,8 +63,10 @@ def velodrome_verdict(trace: Trace, **options) -> bool:
 
 
 __all__ = [
+    "AeroDrome",
     "AnalysisBackend",
     "BlameSummary",
+    "VectorClock",
     "VelodromeBasic",
     "VelodromeCompact",
     "VelodromeOptimized",

@@ -1,0 +1,378 @@
+"""AeroDrome: linear-time atomicity checking with vector clocks.
+
+Velodrome (the rest of :mod:`repro.core`) maintains the transactional
+happens-before graph explicitly and pays for cycle detection and node
+GC on the hot path.  Mathur and Viswanathan's "Atomicity Checking in
+Linear Time using Vector Clocks" shows the same sound-and-complete
+verdict — a trace is reported exactly when it is not
+conflict-serializable — is computable without any graph at all: give
+every transaction a vector clock, timestamp the last conflicting
+access of every resource, and a serialization cycle closes precisely
+when a transaction *joins a clock that already contains its own
+begin component*.  "Fast Atomicity Monitoring" (Tunç et al.) sharpens
+the per-event cost; this implementation borrows its spirit for the
+non-transactional fast path.
+
+The subtlety is that a transaction's clock keeps *growing* while it
+is live, and resources written earlier must observe that growth or
+completeness is lost.  Velodrome's graph gets this for free (edges
+point at nodes, and nodes accumulate in-edges); a clock algorithm has
+to propagate.  We therefore keep, per transaction, a mutable clock
+**cell** rather than a snapshot:
+
+* every resource (variable read/write, lock, per-thread program
+  order) stores the *cell* of the last conflicting transaction;
+* each cell records which threads' *ongoing* transactions it
+  transitively depends on (``tracking``), and each thread keeps the
+  inverse index (``followers``) of every cell that tracks it;
+* when a live transaction's clock grows, the new clock is pushed into
+  all its followers immediately.  Follower sets are kept
+  *transitively complete* (registering a dependency flattens the
+  follower set onto the new upstream), so one level of push suffices.
+
+The violation check then needs no graph search: thread ``t`` inside a
+transaction whose begin component is ``c`` joins cell ``k`` — if
+``k.vc[t] >= c``, then ``k`` already depends on the current
+transaction while the current operation makes the current transaction
+depend on ``k``: a cycle, reported at exactly this operation.  This
+matches :func:`repro.core.serializability.earliest_violation` (the
+first operation whose prefix is non-serializable), because the
+conflict relation here mirrors :func:`repro.events.operations.
+conflicts` slot by slot: per-variable last-write and per-thread
+last-read cells (reads clear on write), one cell per lock (*every*
+pair of same-lock operations conflicts in this model, so a lock is a
+single always-written slot), and program order via cell inheritance.
+
+Operations outside atomic blocks are unary transactions.  They can
+never close a cycle (a cycle needs an out-edge from the current
+transaction, which a single-operation transaction acquires only after
+its one operation), so they skip the check entirely; consecutive
+unary operations of a thread share one frozen carry cell, cloned only
+when a join would actually change its clock or tracking
+(invalidate-on-change), which makes single-threaded stretches O(1)
+per event with no allocation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.backend import AnalysisBackend
+from repro.core.clocks import vc_join
+from repro.core.reports import atomicity_warning
+from repro.events.operations import Operation, OpKind
+
+
+class _Cell:
+    """The mutable clock of one transaction (or unary-run carry).
+
+    Attributes:
+        vc: the transaction's vector clock, ``tid -> component``.
+        tid: owning thread.
+        start: the owning thread's begin component (the value ticked
+            at BEGIN); the violation check compares against it.  0 for
+            unary carry cells, which never check.
+        live: True while the transaction is open; live cells are the
+            push *sources* for their followers.
+        tracking: threads whose currently-ongoing transaction this
+            cell transitively depends on; the cell is registered in
+            each one's follower set and keeps absorbing its growth.
+        warned: a violation was already reported for this transaction
+            (at most one warning per transaction).
+        label: the atomic block's label, for reports.
+    """
+
+    __slots__ = ("vc", "tid", "start", "live", "tracking", "warned", "label")
+
+    def __init__(
+        self,
+        vc: dict[int, int],
+        tid: int,
+        start: int,
+        live: bool,
+        tracking: set[int],
+        label: Optional[str] = None,
+    ):
+        self.vc = vc
+        self.tid = tid
+        self.start = start
+        self.live = live
+        self.tracking = tracking
+        self.warned = False
+        self.label = label
+
+
+class _Thread:
+    """Per-thread analysis state."""
+
+    __slots__ = ("cell", "depth")
+
+    def __init__(self, cell: _Cell):
+        self.cell = cell
+        self.depth = 0  # open BEGIN nesting; > 0 means inside a block
+
+
+class AeroDrome(AnalysisBackend):
+    """The vector-clock atomicity analysis (sound and complete).
+
+    Reports a violation exactly when the trace is not
+    conflict-serializable, at the first operation whose prefix is
+    non-serializable — the same verdict and first-warning position as
+    the Velodrome graph family, in O(1) amortized clock work per event
+    instead of graph search.  At most one warning is reported per
+    transaction; warnings carry the block label but no witnessing
+    cycle (there is no graph to extract one from — use a Velodrome
+    backend with ``--explain`` for rendered cycles).
+    """
+
+    name = "AERODROME"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._threads: dict[int, _Thread] = {}
+        # Inverse dependency index: for each thread with an ongoing
+        # transaction, every cell that transitively depends on it.  An
+        # insertion-ordered dict doubles as a deterministic set.
+        self._followers: dict[int, dict[_Cell, None]] = {}
+        # Resource slots: the cell of the last conflicting access.
+        self._write: dict[str, _Cell] = {}  # var -> last write
+        self._reads: dict[str, dict[int, _Cell]] = {}  # var -> tid -> read
+        self._lock: dict[str, _Cell] = {}  # lock -> last lock op
+        self._handlers = {
+            OpKind.READ: self._read,
+            OpKind.WRITE: self._write_op,
+            OpKind.ACQUIRE: self._lock_op,
+            OpKind.RELEASE: self._lock_op,
+            OpKind.BEGIN: self._begin,
+            OpKind.END: self._end,
+        }
+
+    # ---------------------------------------------------------------- process
+    def process(self, op: Operation) -> None:
+        # Overrides the base class to fold the process -> _process call
+        # into a single frame: one dict lookup, one handler call.
+        self._handlers[op.kind](op, self.events_processed)
+        self.events_processed += 1
+
+    def _process(self, op: Operation, position: int) -> None:
+        self._handlers[op.kind](op, position)
+
+    # ------------------------------------------------------------ transactions
+    def _thread(self, tid: int) -> _Thread:
+        state = self._threads.get(tid)
+        if state is None:
+            state = _Thread(_Cell({}, tid, 0, False, set()))
+            self._threads[tid] = state
+        return state
+
+    def _begin(self, op: Operation, position: int) -> None:
+        state = self._thread(op.tid)
+        state.depth += 1
+        if state.depth > 1:
+            return  # nested blocks fold into the outermost transaction
+        prev = state.cell
+        tid = op.tid
+        vc = dict(prev.vc)
+        component = vc.get(tid, 0) + 1
+        vc[tid] = component
+        # The new transaction inherits everything its predecessor
+        # still depends on: program order makes those dependencies
+        # transitive, and the upstream transactions may still grow.
+        tracking = set(prev.tracking)
+        cell = _Cell(vc, tid, component, True, tracking, op.label)
+        for upstream in tracking:
+            self._followers.setdefault(upstream, {})[cell] = None
+        state.cell = cell
+
+    def _end(self, op: Operation, position: int) -> None:
+        state = self._thread(op.tid)
+        if state.depth == 0:
+            return  # stray END (possible on quarantined streams): ignore
+        state.depth -= 1
+        if state.depth:
+            return
+        cell = state.cell
+        cell.live = False
+        # The transaction's clock is final: release its followers.
+        followers = self._followers.pop(op.tid, None)
+        if followers:
+            for follower in followers:
+                follower.tracking.discard(op.tid)
+        # The frozen cell stays as the thread's carry: subsequent unary
+        # operations and the next BEGIN inherit from it.
+
+    # ------------------------------------------------------------ propagation
+    def _track(self, cell: _Cell, upstream: int) -> None:
+        """Record that ``cell`` depends on ``upstream``'s ongoing txn.
+
+        Flattens: everything already tracking ``cell``'s own ongoing
+        transaction transitively depends on ``upstream`` too, so it is
+        registered alongside — this keeps follower sets transitively
+        complete, which is what lets clock pushes stop at one level.
+        """
+        cell.tracking.add(upstream)
+        target = self._followers.setdefault(upstream, {})
+        target[cell] = None
+        own = self._followers.get(cell.tid)
+        if own:
+            for follower in list(own):
+                if follower.tid != upstream and upstream not in follower.tracking:
+                    follower.tracking.add(upstream)
+                    target[follower] = None
+
+    def _join(self, state: _Thread, cell: _Cell, op: Operation, position: int) -> None:
+        """Merge ``cell`` into the current transaction, checking first.
+
+        Only called with ``cell.tid != op.tid`` and the thread inside
+        a transaction; same-thread cells are dominated by program
+        order and need no merge, and unary operations go through
+        :meth:`_unary_join`.
+        """
+        cur = state.cell
+        tid = op.tid
+        if not cur.warned and cell.vc.get(tid, 0) >= cur.start:
+            # ``cell`` already depends on this very transaction, and
+            # this operation orders ``cell`` before it: a cycle.
+            cur.warned = True
+            self.report(
+                atomicity_warning(
+                    self.name,
+                    cur.label,
+                    tid,
+                    position,
+                    f"serialization cycle closed at {op}: "
+                    f"a conflicting transaction already depends on "
+                    f"this atomic block",
+                )
+            )
+        changed = vc_join(cur.vc, cell.vc)
+        if cell.live and cell.tid not in cur.tracking:
+            self._track(cur, cell.tid)
+        # Snapshot: when ``cell`` itself follows this thread, the
+        # flattening inside _track extends ``cell.tracking`` mid-loop.
+        for upstream in tuple(cell.tracking):
+            if upstream != tid and upstream not in cur.tracking:
+                self._track(cur, upstream)
+        if changed:
+            followers = self._followers.get(tid)
+            if followers:
+                vc = cur.vc
+                for follower in followers:
+                    vc_join(follower.vc, vc)
+
+    def _unary_join(self, state: _Thread, cells: tuple, tid: int) -> _Cell:
+        """Absorb ``cells`` into the thread's unary carry cell.
+
+        Unary transactions never close a cycle, so there is no check;
+        the only obligation is that the cell stored into the resource
+        slots carries the right clock and tracking.  The carry cell is
+        shared by consecutive unary operations and already sits in
+        older slots, so if a join would change it, it is cloned first
+        (the older slots must not observe dependencies only this
+        operation introduces).  In-place growth pushed by tracked
+        upstreams is fine — every sharer depends on those same
+        transactions — so single-threaded stretches never clone.
+        """
+        carry = state.cell
+        tracking = carry.tracking
+        vc = carry.vc
+        dirty = False
+        for cell in cells:
+            if cell is None or cell is carry or cell.tid == tid:
+                continue
+            if cell.live and cell.tid not in tracking:
+                dirty = True
+                break
+            for clock_tid, clock in cell.vc.items():
+                if clock > vc.get(clock_tid, 0):
+                    dirty = True
+                    break
+            else:
+                for upstream in cell.tracking:
+                    if upstream != tid and upstream not in tracking:
+                        dirty = True
+                        break
+                else:
+                    continue
+            break
+        if dirty:
+            carry = _Cell(dict(vc), tid, 0, False, set(tracking))
+            for upstream in carry.tracking:
+                self._followers.setdefault(upstream, {})[carry] = None
+            state.cell = carry
+            for cell in cells:
+                if cell is None or cell is carry or cell.tid == tid:
+                    continue
+                vc_join(carry.vc, cell.vc)
+                if cell.live and cell.tid not in carry.tracking:
+                    self._track(carry, cell.tid)
+                for upstream in tuple(cell.tracking):
+                    if upstream != tid and upstream not in carry.tracking:
+                        self._track(carry, upstream)
+        return carry
+
+    # --------------------------------------------------------------- handlers
+    def _read(self, op: Operation, position: int) -> None:
+        tid = op.tid
+        state = self._thread(tid)
+        writer = self._write.get(op.target)
+        if state.depth:
+            cur = state.cell
+            if writer is not None and writer is not cur and writer.tid != tid:
+                self._join(state, writer, op, position)
+            cell = cur
+        else:
+            cell = self._unary_join(state, (writer,), tid)
+        self._reads.setdefault(op.target, {})[tid] = cell
+
+    def _write_op(self, op: Operation, position: int) -> None:
+        tid = op.tid
+        state = self._thread(tid)
+        var = op.target
+        writer = self._write.get(var)
+        readers = self._reads.get(var)
+        if state.depth:
+            cur = state.cell
+            if writer is not None and writer is not cur and writer.tid != tid:
+                self._join(state, writer, op, position)
+            if readers:
+                for reader_tid, reader in readers.items():
+                    if reader_tid != tid and reader is not cur:
+                        self._join(state, reader, op, position)
+                readers.clear()
+            cell = cur
+        else:
+            if readers:
+                joins = (writer,) + tuple(readers.values())
+            else:
+                joins = (writer,)
+            cell = self._unary_join(state, joins, tid)
+            if readers:
+                readers.clear()
+        self._write[var] = cell
+
+    def _lock_op(self, op: Operation, position: int) -> None:
+        tid = op.tid
+        state = self._thread(tid)
+        last = self._lock.get(op.target)
+        if state.depth:
+            cur = state.cell
+            if last is not None and last is not cur and last.tid != tid:
+                self._join(state, last, op, position)
+            cell = cur
+        else:
+            cell = self._unary_join(state, (last,), tid)
+        self._lock[op.target] = cell
+
+    # -------------------------------------------------------------- resources
+    def state_entry_count(self) -> Optional[int]:
+        """Retained clock-state entries (a resource-governor proxy)."""
+        return (
+            len(self._write)
+            + sum(len(readers) for readers in self._reads.values())
+            + len(self._lock)
+            + sum(len(cells) for cells in self._followers.values())
+        )
+
+
+__all__ = ["AeroDrome"]

@@ -1,0 +1,245 @@
+"""``repro bench backends``: graph vs vector-clock head-to-head.
+
+Times the two sound-and-complete single-pass checkers over recorded
+traces of every paper workload (the Table 1/2 lineup):
+
+* **velodrome** — :class:`repro.core.optimized.VelodromeOptimized`,
+  the transactional happens-before *graph* with node merging, GC, and
+  incremental cycle detection.
+* **aerodrome** — :class:`repro.core.aerodrome.AeroDrome`, the
+  linear-time *vector-clock* analysis (per-thread / per-lock /
+  per-variable clocks, violation exactly when a clock ordering
+  witnesses a serialization cycle).
+
+Each workload is recorded once (fixed seed and scale), then each
+backend analyses the identical trace best-of-N on a fresh instance.
+The two must agree on the verdict and on the first-warning position —
+a disagreement aborts the bench, it does not get averaged away.
+
+``--check-against BASELINE.json`` compares events/sec per backend per
+workload against a committed baseline and exits non-zero on a
+regression beyond ``--threshold`` (default 30%) — the CI
+``bench-backends`` smoke gate.
+
+Run as a script::
+
+    python -m repro.core.bench [--quick] [--scale F] [--repeats N]
+        [--output FILE] [--check-against FILE] [--threshold F]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Callable, Optional, Sequence
+
+#: Fixed recording seed: the bench measures analysis throughput, so
+#: every run (and the committed baseline) must see identical traces.
+_RECORD_SEED = 0
+
+
+def _best_of(repeats: int, thunk: Callable[[], object]) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        thunk()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def _first_warning(backend) -> Optional[int]:
+    positions = [w.position for w in backend.warnings]
+    return min(positions) if positions else None
+
+
+def measure_backends(
+    scale: float = 1.0, repeats: int = 5
+) -> dict:
+    """Per-workload events/sec for each backend, plus the speedup.
+
+    Records each workload's trace once, then times a fresh backend
+    instance per repetition over the identical operation list.  Raises
+    ``RuntimeError`` if the backends ever disagree on the verdict or
+    the first-warning position — the bench doubles as an agreement
+    check on real (non-fuzz) traces.
+    """
+    from repro.core.aerodrome import AeroDrome
+    from repro.core.optimized import VelodromeOptimized
+    from repro.runtime.tool import run_velodrome
+    from repro.workloads import all_workloads
+
+    factories: dict[str, Callable[[], object]] = {
+        "velodrome": lambda: VelodromeOptimized(
+            first_warning_per_label=True
+        ),
+        "aerodrome": AeroDrome,
+    }
+
+    workloads = {}
+    for workload in all_workloads():
+        trace = run_velodrome(
+            workload.program(scale), seed=_RECORD_SEED, record_trace=True
+        ).trace
+        events = len(trace)
+        entry: dict = {"events": events}
+        outcomes = {}
+        for name, factory in factories.items():
+            def analyze():
+                backend = factory()
+                backend.process_trace(trace)
+                return backend
+            elapsed = _best_of(repeats, analyze)
+            final = analyze()
+            outcomes[name] = (
+                final.error_detected, _first_warning(final)
+            )
+            entry[name] = {
+                "best_seconds": round(elapsed, 6),
+                "events_per_sec": round(events / elapsed, 1),
+            }
+        if outcomes["velodrome"] != outcomes["aerodrome"]:
+            raise RuntimeError(
+                f"backend disagreement on {workload.name!r}: "
+                f"velodrome {outcomes['velodrome']} vs "
+                f"aerodrome {outcomes['aerodrome']}"
+            )
+        entry["error_detected"] = outcomes["velodrome"][0]
+        entry["speedup"] = round(
+            entry["aerodrome"]["events_per_sec"]
+            / entry["velodrome"]["events_per_sec"],
+            3,
+        )
+        workloads[workload.name] = entry
+    return workloads
+
+
+def _totals(workloads: dict) -> dict:
+    events = sum(entry["events"] for entry in workloads.values())
+    totals = {"events": events}
+    for name in ("velodrome", "aerodrome"):
+        seconds = sum(
+            entry[name]["best_seconds"] for entry in workloads.values()
+        )
+        totals[name] = {
+            "best_seconds": round(seconds, 6),
+            "events_per_sec": round(events / seconds, 1),
+        }
+    totals["speedup"] = round(
+        totals["aerodrome"]["events_per_sec"]
+        / totals["velodrome"]["events_per_sec"],
+        3,
+    )
+    return totals
+
+
+def run_bench(quick: bool = False, scale: Optional[float] = None,
+              repeats: Optional[int] = None) -> dict:
+    """The full measurement; returns the ``BENCH_backends.json`` dict."""
+    if scale is None:
+        scale = 0.5 if quick else 1.0
+    if repeats is None:
+        repeats = 2 if quick else 5
+    workloads = measure_backends(scale=scale, repeats=repeats)
+    return {
+        "schema": 1,
+        "quick": quick,
+        "seed": _RECORD_SEED,
+        "scale": scale,
+        "repeats": repeats,
+        "workloads": workloads,
+        "total": _totals(workloads),
+    }
+
+
+def compare_to_baseline(
+    current: dict, baseline: dict, threshold: float = 0.30
+) -> list[str]:
+    """Regressions beyond ``threshold``, as human-readable strings.
+
+    Compares each backend's ``events_per_sec`` per workload present in
+    both reports; workloads only one side has are skipped (the suite
+    may gain benchmarks).  Faster-than-baseline is never a failure.
+    """
+    regressions = []
+    old_workloads = baseline.get("workloads", {})
+    for workload, entry in current.get("workloads", {}).items():
+        old_entry = old_workloads.get(workload)
+        if not old_entry:
+            continue
+        for backend in ("velodrome", "aerodrome"):
+            new = entry.get(backend)
+            old = old_entry.get(backend)
+            if not new or not old:
+                continue
+            new_rate = new.get("events_per_sec")
+            old_rate = old.get("events_per_sec")
+            if not new_rate or not old_rate:
+                continue
+            floor = old_rate * (1.0 - threshold)
+            if new_rate < floor:
+                regressions.append(
+                    f"{workload}.{backend}: {new_rate:,.0f} ev/s is "
+                    f"{1 - new_rate / old_rate:.0%} below baseline "
+                    f"{old_rate:,.0f} ev/s (allowed: {threshold:.0%})"
+                )
+    return regressions
+
+
+def main(argv: Optional[Sequence[str]] = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="half scale, 2 repeats (the CI smoke shape)")
+    parser.add_argument("--scale", type=float, default=None,
+                        help="workload scale (default: 0.5 quick, 1.0 full)")
+    parser.add_argument("--repeats", type=int, default=None,
+                        help="best-of-N repetitions (default: 2 quick, "
+                             "5 full)")
+    parser.add_argument("--output", default="BENCH_backends.json",
+                        help="where to write the JSON report")
+    parser.add_argument("--check-against", metavar="FILE", default=None,
+                        help="committed baseline to gate against")
+    parser.add_argument("--threshold", type=float, default=0.30,
+                        help="allowed events/sec regression vs the "
+                             "baseline (default 0.30)")
+    args = parser.parse_args(argv)
+
+    report = run_bench(
+        quick=args.quick, scale=args.scale, repeats=args.repeats
+    )
+    with open(args.output, "w", encoding="utf-8") as stream:
+        json.dump(report, stream, indent=2, sort_keys=True)
+        stream.write("\n")
+
+    print(f"{'workload':>10} {'events':>8} {'velodrome':>12} "
+          f"{'aerodrome':>12} {'speedup':>8}")
+    for name, entry in report["workloads"].items():
+        print(f"{name:>10} {entry['events']:>8,} "
+              f"{entry['velodrome']['events_per_sec']:>12,.0f} "
+              f"{entry['aerodrome']['events_per_sec']:>12,.0f} "
+              f"{entry['speedup']:>7.2f}x")
+    total = report["total"]
+    print(f"{'TOTAL':>10} {total['events']:>8,} "
+          f"{total['velodrome']['events_per_sec']:>12,.0f} "
+          f"{total['aerodrome']['events_per_sec']:>12,.0f} "
+          f"{total['speedup']:>7.2f}x")
+    print(f"wrote {args.output}")
+
+    if args.check_against:
+        with open(args.check_against, encoding="utf-8") as stream:
+            baseline = json.load(stream)
+        regressions = compare_to_baseline(
+            report, baseline, threshold=args.threshold
+        )
+        if regressions:
+            print("PERF REGRESSION:", file=sys.stderr)
+            for line in regressions:
+                print(f"  {line}", file=sys.stderr)
+            raise SystemExit(1)
+        print(f"no regression vs {args.check_against} "
+              f"(threshold {args.threshold:.0%})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+"""Shared vector-clock primitives.
+
+Two consumers with different performance profiles share this module:
+
+* :class:`VectorClock` — the object-level clock used by the
+  happens-before race baseline
+  (:mod:`repro.baselines.vectorclock`).  Sparse: absent components
+  read as 0, so a clock over a 64-thread trace that only ever
+  synchronized two threads stores two entries.
+* the dict-level helpers (:func:`vc_join`, :func:`vc_copy`) — the
+  AeroDrome-class atomicity backend (:mod:`repro.core.aerodrome`)
+  keeps raw ``dict[int, int]`` clocks on its hot path and cannot
+  afford a method call per merge, so the pointwise operations are
+  exposed over plain dicts too.  :class:`VectorClock` delegates to
+  them, keeping one definition of the merge semantics.
+
+Clocks are unbounded Python ints; ``tick`` cannot overflow.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+def vc_join(dst: dict[int, int], src: dict[int, int]) -> bool:
+    """Pointwise maximum of ``src`` into ``dst``, in place.
+
+    Returns True iff ``dst`` changed — callers use this to skip
+    propagating merges that were already dominated.
+    """
+    changed = False
+    get = dst.get
+    for tid, clock in src.items():
+        if clock > get(tid, 0):
+            dst[tid] = clock
+            changed = True
+    return changed
+
+
+def vc_copy(src: dict[int, int]) -> dict[int, int]:
+    """A fresh dict with the same components."""
+    return dict(src)
+
+
+def vc_dominates(a: dict[int, int], b: dict[int, int]) -> bool:
+    """True iff ``a >= b`` pointwise (absent components read as 0)."""
+    get = a.get
+    return all(get(tid, 0) >= clock for tid, clock in b.items())
+
+
+class VectorClock:
+    """A mapping from thread ids to logical clocks (sparse)."""
+
+    __slots__ = ("_clocks",)
+
+    def __init__(self, clocks: Optional[dict[int, int]] = None):
+        self._clocks: dict[int, int] = dict(clocks) if clocks else {}
+
+    def get(self, tid: int) -> int:
+        """The component for thread ``tid`` (0 when absent)."""
+        return self._clocks.get(tid, 0)
+
+    def tick(self, tid: int) -> None:
+        """Increment thread ``tid``'s component."""
+        self._clocks[tid] = self._clocks.get(tid, 0) + 1
+
+    def join(self, other: "VectorClock") -> bool:
+        """Pointwise maximum, in place.  True iff ``self`` changed."""
+        return vc_join(self._clocks, other._clocks)
+
+    def copy(self) -> "VectorClock":
+        return VectorClock(self._clocks)
+
+    def dominates(self, other: "VectorClock") -> bool:
+        """True iff ``self >= other`` pointwise."""
+        return vc_dominates(self._clocks, other._clocks)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(
+            f"t{t}:{c}" for t, c in sorted(self._clocks.items())
+        )
+        return f"VC({inner})"
+
+
+__all__ = ["VectorClock", "vc_copy", "vc_dominates", "vc_join"]

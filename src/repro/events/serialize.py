@@ -157,6 +157,53 @@ def load_jsonl(stream: TextIO) -> Trace:
     return Trace(ops)
 
 
+def stream_jsonl(path: PathLike) -> Iterator[Operation]:
+    """Lazily yield the operations of a JSONL recording at ``path``.
+
+    Same strict semantics as :func:`load_jsonl` — malformed JSON
+    raises ``ValueError`` with the 1-based line number — but one
+    operation at a time with O(1) peak memory, so a consumer that
+    skips a prefix (``itertools.islice``) never materializes the
+    whole trace.  Reads are chunked exactly like :func:`load_jsonl`.
+    """
+    loads = json.loads
+    decode_error = json.JSONDecodeError
+    from_json = operation_from_json
+    with Path(path).open(encoding="utf-8") as stream:
+        read = stream.read
+        line_number = 0
+        pending = ""
+        while True:
+            chunk = read(_DECODE_CHUNK)
+            if not chunk:
+                break
+            lines = (pending + chunk).split("\n")
+            pending = lines.pop()
+            for line in lines:
+                line_number += 1
+                if not line:
+                    continue
+                try:
+                    record = loads(line)
+                except decode_error as exc:
+                    if line.isspace():
+                        continue
+                    raise ValueError(
+                        f"line {line_number}: invalid JSON"
+                    ) from exc
+                yield from_json(record)
+        tail = pending.strip()
+        if tail:
+            line_number += 1
+            try:
+                record = loads(tail)
+            except decode_error as exc:
+                raise ValueError(
+                    f"line {line_number}: invalid JSON"
+                ) from exc
+            yield from_json(record)
+
+
 @dataclass(frozen=True)
 class JsonlRecord:
     """One complete record streamed from a JSONL recording."""

@@ -95,24 +95,47 @@ def _optimized_configs() -> list[GridConfig]:
     return configs
 
 
+def _aerodrome_factory() -> AnalysisBackend:
+    """Build the vector-clock backend through the CLI registry.
+
+    Resolving by name (rather than importing the class) exercises
+    :func:`repro.cli.resolve_backend` — the same lookup programmatic
+    callers use — and the deferred import avoids a module cycle with
+    :mod:`repro.cli`, which imports this module's grid helpers.
+    """
+    from repro.cli import resolve_backend
+
+    return resolve_backend("aerodrome")()
+
+
 def ablation_grid() -> tuple[GridConfig, ...]:
     """The full configuration sweep.
 
-    21 configurations: VelodromeBasic over (GC on/off x ancestors/dfs),
+    22 configurations: VelodromeBasic over (GC on/off x ancestors/dfs),
     VelodromeOptimized over (merge on/off x GC on/off x ancestors/dfs x
-    first-warning-per-label on/off), and VelodromeCompact (the packed
-    64-bit state representation, semantically the merged default).
+    first-warning-per-label on/off), VelodromeCompact (the packed
+    64-bit state representation, semantically the merged default), and
+    AeroDrome (the linear-time vector-clock algorithm — no graph, so
+    no label comparison: it blames the transaction whose operation
+    closes the cycle, where the graph family blames via edge walks).
     """
     compact = GridConfig(
         name="compact",
         factory=VelodromeCompact,
         label_family="optimized/merge=1",
     )
-    return tuple(_basic_configs() + _optimized_configs() + [compact])
+    aerodrome = GridConfig(
+        name="aerodrome",
+        factory=_aerodrome_factory,
+        label_family=None,
+    )
+    return tuple(
+        _basic_configs() + _optimized_configs() + [compact, aerodrome]
+    )
 
 
 def default_grid() -> tuple[GridConfig, ...]:
-    """A four-configuration smoke grid (one per family) for quick runs."""
+    """A five-configuration smoke grid (one per family) for quick runs."""
     return tuple(
         config
         for config in ablation_grid()
@@ -122,6 +145,7 @@ def default_grid() -> tuple[GridConfig, ...]:
             "opt/merge=1/gc=1/ancestors/fw=0",
             "opt/merge=0/gc=1/ancestors/fw=0",
             "compact",
+            "aerodrome",
         )
     )
 

@@ -202,6 +202,12 @@ def main(argv: Optional[Sequence[str]] = None) -> None:
 
         store_main(list(argv)[1:])
         return
+    if argv and argv[0] == "backends":
+        # ``repro bench backends ...`` — graph vs vector-clock.
+        from repro.core.bench import main as backends_main
+
+        backends_main(list(argv)[1:])
+        return
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quick", action="store_true",
                         help="smaller budgets (the CI perf-smoke shape)")

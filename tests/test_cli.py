@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.cli import main
+import repro.cli
+from repro.cli import BACKENDS, main, resolve_backend
 from repro.events.serialize import save_trace
 from repro.events.trace import Trace
 
@@ -67,12 +68,129 @@ class TestCheck:
             "velodrome": 1,
             "basic": 1,
             "compact": 1,
+            "aerodrome": 1,
             "eraser": 1,
             "hb-races": 1,
             "atomizer": 0,
         }
         for backend, expected in expectations.items():
             assert main(["check", violation_file, "--backend", backend]) == expected
+
+    def test_aerodrome_reports_label_and_position(
+        self, violation_file, capsys
+    ):
+        assert main(
+            ["check", violation_file, "--backend", "aerodrome"]
+        ) == 1
+        out = capsys.readouterr().out
+        assert "AERODROME" in out
+        assert "[inc]" in out
+
+
+class TestResolveBackend:
+    def test_resolves_every_registered_name(self):
+        for name, factory in BACKENDS.items():
+            assert resolve_backend(name) is factory
+
+    def test_unknown_name_raises_value_error_listing_backends(self):
+        with pytest.raises(ValueError) as excinfo:
+            resolve_backend("velodrone")
+        message = str(excinfo.value)
+        assert "velodrone" in message
+        for name in BACKENDS:
+            assert name in message
+
+    def test_not_a_bare_key_error(self):
+        # The registry lookup must not leak a bare KeyError to
+        # programmatic callers (the original bug).
+        with pytest.raises(ValueError):
+            resolve_backend("nope")
+
+
+class TestResumeStreaming:
+    """The JSONL --resume path must stream, never materialize."""
+
+    def _mid_trace_checkpoint(self, tmp_path, ops, position):
+        from repro.resilience import SupervisedChecker
+
+        snap = tmp_path / "snap.json"
+        first = SupervisedChecker(
+            [BACKENDS["velodrome"]()],
+            checkpoint_every=10_000, checkpoint_path=snap,
+        )
+        for op in ops[:position]:
+            first.process(op)
+        first.checkpoint()
+        return snap
+
+    def test_jsonl_resume_never_materializes_the_trace(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        ops = list(VIOLATION)
+        trace_file = tmp_path / "trace.jsonl"
+        save_trace(Trace(ops), trace_file)
+        snap = self._mid_trace_checkpoint(tmp_path, ops, 2)
+
+        def boom(*args, **kwargs):  # pragma: no cover - must not run
+            raise AssertionError(
+                "resume materialized the whole trace"
+            )
+
+        # Both whole-trace loaders are off limits on this path: the
+        # tail must stream via stream_jsonl + islice, and the warning
+        # report only loads lazily (--render/--explain, not given).
+        monkeypatch.setattr(repro.cli, "_load_check_trace", boom)
+        monkeypatch.setattr(repro.cli, "load_trace", boom)
+        code = main(["check", str(trace_file), "--resume", str(snap)])
+        out = capsys.readouterr().out
+        assert "resumed 1 backend(s) at event 2" in out
+        assert code == 1  # the violation is still detected
+
+    def test_jsonl_resume_matches_uninterrupted_run(
+        self, tmp_path, capsys
+    ):
+        ops = list(VIOLATION)
+        trace_file = tmp_path / "trace.jsonl"
+        save_trace(Trace(ops), trace_file)
+        snap = self._mid_trace_checkpoint(tmp_path, ops, 3)
+        assert main(
+            ["check", str(trace_file), "--resume", str(snap)]
+        ) == 1
+        resumed_out = capsys.readouterr().out
+        assert main(["check", str(trace_file)]) == 1
+        direct_out = capsys.readouterr().out
+        # Same warning line (backend:kind [label] tid@position ...).
+        warning = next(
+            line for line in direct_out.splitlines()
+            if "atomicity" in line
+        )
+        assert warning in resumed_out
+
+    def test_checkpoint_rejects_snapshotless_backend(
+        self, violation_file, tmp_path, capsys
+    ):
+        # The vector-clock backend has no snapshot codec; asking to
+        # checkpoint it must fail fast with a clear error, not blow up
+        # mid-run with a traceback.
+        snap = tmp_path / "snap.json"
+        code = main([
+            "check", violation_file, "--backend", "aerodrome",
+            "--checkpoint", str(snap),
+        ])
+        assert code == 2
+        assert "no snapshot codec" in capsys.readouterr().err
+        assert not snap.exists()
+
+    def test_dsl_resume_still_works(self, tmp_path, capsys):
+        # Non-JSONL recordings take the eager-load + islice fallback.
+        ops = list(VIOLATION)
+        trace_file = tmp_path / "trace.txt"
+        save_trace(Trace(ops), trace_file)
+        snap = self._mid_trace_checkpoint(tmp_path, ops, 2)
+        assert main(
+            ["check", str(trace_file), "--resume", str(snap)]
+        ) == 1
+        assert "at event 2" in capsys.readouterr().out
 
 
 class TestRun:

@@ -43,6 +43,24 @@ class TestCorpusReplay:
         check = check_trace(load_trace(path), configs=ablation_grid())
         assert check.clean, [str(d) for d in check.divergences]
 
+    @pytest.mark.parametrize(
+        "path", corpus_paths(), ids=lambda path: path.stem
+    )
+    def test_aerodrome_matches_oracle(self, path):
+        # Every stored divergence once broke a checker; the
+        # vector-clock backend must match the serialization-graph
+        # oracle on verdict AND first-warning position on each.
+        from repro.core.aerodrome import AeroDrome
+        from repro.core.serializability import earliest_violation
+
+        trace = load_trace(path)
+        backend = AeroDrome()
+        backend.process_trace(trace)
+        expected = earliest_violation(trace)
+        positions = [w.position for w in backend.warnings]
+        assert backend.error_detected == (expected is not None)
+        assert (min(positions) if positions else None) == expected
+
     def test_every_entry_has_metadata(self):
         for path in corpus_paths():
             meta_path = path.with_name(path.stem + ".meta.json")

@@ -89,8 +89,8 @@ def broken_grid(factory, name, family=None):
 
 
 class TestGrid:
-    def test_full_grid_has_21_configurations(self):
-        assert len(ablation_grid()) == 21
+    def test_full_grid_has_22_configurations(self):
+        assert len(ablation_grid()) == 22
 
     def test_names_unique(self):
         names = [config.name for config in ablation_grid()]
@@ -111,7 +111,7 @@ class TestGrid:
     def test_default_grid_is_a_smoke_subset(self):
         full = {config.name for config in ablation_grid()}
         smoke = default_grid()
-        assert len(smoke) == 4
+        assert len(smoke) == 5
         assert {config.name for config in smoke} <= full
 
 

@@ -3,7 +3,7 @@
 Covers the executor contract (submission-order merge, in-task failure
 containment, dead-worker containment, timeout containment), the
 byte-identical-output property of every ``--jobs`` entry point (fuzz
-across the full 21-config ablation grid, Table 2, corpus replay), the
+across the full 22-config ablation grid, Table 2, corpus replay), the
 per-shard seed discipline, and the bench harness's regression gate.
 """
 
@@ -159,7 +159,7 @@ def _report_fingerprint(report):
 
 class TestByteIdenticalFuzz:
     def test_full_grid_jobs_equals_serial(self):
-        # The whole 21-config ablation grid, exactly as `repro fuzz`
+        # The whole 22-config ablation grid, exactly as `repro fuzz`
         # runs it, sharded four ways versus serial.
         serial = FuzzEngine(FuzzConfig(budget=6, seed=3)).run()
         parallel = FuzzEngine(FuzzConfig(budget=6, seed=3, jobs=JOBS)).run()

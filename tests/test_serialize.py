@@ -13,6 +13,7 @@ from repro.events.serialize import (
     operation_from_json,
     operation_to_json,
     save_trace,
+    stream_jsonl,
     trace_to_text,
 )
 from repro.events.trace import Trace
@@ -316,3 +317,46 @@ class TestStreamingReader:
         assert tail.byte_offset == len(
             text[: -len('{"torn')].encode("utf-8")
         )
+
+
+class TestStreamJsonl:
+    """The lazy strict reader behind the O(1)-memory resume path."""
+
+    def test_agrees_with_load_jsonl(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        save_trace(SAMPLE, path)
+        with path.open(encoding="utf-8") as stream:
+            eager = list(load_jsonl(stream))
+        assert list(stream_jsonl(path)) == eager == list(SAMPLE)
+
+    def test_is_lazy(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        save_trace(SAMPLE, path)
+        iterator = stream_jsonl(path)
+        assert next(iterator) == SAMPLE[0]  # no full materialization
+
+    def test_islice_skips_a_prefix(self, tmp_path):
+        import itertools
+
+        path = tmp_path / "t.jsonl"
+        save_trace(SAMPLE, path)
+        tail = list(itertools.islice(stream_jsonl(path), 3, None))
+        assert tail == list(SAMPLE)[3:]
+
+    def test_invalid_json_raises_with_line_number(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        save_trace(SAMPLE, path)
+        with path.open("a", encoding="utf-8") as stream:
+            stream.write("{torn")
+        consumed = 0
+        with pytest.raises(ValueError, match=f"line {len(SAMPLE) + 1}"):
+            for _ in stream_jsonl(path):
+                consumed += 1
+        assert consumed == len(SAMPLE)  # good prefix still streamed
+
+    def test_missing_final_newline_tail_parses(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        save_trace(SAMPLE, path)
+        text = path.read_text(encoding="utf-8").rstrip("\n")
+        path.write_text(text, encoding="utf-8")
+        assert list(stream_jsonl(path)) == list(SAMPLE)

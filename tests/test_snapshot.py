@@ -78,6 +78,11 @@ class TestGridRoundTrips:
         "config", ablation_grid(), ids=lambda c: c.name
     )
     def test_random_split_is_byte_identical(self, config):
+        if not supports(config.build()):
+            # Configs without a snapshot codec (the vector-clock
+            # backend) can never reach the checkpoint path: the crash
+            # fuzzer and the supervisor both gate on supports().
+            pytest.skip(f"{config.name} has no snapshot codec")
         rng = random.Random(hash(config.name) & 0xFFFF)
         for seed in (3, 17):
             ops = list(trace_for_seed(seed))

@@ -3,7 +3,7 @@
 Everything here guards the store's one invariant: a packed recording
 is a *lossless* encoding of its operation stream.  Round trips run
 over hand-built edge-case traces, the randomgen grid, and the
-committed corpus; verdict equivalence runs the full 21-configuration
+committed corpus; verdict equivalence runs the full 22-configuration
 ablation grid over packed and JSONL encodings of the same trace and
 requires identical results.  Corruption handling lives in
 ``test_store_corruption.py``.
@@ -311,7 +311,7 @@ class TestParallelDecode:
 
 class TestVerdictEquivalence:
     """Packed and JSONL encodings must be indistinguishable to every
-    analysis configuration — the full 21-config ablation grid."""
+    analysis configuration — the full 22-config ablation grid."""
 
     @pytest.mark.parametrize("seed", [7, 42])
     def test_full_grid_identical(self, tmp_path, seed):
@@ -321,7 +321,7 @@ class TestVerdictEquivalence:
         save_trace(trace, jsonl)
         save_trace(trace, packed)
         grid = ablation_grid()
-        assert len(grid) == 21
+        assert len(grid) == 22
         from_jsonl = check_trace(load_trace(jsonl), configs=grid)
         from_packed = check_trace(load_trace(packed), configs=grid)
         assert from_jsonl == from_packed
