@@ -10,6 +10,8 @@
     python -m repro run WORKLOAD [--seed N] [--scale S] [--adversarial]
     python -m repro random [--seed N] [--record FILE]
     python -m repro fuzz [--budget N] [--seed S] [--shrink] [--stats]
+    python -m repro serve SPOOL_DIR [--jobs N] [--http-port P]
+                          [--socket PATH] [--oneshot]
     python -m repro trace pack/unpack/info/cat ...
     python -m repro workloads
     python -m repro table1 / table2 / inject ...
@@ -38,6 +40,17 @@ against the serialization-graph oracle, with optional delta-debugging
 shrinking (``--shrink``) and corpus persistence (``--corpus DIR``);
 ``fuzz --replay DIR`` re-checks an existing corpus instead of
 generating new traces.  Exit status 1 signals a divergence.
+
+``serve`` runs the always-on checking daemon (:mod:`repro.serve`):
+every stable trace file dropped into the spool directory becomes one
+supervised stream, sharded across ``--jobs`` workers, with per-stream
+checkpoints, quarantine, retry-then-park, and a localhost metrics
+endpoint.  ``kill -9`` at any instant is recoverable: restarting
+against the same spool reproduces the exact verdicts of an
+uninterrupted run (``fuzz --serve`` continuously tests this; see
+``docs/serving.md``).  SIGTERM/SIGINT exit gracefully with status 75
+after a final checkpoint; the same applies to long ``check
+--checkpoint`` and ``fuzz`` runs.
 
 ``trace`` groups the packed-store utilities: ``pack`` re-encodes any
 readable recording as packed VTRC, ``unpack`` converts back (or
@@ -87,7 +100,13 @@ from repro.harness import table1 as harness_table1
 from repro.harness import table2 as harness_table2
 from repro.parallel import bench as parallel_bench
 from repro.pipeline import Pipeline, TraceSource
-from repro.resilience import Budgets, SupervisedChecker
+from repro.resilience import (
+    EXIT_INTERRUPTED,
+    Budgets,
+    GracefulShutdown,
+    ShutdownRequested,
+    SupervisedChecker,
+)
 from repro.resilience.snapshot import supports as snapshot_supports
 from repro.runtime.tool import run_velodrome
 from repro.workloads import all_workloads, get
@@ -224,27 +243,10 @@ def _stream_trace_tail(path, position: int):
 
 def _packed_checkpoint_meta(path):
     """A ``checkpoint_meta`` callable for supervised runs over a
-    packed trace: records the source file and the block-aligned byte
-    offset from which ``--resume`` can re-read only the tail."""
-    def meta(position: int) -> dict:
-        from repro.store.reader import PackedTraceReader
+    packed trace (shared with the serve daemon's stream worker)."""
+    from repro.serve.stream import packed_checkpoint_meta
 
-        entry: dict = {
-            "trace": str(path),
-            "format": "vtrc",
-            "resume_seq": position,
-        }
-        with PackedTraceReader(path) as reader:
-            if 0 <= position < reader.total_ops:
-                block = reader.block_for_seq(position)
-                entry["resume_block"] = block.number
-                entry["resume_block_offset"] = block.byte_offset
-            else:  # checkpoint at end of stream: nothing left to read
-                entry["resume_block"] = None
-                entry["resume_block_offset"] = None
-        return entry
-
-    return meta
+    return packed_checkpoint_meta(path)
 
 
 def _check_supervised(args: argparse.Namespace) -> int:
@@ -273,6 +275,14 @@ def _check_supervised(args: argparse.Namespace) -> int:
         ),
     )
     packed = _is_packed(args.trace)
+    with GracefulShutdown() as shutdown:
+        return _check_supervised_body(args, budgets, packed, shutdown)
+
+
+def _check_supervised_body(
+    args: argparse.Namespace, budgets: Budgets, packed: bool,
+    shutdown: GracefulShutdown,
+) -> int:
     options = dict(
         checkpoint_every=args.checkpoint_every,
         checkpoint_path=args.checkpoint,
@@ -281,9 +291,11 @@ def _check_supervised(args: argparse.Namespace) -> int:
         checkpoint_meta=(
             _packed_checkpoint_meta(args.trace) if packed else None
         ),
+        stop_check=shutdown.check,
     )
     fast_forward = packed and not args.no_fast_forward
     packed_reader = None
+    checker = None
     try:
         if args.resume:
             checker = SupervisedChecker.resume(args.resume, **{
@@ -328,6 +340,16 @@ def _check_supervised(args: argparse.Namespace) -> int:
                 checker.run(TraceSource(
                     iter(_load_check_trace(args.trace, args.jobs))
                 ))
+    except ShutdownRequested as exc:
+        # Interrupted at a safe point: persist progress, exit clean.
+        if checker is not None and (args.checkpoint or args.resume):
+            written = checker.checkpoint()
+            print(f"interrupted by signal {exc.signum} at event "
+                  f"{checker.position}; checkpoint written to {written}",
+                  file=sys.stderr)
+        else:
+            print(f"interrupted by signal {exc.signum}", file=sys.stderr)
+        return EXIT_INTERRUPTED
     finally:
         if packed_reader is not None:
             packed_reader.close()
@@ -417,6 +439,8 @@ def cmd_random(args: argparse.Namespace) -> int:
 
 
 def cmd_fuzz(args: argparse.Namespace) -> int:
+    if args.serve:
+        return _fuzz_serve(args)
     if args.replay is not None:
         checks = replay_corpus(args.replay, crash=args.crash, seed=args.seed,
                                jobs=args.jobs)
@@ -460,11 +484,109 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
         if finding.corpus_path is not None:
             print(f"  repro saved to {finding.corpus_path}")
 
-    report = FuzzEngine(config).run(on_finding=on_finding)
+    with GracefulShutdown() as shutdown:
+        report = FuzzEngine(config).run(
+            on_finding=on_finding, stop_check=shutdown.check
+        )
+        interrupted = shutdown.triggered
     print(report.summary())
     if args.stats and report.metrics is not None:
         print(report.metrics.render())
+    if interrupted:
+        print("fuzz campaign interrupted; report covers completed "
+              "iterations only", file=sys.stderr)
+        return EXIT_INTERRUPTED
     return 0 if report.clean else 1
+
+
+def _fuzz_serve(args: argparse.Namespace) -> int:
+    """The ``fuzz --serve`` lane: daemon crash-equivalence per seed.
+
+    Each iteration builds a throwaway spool, runs a reference oneshot
+    daemon, then a daemon that is ``kill -9``'d mid-ingest and
+    restarted, and requires stream-for-stream identical verdicts (see
+    :func:`repro.fuzz.faults.serve_crash_divergences`).  Odd
+    iterations add the snapshot-less ``aerodrome`` backend to exercise
+    the replay-from-origin path.
+    """
+    from repro.fuzz.engine import iteration_seeds
+    from repro.fuzz.faults import serve_crash_divergences
+
+    dirty = 0
+    interrupted = False
+    with GracefulShutdown() as shutdown:
+        for index, seed in enumerate(
+            iteration_seeds(args.seed, args.budget)
+        ):
+            if shutdown.triggered:
+                interrupted = True
+                break
+            backends = (
+                ("velodrome",) if index % 2 == 0
+                else ("velodrome", "aerodrome")
+            )
+            divergences = serve_crash_divergences(
+                seed, backends=backends, crash=args.crash
+            )
+            if divergences:
+                dirty += 1
+                print(f"iteration {index} (seed {seed}, "
+                      f"backends {','.join(backends)}): "
+                      f"{len(divergences)} divergence(s)")
+                for divergence in divergences:
+                    print(f"  {divergence}")
+    print(f"serve equivalence: {args.budget} iteration(s), "
+          f"{dirty} diverging")
+    if interrupted:
+        return EXIT_INTERRUPTED
+    return 1 if dirty else 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import RetryPolicy, ServeConfig, ServeDaemon
+
+    names = _selected_backends(args.backend)
+    budgets = Budgets(
+        max_live_nodes=args.max_nodes,
+        check_interval=(
+            min(256, max(1, args.max_nodes)) if args.max_nodes else 256
+        ),
+    )
+    config = ServeConfig(
+        spool_dir=pathlib.Path(args.spool),
+        state_dir=(
+            pathlib.Path(args.state_dir) if args.state_dir else None
+        ),
+        backends=tuple(names),
+        jobs=args.jobs,
+        checkpoint_every=args.checkpoint_every,
+        budgets=budgets,
+        on_pressure=args.on_pressure,
+        no_snapshot=args.no_snapshot,
+        retry=RetryPolicy(max_attempts=args.retry_attempts),
+        poll_interval=args.poll_interval,
+        settle_seconds=args.settle_seconds,
+        http_port=args.http_port,
+        socket_path=(
+            pathlib.Path(args.socket) if args.socket else None
+        ),
+    )
+    with GracefulShutdown() as shutdown:
+        daemon = ServeDaemon(config, shutdown=shutdown)
+        daemon.start_endpoints()
+        if daemon.metrics_server is not None:
+            print(f"metrics on http://127.0.0.1:"
+                  f"{daemon.metrics_server.port}/metrics", flush=True)
+        if config.socket_path is not None:
+            print(f"ingest socket at {config.socket_path}", flush=True)
+        code = daemon.run(oneshot=args.oneshot,
+                          max_rounds=args.max_rounds)
+    counts = daemon.registry.counts()
+    summary = ", ".join(
+        f"{status}={count}" for status, count in sorted(counts.items())
+    ) or "no streams"
+    print(f"serve: {summary}", flush=True)
+    return code
 
 
 def cmd_trace_pack(args: argparse.Namespace) -> int:
@@ -701,7 +823,71 @@ def build_parser() -> argparse.ArgumentParser:
                     help="shard iterations (or replayed files) across N "
                          "worker processes; output is byte-identical to "
                          "a serial run (default 1)")
+    fz.add_argument("--serve", action="store_true",
+                    help="fuzz the serve daemon instead: per seed, build "
+                         "a spool, kill -9 a daemon mid-ingest, restart "
+                         "it, and require verdicts identical to an "
+                         "uninterrupted run (--crash adds checker-level "
+                         "crash/fault lanes per stream)")
     fz.set_defaults(func=cmd_fuzz)
+
+    serve = commands.add_parser(
+        "serve", help="always-on checking daemon over a spool directory"
+    )
+    serve.add_argument("spool",
+                       help="watched directory; every stable trace file "
+                            "dropped into it becomes one checked stream")
+    serve.add_argument("--state-dir", metavar="DIR",
+                       help="registry/checkpoint/quarantine state "
+                            "(default: SPOOL/.serve)")
+    serve.add_argument("--backend", action="append",
+                       choices=sorted(BACKENDS) + ["all"], default=None,
+                       help="analysis each stream runs under; repeatable "
+                            "(default: velodrome)")
+    serve.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="shard concurrent streams across N worker "
+                            "processes (default 1: serial, in-process)")
+    serve.add_argument("--checkpoint-every", type=int, default=1024,
+                       metavar="N",
+                       help="events between periodic checkpoints within "
+                            "each stream (default 1024)")
+    serve.add_argument("--max-nodes", type=int, metavar="N",
+                       help="global live-node budget, divided across "
+                            "active streams each round")
+    serve.add_argument("--on-pressure", choices=("degrade", "fail"),
+                       default="degrade",
+                       help="per-stream degradation ladder ceiling, as "
+                            "in 'check' (default: degrade)")
+    serve.add_argument("--no-snapshot", choices=("replay", "fail"),
+                       default="replay",
+                       help="policy when the backend selection cannot be "
+                            "checkpointed: declare streams "
+                            "replay-from-origin, or reject them up "
+                            "front (default: replay)")
+    serve.add_argument("--retry-attempts", type=int, default=3,
+                       metavar="N",
+                       help="attempts per stream before it is parked "
+                            "(default 3; backoff doubles in between)")
+    serve.add_argument("--poll-interval", type=float, default=0.25,
+                       metavar="SECONDS",
+                       help="spool scan interval when idle (default 0.25)")
+    serve.add_argument("--settle-seconds", type=float, default=1.0,
+                       metavar="SECONDS",
+                       help="age before a still-changing file is "
+                            "considered fully written (default 1.0)")
+    serve.add_argument("--http-port", type=int, metavar="PORT",
+                       help="serve /metrics, /streams, /healthz on this "
+                            "localhost port (0 = ephemeral, printed on "
+                            "startup)")
+    serve.add_argument("--socket", metavar="PATH",
+                       help="accept trace uploads on this unix socket "
+                            "(one connection = one complete trace)")
+    serve.add_argument("--oneshot", action="store_true",
+                       help="exit once every known stream is terminal "
+                            "instead of polling forever")
+    serve.add_argument("--max-rounds", type=int, metavar="N",
+                       help=argparse.SUPPRESS)
+    serve.set_defaults(func=cmd_serve)
 
     tr = commands.add_parser(
         "trace", help="packed trace store utilities (pack/unpack/info/cat)"

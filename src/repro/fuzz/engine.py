@@ -440,9 +440,20 @@ class FuzzEngine:
         return outcomes
 
     def run(
-        self, on_finding: Optional[Callable[[Finding], None]] = None
+        self,
+        on_finding: Optional[Callable[[Finding], None]] = None,
+        stop_check: Optional[Callable[[], None]] = None,
     ) -> FuzzReport:
-        """Execute the configured number of iterations."""
+        """Execute the configured number of iterations.
+
+        ``stop_check`` is called between iterations and may raise
+        :class:`~repro.resilience.shutdown.ShutdownRequested`; the run
+        then stops cleanly with the iterations merged so far (the
+        report stays internally consistent — a fuzz campaign has no
+        cross-iteration state to checkpoint).
+        """
+        from repro.resilience.shutdown import ShutdownRequested
+
         config = self.config
         report = FuzzReport(config=config)
         snapshots: list[PipelineMetrics] = []
@@ -455,8 +466,13 @@ class FuzzEngine:
                 self.check_iteration(index, seed)
                 for index, seed in enumerate(seeds)
             )
-        for outcome in outcomes:
-            self._merge_outcome(report, snapshots, outcome, on_finding)
+        try:
+            for outcome in outcomes:
+                if stop_check is not None:
+                    stop_check()
+                self._merge_outcome(report, snapshots, outcome, on_finding)
+        except ShutdownRequested:
+            pass   # partial campaign; caller reports the interruption
         report.elapsed = time.perf_counter() - started
         if snapshots:
             report.metrics = PipelineMetrics.aggregate(snapshots)

@@ -239,3 +239,153 @@ def fault_injection_divergences(
                 )
             )
     return divergences
+
+
+# --------------------------------------------------------------- serve daemon
+def _spool_for_seed(spool: Path, seed: int) -> None:
+    """A mixed three-stream spool derived entirely from ``seed``:
+    one sequenced JSONL trace, one packed trace, one garbage file."""
+    from repro.fuzz.engine import trace_for_seed
+    from repro.store.writer import save_packed
+
+    spool.mkdir(parents=True, exist_ok=True)
+    jsonl = trace_for_seed(seed)
+    packed = trace_for_seed(seed ^ 0x5EED or 1)
+    with open(spool / "a.jsonl", "w", encoding="utf-8") as stream:
+        dump_jsonl(jsonl, stream, with_seq=True)
+    save_packed(packed, spool / "b.vtrc", block_ops=32)
+    garbage = random.Random(seed).randbytes(64)
+    (spool / "noise.bin").write_bytes(b"\x00\x00" + garbage)
+
+
+def _serve_outcomes(state_dir: Path) -> dict[str, dict]:
+    """Registry verdicts by content digest, from a finished daemon."""
+    outcomes: dict[str, dict] = {}
+    for path in sorted((state_dir / "streams").glob("*.json")):
+        record = json.loads(path.read_text(encoding="utf-8"))
+        outcomes[record["digest"]] = {
+            "status": record["status"],
+            "backends": [
+                {
+                    "backend": backend["backend"],
+                    "verdict": backend["verdict"],
+                    "warnings": backend["warnings"],
+                    "first_warning": backend["first_warning"],
+                    "fingerprint": backend["fingerprint"],
+                }
+                for backend in (record.get("result") or {}).get(
+                    "backends", []
+                )
+            ],
+        }
+    return outcomes
+
+
+def _serve_subprocess(spool: Path, backends: Sequence[str],
+                      kill_after: Optional[float]) -> None:
+    """Run ``repro serve --oneshot`` over ``spool``; optionally
+    ``kill -9`` it after ``kill_after`` seconds instead of waiting."""
+    import os
+    import signal
+    import subprocess
+    import sys
+
+    argv = [sys.executable, "-m", "repro", "serve", str(spool),
+            "--oneshot", "--checkpoint-every", "16",
+            "--settle-seconds", "0", "--poll-interval", "0.01",
+            "--retry-attempts", "1"]
+    for name in backends:
+        argv += ["--backend", name]
+    process = subprocess.Popen(
+        argv, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL
+    )
+    if kill_after is None:
+        process.wait(timeout=120)
+        return
+    try:
+        process.wait(timeout=kill_after)
+    except subprocess.TimeoutExpired:
+        os.kill(process.pid, signal.SIGKILL)
+        process.wait(timeout=30)
+
+
+def serve_crash_divergences(
+    seed: int,
+    backends: Sequence[str] = ("velodrome",),
+    crash: bool = True,
+    tmp_root: Optional[Path] = None,
+) -> list[str]:
+    """The daemon-level crash-equivalence probe.
+
+    Builds two identical spools from ``seed``.  The *reference* spool
+    is drained by an in-process oneshot daemon.  The *subject* spool
+    is drained by a subprocess daemon that (with ``crash``) is
+    ``kill -9``'d after a seeded delay and then restarted against the
+    same spool and state directory.  Every stream must end with an
+    identical verdict, warning count, first warning, and full warning
+    fingerprint — including snapshot-less backend selections
+    (``aerodrome``), which the daemon declares replay-from-origin
+    rather than resuming lossily.
+
+    Returns human-readable divergence strings (empty = equivalent).
+    """
+    from repro.serve import ServeConfig, ServeDaemon
+
+    root = Path(tempfile.mkdtemp(
+        prefix=f"serve-fuzz-{seed}-",
+        dir=str(tmp_root) if tmp_root else None,
+    ))
+    reference_spool = root / "reference"
+    subject_spool = root / "subject"
+    _spool_for_seed(reference_spool, seed)
+    _spool_for_seed(subject_spool, seed)
+
+    reference = ServeDaemon(ServeConfig(
+        spool_dir=reference_spool, backends=tuple(backends),
+        checkpoint_every=16, settle_seconds=0.0, poll_interval=0.01,
+    ))
+    reference.run(oneshot=True)
+    expected = _serve_outcomes(reference_spool / ".serve")
+
+    # Seeded kill point: equivalence must hold wherever the kill
+    # lands, including before registration or after completion.
+    kill_after = (
+        random.Random(seed ^ 0xC4A5).uniform(0.2, 1.5) if crash else None
+    )
+    _serve_subprocess(subject_spool, backends, kill_after)
+    if crash:   # the restart that must pick everything back up
+        _serve_subprocess(subject_spool, backends, None)
+    observed = _serve_outcomes(subject_spool / ".serve")
+
+    divergences: list[str] = []
+    for digest, want in sorted(expected.items()):
+        got = observed.get(digest)
+        if got is None:
+            divergences.append(
+                f"serve-crash: stream {digest} missing after restart"
+            )
+            continue
+        if got["status"] != want["status"]:
+            divergences.append(
+                f"serve-crash: stream {digest} status "
+                f"{got['status']!r} != {want['status']!r}"
+            )
+            continue
+        for mine, theirs in zip(want["backends"], got["backends"]):
+            for key in ("verdict", "warnings", "first_warning",
+                        "fingerprint"):
+                if mine[key] != theirs[key]:
+                    divergences.append(
+                        f"serve-crash: stream {digest} backend "
+                        f"{mine['backend']} {key} {theirs[key]!r} != "
+                        f"{mine[key]!r}"
+                    )
+    for digest in sorted(set(observed) - set(expected)):
+        divergences.append(
+            f"serve-crash: unexpected stream {digest} after restart"
+        )
+    if not divergences:
+        import shutil
+
+        shutil.rmtree(root, ignore_errors=True)
+    return divergences

@@ -22,6 +22,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.fuzz.grid import GridConfig
+from repro.resilience.governor import Budgets
 from repro.workloads.randomgen import GeneratorConfig
 
 
@@ -164,6 +165,35 @@ def run_block_lists(task: BlockListTask):
             reader.decode_block(number)
             for number in range(task.first_block, task.end_block)
         ]
+
+
+# ------------------------------------------------------------------ serve
+@dataclass(frozen=True)
+class StreamTask:
+    """One (re)attempt at checking one spooled stream under serve.
+
+    ``checkpoint_path`` is ``None`` for replay-from-origin streams
+    (backend selection with no snapshot codec); the worker then runs
+    without periodic checkpoints and a daemon restart deterministically
+    replays the stream from its first event.
+    """
+
+    stream_id: str
+    path: str
+    format: str
+    backends: tuple[str, ...]
+    checkpoint_path: Optional[str]
+    checkpoint_every: int
+    budgets: Budgets
+    on_pressure: str
+    max_retained: int
+
+
+def run_stream_task(task: StreamTask):
+    """Worker: one supervised pass over one stream."""
+    from repro.serve.stream import process_stream
+
+    return process_stream(task)
 
 
 # ---------------------------------------------------------- corpus replay

@@ -38,6 +38,12 @@ from repro.resilience.quarantine import (
     StreamFault,
     StreamIntegrityError,
 )
+from repro.resilience.ringlog import DEFAULT_RETAINED, RingLog
+from repro.resilience.shutdown import (
+    EXIT_INTERRUPTED,
+    GracefulShutdown,
+    ShutdownRequested,
+)
 from repro.resilience.snapshot import (
     SNAPSHOT_FORMAT,
     SNAPSHOT_VERSION,
@@ -49,6 +55,7 @@ from repro.resilience.snapshot import (
     capture_snapshot,
     clone_backend,
     parse_snapshot,
+    previous_snapshot_path,
     read_snapshot,
     restore_backend,
     supports,
@@ -60,7 +67,12 @@ from repro.resilience.supervisor import (
 )
 
 __all__ = [
+    "DEFAULT_RETAINED",
+    "EXIT_INTERRUPTED",
+    "GracefulShutdown",
+    "RingLog",
     "RUNGS",
+    "ShutdownRequested",
     "Budgets",
     "DegradationEvent",
     "FaultKind",
@@ -86,6 +98,7 @@ __all__ = [
     "capture_snapshot",
     "clone_backend",
     "parse_snapshot",
+    "previous_snapshot_path",
     "read_snapshot",
     "restore_backend",
     "supports",

@@ -43,6 +43,7 @@ from typing import Optional
 
 from repro.core.backend import AnalysisBackend
 from repro.graph.stepcode import SlotsExhausted
+from repro.resilience.ringlog import RingLog
 from repro.resilience.snapshot import adopt_state, clone_backend, supports
 
 #: Ladder rungs, least to most aggressive.
@@ -88,6 +89,31 @@ class Budgets:
     def unbounded(self) -> bool:
         return self.max_live_nodes is None and self.max_state_entries is None
 
+    def slice(self, shares: int, floor: int = 64) -> "Budgets":
+        """These budgets divided fairly across ``shares`` tenants.
+
+        The serve daemon enforces one *global* memory budget; each
+        concurrently-active stream gets an equal slice so a single
+        hungry tenant climbs its own degradation ladder instead of
+        starving its neighbors.  Capacity limits divide (never below
+        ``floor`` — a sliver budget under the irreducible live set of
+        any real trace would keep every stream permanently degraded);
+        cadence knobs (``check_interval``, ``cooldown``) are per-stream
+        already and pass through unchanged.
+        """
+        if shares < 1:
+            raise ValueError("shares must be >= 1")
+
+        def part(value: Optional[int]) -> Optional[int]:
+            return value if value is None else max(floor, value // shares)
+
+        return Budgets(
+            max_live_nodes=part(self.max_live_nodes),
+            max_state_entries=part(self.max_state_entries),
+            check_interval=self.check_interval,
+            cooldown=self.cooldown,
+        )
+
 
 @dataclass(frozen=True)
 class DegradationEvent:
@@ -120,7 +146,10 @@ class ResourceGovernor:
     Attributes:
         degraded: True once the degrade rung has run; verdicts from a
             degraded run are sound but not complete.
-        events: every intervention taken, in order.
+        events: interventions taken, in order — a capped
+            :class:`~repro.resilience.ringlog.RingLog` (newest 512; a
+            budget stuck just above its floor intervenes every probe,
+            forever, and the log must not grow with the stream).
     """
 
     def __init__(
@@ -135,7 +164,7 @@ class ResourceGovernor:
         self.budgets = budgets
         self.on_pressure = on_pressure
         self.degraded = False
-        self.events: list[DegradationEvent] = []
+        self.events: RingLog = RingLog(maxlen=512)
         self._last_applied: dict[str, int] = {}
 
     # -------------------------------------------------------------- pressure

@@ -40,6 +40,7 @@ from typing import Iterable, Iterator, Optional, TextIO, Union
 from repro.events.operations import Operation, OpKind
 from repro.events.serialize import JsonlFault, JsonlRecord, iter_jsonl
 from repro.pipeline.source import EventSink, SourceResult
+from repro.resilience.ringlog import DEFAULT_RETAINED, RingLog
 
 PathLike = Union[str, Path]
 
@@ -118,49 +119,68 @@ STRICT = ResyncPolicy(action="halt")
 
 
 class Quarantine:
-    """Collects stream faults and enforces a :class:`ResyncPolicy`."""
+    """Collects stream faults and enforces a :class:`ResyncPolicy`.
 
-    def __init__(self, policy: ResyncPolicy = LENIENT):
+    The fault list is a capped :class:`~repro.resilience.ringlog.
+    RingLog` (``max_retained`` newest entries): a stream that is pure
+    garbage generates one fault per record, and an always-on daemon
+    must bound that per stream.  Counts stay exact however many fault
+    *records* were evicted — :meth:`counts`, :meth:`summary`, and the
+    ``max_faults`` budget all work from totals, not retention.
+    """
+
+    def __init__(self, policy: ResyncPolicy = LENIENT,
+                 max_retained: Optional[int] = DEFAULT_RETAINED):
         self.policy = policy
-        self.faults: list[StreamFault] = []
+        self.faults: RingLog = RingLog(maxlen=max_retained)
+        self._counts: dict[str, int] = {}
 
     def admit(self, fault: StreamFault) -> None:
         """Record a fault; raises when the policy says to halt."""
         self.faults.append(fault)
+        kind = fault.kind.value
+        self._counts[kind] = self._counts.get(kind, 0) + 1
         policy = self.policy
         if policy.action == "halt" or fault.kind in policy.halt_on:
             raise StreamIntegrityError(
                 f"stream fault ({fault.kind.value}): {fault.detail}",
-                self.faults,
+                list(self.faults),
             )
         if (
             policy.max_faults is not None
-            and len(self.faults) > policy.max_faults
+            and self.faults.total > policy.max_faults
         ):
             raise StreamIntegrityError(
-                f"fault budget exceeded: {len(self.faults)} faults "
+                f"fault budget exceeded: {self.faults.total} faults "
                 f"(budget {policy.max_faults}); last was "
                 f"{fault.kind.value}: {fault.detail}",
-                self.faults,
+                list(self.faults),
             )
 
     def __len__(self) -> int:
-        return len(self.faults)
+        """Faults ever admitted (evicted records still count)."""
+        return self.faults.total
+
+    @property
+    def dropped(self) -> int:
+        """Fault records evicted from retention to honor the cap."""
+        return self.faults.dropped
 
     def counts(self) -> dict[str, int]:
         """Fault counts by kind value (for reports and metrics)."""
-        out: dict[str, int] = {}
-        for fault in self.faults:
-            out[fault.kind.value] = out.get(fault.kind.value, 0) + 1
-        return out
+        return dict(self._counts)
 
     def summary(self) -> str:
-        if not self.faults:
+        if not self.faults.total:
             return "quarantine: clean stream"
         parts = ", ".join(
             f"{kind}={count}" for kind, count in sorted(self.counts().items())
         )
-        return f"quarantine: {len(self.faults)} faults ({parts})"
+        capped = (
+            f"; {self.faults.dropped} oldest not retained"
+            if self.faults.dropped else ""
+        )
+        return f"quarantine: {self.faults.total} faults ({parts}{capped})"
 
 
 class _StructuralGuard:
@@ -203,6 +223,8 @@ class HardenedJsonlSource:
             :class:`JsonlFault` items.
         policy: the resync policy (default: skip everything skippable).
         structural: guard against end-without-begin markers.
+        max_retained: quarantine retention cap (fault *counts* stay
+            exact past it; see :class:`Quarantine`).
     """
 
     def __init__(
@@ -210,9 +232,10 @@ class HardenedJsonlSource:
         source: Union[TextIO, PathLike, Iterable],
         policy: ResyncPolicy = LENIENT,
         structural: bool = True,
+        max_retained: Optional[int] = DEFAULT_RETAINED,
     ):
         self._source = source
-        self.quarantine = Quarantine(policy)
+        self.quarantine = Quarantine(policy, max_retained=max_retained)
         self._structural = structural
 
     def _items(self) -> Iterator[Union[JsonlRecord, JsonlFault]]:
@@ -322,9 +345,10 @@ class HardenedTraceSource:
         self,
         ops: Iterable[Operation],
         policy: ResyncPolicy = LENIENT,
+        max_retained: Optional[int] = DEFAULT_RETAINED,
     ):
         self.ops = ops
-        self.quarantine = Quarantine(policy)
+        self.quarantine = Quarantine(policy, max_retained=max_retained)
 
     def run(self, sink: EventSink) -> SourceResult:
         guard = _StructuralGuard()

@@ -1,0 +1,97 @@
+"""A bounded append-only log: keeps the newest entries, counts the rest.
+
+Long-lived deployments accumulate diagnostic records without bound —
+quarantine faults on a garbage stream, governor interventions on a
+thrashing workload, per-stream activity samples in the serve daemon.
+Each record is small, but "small times forever" is how one pathological
+tenant exhausts a daemon's memory.  :class:`RingLog` is the shared
+answer: a list-like container that retains at most ``maxlen`` entries,
+silently evicting the *oldest* when full, while :attr:`total` and
+:attr:`dropped` keep exact counts so reports never mistake a capped log
+for a short one.
+
+Unlike :class:`collections.deque`, a :class:`RingLog` supports slicing
+and remembers how much it forgot — both of which the existing fault and
+degradation reports rely on.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, TypeVar
+
+from collections import deque
+
+T = TypeVar("T")
+
+#: Default retention for diagnostic logs.  Big enough that any
+#: plausible debugging session sees the interesting tail; small enough
+#: that a million-fault stream costs kilobytes, not gigabytes.
+DEFAULT_RETAINED = 1024
+
+
+class RingLog:
+    """An append-only log retaining only the newest ``maxlen`` entries.
+
+    Attributes:
+        maxlen: retention cap (``None`` = unbounded, behaves as a list).
+        total: entries ever appended, including evicted ones.
+        dropped: entries evicted to honor the cap.
+    """
+
+    __slots__ = ("_entries", "maxlen", "total")
+
+    def __init__(self, maxlen: int | None = DEFAULT_RETAINED,
+                 entries: Iterable[T] = ()):
+        if maxlen is not None and maxlen < 1:
+            raise ValueError("maxlen must be >= 1 when set")
+        self.maxlen = maxlen
+        self._entries: deque = deque(maxlen=maxlen)
+        self.total = 0
+        for entry in entries:
+            self.append(entry)
+
+    @property
+    def dropped(self) -> int:
+        return self.total - len(self._entries)
+
+    def append(self, entry: T) -> None:
+        # deque's own maxlen does the eviction; total keeps the truth.
+        self._entries.append(entry)
+        self.total += 1
+
+    def extend(self, entries: Iterable[T]) -> None:
+        for entry in entries:
+            self.append(entry)
+
+    def clear(self) -> None:
+        """Forget everything, counters included (a fresh log)."""
+        self._entries.clear()
+        self.total = 0
+
+    def __len__(self) -> int:
+        """Retained entries (use :attr:`total` for the true count)."""
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[T]:
+        return iter(self._entries)
+
+    def __bool__(self) -> bool:
+        return bool(self._entries)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return list(self._entries)[index]
+        return self._entries[index]
+
+    def __eq__(self, other) -> bool:
+        """Equal to any sequence of the *retained* entries."""
+        if isinstance(other, RingLog):
+            return self._entries == other._entries
+        if isinstance(other, (list, tuple)):
+            return list(self._entries) == list(other)
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        cap = "unbounded" if self.maxlen is None else f"cap {self.maxlen}"
+        return (f"RingLog({len(self._entries)} retained of {self.total}, "
+                f"{cap})")

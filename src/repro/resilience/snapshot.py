@@ -571,14 +571,35 @@ def capture_backend(backend: AnalysisBackend) -> dict:
 def restore_backend(
     state: dict, compact_pools: bool = False
 ) -> AnalysisBackend:
-    """Rebuild a backend from :func:`capture_backend` output."""
+    """Rebuild a backend from :func:`capture_backend` output.
+
+    Failures — an unknown codec, or a state document whose structure
+    the codec chokes on (a corrupted snapshot that is still valid
+    JSON) — always surface as :class:`SnapshotError`, never as a raw
+    ``KeyError``/``TypeError`` from deep inside a codec: callers like
+    :meth:`SupervisedChecker.resume
+    <repro.resilience.supervisor.SupervisedChecker.resume>` distinguish
+    "this checkpoint is bad, try the previous one" from a genuine bug
+    by that type.
+    """
+    if not isinstance(state, dict):
+        raise SnapshotError(f"backend state must be an object, "
+                            f"got {type(state).__name__}")
     try:
         codec = _CODECS_BY_KEY[state["codec"]]
     except KeyError:
         raise SnapshotError(
             f"unknown backend codec {state.get('codec')!r}"
         ) from None
-    return codec.restore(state, compact_pools=compact_pools)
+    try:
+        return codec.restore(state, compact_pools=compact_pools)
+    except SnapshotError:
+        raise
+    except Exception as exc:  # noqa: BLE001 - corrupt state, fail loudly
+        raise SnapshotError(
+            f"cannot restore {state['codec']!r} state: "
+            f"{type(exc).__name__}: {exc}"
+        ) from exc
 
 
 @dataclass(frozen=True)
@@ -648,22 +669,38 @@ def parse_snapshot(document: dict) -> Snapshot:
     )
 
 
+def previous_snapshot_path(path: PathLike) -> Path:
+    """Where :func:`write_snapshot` rotates the prior checkpoint to."""
+    path = Path(path)
+    return path.with_name(path.name + ".prev")
+
+
 def write_snapshot(
     path: PathLike,
     backends: Sequence[AnalysisBackend],
     position: int,
     meta: Optional[dict] = None,
+    keep_previous: bool = False,
 ) -> Path:
     """Atomically write a snapshot file (temp file + rename).
 
     A crash during checkpointing leaves either the previous complete
     snapshot or the new complete snapshot — never a torn file.
     ``meta`` (JSON-serializable) is stored verbatim in the envelope.
+
+    With ``keep_previous``, the checkpoint that ``path`` currently
+    holds is rotated to :func:`previous_snapshot_path` first, so a
+    snapshot that later turns out to be unreadable (disk corruption
+    after the atomic write — the write itself cannot tear) still
+    leaves one known-good generation to fall back to.  Both renames
+    are atomic; a kill between them loses no generation.
     """
     path = Path(path)
     document = capture_snapshot(backends, position, meta=meta)
     tmp = path.with_name(path.name + ".tmp")
     tmp.write_text(json.dumps(document, sort_keys=True), encoding="utf-8")
+    if keep_previous and path.exists():
+        os.replace(path, previous_snapshot_path(path))
     os.replace(tmp, path)
     return path
 
@@ -673,7 +710,7 @@ def read_snapshot(path: PathLike) -> Snapshot:
     path = Path(path)
     try:
         document = json.loads(path.read_text(encoding="utf-8"))
-    except json.JSONDecodeError as exc:
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
         raise SnapshotError(f"{path}: snapshot is not valid JSON") from exc
     return parse_snapshot(document)
 

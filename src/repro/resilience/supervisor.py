@@ -30,7 +30,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Optional, Sequence, Union
+from typing import Callable, Optional, Sequence, Union
 
 from repro.core.backend import AnalysisBackend
 from repro.events.operations import Operation
@@ -43,10 +43,13 @@ from repro.resilience.governor import (
     ResourceGovernor,
 )
 from repro.resilience.snapshot import (
+    SnapshotError,
     adopt_state,
     capture_backend,
+    previous_snapshot_path,
     read_snapshot,
     restore_backend,
+    supports,
     write_snapshot,
 )
 
@@ -123,6 +126,12 @@ class SupervisedChecker:
             receiving the checkpoint position and returning one (used
             to record the packed trace's block-aligned resume offset,
             which depends on the position being checkpointed).
+        stop_check: optional zero-argument callable invoked before
+            each event (and each block) is processed.  It may raise
+            :class:`~repro.resilience.shutdown.ShutdownRequested` to
+            unwind the run at a consistent cut — no event
+            half-processed — so the caller can take a final checkpoint
+            and exit cleanly (graceful SIGTERM handling).
     """
 
     def __init__(
@@ -135,6 +144,7 @@ class SupervisedChecker:
         recovery_window: Optional[int] = None,
         start_position: int = 0,
         checkpoint_meta=None,
+        stop_check: Optional[Callable[[], None]] = None,
     ):
         if checkpoint_every is not None and checkpoint_every < 1:
             raise ValueError("checkpoint_every must be >= 1")
@@ -161,11 +171,25 @@ class SupervisedChecker:
             raise ValueError("recovery_window must be >= 1")
         self.recovery_window = recovery_window
         self.checkpoint_meta = checkpoint_meta
+        self.stop_check = stop_check
+        #: Which checkpoint file this run was rebuilt from (``None``
+        #: for a fresh run); the fallback resume sets it to the
+        #: ``.prev`` generation when the primary was unreadable.
+        self.resumed_from: Optional[Path] = None
         self.position = start_position
+        #: Position of the newest on-disk checkpoint; ``position``
+        #: minus this is the re-work bound ("checkpoint lag") a crash
+        #: right now would cost.
+        self.last_checkpoint_position = start_position
         self.checkpoints_written = 0
         self.recoveries = 0
-        self._boundary: list[dict] = [
-            capture_backend(backend) for backend in self.backends
+        # Backends without a snapshot codec (e.g. AeroDrome) can still
+        # run supervised — governor budgets and stop checks apply —
+        # but they have no recovery boundary: exhaustion re-raises
+        # instead of rolling back, and checkpoint() rejects them.
+        self._boundary: list[Optional[dict]] = [
+            capture_backend(backend) if supports(backend) else None
+            for backend in self.backends
         ]
         #: Operations (and undecoded block entries) since the boundary.
         self._buffer: list = []
@@ -188,16 +212,60 @@ class SupervisedChecker:
         that was never interrupted.
         """
         snapshot = read_snapshot(checkpoint_path)
-        return cls(
+        checker = cls(
             snapshot.restore(),
             checkpoint_path=checkpoint_path,
             start_position=snapshot.position,
             **options,
         )
+        checker.resumed_from = Path(checkpoint_path)
+        return checker
+
+    @classmethod
+    def resume_with_fallback(
+        cls, checkpoint_path: PathLike, **options
+    ) -> "SupervisedChecker":
+        """Resume, falling back to the previous checkpoint generation.
+
+        :meth:`checkpoint` rotates the prior snapshot to
+        ``<path>.prev`` before installing a new one, so a checkpoint
+        file that was torn or corrupted *after* its atomic write (bad
+        disk, truncated copy, bit flips) does not strand the stream:
+        this constructor tries the primary file, and on a
+        :class:`~repro.resilience.snapshot.SnapshotError` (or a
+        missing/unreadable file) restores the ``.prev`` generation
+        instead — losing at most one checkpoint interval of progress,
+        never restarting from scratch silently.  Check
+        :attr:`resumed_from` to see which generation was used.  When
+        both generations are bad the error names each one and its
+        failure, loudly.
+        """
+        primary = Path(checkpoint_path)
+        failures: list[str] = []
+        for candidate in (primary, previous_snapshot_path(primary)):
+            try:
+                snapshot = read_snapshot(candidate)
+                backends = snapshot.restore()
+            except (SnapshotError, OSError) as exc:
+                failures.append(f"{candidate}: {exc}")
+                continue
+            checker = cls(
+                backends,
+                checkpoint_path=primary,
+                start_position=snapshot.position,
+                **options,
+            )
+            checker.resumed_from = candidate
+            return checker
+        raise SnapshotError(
+            "no usable checkpoint generation: " + "; ".join(failures)
+        )
 
     # ------------------------------------------------------------ event sink
     def process(self, op: Operation) -> None:
         """Feed one operation to every backend, with recovery."""
+        if self.stop_check is not None:
+            self.stop_check()
         for index, backend in enumerate(self.backends):
             try:
                 backend.process(op)
@@ -242,6 +310,8 @@ class SupervisedChecker:
             for op in decode():
                 self.process(op)
             return
+        if self.stop_check is not None:
+            self.stop_check()
         ops = None
         for index, backend in enumerate(self.backends):
             try:
@@ -307,8 +377,12 @@ class SupervisedChecker:
     def checkpoint(self, path: Optional[PathLike] = None) -> Path:
         """Write a snapshot now; returns the file written.
 
-        Also refreshes the in-memory recovery boundary — the state
-        just captured is the newest consistent cut.
+        The prior snapshot is rotated to ``<path>.prev`` first
+        (:func:`~repro.resilience.snapshot.previous_snapshot_path`),
+        so :meth:`resume_with_fallback` always has one known-good
+        generation behind the newest.  Also refreshes the in-memory
+        recovery boundary — the state just captured is the newest
+        consistent cut.
         """
         target = Path(path) if path is not None else self.checkpoint_path
         if target is None:
@@ -322,15 +396,18 @@ class SupervisedChecker:
                 list(span) for span in self._ff_ranges
             ]
         written = write_snapshot(
-            target, self.backends, self.position, meta=meta
+            target, self.backends, self.position, meta=meta,
+            keep_previous=True,
         )
         self.checkpoints_written += 1
+        self.last_checkpoint_position = self.position
         self._refresh_boundary()
         return written
 
     def _refresh_boundary(self) -> None:
         self._boundary = [
-            capture_backend(backend) for backend in self.backends
+            capture_backend(backend) if supports(backend) else None
+            for backend in self.backends
         ]
         self._buffer.clear()
         self._buffered_ops = 0
@@ -356,6 +433,8 @@ class SupervisedChecker:
         """
         if self.on_pressure == "fail":
             raise
+        if self._boundary[index] is None:
+            raise   # no codec, no rollback: surface the exhaustion
         self.recoveries += 1
         backend = self.backends[index]
         governor = self.governors[index]
@@ -396,6 +475,11 @@ class SupervisedChecker:
         yield from tail
 
     # --------------------------------------------------------------- results
+    @property
+    def fast_forwarded_events(self) -> int:
+        """Events absorbed from block summaries without decode."""
+        return sum(last - first + 1 for first, last in self._ff_ranges)
+
     @property
     def degraded(self) -> bool:
         """True if any backend runs with degraded completeness."""

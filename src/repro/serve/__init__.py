@@ -1,0 +1,46 @@
+"""``repro serve``: the always-on multi-stream checking daemon.
+
+Layering (each module usable alone):
+
+* :mod:`~repro.serve.config` — :class:`ServeConfig`, the one knob set.
+* :mod:`~repro.serve.registry` — crash-safe per-stream state on disk.
+* :mod:`~repro.serve.spool` — stable-file detection, content dedupe,
+  format sniffing over the watched directory.
+* :mod:`~repro.serve.stream` — the per-stream worker body (resume,
+  check, bounded outcome).
+* :mod:`~repro.serve.retry` — exponential backoff, then park.
+* :mod:`~repro.serve.metrics` — counters plus the HTTP endpoint.
+* :mod:`~repro.serve.ingest` — unix-socket trace uploads.
+* :mod:`~repro.serve.daemon` — the round loop tying it all together.
+
+See ``docs/serving.md`` for the operational story and the
+crash-equivalence guarantee.
+"""
+
+from repro.serve.config import NO_SNAPSHOT_POLICIES, ServeConfig
+from repro.serve.daemon import ServeDaemon
+from repro.serve.ingest import IngestListener, upload_trace
+from repro.serve.metrics import MetricsServer, ServeMetrics
+from repro.serve.registry import StreamRecord, StreamRegistry, stream_id
+from repro.serve.retry import RetryPolicy
+from repro.serve.spool import SpoolScanner, StableFile, file_digest
+from repro.serve.stream import process_stream, warning_fingerprint
+
+__all__ = [
+    "NO_SNAPSHOT_POLICIES",
+    "ServeConfig",
+    "ServeDaemon",
+    "IngestListener",
+    "upload_trace",
+    "MetricsServer",
+    "ServeMetrics",
+    "StreamRecord",
+    "StreamRegistry",
+    "stream_id",
+    "RetryPolicy",
+    "SpoolScanner",
+    "StableFile",
+    "file_digest",
+    "process_stream",
+    "warning_fingerprint",
+]

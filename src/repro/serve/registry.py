@@ -1,0 +1,165 @@
+"""The stream registry: crash-safe per-stream state on disk.
+
+Every stream the daemon has ever seen has exactly one record, persisted
+as one JSON file under ``<state>/streams/`` and rewritten atomically
+(temp file + rename) on every transition.  Because each record is its
+own file, a ``kill -9`` can lose at most the single in-flight
+transition — never corrupt a neighbor's state — and a restarted daemon
+reconstructs the whole registry by listing the directory.
+
+Identity is *content*, not filename: a stream's id embeds the
+canonical-operation digest of :func:`repro.fuzz.corpus.trace_digest`,
+so re-dropping an already-processed trace under a new name (or in a
+different format — packed vs JSONL digests identically) is recognized
+as a duplicate and skipped instead of re-checked.
+
+Lifecycle::
+
+    pending -> running -> done
+                  |-> failed -> pending (retry, with backoff)
+                  |       `-> parked (attempts exhausted)
+                  `-> pending (interrupted by shutdown)
+    quarantined / duplicate / rejected  (terminal on arrival)
+
+``running`` records found at startup are demoted to ``pending``: the
+previous daemon died holding them, and their checkpoints (if any)
+carry the progress.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Optional, Union
+
+PathLike = Union[str, Path]
+
+#: Stream states.  Terminal: done, parked, quarantined, duplicate,
+#: rejected.  Workable: pending, failed (when its backoff elapses).
+PENDING = "pending"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+PARKED = "parked"
+QUARANTINED = "quarantined"
+DUPLICATE = "duplicate"
+REJECTED = "rejected"
+
+TERMINAL = frozenset({DONE, PARKED, QUARANTINED, DUPLICATE, REJECTED})
+
+_ID_SAFE = re.compile(r"[^A-Za-z0-9._-]+")
+
+
+def stream_id(path: PathLike, digest: str) -> str:
+    """A stable, filesystem-safe id: sanitized stem + digest prefix."""
+    stem = _ID_SAFE.sub("_", Path(path).stem) or "stream"
+    return f"{stem[:48]}-{digest[:12]}"
+
+
+@dataclass
+class StreamRecord:
+    """One stream's persistent state.
+
+    Attributes:
+        stream_id: registry key (see :func:`stream_id`).
+        path: the spooled input file.
+        digest: content digest (canonical-operation hash when the
+            trace parsed; raw-byte hash prefixed ``raw-`` otherwise).
+        format: sniffed trace format (``vtrc``/``jsonl``/``dsl``), or
+            ``None`` for quarantined files.
+        status: lifecycle state (module constants).
+        attempts: failed processing attempts so far.
+        checkpointable: False when the backend selection has no
+            snapshot codec — the stream is declared replay-from-origin
+            (:data:`~repro.serve.config.NO_SNAPSHOT_POLICIES`).
+        error: last failure/quarantine reason.
+        result: bounded verdict payload once ``done`` (see
+            :func:`repro.serve.stream.process_stream`).
+    """
+
+    stream_id: str
+    path: str
+    digest: str
+    format: Optional[str] = None
+    status: str = PENDING
+    attempts: int = 0
+    checkpointable: bool = True
+    error: str = ""
+    result: Optional[dict] = None
+
+    @property
+    def terminal(self) -> bool:
+        return self.status in TERMINAL
+
+
+class StreamRegistry:
+    """All stream records, mirrored to one JSON file each."""
+
+    def __init__(self, directory: PathLike):
+        self.directory = Path(directory)
+        self._records: dict[str, StreamRecord] = {}
+
+    # ------------------------------------------------------------ persistence
+    def load(self) -> None:
+        """Rebuild from disk; in-flight records demote to pending."""
+        self._records.clear()
+        for path in sorted(self.directory.glob("*.json")):
+            try:
+                data = json.loads(path.read_text(encoding="utf-8"))
+                record = StreamRecord(**data)
+            except (ValueError, TypeError):
+                # A record torn by a crash mid-write never happens
+                # (writes are atomic), but a hand-edited or damaged
+                # one must not take the daemon down; drop it and let
+                # the spool scan re-register the stream.
+                path.unlink(missing_ok=True)
+                continue
+            if record.status == RUNNING:
+                record.status = PENDING
+            self._records[record.stream_id] = record
+
+    def save(self, record: StreamRecord) -> None:
+        """Persist one record atomically and index it."""
+        self._records[record.stream_id] = record
+        target = self.directory / f"{record.stream_id}.json"
+        tmp = target.with_name(target.name + ".tmp")
+        tmp.write_text(
+            json.dumps(asdict(record), sort_keys=True), encoding="utf-8"
+        )
+        os.replace(tmp, target)
+
+    # ----------------------------------------------------------------- lookup
+    def get(self, stream_id: str) -> Optional[StreamRecord]:
+        return self._records.get(stream_id)
+
+    def records(self) -> list[StreamRecord]:
+        return [self._records[key] for key in sorted(self._records)]
+
+    def known_paths(self) -> set[str]:
+        return {record.path for record in self._records.values()}
+
+    def by_digest(self, digest: str) -> Optional[StreamRecord]:
+        for record in self._records.values():
+            if record.digest == digest and record.status != DUPLICATE:
+                return record
+        return None
+
+    def counts(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for record in self._records.values():
+            out[record.status] = out.get(record.status, 0) + 1
+        return out
+
+    def workable(self) -> list[StreamRecord]:
+        """Streams that want processing (retry eligibility aside)."""
+        return [
+            record for record in self.records()
+            if record.status in (PENDING, FAILED)
+        ]
+
+    def drained(self) -> bool:
+        """True when every known stream is in a terminal state."""
+        return all(record.terminal for record in self._records.values())

@@ -1,0 +1,55 @@
+"""Retry policy for failed streams: exponential backoff, then park.
+
+A stream can fail for reasons that heal (the recorder still holds the
+file lock, a shared filesystem hiccup, a worker OOM-killed under
+transient memory pressure) and reasons that never will (a truncated
+packed block, a recording from an incompatible build).  The daemon
+cannot tell which it saw, so it retries every failure — but each
+attempt waits exponentially longer, and after ``max_attempts`` the
+stream is **parked**: kept in the registry with its last error, never
+retried again, never crashing the daemon, and visible in ``/metrics``
+until an operator repairs or removes the input.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How failed streams are retried.
+
+    Attributes:
+        max_attempts: total attempts (first try included) before the
+            stream is parked.
+        base_delay: seconds before the first retry.
+        factor: multiplier applied per further retry.
+        max_delay: backoff ceiling in seconds.
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.5
+    factor: float = 2.0
+    max_delay: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("delays must be >= 0")
+        if self.factor < 1.0:
+            raise ValueError("factor must be >= 1.0")
+
+    def delay(self, attempts: int) -> float:
+        """Seconds to wait after the ``attempts``-th failure (1-based)."""
+        if attempts < 1:
+            return 0.0
+        return min(
+            self.max_delay,
+            self.base_delay * self.factor ** (attempts - 1),
+        )
+
+    def exhausted(self, attempts: int) -> bool:
+        """True once ``attempts`` failures mean the stream parks."""
+        return attempts >= self.max_attempts

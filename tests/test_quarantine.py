@@ -173,3 +173,64 @@ class TestHardenedTraceSource:
         assert collected == list(CLEAN)
         assert result.events == len(CLEAN)
         assert source.quarantine.counts() == {"structural": 1}
+
+
+class TestBoundedRetention:
+    """Satellite: fault *retention* is capped so a pure-garbage stream
+    cannot grow daemon memory without bound, while fault *totals* —
+    counts, summary, and the ``max_faults`` budget — stay exact."""
+
+    def fault(self, index):
+        return StreamFault(
+            kind=FaultKind.MALFORMED,
+            detail=f"garbage record {index}",
+            position=0,
+            line_number=index + 1,
+        )
+
+    def test_totals_exact_past_eviction(self):
+        quarantine = Quarantine(LENIENT, max_retained=4)
+        for index in range(40):
+            quarantine.admit(self.fault(index))
+        assert len(quarantine) == 40
+        assert quarantine.dropped == 36
+        assert len(list(quarantine.faults)) == 4
+        assert quarantine.counts() == {"malformed": 40}
+
+    def test_newest_faults_retained(self):
+        quarantine = Quarantine(LENIENT, max_retained=3)
+        for index in range(10):
+            quarantine.admit(self.fault(index))
+        retained = [fault.line_number for fault in quarantine.faults]
+        assert retained == [8, 9, 10]
+
+    def test_summary_mentions_evictions(self):
+        quarantine = Quarantine(LENIENT, max_retained=2)
+        for index in range(5):
+            quarantine.admit(self.fault(index))
+        summary = quarantine.summary()
+        assert "malformed=5" in summary
+        assert "3 oldest not retained" in summary
+
+    def test_summary_silent_when_nothing_dropped(self):
+        quarantine = Quarantine(LENIENT, max_retained=8)
+        quarantine.admit(self.fault(0))
+        assert "not retained" not in quarantine.summary()
+
+    def test_max_faults_budget_counts_evicted(self):
+        policy = ResyncPolicy(action="skip", max_faults=6)
+        quarantine = Quarantine(policy, max_retained=2)
+        with pytest.raises(StreamIntegrityError, match="budget"):
+            for index in range(10):
+                quarantine.admit(self.fault(index))
+        assert len(quarantine) == 7   # budget trips on the 7th
+
+    def test_hardened_source_honors_cap(self):
+        lines = "\n".join('{"garbage": %d}' % n for n in range(30)) + "\n"
+        source = HardenedJsonlSource(
+            io.StringIO(lines), policy=LENIENT, max_retained=5
+        )
+        _, result = drain(source)
+        assert len(source.quarantine) == 30
+        assert source.quarantine.dropped == 25
+        assert result.events == 0

@@ -29,6 +29,7 @@ from repro.resilience.snapshot import (
     capture_snapshot,
     clone_backend,
     parse_snapshot,
+    previous_snapshot_path,
     read_snapshot,
     restore_backend,
     supports,
@@ -248,3 +249,89 @@ class TestSupportsAndAdopt:
         reference.process_trace(Trace(ops))
         reference.finish()
         assert fingerprint(target) == fingerprint(reference)
+
+
+class TestTornCheckpoints:
+    """A checkpoint damaged *after* its atomic write (bad disk, torn
+    copy, bit rot) must fail loudly and typedly: every read/restore
+    failure is a :class:`SnapshotError`, never a raw ``KeyError`` or
+    ``UnicodeDecodeError`` leaking codec internals.  That type is the
+    signal :meth:`SupervisedChecker.resume_with_fallback` keys on to
+    try the previous generation."""
+
+    def written_snapshot(self, tmp_path):
+        backend = VelodromeBasic()
+        ops = list(trace_for_seed(7))
+        for op in ops[:40]:
+            backend.process(op)
+        path = tmp_path / "snap.json"
+        write_snapshot(path, [backend], 40)
+        return path
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_truncation_at_fuzzed_offset_raises(self, tmp_path, seed):
+        path = self.written_snapshot(tmp_path)
+        data = path.read_bytes()
+        cut = random.Random(seed).randrange(0, len(data) - 1)
+        path.write_bytes(data[:cut])
+        with pytest.raises(SnapshotError):
+            read_snapshot(path).restore()
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_scribble_at_fuzzed_offset_never_raises_raw(
+        self, tmp_path, seed
+    ):
+        # Overwrite a 16-byte window with random bytes.  Depending on
+        # where the window lands the file may stop being UTF-8, stop
+        # being JSON, or stay JSON with a mangled state document; the
+        # invariant is that no outcome escapes as anything but
+        # SnapshotError.
+        path = self.written_snapshot(tmp_path)
+        data = bytearray(path.read_bytes())
+        rng = random.Random(seed)
+        start = rng.randrange(0, len(data) - 16)
+        for index in range(start, start + 16):
+            data[index] = rng.randrange(256)
+        path.write_bytes(bytes(data))
+        try:
+            read_snapshot(path).restore()
+        except SnapshotError:
+            pass
+
+    def test_valid_json_with_mangled_state_raises(self, tmp_path):
+        path = self.written_snapshot(tmp_path)
+        document = json.loads(path.read_text(encoding="utf-8"))
+        document["backends"][0]["graph"] = "not-a-graph"
+        path.write_text(json.dumps(document), encoding="utf-8")
+        with pytest.raises(SnapshotError):
+            read_snapshot(path).restore()
+
+    def test_non_utf8_file_raises_snapshot_error(self, tmp_path):
+        path = tmp_path / "snap.json"
+        path.write_bytes(b"\xff\xfe\x00garbage")
+        with pytest.raises(SnapshotError, match="not valid JSON"):
+            read_snapshot(path)
+
+
+class TestGenerationRotation:
+    def test_keep_previous_rotates_prior_checkpoint(self, tmp_path):
+        path = tmp_path / "snap.json"
+        backend = VelodromeBasic()
+        ops = list(trace_for_seed(7))
+        for op in ops[:10]:
+            backend.process(op)
+        write_snapshot(path, [backend], 10)
+        first_generation = path.read_text(encoding="utf-8")
+        for op in ops[10:20]:
+            backend.process(op)
+        write_snapshot(path, [backend], 20, keep_previous=True)
+        previous = previous_snapshot_path(path)
+        assert previous.read_text(encoding="utf-8") == first_generation
+        assert read_snapshot(path).position == 20
+        assert read_snapshot(previous).position == 10
+
+    def test_first_write_has_no_previous(self, tmp_path):
+        path = tmp_path / "snap.json"
+        backend = VelodromeBasic()
+        write_snapshot(path, [backend], 0, keep_previous=True)
+        assert not previous_snapshot_path(path).exists()

@@ -20,6 +20,11 @@ from repro.fuzz import trace_for_seed
 from repro.graph.stepcode import SlotsExhausted
 from repro.pipeline.source import TraceSource
 from repro.resilience import Budgets, SupervisedChecker
+from repro.resilience.snapshot import (
+    SnapshotError,
+    previous_snapshot_path,
+    read_snapshot,
+)
 
 NON_SERIALIZABLE = "1:begin(m) 1:rd(x) 2:wr(x) 1:wr(x) 1:end"
 
@@ -207,3 +212,104 @@ class TestReport:
         checker = SupervisedChecker([VelodromeBasic(), VelodromeOptimized()])
         checker.run(TraceSource(Trace.parse(NON_SERIALIZABLE)))
         assert len(checker.warnings()) >= 2
+
+
+class TestCheckpointGenerations:
+    """Satellite: a torn *primary* checkpoint must not strand a stream
+    — resume falls back to the rotated ``.prev`` generation, loses at
+    most one checkpoint interval, and still converges to the
+    uninterrupted verdicts."""
+
+    def run_reference(self, ops):
+        backend = VelodromeCompact()
+        for op in ops:
+            backend.process(op)
+        backend.finish()
+        return backend
+
+    def two_generations(self, tmp_path):
+        """Run far enough that the checkpoint file has rotated."""
+        ops = list(trace_for_seed(7))
+        path = tmp_path / "snap.json"
+        checker = SupervisedChecker(
+            [VelodromeCompact()], checkpoint_every=25, checkpoint_path=path
+        )
+        for op in ops:
+            checker.process(op)
+        assert checker.checkpoints_written >= 2
+        assert previous_snapshot_path(path).exists()
+        return ops, path
+
+    def test_fallback_to_previous_generation(self, tmp_path):
+        ops, path = self.two_generations(tmp_path)
+        reference = self.run_reference(ops)
+        primary_position = read_snapshot(path).position
+        # Tear the primary after its atomic write (disk corruption).
+        path.write_bytes(path.read_bytes()[: 40])
+
+        resumed = SupervisedChecker.resume_with_fallback(path)
+        assert resumed.resumed_from == previous_snapshot_path(path)
+        assert resumed.position == primary_position - 25
+        for op in ops[resumed.position:]:
+            resumed.process(op)
+        resumed.finish()
+        [backend] = resumed.backends
+        assert fingerprint(backend) == fingerprint(reference)
+
+    def test_primary_preferred_when_intact(self, tmp_path):
+        ops, path = self.two_generations(tmp_path)
+        resumed = SupervisedChecker.resume_with_fallback(path)
+        assert resumed.resumed_from == path
+        assert resumed.position == read_snapshot(path).position
+
+    def test_both_generations_bad_fails_loudly(self, tmp_path):
+        _, path = self.two_generations(tmp_path)
+        path.write_text("{torn", encoding="utf-8")
+        previous_snapshot_path(path).write_bytes(b"\xff\xfe")
+        with pytest.raises(SnapshotError) as excinfo:
+            SupervisedChecker.resume_with_fallback(path)
+        # The error names every generation it tried.
+        assert str(path) in str(excinfo.value)
+        assert str(previous_snapshot_path(path)) in str(excinfo.value)
+
+    def test_missing_primary_falls_back(self, tmp_path):
+        ops, path = self.two_generations(tmp_path)
+        position = read_snapshot(previous_snapshot_path(path)).position
+        path.unlink()
+        resumed = SupervisedChecker.resume_with_fallback(path)
+        assert resumed.resumed_from == previous_snapshot_path(path)
+        assert resumed.position == position
+
+
+class TestCodecLessBackends:
+    """Backends without a snapshot codec (the vector-clock
+    ``aerodrome``) still run supervised — budgets and stop hooks apply
+    — but have no recovery boundary: exhaustion surfaces instead of
+    rolling back, and checkpointing them is refused up front."""
+
+    def test_supervised_run_completes(self):
+        from repro.core.aerodrome import AeroDrome
+
+        ops = list(trace_for_seed(7))
+        reference = AeroDrome()
+        for op in ops:
+            reference.process(op)
+        reference.finish()
+
+        checker = SupervisedChecker([AeroDrome()])
+        checker.run(TraceSource(Trace(ops)))
+        [backend] = checker.backends
+        assert fingerprint(backend) == fingerprint(reference)
+
+    def test_checkpointing_codec_less_backend_refused(self, tmp_path):
+        from repro.core.aerodrome import AeroDrome
+        from repro.resilience.snapshot import UnsupportedBackend
+
+        checker = SupervisedChecker(
+            [AeroDrome()],
+            checkpoint_every=5,
+            checkpoint_path=tmp_path / "snap.json",
+        )
+        with pytest.raises(UnsupportedBackend):
+            for op in trace_for_seed(7):
+                checker.process(op)
