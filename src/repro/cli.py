@@ -84,6 +84,7 @@ from repro.core import (
 )
 from repro.core.aerodrome import AeroDrome
 from repro.core.backend import AnalysisBackend
+from repro.core.memo import DEFAULT_MEMO_MAX
 from repro.events.render import render_with_transactions
 from repro.events.serialize import load_trace, save_trace
 from repro.fuzz import (
@@ -292,6 +293,7 @@ def _check_supervised_body(
             _packed_checkpoint_meta(args.trace) if packed else None
         ),
         stop_check=shutdown.check,
+        memo=_region_memo(args),
     )
     fast_forward = packed and not args.no_fast_forward
     packed_reader = None
@@ -373,6 +375,15 @@ def _fast_forward_enabled(args: argparse.Namespace) -> bool:
     return not args.no_fast_forward and _is_packed(args.trace)
 
 
+def _region_memo(args: argparse.Namespace):
+    """The ``--memoize`` memo table, or ``None`` when the flag is off."""
+    if not getattr(args, "memoize", False):
+        return None
+    from repro.core.memo import RegionMemo
+
+    return RegionMemo(max_entries=args.memo_max)
+
+
 def cmd_check(args: argparse.Namespace) -> int:
     if (
         args.resume
@@ -383,7 +394,7 @@ def cmd_check(args: argparse.Namespace) -> int:
         return _check_supervised(args)
     names = _selected_backends(args.backend)
     backends = [resolve_backend(name)() for name in names]
-    pipeline = Pipeline(backends, stats=args.stats)
+    pipeline = Pipeline(backends, stats=args.stats, memo=_region_memo(args))
     if _fast_forward_enabled(args):
         # Block-granular source: backends fast-forward summarized
         # blocks, and the full trace is only decoded if the warning
@@ -570,6 +581,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
         socket_path=(
             pathlib.Path(args.socket) if args.socket else None
         ),
+        memoize=args.memoize,
+        memo_max=args.memo_max,
     )
     with GracefulShutdown() as shutdown:
         daemon = ServeDaemon(config, shutdown=shutdown)
@@ -639,11 +652,55 @@ def _summary_json(summary) -> dict:
     }
 
 
+def _region_scan_json(scan) -> dict:
+    """A :class:`~repro.core.memo.RegionScan` as a JSON-ready dict."""
+    return {
+        "regions": scan.regions,
+        "repeated": scan.repeated,
+        "contiguous": scan.contiguous,
+        "region_events": scan.region_events,
+        "total_events": scan.total_events,
+        "repetition_ratio": round(scan.repetition_ratio, 4),
+        "region_event_ratio": round(scan.region_event_ratio, 4),
+        "top": [
+            {
+                "digest": digest, "count": count,
+                "ops": op_count, "label": label,
+            }
+            for digest, count, op_count, label in scan.top
+        ],
+    }
+
+
+def _render_region_scan(scan) -> str:
+    """The ``trace info --regions`` table."""
+    lines = [
+        f"  regions: {scan.regions} "
+        f"({scan.repeated} repeat occurrences, "
+        f"{scan.contiguous} contiguous), "
+        f"repetition {scan.repetition_ratio:.1%}, "
+        f"{scan.region_events}/{scan.total_events} events in regions "
+        f"({scan.region_event_ratio:.1%})",
+    ]
+    if scan.top:
+        lines.append(f"  {'digest':>14} {'count':>7} {'ops':>5}  label")
+        for digest, count, op_count, label in scan.top:
+            lines.append(f"  {digest:>14} {count:>7} {op_count:>5}  "
+                         f"{label or '-'}")
+    return "\n".join(lines)
+
+
 def cmd_trace_info(args: argparse.Namespace) -> int:
     import json
 
     from repro.store.reader import PackedTraceReader
 
+    scan = None
+    if args.regions:
+        from repro.core.memo import scan_regions
+
+        with PackedTraceReader(args.file) as reader:
+            scan = scan_regions(reader.seek(0), top=args.top)
     with PackedTraceReader(args.file) as reader:
         if args.json:
             # v1 files have no stored summaries; reconstruct them from
@@ -663,9 +720,13 @@ def cmd_trace_info(args: argparse.Namespace) -> int:
                     for b in reader.blocks
                 ],
             }
+            if scan is not None:
+                payload["regions"] = _region_scan_json(scan)
             print(json.dumps(payload, indent=2))
             return 0
         print(reader.info().render())
+        if scan is not None:
+            print(_render_region_scan(scan))
         if args.blocks:
             print(f"  {'block':>5} {'offset':>10} {'bytes':>8} "
                   f"{'ops':>6} {'seqs':>15}")
@@ -713,6 +774,11 @@ def cmd_trace_cat(args: argparse.Namespace) -> int:
 def cmd_workloads(_args: argparse.Namespace) -> int:
     for workload in all_workloads():
         table2 = workload.table2
+        if table2 is None:
+            # Synthetic workloads (e.g. request_loop) have no paper row.
+            print(f"{workload.name:12s} {workload.description:40s} "
+                  f"(synthetic; no paper row)")
+            continue
         print(f"{workload.name:12s} {workload.description:40s} "
               f"(paper: {table2.velodrome_non_serial} non-atomic, "
               f"{table2.atomizer_false_alarms} Atomizer FAs)")
@@ -750,6 +816,20 @@ def build_parser() -> argparse.ArgumentParser:
                             "op-by-op, ignoring stored block summaries")
     check.add_argument("--stats", action="store_true",
                        help="print pipeline metrics after the analysis")
+    check.add_argument("--memoize", action="store_true",
+                       help="memoize repeated transaction regions: the "
+                            "first occurrence of a region shape is "
+                            "certified op-by-op and summarized; later "
+                            "occurrences apply the cached summary when "
+                            "the backend's dynamic preconditions hold "
+                            "(verdicts are replay-identical; see "
+                            "docs/performance.md)")
+    check.add_argument("--memo-max", type=int, default=DEFAULT_MEMO_MAX,
+                       metavar="N",
+                       help="memo table capacity in region shapes; least-"
+                            "recently-used shapes evict beyond it, and 0 "
+                            "disables caching while keeping the counters "
+                            f"(default {DEFAULT_MEMO_MAX})")
     check.add_argument("--checkpoint", metavar="FILE",
                        help="snapshot file for the supervised runtime; a "
                             "final checkpoint is always written, and "
@@ -882,6 +962,15 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--socket", metavar="PATH",
                        help="accept trace uploads on this unix socket "
                             "(one connection = one complete trace)")
+    serve.add_argument("--memoize", action="store_true",
+                       help="memoize repeated transaction regions inside "
+                            "every stream's checker (as in 'check "
+                            "--memoize'); memo counters appear on "
+                            "/metrics")
+    serve.add_argument("--memo-max", type=int, default=DEFAULT_MEMO_MAX,
+                       metavar="N",
+                       help="per-stream memo table capacity "
+                            f"(default {DEFAULT_MEMO_MAX})")
     serve.add_argument("--oneshot", action="store_true",
                        help="exit once every known stream is terminal "
                             "instead of polling forever")
@@ -932,6 +1021,14 @@ def build_parser() -> argparse.ArgumentParser:
                       help="emit layout and per-block summaries as JSON")
     info.add_argument("--blocks", action="store_true",
                       help="also list every block (offset, size, seqs)")
+    info.add_argument("--regions", action="store_true",
+                      help="scan for repeated transaction regions: "
+                           "occurrence counts per region shape, "
+                           "repetition ratio, and the top shapes — the "
+                           "numbers that predict --memoize's payoff "
+                           "(decodes the whole trace)")
+    info.add_argument("--top", type=int, default=10, metavar="K",
+                      help="shapes listed by --regions (default 10)")
     info.set_defaults(func=cmd_trace_info)
 
     cat = verbs.add_parser(
@@ -967,7 +1064,8 @@ def build_parser() -> argparse.ArgumentParser:
              "BENCH_parallel.json); 'bench store' measures the packed "
              "trace store (writes BENCH_store.json); 'bench backends' "
              "races the graph vs vector-clock checkers (writes "
-             "BENCH_backends.json)",
+             "BENCH_backends.json); 'bench memo' races region "
+             "memoization on vs off (writes BENCH_memo.json)",
         add_help=False,
     )
     bench.set_defaults(func=None, harness_main=parallel_bench.main)

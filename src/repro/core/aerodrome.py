@@ -364,6 +364,105 @@ class AeroDrome(AnalysisBackend):
             cell = self._unary_join(state, (last,), tid)
         self._lock[op.target] = cell
 
+    # ---------------------------------------------------- region memoization
+    def apply_region_summary(self, summary, tid: int) -> bool:
+        """Apply one memoized transaction-bounded region without replay.
+
+        Inside a transaction every clock join is guarded by ``cell is
+        not None and cell is not cur and cell.tid != tid``: a dead or
+        same-thread slot joins nothing.  If every resource slot the
+        region consults is empty or owned by this thread, the replay
+        performs no join at all — no violation check can fire, no
+        clock grows, no follower push happens — and its net effect is
+        one fresh transaction cell stored into every touched slot.
+        An other-thread cell is also harmless when it is *inert*: no
+        longer live (so no tracking registration), its clock dominated
+        by this thread's carry (so ``vc_join`` changes nothing and no
+        follower push fires), and tracking nothing this thread's carry
+        does not already track (so the transitive-tracking loop is a
+        no-op).  This is the clock-world analog of the graph family's
+        "collected node" — on repetitive streams most stale slots
+        settle into it.  The preconditions, per consulted slot
+        (variable last-write for any access; per-thread reads for
+        writes; the lock cell for both acquire and release): absent,
+        this thread's, or inert — and the thread must not be inside an
+        atomic block.
+
+        When certified, the cell creation below mirrors ``_begin``
+        literally (inherited clock, ticked component, inherited
+        tracking with follower registration), the slot stores write
+        the replay's final values in first-touch order, and the
+        closing mirrors ``_end`` (freeze, release followers) — so the
+        retained state is exactly the replay's.
+        """
+        state = self._threads.get(tid)
+        if state is not None and state.depth:
+            return False
+        if state is not None:
+            prev_vc = state.cell.vc
+            prev_tracking = state.cell.tracking
+        else:
+            prev_vc = {}
+            prev_tracking = frozenset()
+
+        def inert(cell: Optional[_Cell]) -> bool:
+            if cell is None or cell.tid == tid:
+                return True
+            if cell.live:
+                return False
+            for clock_tid, clock in cell.vc.items():
+                if clock > prev_vc.get(clock_tid, 0):
+                    return False
+            for upstream in cell.tracking:
+                if upstream != tid and upstream not in prev_tracking:
+                    return False
+            return True
+
+        for use in summary.vars:
+            if not inert(self._write.get(use.name)):
+                return False
+            if use.written:
+                readers = self._reads.get(use.name)
+                if readers and not all(
+                    reader_tid == tid or inert(reader)
+                    for reader_tid, reader in readers.items()
+                ):
+                    return False
+        for use in summary.locks:
+            if not inert(self._lock.get(use.name)):
+                return False
+
+        # Certified: mirror _begin, write the final slots, mirror _end.
+        state = self._thread(tid)
+        prev = state.cell
+        vc = dict(prev.vc)
+        component = vc.get(tid, 0) + 1
+        vc[tid] = component
+        tracking = set(prev.tracking)
+        cell = _Cell(vc, tid, component, True, tracking, summary.label)
+        for upstream in tracking:
+            self._followers.setdefault(upstream, {})[cell] = None
+        state.cell = cell
+        for use in summary.vars:
+            readers = self._reads.get(use.name)
+            if use.read and readers is None:
+                readers = self._reads[use.name] = {}
+            if use.written:
+                if readers:
+                    readers.clear()
+                self._write[use.name] = cell
+            if use.reads_last:
+                readers[tid] = cell
+        for use in summary.locks:
+            self._lock[use.name] = cell
+        cell.live = False
+        followers = self._followers.pop(tid, None)
+        if followers:
+            for follower in followers:
+                follower.tracking.discard(tid)
+        self.events_processed += summary.op_count
+        return True
+
     # -------------------------------------------------------------- resources
     def state_entry_count(self) -> Optional[int]:
         """Retained clock-state entries (a resource-governor proxy)."""

@@ -68,6 +68,28 @@ class AnalysisBackend(abc.ABC):
         """
         return False
 
+    def apply_region_summary(self, summary, tid: int) -> bool:
+        """Apply one memoized transaction-bounded region, if possible.
+
+        ``summary`` is a :class:`~repro.core.memo.RegionSummary` — the
+        static access footprint of one thread's contiguous outermost
+        ``begin``..``end`` region — and ``tid`` the thread performing
+        this occurrence.  A backend that can prove, from the summary
+        plus its *current* state, that replaying the region operation
+        by operation would raise no warning and land in a state it can
+        write directly may do so and return True, advancing
+        ``events_processed`` by ``summary.op_count``.  The resulting
+        state must be exactly what the replay would have produced
+        (``repro.fuzz.memogate`` checks this with state snapshots
+        across the ablation grid).
+
+        Returning False declines: the caller replays the region's
+        buffered operations through :meth:`process`, so memoization can
+        never weaken soundness or completeness.  The default declines
+        everything.
+        """
+        return False
+
     def report(self, warning: "AnalysisWarning") -> None:
         """Record one warning."""
         self._warnings.append(warning)

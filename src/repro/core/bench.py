@@ -68,7 +68,7 @@ def measure_backends(
     from repro.core.aerodrome import AeroDrome
     from repro.core.optimized import VelodromeOptimized
     from repro.runtime.tool import run_velodrome
-    from repro.workloads import all_workloads
+    from repro.workloads import paper_workloads
 
     factories: dict[str, Callable[[], object]] = {
         "velodrome": lambda: VelodromeOptimized(
@@ -78,7 +78,7 @@ def measure_backends(
     }
 
     workloads = {}
-    for workload in all_workloads():
+    for workload in paper_workloads():
         trace = run_velodrome(
             workload.program(scale), seed=_RECORD_SEED, record_trace=True
         ).trace

@@ -494,6 +494,82 @@ class VelodromeOptimized(AnalysisBackend):
         self.events_processed += summary.op_count
         return True
 
+    # ---------------------------------------------------- region memoization
+    def apply_region_summary(self, summary, tid: int) -> bool:
+        """Apply one memoized transaction-bounded region without replay.
+
+        Inside a transaction every conflict edge goes through
+        :meth:`_edge`, which is a no-op whenever its source step is
+        dead (absent / collected) or already on the transaction's own
+        node.  If every *pre-region* step the region would consult is
+        dead, the replay therefore adds exactly one edge (the
+        program-order edge of [INS2 ENTER]), performs no cycle check
+        beyond it, and cannot warn; its final state is known in closed
+        form from the summary's offsets (the operation at region
+        offset ``k`` runs at timestamp ``k`` on the fresh node).  The
+        preconditions, per footprint entry:
+
+        * the thread is not inside an atomic block (the region's
+          ``begin`` must be an outermost [INS2 ENTER]);
+        * ``W(x)`` is dead for every accessed variable — the first
+          access, read or write, consults it (later accesses only see
+          the region's own steps);
+        * for written variables, every pre-region reader entry is dead,
+          except this thread's own when the region reads the variable
+          before writing it (the in-region read shadows the entry
+          before the write consults it);
+        * ``U(m)`` is dead for locks whose first acquire precedes any
+          release (an acquire after an in-region release only sees the
+          region's own step; a release never consults ``U(m)``).
+
+        When certified, the node allocation, program-order edge, and
+        stores below replicate the replay *literally* — same
+        ``add_edge`` call, same store helpers in the same weak-map
+        insertion order, same ``finish`` (and therefore the same GC
+        cascade) — so graph statistics and packed-state layouts match
+        the op-by-op run bit for bit.
+        """
+        if self._stacks.get(tid):
+            return False
+        for use in summary.vars:
+            if self._load_writer(use.name) is not None:
+                return False
+            if use.written:
+                shadowed = use.read_before_write
+                for reader_tid in self._reader_tids(use.name):
+                    if shadowed and reader_tid == tid:
+                        continue
+                    if self._load_reader(use.name, reader_tid) is not None:
+                        return False
+        for use in summary.locks:
+            if use.acquired_before_release and (
+                self._load_unlocker(use.name) is not None
+            ):
+                return False
+
+        # Certified: replay [INS2 ENTER] literally, then the final state.
+        node = self.graph.new_node(tid, label=summary.label)
+        step = Step(node, 0)
+        predecessor = self.last(tid)
+        if predecessor is not None:
+            cycle = self.graph.add_edge(
+                predecessor, step, reason=f"program-order(t{tid})"
+            )
+            assert cycle is None, "fresh node cannot close a cycle"
+        self._stacks.setdefault(tid, [])
+        for kind, name, offset in summary.stores:
+            final = Step(node, offset)
+            if kind == "r":
+                self._store_reader(name, tid, final)
+            elif kind == "w":
+                self._store_writer(name, final)
+            else:
+                self._store_unlocker(name, final)
+        self._set_last(tid, Step(node, summary.op_count - 1))
+        self.graph.finish(node)
+        self.events_processed += summary.op_count
+        return True
+
     def _naive(self, op: Operation, position: int) -> None:
         """[INS OUTSIDE]: wrap in a fresh unary transaction, no merging.
 

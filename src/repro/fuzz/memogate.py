@@ -1,0 +1,249 @@
+"""The region-memoization equivalence gate.
+
+Region memoization (:mod:`repro.core.memo`) claims to be *invisible*:
+a backend that accepts a memoized region summary
+(:meth:`~repro.core.backend.AnalysisBackend.apply_region_summary`)
+must land in exactly the state an op-by-op replay of that region would
+have produced.  This module checks the claim the strong way — not just
+verdict equality but full analysis-state equality — across the entire
+ablation grid.  Every trace is checked three times per configuration:
+
+* **plain path**: the trace replayed operation by operation, no memo
+  attached;
+* **cold path**: a fresh memo table — every region shape misses, is
+  certified by replay, and populates the table (exercising the
+  assembler's buffering/flush plumbing and the Nth-occurrence hits
+  within the trace);
+* **warm path**: a fresh backend driven through the *already
+  populated* memo table from the cold run — the very first occurrence
+  of each shape is now a hit, exercising the apply path against
+  pristine backend state.
+
+All three runs must agree on the verdict, every warning string, the
+warning label set, the processed-event count, *and* the complete
+captured backend state (:func:`~repro.resilience.snapshot.
+capture_backend`) where the backend has a snapshot codec.
+Configurations whose backends always decline the summary offer (the
+baselines, ``aerodrome`` under clock movement) exercise the decliner
+replay plumbing instead — agreement is required either way.
+
+Run as a module::
+
+    python -m repro.fuzz.memogate --budget 200 [--seed S] [--corpus DIR]
+
+replays the persisted corpus first (every shrunken divergence ever
+found), then gates the deterministic ``request_loop`` workload trace
+(the high-repetition shape memoization exists for), then ``budget``
+fresh random traces.  Exit status 1 signals a divergence — the memo
+layer must not ship.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.core.backend import AnalysisBackend
+from repro.core.memo import RegionMemo
+from repro.events.operations import Operation
+from repro.fuzz.corpus import DEFAULT_CORPUS
+from repro.fuzz.engine import iteration_seeds, trace_for_seed
+from repro.fuzz.grid import GridConfig, ablation_grid
+from repro.pipeline.core import Pipeline
+from repro.pipeline.source import TraceSource
+from repro.resilience.snapshot import capture_backend, supports
+
+
+@dataclass(frozen=True)
+class MemoDivergence:
+    """One disagreement between the plain path and a memoized path."""
+
+    source: str  # corpus file, workload name, or "seed:N"
+    config: str
+    path: str  # cold | warm
+    field: str  # verdict | warnings | labels | events | state
+    plain_value: str
+    memo_value: str
+
+    def __str__(self) -> str:
+        return (
+            f"[{self.source}] {self.config} ({self.path} memo): "
+            f"{self.field} diverged\n"
+            f"  plain: {self.plain_value}\n"
+            f"  memo : {self.memo_value}"
+        )
+
+
+def _run(
+    ops: Sequence[Operation],
+    config: GridConfig,
+    memo: Optional[RegionMemo],
+) -> AnalysisBackend:
+    backend = config.build()
+    Pipeline([backend], memo=memo).run(TraceSource(ops))
+    return backend
+
+
+def _state_digest(backend: AnalysisBackend) -> Optional[str]:
+    if not supports(backend):
+        return None
+    return json.dumps(capture_backend(backend), sort_keys=True)
+
+
+def _labels(backend: AnalysisBackend) -> list:
+    return sorted({str(w.label) for w in backend.warnings})
+
+
+def _compare(
+    source: str,
+    config: GridConfig,
+    path: str,
+    plain: AnalysisBackend,
+    memoized: AnalysisBackend,
+) -> list[MemoDivergence]:
+    divergences: list[MemoDivergence] = []
+
+    def diverge(field: str, plain_value, memo_value) -> None:
+        divergences.append(MemoDivergence(
+            source=source, config=config.name, path=path, field=field,
+            plain_value=str(plain_value), memo_value=str(memo_value),
+        ))
+
+    if plain.error_detected != memoized.error_detected:
+        diverge("verdict", plain.error_detected, memoized.error_detected)
+    plain_warnings = [str(w) for w in plain.warnings]
+    memo_warnings = [str(w) for w in memoized.warnings]
+    if plain_warnings != memo_warnings:
+        diverge("warnings", plain_warnings, memo_warnings)
+    if _labels(plain) != _labels(memoized):
+        diverge("labels", _labels(plain), _labels(memoized))
+    if plain.events_processed != memoized.events_processed:
+        diverge("events", plain.events_processed,
+                memoized.events_processed)
+    plain_state = _state_digest(plain)
+    memo_state = _state_digest(memoized)
+    if plain_state != memo_state:
+        diverge("state", "<captured state A>",
+                "<captured state B — see snapshots>")
+    return divergences
+
+
+def gate_trace(
+    ops: Sequence[Operation],
+    source: str,
+    configs: Optional[Sequence[GridConfig]] = None,
+) -> tuple[list[MemoDivergence], int]:
+    """Check plain vs cold-memo vs warm-memo agreement on one trace.
+
+    Returns the divergences plus the total memo hits across the grid
+    (so callers can report how much of the apply path the run actually
+    exercised).
+    """
+    if configs is None:
+        configs = ablation_grid()
+    ops = list(ops)
+    divergences: list[MemoDivergence] = []
+    hits = 0
+    for config in configs:
+        plain = _run(ops, config, memo=None)
+        # min_ops=0: the production threshold skips tiny regions for
+        # speed, but the gate wants the apply path exercised on every
+        # shape the fuzzer produces, small ones included.
+        cold_memo = RegionMemo(min_ops=0)
+        cold = _run(ops, config, memo=cold_memo)
+        divergences.extend(_compare(source, config, "cold", plain, cold))
+        cold_hits = cold_memo.hits
+        warm_memo = RegionMemo(min_ops=0)
+        # Pre-warm with the cold run's certified summaries: the first
+        # occurrence of every shape is now a hit against fresh state.
+        for key in cold_memo.keys():
+            entry = cold_memo.lookup(key)
+            if entry is not None and entry is not RegionMemo.PENDING:
+                warm_memo.insert(key, entry)
+        warm = _run(ops, config, memo=warm_memo)
+        divergences.extend(_compare(source, config, "warm", plain, warm))
+        hits += cold_hits + warm_memo.hits
+    return divergences, hits
+
+
+def _corpus_traces(corpus: Path):
+    from repro.events.serialize import load_trace
+
+    if not corpus.is_dir():
+        return
+    for path in sorted(corpus.glob("*.jsonl")):
+        yield path.name, list(load_trace(path))
+
+
+def _request_loop_trace() -> list[Operation]:
+    """The deterministic high-repetition workload trace."""
+    from repro.runtime.tool import run_velodrome
+    from repro.workloads import get
+
+    program = get("request_loop").program(1.0)
+    result = run_velodrome(program, seed=0, record_trace=True)
+    return list(result.trace)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.fuzz.memogate",
+        description="region-memoization vs op-by-op equivalence gate",
+    )
+    parser.add_argument("--budget", type=int, default=100, metavar="N",
+                        help="fresh random traces to gate (default 100)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="base seed for the random traces")
+    parser.add_argument("--corpus", default=str(DEFAULT_CORPUS),
+                        metavar="DIR",
+                        help="replay this corpus directory first")
+    parser.add_argument("--quick", action="store_true",
+                        help="gate only the four-config smoke grid")
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        from repro.fuzz.grid import default_grid
+
+        configs = default_grid()
+    else:
+        configs = ablation_grid()
+
+    failures: list[MemoDivergence] = []
+    checked = 0
+    applied = 0
+    for name, ops in _corpus_traces(Path(args.corpus)):
+        divergences, hits = gate_trace(ops, name, configs)
+        failures.extend(divergences)
+        applied += hits
+        checked += 1
+    divergences, hits = gate_trace(
+        _request_loop_trace(), "request_loop", configs
+    )
+    failures.extend(divergences)
+    applied += hits
+    checked += 1
+    for index, seed in enumerate(
+        iteration_seeds(args.seed, args.budget)
+    ):
+        ops = list(trace_for_seed(seed))
+        divergences, hits = gate_trace(ops, f"seed:{seed}", configs)
+        failures.extend(divergences)
+        applied += hits
+        checked += 1
+        if (index + 1) % 25 == 0:
+            print(f"  ... {index + 1}/{args.budget} fresh traces, "
+                  f"{applied} memo hits, {len(failures)} divergences")
+    for failure in failures:
+        print(failure)
+    verdict = "FAIL" if failures else "OK"
+    print(f"memogate: {verdict} — {checked} traces x {len(configs)} "
+          f"configs, {applied} memo hits, {len(failures)} divergences")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -17,7 +17,7 @@ from typing import Optional, Sequence
 from repro.harness.injection import run_injection
 from repro.harness.table1 import run_table1
 from repro.harness.table2 import run_table2
-from repro.workloads import all_workloads
+from repro.workloads import paper_workloads
 
 
 def generate_report(
@@ -57,7 +57,7 @@ def generate_report(
           + " — paper ordering Empty <= Eraser <= Atomizer ~ Velodrome.\n\n")
     write("| program | merge ratio (measured) | merge ratio (paper) |\n")
     write("|---|---|---|\n")
-    reported = selected if selected is not None else all_workloads()
+    reported = selected if selected is not None else paper_workloads()
     for row, workload in zip(table1.rows, reported):
         paper = workload.table1
         measured = row.nodes_allocated_without_merge / max(

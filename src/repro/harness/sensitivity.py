@@ -33,7 +33,7 @@ from repro.core.optimized import VelodromeOptimized
 from repro.harness.formatting import render_table
 from repro.runtime.scheduler import RandomScheduler
 from repro.runtime.tool import run_with_backends
-from repro.workloads.base import Workload, all_workloads
+from repro.workloads.base import Workload, paper_workloads
 
 #: Scheduler granularities: name -> switch probability per operation.
 GRANULARITIES: dict[str, float] = {
@@ -108,7 +108,7 @@ def measure(
     """Score every benchmark under every scheduler granularity."""
     result = SensitivityResult()
     seeds = list(seeds)
-    for workload in workloads if workloads is not None else all_workloads():
+    for workload in workloads if workloads is not None else paper_workloads():
         for granularity, switch_probability in GRANULARITIES.items():
             velodrome_labels: set[str] = set()
             atomizer_labels: set[str] = set()

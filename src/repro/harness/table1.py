@@ -37,7 +37,7 @@ from repro.harness.formatting import ratio, render_table
 from repro.pipeline import BlockFilter, PipelineMetrics
 from repro.runtime.scheduler import RandomScheduler
 from repro.runtime.tool import run_uninstrumented, run_with_backends
-from repro.workloads.base import Workload, all_workloads
+from repro.workloads.base import Workload, paper_workloads
 
 #: The Table 1 backend columns, in paper order.
 BACKENDS: list[tuple[str, Callable[[], AnalysisBackend]]] = [
@@ -189,7 +189,7 @@ def run_table1(
     *slowdown ratios* stay meaningful (base and instrumented runs sit
     in the same shard) but absolute times inflate under oversubscription.
     """
-    selected = list(workloads) if workloads is not None else all_workloads()
+    selected = list(workloads) if workloads is not None else paper_workloads()
     result = Table1Result()
     if jobs > 1 and len(selected) > 1:
         from repro.parallel.executor import require_all, run_shards

@@ -32,7 +32,7 @@ from repro.harness.formatting import render_table
 from repro.pipeline import PipelineMetrics
 from repro.runtime.scheduler import RandomScheduler
 from repro.runtime.tool import run_with_backends
-from repro.workloads.base import Workload, all_workloads
+from repro.workloads.base import Workload, paper_workloads
 
 
 @dataclass
@@ -188,7 +188,7 @@ def run_table2(
     table with missing rows would be silently wrong.
     """
     seeds = list(seeds)
-    selected = list(workloads) if workloads is not None else all_workloads()
+    selected = list(workloads) if workloads is not None else paper_workloads()
     result = Table2Result()
     if jobs > 1 and len(selected) > 1:
         from repro.parallel.executor import require_all, run_shards

@@ -208,6 +208,12 @@ def main(argv: Optional[Sequence[str]] = None) -> None:
 
         backends_main(list(argv)[1:])
         return
+    if argv and argv[0] == "memo":
+        # ``repro bench memo ...`` — region memoization on/off.
+        from repro.core.bench_memo import main as memo_main
+
+        memo_main(list(argv)[1:])
+        return
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quick", action="store_true",
                         help="smaller budgets (the CI perf-smoke shape)")

@@ -176,6 +176,11 @@ class StreamTask:
     (backend selection with no snapshot codec); the worker then runs
     without periodic checkpoints and a daemon restart deterministically
     replays the stream from its first event.
+
+    ``memoize`` turns on region memoization inside the stream's
+    supervised checker (``repro serve --memoize``); ``memo_max`` bounds
+    the per-stream memo table.  The table is transient worker state —
+    it is not checkpointed, a resumed stream simply re-certifies.
     """
 
     stream_id: str
@@ -187,6 +192,8 @@ class StreamTask:
     budgets: Budgets
     on_pressure: str
     max_retained: int
+    memoize: bool = False
+    memo_max: int = 1024
 
 
 def run_stream_task(task: StreamTask):

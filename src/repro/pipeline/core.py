@@ -15,6 +15,7 @@ import time
 from typing import Optional, Sequence
 
 from repro.core.backend import AnalysisBackend
+from repro.core.memo import RegionAssembler, RegionMemo
 from repro.events.operations import Operation, OpKind
 from repro.pipeline.fanout import FanOut
 from repro.pipeline.metrics import (
@@ -44,6 +45,12 @@ class Pipeline:
         stats: collect per-kind counters and per-backend wall time.
             Off by default: the stat hooks cost two clock reads per
             backend per event, which is measurable on hot paths.
+        memo: a :class:`~repro.core.memo.RegionMemo` enabling region
+            memoization (``--memoize``): a
+            :class:`~repro.core.memo.RegionAssembler` buffers each
+            transaction-bounded region behind the stage chain and
+            offers repeated shapes to the backends as summaries.
+            ``None`` (the default) keeps the plain per-event sink.
     """
 
     def __init__(
@@ -51,12 +58,20 @@ class Pipeline:
         backends: Sequence[AnalysisBackend],
         stages: Sequence[Stage] = (),
         stats: bool = False,
+        memo: Optional[RegionMemo] = None,
     ):
         self.stages = list(stages)
         self.fanout = FanOut(backends, timed=stats)
         # The fan-out's process hook is fixed at its construction, so
         # it can be bound once here instead of resolved per event.
         self._sink = self.fanout.process
+        self.memo = memo
+        self._assembler: Optional[RegionAssembler] = None
+        if memo is not None:
+            self._assembler = RegionAssembler(
+                self.fanout.process, self.fanout.process_region, memo
+            )
+            self._sink = self._assembler.process
         self.stats = stats
         self.events_in = 0
         self.events_out = 0
@@ -103,6 +118,29 @@ class Pipeline:
             for op in decode():
                 process(op)
             return
+        assembler = self._assembler
+        if assembler is not None and (
+            assembler.buffering
+            or summary.histogram[4]  # BEGIN ops in the block
+            or summary.histogram[5]  # END ops in the block
+        ):
+            # Regions may start, continue, or close inside this block —
+            # and while the assembler holds buffered operations the
+            # backends lag the stream, so a summary fold must not be
+            # offered.  Decode and route through the assembler.
+            self.blocks_decoded += 1
+            count = summary.op_count
+            self.events_in += count
+            self.events_out += count
+            if self.stats:
+                counts = self._kind_counts
+                for kind, n in zip(_HISTOGRAM_KINDS, summary.histogram):
+                    if n:
+                        counts[kind] = counts.get(kind, 0) + n
+            sink = self._sink
+            for op in decode():
+                sink(op)
+            return
         count = summary.op_count
         self.events_in += count
         self.events_out += count
@@ -115,7 +153,14 @@ class Pipeline:
             self.blocks_decoded += 1
 
     def finish(self) -> None:
-        """Signal end of stream to every backend."""
+        """Signal end of stream to every backend.
+
+        With memoization on, the assembler's buffer (a region still
+        open at end of stream) is drained first so no operation is
+        lost.
+        """
+        if self._assembler is not None:
+            self._assembler.flush()
         self.fanout.finish()
 
     def run(self, source: EventSource) -> SourceResult:
@@ -133,6 +178,20 @@ class Pipeline:
         run_blocks = getattr(source, "run_blocks", None)
         if run_blocks is not None and not self.stages:
             result = run_blocks(self.process_block)
+        elif not self.stages and not self.stats:
+            # Nothing filters and nothing needs per-kind counts, so the
+            # per-event :meth:`process` wrapper would only relay to the
+            # sink; drive the sink directly and settle the event
+            # counters in bulk from the source's own tally.  The
+            # assembler is handed over as an object (not a bound
+            # method) so sources that hold a full operation list can
+            # find its batched ``process_many`` entry point.
+            assembler = self._assembler
+            result = source.run(
+                self._sink if assembler is None else assembler
+            )
+            self.events_in += result.events
+            self.events_out += result.events
         else:
             result = source.run(self.process)
         self.finish()
@@ -170,4 +229,9 @@ class Pipeline:
             elapsed=self.elapsed if elapsed is None else elapsed,
             blocks_in=self.blocks_in,
             blocks_decoded=self.blocks_decoded,
+            memo_hits=self.memo.hits if self.memo is not None else 0,
+            memo_misses=self.memo.misses if self.memo is not None else 0,
+            memo_evictions=(
+                self.memo.evictions if self.memo is not None else 0
+            ),
         )

@@ -46,6 +46,8 @@ class FanOut:
         self.times = [0.0] * len(self.backends)
         #: Per-backend events absorbed via block summaries.
         self.ff_events = [0] * len(self.backends)
+        #: Per-backend events absorbed via memoized region summaries.
+        self.memo_events = [0] * len(self.backends)
         self._clock = time.perf_counter  # hoisted out of the event loop
         if timed:
             self.process = self._process_timed
@@ -140,6 +142,33 @@ class FanOut:
                     process(op)
         return ops is not None
 
+    # ------------------------------------------------------------- regions
+    def process_region(self, ops, summary) -> None:
+        """Offer one memoized region to every backend.
+
+        ``ops`` is the region's buffered operation list (already
+        decoded — the assembler held it while waiting for the region
+        to close) and ``summary`` its cached
+        :class:`~repro.core.memo.RegionSummary`.  Each backend is
+        offered the summary via
+        :meth:`~repro.core.backend.AnalysisBackend.apply_region_summary`;
+        decliners replay the buffered operations through their
+        ordinary ``process``.  In timed mode both the offer and any
+        replay are attributed to the backend.
+        """
+        tid = ops[0].tid
+        clock = self._clock if self.timed else None
+        for index, backend in enumerate(self.backends):
+            started = clock() if clock is not None else 0.0
+            if backend.apply_region_summary(summary, tid):
+                self.memo_events[index] += summary.op_count
+            else:
+                process = backend.process
+                for op in ops:
+                    process(op)
+            if clock is not None:
+                self.times[index] += clock() - started
+
     # ------------------------------------------------------------- metrics
     def backend_metrics(self) -> tuple[BackendMetrics, ...]:
         """Per-backend snapshot (events, accumulated time, warnings)."""
@@ -150,8 +179,9 @@ class FanOut:
                 time=elapsed,
                 warning_count=backend.warning_count,
                 events_fast_forwarded=fast,
+                events_memoized=memoized,
             )
-            for backend, elapsed, fast in zip(
-                self.backends, self.times, self.ff_events
+            for backend, elapsed, fast, memoized in zip(
+                self.backends, self.times, self.ff_events, self.memo_events
             )
         )

@@ -40,7 +40,10 @@ class BackendMetrics:
     ran without timing enabled.  ``events_fast_forwarded`` counts the
     events this backend absorbed via block summaries
     (:meth:`~repro.core.backend.AnalysisBackend.apply_block_summary`)
-    instead of op-by-op replay; they are included in ``events``.
+    and ``events_memoized`` those absorbed via memoized region
+    summaries (:meth:`~repro.core.backend.AnalysisBackend.
+    apply_region_summary`) instead of op-by-op replay; both are
+    included in ``events``.
     """
 
     name: str
@@ -48,6 +51,7 @@ class BackendMetrics:
     time: float
     warning_count: int
     events_fast_forwarded: int = 0
+    events_memoized: int = 0
 
 
 @dataclass(frozen=True)
@@ -64,6 +68,12 @@ class PipelineMetrics:
     blocks_in: int = 0
     #: Blocks that at least one backend required a full decode for.
     blocks_decoded: int = 0
+    #: Completed regions whose shape was found in the memo table.
+    memo_hits: int = 0
+    #: Completed regions summarized (and certified) for the first time.
+    memo_misses: int = 0
+    #: Memo entries dropped by the LRU bound.
+    memo_evictions: int = 0
 
     @property
     def events_dropped(self) -> int:
@@ -100,6 +110,7 @@ class PipelineMetrics:
         """
         events_in = events_out = 0
         blocks_in = blocks_decoded = 0
+        memo_hits = memo_misses = memo_evictions = 0
         elapsed = 0.0
         by_kind: dict[str, int] = {}
         stage_seen: dict[str, int] = {}
@@ -109,12 +120,16 @@ class PipelineMetrics:
         backend_time: dict[str, float] = {}
         backend_warnings: dict[str, int] = {}
         backend_ff: dict[str, int] = {}
+        backend_memo: dict[str, int] = {}
         backend_order: list[str] = []
         for snap in snapshots:
             events_in += snap.events_in
             events_out += snap.events_out
             blocks_in += snap.blocks_in
             blocks_decoded += snap.blocks_decoded
+            memo_hits += snap.memo_hits
+            memo_misses += snap.memo_misses
+            memo_evictions += snap.memo_evictions
             elapsed += snap.elapsed
             for kind, count in snap.by_kind.items():
                 by_kind[kind] = by_kind.get(kind, 0) + count
@@ -141,6 +156,10 @@ class PipelineMetrics:
                     backend_ff.get(backend.name, 0)
                     + backend.events_fast_forwarded
                 )
+                backend_memo[backend.name] = (
+                    backend_memo.get(backend.name, 0)
+                    + backend.events_memoized
+                )
         return cls(
             events_in=events_in,
             events_out=events_out,
@@ -156,12 +175,16 @@ class PipelineMetrics:
                     backend_time[name],
                     backend_warnings[name],
                     backend_ff[name],
+                    backend_memo[name],
                 )
                 for name in backend_order
             ),
             elapsed=elapsed,
             blocks_in=blocks_in,
             blocks_decoded=blocks_decoded,
+            memo_hits=memo_hits,
+            memo_misses=memo_misses,
+            memo_evictions=memo_evictions,
         )
 
     def render(self) -> str:
@@ -188,6 +211,12 @@ class PipelineMetrics:
                 f"decoded={self.blocks_decoded} "
                 f"fast-forwarded={self.blocks_fast_forwarded}"
             )
+        if self.memo_hits or self.memo_misses or self.memo_evictions:
+            lines.append(
+                f"  memo: hits={self.memo_hits} "
+                f"misses={self.memo_misses} "
+                f"evictions={self.memo_evictions}"
+            )
         for stage in self.stages:
             lines.append(
                 f"  stage {stage.name}: seen={stage.seen} "
@@ -199,9 +228,13 @@ class PipelineMetrics:
                 f" fast-forwarded={backend.events_fast_forwarded}"
                 if backend.events_fast_forwarded else ""
             )
+            memoized = (
+                f" memoized={backend.events_memoized}"
+                if backend.events_memoized else ""
+            )
             lines.append(
                 f"  backend {backend.name}: events={backend.events}"
-                f"{timing}{fast} warnings={backend.warning_count}"
+                f"{timing}{fast}{memoized} warnings={backend.warning_count}"
             )
         return "\n".join(lines)
 

@@ -67,10 +67,17 @@ class TraceSource:
         return cls(load_trace(path))
 
     def run(self, sink: EventSink) -> SourceResult:
-        count = 0
-        for op in self.ops:
-            sink(op)
-            count += 1
+        # Sinks may expose ``process_many(ops) -> count`` (the region
+        # assembler does) to take the whole iterable in one call,
+        # saving a Python call per operation.
+        batch = getattr(sink, "process_many", None)
+        if batch is not None:
+            count = batch(self.ops)
+        else:
+            count = 0
+            for op in self.ops:
+                sink(op)
+                count += 1
         trace = self.ops if isinstance(self.ops, Trace) else None
         return SourceResult(events=count, trace=trace)
 

@@ -33,6 +33,7 @@ from pathlib import Path
 from typing import Callable, Optional, Sequence, Union
 
 from repro.core.backend import AnalysisBackend
+from repro.core.memo import RegionAssembler, RegionMemo
 from repro.events.operations import Operation
 from repro.graph.stepcode import SlotsExhausted
 from repro.pipeline.source import EventSource, SourceResult
@@ -132,6 +133,17 @@ class SupervisedChecker:
             unwind the run at a consistent cut — no event
             half-processed — so the caller can take a final checkpoint
             and exit cleanly (graceful SIGTERM handling).
+        memo: a :class:`~repro.core.memo.RegionMemo` enabling region
+            memoization: a :class:`~repro.core.memo.RegionAssembler`
+            buffers transaction-bounded regions in front of the per-op
+            path and offers repeated shapes to the backends as
+            summaries (decliners replay).  Positions, checkpoints, and
+            recovery are unaffected: operations still held by the
+            assembler are not counted in :attr:`position`, so a resume
+            re-reads them from the source and re-assembles — verdicts
+            stay byte-identical to an unmemoized run.  The memo table
+            itself is transient (rebuilt cold after a resume), never
+            part of a snapshot.
     """
 
     def __init__(
@@ -145,6 +157,7 @@ class SupervisedChecker:
         start_position: int = 0,
         checkpoint_meta=None,
         stop_check: Optional[Callable[[], None]] = None,
+        memo: Optional[RegionMemo] = None,
     ):
         if checkpoint_every is not None and checkpoint_every < 1:
             raise ValueError("checkpoint_every must be >= 1")
@@ -198,6 +211,19 @@ class SupervisedChecker:
         #: summaries alone — recorded into checkpoint meta so a resumed
         #: run can see which stretches were never decoded.
         self._ff_ranges: list[list[int]] = []
+        self.memo = memo
+        self._assembler: Optional[RegionAssembler] = None
+        if memo is not None:
+            # The assembler fronts the per-op path: ``self.process``
+            # (an instance attribute shadowing the method) buffers
+            # regions and delivers through the original method, which
+            # keeps positions, recovery buffers, governor probes, and
+            # checkpoint triggers exactly as without memoization.
+            deliver = self.process  # the class method, bound
+            self._assembler = RegionAssembler(
+                deliver, self.process_region, memo
+            )
+            self.process = self._assembler.process
 
     # -------------------------------------------------------------- resuming
     @classmethod
@@ -310,6 +336,20 @@ class SupervisedChecker:
             for op in decode():
                 self.process(op)
             return
+        assembler = self._assembler
+        if assembler is not None and (
+            assembler.buffering
+            or summary.histogram[4]  # BEGIN ops (store histogram order)
+            or summary.histogram[5]  # END ops
+        ):
+            # Regions may start, continue, or close inside this block —
+            # and while the assembler buffers, the backends lag the
+            # stream, so a summary fold must not be offered.  Route the
+            # decoded operations through the assembler (self.process).
+            process = self.process
+            for op in decode():
+                process(op)
+            return
         if self.stop_check is not None:
             self.stop_check()
         ops = None
@@ -347,6 +387,53 @@ class SupervisedChecker:
         elif self._buffered_ops >= self.recovery_window:
             self._refresh_boundary()
 
+    def process_region(self, ops, summary) -> None:
+        """Feed one memoized region to every backend, with recovery.
+
+        The region-memoization analog of :meth:`process_block`: each
+        backend is offered the cached
+        :class:`~repro.core.memo.RegionSummary`
+        (:meth:`~repro.core.backend.AnalysisBackend.
+        apply_region_summary`); decliners — and any backend whose
+        offer raised an exhaustion, after its rollback — replay the
+        buffered operations.  Position advances by the whole region,
+        so checkpoints and governor probes fire on interval crossings,
+        exactly like block advances; the buffered operations join the
+        recovery buffer as plain ops.
+        """
+        if self.stop_check is not None:
+            self.stop_check()
+        tid = ops[0].tid
+        for index, backend in enumerate(self.backends):
+            try:
+                accepted = backend.apply_region_summary(summary, tid)
+            except SlotsExhausted as exc:
+                # The offer may have half-applied; the rollback
+                # discards it, then the region replays op-wise below.
+                self._recover(index, exc)
+                accepted = False
+            if accepted:
+                continue
+            for done, op in enumerate(ops):
+                try:
+                    backend.process(op)
+                except SlotsExhausted as exc:
+                    self._recover(index, exc, ops[: done + 1])
+        before = self.position
+        self.position += len(ops)
+        self._buffer.extend(ops)
+        self._buffered_ops += len(ops)
+        for governor in self.governors:
+            if governor.should_check_span(before, self.position):
+                governor.intervene(self.position)
+        if self.checkpoint_every is not None and (
+            before // self.checkpoint_every
+            != self.position // self.checkpoint_every
+        ):
+            self.checkpoint()
+        elif self._buffered_ops >= self.recovery_window:
+            self._refresh_boundary()
+
     def _record_fast_forward(self, summary) -> None:
         spans = self._ff_ranges
         if spans and spans[-1][1] + 1 == summary.first_seq:
@@ -355,7 +442,14 @@ class SupervisedChecker:
             spans.append([summary.first_seq, summary.last_seq])
 
     def finish(self) -> None:
-        """Signal end of stream to every backend."""
+        """Signal end of stream to every backend.
+
+        With memoization on, the assembler's buffer (a region still
+        open at end of stream) is drained first so no operation is
+        lost — and so the final :attr:`position` counts every event.
+        """
+        if self._assembler is not None:
+            self._assembler.flush()
         for backend in self.backends:
             backend.finish()
 

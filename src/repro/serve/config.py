@@ -55,6 +55,12 @@ class ServeConfig:
             ``None`` disables the listener.
         max_retained: per-stream diagnostic retention cap (quarantine
             faults, degradation events).
+        memoize: enable region memoization inside every stream's
+            supervised checker (``--memoize``): repeated transaction
+            shapes apply cached summaries instead of replaying, with
+            per-stream memo counters folded into ``/metrics``.
+        memo_max: per-stream memo table capacity (region shapes);
+            least-recently-used shapes evict beyond it.
     """
 
     spool_dir: Path
@@ -71,6 +77,8 @@ class ServeConfig:
     http_port: Optional[int] = None
     socket_path: Optional[Path] = None
     max_retained: int = 1024
+    memoize: bool = False
+    memo_max: int = 1024
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "spool_dir", Path(self.spool_dir))

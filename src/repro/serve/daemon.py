@@ -266,6 +266,8 @@ class ServeDaemon:
             budgets=budgets,
             on_pressure=self.config.on_pressure,
             max_retained=self.config.max_retained,
+            memoize=self.config.memoize,
+            memo_max=self.config.memo_max,
         )
 
     def _apply_outcome(self, record: StreamRecord, outcome: dict) -> None:

@@ -52,6 +52,9 @@ class ServeMetrics:
         self.degradations = 0
         self.degraded_streams = 0
         self.fast_forwarded_events = 0
+        self.memo_hits = 0
+        self.memo_misses = 0
+        self.memo_evictions = 0
         self.quarantined_records = 0
         self.max_checkpoint_lag = 0
         self.interrupted = False
@@ -79,6 +82,11 @@ class ServeMetrics:
             self.max_checkpoint_lag = max(
                 self.max_checkpoint_lag, outcome.get("checkpoint_lag", 0)
             )
+            memo = outcome.get("memo")
+            if memo:
+                self.memo_hits += memo.get("hits", 0)
+                self.memo_misses += memo.get("misses", 0)
+                self.memo_evictions += memo.get("evictions", 0)
             quarantine = outcome.get("quarantine")
             if quarantine:
                 self.quarantined_records += quarantine.get("total", 0)
@@ -133,6 +141,11 @@ class ServeMetrics:
                 "recoveries": self.recoveries,
                 "degradations": self.degradations,
                 "fast_forwarded_events": self.fast_forwarded_events,
+                "memo": {
+                    "hits": self.memo_hits,
+                    "misses": self.memo_misses,
+                    "evictions": self.memo_evictions,
+                },
                 "quarantined_records": self.quarantined_records,
                 "interrupted": self.interrupted,
             }

@@ -167,6 +167,7 @@ def process_stream(task) -> dict:
         "fast_forwarded_events": 0,
         "resumed_from": None,
         "quarantine": None,
+        "memo": None,
         "backends": [],
     }
     checker = None
@@ -184,6 +185,15 @@ def process_stream(task) -> dict:
         )
         if task.format == FORMAT_PACKED:
             options["checkpoint_meta"] = packed_checkpoint_meta(task.path)
+        memo = None
+        if getattr(task, "memoize", False):
+            from repro.core.memo import RegionMemo
+
+            # Transient worker state: the memo table is rebuilt on every
+            # attempt, so a resumed stream re-certifies from scratch and
+            # the resume-is-pure property is untouched.
+            memo = RegionMemo(max_entries=task.memo_max)
+            options["memo"] = memo
         if checkpoint is not None and _resume_exists(checkpoint):
             checker = SupervisedChecker.resume_with_fallback(
                 checkpoint, **options
@@ -243,6 +253,8 @@ def process_stream(task) -> dict:
             checker.position - checker.last_checkpoint_position
         )
         outcome["fast_forwarded_events"] = checker.fast_forwarded_events
+        if memo is not None:
+            outcome["memo"] = memo.stats()
         if quarantine is not None:
             outcome["quarantine"] = {
                 "total": len(quarantine),

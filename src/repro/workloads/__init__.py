@@ -1,6 +1,12 @@
 """Synthetic workload models of the paper's fifteen benchmarks."""
 
-from repro.workloads import injection, randomgen, suite, synthetic
+from repro.workloads import (
+    injection,
+    randomgen,
+    request_loop,
+    suite,
+    synthetic,
+)
 from repro.workloads.base import (
     PaperTable1Row,
     PaperTable2Row,
@@ -8,6 +14,7 @@ from repro.workloads.base import (
     all_workloads,
     get,
     names,
+    paper_workloads,
     register,
 )
 from repro.workloads.suite import SUITE
@@ -22,7 +29,9 @@ __all__ = [
     "injection",
     "randomgen",
     "names",
+    "paper_workloads",
     "register",
+    "request_loop",
     "suite",
     "synthetic",
 ]

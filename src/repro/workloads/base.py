@@ -88,6 +88,16 @@ def all_workloads() -> list[Workload]:
     return list(_REGISTRY.values())
 
 
+def paper_workloads() -> list[Workload]:
+    """The paper-suite workloads (those carrying Table 1/2 rows).
+
+    Purely synthetic workloads — ``request_loop``, registered for the
+    memoization benchmark — have no paper rows and are excluded; the
+    table harnesses and paper-comparison reports iterate this list.
+    """
+    return [w for w in _REGISTRY.values() if w.table1 is not None]
+
+
 def names() -> list[str]:
     """Registered workload names, in registration order."""
     return list(_REGISTRY)

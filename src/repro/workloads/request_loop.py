@@ -1,0 +1,122 @@
+"""A high-repetition server-shaped workload: ``request_loop``.
+
+A dispatcher thread hands a stream of requests to a small pool of
+worker threads over volatile-flag mailboxes (the :class:`~repro.
+runtime.program.Await` hand-off idiom); each worker runs the request's
+handler as one atomic transaction over a session row guarded by that
+session's lock.  Every handler execution therefore emits the *same*
+region shape (modulo which of the few sessions it touches), which is
+exactly the trace profile region memoization
+(``--memoize``, :mod:`repro.core.memo`) is built for: a handful of
+region shapes certified once, then applied thousands or millions of
+times.
+
+Unlike the paper-suite models this workload has no Table 1/2 row — it
+is the repetition benchmark for ``repro bench memo`` and the docs'
+performance numbers.  Ground truth is declared: every handler is
+genuinely atomic (reads and writes of a session row only ever happen
+under that session's lock), so any warning on it is a false alarm.
+
+The token-passing hand-off (dispatcher awaits each request's
+completion before dispatching the next) keeps exactly one thread
+runnable at a time, so handler regions appear *contiguously* in the
+recorded trace — the shape a real request loop produces under low
+concurrency, and the one the region assembler memoizes without
+cross-thread interleaving breaking regions apart.
+
+``scale`` multiplies the request count linearly (``scale=1.0`` is 64
+requests, ~1000 events), so a few thousand scale units reach millions
+of events for benchmarking.
+"""
+
+from __future__ import annotations
+
+from repro.runtime.program import (
+    Acquire,
+    Await,
+    Begin,
+    End,
+    Program,
+    Read,
+    Release,
+    ThreadSpec,
+    Write,
+)
+from repro.workloads.base import Workload, register
+
+#: Worker pool size; each worker owns one mailbox/done-flag pair.
+WORKERS = 3
+
+#: Session rows; requests round-robin over them, so the trace contains
+#: exactly this many distinct handler region shapes.
+SESSIONS = 8
+
+#: Requests at ``scale=1.0``.
+BASE_REQUESTS = 64
+
+#: Read-modify-write rounds inside one handler transaction.  Several
+#: updates to the same session row keep the region's *footprint* small
+#: (one variable, one lock) while growing its length — the profile
+#: where applying a cached summary beats replaying ops one by one.
+HANDLER_ROUNDS = 12
+
+HANDLER = "handler"
+
+
+def _dispatcher(requests: int):
+    """Hand request ``r`` to worker ``r % WORKERS``, await completion."""
+
+    def body():
+        for r in range(1, requests + 1):
+            worker = r % WORKERS
+            yield Write(f"mail_{worker}", r)
+            yield Await(f"done_{worker}", r)
+
+    return body
+
+
+def _worker(index: int, requests: int):
+    """Serve this worker's share of the request stream, in order."""
+
+    def body():
+        for r in range(1, requests + 1):
+            if r % WORKERS != index:
+                continue
+            yield Await(f"mail_{index}", r)
+            session = r % SESSIONS
+            yield Begin(HANDLER)
+            yield Acquire(f"session_lock_{session}")
+            for _ in range(HANDLER_ROUNDS):
+                count = yield Read(f"sess_{session}")
+                yield Write(f"sess_{session}", count + 1)
+            yield Release(f"session_lock_{session}")
+            yield End()
+            yield Write(f"done_{index}", r)
+
+    return body
+
+
+def build(scale: float = 1.0) -> Program:
+    """The request loop at ``scale`` (requests grow linearly)."""
+    requests = max(WORKERS, int(round(BASE_REQUESTS * scale)))
+    program = Program(
+        name="request_loop",
+        atomic_methods={HANDLER},
+        non_atomic_methods=set(),
+    )
+    program.threads.append(ThreadSpec(_dispatcher(requests), "dispatcher"))
+    for index in range(WORKERS):
+        program.threads.append(
+            ThreadSpec(_worker(index, requests), f"worker{index}")
+        )
+    return program
+
+
+REQUEST_LOOP = register(Workload(
+    name="request_loop",
+    build=build,
+    description="high-repetition request/handler loop (memo benchmark)",
+    compute_bound=False,
+    table1=None,
+    table2=None,
+))

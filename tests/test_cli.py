@@ -211,7 +211,14 @@ class TestOther:
     def test_workloads_lists_fifteen(self, capsys):
         assert main(["workloads"]) == 0
         out = capsys.readouterr().out.strip().splitlines()
-        assert len(out) == 15
+        # The fifteen paper benchmarks plus the synthetic request_loop
+        # memo-benchmark workload.
+        assert len(out) == 16
+        paper_rows = [line for line in out if "paper:" in line]
+        assert len(paper_rows) == 15
+        synthetic = [line for line in out if "no paper row" in line]
+        assert len(synthetic) == 1
+        assert synthetic[0].startswith("request_loop")
 
     def test_random_records(self, tmp_path, capsys):
         target = tmp_path / "rand.jsonl"

@@ -26,6 +26,7 @@ class TestFilesExist:
         "docs/api.md", "docs/pipeline.md", "docs/fuzzing.md",
         "docs/resilience.md", "docs/performance.md",
         "benchmarks/baseline/BENCH_parallel.json",
+        "benchmarks/baseline/BENCH_memo.json",
         "setup.cfg", "setup.py", "pytest.ini",
         "src/repro/py.typed",
     ])
