@@ -439,7 +439,12 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 
 def cmd_random(args: argparse.Namespace) -> int:
-    program = random_program(args.seed)
+    # Shares the fuzzer's seed-to-program mapping (including the
+    # server-workload pool draw) so `repro random --seed N --record F`
+    # reproduces fuzz iteration recordings byte-identically.
+    from repro.fuzz.engine import program_for_seed
+
+    program = program_for_seed(args.seed)
     result = run_velodrome(program, seed=args.seed, record_trace=True)
     print(f"{program.name}: {result.run.events} events, "
           f"{len(result.warnings)} warning(s)")
@@ -583,6 +588,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
         ),
         memoize=args.memoize,
         memo_max=args.memo_max,
+        lab_digests=(
+            pathlib.Path(args.lab_digests) if args.lab_digests else None
+        ),
     )
     with GracefulShutdown() as shutdown:
         daemon = ServeDaemon(config, shutdown=shutdown)
@@ -772,8 +780,16 @@ def cmd_trace_cat(args: argparse.Namespace) -> int:
 
 
 def cmd_workloads(_args: argparse.Namespace) -> int:
+    from repro.workloads.server import SERVER_FAMILIES
+
     for workload in all_workloads():
         table2 = workload.table2
+        if workload.name in SERVER_FAMILIES:
+            # Server families carry scale points and ground truth
+            # instead of paper rows; `repro lab list` shows those.
+            print(f"{workload.name:12s} {workload.description:40s} "
+                  f"(server family; see `repro lab list`)")
+            continue
         if table2 is None:
             # Synthetic workloads (e.g. request_loop) have no paper row.
             print(f"{workload.name:12s} {workload.description:40s} "
@@ -971,6 +987,11 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="N",
                        help="per-stream memo table capacity "
                             f"(default {DEFAULT_MEMO_MAX})")
+    serve.add_argument("--lab-digests", metavar="FILE",
+                       help="digest map from 'repro lab run --digests'; "
+                            "streams whose content matches a lab trace "
+                            "are tagged with their workload_family on "
+                            "/streams and counted on /metrics")
     serve.add_argument("--oneshot", action="store_true",
                        help="exit once every known stream is terminal "
                             "instead of polling forever")
@@ -1069,7 +1090,26 @@ def build_parser() -> argparse.ArgumentParser:
         add_help=False,
     )
     bench.set_defaults(func=None, harness_main=parallel_bench.main)
+
+    lab = commands.add_parser(
+        "lab",
+        help="server-workload experiment driver: 'lab run' executes a "
+             "workload × backend × scale matrix with per-cell "
+             "ground-truth gates, 'lab list' shows the families, "
+             "'lab report' renders stored results as markdown",
+        add_help=False,
+    )
+    lab.set_defaults(func=None, harness_main=_lab_main)
     return parser
+
+
+def _lab_main(argv):
+    # Imported lazily: the experiments package pulls the parallel
+    # executor and the server families, none of which the lightweight
+    # CLI paths (check/run/random) need.
+    from repro.experiments.lab import main as lab_main
+
+    lab_main(argv)
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -1077,7 +1117,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     # Harness subcommands forward their remaining arguments untouched.
     if argv and argv[0] in ("table1", "table2", "inject", "report",
-                            "sensitivity", "bench"):
+                            "sensitivity", "bench", "lab"):
         args, rest = parser.parse_known_args(argv[:1])
         args.harness_main(argv[1:])
         return 0

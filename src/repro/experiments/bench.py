@@ -1,0 +1,211 @@
+"""``repro bench workloads``: the server-suite scaling sweep.
+
+For every server family at the selected scale points, replay the
+recorded trace through the graph (Velodrome) and vector-clock
+(AeroDrome) backends and report events, wall time, events/sec, and
+peak graph nodes — plus the whole-matrix wall time serial vs
+``--jobs 2`` (the parallel-driver sanity number).  Every cell's
+verdict is gated against the workload's declared ground truth before
+a single number is reported, exactly like ``repro lab run``.
+
+The committed reference lives at
+``benchmarks/baseline/BENCH_workloads.json``; ``--check-against`` it
+in CI with a generous threshold (shared runners are noisy) so
+order-of-magnitude throughput regressions fail the build.  Baseline
+keys are ``workload@point``, so the report shape is compatible with
+:func:`repro.core.bench.compare_to_baseline`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.core.bench import compare_to_baseline
+from repro.experiments.runner import (
+    GroundTruthMismatch,
+    check_cell,
+    record_trace,
+)
+from repro.parallel.executor import run_shards
+from repro.parallel.tasks import LabCellTask, run_lab_cell
+from repro.workloads.server import SERVER_FAMILIES
+
+#: The two backend families the sweep compares head-to-head.
+SWEEP_BACKENDS = ("velodrome", "aerodrome")
+
+_DEFAULT_POINTS = ("smoke", "small")
+
+
+def measure_workloads(
+    points: Sequence[str] = _DEFAULT_POINTS,
+    repeats: int = 3,
+    seed: int = 0,
+) -> dict:
+    """The sweep report; raises on any ground-truth mismatch."""
+    scratch = Path(tempfile.mkdtemp(prefix="repro-bench-workloads-"))
+    try:
+        recorded = []
+        for name, family in SERVER_FAMILIES.items():
+            for point in points:
+                recorded.append(
+                    (family, point, record_trace(family, point, seed, scratch))
+                )
+        tasks = [
+            LabCellTask(
+                workload=family.name,
+                point=point,
+                backend=backend,
+                trace_path=entry["trace"],
+                repeats=repeats,
+                memoize=False,
+            )
+            for family, point, entry in recorded
+            for backend in SWEEP_BACKENDS
+        ]
+
+        started = time.perf_counter()
+        serial = run_shards(run_lab_cell, tasks, jobs=1)
+        serial_seconds = time.perf_counter() - started
+        started = time.perf_counter()
+        run_shards(run_lab_cell, tasks, jobs=2)
+        jobs2_seconds = time.perf_counter() - started
+
+        failures: list[str] = []
+        workloads: dict[str, dict] = {}
+        for (family, point, entry), shard in zip(recorded_cells(recorded),
+                                                 serial):
+            if not shard.ok:
+                failures.append(
+                    f"{family.name}@{point}: cell failed: {shard.error}"
+                )
+                continue
+            result = shard.value
+            problem = check_cell(family, point, result.backend, result)
+            if problem is not None:
+                failures.append(problem)
+                continue
+            row = workloads.setdefault(
+                f"{family.name}@{point}",
+                {"events": entry["events"], "verdict": result.verdict},
+            )
+            row[result.backend] = {
+                "seconds": result.best_seconds,
+                "events_per_sec": result.events_per_sec,
+                "peak_nodes": result.peak_nodes,
+            }
+        if failures:
+            raise GroundTruthMismatch(failures)
+        return {
+            "config": {
+                "points": list(points),
+                "repeats": repeats,
+                "seed": seed,
+            },
+            "workloads": workloads,
+            "matrix": {
+                "cells": len(tasks),
+                "serial_seconds": serial_seconds,
+                "jobs2_seconds": jobs2_seconds,
+            },
+        }
+    finally:
+        shutil.rmtree(scratch, ignore_errors=True)
+
+
+def recorded_cells(recorded):
+    """Each recorded (family, point, entry), once per sweep backend."""
+    for family, point, entry in recorded:
+        for _ in SWEEP_BACKENDS:
+            yield family, point, entry
+
+
+def render(report: dict) -> str:
+    lines = [
+        "repro bench workloads — server-suite scaling sweep",
+        f"  points: {', '.join(report['config']['points'])}; "
+        f"best of {report['config']['repeats']}",
+    ]
+    for key, row in report["workloads"].items():
+        lines.append(f"  {key}: {row['events']:,} events ({row['verdict']})")
+        for backend in SWEEP_BACKENDS:
+            cell = row.get(backend)
+            if cell is None:
+                continue
+            peak = (f", peak {cell['peak_nodes']:,} nodes"
+                    if cell.get("peak_nodes") is not None else "")
+            lines.append(
+                f"    {backend:<10} {cell['events_per_sec']:>12,.0f} ev/s "
+                f"({cell['seconds']:.3f}s{peak})"
+            )
+    matrix = report["matrix"]
+    lines.append(
+        f"  matrix: {matrix['cells']} cells, "
+        f"serial {matrix['serial_seconds']:.2f}s, "
+        f"--jobs 2 {matrix['jobs2_seconds']:.2f}s"
+    )
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="smoke point only, 2 repeats (the CI shape)")
+    parser.add_argument("--points", default=None,
+                        help="comma-separated scale points to sweep")
+    parser.add_argument("--repeats", type=int, default=None,
+                        help="timing repeats per cell (best-of)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="recording scheduler seed")
+    parser.add_argument("--output", type=Path, default=None,
+                        help="write the report JSON here")
+    parser.add_argument("--check-against", type=Path, default=None,
+                        help="compare against a baseline report")
+    parser.add_argument("--threshold", type=float, default=0.60,
+                        help="allowed events/sec drop vs baseline "
+                             "(default 0.60 — shared runners are noisy)")
+    args = parser.parse_args(argv)
+
+    if args.points is not None:
+        points = tuple(
+            p.strip() for p in args.points.split(",") if p.strip()
+        )
+    else:
+        points = ("smoke",) if args.quick else _DEFAULT_POINTS
+    repeats = args.repeats if args.repeats is not None else (
+        2 if args.quick else 3
+    )
+
+    try:
+        report = measure_workloads(points, repeats=repeats, seed=args.seed)
+    except GroundTruthMismatch as exc:
+        print(f"bench workloads: {exc}", file=sys.stderr)
+        raise SystemExit(2)
+    print(render(report))
+
+    if args.output is not None:
+        args.output.write_text(
+            json.dumps(report, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"report -> {args.output}")
+    if args.check_against is not None:
+        baseline = json.loads(args.check_against.read_text())
+        regressions = compare_to_baseline(
+            report, baseline, threshold=args.threshold
+        )
+        if regressions:
+            print("REGRESSIONS vs baseline:", file=sys.stderr)
+            for line in regressions:
+                print(f"  {line}", file=sys.stderr)
+            raise SystemExit(1)
+        print(f"no regressions vs {args.check_against}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+"""Lab trace digests: content identity for recorded workload traces.
+
+Every trace the lab records is content-addressed with
+:func:`repro.fuzz.corpus.trace_digest` (format-independent: the same
+operations give the same digest whether stored as JSONL, DSL, or
+packed VTRC).  ``repro lab run --digests PATH`` writes the mapping
+``digest -> {workload, kind, point}``; the serve daemon loads it
+(``repro serve --lab-digests PATH``) and stamps a ``workload_family``
+tag on any spooled stream whose content matches a lab-recorded trace
+— so ``/streams`` and ``/metrics`` can attribute daemon traffic to
+the workload family that produced it.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Optional
+
+
+def digest_map(results_doc: dict) -> dict[str, dict]:
+    """``digest -> {workload, kind, point}`` from a lab results doc."""
+    from repro.workloads.server import SERVER_FAMILIES
+
+    mapping: dict[str, dict] = {}
+    for entry in results_doc.get("recorded", {}).values():
+        family = SERVER_FAMILIES.get(entry["workload"])
+        mapping[entry["digest"]] = {
+            "workload": entry["workload"],
+            "kind": family.kind if family is not None else "unknown",
+            "point": entry["point"],
+        }
+    return mapping
+
+
+def save_digests(path: Path, mapping: dict[str, dict]) -> None:
+    Path(path).write_text(json.dumps(mapping, indent=2, sort_keys=True))
+
+
+def load_digests(path: Optional[Path]) -> dict[str, dict]:
+    """The digest map at ``path``; empty when ``path`` is ``None``.
+
+    Raises ``ValueError`` on an unreadable or malformed file — a serve
+    daemon configured with a digest map should fail at startup, not
+    silently drop the tagging it was asked for.
+    """
+    if path is None:
+        return {}
+    try:
+        doc = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ValueError(f"cannot load lab digests {path}: {exc}") from exc
+    if not isinstance(doc, dict) or not all(
+        isinstance(v, dict) for v in doc.values()
+    ):
+        raise ValueError(
+            f"lab digests {path} must map digest -> info object"
+        )
+    return doc
+
+
+def family_for_digest(
+    mapping: dict[str, dict], digest: str
+) -> Optional[str]:
+    """The workload-family tag for a stream digest, if lab-recorded."""
+    entry = mapping.get(digest)
+    if entry is None:
+        return None
+    return entry.get("workload")

@@ -1,0 +1,186 @@
+"""``repro lab``: the unified server-workload experiment driver.
+
+Subcommands:
+
+``repro lab run``
+    Execute a workload × backend × scale matrix (from ``--spec``
+    JSON, CLI flags, or both), assert declared ground truth at every
+    cell, and write a results JSON.  Exits 2 naming every failing
+    cell on a ground-truth mismatch.
+
+``repro lab list``
+    Show the server workload families, their scale points, declared
+    ground truth, and parameter knobs.
+
+``repro lab report``
+    Render a stored results JSON as a markdown table.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import sys
+import tempfile
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.experiments.digests import digest_map, save_digests
+from repro.experiments.report import render_report
+from repro.experiments.runner import GroundTruthMismatch, run_lab
+from repro.experiments.spec import (
+    ALLOWED_BACKENDS,
+    LabSpec,
+    SpecError,
+    load_spec,
+)
+from repro.workloads.server import POINT_ORDER, server_families
+
+
+def _csv(text: Optional[str]) -> Optional[tuple[str, ...]]:
+    if text is None:
+        return None
+    items = tuple(part.strip() for part in text.split(",") if part.strip())
+    return items or None
+
+
+def cmd_run(args) -> int:
+    try:
+        spec = load_spec(
+            args.spec,
+            name=args.name,
+            workloads=_csv(args.workloads),
+            backends=_csv(args.backends),
+            points=_csv(args.points),
+            seed=args.seed,
+            jobs=args.jobs,
+            repeats=args.repeats,
+            memoize=True if args.memoize else None,
+        )
+    except SpecError as exc:
+        print(f"lab: {exc}", file=sys.stderr)
+        return 2
+
+    trace_dir = args.trace_dir
+    scratch = None
+    if trace_dir is None:
+        scratch = tempfile.mkdtemp(prefix="repro-lab-")
+        trace_dir = Path(scratch)
+    try:
+        doc = run_lab(spec, Path(trace_dir))
+    except GroundTruthMismatch as exc:
+        print(f"lab: GROUND TRUTH MISMATCH\n{exc}", file=sys.stderr)
+        return 2
+    finally:
+        if scratch is not None and not args.keep_traces:
+            shutil.rmtree(scratch, ignore_errors=True)
+
+    payload = json.dumps(doc, indent=2, sort_keys=True)
+    if args.output is not None:
+        Path(args.output).write_text(payload + "\n")
+        print(f"lab: results -> {args.output}")
+    else:
+        print(payload)
+    if args.digests is not None:
+        save_digests(Path(args.digests), digest_map(doc))
+        print(f"lab: digests -> {args.digests}")
+    total = len(doc["cells"])
+    print(
+        f"lab: {total} cell(s) clean "
+        f"({doc['elapsed_seconds']:.1f}s total)"
+    )
+    return 0
+
+
+def cmd_list(args) -> int:
+    del args
+    for family in server_families():
+        workload = family.workload
+        print(f"{family.name}  [{family.kind}]")
+        print(f"  {workload.description}")
+        for point in family.scale_points:
+            truth = family.truth_at(point.name)
+            verdict = truth.verdict
+            if truth.blamed:
+                verdict += f", blames {', '.join(sorted(truth.blamed))}"
+            print(
+                f"  {point.name:<7} scale {point.scale:>7g}  "
+                f"~{point.approx_events:>9,} events  {verdict}"
+            )
+        for knob, meaning in family.knobs.items():
+            print(f"  knob {knob}: {meaning}")
+        print()
+    return 0
+
+
+def cmd_report(args) -> int:
+    try:
+        doc = json.loads(Path(args.results).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"lab: cannot load results {args.results}: {exc}",
+              file=sys.stderr)
+        return 2
+    print(render_report(doc))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro lab", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser(
+        "run", help="execute a matrix with per-cell ground-truth gates"
+    )
+    run.add_argument("--spec", type=Path, default=None,
+                     help="JSON experiment spec (flags override keys)")
+    run.add_argument("--name", default=None, help="experiment name")
+    run.add_argument("--workloads", default=None,
+                     help="comma-separated families (default: all five)")
+    run.add_argument("--backends", default=None,
+                     help="comma-separated backends "
+                          f"({', '.join(ALLOWED_BACKENDS)})")
+    run.add_argument("--points", default=None,
+                     help="comma-separated scale points "
+                          f"({', '.join(POINT_ORDER)})")
+    run.add_argument("--seed", type=int, default=None,
+                     help="recording scheduler seed (default 0)")
+    run.add_argument("--jobs", type=int, default=None,
+                     help="worker processes for the cell matrix")
+    run.add_argument("--repeats", type=int, default=None,
+                     help="timing repeats per cell (best-of)")
+    run.add_argument("--memoize", action="store_true",
+                     help="enable region memoization in every cell")
+    run.add_argument("--output", type=Path, default=None,
+                     help="write results JSON here (default: stdout)")
+    run.add_argument("--trace-dir", type=Path, default=None,
+                     help="keep recorded traces here "
+                          "(default: a scratch dir, deleted)")
+    run.add_argument("--digests", type=Path, default=None,
+                     help="write the digest -> family map for "
+                          "repro serve --lab-digests")
+    run.add_argument("--keep-traces", action="store_true",
+                     help="keep the scratch trace dir")
+    run.set_defaults(func=cmd_run)
+
+    lst = sub.add_parser("list", help="show families, truths, and knobs")
+    lst.set_defaults(func=cmd_list)
+
+    rep = sub.add_parser("report", help="render results JSON as markdown")
+    rep.add_argument("results", type=Path, help="results JSON from lab run")
+    rep.set_defaults(func=cmd_report)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> None:
+    args = build_parser().parse_args(argv)
+    code = args.func(args)
+    if code:
+        raise SystemExit(code)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+"""Render ``repro lab`` results as a markdown table.
+
+The stored results JSON (see :func:`~repro.experiments.runner.
+run_lab`) becomes one pipe table: a row per (workload, scale point),
+a column per backend, each cell showing throughput and the observed
+verdict.  Ground truth was asserted before the doc was written, so
+the verdict column is a restatement, not a claim under test.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+def _rate(events_per_sec: float) -> str:
+    if events_per_sec >= 1_000_000:
+        return f"{events_per_sec / 1_000_000:.1f}M ev/s"
+    if events_per_sec >= 1_000:
+        return f"{events_per_sec / 1_000:.0f}k ev/s"
+    return f"{events_per_sec:.0f} ev/s"
+
+
+def _cell(result: Optional[dict]) -> str:
+    if result is None:
+        return "—"
+    text = f"{_rate(result['events_per_sec'])} · {result['verdict']}"
+    if result.get("peak_nodes") is not None:
+        text += f" · peak {result['peak_nodes']:,}"
+    return text
+
+
+def render_report(doc: dict) -> str:
+    """The results document as GitHub-flavored markdown."""
+    spec = doc.get("spec", {})
+    backends = list(spec.get("backends", ()))
+    cells = doc.get("cells", [])
+    if not backends:
+        backends = sorted({c["backend"] for c in cells})
+
+    by_key: dict[tuple[str, str, str], dict] = {
+        (c["workload"], c["point"], c["backend"]): c for c in cells
+    }
+    rows: list[tuple[str, str]] = []
+    for cell in cells:
+        key = (cell["workload"], cell["point"])
+        if key not in rows:
+            rows.append(key)
+
+    lines = [
+        f"## lab results: {spec.get('name', 'lab')}",
+        "",
+        f"seed {spec.get('seed', 0)}, jobs {spec.get('jobs', 1)}, "
+        f"best of {spec.get('repeats', 1)}"
+        + (", memoized" if spec.get("memoize") else ""),
+        "",
+        "| workload | " + " | ".join(backends) + " |",
+        "|" + "---|" * (len(backends) + 1),
+    ]
+    recorded = doc.get("recorded", {})
+    for workload, point in rows:
+        entry = recorded.get(f"{workload}@{point}", {})
+        events = entry.get("events")
+        label = f"`{workload}@{point}`"
+        if events is not None:
+            label += f" ({events:,} ev)"
+        cells_text = [
+            _cell(by_key.get((workload, point, backend)))
+            for backend in backends
+        ]
+        lines.append("| " + " | ".join([label, *cells_text]) + " |")
+    lines.append("")
+    return "\n".join(lines)

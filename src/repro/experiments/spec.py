@@ -1,0 +1,148 @@
+"""Declarative experiment specs for the ``repro lab`` driver.
+
+A :class:`LabSpec` names a workload × backend × scale-point matrix
+plus how to execute it (recording seed, worker processes, timing
+repeats, memoization).  Specs load from a JSON file, from CLI flags,
+or both (flags override file keys) — the config-object style of
+wiscsee's experiment framework: one frozen value describes the whole
+experiment, and everything downstream (runner, bench, report) is a
+pure function of it.
+
+Only sound-and-complete checkers are allowed in the matrix: every
+cell's observed verdict is asserted against the workload's declared
+ground truth before any number is reported, and a heuristic checker
+(Atomizer, Eraser, ...) would fail that gate by design rather than by
+regression.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, fields, replace
+from pathlib import Path
+from typing import Optional
+
+from repro.workloads.server import POINT_ORDER, SERVER_FAMILIES
+
+#: Backends whose verdicts the ground-truth gate may assert, by family:
+#: the graph backends also pin the blamed label set; AeroDrome reports
+#: violations per label but is asserted on the verdict alone.
+GRAPH_BACKENDS = ("velodrome", "basic", "compact")
+VECTOR_BACKENDS = ("aerodrome",)
+ALLOWED_BACKENDS = GRAPH_BACKENDS + VECTOR_BACKENDS
+
+DEFAULT_BACKENDS = ("velodrome", "aerodrome")
+
+
+class SpecError(ValueError):
+    """A malformed or unsatisfiable experiment spec."""
+
+
+@dataclass(frozen=True)
+class LabSpec:
+    """One experiment: a matrix and how to run it.
+
+    ``workloads`` and ``points`` default to *every* server family and
+    the ``smoke`` point; ``backends`` to one representative of each
+    sound-and-complete family (graph Velodrome + vector-clock
+    AeroDrome).
+    """
+
+    name: str = "lab"
+    workloads: tuple[str, ...] = ()
+    backends: tuple[str, ...] = DEFAULT_BACKENDS
+    points: tuple[str, ...] = ("smoke",)
+    seed: int = 0
+    jobs: int = 1
+    repeats: int = 1
+    memoize: bool = False
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "workloads", tuple(self.workloads))
+        object.__setattr__(self, "backends", tuple(self.backends))
+        object.__setattr__(self, "points", tuple(self.points))
+
+    def validate(self) -> "LabSpec":
+        """Raise :class:`SpecError` on any unknown matrix axis value."""
+        known = list(SERVER_FAMILIES)
+        for workload in self.workloads:
+            if workload not in SERVER_FAMILIES:
+                raise SpecError(
+                    f"unknown server workload {workload!r}; "
+                    f"known: {', '.join(known)}"
+                )
+        for backend in self.backends:
+            if backend not in ALLOWED_BACKENDS:
+                raise SpecError(
+                    f"backend {backend!r} is not a sound-and-complete "
+                    f"checker; the lab asserts ground truth per cell, "
+                    f"so only {', '.join(ALLOWED_BACKENDS)} qualify"
+                )
+        if not self.backends:
+            raise SpecError("spec selects no backends")
+        for point in self.points:
+            if point not in POINT_ORDER:
+                raise SpecError(
+                    f"unknown scale point {point!r}; "
+                    f"known: {', '.join(POINT_ORDER)}"
+                )
+        if not self.points:
+            raise SpecError("spec selects no scale points")
+        if self.jobs < 1:
+            raise SpecError(f"jobs must be >= 1, got {self.jobs}")
+        if self.repeats < 1:
+            raise SpecError(f"repeats must be >= 1, got {self.repeats}")
+        return self
+
+    @property
+    def selected_workloads(self) -> tuple[str, ...]:
+        """The workload axis with the empty default expanded."""
+        return self.workloads or tuple(SERVER_FAMILIES)
+
+    def cells(self) -> list[tuple[str, str, str]]:
+        """The full matrix as (workload, point, backend) triples."""
+        return [
+            (workload, point, backend)
+            for workload in self.selected_workloads
+            for point in self.points
+            for backend in self.backends
+        ]
+
+    def to_json(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_json(cls, doc: dict) -> "LabSpec":
+        """Build a spec from a JSON document, rejecting unknown keys."""
+        known = {f.name for f in fields(cls)}
+        unknown = set(doc) - known
+        if unknown:
+            raise SpecError(
+                f"unknown spec keys {sorted(unknown)}; "
+                f"known: {sorted(known)}"
+            )
+        return cls(**doc)
+
+
+def load_spec(
+    path: Optional[Path] = None, **overrides
+) -> LabSpec:
+    """A validated spec from an optional JSON file plus CLI overrides.
+
+    ``overrides`` values of ``None`` mean "flag not given" and leave
+    the file (or dataclass default) value in place.
+    """
+    if path is not None:
+        try:
+            doc = json.loads(Path(path).read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise SpecError(f"cannot load spec {path}: {exc}") from exc
+        if not isinstance(doc, dict):
+            raise SpecError(f"spec {path} must be a JSON object")
+        spec = LabSpec.from_json(doc)
+    else:
+        spec = LabSpec()
+    live = {k: v for k, v in overrides.items() if v is not None}
+    if live:
+        spec = replace(spec, **live)
+    return spec.validate()

@@ -40,7 +40,9 @@ from repro.fuzz.engine import (
     FuzzReport,
     fuzz,
     iteration_seeds,
+    program_for_seed,
     round_trip_divergences,
+    server_pool_family,
     trace_for_seed,
 )
 from repro.fuzz.grid import GridConfig, ablation_grid, default_grid
@@ -72,5 +74,7 @@ __all__ = [
     "round_trip_divergences",
     "shrink_trace",
     "trace_digest",
+    "program_for_seed",
+    "server_pool_family",
     "trace_for_seed",
 ]

@@ -75,16 +75,58 @@ def iteration_seeds(seed: int, budget: int) -> list[int]:
     return [iteration_seed(seed, index) for index in range(budget)]
 
 
+#: Roughly one in this many fuzz seeds draws a server-shaped workload
+#: (at its family's small fuzz scale) instead of a random program, so
+#: the differential grid also chews on realistic sharing patterns.
+SERVER_POOL_PERIOD = 8
+
+
+def server_pool_family(seed: int):
+    """The server family ``seed`` draws, or ``None`` for most seeds.
+
+    The draw hangs off ``seed`` alone (string seeding, so stable
+    across processes): the same seed always maps to the same family —
+    or to none, in which case the seed generates a random program as
+    before.  Returns a :class:`~repro.workloads.server.ServerFamily`.
+    """
+    from repro.workloads.server import server_families
+
+    rng = random.Random(f"{seed}/server")
+    if rng.randrange(SERVER_POOL_PERIOD) != 0:
+        return None
+    families = server_families()
+    return families[rng.randrange(len(families))]
+
+
+def program_for_seed(seed: int, generator: Optional[GeneratorConfig] = None):
+    """The program fuzz seed ``seed`` executes.
+
+    Most seeds build a random program; about one in
+    :data:`SERVER_POOL_PERIOD` builds a server workload from the
+    seed-trace pool at its family's fuzz scale, with the seed feeding
+    the workload's internal mix generator.  An explicit ``generator``
+    config opts out of the pool: the caller asked for a specific
+    random-program shape, and a server workload would ignore it.
+    """
+    if generator is None:
+        family = server_pool_family(seed)
+        if family is not None:
+            return family.workload.build(family.fuzz_scale, seed=seed)
+    return random_program(seed, generator)
+
+
 def trace_for_seed(
     seed: int, generator: Optional[GeneratorConfig] = None
 ) -> Trace:
-    """The recorded trace of random program ``seed``.
+    """The recorded trace of fuzz seed ``seed``.
 
-    This is *the* seed-to-trace mapping: program and scheduler are both
-    seeded with ``seed``, exactly as ``repro random --seed N`` runs it,
-    so fuzzer iterations and CLI repros are byte-identical recordings.
+    This is *the* seed-to-trace mapping: the program (random, or a
+    server workload for pool seeds — see :func:`program_for_seed`) and
+    the scheduler are both seeded with ``seed``, exactly as ``repro
+    random --seed N`` runs it, so fuzzer iterations and CLI repros are
+    byte-identical recordings.
     """
-    program = random_program(seed, generator)
+    program = program_for_seed(seed, generator)
     result = run_with_backends(
         program, [], scheduler=RandomScheduler(seed), record_trace=True
     )

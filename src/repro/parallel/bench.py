@@ -214,6 +214,12 @@ def main(argv: Optional[Sequence[str]] = None) -> None:
 
         memo_main(list(argv)[1:])
         return
+    if argv and argv[0] == "workloads":
+        # ``repro bench workloads ...`` — the server-suite scaling sweep.
+        from repro.experiments.bench import main as workloads_main
+
+        workloads_main(list(argv)[1:])
+        return
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quick", action="store_true",
                         help="smaller budgets (the CI perf-smoke shape)")

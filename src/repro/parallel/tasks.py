@@ -244,3 +244,86 @@ def run_corpus_replay(task: CorpusReplayTask):
                 check, divergences=(*check.divergences, *extra)
             )
     return check
+
+
+# ------------------------------------------------------------------- lab
+@dataclass(frozen=True)
+class LabCellTask:
+    """One ``repro lab`` matrix cell: a recorded trace × one backend."""
+
+    workload: str
+    point: str
+    backend: str
+    trace_path: str
+    repeats: int
+    memoize: bool
+
+
+@dataclass(frozen=True)
+class LabCellResult:
+    """Measured numbers and observed verdict of one matrix cell.
+
+    ``peak_nodes`` is the happens-before graph's high-water mark
+    (``max_alive``) and is ``None`` for graph-free backends
+    (AeroDrome).  ``labels`` is the sorted set of transaction labels
+    the backend warned about; empty means a serializable verdict.
+    """
+
+    workload: str
+    point: str
+    backend: str
+    events: int
+    verdict: str
+    labels: tuple[str, ...]
+    best_seconds: float
+    events_per_sec: float
+    peak_nodes: Optional[int]
+    fast_forwarded: int
+    memoized: int
+    memo_hits: int
+    memo_misses: int
+
+
+def run_lab_cell(task: LabCellTask) -> LabCellResult:
+    """Worker: replay one recorded trace through one fresh backend.
+
+    Timing is best-of-``repeats`` (each repeat is a fresh backend over
+    the same packed source); the verdict, labels, and counter fields
+    come from the best-timed repeat, and are identical across repeats
+    by determinism of the replay.
+    """
+    import time
+
+    from repro.core.memo import RegionMemo
+    from repro.experiments.runner import make_backend
+    from repro.pipeline.core import Pipeline
+    from repro.pipeline.source import PackedTraceSource
+
+    best = None
+    for _ in range(max(1, task.repeats)):
+        backend = make_backend(task.backend)
+        memo = RegionMemo() if task.memoize else None
+        pipeline = Pipeline([backend], stats=True, memo=memo)
+        started = time.perf_counter()
+        pipeline.run(PackedTraceSource(task.trace_path))
+        elapsed = time.perf_counter() - started
+        if best is None or elapsed < best[0]:
+            best = (elapsed, backend, pipeline.metrics(elapsed=elapsed))
+    elapsed, backend, metrics = best
+    graph = getattr(backend, "graph", None)
+    backend_metrics = metrics.backends[0]
+    return LabCellResult(
+        workload=task.workload,
+        point=task.point,
+        backend=task.backend,
+        events=metrics.events_in,
+        verdict="violating" if backend.warning_count else "serializable",
+        labels=tuple(sorted(backend.warned_labels())),
+        best_seconds=elapsed,
+        events_per_sec=metrics.events_in / elapsed if elapsed > 0 else 0.0,
+        peak_nodes=graph.stats.max_alive if graph is not None else None,
+        fast_forwarded=backend_metrics.events_fast_forwarded,
+        memoized=backend_metrics.events_memoized,
+        memo_hits=metrics.memo_hits,
+        memo_misses=metrics.memo_misses,
+    )

@@ -79,9 +79,18 @@ class ServeConfig:
     max_retained: int = 1024
     memoize: bool = False
     memo_max: int = 1024
+    #: Optional ``digest -> family`` map written by ``repro lab run
+    #: --digests``; spooled streams whose content digest matches a
+    #: lab-recorded trace are tagged with their ``workload_family`` in
+    #: ``/streams`` and counted per family in ``/metrics``.
+    lab_digests: Optional[Path] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "spool_dir", Path(self.spool_dir))
+        if self.lab_digests is not None:
+            object.__setattr__(
+                self, "lab_digests", Path(self.lab_digests)
+            )
         state = (
             Path(self.state_dir) if self.state_dir is not None
             else self.spool_dir / ".serve"

@@ -88,6 +88,12 @@ class ServeDaemon:
         self._settling = 0
         self._endpoints_started = False
         self._checkpointable = self._backends_checkpointable()
+        # digest -> {workload, kind, point} from `repro lab run
+        # --digests`; imported lazily so plain daemons never pull the
+        # experiments package.
+        from repro.experiments.digests import load_digests
+
+        self._lab_digests = load_digests(config.lab_digests)
         self._finish_quarantine_moves()
 
     # ----------------------------------------------------------- lifecycle
@@ -181,6 +187,7 @@ class ServeDaemon:
         sid = stream_id(stable.path, stable.digest)
         if self.registry.get(sid) is not None:
             return   # re-observed after restart; registry is truth
+        family = self._workload_family(stable.digest)
         original = self.registry.by_digest(stable.digest)
         if original is not None:
             self.registry.save(StreamRecord(
@@ -188,6 +195,7 @@ class ServeDaemon:
                 digest=stable.digest, format=stable.format,
                 status=DUPLICATE,
                 error=f"same content as {original.stream_id}",
+                workload_family=family,
             ))
             self.metrics.count("duplicates_dropped")
             return
@@ -199,13 +207,19 @@ class ServeDaemon:
                 status=REJECTED, checkpointable=False,
                 error="backend selection has no snapshot codec and "
                       "no_snapshot policy is 'fail'",
+                workload_family=family,
             ))
             return
         self.registry.save(StreamRecord(
             stream_id=sid, path=str(stable.path), digest=stable.digest,
             format=stable.format, status=PENDING,
-            checkpointable=checkpointable,
+            checkpointable=checkpointable, workload_family=family,
         ))
+
+    def _workload_family(self, digest):
+        from repro.experiments.digests import family_for_digest
+
+        return family_for_digest(self._lab_digests, digest)
 
     def _quarantine(self, stable: StableFile) -> None:
         """Record, then move: a kill between the two loses nothing —
@@ -337,7 +351,8 @@ class ServeDaemon:
             self.metrics_server = MetricsServer(
                 {
                     "/metrics": lambda: self.metrics.snapshot(
-                        self.registry.counts()
+                        self.registry.counts(),
+                        workload_families=self.registry.family_counts(),
                     ),
                     "/streams": self._stream_views,
                 },

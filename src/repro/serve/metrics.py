@@ -117,7 +117,11 @@ class ServeMetrics:
         # The first sample marks the window start; its events predate it.
         return sum(events for _, events in samples[1:]) / span
 
-    def snapshot(self, registry_counts: Optional[dict] = None) -> dict:
+    def snapshot(
+        self,
+        registry_counts: Optional[dict] = None,
+        workload_families: Optional[dict] = None,
+    ) -> dict:
         with self._lock:
             document = {
                 "uptime_seconds": round(
@@ -152,6 +156,12 @@ class ServeMetrics:
         document["events_per_second"] = round(self.events_per_second(), 1)
         if registry_counts is not None:
             document["registry"] = dict(sorted(registry_counts.items()))
+        if workload_families:
+            # Streams whose content matches a lab-recorded trace
+            # digest, counted per server workload family.
+            document["workload_families"] = dict(
+                sorted(workload_families.items())
+            )
         return document
 
 

@@ -78,6 +78,10 @@ class StreamRecord:
         error: last failure/quarantine reason.
         result: bounded verdict payload once ``done`` (see
             :func:`repro.serve.stream.process_stream`).
+        workload_family: the server workload family whose lab-recorded
+            trace this stream's content matches (``repro serve
+            --lab-digests``), or ``None`` for untagged streams —
+            including every record written before the field existed.
     """
 
     stream_id: str
@@ -89,6 +93,7 @@ class StreamRecord:
     checkpointable: bool = True
     error: str = ""
     result: Optional[dict] = None
+    workload_family: Optional[str] = None
 
     @property
     def terminal(self) -> bool:
@@ -151,6 +156,15 @@ class StreamRegistry:
         out: dict[str, int] = {}
         for record in self._records.values():
             out[record.status] = out.get(record.status, 0) + 1
+        return out
+
+    def family_counts(self) -> dict[str, int]:
+        """Streams per ``workload_family`` tag (untagged ones omitted)."""
+        out: dict[str, int] = {}
+        for record in self._records.values():
+            if record.workload_family is not None:
+                family = record.workload_family
+                out[family] = out.get(family, 0) + 1
         return out
 
     def workable(self) -> list[StreamRecord]:

@@ -1,10 +1,22 @@
-"""Synthetic workload models of the paper's fifteen benchmarks."""
+"""Synthetic workload models of the paper's fifteen benchmarks.
 
-from repro.workloads import (
+Registration order is fixed here, explicitly: the paper suite first,
+then the synthetic server-shaped workloads (``request_loop`` and the
+:mod:`repro.workloads.server` family).  ``names()`` /
+``all_workloads()`` therefore list workloads in the same order in
+every process — and :func:`repro.workloads.base.register` rejects
+duplicate names outright, so no import order can silently shadow a
+definition.
+"""
+
+# Imported for their registration side effects, in canonical order:
+# the 15 paper benchmarks come first, synthetic server workloads after.
+from repro.workloads import suite            # noqa: F401  (paper 15)
+from repro.workloads import request_loop     # noqa: F401  (memo bench)
+from repro.workloads import server           # noqa: F401  (server family)
+from repro.workloads import (                # noqa: F401  (no registration)
     injection,
     randomgen,
-    request_loop,
-    suite,
     synthetic,
 )
 from repro.workloads.base import (
@@ -32,6 +44,7 @@ __all__ = [
     "paper_workloads",
     "register",
     "request_loop",
+    "server",
     "suite",
     "synthetic",
 ]

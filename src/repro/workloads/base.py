@@ -68,8 +68,32 @@ class Workload:
 _REGISTRY: dict[str, Workload] = {}
 
 
+def _definition(workload: Workload) -> str:
+    """Where a workload came from, for duplicate-name diagnostics."""
+    module = getattr(workload.build, "__module__", "<unknown module>")
+    return f"{workload.name!r} ({workload.description}) from {module}"
+
+
 def register(workload: Workload) -> Workload:
-    """Add a workload to the global registry (idempotent by name)."""
+    """Add a workload to the global registry.
+
+    Registration order is the registry's iteration order (module import
+    order, which :mod:`repro.workloads` fixes explicitly), so
+    :func:`all_workloads` / :func:`names` are deterministic across
+    processes and Python versions.
+
+    Re-registering the *same* object is a no-op (module reimport), but
+    a different definition under an already-taken name raises
+    ``ValueError`` naming both definitions — a silent last-wins would
+    let one suite shadow another's ground truth.
+    """
+    existing = _REGISTRY.get(workload.name)
+    if existing is not None and existing is not workload:
+        raise ValueError(
+            f"duplicate workload name {workload.name!r}: "
+            f"already registered as {_definition(existing)}; "
+            f"refusing to overwrite with {_definition(workload)}"
+        )
     _REGISTRY[workload.name] = workload
     return workload
 

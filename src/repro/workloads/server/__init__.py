@@ -1,0 +1,68 @@
+"""Server-shaped workloads: realistic sharing patterns at scale.
+
+Five parameterized families model the workload shapes the scaling
+literature evaluates on (see PAPERS.md — Tunç et al.'s FastAtomicity
+and Mathur & Viswanathan's vector-clock checker both bench on
+server/application traces rather than dense synthetic contention):
+
+- ``kv_store`` — memcached-like striped KV store; racy eviction
+  (**violating**, blames ``kv.evict``)
+- ``web_pipeline`` — nginx-like staged request pipeline, hand-off
+  ordered (**serializable**)
+- ``mpmc_queue`` — bounded producer/consumer queue; optimistic
+  unlocked room check (**violating**, blames ``queue.put``)
+- ``conn_pool`` — connection pool; ownership-transfer unlocked use
+  (**serializable**)
+- ``cache`` — read-heavy cache under invalidation storms; compound
+  fill (**violating**, blames ``cache.get_or_fill``)
+
+Each family scales linearly from ~1–2k events (``smoke``) to ~2M
+(``large``) and declares its ground truth per scale point; the
+``repro lab`` experiment driver asserts that truth at every matrix
+cell before reporting a number.  Families register in the global
+workload registry with ``table1=None`` so they stay out of
+``paper_workloads()`` and the paper-table harnesses.
+"""
+
+# Imported for their registration side effects, in canonical order.
+from repro.workloads.server import kv_store      # noqa: F401
+from repro.workloads.server import web_pipeline  # noqa: F401
+from repro.workloads.server import mpmc_queue    # noqa: F401
+from repro.workloads.server import conn_pool     # noqa: F401
+from repro.workloads.server import cache         # noqa: F401
+from repro.workloads.server.base import (
+    LARGE,
+    MEDIUM,
+    POINT_ORDER,
+    SERVER_FAMILIES,
+    SMALL,
+    SMOKE,
+    GroundTruth,
+    ScalePoint,
+    ServerFamily,
+    get_family,
+    register_family,
+    server_families,
+    uniform_truth,
+)
+
+__all__ = [
+    "GroundTruth",
+    "LARGE",
+    "MEDIUM",
+    "POINT_ORDER",
+    "SERVER_FAMILIES",
+    "SMALL",
+    "SMOKE",
+    "ScalePoint",
+    "ServerFamily",
+    "cache",
+    "conn_pool",
+    "get_family",
+    "kv_store",
+    "mpmc_queue",
+    "register_family",
+    "server_families",
+    "uniform_truth",
+    "web_pipeline",
+]

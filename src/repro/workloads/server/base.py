@@ -1,0 +1,174 @@
+"""Shared scaffolding of the server-shaped workload family.
+
+Every workload under :mod:`repro.workloads.server` is a *parameterized
+generator* — thread count, event volume (linear in ``scale``, up to
+millions), sharing ratio, and seed all tunable — paired with
+**declared atomicity ground truth per scale point**: the verdict a
+sound-and-complete checker must reach, and, where the workload is
+violating, the transaction family (block labels) it must blame.
+
+The experiment driver (:mod:`repro.experiments`) refuses to report a
+single number for a matrix cell whose observed verdict or blame set
+contradicts the declaration here; the parameterized oracle tests in
+``tests/test_server_workloads.py`` pin the declarations themselves.
+
+Families register twice: the plain :class:`~repro.workloads.base.
+Workload` enters the global registry (with ``table1=None``/``table2=
+None``, so :func:`~repro.workloads.base.paper_workloads` and the
+table harnesses never pick a server workload up), and the
+:class:`ServerFamily` wrapper enters :data:`SERVER_FAMILIES` with the
+scale points and truth attached.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.workloads.base import Workload, register
+
+#: Canonical scale-point names, smallest first.  Every family declares
+#: these four; the lab's default matrix runs ``smoke`` and benches
+#: sweep upward from there.
+SMOKE = "smoke"
+SMALL = "small"
+MEDIUM = "medium"
+LARGE = "large"
+
+POINT_ORDER = (SMOKE, SMALL, MEDIUM, LARGE)
+
+
+@dataclass(frozen=True)
+class ScalePoint:
+    """One named point on a family's scale knob.
+
+    ``approx_events`` is the measured event count at the family's
+    default parameters and recording seed 0 — documentation and
+    sanity-check material, not an assertion (parameter overrides move
+    it).
+    """
+
+    name: str
+    scale: float
+    approx_events: int
+
+
+@dataclass(frozen=True)
+class GroundTruth:
+    """Declared verdict (and blame) of one workload at one scale point.
+
+    ``serializable`` is what the sound-and-complete checkers must
+    conclude; ``blamed`` the block labels they must warn about when the
+    workload is violating (empty exactly when ``serializable``).
+    """
+
+    serializable: bool
+    blamed: frozenset[str] = frozenset()
+
+    def __post_init__(self) -> None:
+        if self.serializable and self.blamed:
+            raise ValueError(
+                f"serializable ground truth cannot blame {set(self.blamed)}"
+            )
+        if not self.serializable and not self.blamed:
+            raise ValueError(
+                "violating ground truth must name the blamed family"
+            )
+
+    @property
+    def verdict(self) -> str:
+        return "serializable" if self.serializable else "violating"
+
+
+@dataclass(frozen=True)
+class ServerFamily:
+    """One server workload plus its scale points and declared truth."""
+
+    workload: Workload
+    kind: str
+    scale_points: tuple[ScalePoint, ...]
+    truth: Mapping[str, GroundTruth]
+    #: Scale used when this family's traces enter the fuzz seed pool —
+    #: small enough that a full ablation-grid sweep stays cheap.
+    fuzz_scale: float = 0.1
+    #: Free-form knob descriptions rendered by ``repro lab list``.
+    knobs: Mapping[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        declared = {point.name for point in self.scale_points}
+        if declared != set(self.truth):
+            raise ValueError(
+                f"{self.name}: truth declared for {sorted(self.truth)} "
+                f"but scale points are {sorted(declared)}"
+            )
+
+    @property
+    def name(self) -> str:
+        return self.workload.name
+
+    def point(self, name: str) -> ScalePoint:
+        for point in self.scale_points:
+            if point.name == name:
+                return point
+        known = ", ".join(p.name for p in self.scale_points)
+        raise KeyError(
+            f"{self.name} has no scale point {name!r}; known: {known}"
+        )
+
+    def truth_at(self, point_name: str) -> GroundTruth:
+        self.point(point_name)  # raises on unknown names
+        return self.truth[point_name]
+
+    @property
+    def smallest(self) -> ScalePoint:
+        return self.scale_points[0]
+
+
+#: Every server family, in registration order (fixed by the module
+#: import order of :mod:`repro.workloads.server`).
+SERVER_FAMILIES: dict[str, ServerFamily] = {}
+
+
+def register_family(family: ServerFamily) -> ServerFamily:
+    """Register in both the family and the global workload registry."""
+    if family.name in SERVER_FAMILIES:
+        existing = SERVER_FAMILIES[family.name]
+        if existing is not family:
+            raise ValueError(
+                f"duplicate server family {family.name!r}"
+            )
+        return family
+    names = [point.name for point in family.scale_points]
+    if names != [p for p in POINT_ORDER if p in names] or not names:
+        raise ValueError(
+            f"{family.name}: scale points {names} must follow "
+            f"{POINT_ORDER} order"
+        )
+    register(family.workload)
+    SERVER_FAMILIES[family.name] = family
+    return family
+
+
+def server_families() -> list[ServerFamily]:
+    """Every server family, in registration order."""
+    return list(SERVER_FAMILIES.values())
+
+
+def get_family(name: str) -> ServerFamily:
+    try:
+        return SERVER_FAMILIES[name]
+    except KeyError:
+        known = ", ".join(SERVER_FAMILIES)
+        raise KeyError(
+            f"unknown server workload {name!r}; known: {known}"
+        ) from None
+
+
+def uniform_truth(
+    points: tuple[ScalePoint, ...],
+    serializable: bool,
+    blamed: frozenset[str] = frozenset(),
+) -> dict[str, GroundTruth]:
+    """The common case: one declaration holding at every scale point."""
+    truth = GroundTruth(serializable=serializable, blamed=blamed)
+    return {point.name: truth for point in points}

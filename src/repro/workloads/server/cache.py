@@ -1,0 +1,175 @@
+"""``cache``: a read-heavy cache under invalidation storms.
+
+Reader threads mostly perform locked single-section lookups
+(``cache.read``).  Every few accesses a reader misses and runs
+``cache.get_or_fill``: read the version and the entry under the cache
+lock, **release the lock to recompute the value**, then re-acquire and
+fill the entry — the compound read-compute-write that every real cache
+gets wrong first.  An invalidator thread meanwhile fires storms that
+bump the version and clear every entry in one locked section
+(``cache.invalidate``, atomic).  A storm (or a competing fill of the
+same entry) landing inside a fill's recompute window makes
+``cache.get_or_fill`` genuinely non-atomic.
+
+``sharing`` skews reader traffic toward entry 0, concentrating the
+fill/fill and fill/storm collisions.
+
+Declared ground truth: **violating**, blamed ``cache.get_or_fill``.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.runtime.program import (
+    Acquire,
+    Begin,
+    End,
+    Program,
+    Read,
+    Release,
+    ThreadSpec,
+    Work,
+    Write,
+)
+from repro.workloads.base import Workload
+from repro.workloads.server.base import (
+    ScalePoint,
+    ServerFamily,
+    register_family,
+    uniform_truth,
+)
+
+#: Reader threads.
+READERS = 3
+
+#: Cached entries.
+ENTRIES = 4
+
+#: Reads per reader at ``scale=1.0``.
+BASE_READS = 30
+
+#: Invalidation storms at ``scale=1.0``.
+BASE_STORMS = 6
+
+#: Every Nth access is a miss that runs the compound fill.
+MISS_EVERY = 5
+
+#: Default probability a reader targets the hot entry (entry 0).
+SHARING = 0.6
+
+#: Compute between a fill's version check and its write-back — the
+#: window a storm or competing fill must land in.
+FILL_GAP = 3
+
+READ = "cache.read"
+FILL = "cache.get_or_fill"
+INVALIDATE = "cache.invalidate"
+
+_LOCK = "cache_lock"
+_VERSION = "cache_version"
+
+
+def _entry(index: int) -> str:
+    return f"cache_entry_{index}"
+
+
+def _reader(reader: int, reads: int, sharing: float, seed: int):
+    def body():
+        rng = random.Random(f"cache-reader/{seed}/{reader}")
+        for access in range(reads):
+            if rng.random() < sharing:
+                entry = _entry(0)
+            else:
+                entry = _entry(rng.randrange(ENTRIES))
+            if access % MISS_EVERY == MISS_EVERY - 1:
+                yield Begin(FILL)
+                yield Acquire(_LOCK)
+                yield Read(_VERSION)
+                yield Read(entry)
+                yield Release(_LOCK)
+                yield Work(FILL_GAP)       # recompute the value
+                yield Acquire(_LOCK)
+                yield Read(_VERSION)
+                yield Write(entry, access + 1)
+                yield Release(_LOCK)
+                yield End()
+            else:
+                yield Begin(READ)
+                yield Acquire(_LOCK)
+                yield Read(_VERSION)
+                yield Read(entry)
+                yield Release(_LOCK)
+                yield End()
+
+    return body
+
+
+def _invalidator(storms: int):
+    def body():
+        for _ in range(storms):
+            yield Begin(INVALIDATE)
+            yield Acquire(_LOCK)
+            version = yield Read(_VERSION)
+            yield Write(_VERSION, version + 1)
+            for index in range(ENTRIES):
+                yield Write(_entry(index), 0)
+            yield Release(_LOCK)
+            yield End()
+            yield Work(4)
+
+    return body
+
+
+def build(
+    scale: float = 1.0,
+    *,
+    readers: int = READERS,
+    sharing: float = SHARING,
+    seed: int = 0,
+) -> Program:
+    """The cache at ``scale`` (reads and storms grow linearly)."""
+    reads = max(MISS_EVERY, int(round(BASE_READS * scale)))
+    storms = max(2, int(round(BASE_STORMS * scale)))
+    program = Program(
+        name="cache",
+        atomic_methods={READ, FILL, INVALIDATE},
+        non_atomic_methods={FILL},
+    )
+    for reader in range(readers):
+        program.threads.append(
+            ThreadSpec(_reader(reader, reads, sharing, seed), f"reader{reader}")
+        )
+    program.threads.append(ThreadSpec(_invalidator(storms), "invalidator"))
+    return program
+
+
+_POINTS = (
+    ScalePoint("smoke", 1.0, 700),
+    ScalePoint("small", 22.0, 15_000),
+    ScalePoint("medium", 220.0, 150_000),
+    ScalePoint("large", 2_200.0, 1_500_000),
+)
+
+CACHE = register_family(ServerFamily(
+    workload=Workload(
+        name="cache",
+        build=build,
+        description="read-heavy cache, compound fill under storms",
+        compute_bound=False,
+        table1=None,
+        table2=None,
+    ),
+    kind="cache",
+    scale_points=_POINTS,
+    truth=uniform_truth(
+        _POINTS, serializable=False, blamed=frozenset({FILL})
+    ),
+    fuzz_scale=0.35,
+    knobs={
+        "readers": f"reader threads (default {READERS})",
+        "sharing": f"probability of targeting the hot entry "
+                   f"(default {SHARING})",
+        "seed": "entry-choice generator seed (default 0)",
+    },
+))

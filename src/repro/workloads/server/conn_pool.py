@@ -1,0 +1,157 @@
+"""``conn_pool``: a connection pool with lease / use / return.
+
+Worker threads lease a connection slot (scan the free flags under the
+pool lock, claim the first free one), use it, and return it.
+``pool.use`` performs an **unlocked** read-modify-write on the leased
+connection's state — no lock protects it, yet the workload is
+serializable: only the current lease holder touches a connection's
+state, and successive holders are happens-before ordered through the
+pool-lock conflict chain (the returner writes the free flag under the
+lock; the next leaser reads it under the lock).  This is the classic
+ownership-transfer idiom that drowns lock-set analyses in false alarms
+while a happens-before checker like Velodrome stays silent.
+
+There are fewer slots than workers, so leases contend and exhausted
+scans retry (each retry is its own atomic ``pool.lease`` attempt).
+
+Declared ground truth: **serializable** at every scale point.
+"""
+
+from __future__ import annotations
+
+from repro.runtime.program import (
+    Acquire,
+    Begin,
+    End,
+    Program,
+    Read,
+    Release,
+    ThreadSpec,
+    Work,
+    Write,
+)
+from repro.workloads.base import Workload
+from repro.workloads.server.base import (
+    ScalePoint,
+    ServerFamily,
+    register_family,
+    uniform_truth,
+)
+
+#: Worker threads competing for connections.
+WORKERS = 3
+
+#: Connection slots — fewer than the workers, so leases contend.
+SLOTS = 2
+
+#: Lease/use/return rounds per worker at ``scale=1.0``.
+BASE_ROUNDS = 22
+
+LEASE = "pool.lease"
+USE = "pool.use"
+RETURN = "pool.return"
+
+_LOCK = "pool_lock"
+_LEASES = "pool_leases"
+_RETURNS = "pool_returns"
+
+
+def _free(slot: int) -> str:
+    return f"pool_free_{slot}"
+
+
+def _state(slot: int) -> str:
+    return f"conn_state_{slot}"
+
+
+def _worker(rounds: int, slots: int):
+    def body():
+        for _ in range(rounds):
+            # Lease: scan for a free slot; retry until one is claimed.
+            claimed = -1
+            while claimed < 0:
+                yield Begin(LEASE)
+                yield Acquire(_LOCK)
+                for slot in range(slots):
+                    free = yield Read(_free(slot))
+                    if free:
+                        yield Write(_free(slot), 0)
+                        count = yield Read(_LEASES)
+                        yield Write(_LEASES, count + 1)
+                        claimed = slot
+                        break
+                yield Release(_LOCK)
+                yield End()
+                if claimed < 0:
+                    yield Work(1)          # pool exhausted; back off
+            # Use: unlocked rmw, exclusive by lease ownership.
+            yield Begin(USE)
+            state = yield Read(_state(claimed))
+            yield Work(2)
+            yield Write(_state(claimed), state + 1)
+            yield End()
+            # Return: release the slot for the next holder.
+            yield Begin(RETURN)
+            yield Acquire(_LOCK)
+            yield Write(_free(claimed), 1)
+            count = yield Read(_RETURNS)
+            yield Write(_RETURNS, count + 1)
+            yield Release(_LOCK)
+            yield End()
+
+    return body
+
+
+def build(
+    scale: float = 1.0,
+    *,
+    workers: int = WORKERS,
+    slots: int = SLOTS,
+    seed: int = 0,
+) -> Program:
+    """The connection pool at ``scale`` (rounds grow linearly).
+
+    ``seed`` is accepted for interface uniformity; slot choice is the
+    deterministic first-free scan.
+    """
+    del seed
+    rounds = max(2, int(round(BASE_ROUNDS * scale)))
+    program = Program(
+        name="conn_pool",
+        atomic_methods={LEASE, USE, RETURN},
+        non_atomic_methods=set(),
+        initial_store={_free(slot): 1 for slot in range(slots)},
+    )
+    for worker in range(workers):
+        program.threads.append(
+            ThreadSpec(_worker(rounds, slots), f"worker{worker}")
+        )
+    return program
+
+
+_POINTS = (
+    ScalePoint("smoke", 1.0, 1_500),
+    ScalePoint("small", 12.0, 18_000),
+    ScalePoint("medium", 120.0, 185_000),
+    ScalePoint("large", 1_200.0, 1_850_000),
+)
+
+CONN_POOL = register_family(ServerFamily(
+    workload=Workload(
+        name="conn_pool",
+        build=build,
+        description="connection pool, ownership-transfer unlocked use",
+        compute_bound=False,
+        table1=None,
+        table2=None,
+    ),
+    kind="connection-pool",
+    scale_points=_POINTS,
+    truth=uniform_truth(_POINTS, serializable=True),
+    fuzz_scale=0.25,
+    knobs={
+        "workers": f"worker threads (default {WORKERS})",
+        "slots": f"connection slots (default {SLOTS}, < workers)",
+        "seed": "accepted for uniformity; the scan is deterministic",
+    },
+))

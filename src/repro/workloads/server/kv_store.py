@@ -1,0 +1,218 @@
+"""``kv_store``: a memcached-like key-value store with eviction/expiry.
+
+Client threads issue a seeded get/put mix over striped shards (one
+lock per shard); ``sharing`` is the fraction of operations aimed at
+the *hot* keys every client shares, the rest touch client-private
+keys.  ``kv.put`` updates the key and the global size counter under
+nested two-phase locking (stripe, then meta) — atomic.  A background
+expiry sweeper clears keys shard by shard under the shard's stripe —
+atomic.
+
+The defect is the **eviction** thread: ``kv.evict`` reads the size
+counter under the meta lock, *releases it* to pick and clear a victim
+under the victim's stripe, then re-acquires the meta lock to decrement
+the counter — the classic check-then-act compound.  A concurrent
+``kv.put`` bumping the counter inside that window makes the eviction
+transaction genuinely non-atomic, and under the default contention the
+violating interleaving is observed at every scale point.
+
+Declared ground truth: **violating**, blamed family ``kv.evict``.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.runtime.program import (
+    Acquire,
+    Begin,
+    End,
+    Program,
+    Read,
+    Release,
+    ThreadSpec,
+    Work,
+    Write,
+)
+from repro.workloads.base import Workload
+from repro.workloads.server.base import (
+    ScalePoint,
+    ServerFamily,
+    register_family,
+    uniform_truth,
+)
+
+#: Client threads issuing the get/put mix.
+CLIENTS = 3
+
+#: Lock stripes; every key lives in exactly one shard.
+SHARDS = 4
+
+#: Hot (shared) keys per shard.
+HOT_KEYS = 2
+
+#: Client operations each at ``scale=1.0``.
+BASE_OPS = 40
+
+#: Eviction rounds at ``scale=1.0``.
+BASE_EVICTIONS = 8
+
+#: Expiry sweeps at ``scale=1.0``.
+BASE_SWEEPS = 3
+
+#: Default fraction of client operations on the shared hot keys.
+SHARING = 0.4
+
+#: Fraction of client operations that are puts (the rest are gets).
+PUT_RATIO = 0.45
+
+#: Compute between the eviction's size check and its decrement — the
+#: window a concurrent put must land in for the violation to surface.
+EVICT_GAP = 4
+
+GET = "kv.get"
+PUT = "kv.put"
+EVICT = "kv.evict"
+EXPIRE = "kv.expire"
+
+_META_LOCK = "kv_meta_lock"
+_SIZE = "kv_size"
+
+
+def _stripe(shard: int) -> str:
+    return f"kv_stripe_{shard}"
+
+
+def _hot_key(shard: int, index: int) -> str:
+    return f"kv_{shard}_hot{index}"
+
+
+def _private_key(shard: int, client: int) -> str:
+    return f"kv_{shard}_c{client}"
+
+
+def _client(client: int, ops: int, sharing: float, seed: int):
+    def body():
+        rng = random.Random(f"kv-client/{seed}/{client}")
+        for _ in range(ops):
+            shard = rng.randrange(SHARDS)
+            if rng.random() < sharing:
+                key = _hot_key(shard, rng.randrange(HOT_KEYS))
+            else:
+                key = _private_key(shard, client)
+            if rng.random() < PUT_RATIO:
+                yield Begin(PUT)
+                yield Acquire(_stripe(shard))
+                value = yield Read(key)
+                yield Write(key, value + 1)
+                yield Acquire(_META_LOCK)
+                size = yield Read(_SIZE)
+                yield Write(_SIZE, size + 1)
+                yield Release(_META_LOCK)
+                yield Release(_stripe(shard))
+                yield End()
+            else:
+                yield Begin(GET)
+                yield Acquire(_stripe(shard))
+                yield Read(key)
+                yield Release(_stripe(shard))
+                yield End()
+
+    return body
+
+
+def _evictor(rounds: int, seed: int):
+    def body():
+        rng = random.Random(f"kv-evict/{seed}")
+        for _ in range(rounds):
+            shard = rng.randrange(SHARDS)
+            victim = _hot_key(shard, rng.randrange(HOT_KEYS))
+            yield Begin(EVICT)
+            yield Acquire(_META_LOCK)
+            size = yield Read(_SIZE)
+            yield Release(_META_LOCK)
+            yield Work(EVICT_GAP)          # pick the LRU victim
+            yield Acquire(_stripe(shard))
+            yield Read(victim)
+            yield Write(victim, 0)
+            yield Release(_stripe(shard))
+            yield Acquire(_META_LOCK)
+            stale = yield Read(_SIZE)
+            yield Write(_SIZE, max(stale - 1, 0) if size else 0)
+            yield Release(_META_LOCK)
+            yield End()
+            yield Work(2)
+
+    return body
+
+
+def _expirer(sweeps: int):
+    def body():
+        for sweep in range(sweeps):
+            for shard in range(SHARDS):
+                yield Begin(EXPIRE)
+                yield Acquire(_stripe(shard))
+                for index in range(HOT_KEYS):
+                    yield Read(_hot_key(shard, index))
+                yield Write(_hot_key(shard, sweep % HOT_KEYS), 0)
+                yield Release(_stripe(shard))
+                yield End()
+            yield Work(3)
+
+    return body
+
+
+def build(
+    scale: float = 1.0,
+    *,
+    clients: int = CLIENTS,
+    sharing: float = SHARING,
+    seed: int = 0,
+) -> Program:
+    """The KV store at ``scale`` (ops/evictions/sweeps grow linearly)."""
+    ops = max(4, int(round(BASE_OPS * scale)))
+    evictions = max(2, int(round(BASE_EVICTIONS * scale)))
+    sweeps = max(1, int(round(BASE_SWEEPS * scale)))
+    program = Program(
+        name="kv_store",
+        atomic_methods={GET, PUT, EVICT, EXPIRE},
+        non_atomic_methods={EVICT},
+    )
+    for client in range(clients):
+        program.threads.append(
+            ThreadSpec(_client(client, ops, sharing, seed), f"client{client}")
+        )
+    program.threads.append(ThreadSpec(_evictor(evictions, seed), "evictor"))
+    program.threads.append(ThreadSpec(_expirer(sweeps), "expirer"))
+    return program
+
+
+_POINTS = (
+    ScalePoint("smoke", 1.0, 1_100),
+    ScalePoint("small", 14.0, 15_000),
+    ScalePoint("medium", 140.0, 150_000),
+    ScalePoint("large", 1_400.0, 1_500_000),
+)
+
+KV_STORE = register_family(ServerFamily(
+    workload=Workload(
+        name="kv_store",
+        build=build,
+        description="memcached-like striped KV store, racy eviction",
+        compute_bound=False,
+        table1=None,
+        table2=None,
+    ),
+    kind="kv-store",
+    scale_points=_POINTS,
+    truth=uniform_truth(
+        _POINTS, serializable=False, blamed=frozenset({EVICT})
+    ),
+    fuzz_scale=0.25,
+    knobs={
+        "clients": f"client threads (default {CLIENTS})",
+        "sharing": f"fraction of ops on shared hot keys "
+                   f"(default {SHARING})",
+        "seed": "key/op mix generator seed (default 0)",
+    },
+))

@@ -1,0 +1,169 @@
+"""``mpmc_queue``: a bounded multi-producer/multi-consumer queue.
+
+Producers push into a ring buffer, consumers pop, both under one queue
+lock — except for the classic optimization bug: ``queue.put`` first
+reads the depth counter *without the lock* (the optimistic "is there
+room?" check), computes for a moment, then takes the lock and pushes.
+The unlocked read and the locked push live in the same transaction, so
+any concurrent depth update landing in the window (another producer's
+push, a consumer's pop) makes the put genuinely non-atomic.
+``queue.get`` does its whole empty-check-and-pop under the lock —
+atomic, including the empty-handed retry rounds.
+
+Producers and consumers move the same number of items, so every run
+terminates; consumers spin (bounded by production) when the queue is
+empty.
+
+Declared ground truth: **violating**, blamed family ``queue.put``.
+"""
+
+from __future__ import annotations
+
+from repro.runtime.program import (
+    Acquire,
+    Begin,
+    End,
+    Program,
+    Read,
+    Release,
+    ThreadSpec,
+    Work,
+    Write,
+)
+from repro.workloads.base import Workload
+from repro.workloads.server.base import (
+    ScalePoint,
+    ServerFamily,
+    register_family,
+    uniform_truth,
+)
+
+#: Producer / consumer thread counts.
+PRODUCERS = 2
+CONSUMERS = 2
+
+#: Ring-buffer capacity (slot count).
+CAPACITY = 4
+
+#: Items each producer pushes at ``scale=1.0``.  Total production is
+#: always a multiple of ``CONSUMERS`` so consumption balances exactly.
+BASE_ITEMS = 30
+
+#: Compute between the optimistic depth check and the locked push —
+#: the window a concurrent depth update must land in.
+PUT_GAP = 3
+
+PUT = "queue.put"
+GET = "queue.get"
+
+_LOCK = "q_lock"
+_DEPTH = "q_depth"
+_HEAD = "q_head"
+_TAIL = "q_tail"
+
+
+def _slot(position: int) -> str:
+    return f"q_slot_{position % CAPACITY}"
+
+
+def _producer(producer: int, items: int):
+    def body():
+        for item in range(items):
+            yield Work(1)
+            yield Begin(PUT)
+            yield Read(_DEPTH)             # optimistic, UNLOCKED room check
+            yield Work(PUT_GAP)
+            yield Acquire(_LOCK)
+            depth = yield Read(_DEPTH)
+            yield Write(_DEPTH, depth + 1)
+            tail = yield Read(_TAIL)
+            yield Write(_TAIL, tail + 1)
+            yield Write(_slot(tail), producer * items + item + 1)
+            yield Release(_LOCK)
+            yield End()
+
+    return body
+
+
+def _consumer(quota: int):
+    def body():
+        taken = 0
+        while taken < quota:
+            yield Begin(GET)
+            yield Acquire(_LOCK)
+            depth = yield Read(_DEPTH)
+            if depth > 0:
+                yield Write(_DEPTH, depth - 1)
+                head = yield Read(_HEAD)
+                yield Write(_HEAD, head + 1)
+                yield Read(_slot(head))
+            yield Release(_LOCK)
+            yield End()
+            if depth > 0:
+                taken += 1
+            yield Work(1)
+
+    return body
+
+
+def build(
+    scale: float = 1.0,
+    *,
+    producers: int = PRODUCERS,
+    consumers: int = CONSUMERS,
+    seed: int = 0,
+) -> Program:
+    """The bounded queue at ``scale`` (items per producer grow linearly).
+
+    ``seed`` is accepted for interface uniformity; the push/pop volume
+    is fixed by the thread counts and scale.
+    """
+    del seed
+    items = max(consumers, int(round(BASE_ITEMS * scale)))
+    # Balance production against consumption exactly.
+    items -= items % consumers
+    quota = items * producers // consumers
+    program = Program(
+        name="mpmc_queue",
+        atomic_methods={PUT, GET},
+        non_atomic_methods={PUT},
+    )
+    for producer in range(producers):
+        program.threads.append(
+            ThreadSpec(_producer(producer, items), f"producer{producer}")
+        )
+    for consumer in range(consumers):
+        program.threads.append(
+            ThreadSpec(_consumer(quota), f"consumer{consumer}")
+        )
+    return program
+
+
+_POINTS = (
+    ScalePoint("smoke", 1.0, 1_300),
+    ScalePoint("small", 12.0, 15_000),
+    ScalePoint("medium", 120.0, 150_000),
+    ScalePoint("large", 1_200.0, 1_500_000),
+)
+
+MPMC_QUEUE = register_family(ServerFamily(
+    workload=Workload(
+        name="mpmc_queue",
+        build=build,
+        description="bounded MPMC queue, optimistic unlocked room check",
+        compute_bound=False,
+        table1=None,
+        table2=None,
+    ),
+    kind="queue",
+    scale_points=_POINTS,
+    truth=uniform_truth(
+        _POINTS, serializable=False, blamed=frozenset({PUT})
+    ),
+    fuzz_scale=0.25,
+    knobs={
+        "producers": f"producer threads (default {PRODUCERS})",
+        "consumers": f"consumer threads (default {CONSUMERS})",
+        "seed": "accepted for uniformity; the mix is deterministic",
+    },
+))

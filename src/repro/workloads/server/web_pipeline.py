@@ -1,0 +1,160 @@
+"""``web_pipeline``: an nginx-like staged request pipeline.
+
+An acceptor thread admits requests into a bounded ring of buffer
+slots; three handler stages (``web.parse`` → ``web.handle`` →
+``web.log``) each await their stage mailbox, read the previous
+stage's slot, write their own output slot, and bump a shared request
+counter under the stats lock.  The acceptor admits request ``r`` only
+after the whole chain finished request ``r - depth``, so slot reuse is
+always ordered through the completion flag: every conflicting slot
+access is happens-before ordered by the mailbox/completion hand-offs,
+and the only lock-mediated state (the shared counter) is a single
+locked section per transaction.
+
+Declared ground truth: **serializable** at every scale point — the
+interesting property here is that the pipeline stays clean *without*
+a single global lock, purely through hand-off ordering.
+"""
+
+from __future__ import annotations
+
+from repro.runtime.program import (
+    Acquire,
+    Await,
+    Begin,
+    End,
+    Program,
+    Read,
+    Release,
+    ThreadSpec,
+    Work,
+    Write,
+)
+from repro.workloads.base import Workload
+from repro.workloads.server.base import (
+    ScalePoint,
+    ServerFamily,
+    register_family,
+    uniform_truth,
+)
+
+#: Handler stages, in pipeline order.
+STAGES = ("web.parse", "web.handle", "web.log")
+
+#: Ring-buffer slots per stage boundary; also the pipelining depth.
+SLOTS = 4
+
+#: Requests accepted at ``scale=1.0``.
+BASE_REQUESTS = 50
+
+ACCEPT = "web.accept"
+
+_STATS_LOCK = "web_stats_lock"
+_TOTAL = "web_stat_total"
+_DONE = "web_done"
+
+
+def _mail(stage: int, request: int) -> str:
+    # Slot-indexed mailboxes: the slot for request ``r`` is rewritten
+    # only at ``r + SLOTS``, and the admission gate guarantees the
+    # consumer has long consumed ``r`` by then — no lost wakeups.
+    return f"web_mail_{stage}_{request % SLOTS}"
+
+
+def _done(request: int) -> str:
+    return f"web_done_{request % SLOTS}"
+
+
+def _slot(stage: int, request: int) -> str:
+    return f"web_buf_{stage}_{request % SLOTS}"
+
+
+def _acceptor(requests: int, depth: int):
+    def body():
+        for request in range(1, requests + 1):
+            if request > depth:
+                yield Await(_done(request - depth), request - depth)
+            yield Begin(ACCEPT)
+            yield Write(_slot(0, request), request)
+            yield End()
+            yield Write(_mail(0, request), request)
+
+    return body
+
+
+def _stage(index: int, label: str, requests: int):
+    last = index == len(STAGES) - 1
+
+    def body():
+        for request in range(1, requests + 1):
+            yield Await(_mail(index, request), request)
+            yield Begin(label)
+            value = yield Read(_slot(index, request))
+            yield Work(1)
+            yield Write(_slot(index + 1, request), value + 1)
+            yield Acquire(_STATS_LOCK)
+            total = yield Read(_TOTAL)
+            yield Write(_TOTAL, total + 1)
+            yield Release(_STATS_LOCK)
+            yield End()
+            if last:
+                yield Write(_done(request), request)
+            else:
+                yield Write(_mail(index + 1, request), request)
+
+    return body
+
+
+def build(
+    scale: float = 1.0,
+    *,
+    depth: int = SLOTS,
+    seed: int = 0,
+) -> Program:
+    """The staged pipeline at ``scale`` (requests grow linearly).
+
+    ``seed`` is accepted for interface uniformity; the pipeline is a
+    fixed hand-off structure, so it has no randomized choices.
+    """
+    del seed
+    requests = max(depth + 1, int(round(BASE_REQUESTS * scale)))
+    depth = max(1, min(depth, SLOTS))
+    program = Program(
+        name="web_pipeline",
+        atomic_methods={ACCEPT, *STAGES},
+        non_atomic_methods=set(),
+    )
+    program.threads.append(ThreadSpec(_acceptor(requests, depth), "acceptor"))
+    for index, label in enumerate(STAGES):
+        program.threads.append(
+            ThreadSpec(_stage(index, label, requests), label.split(".")[1])
+        )
+    return program
+
+
+_POINTS = (
+    ScalePoint("smoke", 1.0, 1_750),
+    ScalePoint("small", 12.0, 21_000),
+    ScalePoint("medium", 120.0, 210_000),
+    ScalePoint("large", 1_200.0, 2_100_000),
+)
+
+WEB_PIPELINE = register_family(ServerFamily(
+    workload=Workload(
+        name="web_pipeline",
+        build=build,
+        description="nginx-like staged request pipeline, hand-off ordered",
+        compute_bound=False,
+        table1=None,
+        table2=None,
+    ),
+    kind="web-server",
+    scale_points=_POINTS,
+    truth=uniform_truth(_POINTS, serializable=True),
+    fuzz_scale=0.2,
+    knobs={
+        "depth": f"in-flight requests, capped at {SLOTS} ring slots "
+                 f"(default {SLOTS})",
+        "seed": "accepted for uniformity; the pipeline is deterministic",
+    },
+))

@@ -211,14 +211,16 @@ class TestOther:
     def test_workloads_lists_fifteen(self, capsys):
         assert main(["workloads"]) == 0
         out = capsys.readouterr().out.strip().splitlines()
-        # The fifteen paper benchmarks plus the synthetic request_loop
-        # memo-benchmark workload.
-        assert len(out) == 16
+        # The fifteen paper benchmarks, the synthetic request_loop
+        # memo-benchmark workload, and the five server families.
+        assert len(out) == 21
         paper_rows = [line for line in out if "paper:" in line]
         assert len(paper_rows) == 15
         synthetic = [line for line in out if "no paper row" in line]
         assert len(synthetic) == 1
         assert synthetic[0].startswith("request_loop")
+        server_rows = [line for line in out if "server family" in line]
+        assert len(server_rows) == 5
 
     def test_random_records(self, tmp_path, capsys):
         target = tmp_path / "rand.jsonl"

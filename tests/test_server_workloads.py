@@ -1,0 +1,184 @@
+"""Oracle and registry tests for the server-shaped workload family.
+
+These pin the ground-truth *declarations* themselves: every family's
+declared verdict and blamed transaction family is checked against the
+serialization-graph oracle and Velodrome at the smallest scale point,
+so the lab's per-cell gate (which trusts the declarations) rests on
+tested ground.
+"""
+
+import pytest
+
+from repro.core.serializability import is_serializable
+from repro.fuzz.engine import (
+    SERVER_POOL_PERIOD,
+    program_for_seed,
+    server_pool_family,
+    trace_for_seed,
+)
+from repro.runtime.tool import run_velodrome
+from repro.workloads import get, names, paper_workloads
+from repro.workloads.base import Workload, register
+from repro.workloads.server import (
+    POINT_ORDER,
+    SERVER_FAMILIES,
+    GroundTruth,
+    ScalePoint,
+    get_family,
+    server_families,
+)
+
+SERVER_NAMES = [family.name for family in server_families()]
+
+EXPECTED_FAMILIES = {
+    "kv_store", "web_pipeline", "mpmc_queue", "conn_pool", "cache",
+}
+
+
+class TestFamilyRegistry:
+    def test_five_families_registered(self):
+        assert set(SERVER_NAMES) == EXPECTED_FAMILIES
+
+    def test_families_in_global_registry(self):
+        for name in SERVER_NAMES:
+            assert get(name) is SERVER_FAMILIES[name].workload
+            assert name in names()
+
+    def test_families_excluded_from_paper_suite(self):
+        paper = {w.name for w in paper_workloads()}
+        assert paper.isdisjoint(EXPECTED_FAMILIES)
+        for name in SERVER_NAMES:
+            workload = get(name)
+            assert workload.table1 is None
+            assert workload.table2 is None
+
+    def test_registration_order_is_deterministic(self):
+        # Fixed by the import order in repro.workloads.server.__init__.
+        assert SERVER_NAMES == [
+            "kv_store", "web_pipeline", "mpmc_queue", "conn_pool", "cache",
+        ]
+
+    def test_scale_points_follow_canonical_order(self):
+        for family in server_families():
+            point_names = [p.name for p in family.scale_points]
+            assert point_names == list(POINT_ORDER)
+            scales = [p.scale for p in family.scale_points]
+            assert scales == sorted(scales)
+
+    def test_get_family_unknown_raises(self):
+        with pytest.raises(KeyError, match="unknown server workload"):
+            get_family("nonexistent")
+
+    def test_truth_shape_consistency(self):
+        for family in server_families():
+            for point in family.scale_points:
+                truth = family.truth_at(point.name)
+                # GroundTruth's own invariant: blame iff violating.
+                assert truth.serializable == (not truth.blamed)
+
+
+class TestDuplicateRegistration:
+    def test_duplicate_name_raises_naming_both(self):
+        imposter = Workload(
+            name="kv_store",
+            build=lambda scale: None,
+            description="imposter",
+            compute_bound=False,
+        )
+        with pytest.raises(ValueError) as excinfo:
+            register(imposter)
+        message = str(excinfo.value)
+        assert "kv_store" in message
+        # Both the existing and the refused definition are named.
+        assert "repro.workloads.server.kv_store" in message
+        assert "imposter" in message
+        # The registry still holds the original.
+        assert get("kv_store") is SERVER_FAMILIES["kv_store"].workload
+
+    def test_reregistering_same_object_is_noop(self):
+        workload = get("cache")
+        assert register(workload) is workload
+
+
+@pytest.mark.parametrize("name", sorted(EXPECTED_FAMILIES))
+class TestDeclaredGroundTruth:
+    """The oracle test: declared verdict + blame hold at smoke scale."""
+
+    def test_oracle_agrees_with_declaration(self, name):
+        family = get_family(name)
+        truth = family.truth_at("smoke")
+        scale = family.point("smoke").scale
+        run = run_velodrome(
+            family.workload.build(scale), seed=0, record_trace=True
+        )
+        assert is_serializable(run.trace) == truth.serializable
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_velodrome_blames_declared_family(self, name, seed):
+        family = get_family(name)
+        truth = family.truth_at("smoke")
+        scale = family.point("smoke").scale
+        run = run_velodrome(family.workload.build(scale), seed=seed)
+        assert run.labels_from("VELODROME") == set(truth.blamed)
+
+    def test_non_atomic_methods_match_blame(self, name):
+        family = get_family(name)
+        truth = family.truth_at("smoke")
+        program = family.workload.build(family.point("smoke").scale)
+        assert program.non_atomic_methods == set(truth.blamed)
+
+
+class TestScaling:
+    def test_scale_grows_event_volume(self):
+        for family in server_families():
+            smoke = family.point("smoke")
+            small = family.point("small")
+            lo = run_velodrome(
+                family.workload.build(smoke.scale), seed=0, record_trace=True
+            )
+            hi = run_velodrome(
+                family.workload.build(small.scale), seed=0, record_trace=True
+            )
+            assert len(hi.trace) > 2 * len(lo.trace)
+
+    def test_approx_events_within_factor_two(self):
+        # approx_events documents seed-0 volume; keep it honest at smoke.
+        for family in server_families():
+            smoke = family.point("smoke")
+            run = run_velodrome(
+                family.workload.build(smoke.scale), seed=0, record_trace=True
+            )
+            assert smoke.approx_events / 2 <= len(run.trace) \
+                <= smoke.approx_events * 2
+
+
+class TestFuzzPool:
+    def test_pool_membership_is_deterministic(self):
+        first = [server_pool_family(seed) for seed in range(120)]
+        second = [server_pool_family(seed) for seed in range(120)]
+        assert first == second
+
+    def test_pool_density_near_declared_period(self):
+        hits = sum(
+            server_pool_family(seed) is not None for seed in range(400)
+        )
+        expected = 400 // SERVER_POOL_PERIOD
+        assert expected / 2 <= hits <= expected * 2
+
+    def test_pinned_suite_seeds_stay_random(self):
+        # Seeds the regression tests pin to random-program behaviour.
+        for seed in (0, 1, 2, 3, 5, 7, 9, 11, 13, 22, 33, 40, 41, 42):
+            assert server_pool_family(seed) is None
+
+    def test_pool_seed_builds_server_program(self):
+        pool_seeds = [s for s in range(60) if server_pool_family(s)]
+        assert pool_seeds, "no pool seeds below 60"
+        seed = pool_seeds[0]
+        family = server_pool_family(seed)
+        program = program_for_seed(seed)
+        expected = family.workload.build(family.fuzz_scale, seed=seed)
+        assert program.non_atomic_methods == expected.non_atomic_methods
+
+    def test_pool_trace_is_deterministic(self):
+        seed = next(s for s in range(60) if server_pool_family(s))
+        assert trace_for_seed(seed) == trace_for_seed(seed)
